@@ -1,0 +1,122 @@
+// DIAG-INEFF: the three-script §III-B diagnosis sequence on the
+// unoptimized OpenMP GenIDLEST run.
+//
+//   Script 1: derive Inefficiency = FP_OPS x (stalls / cycles); flag
+//             events with higher-than-average inefficiency.
+//   Script 2: the 90% guideline — are memory + FP stalls dominant?
+//   Script 3: memory analysis — local:remote ratios, remote-dominated
+//             events, and the serialized non-scaling exchange path.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "analysis/facts.hpp"
+#include "analysis/operations.hpp"
+#include "apps/genidlest/genidlest.hpp"
+#include "machine/machine.hpp"
+#include "perfdmf/repository.hpp"
+#include "rules/rulebases.hpp"
+
+namespace gen = perfknow::apps::genidlest;
+namespace an = perfknow::analysis;
+using perfknow::machine::Machine;
+using perfknow::machine::MachineConfig;
+
+namespace {
+
+perfknow::perfdmf::TrialPtr run_unopt(unsigned procs) {
+  Machine machine(MachineConfig::altix3600());
+  auto cfg = gen::GenConfig::rib90();
+  cfg.nprocs = procs;
+  cfg.model = gen::Model::kOpenMP;
+  cfg.optimized = false;
+  return std::make_shared<perfknow::profile::Trial>(
+      gen::run_genidlest(machine, cfg).trial);
+}
+
+void print_diagnoses(const perfknow::rules::RuleHarness& harness) {
+  for (const auto& d : harness.diagnoses()) {
+    std::printf("   [%s] event=%s severity=%.2f\n       -> %s\n",
+                d.problem.c_str(), d.event.c_str(), d.severity,
+                d.recommendation.c_str());
+  }
+}
+
+}  // namespace
+
+static void BM_FullDiagnosisChain(benchmark::State& state) {
+  const auto trial = run_unopt(16);
+  for (auto _ : state) {
+    auto t = *trial;  // fresh copy: derives add metrics
+    perfknow::rules::RuleHarness harness;
+    perfknow::rules::builtin::use(harness,
+                                  perfknow::rules::builtin::openuh_rules());
+    an::derive_metric(t, "BACK_END_BUBBLE_ALL", "CPU_CYCLES",
+                      an::DeriveOp::kDivide);
+    an::derive_metric(t, "FP_OPS", "(BACK_END_BUBBLE_ALL / CPU_CYCLES)",
+                      an::DeriveOp::kMultiply);
+    an::assert_compare_to_average_facts(
+        harness, t, "(FP_OPS * (BACK_END_BUBBLE_ALL / CPU_CYCLES))");
+    an::assert_stall_facts(harness, t);
+    an::assert_memory_locality_facts(harness, t);
+    benchmark::DoNotOptimize(harness.process_rules());
+  }
+}
+BENCHMARK(BM_FullDiagnosisChain)->Unit(benchmark::kMicrosecond);
+
+int main(int argc, char** argv) {
+  std::printf(
+      "== DIAG-INEFF: GenIDLEST 90rib, unoptimized OpenMP, 16 threads ==\n\n");
+  const auto trial_ptr = run_unopt(16);
+  auto& trial = *trial_ptr;
+
+  // ---- script 1: inefficiency metric -----------------------------------
+  an::derive_metric(trial, "BACK_END_BUBBLE_ALL", "CPU_CYCLES",
+                    an::DeriveOp::kDivide);
+  an::derive_metric(trial, "FP_OPS",
+                    "(BACK_END_BUBBLE_ALL / CPU_CYCLES)",
+                    an::DeriveOp::kMultiply);
+  perfknow::rules::RuleHarness s1;
+  perfknow::rules::builtin::use(s1, perfknow::rules::builtin::inefficiency());
+  an::assert_compare_to_average_facts(
+      s1, trial, "(FP_OPS * (BACK_END_BUBBLE_ALL / CPU_CYCLES))");
+  s1.process_rules();
+  std::printf("Script 1 — high-inefficiency events (%zu):\n",
+              s1.diagnoses().size());
+  print_diagnoses(s1);
+
+  // ---- script 2: stall coverage -----------------------------------------
+  perfknow::rules::RuleHarness s2;
+  perfknow::rules::builtin::use(s2,
+                                perfknow::rules::builtin::stall_coverage());
+  an::assert_stall_facts(s2, trial);
+  s2.process_rules();
+  std::printf("\nScript 2 — stall-source coverage (%zu):\n",
+              s2.diagnoses().size());
+  print_diagnoses(s2);
+
+  // ---- script 3: memory locality + scaling -------------------------------
+  perfknow::rules::RuleHarness s3;
+  perfknow::rules::builtin::use(s3,
+                                perfknow::rules::builtin::memory_locality());
+  an::assert_memory_locality_facts(s3, trial);
+  std::vector<perfknow::perfdmf::TrialPtr> trials = {run_unopt(1),
+                                                     trial_ptr};
+  an::ScalabilityAnalysis scaling(trials);
+  an::assert_scaling_facts(s3, scaling);
+  s3.process_rules();
+  std::printf("\nScript 3 — data locality and serialization (%zu):\n",
+              s3.diagnoses().size());
+  print_diagnoses(s3);
+
+  std::printf(
+      "\nPaper anchors: six-plus procedures flagged; exchange_var__ "
+      "identified as a\nsequential bottleneck (~31%% of runtime); "
+      "first-touch initialization blamed.\n\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

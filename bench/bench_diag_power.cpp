@@ -1,0 +1,113 @@
+// DIAG-PWR: the §III-C power/energy recommendation chain.
+//
+// Runs the optimization-level study, asserts PowerStudyFact facts, and
+// fires the power rulebase. The paper's conclusion: O0 for low power,
+// O3 for low energy, O2 for both.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "apps/genidlest/genidlest.hpp"
+#include "machine/machine.hpp"
+#include "power/dvs.hpp"
+#include "power/power_model.hpp"
+#include "rules/rulebases.hpp"
+
+namespace gen = perfknow::apps::genidlest;
+namespace pw = perfknow::power;
+using perfknow::machine::Machine;
+using perfknow::machine::MachineConfig;
+using perfknow::openuh::OptLevel;
+
+namespace {
+
+pw::PowerStudy run_study() {
+  pw::PowerStudy study(pw::PowerModel::itanium2());
+  for (const auto level :
+       {OptLevel::kO0, OptLevel::kO1, OptLevel::kO2, OptLevel::kO3}) {
+    Machine machine(MachineConfig::altix3600());
+    auto cfg = gen::GenConfig::rib90();
+    cfg.model = gen::Model::kMpi;
+    cfg.optimized = true;
+    cfg.nprocs = 16;
+    cfg.opt = level;
+    const auto r = gen::run_genidlest(machine, cfg);
+    study.add(level, r.aggregate_counters, r.elapsed_seconds, 16);
+  }
+  return study;
+}
+
+}  // namespace
+
+static void BM_PowerEstimate(benchmark::State& state) {
+  Machine machine(MachineConfig::altix3600());
+  auto cfg = gen::GenConfig::rib90();
+  cfg.model = gen::Model::kMpi;
+  cfg.optimized = true;
+  const auto r = gen::run_genidlest(machine, cfg);
+  const auto model = pw::PowerModel::itanium2();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.estimate(r.aggregate_counters));
+  }
+}
+BENCHMARK(BM_PowerEstimate);
+
+int main(int argc, char** argv) {
+  std::printf("== DIAG-PWR: power/energy recommendation rules ==\n\n");
+  const auto study = run_study();
+
+  std::printf("per-level absolute estimates (16 CPUs):\n");
+  for (const auto& row : study.rows()) {
+    std::printf(
+        "  %s: %7.3f s, %7.1f W, %9.1f J, %.3g FLOP/J\n",
+        std::string(perfknow::openuh::to_string(row.level)).c_str(),
+        row.seconds, row.watts, row.joules, row.flop_per_joule);
+  }
+
+  perfknow::rules::RuleHarness harness;
+  perfknow::rules::builtin::use(harness, perfknow::rules::builtin::power());
+  study.assert_facts(harness);
+  harness.process_rules();
+  std::printf("\nrule output:\n");
+  for (const auto& line : harness.output()) {
+    std::printf("  %s\n", line.c_str());
+  }
+  std::printf("\nrecommendations:\n");
+  for (const auto& d : harness.diagnoses()) {
+    std::printf("  [%s] %s\n      -> %s\n", d.problem.c_str(),
+                d.event.c_str(), d.recommendation.c_str());
+  }
+  std::printf(
+      "\nPaper conclusion: O0 for low power, O3 for low energy, O2 for "
+      "both.\n\n");
+
+  // Extension (paper §V, model extension): DVS operating-point what-if
+  // from the same O2 counters.
+  {
+    Machine machine(MachineConfig::altix3600());
+    auto cfg = gen::GenConfig::rib90();
+    cfg.model = gen::Model::kMpi;
+    cfg.optimized = true;
+    cfg.nprocs = 16;
+    const auto r = gen::run_genidlest(machine, cfg);
+    auto per_cpu = r.aggregate_counters;
+    per_cpu *= 1.0 / 16.0;
+    const auto est = pw::PowerModel::itanium2().estimate(per_cpu);
+    const auto sweep = pw::dvs_sweep(per_cpu, r.elapsed_seconds,
+                                     est.total_watts * 16.0,
+                                     {0.75, 1.0, 1.25, 1.5});
+    std::printf("== DVS what-if (extension, O2 run) ==\n\n");
+    for (const auto& p : sweep) {
+      std::printf(
+          "  %.2f GHz: %6.3f s, %6.1f W, %7.1f J%s%s\n", p.frequency_ghz,
+          p.seconds, p.watts, p.joules,
+          p.is_min_energy ? "  <- min energy" : "",
+          p.is_min_edp ? "  <- min EDP" : "");
+    }
+    std::printf("\n");
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

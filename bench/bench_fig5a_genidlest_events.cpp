@@ -1,0 +1,98 @@
+// Reproduces Fig. 5(a): "Speedup per event, unoptimized OpenMP" for the
+// GenIDLEST 90rib problem.
+//
+// Per-event speedup series (time at 1 thread / time at T threads) of the
+// main computation procedures. The paper's figure shows bicgstab,
+// diff_coeff, matxvec, pc, pc_jac_glb not scaling, and exchange_var__
+// (serialized master-thread copies) scaling worst.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "analysis/operations.hpp"
+#include "apps/genidlest/genidlest.hpp"
+#include "common/table.hpp"
+#include "machine/machine.hpp"
+#include "perfdmf/repository.hpp"
+
+namespace gen = perfknow::apps::genidlest;
+using perfknow::machine::Machine;
+using perfknow::machine::MachineConfig;
+
+namespace {
+
+perfknow::perfdmf::TrialPtr run_unopt(unsigned procs) {
+  Machine machine(MachineConfig::altix3600());
+  auto cfg = gen::GenConfig::rib90();
+  cfg.nprocs = procs;
+  cfg.model = gen::Model::kOpenMP;
+  cfg.optimized = false;
+  return std::make_shared<perfknow::profile::Trial>(
+      gen::run_genidlest(machine, cfg).trial);
+}
+
+}  // namespace
+
+static void BM_GenidlestUnopt16(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_unopt(16));
+  }
+}
+BENCHMARK(BM_GenidlestUnopt16)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  std::printf(
+      "== Fig. 5(a): per-event speedup, unoptimized OpenMP, GenIDLEST "
+      "90rib ==\n\n");
+
+  const std::vector<unsigned> procs = {1, 2, 4, 8, 16, 32};
+  std::vector<perfknow::perfdmf::TrialPtr> trials;
+  trials.reserve(procs.size());
+  for (const auto p : procs) trials.push_back(run_unopt(p));
+
+  perfknow::analysis::ScalabilityAnalysis scaling(trials);
+
+  const std::vector<std::string> events = {"bicgstab", "diff_coeff",
+                                           "matxvec", "pc_jac_glb"};
+  std::vector<std::string> header = {"event"};
+  for (const auto p : procs) header.push_back(std::to_string(p) + "t");
+  perfknow::TextTable table(header);
+  for (const auto& event : events) {
+    table.begin_row().add(event);
+    for (const double s : scaling.event_speedup(event)) {
+      table.add(s, 2);
+    }
+  }
+  // exchange_var__ is reported inclusively: its serialized copies live in
+  // the mpi_send_recv_ko child, and a mean-exclusive view would hide the
+  // serialization behind the thread average.
+  {
+    table.begin_row().add(std::string("exchange_var__ (incl)"));
+    std::vector<double> incl;
+    for (const auto& t : trials) {
+      const auto m = t->metric_id("TIME");
+      incl.push_back(t->mean_inclusive(t->event_id("exchange_var__"), m));
+    }
+    for (const double v : incl) {
+      table.add(v == 0.0 ? 0.0 : incl.front() / v, 2);
+    }
+  }
+  std::printf("speedup per event (vs 1 thread):\n%s\n", table.str().c_str());
+  std::printf(
+      "Paper shape: the main computation procedures do not scale (remote\n"
+      "first-touch data) and the serialized exchange path scales worst.\n\n");
+
+  // Total speedup for context.
+  perfknow::TextTable total({"threads", "total speedup"});
+  const auto sp = scaling.total_speedup();
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    total.begin_row().add(static_cast<long long>(procs[i])).add(sp[i], 2);
+  }
+  std::printf("%s\n", total.str().c_str());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces Fig. 5(b): "Speedup of optimized and unoptimized OpenMP,
+// and optimized MPI" for GenIDLEST (90rib, plus the 45rib anchors).
+//
+// Paper anchors: the unoptimized OpenMP version lags MPI by ~11.16x
+// (90rib, 16 procs) / ~3.48x (45rib, 8 procs) and "does not scale at
+// all"; after optimization the difference is minimal (~15% / ~16.8%).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/genidlest/genidlest.hpp"
+#include "common/table.hpp"
+#include "machine/machine.hpp"
+
+namespace gen = perfknow::apps::genidlest;
+using perfknow::machine::Machine;
+using perfknow::machine::MachineConfig;
+
+namespace {
+
+double run_seconds(const gen::GenConfig& base, unsigned procs,
+                   gen::Model model, bool optimized,
+                   const MachineConfig& mc) {
+  Machine machine(mc);
+  auto cfg = base;
+  cfg.nprocs = procs;
+  cfg.model = model;
+  cfg.optimized = optimized;
+  return gen::run_genidlest(machine, cfg).elapsed_seconds;
+}
+
+}  // namespace
+
+static void BM_Genidlest90ribMpi16(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_seconds(gen::GenConfig::rib90(), 16,
+                                         gen::Model::kMpi, true,
+                                         MachineConfig::altix3600()));
+  }
+}
+BENCHMARK(BM_Genidlest90ribMpi16)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  std::printf("== Fig. 5(b): GenIDLEST 90rib total speedup ==\n\n");
+
+  const std::vector<unsigned> procs = {1, 2, 4, 8, 16, 32};
+  const auto cfg90 = gen::GenConfig::rib90();
+  const auto mc90 = MachineConfig::altix3600();
+
+  std::vector<double> unopt, opt, mpi;
+  for (const auto p : procs) {
+    unopt.push_back(
+        run_seconds(cfg90, p, gen::Model::kOpenMP, false, mc90));
+    opt.push_back(run_seconds(cfg90, p, gen::Model::kOpenMP, true, mc90));
+    mpi.push_back(run_seconds(cfg90, p, gen::Model::kMpi, true, mc90));
+  }
+  perfknow::TextTable table({"procs", "OpenMP-unopt", "OpenMP-opt",
+                             "MPI-opt", "unopt speedup", "opt speedup",
+                             "MPI speedup"});
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    table.begin_row()
+        .add(static_cast<long long>(procs[i]))
+        .add(unopt[i], 3)
+        .add(opt[i], 3)
+        .add(mpi[i], 3)
+        .add(unopt[0] / unopt[i], 2)
+        .add(opt[0] / opt[i], 2)
+        .add(mpi[0] / mpi[i], 2);
+  }
+  std::printf("time [s] and speedup vs 1 proc:\n%s\n", table.str().c_str());
+  std::printf("OpenMP-unopt / MPI-opt at 16 procs: %.2fx (paper: 11.16x)\n",
+              unopt[4] / mpi[4]);
+  std::printf(
+      "OpenMP-opt / MPI-opt at 16 procs: %.3fx (paper: ~1.15x)\n\n",
+      opt[4] / mpi[4]);
+
+  std::printf("== 45rib anchors (8 procs, Altix 300) ==\n\n");
+  const auto cfg45 = gen::GenConfig::rib45();
+  const auto mc45 = MachineConfig::altix300();
+  const double u45 =
+      run_seconds(cfg45, 8, gen::Model::kOpenMP, false, mc45);
+  const double o45 = run_seconds(cfg45, 8, gen::Model::kOpenMP, true, mc45);
+  const double m45 = run_seconds(cfg45, 8, gen::Model::kMpi, true, mc45);
+  std::printf("OpenMP-unopt / MPI-opt: %.2fx (paper: 3.48x)\n", u45 / m45);
+  std::printf("OpenMP-opt / MPI-opt:  %.3fx (paper: ~1.168x)\n\n",
+              o45 / m45);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Scenario: closing the measurement -> analysis -> compiler loop.
+//
+// Fig. 3 of the paper marks the arrow from PerfExplorer back into the
+// OpenUH cost models as "future". This example runs that loop:
+//
+//   1. run the unoptimized GenIDLEST OpenMP workload and profile it;
+//   2. distill per-region measured facts (remote-access ratio, load
+//      imbalance) into an openuh::FeedbackData file — the compiler-side
+//      interchange format;
+//   3. reload the file as the compiler would and re-evaluate the LNO
+//      cost model: the static estimate could not see the NUMA problem,
+//      the feedback-directed one can;
+//   4. show the parallel model consuming measured imbalance for the MSAP
+//      loop — the paper's "detect imbalances due to different amounts of
+//      work per thread in parallel loops" (§V).
+#include <cstdio>
+#include <filesystem>
+
+#include "apps/genidlest/genidlest.hpp"
+#include "apps/msap/msap.hpp"
+#include "machine/machine.hpp"
+#include "openuh/compiler.hpp"
+#include "openuh/cost_model.hpp"
+
+namespace gen = perfknow::apps::genidlest;
+namespace msap = perfknow::apps::msap;
+using perfknow::machine::Machine;
+using perfknow::machine::MachineConfig;
+
+int main() {
+  std::printf("== Feedback-directed cost models ==\n\n");
+
+  // --- 1. measure -------------------------------------------------------
+  Machine machine(MachineConfig::altix3600());
+  auto cfg = gen::GenConfig::rib90();
+  cfg.nprocs = 16;
+  cfg.model = gen::Model::kOpenMP;
+  cfg.optimized = false;
+  const auto run = gen::run_genidlest(machine, cfg);
+  const auto& trial = run.trial;
+  std::printf("1. measured unoptimized OpenMP 90rib: %.3f s\n",
+              run.elapsed_seconds);
+
+  // --- 2. distill feedback ----------------------------------------------
+  perfknow::openuh::FeedbackData feedback;
+  const auto l3 = trial.metric_id("L3_MISSES");
+  const auto remote = trial.metric_id("REMOTE_MEMORY_ACCESSES");
+  const auto time = trial.metric_id("TIME");
+  for (const char* region : {"matxvec", "pc_jac_glb", "diff_coeff"}) {
+    const auto e = trial.event_id(region);
+    perfknow::openuh::RegionFeedback rf;
+    rf.measured_time_usec = trial.mean_exclusive(e, time);
+    const double misses = trial.mean_exclusive(e, l3);
+    rf.remote_access_ratio =
+        misses == 0.0 ? 0.0
+                      : trial.mean_exclusive(e, remote) / misses;
+    feedback.set(std::string(region) + "_loop", rf);
+    std::printf("   %s: measured remote/L3 ratio %.2f\n", region,
+                *rf.remote_access_ratio);
+  }
+  const auto fb_path = std::filesystem::temp_directory_path() /
+                       "genidlest_feedback.tsv";
+  feedback.save(fb_path);
+  std::printf("2. wrote compiler feedback to %s\n\n",
+              fb_path.string().c_str());
+
+  // --- 3. re-evaluate the cost model ------------------------------------
+  const auto loaded = perfknow::openuh::FeedbackData::load(fb_path);
+  perfknow::openuh::CostModel model(MachineConfig::altix3600());
+  perfknow::openuh::LoopNest nest;
+  nest.name = "matxvec_loop";
+  nest.trip_counts = {4, 128, 128};
+  nest.flops_per_iter = 13.0;
+  nest.int_ops_per_iter = 150.0;
+  perfknow::openuh::ArrayRef coef;
+  coef.name = "coef";
+  coef.extent_elements = 7ull * 4 * 128 * 128;
+  nest.arrays.push_back(coef);
+  const auto cg =
+      perfknow::openuh::codegen_profile(perfknow::openuh::OptLevel::kO2);
+
+  const auto before = model.evaluate(nest, cg);
+  model.set_feedback(&loaded);
+  const auto after = model.evaluate(nest, cg);
+  std::printf(
+      "3. LNO cost model for matxvec_loop:\n"
+      "   static estimate:   %.3g cycles (memory stalls %.3g)\n"
+      "   with feedback:     %.3g cycles (memory stalls %.3g) — %.1fx\n"
+      "   The compiler now prioritizes locality transformations for this "
+      "nest.\n\n",
+      before.total(), before.memory_stall_cycles, after.total(),
+      after.memory_stall_cycles, after.total() / before.total());
+
+  // --- 4. parallel model with measured imbalance ------------------------
+  Machine m2(MachineConfig::altix300());
+  msap::MsapConfig mcfg;
+  mcfg.threads = 16;
+  const auto msap_run = msap::run_msap(m2, mcfg);
+  perfknow::openuh::FeedbackData msap_fb;
+  perfknow::openuh::RegionFeedback rf;
+  rf.imbalance_cv = msap_run.stage1_loop.imbalance();
+  msap_fb.set("sw_outer_loop", rf);
+
+  perfknow::openuh::CostModel pmodel(MachineConfig::altix300());
+  perfknow::openuh::LoopNest outer;
+  outer.name = "sw_outer_loop";
+  outer.trip_counts = {400};
+  outer.flops_per_iter = 0.0;
+  outer.int_ops_per_iter = 4e6;  // one pairwise-alignment batch
+  outer.parallelizable = true;
+
+  perfknow::openuh::Transformation par;
+  par.parallelize = true;
+  par.num_threads = 16;
+  const auto static_cost = pmodel.evaluate(outer, cg, par);
+  pmodel.set_feedback(&msap_fb);
+  const auto fed_cost = pmodel.evaluate(outer, cg, par);
+  std::printf(
+      "4. parallel model for the MSAP outer loop at 16 threads:\n"
+      "   static estimate assumes balance:  imbalance cost %.3g cycles\n"
+      "   with measured cv=%.2f feedback:   imbalance cost %.3g cycles\n"
+      "   -> the model now predicts the barrier idle time the schedule "
+      "change removes.\n",
+      static_cost.imbalance_cycles, *rf.imbalance_cv,
+      fed_cost.imbalance_cycles);
+
+  std::filesystem::remove(fb_path);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Scenario: compiling for power vs energy (the paper's §III-C study).
+//
+// Builds GenIDLEST at every optimization level through the OpenUH
+// substrate, runs it with 16 MPI ranks, estimates processor power with
+// the Eq. 1/2 component model, prints Table I, and lets the power
+// rulebase recommend a level per objective.
+#include <cstdio>
+
+#include "apps/genidlest/genidlest.hpp"
+#include "common/table.hpp"
+#include "machine/machine.hpp"
+#include "power/power_model.hpp"
+#include "rules/rulebases.hpp"
+
+namespace gen = perfknow::apps::genidlest;
+namespace pw = perfknow::power;
+using perfknow::machine::Machine;
+using perfknow::machine::MachineConfig;
+using perfknow::openuh::OptLevel;
+
+int main() {
+  std::printf(
+      "== GenIDLEST power/energy study: 90rib, 16 MPI ranks ==\n\n");
+
+  pw::PowerStudy study(pw::PowerModel::itanium2());
+  for (const auto level :
+       {OptLevel::kO0, OptLevel::kO1, OptLevel::kO2, OptLevel::kO3}) {
+    Machine machine(MachineConfig::altix3600());
+    auto cfg = gen::GenConfig::rib90();
+    cfg.model = gen::Model::kMpi;
+    cfg.optimized = true;
+    cfg.nprocs = 16;
+    cfg.opt = level;
+    const auto r = gen::run_genidlest(machine, cfg);
+    study.add(level, r.aggregate_counters, r.elapsed_seconds, 16);
+    std::printf("  built and ran at %s: %.3f s\n",
+                std::string(perfknow::openuh::to_string(level)).c_str(),
+                r.elapsed_seconds);
+  }
+
+  std::printf("\nrelative differences (O0 = 1.0), Table I style:\n\n");
+  perfknow::TextTable table({"Metric", "O0", "O1", "O2", "O3"});
+  for (const auto& [name, vals] : study.relative_table()) {
+    table.begin_row().add(name);
+    for (const double v : vals) table.add(v, 3);
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  // Per-component breakdown at the extremes, to show where power goes.
+  std::printf("recommendations from the power rulebase:\n");
+  perfknow::rules::RuleHarness harness;
+  perfknow::rules::builtin::use(harness, perfknow::rules::builtin::power());
+  study.assert_facts(harness);
+  harness.process_rules();
+  for (const auto& d : harness.diagnoses()) {
+    std::printf("  %s\n", d.recommendation.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: the paper's Fig. 1 workflow in 60 lines.
+//
+// 1. Run an instrumented workload on the simulated machine (here: the
+//    MSAP sequence-alignment stage under a bad schedule).
+// 2. Store the profile in a PerfDMF repository.
+// 3. Automate the analysis with a PerfScript script: load rules, load
+//    the trial, derive a metric, compare events to main, process rules.
+// 4. Read the diagnoses.
+#include <cstdio>
+#include <memory>
+
+#include "apps/msap/msap.hpp"
+#include "machine/machine.hpp"
+#include "perfdmf/repository.hpp"
+#include "script/bindings.hpp"
+
+int main() {
+  using namespace perfknow;
+
+  // --- 1. run the instrumented workload --------------------------------
+  machine::Machine altix(machine::MachineConfig::altix300());
+  apps::msap::MsapConfig cfg;
+  cfg.threads = 16;
+  cfg.schedule = runtime::Schedule::static_even();  // the default, and bad
+  auto result = apps::msap::run_msap(altix, cfg);
+  std::printf("ran MSAP: %zu events, %zu threads, %.3f s\n",
+              result.trial.event_count(), result.trial.thread_count(),
+              result.elapsed_seconds);
+
+  // --- 2. store the profile --------------------------------------------
+  perfdmf::Repository repo;
+  repo.put("MSAP", "schedules",
+           std::make_shared<profile::Trial>(std::move(result.trial)));
+
+  // --- 3. automate the analysis ----------------------------------------
+  script::AnalysisSession session(repo);
+  session.run(R"(
+# load the expert rules and the trial (Fig. 1 of the paper)
+ruleHarness = RuleHarness.useGlobalRules("openuh/OpenUHRules.drl")
+trial = TrialMeanResult(Utilities.getTrial("MSAP", "schedules",
+                                           "msap_static_16t"))
+
+# derive the stall rate and compare each event against the application
+op = DeriveMetricOperation(trial, "BACK_END_BUBBLE_ALL", "CPU_CYCLES",
+                           DeriveMetricOperation.DIVIDE)
+derived = op.processData().get(0)
+mainEvent = derived.getMainEvent()
+for event in derived.getEvents():
+    MeanEventFact.compareEventToMain(derived, mainEvent, derived, event)
+
+# the load-imbalance rule needs the balance/nesting/correlation facts
+assertLoadBalanceFacts(trial)
+
+fired = ruleHarness.processRules()
+print("rules fired: " + str(fired))
+)");
+
+  // --- 4. read the diagnoses -------------------------------------------
+  std::printf("\nscript output:\n");
+  for (const auto& line : session.output()) {
+    std::printf("  %s\n", line.c_str());
+  }
+  std::printf("\ndiagnoses:\n");
+  for (const auto& d : session.harness().diagnoses()) {
+    std::printf("  [%s] %s -> %s\n", d.problem.c_str(), d.event.c_str(),
+                d.recommendation.c_str());
+  }
+  return 0;
+}

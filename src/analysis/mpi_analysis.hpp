@@ -1,0 +1,81 @@
+// Communication analysis from PMPI interposition events.
+//
+// The paper's related work (EXPERT, Hercule, KappaPi) diagnoses
+// communication inefficiencies — late senders, wait-dominated ranks,
+// serialized exchanges — from execution events; its own future work asks
+// for "information with regard to sources of overhead and their causes".
+// This module closes that gap on the profile side: it consumes the
+// MpiEvent stream the simulated MPI library's hook produces and distills
+// per-rank communication statistics and inference facts:
+//
+//   CommunicationFact  — per rank: fractions of time in wait/copy/
+//                        collective, bytes moved, message counts.
+//   LateSenderFact     — per (sender, receiver): wait time attributable
+//                        to the sender not having posted early enough.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rules/engine.hpp"
+#include "runtime/mpi.hpp"
+
+namespace perfknow::analysis {
+
+/// Accumulates the PMPI event stream of one run.
+class CommRecorder {
+ public:
+  explicit CommRecorder(unsigned ranks) : per_rank_(ranks) {}
+
+  /// Install on an MpiWorld: world.set_hook(recorder.hook()).
+  [[nodiscard]] runtime::MpiWorld::Hook hook();
+
+  struct RankStats {
+    std::uint64_t wait_cycles = 0;       ///< blocked in MPI_Wait
+    std::uint64_t copy_cycles = 0;       ///< on-processor buffer copies
+    std::uint64_t collective_cycles = 0; ///< barrier + allreduce
+    std::uint64_t post_cycles = 0;       ///< isend/irecv posting overhead
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_received = 0;
+
+    [[nodiscard]] std::uint64_t total_comm_cycles() const noexcept {
+      return wait_cycles + copy_cycles + collective_cycles + post_cycles;
+    }
+  };
+
+  [[nodiscard]] const RankStats& rank(unsigned r) const;
+  [[nodiscard]] unsigned ranks() const noexcept {
+    return static_cast<unsigned>(per_rank_.size());
+  }
+
+  /// Wait cycles of rank `dst` attributable to messages from `src`.
+  [[nodiscard]] std::uint64_t wait_from(unsigned dst, unsigned src) const;
+
+  /// Total cycles recorded across ranks (for fraction computations).
+  [[nodiscard]] std::uint64_t total_cycles() const noexcept;
+
+  void clear();
+
+ private:
+  std::vector<RankStats> per_rank_;
+  // (dst, src) -> wait cycles, densely indexed dst*ranks+src.
+  std::vector<std::uint64_t> wait_matrix_;
+};
+
+/// Asserts CommunicationFact per rank. `elapsed_cycles` is the run's
+/// total virtual time (for the commFraction field). Returns the number
+/// of facts asserted.
+std::size_t assert_communication_facts(rules::RuleHarness& harness,
+                                       const CommRecorder& recorder,
+                                       std::uint64_t elapsed_cycles);
+
+/// Asserts LateSenderFact for every (receiver, sender) pair whose wait
+/// time exceeds `min_fraction` of the elapsed time.
+std::size_t assert_late_sender_facts(rules::RuleHarness& harness,
+                                     const CommRecorder& recorder,
+                                     std::uint64_t elapsed_cycles,
+                                     double min_fraction = 0.01);
+
+}  // namespace perfknow::analysis

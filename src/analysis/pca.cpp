@@ -1,0 +1,153 @@
+#include "analysis/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace perfknow::analysis {
+
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void normalize(std::vector<double>& v) {
+  const double n = std::sqrt(dot(v, v));
+  if (n == 0.0) return;
+  for (auto& x : v) x /= n;
+}
+
+}  // namespace
+
+PcaResult pca(const std::vector<std::vector<double>>& rows, std::size_t k,
+              std::size_t max_iterations, double tolerance) {
+  if (rows.empty()) throw InvalidArgumentError("pca: no rows");
+  if (k == 0) throw InvalidArgumentError("pca: k must be positive");
+  const std::size_t dims = rows.front().size();
+  if (dims == 0) throw InvalidArgumentError("pca: zero-dimensional rows");
+  for (const auto& r : rows) {
+    if (r.size() != dims) {
+      throw InvalidArgumentError("pca: inconsistent row widths");
+    }
+  }
+  k = std::min(k, dims);
+  const double n = static_cast<double>(rows.size());
+
+  PcaResult result;
+  result.means.assign(dims, 0.0);
+  for (const auto& r : rows) {
+    for (std::size_t d = 0; d < dims; ++d) result.means[d] += r[d];
+  }
+  for (auto& m : result.means) m /= n;
+
+  // Covariance matrix (dims x dims). Event counts are small (tens), so
+  // the dense form is fine.
+  std::vector<std::vector<double>> cov(dims, std::vector<double>(dims, 0.0));
+  for (const auto& r : rows) {
+    for (std::size_t i = 0; i < dims; ++i) {
+      const double di = r[i] - result.means[i];
+      for (std::size_t j = i; j < dims; ++j) {
+        cov[i][j] += di * (r[j] - result.means[j]);
+      }
+    }
+  }
+  double total_variance = 0.0;
+  for (std::size_t i = 0; i < dims; ++i) {
+    for (std::size_t j = i; j < dims; ++j) {
+      cov[i][j] /= n;
+      cov[j][i] = cov[i][j];
+    }
+    total_variance += cov[i][i];
+  }
+
+  // Power iteration with deflation; every iterate is re-orthogonalized
+  // against the components already found, so orthogonality holds exactly
+  // even when adjacent eigenvalues are close.
+  auto orthogonalize = [&](std::vector<double>& v) {
+    for (const auto& c : result.components) {
+      const double proj = dot(v, c);
+      for (std::size_t d = 0; d < dims; ++d) v[d] -= proj * c[d];
+    }
+  };
+
+  for (std::size_t comp = 0; comp < k; ++comp) {
+    // Deterministic start vector: e_(comp mod dims) + small ramp.
+    std::vector<double> v(dims, 0.0);
+    v[comp % dims] = 1.0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      v[d] += 1e-3 * static_cast<double>(d + 1);
+    }
+    orthogonalize(v);
+    normalize(v);
+
+    double eigenvalue = 0.0;
+    for (std::size_t it = 0; it < max_iterations; ++it) {
+      std::vector<double> next(dims, 0.0);
+      for (std::size_t i = 0; i < dims; ++i) {
+        next[i] = dot(cov[i], v);
+      }
+      orthogonalize(next);
+      const double norm = std::sqrt(dot(next, next));
+      if (norm == 0.0) {
+        eigenvalue = 0.0;
+        v = next;
+        break;
+      }
+      for (auto& x : next) x /= norm;
+      const double delta = 1.0 - std::abs(dot(next, v));
+      v = std::move(next);
+      eigenvalue = norm;
+      if (delta < tolerance) break;
+    }
+    // Stop when the remaining variance is numerically zero relative to
+    // the leading component (rank-deficient data).
+    const double first = result.explained_variance.empty()
+                             ? eigenvalue
+                             : result.explained_variance.front();
+    if (eigenvalue <= 0.0 || (first > 0.0 && eigenvalue < 1e-9 * first)) {
+      break;
+    }
+
+    // Sign-normalize for stability.
+    double largest = 0.0;
+    for (const double x : v) {
+      if (std::abs(x) > std::abs(largest)) largest = x;
+    }
+    if (largest < 0.0) {
+      for (auto& x : v) x = -x;
+    }
+
+    // Deflate: cov -= lambda * v v^T.
+    for (std::size_t i = 0; i < dims; ++i) {
+      for (std::size_t j = 0; j < dims; ++j) {
+        cov[i][j] -= eigenvalue * v[i] * v[j];
+      }
+    }
+    result.components.push_back(std::move(v));
+    result.explained_variance.push_back(eigenvalue);
+  }
+
+  for (const double ev : result.explained_variance) {
+    result.explained_ratio.push_back(
+        total_variance == 0.0 ? 0.0 : ev / total_variance);
+  }
+
+  result.projected.assign(rows.size(),
+                          std::vector<double>(result.components.size(), 0.0));
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::vector<double> centered(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      centered[d] = rows[r][d] - result.means[d];
+    }
+    for (std::size_t c = 0; c < result.components.size(); ++c) {
+      result.projected[r][c] = dot(centered, result.components[c]);
+    }
+  }
+  return result;
+}
+
+}  // namespace perfknow::analysis

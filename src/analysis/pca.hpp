@@ -1,0 +1,38 @@
+// Principal component analysis for thread-behaviour data.
+//
+// PerfExplorer's data-mining toolkit pairs clustering with dimension
+// reduction: profiles have one dimension per event, and the interesting
+// thread-behaviour structure usually lives in 2-3 components (e.g.
+// "does compute work" vs "waits at barriers"). This PCA is a
+// deterministic power-iteration implementation with deflation — no
+// external linear-algebra dependency.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace perfknow::analysis {
+
+struct PcaResult {
+  /// components[k] is the k-th principal axis (unit length, dims wide).
+  std::vector<std::vector<double>> components;
+  /// Variance captured along each component, descending.
+  std::vector<double> explained_variance;
+  /// Fraction of total variance per component.
+  std::vector<double> explained_ratio;
+  /// Input rows projected onto the components (rows x k).
+  std::vector<std::vector<double>> projected;
+  /// Column means subtracted before analysis.
+  std::vector<double> means;
+};
+
+/// Computes the top `k` principal components of `rows` (observations x
+/// dimensions). k is clamped to the number of dimensions. Throws
+/// InvalidArgumentError on empty/ragged input or k == 0. Components are
+/// sign-normalized (largest-magnitude element positive) so results are
+/// stable across runs.
+[[nodiscard]] PcaResult pca(const std::vector<std::vector<double>>& rows,
+                            std::size_t k, std::size_t max_iterations = 500,
+                            double tolerance = 1e-12);
+
+}  // namespace perfknow::analysis

@@ -1,0 +1,668 @@
+#include "apps/genidlest/genidlest.hpp"
+
+#include <array>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "hwcounters/synthesize.hpp"
+#include "instrument/trial_builder.hpp"
+#include "openuh/compiler.hpp"
+#include "runtime/mpi.hpp"
+#include "runtime/omp.hpp"
+
+namespace perfknow::apps::genidlest {
+
+std::string_view to_string(Model m) {
+  return m == Model::kMpi ? "MPI" : "OpenMP";
+}
+
+GenConfig GenConfig::rib45() {
+  GenConfig c;
+  c.nx = 128;
+  c.ny = 80;
+  c.nz = 64;
+  c.num_blocks = 8;
+  c.nprocs = 8;
+  c.seed = 45;
+  return c;
+}
+
+GenConfig GenConfig::rib90() {
+  GenConfig c;
+  c.nx = 128;
+  c.ny = 128;
+  c.nz = 128;
+  c.num_blocks = 32;
+  c.nprocs = 16;
+  c.seed = 90;
+  return c;
+}
+
+namespace {
+
+using hwcounters::Counter;
+using hwcounters::CounterVector;
+using hwcounters::KernelResult;
+using hwcounters::Synthesizer;
+
+/// The named profile events of the case study, in emission order.
+enum Event : std::size_t {
+  kInit = 0,
+  kDiffCoeff,
+  kBicgstab,      // driver's own work: vector ops + reductions
+  kExchangeVar,   // boundary-update driver (waits live here)
+  kSendRecv,      // mpi_send_recv_ko: copies + wire time
+  kMatxvec,
+  kPc,            // preconditioner driver
+  kPcJacGlb,
+  kNumEvents
+};
+
+constexpr std::array<const char*, kNumEvents> kEventNames = {
+    "initialization", "diff_coeff", "bicgstab", "exchange_var__",
+    "mpi_send_recv_ko", "matxvec", "pc", "pc_jac_glb"};
+
+/// Simulated base addresses of one block's arrays.
+struct BlockArrays {
+  std::uint64_t coef = 0;  // 7 stencil coefficients per cell
+  std::uint64_t u = 0;
+  std::uint64_t rhs = 0;
+  std::uint64_t p = 0;
+  std::uint64_t v = 0;
+  std::uint64_t work = 0;  // r, t, phat, shat
+};
+
+/// Per-proc, per-event cycle and counter accumulators.
+struct Accum {
+  explicit Accum(unsigned nprocs)
+      : cycles(kNumEvents, std::vector<std::uint64_t>(nprocs, 0)),
+        counters(kNumEvents, std::vector<CounterVector>(nprocs)) {}
+  std::vector<std::vector<std::uint64_t>> cycles;
+  std::vector<std::vector<CounterVector>> counters;
+
+  void add(Event e, unsigned proc, std::uint64_t cyc,
+           const CounterVector* c = nullptr) {
+    cycles[e][proc] += cyc;
+    if (c != nullptr) counters[e][proc] += *c;
+  }
+};
+
+/// The program as the OpenUH front end sees it: the hot loop nests with
+/// their per-iteration operation mix and array reference shapes.
+openuh::ProgramIR build_ir(const GenConfig& cfg) {
+  const auto n = static_cast<std::uint64_t>(cfg.cells_per_block());
+  const std::uint64_t nzb = cfg.nz / cfg.num_blocks;
+  const auto trips = std::vector<std::uint64_t>{
+      nzb, static_cast<std::uint64_t>(cfg.ny),
+      static_cast<std::uint64_t>(cfg.nx)};
+
+  auto arr = [&](const char* name, double elems_per_cell, double writes,
+                 double passes = 1.0) {
+    openuh::ArrayRef a;
+    a.name = name;
+    a.element_bytes = 8;
+    a.extent_elements = static_cast<std::uint64_t>(
+        static_cast<double>(n) * elems_per_cell);
+    a.stride_elements = 1;
+    a.write_fraction = writes;
+    a.passes = passes;
+    return a;
+  };
+
+  openuh::ProgramIR ir;
+  ir.name = "genidlest";
+
+  {
+    openuh::Procedure p;
+    p.name = "initialization";
+    openuh::LoopNest nest;
+    nest.name = "init_loop";
+    nest.trip_counts = trips;
+    nest.flops_per_iter = 1.0;
+    nest.int_ops_per_iter = 24.0;
+    nest.parallelizable = true;
+    nest.arrays = {arr("coef", 7.0, 1.0), arr("u", 1.0, 1.0),
+                   arr("rhs", 1.0, 1.0), arr("p", 1.0, 1.0),
+                   arr("v", 1.0, 1.0), arr("work", 4.0, 1.0)};
+    p.loops.push_back(std::move(nest));
+    ir.procedures.push_back(std::move(p));
+  }
+  {
+    openuh::Procedure p;
+    p.name = "diff_coeff";
+    openuh::LoopNest nest;
+    nest.name = "diff_coeff_loop";
+    nest.trip_counts = trips;
+    nest.flops_per_iter = 24.0;
+    nest.int_ops_per_iter = 130.0;
+    nest.parallelizable = true;
+    nest.arrays = {arr("coef", 7.0, 1.0), arr("u", 1.0, 0.0)};
+    p.loops.push_back(std::move(nest));
+    ir.procedures.push_back(std::move(p));
+  }
+  {
+    openuh::Procedure p;
+    p.name = "matxvec";
+    openuh::LoopNest nest;
+    nest.name = "matxvec_loop";
+    nest.trip_counts = trips;
+    nest.flops_per_iter = 13.0;
+    nest.int_ops_per_iter = 150.0;
+    nest.parallelizable = true;
+    nest.arrays = {arr("coef", 7.0, 0.0), arr("p", 1.0, 0.0),
+                   arr("v", 1.0, 1.0)};
+    p.loops.push_back(std::move(nest));
+    p.callees.push_back("exchange_var__");
+    ir.procedures.push_back(std::move(p));
+  }
+  {
+    openuh::Procedure p;
+    p.name = "pc_jac_glb";
+    openuh::LoopNest nest;
+    nest.name = "pc_jac_loop";
+    nest.trip_counts = trips;
+    nest.flops_per_iter = 16.0;  // two sweeps folded into passes
+    nest.int_ops_per_iter = 90.0;
+    nest.parallelizable = true;
+    nest.has_reduction = true;
+    nest.arrays = {arr("coef", 1.0, 0.0, 2.0), arr("work", 2.0, 0.5, 2.0)};
+    p.loops.push_back(std::move(nest));
+    ir.procedures.push_back(std::move(p));
+  }
+  {
+    openuh::Procedure p;
+    p.name = "bicgstab";
+    openuh::LoopNest nest;
+    nest.name = "vector_update_loop";
+    nest.trip_counts = trips;
+    nest.flops_per_iter = 12.0;
+    nest.int_ops_per_iter = 70.0;
+    nest.parallelizable = true;
+    nest.has_reduction = true;
+    nest.arrays = {arr("p", 1.0, 0.5), arr("v", 1.0, 0.0),
+                   arr("work", 3.0, 0.4)};
+    p.loops.push_back(std::move(nest));
+    p.callees = {"matxvec", "pc", "exchange_var__"};
+    ir.procedures.push_back(std::move(p));
+  }
+  return ir;
+}
+
+/// Everything a simulation run needs per kernel invocation.
+struct SimState {
+  const GenConfig* cfg = nullptr;
+  machine::Machine* machine = nullptr;
+  Synthesizer* synth = nullptr;
+  openuh::CompiledProgram prog;
+  std::vector<BlockArrays> blocks;
+  std::vector<double> contention;  ///< per block: home-node contention
+  /// OpenMP mode: stencil kernels read neighbour blocks' ghost planes in
+  /// shared memory (MPI reads local halo buffers instead), so their
+  /// streams gain two face-sized reads homed wherever the neighbour's
+  /// data lives.
+  bool shared_memory_ghosts = false;
+};
+
+std::map<std::string, std::uint64_t> bases_of(const BlockArrays& b) {
+  return {{"coef", b.coef}, {"u", b.u},      {"rhs", b.rhs},
+          {"p", b.p},       {"v", b.v},      {"work", b.work}};
+}
+
+/// Owner proc of a block (contiguous split, = static-even assignment).
+unsigned owner_of(unsigned block, unsigned nprocs, unsigned num_blocks) {
+  return static_cast<unsigned>(static_cast<std::uint64_t>(block) * nprocs /
+                               num_blocks);
+}
+
+/// Runs one compiled kernel on one block, with NUMA contention applied.
+KernelResult run_kernel(SimState& st, const char* nest_name, unsigned block,
+                        std::uint32_t cpu) {
+  const auto& loop = st.prog.loop(nest_name);
+  auto work = openuh::kernel_work_for_nest(loop.nest, st.prog.codegen, 1.0,
+                                           bases_of(st.blocks[block]));
+  const bool stencil = std::string_view(nest_name) == "matxvec_loop" ||
+                       std::string_view(nest_name) == "pc_jac_loop";
+  if (st.shared_memory_ghosts && stencil) {
+    const auto& cfg = *st.cfg;
+    const std::uint64_t face = cfg.face_bytes();
+    const std::uint64_t n8 =
+        static_cast<std::uint64_t>(cfg.cells_per_block()) * 8;
+    const unsigned prev = (block + cfg.num_blocks - 1) % cfg.num_blocks;
+    const unsigned next = (block + 1) % cfg.num_blocks;
+    // Top plane of the previous block, bottom plane of the next one.
+    work.streams.push_back(hwcounters::MemoryStream{
+        st.blocks[prev].p + n8 - face, face, 8, 1.0, 0.0});
+    work.streams.push_back(
+        hwcounters::MemoryStream{st.blocks[next].p, face, 8, 1.0, 0.0});
+  }
+  KernelResult r = st.synth->run(work, cpu);
+  hwcounters::apply_memory_contention(r, st.contention[block]);
+  return r;
+}
+
+/// Computes per-block contention factors from current page placement:
+/// the number of procs whose working blocks are homed on the same node.
+void compute_contention(SimState& st, unsigned nprocs) {
+  const auto& cfg = *st.cfg;
+  const auto& topo = st.machine->topology();
+  std::vector<std::uint32_t> home(cfg.num_blocks);
+  for (unsigned b = 0; b < cfg.num_blocks; ++b) {
+    home[b] = st.machine->pages().node_of(st.blocks[b].u);
+  }
+  // Which procs access each node (every proc accesses its own blocks).
+  std::map<std::uint32_t, std::set<unsigned>> accessors;
+  for (unsigned b = 0; b < cfg.num_blocks; ++b) {
+    accessors[home[b]].insert(owner_of(b, nprocs, cfg.num_blocks));
+  }
+  (void)topo;
+  st.contention.resize(cfg.num_blocks);
+  for (unsigned b = 0; b < cfg.num_blocks; ++b) {
+    st.contention[b] = hwcounters::contention_factor(
+        static_cast<unsigned>(accessors[home[b]].size()),
+        cfg.memory_contention_coeff);
+  }
+}
+
+/// Counter vector for a plain memory copy of `bytes` (ghost planes):
+/// streaming loads+stores, one L3 miss per line each way.
+CounterVector copy_counters(std::uint64_t bytes, std::uint64_t cycles) {
+  CounterVector c;
+  const auto b = static_cast<double>(bytes);
+  c.set(Counter::kLoads, b / 8.0);
+  c.set(Counter::kStores, b / 8.0);
+  c.set(Counter::kInstructionsCompleted, b / 4.0);
+  c.set(Counter::kInstructionsIssued, b / 4.0 * 1.02);
+  c.set(Counter::kL1dMisses, b / 64.0 * 2.0);
+  c.set(Counter::kL2References, b / 64.0 * 2.0);
+  c.set(Counter::kL2Misses, b / 128.0 * 2.0);
+  c.set(Counter::kL3Misses, b / 128.0 * 2.0);
+  c.set(Counter::kLocalMemoryAccesses, b / 128.0 * 2.0);
+  c.set(Counter::kCpuCycles, static_cast<double>(cycles));
+  const double stalls = static_cast<double>(cycles) * 0.7;
+  c.set(Counter::kBackEndBubbleAll, stalls);
+  c.set(Counter::kL1dStallCycles, stalls);
+  return c;
+}
+
+}  // namespace
+
+GenResult run_genidlest(machine::Machine& machine, const GenConfig& cfg) {
+  if (cfg.nz % cfg.num_blocks != 0) {
+    throw InvalidArgumentError(
+        "run_genidlest: nz must divide evenly into blocks");
+  }
+  if (cfg.nprocs == 0 || cfg.nprocs > cfg.num_blocks) {
+    throw InvalidArgumentError(
+        "run_genidlest: need 1 <= nprocs <= num_blocks");
+  }
+  if (cfg.nprocs > machine.config().num_cpus()) {
+    throw InvalidArgumentError("run_genidlest: nprocs exceeds machine CPUs");
+  }
+
+  // ---- compile the program through OpenUH -----------------------------
+  openuh::Compiler compiler(machine.config());
+  openuh::CompileOptions copts;
+  copts.opt = cfg.opt;
+  copts.target_threads = cfg.nprocs;
+
+  SimState st;
+  st.cfg = &cfg;
+  st.machine = &machine;
+  st.prog = compiler.compile(build_ir(cfg), copts);
+
+  Synthesizer synth(machine);
+  st.synth = &synth;
+
+  // ---- allocate the blocks ---------------------------------------------
+  const auto n = static_cast<std::uint64_t>(cfg.cells_per_block());
+  auto& space = machine.address_space();
+  const std::uint64_t page = machine.config().page_bytes;
+  st.blocks.resize(cfg.num_blocks);
+  for (auto& b : st.blocks) {
+    b.coef = space.allocate(7 * n * 8, page);
+    b.u = space.allocate(n * 8, page);
+    b.rhs = space.allocate(n * 8, page);
+    b.p = space.allocate(n * 8, page);
+    b.v = space.allocate(n * 8, page);
+    b.work = space.allocate(4 * n * 8, page);
+  }
+
+  Accum acc(cfg.nprocs);
+  std::uint64_t elapsed = 0;
+  GenResult result;
+
+  auto note_counters = [&](const KernelResult& r) {
+    result.aggregate_counters += r.counters;
+  };
+
+  const unsigned B = cfg.num_blocks;
+  const unsigned P = cfg.nprocs;
+
+  st.shared_memory_ghosts = cfg.model == Model::kOpenMP;
+
+  if (cfg.model == Model::kOpenMP) {
+    runtime::OmpTeam team(machine, P);
+    result.omp = std::make_shared<runtime::OmpCollector>(P);
+    const auto collector_hook = result.omp->hook();
+    const auto& costs = team.costs();
+    const std::uint64_t region_fixed =
+        costs.fork_cycles + costs.join_cycles;
+
+    // -- initialization --------------------------------------------------
+    if (cfg.optimized) {
+      // Parallel first-touch init: each owner initializes its blocks.
+      std::vector<std::uint64_t> cyc(B, 0);
+      for (unsigned b = 0; b < B; ++b) {
+        const unsigned t = owner_of(b, P, B);
+        st.contention.assign(B, 1.0);
+        const auto r = run_kernel(st, "init_loop", b, team.cpu_of(t));
+        cyc[b] = r.cycles;
+        acc.add(kInit, t, 0, &r.counters);  // cycles added via the loop
+        note_counters(r);
+      }
+      const auto loop = team.parallel_for(
+          B, runtime::Schedule::static_even(),
+          [&](std::uint64_t b, unsigned) { return cyc[b]; });
+      for (unsigned t = 0; t < P; ++t) {
+        acc.add(kInit, t,
+                loop.work_cycles[t] + loop.dispatch_cycles[t] +
+                    loop.barrier_wait_cycles[t] + loop.barrier_cost +
+                    region_fixed);
+      }
+      elapsed += loop.elapsed_cycles;
+    } else {
+      // Sequential init by the master: every page lands on node 0.
+      std::uint64_t serial = 0;
+      st.contention.assign(B, 1.0);
+      for (unsigned b = 0; b < B; ++b) {
+        const auto r = run_kernel(st, "init_loop", b, team.cpu_of(0));
+        serial += r.cycles;
+        if (true) acc.add(kInit, 0, 0, &r.counters);
+        note_counters(r);
+      }
+      for (unsigned t = 0; t < P; ++t) acc.add(kInit, t, serial);
+      elapsed += serial;
+    }
+    compute_contention(st, P);
+
+    // Precompute per-block kernel results for the steady-state kernels
+    // (placement is now fixed, so results are invocation-invariant).
+    auto precompute = [&](const char* nest) {
+      std::vector<KernelResult> rs(B);
+      for (unsigned b = 0; b < B; ++b) {
+        rs[b] = run_kernel(st, nest, b,
+                           team.cpu_of(owner_of(b, P, B)));
+      }
+      return rs;
+    };
+    const auto diff_rs = precompute("diff_coeff_loop");
+    const auto matx_rs = precompute("matxvec_loop");
+    const auto pc_rs = precompute("pc_jac_loop");
+    const auto vec_rs = precompute("vector_update_loop");
+
+    // One work-shared phase: runs the per-block cycles under static-even
+    // (= ownership) and accounts time+counters into `event`.
+    auto phase = [&](Event event, const std::vector<KernelResult>& rs,
+                     unsigned repeat) {
+      if (repeat == 0) return;
+      const auto loop = team.parallel_for(
+          B, runtime::Schedule::static_even(),
+          [&](std::uint64_t b, unsigned) { return rs[b].cycles; });
+      for (unsigned k = 0; k < repeat; ++k) {
+        runtime::emit_collector_events(team, kEventNames[event], loop,
+                                       collector_hook);
+      }
+      for (unsigned t = 0; t < P; ++t) {
+        acc.add(event, t,
+                repeat * (loop.work_cycles[t] + loop.dispatch_cycles[t] +
+                          loop.barrier_wait_cycles[t] + loop.barrier_cost +
+                          region_fixed));
+      }
+      for (unsigned b = 0; b < B; ++b) {
+        const unsigned t = owner_of(b, P, B);
+        for (unsigned k = 0; k < repeat; ++k) {
+          acc.add(event, t, 0, &rs[b].counters);
+          note_counters(rs[b]);
+        }
+      }
+      elapsed += repeat * loop.elapsed_cycles;
+    };
+
+    const std::uint64_t face = cfg.face_bytes();
+    const auto barrier_only = team.single(0);
+
+    for (unsigned step = 0; step < cfg.timesteps; ++step) {
+      phase(kDiffCoeff, diff_rs, 1);
+      for (unsigned it = 0; it < cfg.solver_iters; ++it) {
+        // ---- exchange_var__ --------------------------------------------
+        if (cfg.optimized) {
+          // Direct copies, one per face, parallel over blocks. The
+          // shared_copy_penalty covers remote-page reads and NUMAlink
+          // contention of the concurrent copies.
+          const auto copy_cycles = static_cast<std::uint64_t>(
+              2.0 * static_cast<double>(face) * cfg.copy_cycles_per_byte *
+              cfg.shared_copy_penalty);
+          const auto loop = team.parallel_for(
+              B, runtime::Schedule::static_even(),
+              [&](std::uint64_t, unsigned) { return copy_cycles; });
+          for (unsigned t = 0; t < P; ++t) {
+            acc.add(kSendRecv, t,
+                    loop.work_cycles[t] + loop.dispatch_cycles[t]);
+            acc.add(kExchangeVar, t,
+                    loop.barrier_wait_cycles[t] + loop.barrier_cost +
+                        region_fixed);
+            const auto cc = copy_counters(
+                2 * face * loop.iterations_run[t], loop.work_cycles[t]);
+            acc.counters[kSendRecv][t] += cc;
+            result.aggregate_counters += cc;
+          }
+          elapsed += loop.elapsed_cycles;
+        } else {
+          // The master serially performs all (4B - 2) buffer copies,
+          // each through 3 memory passes (fill send buffer, buffer to
+          // buffer, buffer to destination).
+          const std::uint64_t copies = 4ull * B - 2;
+          const auto master_cycles = static_cast<std::uint64_t>(
+              static_cast<double>(copies) * static_cast<double>(face) *
+              3.0 * cfg.copy_cycles_per_byte);
+          acc.add(kSendRecv, 0, master_cycles);
+          const auto cc = copy_counters(copies * face * 3, master_cycles);
+          acc.counters[kSendRecv][0] += cc;
+          result.aggregate_counters += cc;
+          for (unsigned t = 1; t < P; ++t) {
+            acc.add(kExchangeVar, t, master_cycles);  // barrier wait
+          }
+          for (unsigned t = 0; t < P; ++t) {
+            acc.add(kExchangeVar, t, barrier_only);
+          }
+          elapsed += master_cycles + barrier_only;
+        }
+        // ---- solver kernels --------------------------------------------
+        phase(kMatxvec, matx_rs, 1);
+        phase(kPcJacGlb, pc_rs, 1);
+        phase(kBicgstab, vec_rs, 1);
+        // ---- two dot-product reductions --------------------------------
+        const std::uint64_t red = 2 * barrier_only;
+        for (unsigned t = 0; t < P; ++t) acc.add(kBicgstab, t, red);
+        elapsed += red;
+      }
+    }
+  } else {
+    // ------------------------- MPI model --------------------------------
+    runtime::MpiWorld world(machine, P);
+    result.comm = std::make_shared<analysis::CommRecorder>(P);
+    world.set_hook(result.comm->hook());
+
+    // Each rank initializes its own blocks (local first touch).
+    st.contention.assign(B, 1.0);
+    for (unsigned b = 0; b < B; ++b) {
+      const unsigned rank = owner_of(b, P, B);
+      const auto r = run_kernel(st, "init_loop", b, world.cpu_of(rank));
+      world.compute(rank, r.cycles);
+      acc.add(kInit, rank, r.cycles, &r.counters);
+      note_counters(r);
+    }
+    {
+      std::vector<std::uint64_t> before(P);
+      for (unsigned rank = 0; rank < P; ++rank) {
+        before[rank] = world.clock(rank);
+      }
+      world.barrier();
+      for (unsigned rank = 0; rank < P; ++rank) {
+        acc.add(kInit, rank, world.clock(rank) - before[rank]);
+      }
+    }
+    compute_contention(st, P);
+
+    auto precompute = [&](const char* nest) {
+      std::vector<KernelResult> rs(B);
+      for (unsigned b = 0; b < B; ++b) {
+        rs[b] = run_kernel(st, nest, b, world.cpu_of(owner_of(b, P, B)));
+      }
+      return rs;
+    };
+    const auto diff_rs = precompute("diff_coeff_loop");
+    const auto matx_rs = precompute("matxvec_loop");
+    const auto pc_rs = precompute("pc_jac_loop");
+    const auto vec_rs = precompute("vector_update_loop");
+
+    auto phase = [&](Event event, const std::vector<KernelResult>& rs) {
+      for (unsigned b = 0; b < B; ++b) {
+        const unsigned rank = owner_of(b, P, B);
+        world.compute(rank, rs[b].cycles);
+        acc.add(event, rank, rs[b].cycles, &rs[b].counters);
+        note_counters(rs[b]);
+      }
+    };
+
+    const std::uint64_t face = cfg.face_bytes();
+    // Per rank: boundary faces to the two neighbouring ranks, plus the
+    // internal faces between its own blocks (on-processor copies).
+    const unsigned blocks_per_rank = B / std::max(1u, P);
+    const std::uint64_t internal_faces =
+        blocks_per_rank > 0 ? 2ull * (blocks_per_rank - 1) : 0;
+    const double pack_passes = cfg.optimized ? 1.0 : 3.0;
+
+    for (unsigned step = 0; step < cfg.timesteps; ++step) {
+      phase(kDiffCoeff, diff_rs);
+      for (unsigned it = 0; it < cfg.solver_iters; ++it) {
+        // ---- exchange_var__: pack, nonblocking p2p, unpack -------------
+        std::vector<std::vector<runtime::MpiRequest>> reqs(P);
+        for (unsigned rank = 0; rank < P; ++rank) {
+          const std::uint64_t before = world.clock(rank);
+          // On-processor copies: internal faces + pack of the 2 halo
+          // faces, each through `pack_passes` memory passes.
+          const auto copy_bytes = static_cast<std::uint64_t>(
+              static_cast<double>((internal_faces + 2) * face) *
+              pack_passes);
+          const auto copy_cycles = static_cast<std::uint64_t>(
+              static_cast<double>(copy_bytes) * cfg.copy_cycles_per_byte);
+          world.local_copy_cycles(rank, copy_bytes, copy_cycles);
+          const auto cc = copy_counters(copy_bytes, copy_cycles);
+          acc.counters[kSendRecv][rank] += cc;
+          result.aggregate_counters += cc;
+
+          const unsigned prev = (rank + P - 1) % P;
+          const unsigned next = (rank + 1) % P;
+          reqs[rank].push_back(world.irecv(rank, prev, face, 1));
+          reqs[rank].push_back(world.irecv(rank, next, face, 2));
+          reqs[rank].push_back(world.isend(rank, next, face, 1));
+          reqs[rank].push_back(world.isend(rank, prev, face, 2));
+          acc.add(kSendRecv, rank, world.clock(rank) - before);
+        }
+        for (unsigned rank = 0; rank < P; ++rank) {
+          const std::uint64_t before = world.clock(rank);
+          world.waitall(rank, reqs[rank]);
+          acc.add(kExchangeVar, rank, world.clock(rank) - before);
+        }
+        // ---- solver kernels ---------------------------------------------
+        phase(kMatxvec, matx_rs);
+        phase(kPcJacGlb, pc_rs);
+        phase(kBicgstab, vec_rs);
+        // ---- two dot-product allreduces ---------------------------------
+        std::vector<std::uint64_t> before(P);
+        for (unsigned rank = 0; rank < P; ++rank) {
+          before[rank] = world.clock(rank);
+        }
+        world.allreduce(8);
+        world.allreduce(8);
+        for (unsigned rank = 0; rank < P; ++rank) {
+          acc.add(kBicgstab, rank, world.clock(rank) - before[rank]);
+        }
+      }
+    }
+    // Final sync; the padding keeps every rank's main inclusive equal.
+    const std::uint64_t finish = world.elapsed();
+    for (unsigned rank = 0; rank < P; ++rank) {
+      acc.add(kBicgstab, rank, finish - world.clock(rank));
+    }
+    elapsed = finish;
+  }
+
+  result.elapsed_cycles = elapsed;
+  result.elapsed_seconds = machine.seconds(elapsed);
+
+  // ---- emit the TAU-style profile ---------------------------------------
+  instrument::TrialBuilder builder(
+      std::string(to_string(cfg.model)) + (cfg.optimized ? "_opt" : "_unopt") +
+          "_" + std::to_string(P) + "p_" +
+          std::string(openuh::to_string(cfg.opt)),
+      P, machine.config().clock_ghz,
+      {Counter::kInstructionsCompleted, Counter::kInstructionsIssued,
+       Counter::kFpOps, Counter::kBackEndBubbleAll, Counter::kL1dMisses,
+       Counter::kL2References, Counter::kL2Misses, Counter::kL3Misses,
+       Counter::kTlbMisses, Counter::kL1dStallCycles,
+       Counter::kFpStallCycles, Counter::kLocalMemoryAccesses,
+       Counter::kRemoteMemoryAccesses, Counter::kLoads, Counter::kStores});
+
+  for (unsigned t = 0; t < P; ++t) {
+    builder.enter(t, "main");
+    builder.enter(t, "initialization");
+    builder.add_work(t, acc.cycles[kInit][t], &acc.counters[kInit][t]);
+    builder.leave(t, "initialization");
+    builder.enter(t, "diff_coeff");
+    builder.add_work(t, acc.cycles[kDiffCoeff][t],
+                     &acc.counters[kDiffCoeff][t]);
+    builder.leave(t, "diff_coeff");
+    builder.enter(t, "bicgstab");
+    builder.add_work(t, acc.cycles[kBicgstab][t],
+                     &acc.counters[kBicgstab][t]);
+    builder.enter(t, "exchange_var__");
+    builder.add_work(t, acc.cycles[kExchangeVar][t],
+                     &acc.counters[kExchangeVar][t]);
+    builder.enter(t, "mpi_send_recv_ko");
+    builder.add_work(t, acc.cycles[kSendRecv][t],
+                     &acc.counters[kSendRecv][t]);
+    builder.leave(t, "mpi_send_recv_ko");
+    builder.leave(t, "exchange_var__");
+    builder.enter(t, "matxvec");
+    builder.add_work(t, acc.cycles[kMatxvec][t],
+                     &acc.counters[kMatxvec][t]);
+    builder.leave(t, "matxvec");
+    builder.enter(t, "pc");
+    builder.add_work(t, acc.cycles[kPc][t], &acc.counters[kPc][t]);
+    builder.enter(t, "pc_jac_glb");
+    builder.add_work(t, acc.cycles[kPcJacGlb][t],
+                     &acc.counters[kPcJacGlb][t]);
+    builder.leave(t, "pc_jac_glb");
+    builder.leave(t, "pc");
+    builder.leave(t, "bicgstab");
+    builder.leave(t, "main");
+  }
+  builder.set_metadata("application", "GenIDLEST");
+  builder.set_metadata("model", std::string(to_string(cfg.model)));
+  builder.set_metadata("optimized", cfg.optimized ? "true" : "false");
+  builder.set_metadata("opt_level", std::string(openuh::to_string(cfg.opt)));
+  builder.set_metadata("nprocs", std::to_string(P));
+  builder.set_metadata("problem", std::to_string(cfg.nx) + "x" +
+                                      std::to_string(cfg.ny) + "x" +
+                                      std::to_string(cfg.nz) + "/" +
+                                      std::to_string(B) + "blocks");
+  result.trial = builder.build();
+  return result;
+}
+
+}  // namespace perfknow::apps::genidlest

@@ -1,0 +1,103 @@
+// GenIDLEST performance-study driver (paper §III-B / §III-C).
+//
+// Reproduces the structure of the fluid-dynamics case study: a multiblock
+// structured-grid incompressible-flow solver whose hot procedures are
+// diff_coeff, the BiCGSTAB driver, matxvec (7-point stencil), the
+// pc/pc_jac_glb preconditioner, and exchange_var__ (ghost-cell boundary
+// updates, with mpi_send_recv_ko underneath).
+//
+// Two execution models over the same kernels:
+//  * MPI — blocks distributed over ranks, ghost updates via nonblocking
+//    point-to-point with pack/unpack copies, dot products via allreduce.
+//    Each rank initializes its own blocks (first touch places pages
+//    locally).
+//  * OpenMP — one address space. The *unoptimized* variant initializes
+//    all data sequentially (every page lands on node 0 — the first-touch
+//    pathology) and performs all boundary copies serially on the master
+//    thread through intermediate buffers (the 30 / 126 copies of the
+//    paper). The *optimized* variant initializes in parallel and does
+//    direct parallel copies.
+//
+// Kernels are compiled through the OpenUH substrate (optimization level
+// shapes instruction counts/ILP — the §III-C power study) and costed by
+// the hardware-counter synthesizer on the machine's NUMA page table, so
+// remote-memory effects emerge from placement rather than being scripted.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "analysis/mpi_analysis.hpp"
+#include "hwcounters/counters.hpp"
+#include "machine/machine.hpp"
+#include "openuh/passes.hpp"
+#include "profile/profile.hpp"
+#include "runtime/omp_collector.hpp"
+
+namespace perfknow::apps::genidlest {
+
+enum class Model { kMpi, kOpenMP };
+
+[[nodiscard]] std::string_view to_string(Model m);
+
+struct GenConfig {
+  // Problem geometry (default: the 90-degree rib case).
+  std::size_t nx = 128, ny = 128, nz = 128;
+  unsigned num_blocks = 32;
+
+  unsigned nprocs = 16;           ///< MPI ranks or OpenMP threads
+  Model model = Model::kOpenMP;
+  bool optimized = false;         ///< parallel init + direct parallel copies
+  openuh::OptLevel opt = openuh::OptLevel::kO2;
+
+  unsigned timesteps = 2;
+  unsigned solver_iters = 10;     ///< BiCGSTAB iterations per step
+
+  std::uint64_t seed = 90;
+
+  // Calibration constants (see DESIGN.md):
+  /// Per-accessor slowdown of memory stalls when several CPUs hammer one
+  /// node's memory (bandwidth contention on the home node).
+  double memory_contention_coeff = 0.55;
+  /// Ghost-plane copy cost, cycles per byte. High relative to a bulk
+  /// memcpy because boundary updates gather small strided segments for
+  /// the x/y-direction block faces.
+  double copy_cycles_per_byte = 1.9;
+  /// Extra cost multiplier on the *parallel* shared-memory copies of the
+  /// optimized OpenMP exchange: each thread's direct copies read the
+  /// neighbour block's pages (often on another node) and the concurrent
+  /// copies contend on the NUMAlink, unlike MPI's local halo buffers.
+  double shared_copy_penalty = 2.8;
+
+  /// The 45-degree rib case: 128x80x64 in 8 blocks of 128x80x8.
+  [[nodiscard]] static GenConfig rib45();
+  /// The 90-degree rib case: 128^3 in 32 blocks of 128x128x4.
+  [[nodiscard]] static GenConfig rib90();
+
+  [[nodiscard]] std::size_t cells_per_block() const {
+    return nx * ny * (nz / num_blocks);
+  }
+  /// Bytes of one ghost face (an x-y plane).
+  [[nodiscard]] std::uint64_t face_bytes() const { return nx * ny * 8; }
+};
+
+struct GenResult {
+  profile::Trial trial;
+  std::uint64_t elapsed_cycles = 0;
+  double elapsed_seconds = 0.0;
+  /// Counters summed over all ranks/threads and all kernels.
+  hwcounters::CounterVector aggregate_counters;
+  /// PMPI communication statistics (MPI model only; null for OpenMP).
+  std::shared_ptr<analysis::CommRecorder> comm;
+  /// OpenMP collector-API statistics (OpenMP model only; null for MPI).
+  std::shared_ptr<runtime::OmpCollector> omp;
+};
+
+/// Runs the workload on `machine` (which must have >= nprocs CPUs).
+/// A fresh machine should be used per run: page placement from previous
+/// runs persists in the machine's page table by design.
+[[nodiscard]] GenResult run_genidlest(machine::Machine& machine,
+                                      const GenConfig& config);
+
+}  // namespace perfknow::apps::genidlest

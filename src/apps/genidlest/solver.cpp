@@ -1,0 +1,289 @@
+#include "apps/genidlest/solver.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace perfknow::apps::genidlest {
+
+GridBlock::GridBlock(std::size_t nx, std::size_t ny, std::size_t nz)
+    : nx_(nx), ny_(ny), nz_(nz) {
+  if (nx == 0 || ny == 0 || nz == 0) {
+    throw InvalidArgumentError("GridBlock: dimensions must be positive");
+  }
+}
+
+double& GridBlock::at(std::vector<double>& f, std::size_t i, std::size_t j,
+                      std::ptrdiff_t k) const {
+  return f[((static_cast<std::size_t>(k + 1)) * ny_ + j) * nx_ + i];
+}
+
+double GridBlock::at(const std::vector<double>& f, std::size_t i,
+                     std::size_t j, std::ptrdiff_t k) const {
+  return f[((static_cast<std::size_t>(k + 1)) * ny_ + j) * nx_ + i];
+}
+
+void apply_laplacian(const GridBlock& g, const std::vector<double>& x,
+                     std::vector<double>& y, double h) {
+  const double inv_h2 = 1.0 / (h * h);
+  for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(g.nz()); ++k) {
+    for (std::size_t j = 0; j < g.ny(); ++j) {
+      for (std::size_t i = 0; i < g.nx(); ++i) {
+        const double c = g.at(x, i, j, k);
+        double nb = 0.0;
+        if (i > 0) nb += g.at(x, i - 1, j, k);
+        if (i + 1 < g.nx()) nb += g.at(x, i + 1, j, k);
+        if (j > 0) nb += g.at(x, i, j - 1, k);
+        if (j + 1 < g.ny()) nb += g.at(x, i, j + 1, k);
+        nb += g.at(x, i, j, k - 1);  // ghost or interior
+        nb += g.at(x, i, j, k + 1);
+        g.at(y, i, j, k) = (6.0 * c - nb) * inv_h2;
+      }
+    }
+  }
+}
+
+void exchange_ghosts(const MultiblockDomain& dom,
+                     std::vector<std::vector<double>>& fields,
+                     const GridBlock& g) {
+  if (fields.size() != dom.num_blocks) {
+    throw InvalidArgumentError("exchange_ghosts: field/block count mismatch");
+  }
+  const std::size_t nz = g.nz();
+  for (std::size_t b = 0; b < dom.num_blocks; ++b) {
+    const std::size_t prev = (b + dom.num_blocks - 1) % dom.num_blocks;
+    const std::size_t next = (b + 1) % dom.num_blocks;
+    for (std::size_t j = 0; j < g.ny(); ++j) {
+      for (std::size_t i = 0; i < g.nx(); ++i) {
+        // Bottom ghost of b = top interior plane of prev.
+        g.at(fields[b], i, j, -1) =
+            g.at(fields[prev], i, j,
+                 static_cast<std::ptrdiff_t>(nz) - 1);
+        // Top ghost of b = bottom interior plane of next.
+        g.at(fields[b], i, j, static_cast<std::ptrdiff_t>(nz)) =
+            g.at(fields[next], i, j, 0);
+      }
+    }
+  }
+}
+
+namespace {
+
+double dot_blocks(const GridBlock& g,
+                  const std::vector<std::vector<double>>& a,
+                  const std::vector<std::vector<double>>& b) {
+  double sum = 0.0;
+  for (std::size_t blk = 0; blk < a.size(); ++blk) {
+    for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(g.nz());
+         ++k) {
+      for (std::size_t j = 0; j < g.ny(); ++j) {
+        for (std::size_t i = 0; i < g.nx(); ++i) {
+          sum += g.at(a[blk], i, j, k) * g.at(b[blk], i, j, k);
+        }
+      }
+    }
+  }
+  return sum;
+}
+
+/// Applies z = M^-1 r per block. Jacobi divides by the diagonal;
+/// additive Schwarz runs Gauss-Seidel sweeps inside each virtual cache
+/// block (z-slab) with homogeneous Dirichlet data on slab boundaries —
+/// the corrections from disjoint subdomains simply add.
+void apply_preconditioner(const GridBlock& g,
+                          const std::vector<std::vector<double>>& r,
+                          std::vector<std::vector<double>>& z, double h,
+                          const SolverOptions& opts) {
+  const double diag = 6.0 / (h * h);
+  if (opts.preconditioner == PreconditionerKind::kJacobi) {
+    for (std::size_t b = 0; b < r.size(); ++b) {
+      for (std::size_t idx = 0; idx < r[b].size(); ++idx) {
+        z[b][idx] = r[b][idx] / diag;
+      }
+    }
+    return;
+  }
+  const double inv_h2 = 1.0 / (h * h);
+  const std::size_t slab = opts.cache_block_nz;
+  for (std::size_t b = 0; b < r.size(); ++b) {
+    std::fill(z[b].begin(), z[b].end(), 0.0);
+    for (std::size_t k0 = 0; k0 < g.nz(); k0 += slab) {
+      const std::size_t k1 = std::min(k0 + slab, g.nz());
+      for (unsigned sweep = 0; sweep < opts.schwarz_sweeps; ++sweep) {
+        for (std::size_t k = k0; k < k1; ++k) {
+          const auto kk = static_cast<std::ptrdiff_t>(k);
+          for (std::size_t j = 0; j < g.ny(); ++j) {
+            for (std::size_t i = 0; i < g.nx(); ++i) {
+              double nb = 0.0;
+              if (i > 0) nb += g.at(z[b], i - 1, j, kk);
+              if (i + 1 < g.nx()) nb += g.at(z[b], i + 1, j, kk);
+              if (j > 0) nb += g.at(z[b], i, j - 1, kk);
+              if (j + 1 < g.ny()) nb += g.at(z[b], i, j + 1, kk);
+              if (k > k0) nb += g.at(z[b], i, j, kk - 1);
+              if (k + 1 < k1) nb += g.at(z[b], i, j, kk + 1);
+              // Solve the center equation with current neighbours:
+              // (6 z - nb) / h^2 = r  =>  z = (r h^2 + nb) / 6.
+              g.at(z[b], i, j, kk) =
+                  (g.at(r[b], i, j, kk) / inv_h2 + nb) / 6.0;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SolveResult bicgstab_solve(const MultiblockDomain& dom,
+                           std::vector<std::vector<double>>& u,
+                           const std::vector<std::vector<double>>& rhs,
+                           double h, double tolerance,
+                           std::size_t max_iterations) {
+  SolverOptions opts;
+  opts.tolerance = tolerance;
+  opts.max_iterations = max_iterations;
+  return bicgstab_solve(dom, u, rhs, h, opts);
+}
+
+SolveResult bicgstab_solve(const MultiblockDomain& dom,
+                           std::vector<std::vector<double>>& u,
+                           const std::vector<std::vector<double>>& rhs,
+                           double h, const SolverOptions& opts) {
+  const GridBlock g(dom.nx, dom.ny, dom.nz_per_block());
+  const std::size_t nb = dom.num_blocks;
+  if (u.size() != nb || rhs.size() != nb) {
+    throw InvalidArgumentError("bicgstab_solve: block count mismatch");
+  }
+  if (opts.cache_block_nz == 0) {
+    throw InvalidArgumentError(
+        "bicgstab_solve: cache_block_nz must be positive");
+  }
+  const double tolerance = opts.tolerance;
+  const std::size_t max_iterations = opts.max_iterations;
+
+  auto make = [&] {
+    std::vector<std::vector<double>> f(nb);
+    for (auto& v : f) v = g.make_field();
+    return f;
+  };
+  auto r = make();
+  auto rhat = make();
+  auto p = make();
+  auto v = make();
+  auto s = make();
+  auto t = make();
+  auto phat = make();
+  auto shat = make();
+  auto tmp = make();
+
+  // r = rhs - A u
+  exchange_ghosts(dom, u, g);
+  for (std::size_t b = 0; b < nb; ++b) apply_laplacian(g, u[b], tmp[b], h);
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (std::size_t idx = 0; idx < r[b].size(); ++idx) {
+      r[b][idx] = rhs[b][idx] - tmp[b][idx];
+    }
+    rhat[b] = r[b];
+  }
+
+  const double rhs_norm = std::sqrt(dot_blocks(g, rhs, rhs));
+  const double stop = tolerance * (rhs_norm > 0.0 ? rhs_norm : 1.0);
+
+  double rho = 1.0;
+  double alpha = 1.0;
+  double omega = 1.0;
+  SolveResult result;
+
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    result.iterations = it + 1;
+    const double rho1 = dot_blocks(g, rhat, r);
+    if (rho1 == 0.0) break;  // breakdown
+    if (it == 0) {
+      for (std::size_t b = 0; b < nb; ++b) p[b] = r[b];
+    } else {
+      const double beta = (rho1 / rho) * (alpha / omega);
+      for (std::size_t b = 0; b < nb; ++b) {
+        for (std::size_t idx = 0; idx < p[b].size(); ++idx) {
+          p[b][idx] = r[b][idx] + beta * (p[b][idx] - omega * v[b][idx]);
+        }
+      }
+    }
+    // phat = M^-1 p ; v = A phat
+    apply_preconditioner(g, p, phat, h, opts);
+    exchange_ghosts(dom, phat, g);
+    for (std::size_t b = 0; b < nb; ++b) {
+      apply_laplacian(g, phat[b], v[b], h);
+    }
+    const double rhat_v = dot_blocks(g, rhat, v);
+    if (rhat_v == 0.0) break;
+    alpha = rho1 / rhat_v;
+    for (std::size_t b = 0; b < nb; ++b) {
+      for (std::size_t idx = 0; idx < s[b].size(); ++idx) {
+        s[b][idx] = r[b][idx] - alpha * v[b][idx];
+      }
+    }
+    const double s_norm = std::sqrt(dot_blocks(g, s, s));
+    if (s_norm < stop) {
+      for (std::size_t b = 0; b < nb; ++b) {
+        for (std::size_t idx = 0; idx < u[b].size(); ++idx) {
+          u[b][idx] += alpha * phat[b][idx];
+        }
+      }
+      result.residual_norm = s_norm;
+      result.converged = true;
+      return result;
+    }
+    // shat = M^-1 s ; t = A shat
+    apply_preconditioner(g, s, shat, h, opts);
+    exchange_ghosts(dom, shat, g);
+    for (std::size_t b = 0; b < nb; ++b) {
+      apply_laplacian(g, shat[b], t[b], h);
+    }
+    const double tt = dot_blocks(g, t, t);
+    if (tt == 0.0) break;
+    omega = dot_blocks(g, t, s) / tt;
+    for (std::size_t b = 0; b < nb; ++b) {
+      for (std::size_t idx = 0; idx < u[b].size(); ++idx) {
+        u[b][idx] += alpha * phat[b][idx] + omega * shat[b][idx];
+      }
+      for (std::size_t idx = 0; idx < r[b].size(); ++idx) {
+        r[b][idx] = s[b][idx] - omega * t[b][idx];
+      }
+    }
+    const double r_norm = std::sqrt(dot_blocks(g, r, r));
+    result.residual_norm = r_norm;
+    if (r_norm < stop) {
+      result.converged = true;
+      return result;
+    }
+    if (omega == 0.0) break;
+    rho = rho1;
+  }
+  return result;
+}
+
+double residual_norm(const MultiblockDomain& dom,
+                     const std::vector<std::vector<double>>& u,
+                     const std::vector<std::vector<double>>& rhs, double h) {
+  const GridBlock g(dom.nx, dom.ny, dom.nz_per_block());
+  auto u_copy = u;
+  exchange_ghosts(dom, u_copy, g);
+  double worst = 0.0;
+  std::vector<double> tmp = g.make_field();
+  for (std::size_t b = 0; b < dom.num_blocks; ++b) {
+    apply_laplacian(g, u_copy[b], tmp, h);
+    for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(g.nz());
+         ++k) {
+      for (std::size_t j = 0; j < g.ny(); ++j) {
+        for (std::size_t i = 0; i < g.nx(); ++i) {
+          worst = std::max(worst, std::abs(g.at(rhs[b], i, j, k) -
+                                           g.at(tmp, i, j, k)));
+        }
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace perfknow::apps::genidlest

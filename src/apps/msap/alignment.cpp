@@ -1,0 +1,339 @@
+#include "apps/msap/alignment.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace perfknow::apps::msap {
+
+namespace {
+
+constexpr int kGapSymbol = 20;  // index after the 20 amino acids
+
+int symbol_index(char c) {
+  static constexpr std::string_view kAlphabet = "ACDEFGHIKLMNPQRSTVWY";
+  const auto pos = kAlphabet.find(c);
+  if (pos == std::string_view::npos) {
+    throw InvalidArgumentError(std::string("unknown residue '") + c + "'");
+  }
+  return static_cast<int>(pos);
+}
+
+/// A profile column: residue counts plus gap count.
+using Column = std::array<double, 21>;
+
+std::vector<Column> profile_of(const std::vector<std::string>& rows) {
+  if (rows.empty()) return {};
+  std::vector<Column> cols(rows[0].size());
+  for (auto& c : cols) c.fill(0.0);
+  for (const auto& row : rows) {
+    if (row.size() != cols.size()) {
+      throw InvalidArgumentError("profile rows have unequal lengths");
+    }
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i] == '-') {
+        cols[i][kGapSymbol] += 1.0;
+      } else {
+        cols[i][symbol_index(row[i])] += 1.0;
+      }
+    }
+  }
+  return cols;
+}
+
+/// Sum-of-pairs score of aligning two profile columns.
+double column_score(const Column& a, const Column& b,
+                    const SwScoring& scoring) {
+  double score = 0.0;
+  for (int x = 0; x < 21; ++x) {
+    if (a[x] == 0.0) continue;
+    for (int y = 0; y < 21; ++y) {
+      if (b[y] == 0.0) continue;
+      double s;
+      if (x == kGapSymbol || y == kGapSymbol) {
+        // Gap against anything: half a gap penalty (both-gap is free).
+        s = (x == y) ? 0.0 : scoring.gap * 0.5;
+      } else {
+        s = (x == y) ? scoring.match : scoring.mismatch;
+      }
+      score += a[x] * b[y] * s;
+    }
+  }
+  return score;
+}
+
+/// Global (Needleman-Wunsch) alignment of two profiles; returns the edit
+/// path as pairs of (use-column-from-A, use-column-from-B) where -1
+/// means a gap column.
+std::vector<std::pair<int, int>> align_profiles(
+    const std::vector<Column>& a, const std::vector<Column>& b,
+    const SwScoring& scoring, double rows_a, double rows_b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  const double gap_a = scoring.gap * rows_a;  // gap inserted into A's rows
+  const double gap_b = scoring.gap * rows_b;
+
+  std::vector<std::vector<double>> dp(
+      n + 1, std::vector<double>(m + 1, 0.0));
+  // 0 = diag, 1 = up (consume A), 2 = left (consume B)
+  std::vector<std::vector<char>> back(n + 1, std::vector<char>(m + 1, 0));
+  for (std::size_t i = 1; i <= n; ++i) {
+    dp[i][0] = dp[i - 1][0] + gap_b;
+    back[i][0] = 1;
+  }
+  for (std::size_t j = 1; j <= m; ++j) {
+    dp[0][j] = dp[0][j - 1] + gap_a;
+    back[0][j] = 2;
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double diag =
+          dp[i - 1][j - 1] + column_score(a[i - 1], b[j - 1], scoring);
+      const double up = dp[i - 1][j] + gap_b;
+      const double left = dp[i][j - 1] + gap_a;
+      dp[i][j] = diag;
+      back[i][j] = 0;
+      if (up > dp[i][j]) {
+        dp[i][j] = up;
+        back[i][j] = 1;
+      }
+      if (left > dp[i][j]) {
+        dp[i][j] = left;
+        back[i][j] = 2;
+      }
+    }
+  }
+  std::vector<std::pair<int, int>> path;
+  std::size_t i = n;
+  std::size_t j = m;
+  while (i > 0 || j > 0) {
+    const char dir = back[i][j];
+    if (dir == 0 && i > 0 && j > 0) {
+      path.emplace_back(static_cast<int>(i - 1), static_cast<int>(j - 1));
+      --i;
+      --j;
+    } else if (dir == 1 && i > 0) {
+      path.emplace_back(static_cast<int>(i - 1), -1);
+      --i;
+    } else {
+      path.emplace_back(-1, static_cast<int>(j - 1));
+      --j;
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+/// Applies an edit path to the aligned rows of one side.
+std::vector<std::string> apply_path(const std::vector<std::string>& rows,
+                                    const std::vector<std::pair<int, int>>& path,
+                                    bool side_a) {
+  std::vector<std::string> out(rows.size());
+  for (const auto& [ia, ib] : path) {
+    const int idx = side_a ? ia : ib;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      out[r] += idx < 0 ? '-' : rows[r][static_cast<std::size_t>(idx)];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> GuideTree::leaves_under(int node) const {
+  if (node < 0 || node >= static_cast<int>(nodes.size())) {
+    throw InvalidArgumentError("GuideTree: bad node index");
+  }
+  const Node& n = nodes[static_cast<std::size_t>(node)];
+  if (n.sequence >= 0) return {n.sequence};
+  auto left = leaves_under(n.left);
+  const auto right = leaves_under(n.right);
+  left.insert(left.end(), right.begin(), right.end());
+  return left;
+}
+
+std::vector<std::vector<double>> distance_matrix(
+    const std::vector<std::string>& sequences, const SwScoring& scoring) {
+  const std::size_t n = sequences.size();
+  std::vector<double> self(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    self[i] = smith_waterman_score(sequences[i], sequences[i], scoring);
+  }
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double denom = std::max(1.0, std::min(self[i], self[j]));
+      const double score =
+          smith_waterman_score(sequences[i], sequences[j], scoring);
+      const double dist = std::clamp(1.0 - score / denom, 0.0, 1.0);
+      d[i][j] = dist;
+      d[j][i] = dist;
+    }
+  }
+  return d;
+}
+
+GuideTree upgma(const std::vector<std::vector<double>>& distances) {
+  const std::size_t n = distances.size();
+  if (n < 2) {
+    throw InvalidArgumentError("upgma: need at least 2 sequences");
+  }
+  for (const auto& row : distances) {
+    if (row.size() != n) {
+      throw InvalidArgumentError("upgma: distance matrix must be square");
+    }
+  }
+
+  GuideTree tree;
+  tree.nodes.reserve(2 * n - 1);
+  std::vector<int> active;  // node index per live cluster
+  for (std::size_t i = 0; i < n; ++i) {
+    GuideTree::Node leaf;
+    leaf.sequence = static_cast<int>(i);
+    tree.nodes.push_back(leaf);
+    active.push_back(static_cast<int>(i));
+  }
+  // Working copy of cluster distances, indexed like `active`.
+  std::vector<std::vector<double>> d = distances;
+
+  while (active.size() > 1) {
+    // Closest pair (ties broken by lowest indices: deterministic).
+    std::size_t bi = 0;
+    std::size_t bj = 1;
+    double best = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      for (std::size_t j = i + 1; j < active.size(); ++j) {
+        if (d[i][j] < best) {
+          best = d[i][j];
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    GuideTree::Node merged;
+    merged.left = active[bi];
+    merged.right = active[bj];
+    merged.height = best / 2.0;
+    merged.size = tree.nodes[active[bi]].size + tree.nodes[active[bj]].size;
+    const int merged_index = static_cast<int>(tree.nodes.size());
+    tree.nodes.push_back(merged);
+
+    // UPGMA average-linkage update into slot bi; drop slot bj.
+    const double wi = tree.nodes[active[bi]].size;
+    const double wj = tree.nodes[active[bj]].size;
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      if (k == bi || k == bj) continue;
+      d[bi][k] = (wi * d[bi][k] + wj * d[bj][k]) / (wi + wj);
+      d[k][bi] = d[bi][k];
+    }
+    active[bi] = merged_index;
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(bj));
+    d.erase(d.begin() + static_cast<std::ptrdiff_t>(bj));
+    for (auto& row : d) {
+      row.erase(row.begin() + static_cast<std::ptrdiff_t>(bj));
+    }
+  }
+  return tree;
+}
+
+namespace {
+
+std::string newick_of(const GuideTree& tree, int node) {
+  const auto& n = tree.nodes[static_cast<std::size_t>(node)];
+  if (n.sequence >= 0) return std::to_string(n.sequence);
+  char height[32];
+  std::snprintf(height, sizeof height, "%.2f", n.height);
+  return "(" + newick_of(tree, n.left) + "," + newick_of(tree, n.right) +
+         "):" + height;
+}
+
+}  // namespace
+
+std::string to_newick(const GuideTree& tree) {
+  if (tree.nodes.empty()) return "";
+  return newick_of(tree, tree.root());
+}
+
+std::vector<std::string> progressive_alignment(
+    const std::vector<std::string>& sequences, const GuideTree& tree,
+    const SwScoring& scoring) {
+  if (tree.leaf_count() != sequences.size()) {
+    throw InvalidArgumentError(
+        "progressive_alignment: tree does not match the sequence count");
+  }
+  // Per tree node: the aligned rows and the sequence indices they carry.
+  struct Partial {
+    std::vector<std::string> rows;
+    std::vector<int> order;
+  };
+  std::vector<Partial> partial(tree.nodes.size());
+  for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+    const auto& node = tree.nodes[i];
+    if (node.sequence >= 0) {
+      partial[i].rows = {sequences[static_cast<std::size_t>(node.sequence)]};
+      partial[i].order = {node.sequence};
+      continue;
+    }
+    const auto& a = partial[static_cast<std::size_t>(node.left)];
+    const auto& b = partial[static_cast<std::size_t>(node.right)];
+    const auto path = align_profiles(
+        profile_of(a.rows), profile_of(b.rows), scoring,
+        static_cast<double>(a.rows.size()),
+        static_cast<double>(b.rows.size()));
+    auto rows = apply_path(a.rows, path, /*side_a=*/true);
+    const auto rows_b = apply_path(b.rows, path, /*side_a=*/false);
+    rows.insert(rows.end(), rows_b.begin(), rows_b.end());
+    partial[i].rows = std::move(rows);
+    partial[i].order = a.order;
+    partial[i].order.insert(partial[i].order.end(), b.order.begin(),
+                            b.order.end());
+  }
+  const auto& final_partial = partial[static_cast<std::size_t>(tree.root())];
+  std::vector<std::string> out(sequences.size());
+  for (std::size_t r = 0; r < final_partial.order.size(); ++r) {
+    out[static_cast<std::size_t>(final_partial.order[r])] =
+        final_partial.rows[r];
+  }
+  return out;
+}
+
+double sum_of_pairs_score(const std::vector<std::string>& alignment,
+                          const SwScoring& scoring) {
+  if (alignment.empty()) return 0.0;
+  const std::size_t len = alignment[0].size();
+  for (const auto& row : alignment) {
+    if (row.size() != len) {
+      throw InvalidArgumentError(
+          "sum_of_pairs_score: rows have unequal lengths");
+    }
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < alignment.size(); ++i) {
+    for (std::size_t j = i + 1; j < alignment.size(); ++j) {
+      for (std::size_t c = 0; c < len; ++c) {
+        const char a = alignment[i][c];
+        const char b = alignment[j][c];
+        if (a == '-' && b == '-') continue;
+        if (a == '-' || b == '-') {
+          total += scoring.gap * 0.5;
+        } else {
+          total += a == b ? scoring.match : scoring.mismatch;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+MsaPipelineResult align_sequences(const std::vector<std::string>& sequences,
+                                  const SwScoring& scoring) {
+  MsaPipelineResult out;
+  out.distances = distance_matrix(sequences, scoring);
+  out.tree = upgma(out.distances);
+  out.alignment = progressive_alignment(sequences, out.tree, scoring);
+  return out;
+}
+
+}  // namespace perfknow::apps::msap

@@ -1,0 +1,80 @@
+// Stages 2 and 3 of the ClustalW pipeline, implemented for real:
+// UPGMA guide-tree construction over the stage-1 distance matrix, and
+// profile-based progressive alignment along that tree.
+//
+// The paper's §III-A describes the three stages ("distance matrix,
+// guided tree, and progressive alignment along the tree"); only stage 1
+// is parallelized, but a credible reproduction carries real, tested
+// implementations of all three. These run on actual sequences; the
+// performance simulation (msap.hpp) models their cost at scale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/msap/msap.hpp"
+
+namespace perfknow::apps::msap {
+
+/// Binary guide tree produced by UPGMA clustering. Nodes [0, n) are the
+/// leaves (node i = sequence i); internal nodes follow in merge order;
+/// the last node is the root (for n >= 2).
+struct GuideTree {
+  struct Node {
+    int left = -1;       ///< child node index (-1 for leaves)
+    int right = -1;
+    int sequence = -1;   ///< leaf: index of the sequence; internal: -1
+    double height = 0.0; ///< UPGMA merge height (half the cluster distance)
+    int size = 1;        ///< leaves under this node
+  };
+  std::vector<Node> nodes;
+
+  [[nodiscard]] int root() const {
+    return static_cast<int>(nodes.size()) - 1;
+  }
+  [[nodiscard]] std::size_t leaf_count() const {
+    return (nodes.size() + 1) / 2;
+  }
+  /// Sequence indices under `node`, left to right.
+  [[nodiscard]] std::vector<int> leaves_under(int node) const;
+};
+
+/// Pairwise evolutionary distances from Smith-Waterman scores:
+/// d(i,j) = 1 - score(i,j) / min(selfScore(i), selfScore(j)), clamped to
+/// [0, 1]. The diagonal is 0.
+[[nodiscard]] std::vector<std::vector<double>> distance_matrix(
+    const std::vector<std::string>& sequences, const SwScoring& scoring = {});
+
+/// UPGMA (average-linkage) clustering over a symmetric distance matrix.
+/// Throws InvalidArgumentError on non-square/undersized input.
+[[nodiscard]] GuideTree upgma(
+    const std::vector<std::vector<double>>& distances);
+
+/// Renders the tree in Newick-ish form for inspection, e.g.
+/// "((0,2):0.10,1):0.25".
+[[nodiscard]] std::string to_newick(const GuideTree& tree);
+
+/// Progressive multiple alignment along the guide tree using
+/// profile-profile Needleman-Wunsch (sum-of-pairs column scoring with the
+/// SwScoring parameters, linear gaps). Returns one aligned (padded)
+/// string per input sequence, all of equal length, in input order.
+[[nodiscard]] std::vector<std::string> progressive_alignment(
+    const std::vector<std::string>& sequences, const GuideTree& tree,
+    const SwScoring& scoring = {});
+
+/// Sum-of-pairs score of a finished alignment (higher is better); the
+/// standard MSA quality measure used to sanity-check stage 3.
+[[nodiscard]] double sum_of_pairs_score(
+    const std::vector<std::string>& alignment,
+    const SwScoring& scoring = {});
+
+/// Full three-stage pipeline on real data (small inputs).
+struct MsaPipelineResult {
+  std::vector<std::vector<double>> distances;
+  GuideTree tree;
+  std::vector<std::string> alignment;
+};
+[[nodiscard]] MsaPipelineResult align_sequences(
+    const std::vector<std::string>& sequences, const SwScoring& scoring = {});
+
+}  // namespace perfknow::apps::msap

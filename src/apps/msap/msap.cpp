@@ -1,0 +1,209 @@
+#include "apps/msap/msap.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "hwcounters/synthesize.hpp"
+#include "instrument/trial_builder.hpp"
+
+namespace perfknow::apps::msap {
+
+int smith_waterman_score(const std::string& a, const std::string& b,
+                         const SwScoring& scoring) {
+  if (a.empty() || b.empty()) return 0;
+  // Rolling single row of H; local alignment floors cells at 0.
+  std::vector<int> prev(b.size() + 1, 0);
+  std::vector<int> cur(b.size() + 1, 0);
+  int best = 0;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = 0;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const int sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? scoring.match
+                                                          : scoring.mismatch);
+      const int del = prev[j] + scoring.gap;
+      const int ins = cur[j - 1] + scoring.gap;
+      cur[j] = std::max({0, sub, del, ins});
+      best = std::max(best, cur[j]);
+    }
+    std::swap(prev, cur);
+  }
+  return best;
+}
+
+std::vector<std::string> generate_sequences(std::size_t count,
+                                            std::size_t min_len,
+                                            std::size_t max_len,
+                                            double alpha,
+                                            std::uint64_t seed) {
+  if (min_len == 0 || max_len < min_len) {
+    throw InvalidArgumentError(
+        "generate_sequences: need 0 < min_len <= max_len");
+  }
+  static constexpr char kAminoAcids[] = "ACDEFGHIKLMNPQRSTVWY";
+  Rng rng(seed);
+  std::vector<std::string> seqs;
+  seqs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto len = static_cast<std::size_t>(rng.pareto_bounded(
+        static_cast<double>(min_len), static_cast<double>(max_len), alpha));
+    std::string s;
+    s.reserve(len);
+    for (std::size_t k = 0; k < len; ++k) {
+      s += kAminoAcids[rng.uniform_int(0, 19)];
+    }
+    seqs.push_back(std::move(s));
+  }
+  return seqs;
+}
+
+double total_cells(const std::vector<std::string>& seqs) {
+  double cells = 0.0;
+  double suffix = 0.0;
+  for (std::size_t i = seqs.size(); i-- > 0;) {
+    cells += static_cast<double>(seqs[i].size()) * suffix;
+    suffix += static_cast<double>(seqs[i].size());
+  }
+  return cells;
+}
+
+MsapResult run_msap(machine::Machine& machine, const MsapConfig& config) {
+  if (config.num_sequences < 2) {
+    throw InvalidArgumentError("run_msap: need at least 2 sequences");
+  }
+  const auto seqs =
+      generate_sequences(config.num_sequences, config.min_len,
+                         config.max_len, config.length_alpha, config.seed);
+  const std::size_t n = seqs.size();
+
+  // Suffix length sums: outer iteration i aligns i against all j > i,
+  // so its DP cell count is len_i * sum_{j>i} len_j.
+  std::vector<double> suffix_len(n + 1, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    suffix_len[i] = suffix_len[i + 1] + static_cast<double>(seqs[i].size());
+  }
+
+  runtime::OmpTeam team(machine, config.threads);
+  MsapResult result;
+  if (config.compute_alignments) {
+    result.scores.assign(n * n, 0);
+  }
+
+  // ---- stage 1: distance matrix (parallel outer loop) -----------------
+  const auto body = [&](std::uint64_t i, unsigned thread) -> std::uint64_t {
+    (void)thread;
+    const auto idx = static_cast<std::size_t>(i);
+    if (config.compute_alignments) {
+      for (std::size_t j = idx + 1; j < n; ++j) {
+        const int score = smith_waterman_score(seqs[idx], seqs[j]);
+        result.scores[idx * n + j] = score;
+        result.scores[j * n + idx] = score;
+      }
+    }
+    const double cells =
+        static_cast<double>(seqs[idx].size()) * suffix_len[idx + 1];
+    return static_cast<std::uint64_t>(cells * config.cycles_per_cell);
+  };
+  result.stage1_loop =
+      team.parallel_for(n - 1, config.schedule, body);
+  result.stage1_cycles = result.stage1_loop.elapsed_cycles;
+
+  // ---- stages 2 and 3 (serial, master thread) --------------------------
+  const double mean_len = suffix_len[0] / static_cast<double>(n);
+  // Guided tree: neighbour-joining style pass over the distance matrix.
+  result.stage2_cycles = static_cast<std::uint64_t>(
+      40.0 * static_cast<double>(n) * static_cast<double>(n));
+  // Progressive alignment along the tree: n-1 profile merges of
+  // length-m^2 DP each. Profile columns compare cheaper than full SW
+  // cells (no per-cell traceback bookkeeping): ~2/3 of the stage-1 rate.
+  result.stage3_cycles = static_cast<std::uint64_t>(
+      0.67 * config.cycles_per_cell * static_cast<double>(n) * mean_len *
+      mean_len);
+
+  result.elapsed_cycles =
+      result.stage1_cycles + result.stage2_cycles + result.stage3_cycles;
+  result.elapsed_seconds = machine.seconds(result.elapsed_cycles);
+
+  // ---- build the TAU-style profile -------------------------------------
+  using hwcounters::Counter;
+  instrument::TrialBuilder builder(
+      "msap_" + config.schedule.name() + "_" +
+          std::to_string(config.threads) + "t",
+      config.threads, machine.config().clock_ghz,
+      {Counter::kInstructionsCompleted, Counter::kInstructionsIssued,
+       Counter::kFpOps, Counter::kBackEndBubbleAll, Counter::kL1dMisses,
+       Counter::kL2References, Counter::kL2Misses, Counter::kL3Misses,
+       Counter::kL1dStallCycles, Counter::kFpStallCycles,
+       Counter::kLocalMemoryAccesses, Counter::kRemoteMemoryAccesses,
+       Counter::kLoads, Counter::kStores});
+
+  hwcounters::Synthesizer synth(machine);
+  const auto& loop = result.stage1_loop;
+  const std::uint64_t region_overhead = team.costs().fork_cycles +
+                                        team.costs().join_cycles +
+                                        loop.barrier_cost;
+  const std::uint64_t serial_cycles =
+      result.stage2_cycles + result.stage3_cycles;
+
+  for (unsigned t = 0; t < config.threads; ++t) {
+    builder.enter(t, "main");
+
+    builder.enter(t, "distance_matrix");
+    builder.add_work(t, region_overhead);
+    builder.enter(t, "outer_loop");
+    builder.add_work(t, loop.dispatch_cycles[t] +
+                            loop.barrier_wait_cycles[t]);
+    builder.enter(t, "inner_loop");
+    {
+      // Synthesize the DP kernel counters for this thread's share. The
+      // kernel is integer compare/max chains over an L1-resident row.
+      const double cells = static_cast<double>(loop.work_cycles[t]) /
+                           config.cycles_per_cell;
+      hwcounters::KernelWork w;
+      w.int_instructions = cells * 4.0;
+      w.branches = cells;
+      w.branch_mispredict_rate = 0.04;  // data-dependent max chains
+      w.ilp = 2.6;
+      const auto row = machine.address_space().allocate(
+          static_cast<std::uint64_t>(mean_len) * 4 + 64);
+      hwcounters::MemoryStream s;
+      s.base = row;
+      s.extent_bytes = static_cast<std::uint64_t>(mean_len) * 4;
+      s.stride_bytes = 4;
+      s.passes = std::max(1.0, cells / std::max(1.0, mean_len));
+      s.write_fraction = 0.5;
+      w.streams.push_back(s);
+      const auto kr = synth.run(w, team.cpu_of(t));
+      builder.add_work(t, loop.work_cycles[t], &kr.counters);
+    }
+    builder.leave(t, "inner_loop");
+    builder.leave(t, "outer_loop");
+    builder.leave(t, "distance_matrix");
+
+    if (t == 0) {
+      builder.enter(t, "guided_tree");
+      builder.add_work(t, result.stage2_cycles);
+      builder.leave(t, "guided_tree");
+      builder.enter(t, "progressive_alignment");
+      builder.add_work(t, result.stage3_cycles);
+      builder.leave(t, "progressive_alignment");
+    } else {
+      // Worker threads idle while the master runs the serial stages.
+      builder.enter(t, "omp_idle");
+      builder.add_work(t, serial_cycles);
+      builder.leave(t, "omp_idle");
+    }
+    builder.leave(t, "main");
+  }
+
+  builder.set_metadata("application", "MSAP");
+  builder.set_metadata("schedule", config.schedule.name());
+  builder.set_metadata("threads", std::to_string(config.threads));
+  builder.set_metadata("sequences", std::to_string(n));
+  builder.set_metadata("seed", std::to_string(config.seed));
+  result.trial = builder.build();
+  return result;
+}
+
+}  // namespace perfknow::apps::msap

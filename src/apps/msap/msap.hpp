@@ -1,0 +1,89 @@
+// MSAP: the multiple-sequence-alignment case study (paper §III-A).
+//
+// ClustalW-style progressive alignment in three stages — distance matrix
+// (Smith-Waterman over all sequence pairs), guided tree, progressive
+// alignment along the tree. Stage 1 dominates and is parallelized with a
+// work-shared outer loop over sequences; the iteration space is
+// triangular (pair (i,j), j > i), so static-even scheduling is badly
+// imbalanced while dynamic,1 is nearly ideal — the behaviour Fig. 4
+// reports.
+//
+// Two layers:
+//  * A real Smith-Waterman kernel (smith_waterman_score) plus a synthetic
+//    protein-sequence generator — implemented and tested for real, and
+//    used directly by the examples on small inputs.
+//  * A workload driver (run_msap) that executes the stage structure on
+//    the simulated OpenMP runtime. Per-pair cost is the exact DP cell
+//    count (len_i x len_j) times a per-cell cycle cost, so the schedule
+//    dynamics are identical to running the kernel, at any problem size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "profile/profile.hpp"
+#include "runtime/omp.hpp"
+
+namespace perfknow::apps::msap {
+
+/// Scoring for the Smith-Waterman kernel (linear gap penalty).
+struct SwScoring {
+  int match = 3;
+  int mismatch = -1;
+  int gap = -2;
+};
+
+/// Optimal local-alignment score of two sequences, O(|a| x |b|) time,
+/// O(min) memory. Implemented with a rolling row, as a real MSA stage-1
+/// kernel would be.
+[[nodiscard]] int smith_waterman_score(const std::string& a,
+                                       const std::string& b,
+                                       const SwScoring& scoring = {});
+
+/// Synthetic protein sequences over the 20-letter amino-acid alphabet
+/// with bounded-Pareto length skew (real databases are heavy-tailed
+/// toward short sequences — the source of MSAP's load imbalance).
+[[nodiscard]] std::vector<std::string> generate_sequences(
+    std::size_t count, std::size_t min_len, std::size_t max_len,
+    double alpha, std::uint64_t seed);
+
+struct MsapConfig {
+  std::size_t num_sequences = 400;
+  std::size_t min_len = 100;
+  std::size_t max_len = 900;
+  double length_alpha = 1.05;  ///< bounded-Pareto shape (lower = more skew)
+  unsigned threads = 16;
+  runtime::Schedule schedule = runtime::Schedule::static_even();
+  std::uint64_t seed = 2008;
+  /// DP cell cost in cycles (integer max/compare chain per cell).
+  double cycles_per_cell = 6.0;
+  /// When true, actually runs the Smith-Waterman kernel for every pair
+  /// (exact same control flow; only viable for small sequence sets).
+  bool compute_alignments = false;
+};
+
+/// Result of one MSAP run on the simulated machine.
+struct MsapResult {
+  profile::Trial trial;                    ///< TAU-style profile
+  runtime::ParallelForResult stage1_loop;  ///< the parallel outer loop
+  std::uint64_t elapsed_cycles = 0;        ///< whole application
+  std::uint64_t stage1_cycles = 0;         ///< distance-matrix stage
+  std::uint64_t stage2_cycles = 0;         ///< guided tree (serial)
+  std::uint64_t stage3_cycles = 0;         ///< progressive align (serial)
+  double elapsed_seconds = 0.0;
+  /// Filled when compute_alignments: distance_matrix[i*n+j] scores.
+  std::vector<int> scores;
+};
+
+/// Runs the three-stage MSAP workload with `config.threads` simulated
+/// OpenMP threads on `machine`. The machine must have at least
+/// config.threads CPUs.
+[[nodiscard]] MsapResult run_msap(machine::Machine& machine,
+                                  const MsapConfig& config);
+
+/// Sum of DP cells of the whole distance matrix (the stage-1 work metric).
+[[nodiscard]] double total_cells(const std::vector<std::string>& seqs);
+
+}  // namespace perfknow::apps::msap

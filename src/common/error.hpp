@@ -1,0 +1,58 @@
+// Error types shared by all perfknow subsystems.
+//
+// Every subsystem throws a subclass of perfknow::Error so callers can catch
+// either the precise category (e.g. ParseError from the rules/script
+// front ends) or the library-wide base.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace perfknow {
+
+/// Base class for all errors raised by the perfknow library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A lookup failed: unknown trial, metric, event, counter, variable, ...
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& what) : Error(what) {}
+};
+
+/// Caller passed arguments that violate an interface precondition.
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// A text front end (rules DSL, PerfScript, profile formats) rejected input.
+/// Carries the 1-based source line where the problem was detected.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line)
+      : Error(what + " (line " + std::to_string(line) + ")"), line_(line) {}
+  explicit ParseError(const std::string& what) : Error(what), line_(0) {}
+
+  /// 1-based line number, or 0 when no location is known.
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Runtime failure while evaluating a script or rule action.
+class EvalError : public Error {
+ public:
+  explicit EvalError(const std::string& what) : Error(what) {}
+};
+
+/// I/O failure (profile snapshot load/save, rulebase file, script file).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace perfknow

@@ -1,0 +1,26 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace perfknow {
+
+double Rng::normal() noexcept {
+  // Box-Muller; guard the log argument away from zero.
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::pareto_bounded(double lo, double hi, double alpha) noexcept {
+  // Inverse-CDF sampling of the bounded Pareto distribution.
+  const double u = uniform();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  const double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  return x;
+}
+
+}  // namespace perfknow

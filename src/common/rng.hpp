@@ -1,0 +1,90 @@
+// Deterministic random number generation.
+//
+// Everything stochastic in perfknow (synthetic sequences, workload jitter)
+// draws from this generator so that trials, tests and benchmarks are
+// bit-reproducible across runs and hosts. The engine is xoshiro256**,
+// seeded through splitmix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace perfknow {
+
+/// xoshiro256** pseudo-random generator with a splitmix64-seeded state.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single user seed.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step.
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) noexcept {
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return operator()();  // full 64-bit range
+    // Rejection-free modulo is acceptable here: span is tiny vs 2^64, so
+    // bias is < span / 2^64 and irrelevant for workload synthesis.
+    return lo + operator()() % span;
+  }
+
+  /// Standard normal via Box-Muller (one value per call; cache discarded
+  /// deliberately to keep the state trajectory simple and reproducible).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Samples from a bounded Pareto-like heavy-tailed distribution in
+  /// [lo, hi] with shape alpha > 0. Used for protein-length skew.
+  double pareto_bounded(double lo, double hi, double alpha) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace perfknow

@@ -1,0 +1,175 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace perfknow::stats {
+
+namespace {
+
+void require_nonempty(std::span<const double> xs, const char* fn) {
+  if (xs.empty()) {
+    throw InvalidArgumentError(std::string("stats::") + fn +
+                               ": empty input");
+  }
+}
+
+}  // namespace
+
+double sum(std::span<const double> xs) {
+  // Kahan summation: analysis pipelines sum millions of per-thread values
+  // whose magnitudes span many orders; naive summation loses precision.
+  double s = 0.0;
+  double c = 0.0;
+  for (double x : xs) {
+    const double y = x - c;
+    const double t = s + y;
+    c = (t - s) - y;
+    s = t;
+  }
+  return s;
+}
+
+double mean(std::span<const double> xs) {
+  require_nonempty(xs, "mean");
+  return sum(xs) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  require_nonempty(xs, "variance");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double sample_stddev(std::span<const double> xs) {
+  if (xs.size() < 2) {
+    throw InvalidArgumentError("stats::sample_stddev: need at least 2 values");
+  }
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double min(std::span<const double> xs) {
+  require_nonempty(xs, "min");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  require_nonempty(xs, "max");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double coefficient_of_variation(std::span<const double> xs) {
+  require_nonempty(xs, "coefficient_of_variation");
+  const double m = mean(xs);
+  if (m == 0.0) return 0.0;
+  return stddev(xs) / m;
+}
+
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw InvalidArgumentError(
+        "stats::pearson_correlation: length mismatch");
+  }
+  if (xs.size() < 2) {
+    throw InvalidArgumentError(
+        "stats::pearson_correlation: need at least 2 points");
+  }
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double percentile(std::span<const double> xs, double p) {
+  require_nonempty(xs, "percentile");
+  if (p < 0.0 || p > 100.0) {
+    throw InvalidArgumentError("stats::percentile: p must be in [0, 100]");
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw InvalidArgumentError("stats::linear_fit: length mismatch");
+  }
+  if (xs.size() < 2) {
+    throw InvalidArgumentError("stats::linear_fit: need at least 2 points");
+  }
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) {
+    throw InvalidArgumentError("stats::linear_fit: x series is constant");
+  }
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+std::vector<double> relative_to_first(std::span<const double> xs) {
+  require_nonempty(xs, "relative_to_first");
+  if (xs.front() == 0.0) {
+    throw InvalidArgumentError(
+        "stats::relative_to_first: baseline (first element) is zero");
+  }
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(x / xs.front());
+  return out;
+}
+
+std::vector<double> zscores(std::span<const double> xs) {
+  require_nonempty(xs, "zscores");
+  const double m = mean(xs);
+  const double sd = stddev(xs);
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(sd == 0.0 ? 0.0 : (x - m) / sd);
+  return out;
+}
+
+}  // namespace perfknow::stats

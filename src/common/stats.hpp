@@ -1,0 +1,72 @@
+// Small statistics toolkit used across the analysis subsystem.
+//
+// All functions operate on std::span<const double> so callers can pass
+// vectors, arrays, or sub-ranges without copies. Empty-input behaviour is
+// documented per function; most throw InvalidArgumentError because a
+// silent NaN would poison downstream inference-rule facts.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace perfknow::stats {
+
+/// Arithmetic mean. Throws InvalidArgumentError on empty input.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Population variance (divides by N). Throws on empty input.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Population standard deviation. Throws on empty input.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Sample standard deviation (divides by N-1). Throws when N < 2.
+[[nodiscard]] double sample_stddev(std::span<const double> xs);
+
+/// Minimum / maximum. Throw on empty input.
+[[nodiscard]] double min(std::span<const double> xs);
+[[nodiscard]] double max(std::span<const double> xs);
+
+/// Sum; 0 for empty input.
+[[nodiscard]] double sum(std::span<const double> xs);
+
+/// Coefficient of variation: stddev / mean. This is the paper's
+/// load-imbalance indicator ("ratio of the standard deviation to the
+/// mean"). Returns 0 when the mean is 0 (an all-zero series is balanced).
+[[nodiscard]] double coefficient_of_variation(std::span<const double> xs);
+
+/// Pearson correlation of two equal-length series. Throws when the lengths
+/// differ or are < 2. Returns 0 when either series is constant: a constant
+/// series carries no directional signal, and the load-imbalance rule must
+/// not fire on it.
+[[nodiscard]] double pearson_correlation(std::span<const double> xs,
+                                         std::span<const double> ys);
+
+/// Linear interpolation percentile, p in [0, 100]. Throws on empty input
+/// or out-of-range p.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Result of an ordinary least squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Least-squares line through (xs, ys). Throws when lengths differ or < 2,
+/// or when xs is constant.
+[[nodiscard]] LinearFit linear_fit(std::span<const double> xs,
+                                   std::span<const double> ys);
+
+/// Normalizes each element by the first element (series relative to a
+/// baseline, as in the paper's Table I). Throws when xs is empty or
+/// xs[0] == 0.
+[[nodiscard]] std::vector<double> relative_to_first(
+    std::span<const double> xs);
+
+/// z-score normalization: (x - mean) / stddev. A constant series maps to
+/// all zeros.
+[[nodiscard]] std::vector<double> zscores(std::span<const double> xs);
+
+}  // namespace perfknow::stats

@@ -1,0 +1,45 @@
+// String helpers shared by the text front ends (rules DSL, PerfScript,
+// profile snapshot formats) and the report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace perfknow::strings {
+
+/// Splits on a single character; adjacent delimiters yield empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Splits on arbitrary whitespace runs; never yields empty fields.
+[[nodiscard]] std::vector<std::string> split_whitespace(std::string_view s);
+
+/// Strips leading and trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+[[nodiscard]] bool contains(std::string_view s, std::string_view needle);
+
+[[nodiscard]] std::string to_lower(std::string_view s);
+[[nodiscard]] std::string to_upper(std::string_view s);
+
+/// Joins elements with the given separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Replaces every occurrence of `from` with `to`.
+[[nodiscard]] std::string replace_all(std::string_view s,
+                                      std::string_view from,
+                                      std::string_view to);
+
+/// Fixed-precision formatting without iostream state leakage.
+[[nodiscard]] std::string format_double(double v, int precision = 4);
+
+/// Parses a double; throws ParseError with the value echoed on failure.
+[[nodiscard]] double parse_double(std::string_view s);
+
+/// Parses a non-negative integer; throws ParseError on failure.
+[[nodiscard]] long long parse_int(std::string_view s);
+
+}  // namespace perfknow::strings

@@ -1,0 +1,86 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace perfknow {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw InvalidArgumentError("TextTable: header must be non-empty");
+  }
+}
+
+TextTable& TextTable::begin_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::add(std::string cell) {
+  if (rows_.empty()) begin_row();
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+TextTable& TextTable::add(double v, int precision) {
+  return add(strings::format_double(v, precision));
+}
+
+TextTable& TextTable::add(long long v) { return add(std::to_string(v)); }
+
+TextTable& TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto pad = [](const std::string& s, std::size_t w) {
+    std::string out(w - std::min(w, s.size()), ' ');
+    return out + s;
+  };
+
+  std::string out;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c != 0) out += "  ";
+    out += pad(header_[c], widths[c]);
+  }
+  out += '\n';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c != 0) out += "  ";
+    out += std::string(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out += "  ";
+      out += pad(row[c], c < widths.size() ? widths[c] : row[c].size());
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TextTable::csv() const {
+  std::string out = strings::join(header_, ",");
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += strings::join(row, ",");
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace perfknow

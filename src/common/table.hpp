@@ -1,0 +1,46 @@
+// ASCII table rendering for benchmark/report output.
+//
+// The benchmark harnesses print the same rows the paper's tables and
+// figure series report; this formatter keeps those reports aligned and
+// diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace perfknow {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format
+/// with fixed precision so successive runs diff cleanly.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add_* calls append cells to it.
+  TextTable& begin_row();
+  TextTable& add(std::string cell);
+  TextTable& add(double v, int precision = 4);
+  TextTable& add(long long v);
+
+  /// Convenience: append a full row at once.
+  TextTable& add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t row_count() const noexcept {
+    return rows_.size();
+  }
+
+  /// Renders with a header rule, e.g.
+  ///   metric      O0      O1
+  ///   ------  ------  ------
+  ///   Time     1.000   0.338
+  [[nodiscard]] std::string str() const;
+
+  /// Renders as comma-separated values (header + rows).
+  [[nodiscard]] std::string csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace perfknow

@@ -1,0 +1,101 @@
+#include "hwcounters/counters.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace perfknow::hwcounters {
+
+namespace {
+
+constexpr std::array<std::string_view, kNumCounters> kNames = {
+    "CPU_CYCLES",
+    "INSTRUCTIONS_COMPLETED",
+    "INSTRUCTIONS_ISSUED",
+    "FP_OPS",
+    "BACK_END_BUBBLE_ALL",
+    "L1D_MISSES",
+    "L2_REFERENCES",
+    "L2_MISSES",
+    "L3_REFERENCES",
+    "L3_MISSES",
+    "TLB_MISSES",
+    "BRANCH_MISPREDICTIONS",
+    "INSTRUCTION_MISSES",
+    "STACK_ENGINE_STALLS",
+    "FP_STALL_CYCLES",
+    "REG_DEP_STALLS",
+    "FRONTEND_FLUSHES",
+    "BRANCH_STALL_CYCLES",
+    "INSTRUCTION_MISS_STALL_CYCLES",
+    "L1D_STALL_CYCLES",
+    "LOCAL_MEMORY_ACCESSES",
+    "REMOTE_MEMORY_ACCESSES",
+    "LOADS",
+    "STORES",
+};
+
+}  // namespace
+
+std::string_view name_of(Counter c) {
+  return kNames[static_cast<std::size_t>(c)];
+}
+
+Counter counter_from_name(std::string_view name) {
+  const auto it = std::find(kNames.begin(), kNames.end(), name);
+  if (it == kNames.end()) {
+    throw NotFoundError("unknown hardware counter '" + std::string(name) +
+                        "'");
+  }
+  return static_cast<Counter>(it - kNames.begin());
+}
+
+bool is_counter_name(std::string_view name) {
+  return std::find(kNames.begin(), kNames.end(), name) != kNames.end();
+}
+
+std::string CounterVector::str() const {
+  std::string out;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (values_[i] != 0.0) {
+      if (!out.empty()) out += ", ";
+      out += std::string(kNames[i]) + "=" +
+             strings::format_double(values_[i], 1);
+    }
+  }
+  return out.empty() ? "(all zero)" : out;
+}
+
+StallDecomposition decompose_stalls(const CounterVector& c) {
+  StallDecomposition d;
+  d.l1d_cache = c.get(Counter::kL1dStallCycles);
+  d.branch_mispredict = c.get(Counter::kBranchStallCycles);
+  d.instruction_miss = c.get(Counter::kInstructionMissStallCycles);
+  d.stack_engine = c.get(Counter::kStackEngineStalls);
+  d.floating_point = c.get(Counter::kFpStallCycles);
+  d.reg_dependencies = c.get(Counter::kRegDepStalls);
+  d.frontend_flushes = c.get(Counter::kFrontendFlushes);
+  return d;
+}
+
+double memory_stall_cycles(const CounterVector& c,
+                           const MemoryLatencies& lat) {
+  const double l2_refs = c.get(Counter::kL2References);
+  const double l2_miss = c.get(Counter::kL2Misses);
+  const double l3_miss = c.get(Counter::kL3Misses);
+  const double remote = c.get(Counter::kRemoteMemoryAccesses);
+  const double tlb = c.get(Counter::kTlbMisses);
+  return (l2_refs - l2_miss) * lat.l2_cycles +
+         (l2_miss - l3_miss) * lat.l3_cycles +
+         (l3_miss - remote) * lat.local_cycles + remote * lat.remote_cycles +
+         tlb * lat.tlb_penalty;
+}
+
+double remote_access_ratio(const CounterVector& c) {
+  const double l3_miss = c.get(Counter::kL3Misses);
+  if (l3_miss == 0.0) return 0.0;
+  return c.get(Counter::kRemoteMemoryAccesses) / l3_miss;
+}
+
+}  // namespace perfknow::hwcounters

@@ -1,0 +1,142 @@
+// Hardware performance-counter vocabulary.
+//
+// The names follow the Itanium 2 PMU events the paper's formulas use
+// (CPU_CYCLES, BACK_END_BUBBLE_ALL, ...) so that derived-metric strings in
+// scripts and rules read exactly like the paper's. Counters are a dense
+// enum + fixed array for cheap arithmetic, with string mapping for the
+// script/rules front ends.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace perfknow::hwcounters {
+
+enum class Counter : std::size_t {
+  kCpuCycles = 0,
+  kInstructionsCompleted,
+  kInstructionsIssued,
+  kFpOps,
+  kBackEndBubbleAll,   ///< total back-end stall cycles
+  kL1dMisses,
+  kL2References,
+  kL2Misses,
+  kL3References,
+  kL3Misses,
+  kTlbMisses,
+  kBranchMispredictions,
+  kInstructionMisses,
+  kStackEngineStalls,  ///< stall cycles
+  kFpStallCycles,      ///< stall cycles (FP fed from L2 on Itanium)
+  kRegDepStalls,       ///< pipeline inter-register dependency stall cycles
+  kFrontendFlushes,    ///< stall cycles
+  kBranchStallCycles,  ///< stall cycles from mispredictions
+  kInstructionMissStallCycles,
+  kL1dStallCycles,     ///< stall cycles from the data-memory hierarchy
+  kLocalMemoryAccesses,
+  kRemoteMemoryAccesses,
+  kLoads,
+  kStores,
+  kCount
+};
+
+constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);
+
+/// PMU-style name, e.g. name_of(Counter::kCpuCycles) == "CPU_CYCLES".
+[[nodiscard]] std::string_view name_of(Counter c);
+
+/// Reverse lookup; throws NotFoundError for unknown names.
+[[nodiscard]] Counter counter_from_name(std::string_view name);
+
+/// True when `name` is a known counter name.
+[[nodiscard]] bool is_counter_name(std::string_view name);
+
+/// Dense value vector over all counters.
+class CounterVector {
+ public:
+  CounterVector() { values_.fill(0.0); }
+
+  [[nodiscard]] double get(Counter c) const noexcept {
+    return values_[static_cast<std::size_t>(c)];
+  }
+  void set(Counter c, double v) noexcept {
+    values_[static_cast<std::size_t>(c)] = v;
+  }
+  void add(Counter c, double v) noexcept {
+    values_[static_cast<std::size_t>(c)] += v;
+  }
+
+  CounterVector& operator+=(const CounterVector& o) noexcept {
+    for (std::size_t i = 0; i < kNumCounters; ++i) values_[i] += o.values_[i];
+    return *this;
+  }
+  [[nodiscard]] friend CounterVector operator+(CounterVector a,
+                                               const CounterVector& b) {
+    a += b;
+    return a;
+  }
+  CounterVector& operator*=(double s) noexcept {
+    for (auto& v : values_) v *= s;
+    return *this;
+  }
+
+  /// Human-readable non-zero entries, for debugging/test failure output.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::array<double, kNumCounters> values_;
+};
+
+/// The paper's (Jarp) stall decomposition:
+///   Total Stall Cycles = L1D Cache Misses + Branch Misprediction +
+///     Instruction Misses + Stack Engine stalls + Floating Point Stalls +
+///     Pipeline Inter Register Dependencies + Processor Frontend Flushes
+struct StallDecomposition {
+  double l1d_cache = 0.0;
+  double branch_mispredict = 0.0;
+  double instruction_miss = 0.0;
+  double stack_engine = 0.0;
+  double floating_point = 0.0;
+  double reg_dependencies = 0.0;
+  double frontend_flushes = 0.0;
+
+  [[nodiscard]] double total() const noexcept {
+    return l1d_cache + branch_mispredict + instruction_miss + stack_engine +
+           floating_point + reg_dependencies + frontend_flushes;
+  }
+  /// Fraction of total stalls explained by L1D-memory + FP — the paper's
+  /// "90 % guideline" input. Returns 0 when there are no stalls.
+  [[nodiscard]] double memory_fp_fraction() const noexcept {
+    const double t = total();
+    return t == 0.0 ? 0.0 : (l1d_cache + floating_point) / t;
+  }
+};
+
+/// Extracts the decomposition from a counter vector's stall components.
+[[nodiscard]] StallDecomposition decompose_stalls(const CounterVector& c);
+
+/// Memory-latency coefficients for the paper's Memory Stalls formula.
+struct MemoryLatencies {
+  double l2_cycles = 5.0;
+  double l3_cycles = 14.0;
+  double local_cycles = 210.0;
+  double remote_cycles = 590.0;  ///< worst-case NUMAlink estimate
+  double tlb_penalty = 25.0;
+};
+
+/// The paper's formula:
+///   Memory Stalls = (L2 refs - L2 misses) * L2 latency
+///     + (L2 misses - L3 misses) * L3 latency
+///     + (L3 misses - remote accesses) * local latency
+///     + remote accesses * remote latency
+///     + TLB misses * TLB penalty
+[[nodiscard]] double memory_stall_cycles(const CounterVector& c,
+                                         const MemoryLatencies& lat);
+
+/// Remote Memory Accesses Ratio = remote accesses / L3 misses
+/// (0 when there are no L3 misses).
+[[nodiscard]] double remote_access_ratio(const CounterVector& c);
+
+}  // namespace perfknow::hwcounters

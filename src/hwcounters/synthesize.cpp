@@ -1,0 +1,204 @@
+#include "hwcounters/synthesize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace perfknow::hwcounters {
+
+namespace {
+
+/// Per-stream, per-cache-level miss estimate.
+///
+/// Accesses per pass: extent / stride. Lines touched per pass:
+/// extent / max(stride, line). If the stream's extent fits in the level,
+/// only the first pass misses (cold misses); otherwise a streaming sweep
+/// misses every touched line on every pass (LRU provides no reuse when the
+/// working set exceeds capacity).
+double level_misses(const MemoryStream& s, const machine::CacheLevel& lvl) {
+  if (s.extent_bytes == 0) return 0.0;
+  const double lines_per_pass =
+      std::ceil(static_cast<double>(s.extent_bytes) /
+                static_cast<double>(std::max(s.stride_bytes, lvl.line_bytes)));
+  if (s.extent_bytes <= lvl.size_bytes) {
+    return lines_per_pass;  // cold misses only, once
+  }
+  return lines_per_pass * std::max(s.passes, 1.0);
+}
+
+}  // namespace
+
+void apply_memory_contention(KernelResult& result, double factor) {
+  if (factor < 1.0) {
+    throw InvalidArgumentError(
+        "apply_memory_contention: factor must be >= 1");
+  }
+  if (factor == 1.0) return;
+  CounterVector& c = result.counters;
+  const double mem_stalls = c.get(Counter::kL1dStallCycles);
+  const double extra = mem_stalls * (factor - 1.0);
+  c.add(Counter::kL1dStallCycles, extra);
+  c.add(Counter::kBackEndBubbleAll, extra);
+  c.add(Counter::kCpuCycles, extra);
+  result.cycles += static_cast<std::uint64_t>(std::llround(extra));
+}
+
+double contention_factor(unsigned accessors, double coeff) {
+  if (accessors <= 1) return 1.0;
+  return 1.0 + coeff * static_cast<double>(accessors - 1);
+}
+
+KernelResult Synthesizer::run(const KernelWork& work, std::uint32_t cpu) {
+  const auto& cfg = machine_.config();
+  const auto& topo = machine_.topology();
+  if (cpu >= cfg.num_cpus()) {
+    throw InvalidArgumentError("Synthesizer::run: cpu out of range");
+  }
+  if (cfg.caches.size() != 3) {
+    throw InvalidArgumentError(
+        "Synthesizer::run: machine must model L1D/L2/L3");
+  }
+  const std::uint32_t node = topo.node_of_cpu(cpu);
+
+  KernelResult r;
+  CounterVector& c = r.counters;
+
+  double loads = 0.0;
+  double stores = 0.0;
+  double l1_misses = 0.0;
+  double l2_misses = 0.0;
+  double l3_misses = 0.0;
+  double tlb_misses = 0.0;
+  double remote_accesses = 0.0;
+  double remote_latency_sum = 0.0;  // cycles over remote L3 misses
+
+  for (const auto& s : work.streams) {
+    if (s.stride_bytes == 0) {
+      throw InvalidArgumentError("MemoryStream: stride must be non-zero");
+    }
+    if (opts_.first_touch) {
+      machine_.pages().first_touch(s.base, s.extent_bytes, cpu);
+    }
+
+    const double accesses =
+        std::ceil(static_cast<double>(s.extent_bytes) /
+                  static_cast<double>(s.stride_bytes)) *
+        std::max(s.passes, 1.0);
+    loads += accesses * (1.0 - s.write_fraction);
+    stores += accesses * s.write_fraction;
+
+    const double m1 = level_misses(s, cfg.caches[0]);
+    // A line can only miss in L2 if it missed in L1 (inclusive hierarchy):
+    const double m2 = std::min(level_misses(s, cfg.caches[1]), m1);
+    const double m3 = std::min(level_misses(s, cfg.caches[2]), m2);
+    l1_misses += m1;
+    l2_misses += m2;
+    l3_misses += m3;
+
+    // TLB: pages touched per pass; reuse across passes only when the
+    // range fits within the TLB reach.
+    const double pages =
+        std::ceil(static_cast<double>(s.extent_bytes) /
+                  static_cast<double>(cfg.page_bytes));
+    tlb_misses += (s.extent_bytes <= cfg.tlb_reach_bytes)
+                      ? pages
+                      : pages * std::max(s.passes, 1.0);
+
+    // NUMA locality of the L3 misses of this stream: split by the home
+    // nodes of its pages. Latency uses the true hop distance per page
+    // group, aggregated as an average remote latency.
+    const double local_frac =
+        machine_.pages().local_fraction(s.base, s.extent_bytes, node);
+    const double stream_remote = m3 * (1.0 - local_frac);
+    remote_accesses += stream_remote;
+    if (stream_remote > 0.0) {
+      // Average remote latency for this stream: weight each page's home.
+      // One representative probe per page group is enough: use worst-case
+      // distance between this node and the stream's non-local homes.
+      double worst = cfg.local_memory_latency;
+      const std::uint64_t page = cfg.page_bytes;
+      for (std::uint64_t a = s.base; a < s.base + s.extent_bytes;
+           a += page) {
+        const std::uint32_t home = machine_.pages().node_of(a);
+        if (home != node) {
+          worst = std::max(
+              worst, static_cast<double>(topo.memory_latency(cpu, home)));
+        }
+      }
+      remote_latency_sum += stream_remote * worst;
+    }
+  }
+
+  const double local_l3 = l3_misses - remote_accesses;
+
+  // ---- retired / issued instruction counts -----------------------------
+  const double retired = work.flops + work.int_instructions + loads +
+                         stores + work.branches;
+  const double issued = retired * (1.0 + work.issue_overhead);
+  const double icache_misses = retired * work.icache_miss_rate;
+
+  // ---- stall components (cycles) ---------------------------------------
+  const double l2_lat = cfg.caches[1].latency_cycles;
+  const double l3_lat = cfg.caches[2].latency_cycles;
+  const double mem_hierarchy_stalls =
+      ((l1_misses - l2_misses) * l2_lat + (l2_misses - l3_misses) * l3_lat +
+       local_l3 * cfg.local_memory_latency + remote_latency_sum +
+       tlb_misses * cfg.tlb_miss_penalty) *
+      work.exposed_memory_stall_fraction;
+
+  const double branch_stalls = work.branches * work.branch_mispredict_rate *
+                               stalls_.branch_penalty_cycles;
+  const double imiss_stalls = icache_misses * l2_lat;
+  const double fp_stalls = work.flops * stalls_.fp_stall_per_flop *
+                           work.exposed_memory_stall_fraction;
+  const double reg_dep_stalls = retired * stalls_.reg_dep_per_instruction;
+  const double fe_flush_stalls = work.branches *
+                                 work.branch_mispredict_rate *
+                                 stalls_.frontend_flush_per_branch *
+                                 stalls_.branch_penalty_cycles;
+  const double stack_stalls = 0.0;  // loop kernels: negligible RSE traffic
+
+  const double total_stalls = mem_hierarchy_stalls + branch_stalls +
+                              imiss_stalls + fp_stalls + reg_dep_stalls +
+                              fe_flush_stalls + stack_stalls;
+
+  // ---- cycles -----------------------------------------------------------
+  const double ipc =
+      std::clamp(work.ilp, 0.1, static_cast<double>(cfg.issue_width));
+  const double issue_cycles = retired / ipc;
+  const double cycles = issue_cycles + total_stalls;
+
+  // ---- populate the vector ----------------------------------------------
+  c.set(Counter::kCpuCycles, cycles);
+  c.set(Counter::kInstructionsCompleted, retired);
+  c.set(Counter::kInstructionsIssued, issued);
+  c.set(Counter::kFpOps, work.flops);
+  c.set(Counter::kBackEndBubbleAll, total_stalls);
+  c.set(Counter::kL1dMisses, l1_misses);
+  // Every L1 miss references L2 (plus FP operands fed from L2 on Itanium).
+  c.set(Counter::kL2References, l1_misses + work.flops);
+  c.set(Counter::kL2Misses, l2_misses);
+  c.set(Counter::kL3References, l2_misses);
+  c.set(Counter::kL3Misses, l3_misses);
+  c.set(Counter::kTlbMisses, tlb_misses);
+  c.set(Counter::kBranchMispredictions,
+        work.branches * work.branch_mispredict_rate);
+  c.set(Counter::kInstructionMisses, icache_misses);
+  c.set(Counter::kStackEngineStalls, stack_stalls);
+  c.set(Counter::kFpStallCycles, fp_stalls);
+  c.set(Counter::kRegDepStalls, reg_dep_stalls);
+  c.set(Counter::kFrontendFlushes, fe_flush_stalls);
+  c.set(Counter::kBranchStallCycles, branch_stalls);
+  c.set(Counter::kInstructionMissStallCycles, imiss_stalls);
+  c.set(Counter::kL1dStallCycles, mem_hierarchy_stalls);
+  c.set(Counter::kLocalMemoryAccesses, local_l3);
+  c.set(Counter::kRemoteMemoryAccesses, remote_accesses);
+  c.set(Counter::kLoads, loads);
+  c.set(Counter::kStores, stores);
+
+  r.cycles = static_cast<std::uint64_t>(std::llround(cycles));
+  return r;
+}
+
+}  // namespace perfknow::hwcounters

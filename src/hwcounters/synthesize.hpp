@@ -1,0 +1,107 @@
+// Analytic hardware-counter synthesis.
+//
+// Application kernels describe one invocation of themselves as a
+// KernelWork record: how many floating-point / integer / branch
+// instructions they retire and which memory ranges they stream over, with
+// what stride and how many passes. The synthesizer walks the machine's
+// cache hierarchy analytically (working-set vs capacity per level, line
+// granularity per stride) and the NUMA page table (local vs remote home of
+// each touched page) to produce the full counter vector plus the cycle
+// count the invocation consumes.
+//
+// This is the same style of closed-form model OpenUH's loop-nest optimizer
+// uses to predict cache misses — applied here in reverse, to *generate*
+// consistent measurements for the analysis stack to diagnose.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hwcounters/counters.hpp"
+#include "machine/machine.hpp"
+
+namespace perfknow::hwcounters {
+
+/// One array/range the kernel sweeps over.
+struct MemoryStream {
+  std::uint64_t base = 0;         ///< simulated address (SimAddressSpace)
+  std::uint64_t extent_bytes = 0; ///< touched range per pass
+  std::uint32_t stride_bytes = 8; ///< distance between successive accesses
+  double passes = 1.0;            ///< sweeps over the range this invocation
+  double write_fraction = 0.0;    ///< fraction of accesses that are stores
+};
+
+/// Work shape of one kernel invocation.
+struct KernelWork {
+  double flops = 0.0;
+  double int_instructions = 0.0;  ///< address arithmetic, logic, moves
+  double branches = 0.0;
+  double branch_mispredict_rate = 0.01;
+  /// Exploitable instruction-level parallelism (mean useful issues per
+  /// cycle). The compiler's optimization level raises this: O0 barely
+  /// schedules, O3 software-pipelines. Clamped to the machine issue width.
+  double ilp = 2.0;
+  /// Fraction of memory stall cycles the schedule cannot hide (in-order
+  /// Itanium hides little; prefetching at higher -O levels hides more).
+  double exposed_memory_stall_fraction = 1.0;
+  /// Instruction-cache miss rate per retired instruction (tiny for the
+  /// loop-dominated kernels modelled here).
+  double icache_miss_rate = 1e-5;
+  /// Fraction of issued instructions beyond retired (replays/flushes).
+  double issue_overhead = 0.05;
+  std::vector<MemoryStream> streams;
+};
+
+/// Result of synthesizing one kernel invocation on one CPU.
+struct KernelResult {
+  CounterVector counters;
+  std::uint64_t cycles = 0;
+};
+
+/// Options controlling page-table interaction.
+struct SynthesisOptions {
+  /// When true (the default), untouched pages of each stream are placed on
+  /// the executing CPU's node (first-touch policy) before locality is
+  /// evaluated — so whichever code path runs first "owns" the data, exactly
+  /// as on the Altix.
+  bool first_touch = true;
+};
+
+/// Per-stream fixed stall penalties the synthesizer applies.
+/// These mirror the machine latencies but live here so tests can pin them.
+struct StallModel {
+  double branch_penalty_cycles = 12.0;
+  double stack_engine_per_call = 4.0;   // reserved for call-heavy kernels
+  double fp_stall_per_flop = 0.12;      // FP fed from L2 on Itanium
+  double reg_dep_per_instruction = 0.004;
+  double frontend_flush_per_branch = 0.02;
+};
+
+/// Inflates the memory-stall portion of a kernel result by `factor`
+/// (>= 1): models home-node bandwidth contention when several CPUs
+/// hammer the same node's memory. CPU_CYCLES, BACK_END_BUBBLE_ALL and
+/// L1D_STALL_CYCLES are adjusted consistently.
+void apply_memory_contention(KernelResult& result, double factor);
+
+/// Contention factor for `accessors` CPUs sharing one home node:
+/// 1 + coeff * (accessors - 1), floored at 1.
+[[nodiscard]] double contention_factor(unsigned accessors, double coeff);
+
+class Synthesizer {
+ public:
+  explicit Synthesizer(machine::Machine& m, SynthesisOptions opts = {},
+                       StallModel stalls = {})
+      : machine_(m), opts_(opts), stalls_(stalls) {}
+
+  /// Synthesizes counters + cycles for one invocation of `work` on `cpu`.
+  [[nodiscard]] KernelResult run(const KernelWork& work, std::uint32_t cpu);
+
+  [[nodiscard]] machine::Machine& machine() noexcept { return machine_; }
+
+ private:
+  machine::Machine& machine_;
+  SynthesisOptions opts_;
+  StallModel stalls_;
+};
+
+}  // namespace perfknow::hwcounters

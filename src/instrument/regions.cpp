@@ -1,0 +1,103 @@
+#include "instrument/regions.hpp"
+
+#include "common/error.hpp"
+
+namespace perfknow::instrument {
+
+std::string_view to_string(RegionKind k) {
+  switch (k) {
+    case RegionKind::kProcedure: return "procedure";
+    case RegionKind::kLoop: return "loop";
+    case RegionKind::kBranch: return "branch";
+    case RegionKind::kCallsite: return "callsite";
+    case RegionKind::kParallelRegion: return "parallel_region";
+    case RegionKind::kMpiOperation: return "mpi";
+  }
+  return "unknown";
+}
+
+bool InstrumentationFlags::kind_enabled(RegionKind k) const {
+  switch (k) {
+    case RegionKind::kProcedure: return procedures;
+    case RegionKind::kLoop: return loops;
+    case RegionKind::kBranch: return branches;
+    case RegionKind::kCallsite: return callsites;
+    case RegionKind::kParallelRegion: return parallel_regions;
+    case RegionKind::kMpiOperation: return true;  // PMPI is always on
+  }
+  return false;
+}
+
+InstrumentationFlags InstrumentationFlags::procedures_only() {
+  InstrumentationFlags f;
+  f.procedures = true;
+  f.loops = false;
+  f.branches = false;
+  f.callsites = false;
+  return f;
+}
+
+InstrumentationFlags InstrumentationFlags::full_detail() {
+  InstrumentationFlags f;
+  f.procedures = true;
+  f.loops = true;
+  f.branches = true;
+  f.callsites = true;
+  return f;
+}
+
+RegionId RegionRegistry::add(Region region) {
+  if (region.parent != kNoRegion && region.parent >= regions_.size()) {
+    throw InvalidArgumentError("RegionRegistry::add: bad parent id");
+  }
+  const auto id = static_cast<RegionId>(regions_.size());
+  regions_.push_back(std::move(region));
+  return id;
+}
+
+const Region& RegionRegistry::get(RegionId id) const {
+  if (id >= regions_.size()) {
+    throw InvalidArgumentError("RegionRegistry::get: bad region id");
+  }
+  return regions_[id];
+}
+
+std::optional<RegionId> RegionRegistry::find(std::string_view name) const {
+  for (RegionId i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<RegionId> RegionRegistry::children_of(RegionId id) const {
+  if (id >= regions_.size()) {
+    throw InvalidArgumentError("RegionRegistry::children_of: bad region id");
+  }
+  std::vector<RegionId> out;
+  for (RegionId i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].parent == id) out.push_back(i);
+  }
+  return out;
+}
+
+double selectivity_score(const Region& r) {
+  // Weight per invocation: a region executed once with many statements
+  // scores high; a one-statement region invoked a million times scores
+  // essentially zero and would only add probe overhead.
+  const double calls = r.estimated_calls < 1.0 ? 1.0 : r.estimated_calls;
+  return r.weight / calls;
+}
+
+std::vector<RegionId> select_regions(const RegionRegistry& registry,
+                                     const InstrumentationFlags& flags) {
+  std::vector<RegionId> out;
+  for (RegionId i = 0; i < registry.size(); ++i) {
+    const Region& r = registry.get(i);
+    if (!flags.kind_enabled(r.kind)) continue;
+    if (selectivity_score(r) < flags.min_score) continue;
+    out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace perfknow::instrument

@@ -1,0 +1,95 @@
+// Compiler-side instrumentation model: the region registry and the
+// selective-instrumentation scoring of Hernandez et al. (the paper's
+// reference [7]).
+//
+// OpenUH's instrumentation module registers program constructs
+// (procedures, loops, branches, callsites) at compile time, each with a
+// mapping identifier that relates performance data back to the IR at a
+// given optimization phase. Selective instrumentation then scores regions
+// so that tiny regions invoked many times are left uninstrumented — they
+// would distort the measurement more than they inform it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace perfknow::instrument {
+
+using RegionId = std::uint32_t;
+constexpr RegionId kNoRegion = static_cast<RegionId>(-1);
+
+enum class RegionKind {
+  kProcedure,
+  kLoop,
+  kBranch,
+  kCallsite,
+  kParallelRegion,  ///< OpenMP construct (fork/join, barriers via runtime)
+  kMpiOperation,    ///< instrumented via PMPI, not by the compiler
+};
+
+[[nodiscard]] std::string_view to_string(RegionKind k);
+
+/// A static program construct known to the compiler.
+struct Region {
+  std::string name;
+  RegionKind kind = RegionKind::kProcedure;
+  RegionId parent = kNoRegion;   ///< lexically enclosing region
+  /// Static weight: basic blocks + statements inside the construct.
+  double weight = 1.0;
+  /// Estimated dynamic invocation count (from static analysis or prior
+  /// frequency feedback).
+  double estimated_calls = 1.0;
+  /// Mapping identifier relating data back to the IR at an optimization
+  /// phase (WHIRL level in OpenUH).
+  std::uint32_t map_id = 0;
+};
+
+/// Which construct kinds the compiler instruments — the compiler-flag
+/// surface described in the paper ("controlled via compiler flags,
+/// specifying the types of regions we want to instrument").
+struct InstrumentationFlags {
+  bool procedures = true;
+  bool loops = false;
+  bool branches = false;
+  bool callsites = false;
+  bool parallel_regions = true;
+  /// Regions scoring below this are skipped (0 keeps everything enabled
+  /// for the selected kinds).
+  double min_score = 0.0;
+
+  [[nodiscard]] bool kind_enabled(RegionKind k) const;
+
+  /// Coarse preset for the first "where are the bottlenecks" run.
+  [[nodiscard]] static InstrumentationFlags procedures_only();
+  /// Fine-grained preset for the drill-down run on inefficient regions.
+  [[nodiscard]] static InstrumentationFlags full_detail();
+};
+
+/// Compile-time registry of regions for one program.
+class RegionRegistry {
+ public:
+  RegionId add(Region region);
+
+  [[nodiscard]] const Region& get(RegionId id) const;
+  [[nodiscard]] std::optional<RegionId> find(std::string_view name) const;
+  [[nodiscard]] std::size_t size() const noexcept { return regions_.size(); }
+  [[nodiscard]] const std::vector<Region>& all() const noexcept {
+    return regions_;
+  }
+  [[nodiscard]] std::vector<RegionId> children_of(RegionId id) const;
+
+ private:
+  std::vector<Region> regions_;
+};
+
+/// Selective-instrumentation score: static weight per expected invocation.
+/// High weight + few calls => instrument; low weight + many calls => skip.
+[[nodiscard]] double selectivity_score(const Region& r);
+
+/// Regions that survive the flags + score filter, in registration order.
+[[nodiscard]] std::vector<RegionId> select_regions(
+    const RegionRegistry& registry, const InstrumentationFlags& flags);
+
+}  // namespace perfknow::instrument

@@ -1,0 +1,141 @@
+#include "instrument/trial_builder.hpp"
+
+#include "common/error.hpp"
+
+namespace perfknow::instrument {
+
+TrialBuilder::TrialBuilder(std::string trial_name, std::size_t num_threads,
+                           double clock_ghz,
+                           std::vector<hwcounters::Counter> counters)
+    : trial_(std::move(trial_name)),
+      clock_ghz_(clock_ghz),
+      counters_(std::move(counters)),
+      stacks_(num_threads) {
+  if (num_threads == 0) {
+    throw InvalidArgumentError("TrialBuilder: need at least one thread");
+  }
+  if (clock_ghz_ <= 0.0) {
+    throw InvalidArgumentError("TrialBuilder: clock must be positive");
+  }
+  trial_.set_thread_count(num_threads);
+  time_metric_ = trial_.add_metric("TIME", "usec");
+  cycles_metric_ = trial_.add_metric("CPU_CYCLES", "count");
+  counter_metrics_.reserve(counters_.size());
+  for (const auto c : counters_) {
+    if (c == hwcounters::Counter::kCpuCycles) {
+      counter_metrics_.push_back(cycles_metric_);
+      continue;
+    }
+    counter_metrics_.push_back(
+        trial_.add_metric(std::string(hwcounters::name_of(c)), "count"));
+  }
+}
+
+void TrialBuilder::enter(std::size_t thread, const std::string& region) {
+  if (built_) throw InvalidArgumentError("TrialBuilder: already built");
+  if (thread >= stacks_.size()) {
+    throw InvalidArgumentError("TrialBuilder::enter: bad thread");
+  }
+  auto& stack = stacks_[thread];
+  const profile::EventId parent =
+      stack.empty() ? profile::kNoEvent : stack.back().event;
+  const profile::EventId event = trial_.add_event(region, parent);
+  trial_.accumulate_calls(thread, event, 1.0, 0.0);
+  if (parent != profile::kNoEvent) {
+    trial_.accumulate_calls(thread, parent, 0.0, 1.0);
+  }
+  stack.push_back(Frame{event});
+}
+
+void TrialBuilder::add_work(std::size_t thread, std::uint64_t cycles,
+                            const hwcounters::CounterVector* counters) {
+  if (built_) throw InvalidArgumentError("TrialBuilder: already built");
+  if (thread >= stacks_.size()) {
+    throw InvalidArgumentError("TrialBuilder::add_work: bad thread");
+  }
+  auto& stack = stacks_[thread];
+  if (stack.empty()) {
+    throw InvalidArgumentError(
+        "TrialBuilder::add_work: no open region on thread " +
+        std::to_string(thread));
+  }
+  const double usec =
+      static_cast<double>(cycles) / (clock_ghz_ * 1e3);
+  const auto cyc = static_cast<double>(cycles);
+
+  const profile::EventId own = stack.back().event;
+  trial_.accumulate_exclusive(thread, own, time_metric_, usec);
+  trial_.accumulate_exclusive(thread, own, cycles_metric_, cyc);
+  for (const auto& frame : stack) {
+    trial_.accumulate_inclusive(thread, frame.event, time_metric_, usec);
+    trial_.accumulate_inclusive(thread, frame.event, cycles_metric_, cyc);
+  }
+  if (counters != nullptr) {
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      if (counters_[i] == hwcounters::Counter::kCpuCycles) continue;
+      const double v = counters->get(counters_[i]);
+      if (v == 0.0) continue;
+      trial_.accumulate_exclusive(thread, own, counter_metrics_[i], v);
+      for (const auto& frame : stack) {
+        trial_.accumulate_inclusive(thread, frame.event, counter_metrics_[i],
+                                    v);
+      }
+    }
+  }
+}
+
+void TrialBuilder::leave(std::size_t thread, const std::string& region) {
+  if (built_) throw InvalidArgumentError("TrialBuilder: already built");
+  if (thread >= stacks_.size()) {
+    throw InvalidArgumentError("TrialBuilder::leave: bad thread");
+  }
+  auto& stack = stacks_[thread];
+  if (stack.empty()) {
+    throw InvalidArgumentError(
+        "TrialBuilder::leave('" + region + "'): no open region on thread " +
+        std::to_string(thread));
+  }
+  const std::string& open = trial_.event(stack.back().event).name;
+  if (open != region) {
+    throw InvalidArgumentError("TrialBuilder::leave('" + region +
+                               "'): innermost open region is '" + open +
+                               "' (unbalanced instrumentation)");
+  }
+  stack.pop_back();
+}
+
+void TrialBuilder::record_leaf(std::size_t thread, const std::string& region,
+                               std::uint64_t cycles,
+                               const hwcounters::CounterVector* counters) {
+  enter(thread, region);
+  add_work(thread, cycles, counters);
+  leave(thread, region);
+}
+
+void TrialBuilder::set_metadata(const std::string& key, std::string value) {
+  trial_.set_metadata(key, std::move(value));
+}
+
+std::size_t TrialBuilder::open_depth(std::size_t thread) const {
+  if (thread >= stacks_.size()) {
+    throw InvalidArgumentError("TrialBuilder::open_depth: bad thread");
+  }
+  return stacks_[thread].size();
+}
+
+profile::Trial TrialBuilder::build() {
+  if (built_) throw InvalidArgumentError("TrialBuilder: already built");
+  for (std::size_t t = 0; t < stacks_.size(); ++t) {
+    if (!stacks_[t].empty()) {
+      throw InvalidArgumentError(
+          "TrialBuilder::build: thread " + std::to_string(t) +
+          " still has " + std::to_string(stacks_[t].size()) +
+          " open region(s), innermost '" +
+          trial_.event(stacks_[t].back().event).name + "'");
+    }
+  }
+  built_ = true;
+  return std::move(trial_);
+}
+
+}  // namespace perfknow::instrument

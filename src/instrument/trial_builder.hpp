@@ -1,0 +1,78 @@
+// Measurement-side instrumentation: per-thread timer stacks that build a
+// profile::Trial, TAU-style.
+//
+// The simulated applications drive this exactly like TAU-instrumented
+// code drives TAU: enter(region) / add_work(cycles, counters) /
+// leave(region), per thread. The builder maintains inclusive/exclusive
+// attribution (work is exclusive to the innermost open region, inclusive
+// to every open ancestor), call and subcall counts, and converts cycles
+// to TIME in microseconds at the machine clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hwcounters/counters.hpp"
+#include "profile/profile.hpp"
+
+namespace perfknow::instrument {
+
+/// Builds one Trial from enter/work/leave streams on each thread.
+class TrialBuilder {
+ public:
+  /// `counters`: which hardware counters become Trial metrics alongside
+  /// TIME and CPU_CYCLES. `clock_ghz` converts cycles to microseconds.
+  TrialBuilder(std::string trial_name, std::size_t num_threads,
+               double clock_ghz,
+               std::vector<hwcounters::Counter> counters = {});
+
+  /// Opens a region on `thread`. Regions nest; the same name may be
+  /// entered under different parents (flat events, first parent wins —
+  /// the structure our case-study codes have is a tree, so this is exact).
+  void enter(std::size_t thread, const std::string& region);
+
+  /// Attributes `cycles` (and optionally counters) of direct work to the
+  /// innermost open region on `thread`; inclusive time flows to all open
+  /// ancestors. Throws when no region is open.
+  void add_work(std::size_t thread, std::uint64_t cycles,
+                const hwcounters::CounterVector* counters = nullptr);
+
+  /// Closes the innermost open region. Throws when `region` does not
+  /// match the top of the stack (catches unbalanced instrumentation).
+  void leave(std::size_t thread, const std::string& region);
+
+  /// Convenience: enter + add_work + leave in one call.
+  void record_leaf(std::size_t thread, const std::string& region,
+                   std::uint64_t cycles,
+                   const hwcounters::CounterVector* counters = nullptr);
+
+  /// Copies metadata into the trial being built.
+  void set_metadata(const std::string& key, std::string value);
+
+  /// Finalizes and returns the trial. Throws when any thread still has
+  /// open regions. The builder is single-use.
+  [[nodiscard]] profile::Trial build();
+
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return stacks_.size();
+  }
+  /// Depth of the open-region stack (for tests).
+  [[nodiscard]] std::size_t open_depth(std::size_t thread) const;
+
+ private:
+  struct Frame {
+    profile::EventId event;
+  };
+
+  profile::Trial trial_;
+  double clock_ghz_;
+  std::vector<hwcounters::Counter> counters_;
+  profile::MetricId time_metric_;
+  profile::MetricId cycles_metric_;
+  std::vector<profile::MetricId> counter_metrics_;
+  std::vector<std::vector<Frame>> stacks_;
+  bool built_ = false;
+};
+
+}  // namespace perfknow::instrument

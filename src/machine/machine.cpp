@@ -1,0 +1,120 @@
+#include "machine/machine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace perfknow::machine {
+
+MachineConfig MachineConfig::altix300() {
+  MachineConfig c;
+  c.num_nodes = 8;  // 16 CPUs
+  return c;
+}
+
+MachineConfig MachineConfig::altix3600() {
+  MachineConfig c;
+  c.num_nodes = 256;  // 512 CPUs
+  return c;
+}
+
+std::uint32_t NumaTopology::node_of_cpu(std::uint32_t cpu) const {
+  if (cpu >= config_.num_cpus()) {
+    throw InvalidArgumentError("NumaTopology: cpu " + std::to_string(cpu) +
+                               " out of range (" +
+                               std::to_string(config_.num_cpus()) + " cpus)");
+  }
+  return cpu / config_.cpus_per_node;
+}
+
+std::uint32_t NumaTopology::hops(std::uint32_t node_a,
+                                 std::uint32_t node_b) const {
+  if (node_a >= config_.num_nodes || node_b >= config_.num_nodes) {
+    throw InvalidArgumentError("NumaTopology: node out of range");
+  }
+  if (node_a == node_b) return 0;
+  const std::uint32_t brick_a = node_a / config_.nodes_per_brick;
+  const std::uint32_t brick_b = node_b / config_.nodes_per_brick;
+  if (brick_a == brick_b) return 1;  // through the shared memory hub
+  // Router tree over bricks: each first-level router joins 4 bricks;
+  // every further level doubles the span. Distance = 2 * levels-to-common
+  // (up and down), plus the hub hop on each end.
+  std::uint32_t span = 4;
+  std::uint32_t level = 1;
+  while (brick_a / span != brick_b / span) {
+    span *= 2;
+    ++level;
+  }
+  return 2 + 2 * (level - 1);
+}
+
+std::uint32_t NumaTopology::memory_latency(std::uint32_t cpu,
+                                           std::uint32_t home_node) const {
+  const std::uint32_t h = hops(node_of_cpu(cpu), home_node);
+  return config_.local_memory_latency + h * config_.numalink_hop_latency;
+}
+
+std::uint32_t NumaTopology::worst_case_remote_latency() const {
+  std::uint32_t worst = 0;
+  // Node 0 to every other node covers the maximum tree distance.
+  for (std::uint32_t n = 0; n < config_.num_nodes; ++n) {
+    worst = std::max(worst, hops(0, n));
+  }
+  return config_.local_memory_latency + worst * config_.numalink_hop_latency;
+}
+
+std::size_t PageTable::first_touch(std::uint64_t addr, std::uint64_t bytes,
+                                   std::uint32_t cpu) {
+  if (bytes == 0) return 0;
+  const std::uint32_t node = topo_.node_of_cpu(cpu);
+  const std::uint64_t first = page_of(addr);
+  const std::uint64_t last = page_of(addr + bytes - 1);
+  std::size_t placed = 0;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    if (home_.emplace(p, node).second) ++placed;
+  }
+  return placed;
+}
+
+void PageTable::place(std::uint64_t addr, std::uint64_t bytes,
+                      std::uint32_t node) {
+  if (bytes == 0) return;
+  const std::uint64_t first = page_of(addr);
+  const std::uint64_t last = page_of(addr + bytes - 1);
+  for (std::uint64_t p = first; p <= last; ++p) {
+    home_[p] = node;
+  }
+}
+
+std::uint32_t PageTable::node_of(std::uint64_t addr) const {
+  const auto it = home_.find(page_of(addr));
+  return it == home_.end() ? 0 : it->second;
+}
+
+double PageTable::local_fraction(std::uint64_t addr, std::uint64_t bytes,
+                                 std::uint32_t node) const {
+  if (bytes == 0) return 1.0;
+  const std::uint64_t first = page_of(addr);
+  const std::uint64_t last = page_of(addr + bytes - 1);
+  std::uint64_t local = 0;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    const auto it = home_.find(p);
+    const std::uint32_t home = it == home_.end() ? 0 : it->second;
+    if (home == node) ++local;
+  }
+  return static_cast<double>(local) / static_cast<double>(last - first + 1);
+}
+
+std::uint64_t SimAddressSpace::allocate(std::uint64_t bytes,
+                                        std::uint64_t align) {
+  if (align == 0 || (align & (align - 1)) != 0) {
+    throw InvalidArgumentError(
+        "SimAddressSpace::allocate: align must be a power of two");
+  }
+  next_ = (next_ + align - 1) & ~(align - 1);
+  const std::uint64_t addr = next_;
+  next_ += bytes;
+  return addr;
+}
+
+}  // namespace perfknow::machine

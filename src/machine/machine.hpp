@@ -1,0 +1,194 @@
+// Parameterized ccNUMA machine model.
+//
+// Stands in for the SGI Altix 300/3600 systems of the paper: Itanium 2
+// (Madison) processors, two CPUs per node, two nodes per C-brick, bricks
+// joined by memory routers in a hierarchical (fat-tree-like) topology over
+// NUMAlink. The model supplies exactly what counter synthesis and the
+// runtime need: cache geometry/latencies, NUMA hop distances, memory
+// latencies, and a first-touch page table.
+//
+// All latencies are in CPU cycles at the configured clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace perfknow::machine {
+
+/// One level of the data-cache hierarchy.
+struct CacheLevel {
+  std::string name;             ///< "L1D", "L2", "L3"
+  std::uint64_t size_bytes = 0;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t latency_cycles = 1;  ///< hit latency of *this* level
+};
+
+/// Whole-machine description. Defaults model an Altix with Itanium 2
+/// Madison 1.5 GHz parts (16 KB L1D, 256 KB L2, 6 MB L3) and NUMAlink 4.
+struct MachineConfig {
+  double clock_ghz = 1.5;
+  std::uint32_t issue_width = 6;  ///< Itanium 2 is 6-wide
+
+  std::vector<CacheLevel> caches{
+      {"L1D", 16 * 1024, 64, 1},
+      {"L2", 256 * 1024, 128, 5},
+      {"L3", 6 * 1024 * 1024, 128, 14},
+  };
+
+  std::uint32_t local_memory_latency = 210;    ///< cycles, on-node DRAM
+  std::uint32_t numalink_hop_latency = 95;     ///< extra cycles per router hop
+  std::uint32_t tlb_miss_penalty = 25;
+  std::uint64_t tlb_reach_bytes = 2 * 1024 * 1024;  ///< covered working set
+
+  std::uint64_t page_bytes = 16 * 1024;  ///< SGI Linux default 16 KB pages
+
+  std::uint32_t cpus_per_node = 2;
+  std::uint32_t nodes_per_brick = 2;
+  std::uint32_t num_nodes = 8;  ///< Altix 300: 8 nodes / 16 CPUs
+
+  // Interconnect bandwidth for message-passing cost (NUMAlink4 ~3.2 GB/s
+  // per direction): cycles consumed per byte transferred.
+  double cycles_per_byte = 0.47;
+  std::uint32_t mpi_latency_cycles = 2200;  ///< ~1.5 us one-way software+wire
+
+  // Power model constants (Itanium 2 Madison).
+  double tdp_watts = 107.0;
+  double idle_watts = 32.0;
+
+  /// Total CPUs in the machine.
+  [[nodiscard]] std::uint32_t num_cpus() const noexcept {
+    return num_nodes * cpus_per_node;
+  }
+
+  /// Preset mirroring the paper's Altix 300 (8 nodes x 2 Itanium 2).
+  [[nodiscard]] static MachineConfig altix300();
+  /// Preset mirroring the paper's Altix 3600 (256 nodes x 2 = 512 CPUs).
+  [[nodiscard]] static MachineConfig altix3600();
+};
+
+/// Router-hop distances of the hierarchical NUMAlink topology.
+class NumaTopology {
+ public:
+  explicit NumaTopology(const MachineConfig& config) : config_(config) {}
+
+  [[nodiscard]] std::uint32_t node_of_cpu(std::uint32_t cpu) const;
+
+  /// Router hops between two nodes: 0 on-node, 1 within a C-brick, then
+  /// 2 + tree distance between brick-level routers (each router joins 4
+  /// bricks; higher levels double the span).
+  [[nodiscard]] std::uint32_t hops(std::uint32_t node_a,
+                                   std::uint32_t node_b) const;
+
+  /// Memory access latency in cycles for a CPU touching memory homed on
+  /// `home_node` (local latency plus per-hop NUMAlink cost).
+  [[nodiscard]] std::uint32_t memory_latency(std::uint32_t cpu,
+                                             std::uint32_t home_node) const;
+
+  /// Worst-case remote latency in the machine — the paper's "estimation of
+  /// the worst-case scenario for a pair of nodes with the maximum number
+  /// of hops"; used as the coefficient in the memory-stall formula.
+  [[nodiscard]] std::uint32_t worst_case_remote_latency() const;
+
+ private:
+  MachineConfig config_;
+};
+
+/// First-touch page placement table over a simulated address space.
+///
+/// Applications allocate simulated buffers from SimAddressSpace; every
+/// page starts unplaced. The first CPU to touch a page homes it on that
+/// CPU's node (the Altix/Linux default policy); explicit placement models
+/// parallel initialization or privatization fixes.
+class PageTable {
+ public:
+  PageTable(const MachineConfig& config, const NumaTopology& topo)
+      : page_bytes_(config.page_bytes), topo_(topo) {}
+
+  /// Records a touch by `cpu` of [addr, addr+bytes); pages already placed
+  /// are unaffected. Returns the number of pages this call placed.
+  std::size_t first_touch(std::uint64_t addr, std::uint64_t bytes,
+                          std::uint32_t cpu);
+
+  /// Forces [addr, addr+bytes) onto `node` regardless of prior placement
+  /// (models dplace/privatization or a re-initialization).
+  void place(std::uint64_t addr, std::uint64_t bytes, std::uint32_t node);
+
+  /// Home node of the page containing `addr`; unplaced pages report
+  /// node 0 (a conservative stand-in for "will fault to the toucher").
+  [[nodiscard]] std::uint32_t node_of(std::uint64_t addr) const;
+
+  /// Fraction of the pages of [addr, addr+bytes) homed on `node`
+  /// (1.0 when the range is empty).
+  [[nodiscard]] double local_fraction(std::uint64_t addr,
+                                      std::uint64_t bytes,
+                                      std::uint32_t node) const;
+
+  /// Number of placed pages (for tests / diagnostics).
+  [[nodiscard]] std::size_t placed_pages() const noexcept {
+    return home_.size();
+  }
+
+  void clear() { home_.clear(); }
+
+ private:
+  [[nodiscard]] std::uint64_t page_of(std::uint64_t addr) const noexcept {
+    return addr / page_bytes_;
+  }
+
+  std::uint64_t page_bytes_;
+  const NumaTopology& topo_;
+  std::unordered_map<std::uint64_t, std::uint32_t> home_;
+};
+
+/// Bump allocator handing out non-overlapping simulated address ranges.
+class SimAddressSpace {
+ public:
+  /// Allocates `bytes`, aligned to `align` (must be a power of two).
+  [[nodiscard]] std::uint64_t allocate(std::uint64_t bytes,
+                                       std::uint64_t align = 64);
+
+  [[nodiscard]] std::uint64_t bytes_allocated() const noexcept {
+    return next_;
+  }
+
+ private:
+  std::uint64_t next_ = 1 << 20;  // leave page 0 area unused
+};
+
+/// The assembled machine: config + topology + page table + address space.
+class Machine {
+ public:
+  explicit Machine(MachineConfig config)
+      : config_(std::move(config)),
+        topology_(config_),
+        pages_(config_, topology_) {}
+
+  [[nodiscard]] const MachineConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const NumaTopology& topology() const noexcept {
+    return topology_;
+  }
+  [[nodiscard]] PageTable& pages() noexcept { return pages_; }
+  [[nodiscard]] const PageTable& pages() const noexcept { return pages_; }
+  [[nodiscard]] SimAddressSpace& address_space() noexcept { return space_; }
+
+  /// Converts cycles to seconds at the configured clock.
+  [[nodiscard]] double seconds(std::uint64_t cycles) const noexcept {
+    return static_cast<double>(cycles) / (config_.clock_ghz * 1e9);
+  }
+  /// Converts cycles to microseconds (TAU's TIME unit).
+  [[nodiscard]] double usec(std::uint64_t cycles) const noexcept {
+    return static_cast<double>(cycles) / (config_.clock_ghz * 1e3);
+  }
+
+ private:
+  MachineConfig config_;
+  NumaTopology topology_;
+  PageTable pages_;
+  SimAddressSpace space_;
+};
+
+}  // namespace perfknow::machine

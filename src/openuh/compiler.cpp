@@ -1,0 +1,187 @@
+#include "openuh/compiler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace perfknow::openuh {
+
+bool CompiledProgram::is_instrumented(instrument::RegionId id) const {
+  return std::find(instrumented.begin(), instrumented.end(), id) !=
+         instrumented.end();
+}
+
+const CompiledLoop& CompiledProgram::loop(std::string_view nest_name) const {
+  for (const auto& l : loops) {
+    if (l.nest.name == nest_name) return l;
+  }
+  throw NotFoundError("CompiledProgram '" + name + "': no loop nest '" +
+                      std::string(nest_name) + "'");
+}
+
+hwcounters::KernelWork kernel_work_for_nest(
+    const LoopNest& nest, const CodeGenProfile& cg, double scale,
+    const std::map<std::string, std::uint64_t>& array_bases) {
+  if (scale <= 0.0) {
+    throw InvalidArgumentError("kernel_work_for_nest: scale must be > 0");
+  }
+  hwcounters::KernelWork w;
+  const auto iters = static_cast<double>(nest.total_iterations()) * scale;
+  w.flops = nest.flops_per_iter * iters;
+  w.int_instructions =
+      nest.int_ops_per_iter * iters * cg.instruction_scale;
+  w.branches = nest.branches_per_iter * iters;
+  w.ilp = cg.ilp;
+  w.exposed_memory_stall_fraction = cg.exposed_stall_fraction;
+  w.issue_overhead = cg.issue_overhead;
+
+  for (const auto& a : nest.arrays) {
+    hwcounters::MemoryStream s;
+    const auto it = array_bases.find(a.name);
+    s.base = it == array_bases.end() ? 0 : it->second;
+    // A `scale` fraction of the nest touches that fraction of each
+    // array's extent (block-contiguous subdivision).
+    s.extent_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(a.extent_elements * a.element_bytes) * scale);
+    s.stride_bytes =
+        static_cast<std::uint32_t>(a.stride_elements * a.element_bytes);
+    if (s.stride_bytes == 0) {
+      s.stride_bytes = static_cast<std::uint32_t>(a.element_bytes);
+    }
+    // Register promotion at higher -O removes a fraction of the revisits,
+    // not the cold traffic: scale passes, floor 1.
+    s.passes = std::max(1.0, a.passes * cg.memory_traffic_scale);
+    s.write_fraction = a.write_fraction;
+    if (s.extent_bytes > 0) w.streams.push_back(s);
+  }
+
+  // Stack spill traffic: unoptimized code round-trips ALU results through
+  // the stack frame. The frame is tiny (L1-resident), so this adds
+  // retired instructions and issue pressure, not memory stalls — exactly
+  // why -O0 burns time while IPC-style counters stay plausible.
+  const double spill_accesses = (w.flops + w.int_instructions) *
+                                cg.stack_traffic_per_op *
+                                cg.memory_traffic_scale;
+  if (spill_accesses >= 1.0) {
+    hwcounters::MemoryStream stack;
+    stack.base = 4096;  // dedicated low page, never first-touched remotely
+    stack.extent_bytes = 4096;
+    stack.stride_bytes = 8;
+    stack.passes = spill_accesses / (4096.0 / 8.0);
+    stack.write_fraction = 0.5;
+    w.streams.push_back(stack);
+  }
+  return w;
+}
+
+CompiledProgram Compiler::compile(const ProgramIR& program,
+                                  const CompileOptions& options) const {
+  if (program.procedures.empty()) {
+    throw InvalidArgumentError("Compiler: program '" + program.name +
+                               "' has no procedures");
+  }
+
+  CompiledProgram out;
+  out.name = program.name;
+  out.opt = options.opt;
+  out.codegen = codegen_profile(options.opt);
+
+  CostModel model(config_, options.focus);
+  model.set_feedback(options.feedback);
+
+  // Candidate transformations the LNO considers for every nest (beyond
+  // caller-specified extras): interchange each array to unit stride,
+  // tile to L2/L3 capacity, and parallelize each nest level.
+  std::uint32_t map_id = 1;
+  for (const auto& proc : program.procedures) {
+    instrument::Region pr;
+    pr.name = proc.name;
+    pr.kind = instrument::RegionKind::kProcedure;
+    pr.weight = proc.straightline_statements +
+                8.0 * static_cast<double>(proc.loops.size());
+    pr.estimated_calls = proc.estimated_calls;
+    pr.map_id = map_id++;
+    const instrument::RegionId proc_region = out.registry.add(pr);
+    out.phase_map.record(WhirlLevel::kVeryHigh, pr.map_id, proc.name);
+
+    for (const auto& nest : proc.loops) {
+      if (nest.trip_counts.empty()) {
+        throw InvalidArgumentError("Compiler: loop nest '" + nest.name +
+                                   "' has no trip counts");
+      }
+      instrument::Region lr;
+      lr.name = nest.name;
+      lr.kind = instrument::RegionKind::kLoop;
+      lr.parent = proc_region;
+      lr.weight = 4.0 + nest.flops_per_iter + nest.int_ops_per_iter;
+      lr.estimated_calls =
+          proc.estimated_calls * static_cast<double>(nest.trip_counts[0]);
+      lr.map_id = map_id++;
+      const instrument::RegionId loop_region = out.registry.add(lr);
+      out.phase_map.record(WhirlLevel::kVeryHigh, lr.map_id, nest.name);
+
+      std::vector<Transformation> candidates = options.extra_candidates;
+      if (static_cast<int>(options.opt) >= 3) {
+        // LNO only runs at O3.
+        for (std::uint32_t ai = 0; ai < nest.arrays.size(); ++ai) {
+          Transformation t;
+          t.interchange = true;
+          t.interchange_to_inner = ai;
+          candidates.push_back(t);
+        }
+        for (const auto& cache : config_.caches) {
+          Transformation t;
+          t.tile = true;
+          t.tile_bytes = cache.size_bytes / 2;
+          candidates.push_back(t);
+        }
+      }
+      if (nest.parallelizable && options.target_threads > 1) {
+        for (std::uint32_t l = 0; l < nest.trip_counts.size(); ++l) {
+          Transformation t;
+          t.parallelize = true;
+          t.parallel_level = l;
+          t.num_threads = options.target_threads;
+          candidates.push_back(t);
+        }
+      }
+
+      CompiledLoop cl;
+      cl.procedure = proc.name;
+      cl.nest = nest;
+      cl.region = loop_region;
+      cl.plan = model.best_plan(nest, out.codegen, candidates);
+      if (cl.plan.chosen.parallelize) {
+        cl.nest.parallel_level = cl.plan.chosen.parallel_level;
+      }
+      // LNO rewrites the nest at the HIGH WHIRL level; record what the
+      // measured region maps to after the transformation.
+      const std::string chosen = cl.plan.chosen.name();
+      if (chosen != "identity") {
+        out.phase_map.record(WhirlLevel::kHigh, lr.map_id,
+                             nest.name + "[" + chosen + "]");
+        out.phase_map.record_derivation(WhirlLevel::kHigh, lr.map_id,
+                                        chosen);
+      }
+      out.loops.push_back(std::move(cl));
+    }
+
+    for (const auto& callee : proc.callees) {
+      instrument::Region cr;
+      cr.name = proc.name + " -> " + callee;
+      cr.kind = instrument::RegionKind::kCallsite;
+      cr.parent = proc_region;
+      cr.weight = 1.0;
+      cr.estimated_calls = proc.estimated_calls;
+      cr.map_id = map_id++;
+      out.registry.add(cr);
+      out.phase_map.record(WhirlLevel::kVeryHigh, cr.map_id, cr.name);
+    }
+  }
+
+  out.instrumented =
+      instrument::select_regions(out.registry, options.instrumentation);
+  return out;
+}
+
+}  // namespace perfknow::openuh

@@ -1,0 +1,90 @@
+// The OpenUH compiler driver: front end output (ProgramIR) in, compiled
+// program out.
+//
+// Compilation here means everything the integration needs from a real
+// compiler: run the optimization pipeline for the requested level, let
+// the LNO cost models pick loop transformations, register every construct
+// in the region registry with WHIRL-phase mapping identifiers, apply the
+// selective-instrumentation filter, and produce the code-generation
+// profile that shapes counter synthesis when the program runs on the
+// simulated machine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hwcounters/synthesize.hpp"
+#include "instrument/regions.hpp"
+#include "machine/machine.hpp"
+#include "openuh/cost_model.hpp"
+#include "openuh/feedback.hpp"
+#include "openuh/ir.hpp"
+#include "openuh/passes.hpp"
+#include "openuh/phase_map.hpp"
+
+namespace perfknow::openuh {
+
+struct CompileOptions {
+  OptLevel opt = OptLevel::kO2;
+  instrument::InstrumentationFlags instrumentation =
+      instrument::InstrumentationFlags::procedures_only();
+  CostFocus focus = CostFocus::kBalanced;
+  /// Measured feedback from a prior run (may be nullptr).
+  const FeedbackData* feedback = nullptr;
+  /// Thread count the parallel model should target.
+  unsigned target_threads = 1;
+  /// Extra LNO transformation candidates to consider for every nest.
+  std::vector<Transformation> extra_candidates;
+};
+
+/// One loop nest after compilation.
+struct CompiledLoop {
+  std::string procedure;
+  LoopNest nest;  ///< post-transformation shape
+  instrument::RegionId region = instrument::kNoRegion;
+  TransformationPlan plan;
+};
+
+/// Everything the runtime and the instrumenter need about the binary.
+struct CompiledProgram {
+  std::string name;
+  OptLevel opt = OptLevel::kO0;
+  CodeGenProfile codegen;
+  instrument::RegionRegistry registry;
+  /// Regions that survived selective instrumentation.
+  std::vector<instrument::RegionId> instrumented;
+  std::vector<CompiledLoop> loops;
+  /// map_id -> IR node per WHIRL level (see phase_map.hpp).
+  PhaseMap phase_map;
+
+  [[nodiscard]] bool is_instrumented(instrument::RegionId id) const;
+  [[nodiscard]] const CompiledLoop& loop(std::string_view nest_name) const;
+};
+
+/// Converts a loop nest (as compiled) into the kernel-work descriptor one
+/// *full execution* of the nest presents to the counter synthesizer.
+/// `scale` subdivides: e.g. 1/trip_counts[0] describes one outer
+/// iteration. Stream base addresses are filled from `array_bases`
+/// (array name -> simulated address); arrays missing from the map get
+/// base 0. Extents/strides honor the codegen memory-traffic scale.
+[[nodiscard]] hwcounters::KernelWork kernel_work_for_nest(
+    const LoopNest& nest, const CodeGenProfile& cg, double scale,
+    const std::map<std::string, std::uint64_t>& array_bases);
+
+class Compiler {
+ public:
+  explicit Compiler(machine::MachineConfig config)
+      : config_(std::move(config)) {}
+
+  /// Runs the full pipeline. Throws InvalidArgumentError on malformed IR
+  /// (empty program, loop nest without trip counts, ...).
+  [[nodiscard]] CompiledProgram compile(const ProgramIR& program,
+                                        const CompileOptions& options) const;
+
+ private:
+  machine::MachineConfig config_;
+};
+
+}  // namespace perfknow::openuh

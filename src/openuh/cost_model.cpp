@@ -1,0 +1,285 @@
+#include "openuh/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace perfknow::openuh {
+
+namespace {
+
+constexpr double kUsableRegisters = 96.0;   // of Itanium's 128 GPR/FPR
+constexpr double kSpillCyclesPerValue = 2.0;
+constexpr double kInnerLoopStartupCycles = 12.0;  // pipeline fill
+constexpr double kForkCycles = 9000.0;
+constexpr double kJoinCycles = 3000.0;
+constexpr double kBarrierCycles = 2200.0;
+constexpr double kReductionPerLevelCycles = 260.0;
+
+/// Total memory accesses of one full nest execution.
+double total_accesses(const LoopNest& nest) {
+  double acc = 0.0;
+  for (const auto& a : nest.arrays) {
+    if (a.stride_elements == 0) continue;
+    acc += std::ceil(static_cast<double>(a.extent_elements) /
+                     static_cast<double>(a.stride_elements)) *
+           std::max(a.passes, 1.0);
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::string Transformation::name() const {
+  std::vector<std::string> parts;
+  if (interchange) {
+    parts.push_back("interchange(a" + std::to_string(interchange_to_inner) +
+                    ")");
+  }
+  if (tile) parts.push_back("tile(" + std::to_string(tile_bytes) + "B)");
+  if (parallelize) {
+    parts.push_back("parallel(l" + std::to_string(parallel_level) + ",t" +
+                    std::to_string(num_threads) + ")");
+  }
+  if (parts.empty()) return "identity";
+  return strings::join(parts, "+");
+}
+
+double CostModel::processor_cycles(const LoopNest& nest,
+                                   const CodeGenProfile& cg) const {
+  const auto iters = static_cast<double>(nest.total_iterations());
+  const double flops = nest.flops_per_iter * iters;
+  const double ints = nest.int_ops_per_iter * iters * cg.instruction_scale;
+  const double branches = nest.branches_per_iter * iters;
+  const double mem_ops = total_accesses(nest) * cg.memory_traffic_scale;
+  const double instructions = flops + ints + branches + mem_ops;
+  const double ipc = std::clamp(cg.ilp, 0.1,
+                                static_cast<double>(config_.issue_width));
+  return instructions / ipc;
+}
+
+double CostModel::spill_cycles(const LoopNest& nest,
+                               const CodeGenProfile& cg) const {
+  // Live-value pressure estimate: each array reference pins an address
+  // and a value register; FP expression trees pin intermediates in
+  // proportion to the overlap the schedule seeks.
+  const double pressure = static_cast<double>(nest.arrays.size()) * 3.0 +
+                          nest.flops_per_iter * 0.75 * cg.ilp;
+  const double excess = std::max(0.0, pressure - kUsableRegisters);
+  if (excess == 0.0) return 0.0;
+  const auto iters = static_cast<double>(nest.total_iterations());
+  return excess * kSpillCyclesPerValue * iters *
+         cg.memory_traffic_scale;
+}
+
+CachePrediction CostModel::predict_cache(const LoopNest& nest,
+                                         const Transformation& t) const {
+  if (config_.caches.size() != 3) {
+    throw InvalidArgumentError("CostModel: machine must model L1D/L2/L3");
+  }
+  CachePrediction p;
+  const RegionFeedback* fb =
+      feedback_ != nullptr ? feedback_->find(nest.name) : nullptr;
+
+  for (std::size_t ai = 0; ai < nest.arrays.size(); ++ai) {
+    const ArrayRef& a = nest.arrays[ai];
+    const std::uint64_t extent = a.extent_elements * a.element_bytes;
+    std::uint32_t stride =
+        static_cast<std::uint32_t>(a.stride_elements * a.element_bytes);
+    if (stride == 0) stride = static_cast<std::uint32_t>(a.element_bytes);
+    double passes = std::max(a.passes, 1.0);
+    if (t.interchange && t.interchange_to_inner == ai &&
+        a.stride_elements > 1) {
+      // Interchange turns a column-major traversal (stride-S sweeps,
+      // repeated S times at successive offsets) into one linear sweep:
+      // unit stride, passes shrink by the old element stride.
+      passes = std::max(1.0, passes / static_cast<double>(a.stride_elements));
+      stride = static_cast<std::uint32_t>(a.element_bytes);
+    }
+    const double accesses =
+        std::ceil(static_cast<double>(extent) / stride) * passes;
+
+    // Tiling caps the live working set per reuse region.
+    const std::uint64_t working_set =
+        (t.tile && t.tile_bytes > 0) ? std::min(extent, t.tile_bytes)
+                                     : extent;
+
+    auto level_misses = [&](const machine::CacheLevel& lvl) {
+      const double lines = std::ceil(
+          static_cast<double>(extent) /
+          static_cast<double>(std::max<std::uint32_t>(stride, lvl.line_bytes)));
+      // When the (tiled) working set fits, only cold misses remain.
+      return working_set <= lvl.size_bytes ? lines : lines * passes;
+    };
+
+    double m1 = level_misses(config_.caches[0]);
+    double m2 = std::min(level_misses(config_.caches[1]), m1);
+    double m3 = std::min(level_misses(config_.caches[2]), m2);
+
+    // Measured feedback overrides the static miss prediction.
+    if (fb != nullptr && fb->l2_miss_rate) m2 = accesses * *fb->l2_miss_rate;
+    if (fb != nullptr && fb->l3_miss_rate) m3 = accesses * *fb->l3_miss_rate;
+    m2 = std::min(m2, m1);
+    m3 = std::min(m3, m2);
+
+    p.l1_misses += m1;
+    p.l2_misses += m2;
+    p.l3_misses += m3;
+
+    const double pages = std::ceil(
+        static_cast<double>(extent) / static_cast<double>(config_.page_bytes));
+    p.tlb_misses +=
+        extent <= config_.tlb_reach_bytes ? pages : pages * passes;
+  }
+
+  // Memory latency for L3 misses: local unless feedback reports a remote
+  // ratio, in which case the blend uses the worst-case remote latency —
+  // the same coefficient choice the paper's formula makes.
+  const machine::NumaTopology topo(config_);
+  double l3_latency = config_.local_memory_latency;
+  if (fb != nullptr && fb->remote_access_ratio) {
+    const double r = std::clamp(*fb->remote_access_ratio, 0.0, 1.0);
+    l3_latency = (1.0 - r) * config_.local_memory_latency +
+                 r * topo.worst_case_remote_latency();
+  }
+
+  const double l2_lat = config_.caches[1].latency_cycles;
+  const double l3_lat = config_.caches[2].latency_cycles;
+  p.stall_cycles = (p.l1_misses - p.l2_misses) * l2_lat +
+                   (p.l2_misses - p.l3_misses) * l3_lat +
+                   p.l3_misses * l3_latency +
+                   p.tlb_misses * config_.tlb_miss_penalty;
+
+  // Inner-loop startup: one pipeline fill per inner-loop entry.
+  double inner_entries = 1.0;
+  for (std::size_t i = 0; i + 1 < nest.trip_counts.size(); ++i) {
+    inner_entries *= static_cast<double>(nest.trip_counts[i]);
+  }
+  p.startup_cycles = inner_entries * kInnerLoopStartupCycles;
+  return p;
+}
+
+double CostModel::parallel_overhead_cycles(const LoopNest& nest,
+                                           unsigned threads) const {
+  if (threads <= 1) return 0.0;
+  const double levels =
+      std::ceil(std::log2(static_cast<double>(std::max(2u, threads))));
+  double overhead = kForkCycles + kJoinCycles + kBarrierCycles;
+  if (nest.has_reduction) overhead += levels * kReductionPerLevelCycles;
+  return overhead;
+}
+
+double CostModel::imbalance_cycles(const LoopNest& nest, unsigned threads,
+                                   double serial_cycles) const {
+  if (threads <= 1) return 0.0;
+  const RegionFeedback* fb =
+      feedback_ != nullptr ? feedback_->find(nest.name) : nullptr;
+  // Static default: counted rectangular nests divide evenly. Measured
+  // imbalance (stddev/mean of per-thread time) says otherwise: idle time
+  // at the barrier is roughly CV * per-thread share.
+  const double cv = (fb != nullptr && fb->imbalance_cv) ? *fb->imbalance_cv
+                                                        : 0.0;
+  return cv * serial_cycles / static_cast<double>(threads);
+}
+
+LoopCostBreakdown CostModel::evaluate(const LoopNest& nest,
+                                      const CodeGenProfile& cg,
+                                      const Transformation& t) const {
+  LoopCostBreakdown c;
+  c.compute_cycles = processor_cycles(nest, cg);
+  c.register_spill_cycles = spill_cycles(nest, cg);
+  const CachePrediction cp = predict_cache(nest, t);
+  c.memory_stall_cycles = cp.stall_cycles * cg.exposed_stall_fraction;
+  c.cache_startup_cycles = cp.startup_cycles;
+
+  if (t.parallelize && t.num_threads > 1) {
+    const double share = 1.0 / static_cast<double>(t.num_threads);
+    const double serial =
+        c.compute_cycles + c.memory_stall_cycles + c.cache_startup_cycles;
+    // Forking at an inner level forks once per enclosing iteration.
+    double forks = 1.0;
+    for (std::uint32_t l = 0;
+         l < t.parallel_level && l < nest.trip_counts.size(); ++l) {
+      forks *= static_cast<double>(nest.trip_counts[l]);
+    }
+    c.compute_cycles *= share;
+    c.memory_stall_cycles *= share;
+    c.cache_startup_cycles *= share;
+    c.register_spill_cycles *= share;
+    c.parallel_overhead_cycles =
+        forks * parallel_overhead_cycles(nest, t.num_threads);
+    c.imbalance_cycles = imbalance_cycles(nest, t.num_threads, serial);
+  }
+  return c;
+}
+
+double CostModel::focus_weighted(const LoopCostBreakdown& c) const {
+  switch (focus_) {
+    case CostFocus::kBalanced:
+      return c.total();
+    case CostFocus::kCacheMisses:
+      return c.total() + 2.0 * (c.memory_stall_cycles + c.cache_startup_cycles);
+    case CostFocus::kRegisterPressure:
+      return c.total() + 2.0 * c.register_spill_cycles;
+    case CostFocus::kParallelOverhead:
+      return c.total() +
+             2.0 * (c.parallel_overhead_cycles + c.imbalance_cycles);
+  }
+  return c.total();
+}
+
+TransformationPlan CostModel::best_plan(
+    const LoopNest& nest, const CodeGenProfile& cg,
+    std::span<const Transformation> candidates) const {
+  TransformationPlan plan;
+  plan.chosen = Transformation{};  // identity
+  plan.predicted = evaluate(nest, cg, plan.chosen);
+  plan.considered.emplace_back("identity", focus_weighted(plan.predicted));
+  double best = plan.considered.back().second;
+
+  for (const auto& t : candidates) {
+    // Constraints prune illegal/unhelpful candidates before evaluation.
+    if (t.interchange && t.interchange_to_inner >= nest.arrays.size()) {
+      continue;
+    }
+    if (t.tile && t.tile_bytes == 0) continue;
+    if (t.parallelize &&
+        (!nest.parallelizable || t.num_threads <= 1 ||
+         t.parallel_level >= nest.trip_counts.size())) {
+      continue;
+    }
+    const LoopCostBreakdown c = evaluate(nest, cg, t);
+    const double cost = focus_weighted(c);
+    plan.considered.emplace_back(t.name(), cost);
+    if (cost < best) {
+      best = cost;
+      plan.chosen = t;
+      plan.predicted = c;
+    }
+  }
+  return plan;
+}
+
+std::optional<std::uint32_t> CostModel::recommend_parallel_level(
+    const LoopNest& nest, const CodeGenProfile& cg, unsigned threads) const {
+  if (!nest.parallelizable || threads <= 1) return std::nullopt;
+  const double serial_cost = evaluate(nest, cg).total();
+  std::optional<std::uint32_t> best_level;
+  double best_cost = serial_cost;
+  for (std::uint32_t l = 0; l < nest.trip_counts.size(); ++l) {
+    Transformation t;
+    t.parallelize = true;
+    t.parallel_level = l;
+    t.num_threads = threads;
+    const double cost = evaluate(nest, cg, t).total();
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_level = l;
+    }
+  }
+  return best_level;
+}
+
+}  // namespace perfknow::openuh

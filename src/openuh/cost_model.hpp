@@ -1,0 +1,146 @@
+// OpenUH static cost models: processor, cache, and parallel.
+//
+// The loop-nest optimizer evaluates combinations of loop transformations
+// against these models (Wolf/Maydan/Chen style), using constraints to
+// avoid exhaustive search. The processor model covers instruction
+// scheduling and register pressure; the cache model predicts per-level
+// misses and startup cost; the parallel model weighs fork-join and
+// reduction overhead to decide whether — and at which nest level — to
+// parallelize a loop.
+//
+// Runtime feedback (FeedbackData) can replace the static miss-rate and
+// balance estimates with measured ones: the paper's proposed
+// feedback-directed cost-model improvement.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "openuh/feedback.hpp"
+#include "openuh/ir.hpp"
+#include "openuh/passes.hpp"
+
+namespace perfknow::openuh {
+
+/// Predicted cost of executing one full loop nest.
+struct LoopCostBreakdown {
+  double compute_cycles = 0.0;       ///< issue-limited schedule length
+  double register_spill_cycles = 0.0;
+  double memory_stall_cycles = 0.0;  ///< cache model, incl. startup
+  double cache_startup_cycles = 0.0; ///< inner-loop cold-start component
+  double parallel_overhead_cycles = 0.0;  ///< fork/join/barrier/reduction
+  double imbalance_cycles = 0.0;     ///< idle time from uneven work
+
+  [[nodiscard]] double total() const noexcept {
+    return compute_cycles + register_spill_cycles + memory_stall_cycles +
+           cache_startup_cycles + parallel_overhead_cycles +
+           imbalance_cycles;
+  }
+};
+
+/// Per-level miss prediction from the cache model.
+struct CachePrediction {
+  double l1_misses = 0.0;
+  double l2_misses = 0.0;
+  double l3_misses = 0.0;
+  double tlb_misses = 0.0;
+  double stall_cycles = 0.0;
+  double startup_cycles = 0.0;
+};
+
+/// A candidate transformation combination the LNO may apply to a nest.
+struct Transformation {
+  bool interchange = false;   ///< move `interchange_to_inner` innermost
+  std::uint32_t interchange_to_inner = 0;  ///< array whose stride becomes 1
+  bool tile = false;
+  std::uint64_t tile_bytes = 0;  ///< working set per tile after blocking
+  bool parallelize = false;
+  std::uint32_t parallel_level = 0;
+  unsigned num_threads = 1;
+
+  [[nodiscard]] std::string name() const;
+};
+
+/// What the LNO decided for one nest.
+struct TransformationPlan {
+  Transformation chosen;
+  LoopCostBreakdown predicted;
+  std::vector<std::pair<std::string, double>> considered;  ///< name -> cost
+};
+
+/// Optimization priorities the cost model can be customized for
+/// (the paper: cache misses, register pressure, scheduling, stalls,
+/// parallel overheads).
+enum class CostFocus {
+  kBalanced,
+  kCacheMisses,
+  kRegisterPressure,
+  kParallelOverhead,
+};
+
+class CostModel {
+ public:
+  explicit CostModel(machine::MachineConfig config,
+                     CostFocus focus = CostFocus::kBalanced)
+      : config_(std::move(config)), focus_(focus) {}
+
+  /// Attach measured feedback; regions are matched by loop-nest name.
+  void set_feedback(const FeedbackData* feedback) { feedback_ = feedback; }
+
+  /// Processor model: schedule length + spill cost for one full nest.
+  [[nodiscard]] double processor_cycles(const LoopNest& nest,
+                                        const CodeGenProfile& cg) const;
+  /// Register-pressure spill estimate (cycles) for one full nest.
+  [[nodiscard]] double spill_cycles(const LoopNest& nest,
+                                    const CodeGenProfile& cg) const;
+
+  /// Cache model: per-level misses, stall cycles and inner-loop startup
+  /// for one full nest (optionally as transformed).
+  [[nodiscard]] CachePrediction predict_cache(
+      const LoopNest& nest, const Transformation& t = {}) const;
+
+  /// Parallel model: overhead + imbalance cycles when running the nest on
+  /// `threads` threads at `level`.
+  [[nodiscard]] double parallel_overhead_cycles(const LoopNest& nest,
+                                                unsigned threads) const;
+  [[nodiscard]] double imbalance_cycles(const LoopNest& nest,
+                                        unsigned threads,
+                                        double serial_cycles) const;
+
+  /// Full evaluation of one candidate.
+  [[nodiscard]] LoopCostBreakdown evaluate(const LoopNest& nest,
+                                           const CodeGenProfile& cg,
+                                           const Transformation& t = {}) const;
+
+  /// Evaluates the candidates (plus the identity transformation) and
+  /// returns the cheapest under the current focus. Candidates violating
+  /// constraints (tile larger than the nest, parallel level out of range)
+  /// are skipped rather than evaluated — the paper's "constraints to
+  /// avoid an exhaustive search".
+  [[nodiscard]] TransformationPlan best_plan(
+      const LoopNest& nest, const CodeGenProfile& cg,
+      std::span<const Transformation> candidates) const;
+
+  /// Whether the parallel model recommends parallelizing at all, and the
+  /// best nest level, for `threads` threads.
+  [[nodiscard]] std::optional<std::uint32_t> recommend_parallel_level(
+      const LoopNest& nest, const CodeGenProfile& cg,
+      unsigned threads) const;
+
+  [[nodiscard]] const machine::MachineConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] double focus_weighted(const LoopCostBreakdown& c) const;
+
+  machine::MachineConfig config_;
+  CostFocus focus_;
+  const FeedbackData* feedback_ = nullptr;
+};
+
+}  // namespace perfknow::openuh

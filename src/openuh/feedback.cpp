@@ -1,0 +1,71 @@
+#include "openuh/feedback.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace perfknow::openuh {
+
+namespace {
+
+std::string opt_str(const std::optional<double>& v) {
+  return v ? strings::format_double(*v, 9) : "-";
+}
+
+std::optional<double> opt_parse(const std::string& s) {
+  if (s == "-") return std::nullopt;
+  return strings::parse_double(s);
+}
+
+}  // namespace
+
+void FeedbackData::save(const std::filesystem::path& file) const {
+  std::ofstream os(file);
+  if (!os) {
+    throw IoError("cannot write feedback file: " + file.string());
+  }
+  os << "# region\ttime_usec\tcalls\tl2_miss_rate\tl3_miss_rate\t"
+        "remote_ratio\timbalance_cv\trecommendation\n";
+  for (const auto& [name, fb] : regions_) {
+    os << name << '\t' << strings::format_double(fb.measured_time_usec, 6)
+       << '\t' << strings::format_double(fb.calls, 1) << '\t'
+       << opt_str(fb.l2_miss_rate) << '\t' << opt_str(fb.l3_miss_rate)
+       << '\t' << opt_str(fb.remote_access_ratio) << '\t'
+       << opt_str(fb.imbalance_cv) << '\t'
+       << strings::replace_all(fb.recommendation, "\t", " ") << '\n';
+  }
+  if (!os) {
+    throw IoError("feedback write failed: " + file.string());
+  }
+}
+
+FeedbackData FeedbackData::load(const std::filesystem::path& file) {
+  std::ifstream is(file);
+  if (!is) {
+    throw IoError("cannot read feedback file: " + file.string());
+  }
+  FeedbackData data;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line.front() == '#') continue;
+    const auto fields = strings::split(line, '\t');
+    if (fields.size() < 7) {
+      throw ParseError("feedback line: expected >= 7 fields", lineno);
+    }
+    RegionFeedback fb;
+    fb.measured_time_usec = strings::parse_double(fields[1]);
+    fb.calls = strings::parse_double(fields[2]);
+    fb.l2_miss_rate = opt_parse(fields[3]);
+    fb.l3_miss_rate = opt_parse(fields[4]);
+    fb.remote_access_ratio = opt_parse(fields[5]);
+    fb.imbalance_cv = opt_parse(fields[6]);
+    if (fields.size() >= 8) fb.recommendation = fields[7];
+    data.set(fields[0], std::move(fb));
+  }
+  return data;
+}
+
+}  // namespace perfknow::openuh

@@ -1,0 +1,57 @@
+// Feedback channel from automated analysis back to the compiler.
+//
+// This is the paper's "future" arrow made concrete: PerfExplorer-style
+// analysis emits per-region measured facts (cache miss rates, remote
+// access ratios, load imbalance, measured time), which the OpenUH cost
+// models import to replace their static estimates. The file format is a
+// simple tab-separated text so both sides — and tests — can read it.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace perfknow::openuh {
+
+/// Measured facts about one code region, from a profiling run.
+struct RegionFeedback {
+  double measured_time_usec = 0.0;
+  double calls = 0.0;
+  /// Misses per memory access, when measured (overrides the cache model).
+  std::optional<double> l2_miss_rate;
+  std::optional<double> l3_miss_rate;
+  /// Remote / L3-miss ratio, when measured (scales predicted latency).
+  std::optional<double> remote_access_ratio;
+  /// Coefficient of variation of per-thread time, when measured
+  /// (informs the parallel model's imbalance term).
+  std::optional<double> imbalance_cv;
+  /// Free-form recommendation from a fired inference rule.
+  std::string recommendation;
+};
+
+/// Per-program feedback: region name -> facts.
+class FeedbackData {
+ public:
+  void set(const std::string& region, RegionFeedback fb) {
+    regions_[region] = std::move(fb);
+  }
+  [[nodiscard]] const RegionFeedback* find(
+      const std::string& region) const {
+    const auto it = regions_.find(region);
+    return it == regions_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return regions_.size(); }
+  [[nodiscard]] const std::map<std::string, RegionFeedback>& all() const {
+    return regions_;
+  }
+
+  /// Tab-separated persistence (one region per line).
+  void save(const std::filesystem::path& file) const;
+  [[nodiscard]] static FeedbackData load(const std::filesystem::path& file);
+
+ private:
+  std::map<std::string, RegionFeedback> regions_;
+};
+
+}  // namespace perfknow::openuh

@@ -1,0 +1,33 @@
+#include "openuh/ir.hpp"
+
+#include "common/error.hpp"
+
+namespace perfknow::openuh {
+
+std::string_view to_string(WhirlLevel level) {
+  switch (level) {
+    case WhirlLevel::kVeryHigh: return "VERY_HIGH";
+    case WhirlLevel::kHigh: return "HIGH";
+    case WhirlLevel::kMid: return "MID";
+    case WhirlLevel::kLow: return "LOW";
+    case WhirlLevel::kVeryLow: return "VERY_LOW";
+  }
+  return "unknown";
+}
+
+const Procedure& ProgramIR::procedure(std::string_view proc_name) const {
+  for (const auto& p : procedures) {
+    if (p.name == proc_name) return p;
+  }
+  throw NotFoundError("ProgramIR '" + name + "': no procedure '" +
+                      std::string(proc_name) + "'");
+}
+
+bool ProgramIR::has_procedure(std::string_view proc_name) const {
+  for (const auto& p : procedures) {
+    if (p.name == proc_name) return true;
+  }
+  return false;
+}
+
+}  // namespace perfknow::openuh

@@ -1,0 +1,83 @@
+// "WHIRL-lite": the compiler-side intermediate representation.
+//
+// OpenUH (an Open64 branch) lowers programs through five levels of the
+// WHIRL tree IR; its analyses and optimizations each run at a specific
+// level, and the instrumenter tags constructs with mapping identifiers so
+// performance data can be related back to the IR at a given phase. This
+// module models the part of that machinery the reproduction exercises:
+// a program as a tree of procedures and loop nests with enough static
+// shape information (trip counts, operation mix, array reference
+// patterns) for the cost models, the optimizer, and the instrumenter to
+// make the same kinds of decisions OpenUH makes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace perfknow::openuh {
+
+/// The five WHIRL levels; lowering proceeds top to bottom.
+enum class WhirlLevel {
+  kVeryHigh,  ///< front-end output, source constructs intact
+  kHigh,      ///< IPA / LNO operate here
+  kMid,       ///< WOPT (global optimizer)
+  kLow,       ///< pre-CG
+  kVeryLow,   ///< CG input
+};
+
+[[nodiscard]] std::string_view to_string(WhirlLevel level);
+
+/// One array referenced by a loop nest.
+struct ArrayRef {
+  std::string name;
+  std::uint64_t element_bytes = 8;
+  std::uint64_t extent_elements = 0;  ///< touched elements per full nest
+  std::uint32_t stride_elements = 1; ///< innermost-dimension access stride
+  double write_fraction = 0.0;
+  /// Sweeps over the array per outermost iteration (temporal reuse).
+  double passes = 1.0;
+};
+
+/// A (possibly multi-level) counted loop nest with a homogeneous body.
+struct LoopNest {
+  std::string name;
+  std::vector<std::uint64_t> trip_counts;  ///< outermost first
+  // Per innermost iteration:
+  double flops_per_iter = 0.0;
+  double int_ops_per_iter = 0.0;
+  double branches_per_iter = 1.0;  ///< the backedge itself
+  std::vector<ArrayRef> arrays;
+  bool parallelizable = false;
+  /// Candidate OpenMP level (index into trip_counts) when parallelizable.
+  std::uint32_t parallel_level = 0;
+  /// True when the loop carries a reduction (adds log-depth combine cost
+  /// to the parallel model).
+  bool has_reduction = false;
+
+  [[nodiscard]] std::uint64_t total_iterations() const noexcept {
+    std::uint64_t n = 1;
+    for (const auto t : trip_counts) n *= t;
+    return n;
+  }
+};
+
+/// A procedure: straight-line weight plus loop nests plus callsites.
+struct Procedure {
+  std::string name;
+  double straightline_statements = 4.0;
+  double estimated_calls = 1.0;
+  std::vector<LoopNest> loops;
+  std::vector<std::string> callees;
+};
+
+/// A whole program unit as the front end hands it to the middle end.
+struct ProgramIR {
+  std::string name;
+  std::vector<Procedure> procedures;
+
+  [[nodiscard]] const Procedure& procedure(std::string_view name) const;
+  [[nodiscard]] bool has_procedure(std::string_view name) const;
+};
+
+}  // namespace perfknow::openuh

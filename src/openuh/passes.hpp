@@ -1,0 +1,67 @@
+// Optimization levels as transformation pipelines.
+//
+// OpenUH applies different sets of standard optimizations at each -O
+// level; the paper's power study (Table I) turns exactly on what each
+// set does to instruction count vs instruction overlap:
+//   O0  everything off — naive code, every value through memory
+//   O1  straight-line: instruction scheduling, peephole
+//   O2  global: CSE, copy propagation, dead-store elimination, PRE
+//   O3  loop nest: fusion/fission, vectorization, software pipelining
+//
+// Each pass multiplies a code-generation profile: retired-instruction
+// scale (FLOPs are semantic work and never change), exploitable ILP,
+// memory-traffic scale (register promotion removes loads/stores), and the
+// fraction of memory stalls left exposed (prefetching hides some).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace perfknow::openuh {
+
+enum class OptLevel { kO0 = 0, kO1 = 1, kO2 = 2, kO3 = 3 };
+
+[[nodiscard]] std::string_view to_string(OptLevel level);
+[[nodiscard]] OptLevel opt_level_from_string(std::string_view s);
+
+/// How generated code executes, relative to the semantic work in the IR.
+/// The synthesizer consumes these to shape counters; FLOPs are invariant.
+struct CodeGenProfile {
+  /// Multiplier on non-FP retired instructions (integer ops, address
+  /// arithmetic). O0 spills everything and re-computes addresses, so its
+  /// scale is the 1.0 reference; optimization shrinks it.
+  double instruction_scale = 1.0;
+  /// Multiplier on loads/stores (register promotion removes them).
+  double memory_traffic_scale = 1.0;
+  /// Mean useful issues per cycle the schedule achieves.
+  double ilp = 1.0;
+  /// Fraction of memory stall cycles left exposed (prefetch hides some).
+  double exposed_stall_fraction = 1.0;
+  /// Issued-beyond-retired fraction (replays, speculation).
+  double issue_overhead = 0.02;
+  /// Stack loads+stores per ALU operation before register allocation
+  /// trims them (the O0 "every value through memory" traffic). Effective
+  /// traffic is this times memory_traffic_scale; it stays L1-resident,
+  /// so it costs issue slots and instructions, not DRAM bandwidth.
+  double stack_traffic_per_op = 2.2;
+};
+
+/// One optimization pass and its multiplicative effect.
+struct Pass {
+  std::string name;
+  double instruction_factor = 1.0;
+  double memory_traffic_factor = 1.0;
+  double ilp_factor = 1.0;
+  double exposed_stall_factor = 1.0;
+  double issue_overhead_delta = 0.0;
+};
+
+/// The pass pipeline run at a given level (cumulative: O2 includes O1's
+/// passes, O3 includes O2's).
+[[nodiscard]] std::vector<Pass> pipeline_for(OptLevel level);
+
+/// Folds the pipeline over the O0 baseline profile.
+[[nodiscard]] CodeGenProfile codegen_profile(OptLevel level);
+
+}  // namespace perfknow::openuh

@@ -1,0 +1,84 @@
+#include "openuh/phase_map.hpp"
+
+#include "common/error.hpp"
+
+namespace perfknow::openuh {
+
+namespace {
+
+constexpr WhirlLevel kLevels[] = {WhirlLevel::kVeryHigh, WhirlLevel::kHigh,
+                                  WhirlLevel::kMid, WhirlLevel::kLow,
+                                  WhirlLevel::kVeryLow};
+
+}  // namespace
+
+void PhaseMap::record(WhirlLevel level, std::uint32_t map_id,
+                      std::string ir_node) {
+  entries_[map_id].node[level] = std::move(ir_node);
+}
+
+void PhaseMap::record_derivation(WhirlLevel level, std::uint32_t map_id,
+                                 std::string transformation) {
+  entries_[map_id].transformation[level] = std::move(transformation);
+}
+
+const std::string& PhaseMap::resolve(std::uint32_t map_id,
+                                     WhirlLevel level) const {
+  const auto it = entries_.find(map_id);
+  if (it == entries_.end()) {
+    throw NotFoundError("PhaseMap: unknown map_id " +
+                        std::to_string(map_id));
+  }
+  // Walk from `level` back up to kVeryHigh for the nearest recording.
+  const std::string* found = nullptr;
+  for (const auto l : kLevels) {
+    const auto node = it->second.node.find(l);
+    if (node != it->second.node.end()) found = &node->second;
+    if (l == level) break;
+  }
+  if (found == nullptr) {
+    throw NotFoundError("PhaseMap: map_id " + std::to_string(map_id) +
+                        " has no node at or above " +
+                        std::string(to_string(level)));
+  }
+  return *found;
+}
+
+std::vector<std::string> PhaseMap::derivation_chain(
+    std::uint32_t map_id, WhirlLevel level) const {
+  const auto it = entries_.find(map_id);
+  if (it == entries_.end()) {
+    throw NotFoundError("PhaseMap: unknown map_id " +
+                        std::to_string(map_id));
+  }
+  std::vector<std::string> chain;
+  for (const auto l : kLevels) {
+    const auto t = it->second.transformation.find(l);
+    if (t != it->second.transformation.end()) chain.push_back(t->second);
+    if (l == level) break;
+  }
+  return chain;
+}
+
+std::vector<std::uint32_t> PhaseMap::ids() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, _] : entries_) out.push_back(id);
+  return out;
+}
+
+std::string PhaseMap::str() const {
+  std::string out;
+  for (const auto& [id, entry] : entries_) {
+    out += "id " + std::to_string(id) + ":";
+    for (const auto l : kLevels) {
+      const auto node = entry.node.find(l);
+      if (node == entry.node.end()) continue;
+      out += " " + std::string(to_string(l)) + "=" + node->second;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace perfknow::openuh

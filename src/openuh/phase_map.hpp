@@ -1,0 +1,60 @@
+// Phase mapping: relating performance data back to the IR.
+//
+// The paper: "The compiler instrumentation retains a mapping identifier
+// that can be used to relate performance data back to the intermediate
+// representation at a given optimization phase." A measured region name
+// is stable, but the IR construct it measures changes shape as WHIRL is
+// lowered: LNO rewrites loops, inlining clones them into callers, CG
+// renames what is left. The PhaseMap records each construct per level
+// and the derivations between levels, so analysis results (keyed by
+// map_id) resolve to the right IR node at whichever phase a feedback
+// consumer operates on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "openuh/ir.hpp"
+
+namespace perfknow::openuh {
+
+class PhaseMap {
+ public:
+  /// Registers the IR node a map_id denotes at `level`.
+  void record(WhirlLevel level, std::uint32_t map_id, std::string ir_node);
+
+  /// Records that `map_id`'s node at `level` was produced from its node
+  /// at the previous (higher) level by `transformation`.
+  void record_derivation(WhirlLevel level, std::uint32_t map_id,
+                         std::string transformation);
+
+  /// The IR node `map_id` denotes at `level`. When the id was never
+  /// re-recorded at `level`, the nearest earlier (higher) level's node is
+  /// returned — constructs persist until a pass touches them. Throws
+  /// NotFoundError for ids never recorded at any level.
+  [[nodiscard]] const std::string& resolve(std::uint32_t map_id,
+                                           WhirlLevel level) const;
+
+  /// The transformations applied to `map_id` from kVeryHigh down to
+  /// `level`, in order.
+  [[nodiscard]] std::vector<std::string> derivation_chain(
+      std::uint32_t map_id, WhirlLevel level) const;
+
+  /// All map_ids known at any level.
+  [[nodiscard]] std::vector<std::uint32_t> ids() const;
+
+  /// Human-readable dump ("id 3: VERY_HIGH=matxvec_loop, HIGH=..."),
+  /// one line per id.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  struct PerLevel {
+    std::map<WhirlLevel, std::string> node;
+    std::map<WhirlLevel, std::string> transformation;
+  };
+  std::map<std::uint32_t, PerLevel> entries_;
+};
+
+}  // namespace perfknow::openuh

@@ -1,0 +1,35 @@
+// Long-format CSV profile interchange.
+//
+// PerfDMF's claim to fame is ingesting many profile formats; the most
+// interoperable of all is a flat CSV. This module reads and writes the
+// long ("tidy") layout, one measurement per line:
+//
+//   event,thread,metric,inclusive,exclusive,calls,subcalls
+//   "main",0,TIME,5000,1000,1,2
+//   ...
+//
+// Event names are quoted when they contain commas or quotes (RFC-4180
+// escaping). Callpath parents are reconstructed from "a => b" naming on
+// import, like the TAU reader does.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "profile/profile.hpp"
+
+namespace perfknow::perfdmf {
+
+/// Writes every (event, thread, metric) cell of the trial.
+void write_csv_long(const profile::Trial& trial, std::ostream& os);
+void save_csv_long(const profile::Trial& trial,
+                   const std::filesystem::path& file);
+
+/// Parses a long-format CSV into a trial (named after the file or
+/// "csv_import" when reading a stream). Throws ParseError on malformed
+/// rows; unknown columns are rejected so silent data loss is impossible.
+[[nodiscard]] profile::Trial read_csv_long(std::istream& is);
+[[nodiscard]] profile::Trial load_csv_long(
+    const std::filesystem::path& file);
+
+}  // namespace perfknow::perfdmf

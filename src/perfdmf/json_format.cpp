@@ -1,0 +1,472 @@
+#include "perfdmf/json_format.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace perfknow::perfdmf {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser
+// ---------------------------------------------------------------------
+
+struct Json;
+using JsonPtr = std::shared_ptr<Json>;
+
+struct Json {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::vector<JsonPtr>, std::map<std::string, JsonPtr>>
+      v = nullptr;
+
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<std::map<std::string, JsonPtr>>(v);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<std::vector<JsonPtr>>(v);
+  }
+  [[nodiscard]] const std::map<std::string, JsonPtr>& object() const {
+    if (!is_object()) throw ParseError("JSON: expected object");
+    return std::get<std::map<std::string, JsonPtr>>(v);
+  }
+  [[nodiscard]] const std::vector<JsonPtr>& array() const {
+    if (!is_array()) throw ParseError("JSON: expected array");
+    return std::get<std::vector<JsonPtr>>(v);
+  }
+  [[nodiscard]] double number() const {
+    if (const auto* d = std::get_if<double>(&v)) return *d;
+    throw ParseError("JSON: expected number");
+  }
+  [[nodiscard]] const std::string& string() const {
+    if (const auto* s = std::get_if<std::string>(&v)) return *s;
+    throw ParseError("JSON: expected string");
+  }
+  [[nodiscard]] bool boolean() const {
+    if (const auto* b = std::get_if<bool>(&v)) return *b;
+    throw ParseError("JSON: expected boolean");
+  }
+
+  /// Object member access; throws with the key named.
+  [[nodiscard]] const Json& at(const std::string& key) const {
+    const auto& obj = object();
+    const auto it = obj.find(key);
+    if (it == obj.end()) {
+      throw ParseError("JSON: missing key '" + key + "'");
+    }
+    return *it->second;
+  }
+  [[nodiscard]] const Json* find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    const auto& obj = object();
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : it->second.get();
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonPtr parse() {
+    skip_ws();
+    auto v = value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    int line = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    throw ParseError("JSON: " + msg, line);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  JsonPtr value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      auto j = std::make_shared<Json>();
+      j->v = string();
+      return j;
+    }
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') {
+      literal("null");
+      return std::make_shared<Json>();
+    }
+    return number();
+  }
+
+  void literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (peek() != *p) fail(std::string("expected '") + lit + "'");
+      ++pos_;
+    }
+  }
+
+  JsonPtr boolean() {
+    auto j = std::make_shared<Json>();
+    if (peek() == 't') {
+      literal("true");
+      j->v = true;
+    } else {
+      literal("false");
+      j->v = false;
+    }
+    return j;
+  }
+
+  JsonPtr number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail("invalid number");
+    }
+    auto j = std::make_shared<Json>();
+    try {
+      j->v = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("invalid number");
+    }
+    return j;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += h - '0';
+              else if (h >= 'a' && h <= 'f') code += 10 + h - 'a';
+              else if (h >= 'A' && h <= 'F') code += 10 + h - 'A';
+              else fail("bad \\u escape");
+            }
+            // Basic-multilingual-plane only; encode as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonPtr object() {
+    expect('{');
+    auto j = std::make_shared<Json>();
+    std::map<std::string, JsonPtr> obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      j->v = std::move(obj);
+      return j;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      obj[std::move(key)] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      break;
+    }
+    j->v = std::move(obj);
+    return j;
+  }
+
+  JsonPtr array() {
+    expect('[');
+    auto j = std::make_shared<Json>();
+    std::vector<JsonPtr> arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      j->v = std::move(arr);
+      return j;
+    }
+    while (true) {
+      arr.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      break;
+    }
+    j->v = std::move(arr);
+    return j;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_number(std::ostream& os, double v) {
+  if (std::floor(v) == v && std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    os << buf;
+  }
+}
+
+}  // namespace
+
+void write_json(const profile::Trial& trial, std::ostream& os) {
+  os << "{\n  \"name\": ";
+  write_json_string(os, trial.name());
+  os << ",\n  \"threads\": " << trial.thread_count();
+  os << ",\n  \"metadata\": {";
+  bool first = true;
+  for (const auto& [k, v] : trial.all_metadata()) {
+    if (!first) os << ", ";
+    first = false;
+    write_json_string(os, k);
+    os << ": ";
+    write_json_string(os, v);
+  }
+  os << "},\n  \"metrics\": [";
+  for (profile::MetricId m = 0; m < trial.metric_count(); ++m) {
+    if (m != 0) os << ", ";
+    const auto& metric = trial.metric(m);
+    os << "{\"name\": ";
+    write_json_string(os, metric.name);
+    os << ", \"units\": ";
+    write_json_string(os, metric.units);
+    os << ", \"derived\": " << (metric.derived ? "true" : "false") << "}";
+  }
+  os << "],\n  \"events\": [";
+  for (profile::EventId e = 0; e < trial.event_count(); ++e) {
+    if (e != 0) os << ", ";
+    const auto& ev = trial.event(e);
+    os << "{\"name\": ";
+    write_json_string(os, ev.name);
+    os << ", \"parent\": "
+       << (ev.parent == profile::kNoEvent
+               ? -1
+               : static_cast<long long>(ev.parent));
+    os << ", \"group\": ";
+    write_json_string(os, ev.group);
+    os << "}";
+  }
+  os << "],\n  \"data\": [";
+  bool first_row = true;
+  for (std::size_t th = 0; th < trial.thread_count(); ++th) {
+    for (profile::EventId e = 0; e < trial.event_count(); ++e) {
+      const auto ci = trial.calls(th, e);
+      bool all_zero = ci.calls == 0.0 && ci.subcalls == 0.0;
+      for (profile::MetricId m = 0; all_zero && m < trial.metric_count();
+           ++m) {
+        if (trial.inclusive(th, e, m) != 0.0 ||
+            trial.exclusive(th, e, m) != 0.0) {
+          all_zero = false;
+        }
+      }
+      if (all_zero) continue;
+      if (!first_row) os << ",";
+      first_row = false;
+      os << "\n    {\"thread\": " << th << ", \"event\": " << e
+         << ", \"calls\": ";
+      write_number(os, ci.calls);
+      os << ", \"subcalls\": ";
+      write_number(os, ci.subcalls);
+      os << ", \"values\": [";
+      for (profile::MetricId m = 0; m < trial.metric_count(); ++m) {
+        if (m != 0) os << ", ";
+        os << "[";
+        write_number(os, trial.inclusive(th, e, m));
+        os << ", ";
+        write_number(os, trial.exclusive(th, e, m));
+        os << "]";
+      }
+      os << "]}";
+    }
+  }
+  os << "\n  ]\n}\n";
+}
+
+std::string to_json(const profile::Trial& trial) {
+  std::ostringstream ss;
+  write_json(trial, ss);
+  return ss.str();
+}
+
+void save_json(const profile::Trial& trial,
+               const std::filesystem::path& file) {
+  std::ofstream os(file);
+  if (!os) throw IoError("cannot write JSON: " + file.string());
+  write_json(trial, os);
+  if (!os) throw IoError("JSON write failed: " + file.string());
+}
+
+profile::Trial from_json(const std::string& text) {
+  JsonParser parser(text);
+  const auto root = parser.parse();
+
+  profile::Trial trial(root->at("name").string());
+  trial.set_thread_count(
+      static_cast<std::size_t>(root->at("threads").number()));
+  if (const auto* md = root->find("metadata")) {
+    for (const auto& [k, v] : md->object()) {
+      trial.set_metadata(k, v->string());
+    }
+  }
+  for (const auto& m : root->at("metrics").array()) {
+    const auto* derived = m->find("derived");
+    const auto* units = m->find("units");
+    trial.add_metric(m->at("name").string(),
+                     units != nullptr ? units->string() : "count",
+                     derived != nullptr && derived->boolean());
+  }
+  for (const auto& e : root->at("events").array()) {
+    const auto parent = static_cast<long long>(e->at("parent").number());
+    const auto* group = e->find("group");
+    trial.add_event(e->at("name").string(),
+                    parent < 0 ? profile::kNoEvent
+                               : static_cast<profile::EventId>(parent),
+                    group != nullptr ? group->string() : "");
+  }
+  for (const auto& row : root->at("data").array()) {
+    const auto th =
+        static_cast<std::size_t>(row->at("thread").number());
+    const auto e =
+        static_cast<profile::EventId>(row->at("event").number());
+    if (e >= trial.event_count() || th >= trial.thread_count()) {
+      throw ParseError("JSON: data row out of range");
+    }
+    trial.set_calls(th, e, row->at("calls").number(),
+                    row->at("subcalls").number());
+    const auto& values = row->at("values").array();
+    if (values.size() != trial.metric_count()) {
+      throw ParseError("JSON: values width does not match metric count");
+    }
+    for (profile::MetricId m = 0; m < trial.metric_count(); ++m) {
+      const auto& pair = values[m]->array();
+      if (pair.size() != 2) {
+        throw ParseError("JSON: value pair must be [inclusive, exclusive]");
+      }
+      trial.set_inclusive(th, e, m, pair[0]->number());
+      trial.set_exclusive(th, e, m, pair[1]->number());
+    }
+  }
+  return trial;
+}
+
+profile::Trial read_json(std::istream& is) {
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return from_json(ss.str());
+}
+
+profile::Trial load_json(const std::filesystem::path& file) {
+  std::ifstream is(file);
+  if (!is) throw IoError("cannot read JSON: " + file.string());
+  return read_json(is);
+}
+
+}  // namespace perfknow::perfdmf

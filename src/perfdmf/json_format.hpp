@@ -1,0 +1,37 @@
+// JSON profile interchange.
+//
+// A self-contained JSON reader/writer (no external dependency) for the
+// trial schema:
+//
+//   {
+//     "name": "...", "threads": N,
+//     "metadata": {"key": "value", ...},
+//     "metrics": [{"name": "...", "units": "...", "derived": false}],
+//     "events":  [{"name": "...", "parent": -1, "group": "..."}],
+//     "data": [{"thread": 0, "event": 0, "calls": 1, "subcalls": 0,
+//               "values": [[inclusive, exclusive], ...per metric]}]
+//   }
+//
+// Round-trip exact for the full value cube. Zero-valued data rows are
+// omitted on write to keep files compact; absent rows read back as 0.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+
+#include "profile/profile.hpp"
+
+namespace perfknow::perfdmf {
+
+void write_json(const profile::Trial& trial, std::ostream& os);
+void save_json(const profile::Trial& trial,
+               const std::filesystem::path& file);
+[[nodiscard]] std::string to_json(const profile::Trial& trial);
+
+/// Throws ParseError on malformed JSON or schema violations.
+[[nodiscard]] profile::Trial read_json(std::istream& is);
+[[nodiscard]] profile::Trial from_json(const std::string& text);
+[[nodiscard]] profile::Trial load_json(const std::filesystem::path& file);
+
+}  // namespace perfknow::perfdmf

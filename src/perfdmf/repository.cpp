@@ -1,0 +1,176 @@
+#include "perfdmf/repository.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "perfdmf/snapshot.hpp"
+
+namespace perfknow::perfdmf {
+
+void Repository::put(const std::string& application,
+                     const std::string& experiment, TrialPtr trial) {
+  if (!trial) {
+    throw InvalidArgumentError("Repository::put: null trial");
+  }
+  store_[application][experiment][trial->name()] = std::move(trial);
+}
+
+TrialPtr Repository::get(const std::string& application,
+                         const std::string& experiment,
+                         const std::string& trial) const {
+  const auto a = store_.find(application);
+  if (a == store_.end()) {
+    throw NotFoundError("no application '" + application + "'");
+  }
+  const auto e = a->second.find(experiment);
+  if (e == a->second.end()) {
+    throw NotFoundError("application '" + application +
+                        "' has no experiment '" + experiment + "'");
+  }
+  const auto t = e->second.find(trial);
+  if (t == e->second.end()) {
+    throw NotFoundError("experiment '" + application + "/" + experiment +
+                        "' has no trial '" + trial + "'");
+  }
+  return t->second;
+}
+
+bool Repository::contains(const std::string& application,
+                          const std::string& experiment,
+                          const std::string& trial) const noexcept {
+  const auto a = store_.find(application);
+  if (a == store_.end()) return false;
+  const auto e = a->second.find(experiment);
+  if (e == a->second.end()) return false;
+  return e->second.count(trial) != 0;
+}
+
+bool Repository::erase(const std::string& application,
+                       const std::string& experiment,
+                       const std::string& trial) {
+  const auto a = store_.find(application);
+  if (a == store_.end()) return false;
+  const auto e = a->second.find(experiment);
+  if (e == a->second.end()) return false;
+  return e->second.erase(trial) != 0;
+}
+
+std::vector<std::string> Repository::applications() const {
+  std::vector<std::string> out;
+  out.reserve(store_.size());
+  for (const auto& [name, _] : store_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Repository::experiments(
+    const std::string& application) const {
+  const auto a = store_.find(application);
+  if (a == store_.end()) {
+    throw NotFoundError("no application '" + application + "'");
+  }
+  std::vector<std::string> out;
+  out.reserve(a->second.size());
+  for (const auto& [name, _] : a->second) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Repository::trials(
+    const std::string& application, const std::string& experiment) const {
+  const auto a = store_.find(application);
+  if (a == store_.end()) {
+    throw NotFoundError("no application '" + application + "'");
+  }
+  const auto e = a->second.find(experiment);
+  if (e == a->second.end()) {
+    throw NotFoundError("application '" + application +
+                        "' has no experiment '" + experiment + "'");
+  }
+  std::vector<std::string> out;
+  out.reserve(e->second.size());
+  for (const auto& [name, _] : e->second) out.push_back(name);
+  return out;
+}
+
+std::vector<TrialPtr> Repository::experiment_trials(
+    const std::string& application, const std::string& experiment) const {
+  std::vector<TrialPtr> out;
+  for (const auto& name : trials(application, experiment)) {
+    out.push_back(get(application, experiment, name));
+  }
+  return out;
+}
+
+std::size_t Repository::trial_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [_, exps] : store_) {
+    for (const auto& [__, trs] : exps) n += trs.size();
+  }
+  return n;
+}
+
+namespace {
+
+// Index lines are tab-separated: app, experiment, trial name, file name.
+std::string sanitize_filename(std::string_view s, std::size_t ordinal) {
+  std::string out;
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out += ok ? c : '_';
+  }
+  return out + "_" + std::to_string(ordinal) + ".pkprof";
+}
+
+}  // namespace
+
+void Repository::save(const std::filesystem::path& dir) const {
+  std::filesystem::create_directories(dir);
+  std::ofstream index(dir / "index.tsv");
+  if (!index) {
+    throw IoError("cannot write index: " + (dir / "index.tsv").string());
+  }
+  std::size_t ordinal = 0;
+  for (const auto& [app, exps] : store_) {
+    for (const auto& [exp, trs] : exps) {
+      for (const auto& [tname, trial] : trs) {
+        const std::string fname = sanitize_filename(tname, ordinal++);
+        save_snapshot(*trial, dir / fname);
+        index << app << '\t' << exp << '\t' << tname << '\t' << fname
+              << '\n';
+      }
+    }
+  }
+  if (!index) {
+    throw IoError("index write failed: " + (dir / "index.tsv").string());
+  }
+}
+
+Repository Repository::load(const std::filesystem::path& dir) {
+  std::ifstream index(dir / "index.tsv");
+  if (!index) {
+    throw IoError("cannot read index: " + (dir / "index.tsv").string());
+  }
+  Repository repo;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(index, line)) {
+    ++lineno;
+    if (strings::trim(line).empty()) continue;
+    const auto fields = strings::split(line, '\t');
+    if (fields.size() != 4) {
+      throw ParseError("repository index: expected 4 fields", lineno);
+    }
+    auto trial = std::make_shared<profile::Trial>(
+        load_snapshot(dir / fields[3]));
+    if (trial->name() != fields[2]) {
+      throw ParseError("repository index: trial name mismatch for '" +
+                           fields[3] + "'",
+                       lineno);
+    }
+    repo.put(fields[0], fields[1], std::move(trial));
+  }
+  return repo;
+}
+
+}  // namespace perfknow::perfdmf

@@ -1,0 +1,72 @@
+// PerfDMF-like performance data management.
+//
+// The original PerfDMF stores parallel profiles in a relational database
+// under an Application -> Experiment -> Trial hierarchy and offers query
+// utilities to the analysis layer (PerfExplorer). This module reproduces
+// that hierarchy with an in-memory repository plus durable text snapshots,
+// and a reader for the classic TAU "profile.N.C.T" flat-file format.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "profile/profile.hpp"
+
+namespace perfknow::perfdmf {
+
+/// Handle type the analysis layer passes around. Trials are shared:
+/// analysis operations never copy the value cube.
+using TrialPtr = std::shared_ptr<profile::Trial>;
+using ConstTrialPtr = std::shared_ptr<const profile::Trial>;
+
+/// Application -> Experiment -> Trial store, the PerfDMF schema.
+class Repository {
+ public:
+  /// Inserts (replacing any previous trial with the same coordinates).
+  void put(const std::string& application, const std::string& experiment,
+           TrialPtr trial);
+
+  /// Fetches a trial; throws NotFoundError naming the missing level.
+  [[nodiscard]] TrialPtr get(const std::string& application,
+                             const std::string& experiment,
+                             const std::string& trial) const;
+
+  [[nodiscard]] bool contains(const std::string& application,
+                              const std::string& experiment,
+                              const std::string& trial) const noexcept;
+
+  /// Removes a trial; returns false when it was absent.
+  bool erase(const std::string& application, const std::string& experiment,
+             const std::string& trial);
+
+  [[nodiscard]] std::vector<std::string> applications() const;
+  [[nodiscard]] std::vector<std::string> experiments(
+      const std::string& application) const;
+  [[nodiscard]] std::vector<std::string> trials(
+      const std::string& application, const std::string& experiment) const;
+
+  /// All trials of one experiment ordered by name — the unit a parametric
+  /// study (scalability analysis) consumes.
+  [[nodiscard]] std::vector<TrialPtr> experiment_trials(
+      const std::string& application, const std::string& experiment) const;
+
+  [[nodiscard]] std::size_t trial_count() const noexcept;
+
+  /// Persists the whole repository: one snapshot file per trial plus an
+  /// index file, under `dir` (created if needed).
+  void save(const std::filesystem::path& dir) const;
+
+  /// Loads a repository previously written by save().
+  [[nodiscard]] static Repository load(const std::filesystem::path& dir);
+
+ private:
+  // application -> experiment -> trial-name -> trial
+  std::map<std::string,
+           std::map<std::string, std::map<std::string, TrialPtr>>>
+      store_;
+};
+
+}  // namespace perfknow::perfdmf

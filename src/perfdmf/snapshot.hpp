@@ -1,0 +1,32 @@
+// Durable text snapshot format for a single Trial ("PKPROF 1").
+//
+// Tab-separated, line-oriented, round-trip exact for the full value cube,
+// metadata, callgraph and metric schema. This is the on-disk format the
+// Repository uses; it is also convenient for checking trials into test
+// fixtures.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+
+#include "profile/profile.hpp"
+
+namespace perfknow::perfdmf {
+
+/// Serializes a trial to the PKPROF text format.
+void write_snapshot(const profile::Trial& trial, std::ostream& os);
+void save_snapshot(const profile::Trial& trial,
+                   const std::filesystem::path& file);
+
+/// Parses a PKPROF snapshot; throws ParseError / IoError on bad input.
+[[nodiscard]] profile::Trial read_snapshot(std::istream& is);
+[[nodiscard]] profile::Trial load_snapshot(
+    const std::filesystem::path& file);
+
+/// Exports the per-thread exclusive values of one metric as CSV
+/// (rows = events, columns = threads) for spreadsheet-style inspection.
+[[nodiscard]] std::string to_csv(const profile::Trial& trial,
+                                 const std::string& metric);
+
+}  // namespace perfknow::perfdmf

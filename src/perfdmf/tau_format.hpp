@@ -1,0 +1,39 @@
+// Reader/writer for the classic TAU flat-profile file format.
+//
+// TAU measurement writes one text file per thread of execution, named
+// "profile.<node>.<context>.<thread>", whose first section lists the
+// instrumented functions:
+//
+//   <count> templated_functions_MULTI_<METRIC>
+//   # Name Calls Subrs Excl Incl ProfileCalls
+//   "main" 1 2 1000 5000 0 GROUP="TAU_DEFAULT"
+//   ...
+//   0 aggregates
+//
+// PerfDMF ingests directories of such files; this module does the same,
+// flattening (node, context, thread) into the Trial thread index in
+// lexicographic (node, context, thread) order. Callpath events use TAU's
+// "a => b" naming; parent links are reconstructed from the names.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "profile/profile.hpp"
+
+namespace perfknow::perfdmf {
+
+/// Reads every "profile.N.C.T" file in `dir` into one Trial. The metric
+/// name is taken from the "templated_functions_MULTI_<METRIC>" header
+/// (plain "templated_functions" maps to TIME). Throws IoError when no
+/// profile files are present; ParseError on malformed contents.
+[[nodiscard]] profile::Trial read_tau_profiles(
+    const std::filesystem::path& dir);
+
+/// Writes `trial`'s metric `metric` in TAU format, one file per thread
+/// ("profile.<t>.0.0") under `dir` (created if needed).
+void write_tau_profiles(const profile::Trial& trial,
+                        const std::string& metric,
+                        const std::filesystem::path& dir);
+
+}  // namespace perfknow::perfdmf

@@ -1,0 +1,62 @@
+// Dynamic voltage/frequency scaling what-if analysis.
+//
+// The paper's §V proposes extending the power models "to consider the
+// impacts of architecture characteristics"; its related work (COPPER,
+// PowerPack) applies profile-driven DVS. This module answers the DVS
+// question from the same counter data the Eq. 1/2 model consumes: given
+// a measured run, how would time, power, and energy move at other
+// frequency/voltage operating points?
+//
+// Model: split measured cycles into frequency-scaled work (issue +
+// non-memory stalls) and wall-time-constant memory stalls (DRAM latency
+// does not speed up with the core clock). Dynamic power scales as
+// f * V^2 with the usual near-linear V(f) rail; idle power is constant.
+// Memory-bound codes therefore save energy at lower frequency, compute-
+// bound codes prefer race-to-idle — exactly the trade the operating
+// point study exposes.
+#pragma once
+
+#include <vector>
+
+#include "hwcounters/counters.hpp"
+#include "rules/engine.hpp"
+
+namespace perfknow::power {
+
+struct DvsOperatingPoint {
+  double frequency_ghz = 0.0;
+  double relative_voltage = 0.0;  ///< V / V_nominal
+  double seconds = 0.0;
+  double watts = 0.0;
+  double joules = 0.0;
+  double energy_delay_product = 0.0;  ///< joules x seconds
+  bool is_min_energy = false;
+  bool is_min_edp = false;
+};
+
+struct DvsModel {
+  double nominal_frequency_ghz = 1.5;
+  /// V(f)/V0 = voltage_floor + (1 - voltage_floor) * f/f0.
+  double voltage_floor = 0.55;
+  /// Fraction of measured power that is frequency-invariant (leakage +
+  /// uncore at fixed voltage would scale too; this keeps a static floor).
+  double static_power_fraction = 0.30;
+};
+
+/// Sweeps the operating points for a run measured at the nominal
+/// frequency. `per_cpu` are mean per-CPU counters; `measured_seconds`
+/// and `measured_watts` describe the nominal run (whole machine).
+/// Frequencies must be positive; throws otherwise.
+[[nodiscard]] std::vector<DvsOperatingPoint> dvs_sweep(
+    const hwcounters::CounterVector& per_cpu, double measured_seconds,
+    double measured_watts, const std::vector<double>& frequencies_ghz,
+    const DvsModel& model = {});
+
+/// Asserts one DvsFact per operating point (frequencyGhz, relativeTime,
+/// relativeWatts, relativeJoules, isMinEnergy, isMinEdp) relative to the
+/// nominal-frequency point (which must be in the sweep).
+std::size_t assert_dvs_facts(rules::RuleHarness& harness,
+                             const std::vector<DvsOperatingPoint>& sweep,
+                             double nominal_frequency_ghz = 1.5);
+
+}  // namespace perfknow::power

@@ -1,0 +1,128 @@
+// Processor power and energy modeling (the paper's Eq. 1 and Eq. 2).
+//
+//   Power(Ci)  = AccessRate(Ci) * ArchitecturalScaling(Ci) * MaxPower   (1)
+//   TotalPower = sum_i Power(Ci) + IdlePower                            (2)
+//
+// Component access rates come from hardware counters (per-cycle activity
+// of each on-die component, normalized by that component's peak rate);
+// MaxPower is the published thermal design power. Energy is power
+// integrated over the run; FLOP/Joule is the energy-efficiency figure
+// Table I reports. For multiprocessor runs, per-CPU totals add.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hwcounters/counters.hpp"
+#include "openuh/passes.hpp"
+#include "rules/engine.hpp"
+
+namespace perfknow::power {
+
+/// One on-die component of the model.
+struct Component {
+  std::string name;                 ///< "FPU", "IEU", "L1D", ...
+  double architectural_scaling;     ///< share of the dynamic power budget
+  double peak_rate_per_cycle;       ///< activity units per cycle at 100 %
+  hwcounters::Counter activity;     ///< counter measuring the activity
+};
+
+/// Per-component estimate.
+struct ComponentPower {
+  std::string name;
+  double access_rate = 0.0;  ///< 0..1
+  double watts = 0.0;
+};
+
+/// Whole-processor estimate for one counter vector.
+struct PowerEstimate {
+  double total_watts = 0.0;
+  double idle_watts = 0.0;
+  std::vector<ComponentPower> components;
+};
+
+/// The component-based power model.
+class PowerModel {
+ public:
+  /// `tdp_watts` is Eq. 1's MaxPower; dynamic budget = tdp - idle.
+  /// Architectural scalings are normalized to sum to 1 internally.
+  PowerModel(double tdp_watts, double idle_watts,
+             std::vector<Component> components);
+
+  /// Itanium 2 Madison model: FPU, integer units, L1D, L2, L3, front end
+  /// and system interface, with published TDP 107 W.
+  [[nodiscard]] static PowerModel itanium2();
+
+  /// Eq. 1 + Eq. 2 for one CPU's counters. Access rates are clamped to
+  /// [0, 1]; a zero-cycle vector yields idle power.
+  [[nodiscard]] PowerEstimate estimate(
+      const hwcounters::CounterVector& counters) const;
+
+  [[nodiscard]] double tdp_watts() const noexcept { return tdp_; }
+  [[nodiscard]] double idle_watts() const noexcept { return idle_; }
+  [[nodiscard]] const std::vector<Component>& components() const noexcept {
+    return components_;
+  }
+
+ private:
+  double tdp_;
+  double idle_;
+  std::vector<Component> components_;
+};
+
+[[nodiscard]] inline double energy_joules(double watts, double seconds) {
+  return watts * seconds;
+}
+/// 0 when joules is 0.
+[[nodiscard]] double flops_per_joule(double flops, double joules);
+
+/// One optimization level's measurements in a power/energy study.
+struct PowerStudyRow {
+  openuh::OptLevel level = openuh::OptLevel::kO0;
+  double seconds = 0.0;
+  double instructions_completed = 0.0;
+  double instructions_issued = 0.0;
+  double ipc_completed = 0.0;
+  double ipc_issued = 0.0;
+  double flops = 0.0;
+  double watts = 0.0;
+  double joules = 0.0;
+  double flop_per_joule = 0.0;
+};
+
+/// Collects per-level rows and renders/asserts the Table I artifacts.
+class PowerStudy {
+ public:
+  explicit PowerStudy(PowerModel model) : model_(std::move(model)) {}
+
+  /// Adds one level's aggregate counters (summed over CPUs) and run time.
+  /// Per-CPU power is the model estimate on the mean per-CPU vector;
+  /// total watts multiply by `num_cpus` (the paper's multiprocessor sum).
+  void add(openuh::OptLevel level,
+           const hwcounters::CounterVector& aggregate, double seconds,
+           unsigned num_cpus);
+
+  [[nodiscard]] const std::vector<PowerStudyRow>& rows() const noexcept {
+    return rows_;
+  }
+  [[nodiscard]] const PowerStudyRow& row(openuh::OptLevel level) const;
+
+  /// Values normalized to the first row (O0 = 1.0), metric-major — the
+  /// exact quantity Table I reports. Throws when empty.
+  [[nodiscard]] std::vector<std::pair<std::string, std::vector<double>>>
+  relative_table() const;
+
+  /// Asserts one PowerStudyFact per level with relative metrics and the
+  /// isLowestPower / isLowestEnergy / isBalanced flags the power rules
+  /// match on. "Balanced" = lowest watts*joules product.
+  std::size_t assert_facts(rules::RuleHarness& harness) const;
+
+ private:
+  [[nodiscard]] double estimate_total(
+      const hwcounters::CounterVector& per_cpu, unsigned num_cpus) const;
+
+  PowerModel model_;
+  std::vector<PowerStudyRow> rows_;
+};
+
+}  // namespace perfknow::power

@@ -1,0 +1,276 @@
+#include "profile/profile.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace perfknow::profile {
+
+std::optional<std::string> Trial::metadata(const std::string& key) const {
+  const auto it = metadata_.find(key);
+  if (it == metadata_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Trial::set_thread_count(std::size_t n) {
+  if (n < num_threads_) {
+    throw InvalidArgumentError("Trial: cannot shrink thread count");
+  }
+  num_threads_ = n;
+  inclusive_.resize(num_threads_ * events_.size() * metrics_.size(), 0.0);
+  exclusive_.resize(num_threads_ * events_.size() * metrics_.size(), 0.0);
+  calls_.resize(num_threads_ * events_.size());
+}
+
+MetricId Trial::add_metric(std::string name, std::string units,
+                           bool derived) {
+  if (const auto it = metric_index_.find(name); it != metric_index_.end()) {
+    return it->second;
+  }
+  const std::size_t old_events = events_.size();
+  const std::size_t old_metrics = metrics_.size();
+  const auto id = static_cast<MetricId>(metrics_.size());
+  metric_index_.emplace(name, id);
+  metrics_.push_back(Metric{std::move(name), std::move(units), derived});
+  reshape(old_events, old_metrics);
+  return id;
+}
+
+EventId Trial::add_event(std::string name, EventId parent,
+                         std::string group) {
+  if (const auto it = event_index_.find(name); it != event_index_.end()) {
+    return it->second;
+  }
+  if (parent != kNoEvent && parent >= events_.size()) {
+    throw InvalidArgumentError("Trial::add_event: bad parent id");
+  }
+  const std::size_t old_events = events_.size();
+  const std::size_t old_metrics = metrics_.size();
+  const auto id = static_cast<EventId>(events_.size());
+  event_index_.emplace(name, id);
+  events_.push_back(Event{std::move(name), parent, std::move(group)});
+  reshape(old_events, old_metrics);
+  return id;
+}
+
+void Trial::reshape(std::size_t old_events, std::size_t old_metrics) {
+  const std::size_t new_events = events_.size();
+  const std::size_t new_metrics = metrics_.size();
+  if (new_events == old_events && new_metrics == old_metrics) return;
+
+  std::vector<double> new_incl(num_threads_ * new_events * new_metrics, 0.0);
+  std::vector<double> new_excl(num_threads_ * new_events * new_metrics, 0.0);
+  std::vector<CallInfo> new_calls(num_threads_ * new_events);
+  for (std::size_t t = 0; t < num_threads_; ++t) {
+    for (std::size_t e = 0; e < old_events; ++e) {
+      for (std::size_t m = 0; m < old_metrics; ++m) {
+        const std::size_t src = (t * old_events + e) * old_metrics + m;
+        const std::size_t dst = (t * new_events + e) * new_metrics + m;
+        new_incl[dst] = inclusive_[src];
+        new_excl[dst] = exclusive_[src];
+      }
+      new_calls[t * new_events + e] = calls_[t * old_events + e];
+    }
+  }
+  inclusive_ = std::move(new_incl);
+  exclusive_ = std::move(new_excl);
+  calls_ = std::move(new_calls);
+}
+
+const Metric& Trial::metric(MetricId m) const {
+  check_metric(m);
+  return metrics_[m];
+}
+
+const Event& Trial::event(EventId e) const {
+  check_event(e);
+  return events_[e];
+}
+
+std::optional<MetricId> Trial::find_metric(std::string_view name) const {
+  const auto it = metric_index_.find(name);
+  if (it == metric_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<EventId> Trial::find_event(std::string_view name) const {
+  const auto it = event_index_.find(name);
+  if (it == event_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+MetricId Trial::metric_id(std::string_view name) const {
+  if (const auto id = find_metric(name)) return *id;
+  throw NotFoundError("Trial '" + name_ + "': no metric named '" +
+                      std::string(name) + "'");
+}
+
+EventId Trial::event_id(std::string_view name) const {
+  if (const auto id = find_event(name)) return *id;
+  throw NotFoundError("Trial '" + name_ + "': no event named '" +
+                      std::string(name) + "'");
+}
+
+std::vector<EventId> Trial::children_of(EventId e) const {
+  check_event(e);
+  std::vector<EventId> out;
+  for (EventId c = 0; c < events_.size(); ++c) {
+    if (events_[c].parent == e) out.push_back(c);
+  }
+  return out;
+}
+
+bool Trial::is_nested_under(EventId e, EventId ancestor) const {
+  check_event(e);
+  check_event(ancestor);
+  for (EventId cur = e; cur != kNoEvent; cur = events_[cur].parent) {
+    if (cur == ancestor) return true;
+  }
+  return false;
+}
+
+EventId Trial::main_event() const {
+  if (events_.empty()) {
+    throw NotFoundError("Trial '" + name_ + "': no events");
+  }
+  if (const auto id = find_event("main")) return *id;
+  if (const auto id = find_event(".TAU application")) return *id;
+  if (metrics_.empty() || num_threads_ == 0) return 0;
+  EventId best = 0;
+  double best_val = -1.0;
+  for (EventId e = 0; e < events_.size(); ++e) {
+    const double v = mean_inclusive(e, 0);
+    if (v > best_val) {
+      best_val = v;
+      best = e;
+    }
+  }
+  return best;
+}
+
+void Trial::check_thread(std::size_t thread) const {
+  if (thread >= num_threads_) {
+    throw InvalidArgumentError("Trial '" + name_ + "': thread " +
+                               std::to_string(thread) + " out of range (" +
+                               std::to_string(num_threads_) + " threads)");
+  }
+}
+
+void Trial::check_event(EventId e) const {
+  if (e >= events_.size()) {
+    throw InvalidArgumentError("Trial '" + name_ + "': bad event id");
+  }
+}
+
+void Trial::check_metric(MetricId m) const {
+  if (m >= metrics_.size()) {
+    throw InvalidArgumentError("Trial '" + name_ + "': bad metric id");
+  }
+}
+
+void Trial::set_inclusive(std::size_t thread, EventId e, MetricId m,
+                          double v) {
+  check_thread(thread);
+  check_event(e);
+  check_metric(m);
+  inclusive_[idx(thread, e, m)] = v;
+}
+
+void Trial::set_exclusive(std::size_t thread, EventId e, MetricId m,
+                          double v) {
+  check_thread(thread);
+  check_event(e);
+  check_metric(m);
+  exclusive_[idx(thread, e, m)] = v;
+}
+
+void Trial::accumulate_inclusive(std::size_t thread, EventId e, MetricId m,
+                                 double v) {
+  check_thread(thread);
+  check_event(e);
+  check_metric(m);
+  inclusive_[idx(thread, e, m)] += v;
+}
+
+void Trial::accumulate_exclusive(std::size_t thread, EventId e, MetricId m,
+                                 double v) {
+  check_thread(thread);
+  check_event(e);
+  check_metric(m);
+  exclusive_[idx(thread, e, m)] += v;
+}
+
+void Trial::set_calls(std::size_t thread, EventId e, double calls,
+                      double subcalls) {
+  check_thread(thread);
+  check_event(e);
+  calls_[thread * events_.size() + e] = CallInfo{calls, subcalls};
+}
+
+void Trial::accumulate_calls(std::size_t thread, EventId e, double calls,
+                             double subcalls) {
+  check_thread(thread);
+  check_event(e);
+  auto& ci = calls_[thread * events_.size() + e];
+  ci.calls += calls;
+  ci.subcalls += subcalls;
+}
+
+double Trial::inclusive(std::size_t thread, EventId e, MetricId m) const {
+  check_thread(thread);
+  check_event(e);
+  check_metric(m);
+  return inclusive_[idx(thread, e, m)];
+}
+
+double Trial::exclusive(std::size_t thread, EventId e, MetricId m) const {
+  check_thread(thread);
+  check_event(e);
+  check_metric(m);
+  return exclusive_[idx(thread, e, m)];
+}
+
+CallInfo Trial::calls(std::size_t thread, EventId e) const {
+  check_thread(thread);
+  check_event(e);
+  return calls_[thread * events_.size() + e];
+}
+
+std::vector<double> Trial::inclusive_across_threads(EventId e,
+                                                    MetricId m) const {
+  check_event(e);
+  check_metric(m);
+  std::vector<double> out;
+  out.reserve(num_threads_);
+  for (std::size_t t = 0; t < num_threads_; ++t) {
+    out.push_back(inclusive_[idx(t, e, m)]);
+  }
+  return out;
+}
+
+std::vector<double> Trial::exclusive_across_threads(EventId e,
+                                                    MetricId m) const {
+  check_event(e);
+  check_metric(m);
+  std::vector<double> out;
+  out.reserve(num_threads_);
+  for (std::size_t t = 0; t < num_threads_; ++t) {
+    out.push_back(exclusive_[idx(t, e, m)]);
+  }
+  return out;
+}
+
+double Trial::mean_inclusive(EventId e, MetricId m) const {
+  const auto xs = inclusive_across_threads(e, m);
+  if (xs.empty()) return 0.0;
+  return stats::mean(xs);
+}
+
+double Trial::mean_exclusive(EventId e, MetricId m) const {
+  const auto xs = exclusive_across_threads(e, m);
+  if (xs.empty()) return 0.0;
+  return stats::mean(xs);
+}
+
+}  // namespace perfknow::profile

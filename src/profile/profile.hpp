@@ -1,0 +1,171 @@
+// Parallel profile data model.
+//
+// Mirrors the TAU profile structure that PerfDMF manages: a Trial holds,
+// for every thread of execution, for every instrumented code region
+// ("event", possibly a callpath like "main => loop"), for every measured
+// metric (TIME, CPU_CYCLES, ...), an inclusive value, an exclusive value,
+// and call counts. Trials also carry free-form metadata ("performance
+// context") which inference rules may consult to justify conclusions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace perfknow::profile {
+
+using EventId = std::uint32_t;
+using MetricId = std::uint32_t;
+constexpr EventId kNoEvent = static_cast<EventId>(-1);
+
+/// A measured or derived metric column.
+struct Metric {
+  std::string name;   ///< e.g. "TIME", "CPU_CYCLES", "BACK_END_BUBBLE_ALL"
+  std::string units;  ///< e.g. "usec", "count"
+  bool derived = false;  ///< true when produced by DeriveMetricOperation
+};
+
+/// An instrumented code region. Callpath membership is expressed through
+/// `parent`: a top-level event has parent == kNoEvent.
+struct Event {
+  std::string name;            ///< e.g. "bicgstab", "main => outer_loop"
+  EventId parent = kNoEvent;   ///< enclosing event in the callgraph
+  std::string group;           ///< e.g. "LOOP", "MPI", "OPENMP", "PROC"
+};
+
+/// Per-(thread,event) call counters.
+struct CallInfo {
+  double calls = 0.0;
+  double subcalls = 0.0;
+};
+
+/// A single experiment run: the full (thread x event x metric) value cube.
+///
+/// Threads are a flattened node/context/thread index, as PerfDMF flattens
+/// them. Values default to 0; instrumentation accumulates into them.
+class Trial {
+ public:
+  Trial() = default;
+  explicit Trial(std::string name) : name_(std::move(name)) {}
+
+  // ---- identity & metadata -------------------------------------------
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  void set_metadata(const std::string& key, std::string value) {
+    metadata_[key] = std::move(value);
+  }
+  [[nodiscard]] std::optional<std::string> metadata(
+      const std::string& key) const;
+  [[nodiscard]] const std::map<std::string, std::string>& all_metadata()
+      const noexcept {
+    return metadata_;
+  }
+
+  // ---- shape ----------------------------------------------------------
+  /// Sets the thread count. Must be called before set/accumulate; growing
+  /// later is allowed, shrinking is not.
+  void set_thread_count(std::size_t n);
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return num_threads_;
+  }
+  [[nodiscard]] std::size_t event_count() const noexcept {
+    return events_.size();
+  }
+  [[nodiscard]] std::size_t metric_count() const noexcept {
+    return metrics_.size();
+  }
+
+  // ---- schema ---------------------------------------------------------
+  /// Adds a metric column (idempotent per name); returns its id.
+  MetricId add_metric(std::string name, std::string units = "count",
+                      bool derived = false);
+  /// Adds an event (idempotent per name); returns its id.
+  EventId add_event(std::string name, EventId parent = kNoEvent,
+                    std::string group = "");
+
+  [[nodiscard]] const Metric& metric(MetricId m) const;
+  [[nodiscard]] const Event& event(EventId e) const;
+  [[nodiscard]] std::optional<MetricId> find_metric(
+      std::string_view name) const;
+  [[nodiscard]] std::optional<EventId> find_event(
+      std::string_view name) const;
+  /// Like find_*, but throws NotFoundError with a helpful message.
+  [[nodiscard]] MetricId metric_id(std::string_view name) const;
+  [[nodiscard]] EventId event_id(std::string_view name) const;
+
+  [[nodiscard]] const std::vector<Metric>& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+
+  /// Direct children of `e` in the callgraph.
+  [[nodiscard]] std::vector<EventId> children_of(EventId e) const;
+  /// True when `ancestor` appears on `e`'s parent chain (or equals it).
+  [[nodiscard]] bool is_nested_under(EventId e, EventId ancestor) const;
+
+  /// The conventional top-level event. Prefers an event named "main" or
+  /// ".TAU application"; otherwise the event with the largest mean
+  /// inclusive value of metric 0. Throws NotFoundError on an empty trial.
+  [[nodiscard]] EventId main_event() const;
+
+  // ---- values ---------------------------------------------------------
+  void set_inclusive(std::size_t thread, EventId e, MetricId m, double v);
+  void set_exclusive(std::size_t thread, EventId e, MetricId m, double v);
+  void accumulate_inclusive(std::size_t thread, EventId e, MetricId m,
+                            double v);
+  void accumulate_exclusive(std::size_t thread, EventId e, MetricId m,
+                            double v);
+  void set_calls(std::size_t thread, EventId e, double calls,
+                 double subcalls);
+  void accumulate_calls(std::size_t thread, EventId e, double calls,
+                        double subcalls);
+
+  [[nodiscard]] double inclusive(std::size_t thread, EventId e,
+                                 MetricId m) const;
+  [[nodiscard]] double exclusive(std::size_t thread, EventId e,
+                                 MetricId m) const;
+  [[nodiscard]] CallInfo calls(std::size_t thread, EventId e) const;
+
+  /// Per-thread series for one (event, metric) — the unit the statistics
+  /// operate on (e.g. load-balance CV across threads).
+  [[nodiscard]] std::vector<double> inclusive_across_threads(
+      EventId e, MetricId m) const;
+  [[nodiscard]] std::vector<double> exclusive_across_threads(
+      EventId e, MetricId m) const;
+
+  /// Mean over threads for one (event, metric).
+  [[nodiscard]] double mean_inclusive(EventId e, MetricId m) const;
+  [[nodiscard]] double mean_exclusive(EventId e, MetricId m) const;
+
+ private:
+  void check_thread(std::size_t thread) const;
+  void check_event(EventId e) const;
+  void check_metric(MetricId m) const;
+  [[nodiscard]] std::size_t idx(std::size_t thread, EventId e,
+                                MetricId m) const noexcept {
+    return (thread * events_.size() + e) * metrics_.size() + m;
+  }
+  /// Re-lays-out the value cube after a schema change.
+  void reshape(std::size_t old_events, std::size_t old_metrics);
+
+  std::string name_;
+  std::map<std::string, std::string> metadata_;
+  std::size_t num_threads_ = 0;
+  std::vector<Metric> metrics_;
+  std::vector<Event> events_;
+  std::map<std::string, MetricId, std::less<>> metric_index_;
+  std::map<std::string, EventId, std::less<>> event_index_;
+  // Value cube, [thread][event][metric]:
+  std::vector<double> inclusive_;
+  std::vector<double> exclusive_;
+  // [thread][event]:
+  std::vector<CallInfo> calls_;
+};
+
+}  // namespace perfknow::profile

@@ -1,0 +1,206 @@
+#include "rules/engine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace perfknow::rules {
+
+std::string_view to_string(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "==";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+bool compare(CmpOp op, const FactValue& lhs, const FactValue& rhs) {
+  switch (op) {
+    case CmpOp::kEq: return values_equal(lhs, rhs);
+    case CmpOp::kNe: return !values_equal(lhs, rhs);
+    case CmpOp::kLt: return values_less(lhs, rhs);
+    case CmpOp::kLe:
+      return values_less(lhs, rhs) || values_equal(lhs, rhs);
+    case CmpOp::kGt: return values_less(rhs, lhs);
+    case CmpOp::kGe:
+      return values_less(rhs, lhs) || values_equal(lhs, rhs);
+  }
+  return false;
+}
+
+FactValue Operand::resolve(const Bindings& b) const {
+  if (kind == Kind::kLiteral) return literal;
+  if (kind == Kind::kComputed) return compute(b);
+  const auto it = b.find(variable);
+  if (it == b.end()) {
+    throw EvalError("rule constraint references unbound variable '" +
+                    variable + "'");
+  }
+  return it->second;
+}
+
+const FactValue& RuleContext::binding(const std::string& name) const {
+  const auto it = bindings_.find(name);
+  if (it == bindings_.end()) {
+    throw EvalError("rule action references unbound variable '" + name +
+                    "'");
+  }
+  return it->second;
+}
+
+void RuleContext::print(const std::string& line) {
+  harness_.output_.push_back(line);
+}
+
+void RuleContext::diagnose(std::string problem, std::string event,
+                           double severity, std::string recommendation) {
+  Diagnosis d;
+  d.rule = harness_.current_rule_;
+  d.problem = std::move(problem);
+  d.event = std::move(event);
+  d.severity = severity;
+  d.recommendation = std::move(recommendation);
+  harness_.diagnoses_.push_back(std::move(d));
+}
+
+FactId RuleContext::assert_fact(Fact fact) {
+  return harness_.memory_.assert_fact(std::move(fact));
+}
+
+void RuleHarness::add_rule(Rule rule) {
+  if (rule.patterns.empty()) {
+    throw InvalidArgumentError("rule '" + rule.name +
+                               "' has no patterns in its when-part");
+  }
+  if (!rule.action) {
+    throw InvalidArgumentError("rule '" + rule.name + "' has no action");
+  }
+  rules_.push_back(std::move(rule));
+}
+
+void RuleHarness::match_from(std::size_t rule_index,
+                             std::size_t pattern_index, Bindings bindings,
+                             std::vector<FactId> matched,
+                             std::vector<Activation>& out) const {
+  const Rule& rule = rules_[rule_index];
+  if (pattern_index == rule.patterns.size()) {
+    out.push_back(Activation{rule_index, matched, std::move(bindings)});
+    return;
+  }
+  const Pattern& pat = rule.patterns[pattern_index];
+  for (const FactId id : memory_.ids_of_type(pat.fact_type)) {
+    // A fact may satisfy at most one pattern of an activation: joins over
+    // the *same* fact are almost always a bug in a rulebase.
+    if (std::find(matched.begin(), matched.end(), id) != matched.end()) {
+      continue;
+    }
+    const Fact& fact = *memory_.find(id);
+    // Bindings are extracted before constraints are evaluated so a
+    // constraint may reference a binding declared anywhere in the same
+    // pattern ("j : forkJoinCycles, dispatchCycles > j * 2").
+    Bindings next = bindings;
+    bool bind_ok = true;
+    for (const auto& b : pat.bindings) {
+      const auto field = fact.try_get(b.field);
+      if (!field) {
+        bind_ok = false;
+        break;
+      }
+      next[b.variable] = *field;
+    }
+    if (!bind_ok) continue;
+
+    bool ok = true;
+    for (const auto& c : pat.constraints) {
+      const auto field = fact.try_get(c.field);
+      if (!field) {
+        ok = false;
+        break;
+      }
+      if (!compare(c.op, *field, c.rhs.resolve(next))) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    if (pat.guard && !pat.guard(fact, next)) continue;
+    if (!pat.fact_variable.empty()) {
+      // The whole-fact binding exposes the fact id as a number so later
+      // constraints can reference it; field access resolves via fields.
+      next[pat.fact_variable] = static_cast<double>(id);
+      for (const auto& [k, v] : fact.fields()) {
+        next[pat.fact_variable + "." + k] = v;
+      }
+    }
+    auto next_matched = matched;
+    next_matched.push_back(id);
+    match_from(rule_index, pattern_index + 1, std::move(next),
+               std::move(next_matched), out);
+  }
+}
+
+void RuleHarness::match_rule(std::size_t rule_index,
+                             std::vector<Activation>& out) const {
+  match_from(rule_index, 0, Bindings{}, {}, out);
+}
+
+std::size_t RuleHarness::process_rules(std::size_t max_firings) {
+  std::size_t fired_count = 0;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    std::vector<Activation> agenda;
+    for (std::size_t r = 0; r < rules_.size(); ++r) {
+      match_rule(r, agenda);
+    }
+    // Salience (desc), then rule order, then fact ids — deterministic.
+    std::stable_sort(agenda.begin(), agenda.end(),
+                     [this](const Activation& a, const Activation& b) {
+                       const int sa = rules_[a.rule_index].salience;
+                       const int sb = rules_[b.rule_index].salience;
+                       if (sa != sb) return sa > sb;
+                       if (a.rule_index != b.rule_index) {
+                         return a.rule_index < b.rule_index;
+                       }
+                       return a.facts < b.facts;
+                     });
+    for (const auto& act : agenda) {
+      const auto key = std::make_pair(act.rule_index, act.facts);
+      if (fired_.count(key) != 0) continue;
+      fired_.insert(key);
+      current_rule_ = rules_[act.rule_index].name;
+      RuleContext ctx(*this, act.bindings, act.facts);
+      rules_[act.rule_index].action(ctx);
+      ++fired_count;
+      progressed = true;
+      if (fired_count >= max_firings) {
+        throw EvalError("rule engine exceeded " +
+                        std::to_string(max_firings) +
+                        " firings; possible assert/match loop (last rule: " +
+                        current_rule_ + ")");
+      }
+    }
+  }
+  current_rule_.clear();
+  return fired_count;
+}
+
+std::vector<Diagnosis> RuleHarness::diagnoses_for(
+    const std::string& problem) const {
+  std::vector<Diagnosis> out;
+  for (const auto& d : diagnoses_) {
+    if (d.problem == problem) out.push_back(d);
+  }
+  return out;
+}
+
+void RuleHarness::clear_results() {
+  output_.clear();
+  diagnoses_.clear();
+}
+
+}  // namespace perfknow::rules

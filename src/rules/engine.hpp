@@ -1,0 +1,199 @@
+// Forward-chaining inference engine with an agenda and salience, the
+// JBoss-Rules-shaped core of automated diagnosis.
+//
+// A rule is a sequence of patterns (fact type + field constraints +
+// variable bindings) and an action. The engine enumerates binding tuples
+// over working memory, orders activations by salience (then rule order,
+// then fact recency), fires each activation exactly once, and re-matches
+// after actions assert new facts — until quiescence.
+//
+// Rulebases here are tens of rules over at most a few thousand facts, so
+// a direct O(rules x facts^patterns) matcher is deliberately used instead
+// of RETE; it is simple, deterministic and fast enough by orders of
+// magnitude.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rules/fact.hpp"
+
+namespace perfknow::rules {
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+[[nodiscard]] std::string_view to_string(CmpOp op);
+[[nodiscard]] bool compare(CmpOp op, const FactValue& lhs,
+                           const FactValue& rhs);
+
+/// Variable bindings accumulated while matching one rule's patterns.
+using Bindings = std::map<std::string, FactValue>;
+
+/// Right-hand side of a constraint: a literal, a reference to a
+/// previously bound variable, or an arbitrary computed expression over
+/// the bindings (what the DSL's non-trivial right-hand sides become).
+struct Operand {
+  enum class Kind { kLiteral, kVariable, kComputed } kind = Kind::kLiteral;
+  FactValue literal = 0.0;
+  std::string variable;
+  std::function<FactValue(const Bindings&)> compute;
+
+  [[nodiscard]] static Operand lit(FactValue v) {
+    Operand o;
+    o.kind = Kind::kLiteral;
+    o.literal = std::move(v);
+    return o;
+  }
+  [[nodiscard]] static Operand var(std::string name) {
+    Operand o;
+    o.kind = Kind::kVariable;
+    o.variable = std::move(name);
+    return o;
+  }
+  [[nodiscard]] static Operand expr(
+      std::function<FactValue(const Bindings&)> fn) {
+    Operand o;
+    o.kind = Kind::kComputed;
+    o.compute = std::move(fn);
+    return o;
+  }
+
+  /// Resolves against bindings; throws EvalError on an unbound variable.
+  [[nodiscard]] FactValue resolve(const Bindings& b) const;
+};
+
+/// `field <op> operand` on the candidate fact.
+struct Constraint {
+  std::string field;
+  CmpOp op = CmpOp::kEq;
+  Operand rhs;
+};
+
+/// `var : field` — exports a field of the matched fact into bindings.
+struct FieldBinding {
+  std::string variable;
+  std::string field;
+};
+
+/// One pattern: match a fact of `fact_type` satisfying all constraints.
+struct Pattern {
+  std::string fact_type;
+  /// Binds the whole fact's id under this name ("f : MeanEventFact(...)").
+  std::string fact_variable;
+  std::vector<Constraint> constraints;
+  std::vector<FieldBinding> bindings;
+  /// Optional extra predicate for rules built from C++.
+  std::function<bool(const Fact&, const Bindings&)> guard;
+};
+
+class RuleHarness;
+
+/// What a firing rule can do.
+class RuleContext {
+ public:
+  RuleContext(RuleHarness& harness, const Bindings& bindings,
+              std::vector<FactId> matched)
+      : harness_(harness), bindings_(bindings), matched_(std::move(matched)) {}
+
+  [[nodiscard]] const Bindings& bindings() const noexcept {
+    return bindings_;
+  }
+  [[nodiscard]] const FactValue& binding(const std::string& name) const;
+  [[nodiscard]] const std::vector<FactId>& matched_facts() const noexcept {
+    return matched_;
+  }
+
+  /// Emits an output line (collected by the harness, as System.out in
+  /// the paper's Fig. 2 action).
+  void print(const std::string& line);
+  /// Records a structured diagnosis.
+  void diagnose(std::string problem, std::string event, double severity,
+                std::string recommendation);
+  /// Asserts a new fact (visible to subsequent matching cycles).
+  FactId assert_fact(Fact fact);
+
+ private:
+  RuleHarness& harness_;
+  const Bindings& bindings_;
+  std::vector<FactId> matched_;
+};
+
+struct Rule {
+  std::string name;
+  int salience = 0;
+  std::vector<Pattern> patterns;
+  std::function<void(RuleContext&)> action;
+};
+
+/// A structured conclusion produced by a fired rule.
+struct Diagnosis {
+  std::string rule;
+  std::string problem;
+  std::string event;
+  double severity = 0.0;
+  std::string recommendation;
+};
+
+/// Owns a rulebase and working memory; runs the match-fire loop.
+class RuleHarness {
+ public:
+  RuleHarness() = default;
+
+  void add_rule(Rule rule);
+  [[nodiscard]] std::size_t rule_count() const noexcept {
+    return rules_.size();
+  }
+
+  [[nodiscard]] WorkingMemory& memory() noexcept { return memory_; }
+  [[nodiscard]] const WorkingMemory& memory() const noexcept {
+    return memory_;
+  }
+  FactId assert_fact(Fact fact) {
+    return memory_.assert_fact(std::move(fact));
+  }
+
+  /// Runs to quiescence; returns the number of rule firings. Throws
+  /// EvalError after `max_firings` (runaway-chain guard).
+  std::size_t process_rules(std::size_t max_firings = 100000);
+
+  [[nodiscard]] const std::vector<std::string>& output() const noexcept {
+    return output_;
+  }
+  [[nodiscard]] const std::vector<Diagnosis>& diagnoses() const noexcept {
+    return diagnoses_;
+  }
+  /// Diagnoses filtered by problem tag.
+  [[nodiscard]] std::vector<Diagnosis> diagnoses_for(
+      const std::string& problem) const;
+
+  /// Clears output/diagnoses (not rules or memory).
+  void clear_results();
+
+ private:
+  friend class RuleContext;
+
+  struct Activation {
+    std::size_t rule_index = 0;
+    std::vector<FactId> facts;
+    Bindings bindings;
+  };
+
+  /// All activations of one rule against current memory.
+  void match_rule(std::size_t rule_index, std::vector<Activation>& out) const;
+  void match_from(std::size_t rule_index, std::size_t pattern_index,
+                  Bindings bindings, std::vector<FactId> matched,
+                  std::vector<Activation>& out) const;
+
+  std::vector<Rule> rules_;
+  WorkingMemory memory_;
+  std::vector<std::string> output_;
+  std::vector<Diagnosis> diagnoses_;
+  std::string current_rule_;  ///< name of the rule being fired
+  std::set<std::pair<std::size_t, std::vector<FactId>>> fired_;
+};
+
+}  // namespace perfknow::rules

@@ -1,0 +1,125 @@
+#include "rules/fact.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace perfknow::rules {
+
+std::string to_display(const FactValue& v) {
+  if (const auto* d = std::get_if<double>(&v)) {
+    // Integral values print without a decimal point, like Jython would.
+    if (std::floor(*d) == *d && std::abs(*d) < 1e15) {
+      return std::to_string(static_cast<long long>(*d));
+    }
+    return strings::format_double(*d, 4);
+  }
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  return std::get<bool>(v) ? "true" : "false";
+}
+
+bool values_equal(const FactValue& a, const FactValue& b) {
+  if (a.index() == b.index()) return a == b;
+  // boolean <-> "true"/"false" convenience for the DSL.
+  if (const auto* ab = std::get_if<bool>(&a)) {
+    if (const auto* bs = std::get_if<std::string>(&b)) {
+      return (*ab && *bs == "true") || (!*ab && *bs == "false");
+    }
+  }
+  if (const auto* bb = std::get_if<bool>(&b)) {
+    if (const auto* as = std::get_if<std::string>(&a)) {
+      return (*bb && *as == "true") || (!*bb && *as == "false");
+    }
+  }
+  return false;
+}
+
+bool values_less(const FactValue& a, const FactValue& b) {
+  if (const auto* ad = std::get_if<double>(&a)) {
+    if (const auto* bd = std::get_if<double>(&b)) return *ad < *bd;
+    return false;
+  }
+  if (const auto* as = std::get_if<std::string>(&a)) {
+    if (const auto* bs = std::get_if<std::string>(&b)) return *as < *bs;
+    return false;
+  }
+  return false;
+}
+
+const FactValue& Fact::get(const std::string& field) const {
+  const auto it = fields_.find(field);
+  if (it == fields_.end()) {
+    throw NotFoundError("fact " + type_ + " has no field '" + field + "'");
+  }
+  return it->second;
+}
+
+std::optional<FactValue> Fact::try_get(const std::string& field) const {
+  const auto it = fields_.find(field);
+  if (it == fields_.end()) return std::nullopt;
+  return it->second;
+}
+
+double Fact::number(const std::string& field) const {
+  const auto& v = get(field);
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  throw EvalError("fact " + type_ + " field '" + field +
+                  "' is not a number");
+}
+
+const std::string& Fact::text(const std::string& field) const {
+  const auto& v = get(field);
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  throw EvalError("fact " + type_ + " field '" + field +
+                  "' is not a string");
+}
+
+bool Fact::boolean(const std::string& field) const {
+  const auto& v = get(field);
+  if (const auto* b = std::get_if<bool>(&v)) return *b;
+  throw EvalError("fact " + type_ + " field '" + field +
+                  "' is not a boolean");
+}
+
+std::string Fact::str() const {
+  std::string out = type_ + "{";
+  bool first = true;
+  for (const auto& [k, v] : fields_) {
+    if (!first) out += ", ";
+    first = false;
+    out += k + "=" + to_display(v);
+  }
+  return out + "}";
+}
+
+FactId WorkingMemory::assert_fact(Fact fact) {
+  const FactId id = next_++;
+  facts_.emplace(id, std::move(fact));
+  return id;
+}
+
+bool WorkingMemory::retract(FactId id) { return facts_.erase(id) != 0; }
+
+const Fact* WorkingMemory::find(FactId id) const {
+  const auto it = facts_.find(id);
+  return it == facts_.end() ? nullptr : &it->second;
+}
+
+std::vector<FactId> WorkingMemory::ids() const {
+  std::vector<FactId> out;
+  out.reserve(facts_.size());
+  for (const auto& [id, _] : facts_) out.push_back(id);
+  return out;
+}
+
+std::vector<FactId> WorkingMemory::ids_of_type(
+    const std::string& type) const {
+  std::vector<FactId> out;
+  for (const auto& [id, f] : facts_) {
+    if (f.type() == type) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace perfknow::rules

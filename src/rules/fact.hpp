@@ -1,0 +1,107 @@
+// Facts and working memory for the inference engine.
+//
+// A Fact mirrors a JBoss-Rules fact object: a type name plus named
+// fields. The analysis layer asserts facts (e.g. MeanEventFact instances
+// comparing each event to main); rules match on type and field
+// constraints and may assert further facts, chaining inference forward.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace perfknow::rules {
+
+using FactValue = std::variant<double, std::string, bool>;
+
+/// Renders a value the way rule actions print it (numbers without
+/// trailing zeros, booleans as true/false).
+[[nodiscard]] std::string to_display(const FactValue& v);
+
+/// Field-equality comparison used by constraint evaluation: numbers
+/// compare numerically, strings lexically; a number never equals a
+/// string; booleans compare as booleans and also match the strings
+/// "true"/"false" (convenient in the DSL).
+[[nodiscard]] bool values_equal(const FactValue& a, const FactValue& b);
+
+/// Ordering for </<=/>/>=: numeric when both are numbers, lexicographic
+/// when both are strings; mixed comparisons are always false.
+[[nodiscard]] bool values_less(const FactValue& a, const FactValue& b);
+
+class Fact {
+ public:
+  explicit Fact(std::string type) : type_(std::move(type)) {}
+
+  [[nodiscard]] const std::string& type() const noexcept { return type_; }
+
+  Fact& set(const std::string& field, FactValue v) {
+    fields_[field] = std::move(v);
+    return *this;
+  }
+  Fact& set(const std::string& field, double v) {
+    return set(field, FactValue(v));
+  }
+  Fact& set(const std::string& field, const char* v) {
+    return set(field, FactValue(std::string(v)));
+  }
+  Fact& set(const std::string& field, std::string v) {
+    return set(field, FactValue(std::move(v)));
+  }
+  Fact& set(const std::string& field, bool v) {
+    return set(field, FactValue(v));
+  }
+
+  [[nodiscard]] bool has(const std::string& field) const {
+    return fields_.count(field) != 0;
+  }
+  /// Throws NotFoundError when absent.
+  [[nodiscard]] const FactValue& get(const std::string& field) const;
+  [[nodiscard]] std::optional<FactValue> try_get(
+      const std::string& field) const;
+  /// Typed accessors; throw EvalError on type mismatch.
+  [[nodiscard]] double number(const std::string& field) const;
+  [[nodiscard]] const std::string& text(const std::string& field) const;
+  [[nodiscard]] bool boolean(const std::string& field) const;
+
+  [[nodiscard]] const std::map<std::string, FactValue>& fields()
+      const noexcept {
+    return fields_;
+  }
+
+  /// "Type{field=value, ...}" for logs and test failures.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::string type_;
+  std::map<std::string, FactValue> fields_;
+};
+
+using FactId = std::uint64_t;
+
+/// The set of asserted facts. Ids are stable and never reused.
+class WorkingMemory {
+ public:
+  FactId assert_fact(Fact fact);
+  /// Returns false when the id is unknown (already retracted).
+  bool retract(FactId id);
+
+  [[nodiscard]] const Fact* find(FactId id) const;
+  [[nodiscard]] std::size_t size() const noexcept { return facts_.size(); }
+
+  /// Ids of all live facts, ascending (assertion order).
+  [[nodiscard]] std::vector<FactId> ids() const;
+  /// Ids of live facts of one type, ascending.
+  [[nodiscard]] std::vector<FactId> ids_of_type(
+      const std::string& type) const;
+
+  void clear() { facts_.clear(); }
+
+ private:
+  std::map<FactId, Fact> facts_;
+  FactId next_ = 1;
+};
+
+}  // namespace perfknow::rules

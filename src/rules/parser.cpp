@@ -1,0 +1,522 @@
+#include "rules/parser.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace perfknow::rules {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------
+
+enum class Tok {
+  kIdent,
+  kString,
+  kNumber,
+  kPunct,  // ( ) , : = == != < <= > >= + - * / .
+  kEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  double number = 0.0;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  Token next() {
+    skip_ws_and_comments();
+    Token t;
+    t.line = line_;
+    if (pos_ >= src_.size()) {
+      t.kind = Tok::kEnd;
+      return t;
+    }
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_')) {
+        ++pos_;
+      }
+      t.kind = Tok::kIdent;
+      t.text = src_.substr(start, pos_ - start);
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && pos_ + 1 < src_.size() &&
+         std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+      const std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '.' || src_[pos_] == 'e' || src_[pos_] == 'E' ||
+              ((src_[pos_] == '+' || src_[pos_] == '-') && pos_ > start &&
+               (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E')))) {
+        ++pos_;
+      }
+      t.kind = Tok::kNumber;
+      t.text = src_.substr(start, pos_ - start);
+      t.number = strings::parse_double(t.text);
+      return t;
+    }
+    if (c == '"') {
+      ++pos_;
+      std::string out;
+      while (pos_ < src_.size() && src_[pos_] != '"') {
+        if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+          ++pos_;
+          switch (src_[pos_]) {
+            case 'n': out += '\n'; break;
+            case 't': out += '\t'; break;
+            case '\\': out += '\\'; break;
+            case '"': out += '"'; break;
+            default: out += src_[pos_];
+          }
+        } else {
+          if (src_[pos_] == '\n') ++line_;
+          out += src_[pos_];
+        }
+        ++pos_;
+      }
+      if (pos_ >= src_.size()) {
+        throw ParseError("unterminated string literal", t.line);
+      }
+      ++pos_;  // closing quote
+      t.kind = Tok::kString;
+      t.text = std::move(out);
+      return t;
+    }
+    // Punctuation, two-char operators first.
+    static const char* kTwo[] = {"==", "!=", "<=", ">="};
+    for (const char* op : kTwo) {
+      if (src_.compare(pos_, 2, op) == 0) {
+        t.kind = Tok::kPunct;
+        t.text = op;
+        pos_ += 2;
+        return t;
+      }
+    }
+    static const std::string kOne = "(),:=<>+-*/.";
+    if (kOne.find(c) != std::string::npos) {
+      t.kind = Tok::kPunct;
+      t.text = std::string(1, c);
+      ++pos_;
+      return t;
+    }
+    throw ParseError(std::string("unexpected character '") + c + "'", line_);
+  }
+
+ private:
+  void skip_ws_and_comments() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#' ||
+                 (c == '/' && pos_ + 1 < src_.size() &&
+                  src_[pos_ + 1] == '/')) {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// ---------------------------------------------------------------------
+// Expression AST (used by constraint RHS and action arguments)
+// ---------------------------------------------------------------------
+
+struct Expr {
+  enum class Kind { kNumber, kString, kBool, kVar, kBinary } kind;
+  double number = 0.0;
+  std::string text;   // string literal / variable name (possibly dotted)
+  bool boolean = false;
+  char op = 0;  // + - * /
+  std::shared_ptr<Expr> lhs, rhs;
+};
+
+FactValue eval_expr(const Expr& e, const Bindings& b) {
+  switch (e.kind) {
+    case Expr::Kind::kNumber: return e.number;
+    case Expr::Kind::kString: return e.text;
+    case Expr::Kind::kBool: return e.boolean;
+    case Expr::Kind::kVar: {
+      const auto it = b.find(e.text);
+      if (it == b.end()) {
+        throw EvalError("rule expression references unbound variable '" +
+                        e.text + "'");
+      }
+      return it->second;
+    }
+    case Expr::Kind::kBinary: {
+      const FactValue l = eval_expr(*e.lhs, b);
+      const FactValue r = eval_expr(*e.rhs, b);
+      if (e.op == '+') {
+        // Java-style: string + anything concatenates.
+        if (std::holds_alternative<std::string>(l) ||
+            std::holds_alternative<std::string>(r)) {
+          return to_display(l) + to_display(r);
+        }
+      }
+      const auto* ld = std::get_if<double>(&l);
+      const auto* rd = std::get_if<double>(&r);
+      if (ld == nullptr || rd == nullptr) {
+        throw EvalError(std::string("rule arithmetic '") + e.op +
+                        "' needs numbers");
+      }
+      switch (e.op) {
+        case '+': return *ld + *rd;
+        case '-': return *ld - *rd;
+        case '*': return *ld * *rd;
+        case '/': return *rd == 0.0 ? 0.0 : *ld / *rd;
+        default: throw EvalError("bad operator in rule expression");
+      }
+    }
+  }
+  throw EvalError("corrupt rule expression");
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : lexer_(src) { advance(); }
+
+  std::vector<Rule> parse() {
+    std::vector<Rule> rules;
+    while (cur_.kind != Tok::kEnd) {
+      rules.push_back(parse_rule());
+    }
+    return rules;
+  }
+
+ private:
+  void advance() { cur_ = lexer_.next(); }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg, cur_.line);
+  }
+
+  bool is_punct(const char* p) const {
+    return cur_.kind == Tok::kPunct && cur_.text == p;
+  }
+  bool is_ident(const char* id) const {
+    return cur_.kind == Tok::kIdent && cur_.text == id;
+  }
+  void expect_punct(const char* p) {
+    if (!is_punct(p)) fail(std::string("expected '") + p + "'");
+    advance();
+  }
+  std::string expect_ident() {
+    if (cur_.kind != Tok::kIdent) fail("expected identifier");
+    std::string s = cur_.text;
+    advance();
+    return s;
+  }
+  void expect_keyword(const char* kw) {
+    if (!is_ident(kw)) fail(std::string("expected '") + kw + "'");
+    advance();
+  }
+
+  std::shared_ptr<Expr> parse_factor() {
+    if (is_punct("-")) {
+      // Unary minus: 0 - factor.
+      advance();
+      auto zero = std::make_shared<Expr>();
+      zero->kind = Expr::Kind::kNumber;
+      zero->number = 0.0;
+      auto neg = std::make_shared<Expr>();
+      neg->kind = Expr::Kind::kBinary;
+      neg->op = '-';
+      neg->lhs = zero;
+      neg->rhs = parse_factor();
+      return neg;
+    }
+    auto e = std::make_shared<Expr>();
+    if (cur_.kind == Tok::kNumber) {
+      e->kind = Expr::Kind::kNumber;
+      e->number = cur_.number;
+      advance();
+      return e;
+    }
+    if (cur_.kind == Tok::kString) {
+      e->kind = Expr::Kind::kString;
+      e->text = cur_.text;
+      advance();
+      return e;
+    }
+    if (is_ident("true") || is_ident("false")) {
+      e->kind = Expr::Kind::kBool;
+      e->boolean = cur_.text == "true";
+      advance();
+      return e;
+    }
+    if (cur_.kind == Tok::kIdent) {
+      e->kind = Expr::Kind::kVar;
+      e->text = cur_.text;
+      advance();
+      if (is_punct(".")) {
+        advance();
+        e->text += "." + expect_ident();
+      }
+      return e;
+    }
+    if (is_punct("(")) {
+      advance();
+      auto inner = parse_expr();
+      expect_punct(")");
+      return inner;
+    }
+    fail("expected expression");
+  }
+
+  std::shared_ptr<Expr> parse_term() {
+    auto lhs = parse_factor();
+    while (is_punct("*") || is_punct("/")) {
+      const char op = cur_.text[0];
+      advance();
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kBinary;
+      e->op = op;
+      e->lhs = lhs;
+      e->rhs = parse_factor();
+      lhs = e;
+    }
+    return lhs;
+  }
+
+  std::shared_ptr<Expr> parse_expr() {
+    auto lhs = parse_term();
+    while (is_punct("+") || is_punct("-")) {
+      const char op = cur_.text[0];
+      advance();
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kBinary;
+      e->op = op;
+      e->lhs = lhs;
+      e->rhs = parse_term();
+      lhs = e;
+    }
+    return lhs;
+  }
+
+  Operand operand_from(const std::shared_ptr<Expr>& e) {
+    if (e->kind == Expr::Kind::kNumber) return Operand::lit(e->number);
+    if (e->kind == Expr::Kind::kString) return Operand::lit(e->text);
+    if (e->kind == Expr::Kind::kBool) return Operand::lit(e->boolean);
+    if (e->kind == Expr::Kind::kVar) return Operand::var(e->text);
+    return Operand::expr(
+        [e](const Bindings& b) { return eval_expr(*e, b); });
+  }
+
+  CmpOp parse_cmp() {
+    CmpOp op;
+    if (is_punct("==")) op = CmpOp::kEq;
+    else if (is_punct("!=")) op = CmpOp::kNe;
+    else if (is_punct("<")) op = CmpOp::kLt;
+    else if (is_punct("<=")) op = CmpOp::kLe;
+    else if (is_punct(">")) op = CmpOp::kGt;
+    else if (is_punct(">=")) op = CmpOp::kGe;
+    else fail("expected comparison operator");
+    advance();
+    return op;
+  }
+
+  Pattern parse_pattern() {
+    Pattern p;
+    std::string first = expect_ident();
+    if (is_punct(":")) {
+      advance();
+      p.fact_variable = first;
+      p.fact_type = expect_ident();
+    } else {
+      p.fact_type = first;
+    }
+    expect_punct("(");
+    if (!is_punct(")")) {
+      while (true) {
+        const std::string name = expect_ident();
+        if (is_punct(":")) {
+          advance();
+          FieldBinding b;
+          b.variable = name;
+          b.field = expect_ident();
+          p.bindings.push_back(std::move(b));
+        } else {
+          Constraint c;
+          c.field = name;
+          c.op = parse_cmp();
+          c.rhs = operand_from(parse_expr());
+          p.constraints.push_back(std::move(c));
+        }
+        if (is_punct(",")) {
+          advance();
+          continue;
+        }
+        break;
+      }
+    }
+    expect_punct(")");
+    return p;
+  }
+
+  // One parsed action as an executable closure.
+  std::function<void(RuleContext&)> parse_action() {
+    if (is_ident("print")) {
+      advance();
+      expect_punct("(");
+      auto e = parse_expr();
+      expect_punct(")");
+      return [e](RuleContext& ctx) {
+        ctx.print(to_display(eval_expr(*e, ctx.bindings())));
+      };
+    }
+    if (is_ident("diagnose")) {
+      advance();
+      expect_punct("(");
+      std::map<std::string, std::shared_ptr<Expr>> kv;
+      while (true) {
+        const std::string key = expect_ident();
+        expect_punct("=");
+        kv[key] = parse_expr();
+        if (is_punct(",")) {
+          advance();
+          continue;
+        }
+        break;
+      }
+      expect_punct(")");
+      return [kv](RuleContext& ctx) {
+        auto get_text = [&](const char* key) -> std::string {
+          const auto it = kv.find(key);
+          if (it == kv.end()) return "";
+          return to_display(eval_expr(*it->second, ctx.bindings()));
+        };
+        double severity = 0.0;
+        if (const auto it = kv.find("severity"); it != kv.end()) {
+          const FactValue v = eval_expr(*it->second, ctx.bindings());
+          if (const auto* d = std::get_if<double>(&v)) severity = *d;
+        }
+        ctx.diagnose(get_text("problem"), get_text("event"), severity,
+                     get_text("recommendation"));
+      };
+    }
+    if (is_ident("assert")) {
+      advance();
+      expect_punct("(");
+      const std::string type = expect_ident();
+      expect_punct("(");
+      std::vector<std::pair<std::string, std::shared_ptr<Expr>>> kv;
+      if (!is_punct(")")) {
+        while (true) {
+          const std::string key = expect_ident();
+          expect_punct("=");
+          kv.emplace_back(key, parse_expr());
+          if (is_punct(",")) {
+            advance();
+            continue;
+          }
+          break;
+        }
+      }
+      expect_punct(")");
+      expect_punct(")");
+      return [type, kv](RuleContext& ctx) {
+        Fact f(type);
+        for (const auto& [key, e] : kv) {
+          f.set(key, eval_expr(*e, ctx.bindings()));
+        }
+        ctx.assert_fact(std::move(f));
+      };
+    }
+    fail("expected action (print / diagnose / assert)");
+  }
+
+  Rule parse_rule() {
+    expect_keyword("rule");
+    if (cur_.kind != Tok::kString) fail("expected rule name string");
+    Rule rule;
+    rule.name = cur_.text;
+    advance();
+    if (is_ident("salience")) {
+      advance();
+      bool negative = false;
+      if (is_punct("-")) {
+        negative = true;
+        advance();
+      }
+      if (cur_.kind != Tok::kNumber) fail("expected salience number");
+      rule.salience = static_cast<int>(cur_.number) * (negative ? -1 : 1);
+      advance();
+    }
+    expect_keyword("when");
+    while (!is_ident("then")) {
+      rule.patterns.push_back(parse_pattern());
+      if (cur_.kind == Tok::kEnd) fail("unterminated rule (missing 'then')");
+    }
+    advance();  // then
+    std::vector<std::function<void(RuleContext&)>> actions;
+    while (!is_ident("end")) {
+      actions.push_back(parse_action());
+      if (cur_.kind == Tok::kEnd) fail("unterminated rule (missing 'end')");
+    }
+    advance();  // end
+    rule.action = [actions](RuleContext& ctx) {
+      for (const auto& a : actions) a(ctx);
+    };
+    if (rule.patterns.empty()) {
+      throw ParseError("rule '" + rule.name + "' has no patterns");
+    }
+    return rule;
+  }
+
+  Lexer lexer_;
+  Token cur_;
+};
+
+}  // namespace
+
+std::vector<Rule> parse_rules(const std::string& source) {
+  Parser parser(source);
+  return parser.parse();
+}
+
+std::vector<Rule> load_rules(const std::filesystem::path& file) {
+  std::ifstream is(file);
+  if (!is) {
+    throw IoError("cannot open rulebase: " + file.string());
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return parse_rules(ss.str());
+}
+
+void add_rules(RuleHarness& harness, const std::string& source) {
+  for (auto& r : parse_rules(source)) {
+    harness.add_rule(std::move(r));
+  }
+}
+
+}  // namespace perfknow::rules

@@ -1,0 +1,61 @@
+// Text front end for rulebases: a Drools-flavoured DSL.
+//
+// Rulebase files look like the paper's Fig. 2, lightly regularized:
+//
+//   rule "Stalls per Cycle"
+//   salience 10
+//   when
+//     f : MeanEventFact( metric == "(BACK_END_BUBBLE_ALL / CPU_CYCLES)",
+//                        higherLower == "higher",
+//                        severity > 0.10,
+//                        e : eventName,
+//                        factType == "Compared to Main" )
+//   then
+//     print("Event " + e + " has a higher than average stall/cycle rate")
+//     diagnose(problem = "HighStallPerCycle", event = e,
+//              severity = f.severity,
+//              recommendation = "focus optimization here")
+//     assert(HighStallEvent(eventName = e, severity = f.severity))
+//   end
+//
+// Grammar (informal):
+//   rulebase  := rule*
+//   rule      := 'rule' STRING ['salience' INT] 'when' pattern+
+//                'then' action* 'end'
+//   pattern   := [IDENT ':'] IDENT '(' item (',' item)* ')'
+//   item      := IDENT ':' IDENT            -- binding var : field
+//              | IDENT cmp expr             -- constraint
+//   cmp       := '==' | '!=' | '<' | '<=' | '>' | '>='
+//   action    := 'print' '(' expr ')'
+//              | 'diagnose' '(' kv (',' kv)* ')'
+//              | 'assert' '(' IDENT '(' kv (',' kv)* ')' ')'
+//   kv        := IDENT '=' expr
+//   expr      := term (('+'|'-') term)* ;  term := factor (('*'|'/') factor)*
+//   factor    := NUMBER | STRING | 'true' | 'false' | IDENT['.'IDENT]
+//              | '(' expr ')'
+//
+// '+' concatenates when either side is a string (Java semantics, so the
+// paper's println-style actions port directly). '//' and '#' start
+// comments. Variables resolve against rule bindings; `f.field` reads a
+// field of a whole-fact binding.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "rules/engine.hpp"
+
+namespace perfknow::rules {
+
+/// Parses a rulebase from text; throws ParseError with line info.
+[[nodiscard]] std::vector<Rule> parse_rules(const std::string& source);
+
+/// Parses a rulebase file; throws IoError / ParseError.
+[[nodiscard]] std::vector<Rule> load_rules(
+    const std::filesystem::path& file);
+
+/// Parses `source` and adds every rule to `harness`.
+void add_rules(RuleHarness& harness, const std::string& source);
+
+}  // namespace perfknow::rules

@@ -1,0 +1,340 @@
+#include "rules/rulebases.hpp"
+
+#include "rules/parser.hpp"
+
+namespace perfknow::rules::builtin {
+
+namespace {
+
+constexpr std::string_view kStallsPerCycle = R"RULES(
+// Fig. 2 of the paper: fire for any event with a higher-than-average
+// stall-per-cycle rate that accounts for at least 10% of total runtime.
+rule "Stalls per Cycle"
+when
+  f : MeanEventFact( metric == "(BACK_END_BUBBLE_ALL / CPU_CYCLES)",
+                     higherLower == "higher",
+                     severity > 0.10,
+                     e : eventName,
+                     a : mainValue,
+                     v : eventValue,
+                     factType == "Compared to Main" )
+then
+  print("Event " + e + " has a higher than average stall / cycle rate")
+  print("\tAverage stall / cycle: " + a)
+  print("\tEvent stall / cycle: " + v)
+  print("\tPercentage of total runtime: " + f.severity)
+  diagnose(problem = "HighStallPerCycle", event = e, severity = f.severity,
+           recommendation = "Re-run with fine-grain instrumentation and full stall counters for this event")
+  assert(HighStallEvent(eventName = e, severity = f.severity))
+end
+)RULES";
+
+constexpr std::string_view kLoadImbalance = R"RULES(
+// The MSAP load-imbalance diagnosis: two nested loops, both unbalanced
+// across threads (stddev/mean > 0.25), both significant (> 5% of total
+// runtime), whose per-thread times are strongly negatively correlated —
+// a thread finishing the inner loop early waits in the outer loop at the
+// barrier. Recommends dynamic scheduling with a small chunk.
+rule "Load Imbalance"
+salience 10
+when
+  outer : LoadBalanceFact( cv > 0.25, runtimeFraction > 0.05,
+                           oe : eventName )
+  inner : LoadBalanceFact( cv > 0.25, runtimeFraction > 0.05,
+                           ie : eventName )
+  NestingFact( parentEvent == oe, childEvent == ie )
+  c : CorrelationFact( eventA == oe, eventB == ie, correlation < -0.5,
+                       r : correlation )
+then
+  print("Load imbalance detected: nested loops " + oe + " and " + ie)
+  print("\touter cv: " + outer.cv + ", inner cv: " + inner.cv)
+  print("\tper-thread correlation: " + r)
+  diagnose(problem = "LoadImbalance", event = ie,
+           severity = inner.runtimeFraction,
+           recommendation = "Use schedule(dynamic,1) (small dynamic chunks) on the parallel loop " + oe)
+end
+)RULES";
+
+constexpr std::string_view kInefficiency = R"RULES(
+// First GenIDLEST script: Inefficiency = FP_OPS x (stalls / cycles).
+// Events with higher-than-average inefficiency that matter (> 5% of
+// runtime) are where programmer and compiler should focus.
+rule "High Inefficiency"
+when
+  f : MeanEventFact( metric == "(FP_OPS * (BACK_END_BUBBLE_ALL / CPU_CYCLES))",
+                     higherLower == "higher",
+                     severity > 0.05,
+                     e : eventName,
+                     factType == "Compared to Average" )
+then
+  print("Event " + e + " has higher than average inefficiency (" +
+        f.severity + " of total runtime)")
+  diagnose(problem = "HighInefficiency", event = e, severity = f.severity,
+           recommendation = "Instrument this region at loop level and collect stall-source counters")
+  assert(InefficientEvent(eventName = e, severity = f.severity))
+end
+)RULES";
+
+constexpr std::string_view kStallCoverage = R"RULES(
+// Second GenIDLEST script: the 90% guideline. If L1D-memory plus FP
+// stalls explain at least 90% of an event's stalls, the memory analysis
+// can proceed; otherwise additional counter runs are required to fill in
+// the remaining terms of the Jarp decomposition.
+rule "Memory and FP Stalls Dominate"
+when
+  f : StallBreakdownFact( memoryFpFraction >= 0.90,
+                          runtimeFraction > 0.05,
+                          e : eventName )
+then
+  print("Event " + e + ": memory + FP stalls explain " +
+        f.memoryFpFraction + " of stall cycles")
+  diagnose(problem = "MemoryFpStallDominated", event = e,
+           severity = f.runtimeFraction,
+           recommendation = "Proceed to the memory-analysis metrics for this event")
+  assert(MemoryBoundEvent(eventName = e, severity = f.runtimeFraction))
+end
+
+rule "Stall Sources Unexplained"
+when
+  f : StallBreakdownFact( memoryFpFraction < 0.90,
+                          stallsPerCycle > 0.30,
+                          runtimeFraction > 0.05,
+                          e : eventName )
+then
+  print("Event " + e + ": only " + f.memoryFpFraction +
+        " of stalls from memory+FP; more counters needed")
+  diagnose(problem = "NeedMoreCounters", event = e,
+           severity = f.runtimeFraction,
+           recommendation = "Perform additional runs to measure branch, I-cache, RSE and flush stall components")
+end
+)RULES";
+
+constexpr std::string_view kMemoryLocality = R"RULES(
+// Third GenIDLEST script: data-locality diagnosis on the SGI Altix.
+rule "Poor Data Locality"
+salience 5
+when
+  f : MemoryLocalityFact( belowAppAverage == true,
+                          runtimeFraction > 0.05,
+                          e : eventName )
+then
+  print("Event " + e + " has a worse local:remote memory ratio (" +
+        f.localToRemote + ") than the application average (" +
+        f.appLocalToRemote + ")")
+  diagnose(problem = "PoorDataLocality", event = e,
+           severity = f.runtimeFraction,
+           recommendation = "Check first-touch placement: initialize data in parallel so pages are homed where they are used")
+end
+
+rule "Remote Memory Dominates"
+when
+  f : MemoryLocalityFact( remoteRatio > 0.5, runtimeFraction > 0.05,
+                          e : eventName )
+then
+  print("Event " + e + ": " + f.remoteRatio +
+        " of L3 misses go to remote memory")
+  diagnose(problem = "RemoteMemoryDominates", event = e,
+           severity = f.runtimeFraction,
+           recommendation = "Parallelize initialization loops and/or privatize per-thread data to exploit first-touch")
+end
+
+rule "Sequential Bottleneck"
+salience 3
+when
+  f : ScalingFact( efficiency < 0.30, runtimeFraction > 0.10,
+                   e : eventName, s : speedup )
+then
+  print("Event " + e + " scales poorly (speedup " + s +
+        ") and is " + f.runtimeFraction + " of runtime")
+  diagnose(problem = "SequentialBottleneck", event = e,
+           severity = f.runtimeFraction,
+           recommendation = "Parallelize the serialized work in " + e + " (e.g. boundary-update copies by the master thread)")
+end
+)RULES";
+
+constexpr std::string_view kPower = R"RULES(
+// Power/energy recommendations over the per-optimization-level study
+// facts (relative to O0, as in Table I).
+rule "Compile for Low Power"
+when
+  f : PowerStudyFact( isLowestPower == true, l : level )
+then
+  print("Lowest power dissipation at " + l)
+  diagnose(problem = "LowPowerSetting", event = l, severity = 1.0,
+           recommendation = "Enable " + l + " when compiling for low power (large-scale servers: reliability, cooling, operating cost)")
+end
+
+rule "Compile for Low Energy"
+when
+  f : PowerStudyFact( isLowestEnergy == true, l : level )
+then
+  print("Lowest energy consumption at " + l)
+  diagnose(problem = "LowEnergySetting", event = l, severity = 1.0,
+           recommendation = "Enable " + l + " when compiling for low energy (embedded and scientific workloads)")
+end
+
+rule "Compile for Power and Energy Balance"
+when
+  f : PowerStudyFact( isBalanced == true, l : level )
+then
+  print("Best power/energy balance at " + l)
+  diagnose(problem = "BalancedSetting", event = l, severity = 1.0,
+           recommendation = "Enable " + l + " for combined power and energy efficiency")
+end
+
+rule "Energy Tracks Instruction Count"
+when
+  f : PowerStudyFact( correlatedEnergyInstructions == true,
+                      l : level, j : relativeJoules,
+                      i : relativeInstructions )
+then
+  print("At " + l + " energy (" + j + ") tracks instruction count (" + i + ")")
+end
+)RULES";
+
+constexpr std::string_view kCommunication = R"RULES(
+// Communication diagnosis from PMPI-derived facts.
+rule "Communication Bound Rank"
+when
+  f : CommunicationFact( commFraction > 0.30, r : rank )
+then
+  print("Rank " + r + " spends " + f.commFraction +
+        " of its time in communication")
+  diagnose(problem = "CommunicationBound", event = "rank " + r,
+           severity = f.commFraction,
+           recommendation = "Increase the computation/communication ratio: larger blocks per rank or message aggregation")
+end
+
+rule "Wait Dominated Rank"
+salience 5
+when
+  f : CommunicationFact( waitFraction > 0.20, r : rank )
+then
+  print("Rank " + r + " is wait-dominated (" + f.waitFraction +
+        " of runtime blocked in MPI_Wait)")
+  diagnose(problem = "WaitDominated", event = "rank " + r,
+           severity = f.waitFraction,
+           recommendation = "Overlap communication with computation: post receives earlier and defer waits past independent work")
+end
+
+rule "Late Sender"
+when
+  f : LateSenderFact( waitFraction > 0.05, s : sender, d : receiver )
+then
+  print("Rank " + d + " waits on late sender rank " + s + " (" +
+        f.waitFraction + " of runtime)")
+  diagnose(problem = "LateSender", event = "rank " + s,
+           severity = f.waitFraction,
+           recommendation = "Balance the work ahead of the send on rank " + s + " or post its sends earlier")
+end
+
+rule "Copy Heavy Exchange"
+when
+  f : CommunicationFact( copyFraction > 0.15, r : rank )
+then
+  print("Rank " + r + " spends " + f.copyFraction +
+        " of its time in on-processor buffer copies")
+  diagnose(problem = "CopyHeavyExchange", event = "rank " + r,
+           severity = f.copyFraction,
+           recommendation = "Eliminate intermediate buffers: copy directly from the send buffer to the destination array")
+end
+)RULES";
+
+constexpr std::string_view kInstrumentation = R"RULES(
+// Selective-instrumentation guidance: throttle regions whose probe cost
+// dilates their own measurement, and flag runs whose total probe cost
+// perturbs the application (reference [7] of the paper).
+rule "Instrumentation Dilation"
+when
+  f : OverheadFact( dilation > 0.10, e : eventName, c : calls )
+then
+  print("Event " + e + " is dilated " + f.dilation +
+        " by its own probes (" + c + " calls)")
+  diagnose(problem = "InstrumentationOverhead", event = e,
+           severity = f.dilation,
+           recommendation = "Throttle or exclude " + e + " from instrumentation (small region, very high call count)")
+end
+
+rule "Excessive Probe Cost"
+when
+  f : OverheadSummaryFact( appOverheadFraction > 0.05 )
+then
+  print("Instrumentation perturbs the run: " + f.appOverheadFraction +
+        " of total cycles are probe overhead")
+  diagnose(problem = "ExcessiveProbeCost", event = "whole application",
+           severity = f.appOverheadFraction,
+           recommendation = "Re-run with selective instrumentation: procedures only, or raise the selectivity score threshold")
+end
+)RULES";
+
+constexpr std::string_view kOpenmp = R"RULES(
+// OpenMP runtime-overhead diagnosis from collector-API facts (the
+// paper's §V: attribute fork-join, scheduling and barrier overheads and
+// their causes).
+rule "Parallel Region Too Fine"
+when
+  f : OmpRegionFact( forkJoinShare > 0.50, invocations >= 10, r : region )
+then
+  print("Region " + r + ": fork/join overhead dominates (" +
+        f.forkJoinShare + " of runtime overhead over " + f.invocations +
+        " invocations)")
+  diagnose(problem = "ForkJoinOverhead", event = r,
+           severity = f.forkJoinShare,
+           recommendation = "Hoist the parallel directive out of the enclosing loop or merge adjacent parallel regions")
+end
+
+rule "Barrier Imbalance"
+salience 5
+when
+  f : OmpRegionFact( barrierShare > 0.50, imbalanceCv > 0.25, r : region )
+then
+  print("Region " + r + ": threads idle unevenly at the barrier (share " +
+        f.barrierShare + ", cv " + f.imbalanceCv + ")")
+  diagnose(problem = "BarrierImbalance", event = r,
+           severity = f.barrierShare,
+           recommendation = "Use a dynamic schedule with a small chunk, or rebalance the per-thread work for " + r)
+end
+
+rule "Dispatch Overhead"
+when
+  f : OmpRegionFact( r : region, d : dispatchCycles, j : forkJoinCycles,
+                     dispatchCycles > j * 2 )
+then
+  print("Region " + r + ": chunk-dispatch cost " + d +
+        " cycles exceeds fork/join cost")
+  diagnose(problem = "DispatchOverhead", event = r, severity = 0.5,
+           recommendation = "Increase the dynamic chunk size for " + r + " (dispatch-bound)")
+end
+)RULES";
+
+}  // namespace
+
+std::string_view stalls_per_cycle() { return kStallsPerCycle; }
+std::string_view load_imbalance() { return kLoadImbalance; }
+std::string_view inefficiency() { return kInefficiency; }
+std::string_view stall_coverage() { return kStallCoverage; }
+std::string_view memory_locality() { return kMemoryLocality; }
+std::string_view power() { return kPower; }
+std::string_view communication() { return kCommunication; }
+std::string_view instrumentation() { return kInstrumentation; }
+std::string_view openmp() { return kOpenmp; }
+
+std::string openuh_rules() {
+  std::string all;
+  all += kStallsPerCycle;
+  all += kLoadImbalance;
+  all += kInefficiency;
+  all += kStallCoverage;
+  all += kMemoryLocality;
+  all += kPower;
+  all += kCommunication;
+  all += kInstrumentation;
+  all += kOpenmp;
+  return all;
+}
+
+void use(RuleHarness& harness, std::string_view rulebase_source) {
+  add_rules(harness, std::string(rulebase_source));
+}
+
+}  // namespace perfknow::rules::builtin

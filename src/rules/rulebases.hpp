@@ -1,0 +1,60 @@
+// Built-in rulebases: the performance knowledge the paper captures.
+//
+// Each rulebase is the DSL source of the expert rules one case study
+// uses. They are embedded as strings (so the library needs no data-file
+// path at runtime) and also shipped as .rules files under rules/ for
+// editing — `perfknow::rules::parse_rules` accepts either.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rules/engine.hpp"
+
+namespace perfknow::rules::builtin {
+
+/// Fig. 2: flags events whose stall-per-cycle rate exceeds the
+/// application average and that cost > 10 % of runtime.
+[[nodiscard]] std::string_view stalls_per_cycle();
+
+/// §III-A: the MSAP load-imbalance rule — two nested loops with high
+/// stddev/mean (> 0.25), > 5 % of runtime each, strongly negatively
+/// correlated per thread; recommends a small dynamic chunk.
+[[nodiscard]] std::string_view load_imbalance();
+
+/// §III-B first script: high Inefficiency = FLOPs x (stalls/cycles).
+[[nodiscard]] std::string_view inefficiency();
+
+/// §III-B second script: the 90 % guideline — either memory+FP stalls
+/// dominate (diagnosable) or more counter runs are needed.
+[[nodiscard]] std::string_view stall_coverage();
+
+/// §III-B third script: data-locality rules — events with a worse
+/// local:remote ratio than the application mean, high remote ratios
+/// (first-touch placement bug), and serialized non-scaling events.
+[[nodiscard]] std::string_view memory_locality();
+
+/// §III-C: power/energy recommendation rules over per-opt-level facts.
+[[nodiscard]] std::string_view power();
+
+/// Instrumentation-overhead guidance (selective instrumentation,
+/// reference [7]): dilated regions and excessive total probe cost.
+[[nodiscard]] std::string_view instrumentation();
+
+/// OpenMP runtime-overhead diagnosis over collector-API facts:
+/// fork-join-dominated regions, barrier imbalance, dispatch overhead.
+[[nodiscard]] std::string_view openmp();
+
+/// Communication diagnosis over PMPI-derived facts (the Hercule/EXPERT
+/// style knowledge the paper's future work asks for): communication-bound
+/// ranks, wait domination, late senders, copy-heavy exchanges.
+[[nodiscard]] std::string_view communication();
+
+/// The union of all of the above — the "OpenUHRules" file of Fig. 1.
+[[nodiscard]] std::string openuh_rules();
+
+/// Parses one built-in rulebase into `harness`.
+void use(RuleHarness& harness, std::string_view rulebase_source);
+
+}  // namespace perfknow::rules::builtin

@@ -1,0 +1,230 @@
+#include "runtime/mpi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace perfknow::runtime {
+
+MpiWorld::MpiWorld(machine::Machine& m, unsigned size, MpiCosts costs)
+    : machine_(m), size_(size), costs_(costs), clock_(size, 0) {
+  if (size == 0) {
+    throw InvalidArgumentError("MpiWorld: need at least one rank");
+  }
+  if (size > m.config().num_cpus()) {
+    throw InvalidArgumentError(
+        "MpiWorld: " + std::to_string(size) + " ranks exceed " +
+        std::to_string(m.config().num_cpus()) + " CPUs of the machine");
+  }
+}
+
+std::uint32_t MpiWorld::cpu_of(unsigned rank) const {
+  check_rank(rank);
+  return rank;
+}
+
+std::uint32_t MpiWorld::node_of(unsigned rank) const {
+  return machine_.topology().node_of_cpu(cpu_of(rank));
+}
+
+void MpiWorld::check_rank(unsigned rank) const {
+  if (rank >= size_) {
+    throw InvalidArgumentError("MpiWorld: rank " + std::to_string(rank) +
+                               " out of range (size " +
+                               std::to_string(size_) + ")");
+  }
+}
+
+void MpiWorld::compute(unsigned rank, std::uint64_t cycles) {
+  check_rank(rank);
+  clock_[rank] += cycles;
+}
+
+void MpiWorld::local_copy(unsigned rank, std::uint64_t bytes) {
+  const auto cost = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(bytes) * costs_.copy_cycles_per_byte));
+  local_copy_cycles(rank, bytes, cost);
+}
+
+void MpiWorld::local_copy_cycles(unsigned rank, std::uint64_t bytes,
+                                 std::uint64_t cycles) {
+  check_rank(rank);
+  MpiEvent ev;
+  ev.kind = MpiEvent::Kind::kCopy;
+  ev.rank = rank;
+  ev.peer = rank;
+  ev.bytes = bytes;
+  ev.start_cycles = clock_[rank];
+  clock_[rank] += cycles;
+  ev.end_cycles = clock_[rank];
+  emit(ev);
+}
+
+std::uint64_t MpiWorld::transfer_cycles(unsigned src, unsigned dst,
+                                        std::uint64_t bytes) const {
+  check_rank(src);
+  check_rank(dst);
+  const auto& cfg = machine_.config();
+  const std::uint32_t hops =
+      machine_.topology().hops(node_of(src), node_of(dst));
+  const double wire = static_cast<double>(cfg.mpi_latency_cycles) +
+                      static_cast<double>(hops) * cfg.numalink_hop_latency +
+                      static_cast<double>(bytes) * cfg.cycles_per_byte;
+  return static_cast<std::uint64_t>(std::llround(wire));
+}
+
+MpiRequest MpiWorld::isend(unsigned src, unsigned dst, std::uint64_t bytes,
+                           int tag) {
+  check_rank(src);
+  check_rank(dst);
+  MpiEvent ev;
+  ev.kind = MpiEvent::Kind::kIsend;
+  ev.rank = src;
+  ev.peer = dst;
+  ev.bytes = bytes;
+  ev.start_cycles = clock_[src];
+  clock_[src] += costs_.send_overhead_cycles;
+  ev.end_cycles = clock_[src];
+  emit(ev);
+
+  const std::uint64_t arrival =
+      clock_[src] + transfer_cycles(src, dst, bytes);
+  in_flight_[{src, dst, tag}].push_back(PendingSend{arrival});
+
+  PendingRecv desc;
+  desc.src = src;
+  desc.dst = dst;
+  desc.tag = tag;
+  desc.post_time = clock_[src];
+  desc.bytes = bytes;
+  desc.is_send = true;
+  desc.send_arrival = arrival;
+  const MpiRequest req{next_req_++};
+  requests_[req.id] = desc;
+  return req;
+}
+
+MpiRequest MpiWorld::irecv(unsigned dst, unsigned src, std::uint64_t bytes,
+                           int tag) {
+  check_rank(dst);
+  check_rank(src);
+  MpiEvent ev;
+  ev.kind = MpiEvent::Kind::kIrecv;
+  ev.rank = dst;
+  ev.peer = src;
+  ev.bytes = bytes;
+  ev.start_cycles = clock_[dst];
+  clock_[dst] += costs_.recv_overhead_cycles;
+  ev.end_cycles = clock_[dst];
+  emit(ev);
+
+  PendingRecv desc;
+  desc.src = src;
+  desc.dst = dst;
+  desc.tag = tag;
+  desc.post_time = clock_[dst];
+  desc.bytes = bytes;
+  desc.is_send = false;
+  const MpiRequest req{next_req_++};
+  requests_[req.id] = desc;
+  return req;
+}
+
+void MpiWorld::wait(unsigned rank, MpiRequest req) {
+  check_rank(rank);
+  const auto it = requests_.find(req.id);
+  if (it == requests_.end()) {
+    throw InvalidArgumentError("MpiWorld::wait: unknown or completed request");
+  }
+  const PendingRecv desc = it->second;
+  requests_.erase(it);
+
+  MpiEvent ev;
+  ev.kind = MpiEvent::Kind::kWait;
+  ev.rank = rank;
+  ev.bytes = desc.bytes;
+  ev.start_cycles = clock_[rank];
+
+  if (desc.is_send) {
+    // Eager protocol: the send buffer is reusable right after posting;
+    // waiting costs only the request bookkeeping. No data is received,
+    // so the event carries zero bytes (PMPI observers distinguish
+    // send-side from recv-side waits this way).
+    ev.peer = desc.dst;
+    ev.bytes = 0;
+    clock_[rank] += costs_.wait_overhead_cycles;
+  } else {
+    ev.peer = desc.src;
+    auto& fifo = in_flight_[{desc.src, desc.dst, desc.tag}];
+    if (fifo.empty()) {
+      throw InvalidArgumentError(
+          "MpiWorld::wait: recv from rank " + std::to_string(desc.src) +
+          " has no matching send posted (tag " + std::to_string(desc.tag) +
+          ")");
+    }
+    const std::uint64_t arrival = fifo.front().arrival;
+    fifo.erase(fifo.begin());
+    clock_[rank] =
+        std::max(clock_[rank], arrival) + costs_.wait_overhead_cycles;
+  }
+  ev.end_cycles = clock_[rank];
+  emit(ev);
+}
+
+void MpiWorld::waitall(unsigned rank, std::span<const MpiRequest> reqs) {
+  for (const auto& r : reqs) wait(rank, r);
+}
+
+void MpiWorld::barrier() {
+  const std::uint64_t finish =
+      *std::max_element(clock_.begin(), clock_.end());
+  const auto levels = static_cast<std::uint64_t>(
+      std::ceil(std::log2(static_cast<double>(std::max(2u, size_)))));
+  const std::uint64_t done = finish + levels * costs_.barrier_per_level_cycles;
+  for (unsigned r = 0; r < size_; ++r) {
+    MpiEvent ev;
+    ev.kind = MpiEvent::Kind::kBarrier;
+    ev.rank = r;
+    ev.peer = r;
+    ev.start_cycles = clock_[r];
+    ev.end_cycles = done;
+    emit(ev);
+    clock_[r] = done;
+  }
+}
+
+void MpiWorld::allreduce(std::uint64_t bytes) {
+  const std::uint64_t finish =
+      *std::max_element(clock_.begin(), clock_.end());
+  const auto levels = static_cast<std::uint64_t>(
+      std::ceil(std::log2(static_cast<double>(std::max(2u, size_)))));
+  const double per_level =
+      static_cast<double>(costs_.allreduce_per_level_cycles) +
+      static_cast<double>(bytes) * machine_.config().cycles_per_byte;
+  const std::uint64_t done =
+      finish + static_cast<std::uint64_t>(
+                   std::llround(static_cast<double>(levels) * per_level));
+  for (unsigned r = 0; r < size_; ++r) {
+    MpiEvent ev;
+    ev.kind = MpiEvent::Kind::kAllreduce;
+    ev.rank = r;
+    ev.peer = r;
+    ev.bytes = bytes;
+    ev.start_cycles = clock_[r];
+    ev.end_cycles = done;
+    emit(ev);
+    clock_[r] = done;
+  }
+}
+
+std::uint64_t MpiWorld::clock(unsigned rank) const {
+  check_rank(rank);
+  return clock_[rank];
+}
+
+std::uint64_t MpiWorld::elapsed() const {
+  return *std::max_element(clock_.begin(), clock_.end());
+}
+
+}  // namespace perfknow::runtime

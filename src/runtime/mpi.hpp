@@ -1,0 +1,142 @@
+// Simulated MPI execution on deterministic virtual clocks.
+//
+// Models the communication structure GenIDLEST relies on: per-rank
+// compute, non-blocking point-to-point (MPI_Isend / MPI_Irecv / MPI_Wait)
+// with a Hockney latency+bandwidth cost over the machine's NUMA hop
+// distances, collectives, and on-processor buffer copies. A PMPI-style
+// hook observes every completed operation so the instrumentation layer
+// can attribute communication time to profile events — exactly how the
+// paper's MPI operations are "instrumented via PMPI rather than by the
+// compiler".
+//
+// The simulation is driven explicitly: application code iterates ranks
+// and posts operations in program order (bulk-synchronous SPMD). Ranks
+// advance independent uint64 cycle clocks; message completion is the
+// max of sender-data-arrival and receiver-post times.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hpp"
+
+namespace perfknow::runtime {
+
+/// Software overheads of the simulated MPI library.
+struct MpiCosts {
+  std::uint64_t send_overhead_cycles = 700;   ///< Isend posting cost
+  std::uint64_t recv_overhead_cycles = 700;   ///< Irecv posting cost
+  std::uint64_t wait_overhead_cycles = 250;   ///< per completed request
+  std::uint64_t barrier_per_level_cycles = 2600;
+  std::uint64_t allreduce_per_level_cycles = 3400;
+  /// On-node memcpy throughput for buffer packing (cycles per byte).
+  double copy_cycles_per_byte = 0.25;
+};
+
+/// Handle for a pending nonblocking operation.
+struct MpiRequest {
+  std::uint64_t id = 0;
+  [[nodiscard]] bool valid() const noexcept { return id != 0; }
+};
+
+/// What a PMPI hook observes for each completed operation.
+struct MpiEvent {
+  enum class Kind { kIsend, kIrecv, kWait, kBarrier, kAllreduce, kCopy };
+  Kind kind = Kind::kIsend;
+  unsigned rank = 0;
+  unsigned peer = 0;           ///< other endpoint (self for collectives)
+  std::uint64_t bytes = 0;
+  std::uint64_t start_cycles = 0;
+  std::uint64_t end_cycles = 0;
+};
+
+/// Simulated MPI communicator of `size` ranks; rank r is pinned to CPU r.
+class MpiWorld {
+ public:
+  using Hook = std::function<void(const MpiEvent&)>;
+
+  MpiWorld(machine::Machine& m, unsigned size, MpiCosts costs = {});
+
+  [[nodiscard]] unsigned size() const noexcept { return size_; }
+  [[nodiscard]] std::uint32_t cpu_of(unsigned rank) const;
+  [[nodiscard]] std::uint32_t node_of(unsigned rank) const;
+
+  /// Installs/clears the PMPI interposition hook.
+  void set_hook(Hook hook) { hook_ = std::move(hook); }
+
+  /// Advances `rank`'s clock by `cycles` of local computation.
+  void compute(unsigned rank, std::uint64_t cycles);
+
+  /// On-processor buffer copy of `bytes` (the ghost-cell pack/unpack step);
+  /// advances the rank clock by the copy cost and reports it to the hook.
+  void local_copy(unsigned rank, std::uint64_t bytes);
+  /// Like local_copy but with an explicitly-costed cycle count (for
+  /// callers with their own copy model, e.g. strided ghost gathers).
+  void local_copy_cycles(unsigned rank, std::uint64_t bytes,
+                         std::uint64_t cycles);
+
+  /// Nonblocking send/recv. Matching is (src, dst, tag) FIFO.
+  [[nodiscard]] MpiRequest isend(unsigned src, unsigned dst,
+                                 std::uint64_t bytes, int tag = 0);
+  [[nodiscard]] MpiRequest irecv(unsigned dst, unsigned src,
+                                 std::uint64_t bytes, int tag = 0);
+
+  /// Blocks `rank` until the request completes. A send request completes
+  /// locally (eager protocol); a recv request completes when the matched
+  /// message's data has arrived. Throws when the recv has no matching
+  /// send posted yet — the BSP driver must post sends first.
+  void wait(unsigned rank, MpiRequest req);
+  void waitall(unsigned rank, std::span<const MpiRequest> reqs);
+
+  /// Synchronizes all clocks (dissemination barrier, ceil(log2 p) rounds).
+  void barrier();
+
+  /// Allreduce of `bytes` per rank: recursive doubling; synchronizing.
+  void allreduce(std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t clock(unsigned rank) const;
+  /// Latest clock across ranks — the run's elapsed virtual time.
+  [[nodiscard]] std::uint64_t elapsed() const;
+
+  /// Point-to-point wire time for `bytes` between two ranks (for tests).
+  [[nodiscard]] std::uint64_t transfer_cycles(unsigned src, unsigned dst,
+                                              std::uint64_t bytes) const;
+
+ private:
+  struct PendingSend {
+    std::uint64_t arrival = 0;  ///< when data is available at dst
+  };
+  struct PendingRecv {
+    unsigned src = 0;
+    unsigned dst = 0;
+    int tag = 0;
+    std::uint64_t post_time = 0;
+    std::uint64_t bytes = 0;
+    bool is_send = false;
+    std::uint64_t send_arrival = 0;  ///< filled for send reqs
+  };
+
+  void check_rank(unsigned rank) const;
+  void emit(const MpiEvent& ev) const {
+    if (hook_) hook_(ev);
+  }
+
+  machine::Machine& machine_;
+  unsigned size_;
+  MpiCosts costs_;
+  Hook hook_;
+  std::vector<std::uint64_t> clock_;
+  std::uint64_t next_req_ = 1;
+  // (src, dst, tag) -> FIFO of in-flight send arrival times.
+  std::map<std::tuple<unsigned, unsigned, int>, std::vector<PendingSend>>
+      in_flight_;
+  // request id -> descriptor
+  std::map<std::uint64_t, PendingRecv> requests_;
+};
+
+}  // namespace perfknow::runtime

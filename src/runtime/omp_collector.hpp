@@ -1,0 +1,82 @@
+// OpenMP collector-API events (the paper's reference [2], "Towards an
+// implementation of the OpenMP collector API").
+//
+// The real OpenUH runtime emits fork/join and implicit/explicit barrier
+// events through the collector interface so TAU can attribute OpenMP
+// overhead without compiler instrumentation. The simulated OmpTeam emits
+// the same vocabulary through a hook; the OmpCollector accumulates
+// per-thread region statistics and asserts OpenMP-overhead facts:
+//
+//   OmpRegionFact — per parallel region: forkJoinFraction,
+//                   barrierFraction, dispatchFraction, imbalanceCv.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rules/engine.hpp"
+#include "runtime/omp.hpp"
+
+namespace perfknow::runtime {
+
+/// Collector event vocabulary (OMP_EVENT_* in the collector API).
+enum class OmpEventKind {
+  kFork,          ///< parallel region begins (master)
+  kJoin,          ///< parallel region ends (master)
+  kChunkDispatch, ///< a thread fetched a chunk (dynamic/guided)
+  kImplicitBarrierEnter,
+  kImplicitBarrierExit,
+};
+
+struct OmpEvent {
+  OmpEventKind kind = OmpEventKind::kFork;
+  unsigned thread = 0;
+  std::string region;        ///< caller-supplied region label
+  std::uint64_t cycles = 0;  ///< duration of the phase the event closes
+};
+
+using OmpHook = std::function<void(const OmpEvent&)>;
+
+/// Replays a ParallelForResult as collector events: one fork/join pair,
+/// per-thread dispatch totals, and per-thread barrier enter/exit with the
+/// wait duration. This is how the simulated runtime implements the
+/// collector interface on top of its deterministic schedule results.
+void emit_collector_events(const OmpTeam& team, const std::string& region,
+                           const ParallelForResult& result,
+                           const OmpHook& hook);
+
+/// Accumulates collector events into per-region overhead statistics.
+class OmpCollector {
+ public:
+  explicit OmpCollector(unsigned num_threads) : threads_(num_threads) {}
+
+  [[nodiscard]] OmpHook hook();
+
+  struct RegionStats {
+    std::string region;
+    std::uint64_t fork_join_cycles = 0;
+    std::uint64_t dispatch_cycles = 0;
+    std::vector<std::uint64_t> barrier_wait;  ///< per thread
+    std::uint64_t work_estimate = 0;  ///< region span minus overheads
+    std::uint64_t span_cycles = 0;    ///< fork to join
+    unsigned invocations = 0;
+  };
+
+  [[nodiscard]] const std::vector<RegionStats>& regions() const noexcept {
+    return regions_;
+  }
+  [[nodiscard]] const RegionStats& region(const std::string& name) const;
+
+  /// Asserts one OmpRegionFact per region. Returns facts asserted.
+  std::size_t assert_facts(rules::RuleHarness& harness) const;
+
+ private:
+  RegionStats& upsert(const std::string& name);
+
+  unsigned threads_;
+  std::vector<RegionStats> regions_;
+};
+
+}  // namespace perfknow::runtime

@@ -1,0 +1,80 @@
+// PerfScript abstract syntax tree.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace perfknow::script {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Expr {
+  enum class Kind {
+    kNumber,
+    kString,
+    kBool,
+    kNone,
+    kName,
+    kList,       // items
+    kDict,       // items as [k0, v0, k1, v1, ...]
+    kUnary,      // op ("-" or "not"), lhs
+    kBinary,     // op (+ - * / % ** //), lhs, rhs
+    kCompare,    // op (== != < <= > >= in notin), lhs, rhs
+    kBoolOp,     // op ("and"/"or"), lhs, rhs (short-circuit)
+    kCall,       // lhs = callee, items = args
+    kAttribute,  // lhs . text
+    kIndex,      // lhs [ rhs ]
+  };
+  Kind kind;
+  int line = 0;
+  double number = 0.0;
+  bool boolean = false;
+  std::string text;  // name / string value / op / attribute name
+  std::vector<ExprPtr> items;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct FunctionDef {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+};
+
+struct Stmt {
+  enum class Kind {
+    kExpr,      // value
+    kAssign,    // target = value (target: Name / Index / Attribute)
+    kAugAssign, // target op= value (op in text)
+    kIf,        // value = cond, body, orelse
+    kWhile,     // value = cond, body
+    kFor,       // text = loop var, value = iterable, body
+    kDef,       // func
+    kReturn,    // value (may be null -> None)
+    kBreak,
+    kContinue,
+    kPass,
+  };
+  Kind kind;
+  int line = 0;
+  std::string text;
+  ExprPtr target;
+  ExprPtr value;
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> orelse;
+  std::shared_ptr<FunctionDef> func;
+};
+
+struct Program {
+  std::vector<StmtPtr> body;
+};
+
+/// Parses a full script; throws ParseError with line information.
+[[nodiscard]] std::shared_ptr<Program> parse_program(
+    const std::string& source);
+
+}  // namespace perfknow::script

@@ -1,0 +1,565 @@
+#include "script/bindings.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/clustering.hpp"
+#include "analysis/facts.hpp"
+#include "analysis/operations.hpp"
+#include "analysis/pca.hpp"
+#include "common/error.hpp"
+#include "hwcounters/counters.hpp"
+#include "perfdmf/csv_format.hpp"
+#include "perfdmf/json_format.hpp"
+#include "perfdmf/snapshot.hpp"
+#include "power/power_model.hpp"
+#include "rules/parser.hpp"
+#include "rules/rulebases.hpp"
+
+namespace perfknow::script {
+
+namespace {
+
+// ---- host-object payloads ----------------------------------------------
+
+struct TrialHandle {
+  perfdmf::TrialPtr trial;
+};
+
+struct ResultHandle {
+  perfdmf::TrialPtr trial;
+  bool mean = true;
+  std::string metric;  ///< the result's current metric
+};
+
+struct DeriveHandle {
+  std::shared_ptr<ResultHandle> input;
+  std::string metric_a;
+  std::string metric_b;
+  analysis::DeriveOp op = analysis::DeriveOp::kDivide;
+};
+
+struct HarnessHandle {
+  std::shared_ptr<rules::RuleHarness> harness;
+};
+
+std::shared_ptr<TrialHandle> trial_of(const Value& v) {
+  if (v.is_host_object() && v.as_host_object()->type == "TrialResult") {
+    auto r = host_cast<ResultHandle>(v, "TrialResult");
+    return std::make_shared<TrialHandle>(TrialHandle{r->trial});
+  }
+  return host_cast<TrialHandle>(v, "Trial");
+}
+
+std::shared_ptr<ResultHandle> result_of(const Value& v) {
+  if (v.is_host_object() && v.as_host_object()->type == "Trial") {
+    auto t = host_cast<TrialHandle>(v, "Trial");
+    auto r = std::make_shared<ResultHandle>();
+    r->trial = t->trial;
+    r->metric = t->trial->find_metric("TIME")
+                    ? "TIME"
+                    : t->trial->metric(0).name;
+    return r;
+  }
+  return host_cast<ResultHandle>(v, "TrialResult");
+}
+
+std::string default_metric(const profile::Trial& t) {
+  return t.find_metric("TIME") ? "TIME" : t.metric(0).name;
+}
+
+Value make_result(perfdmf::TrialPtr trial, bool mean, std::string metric) {
+  auto r = std::make_shared<ResultHandle>();
+  r->trial = std::move(trial);
+  r->mean = mean;
+  r->metric = std::move(metric);
+  return make_host_object("TrialResult", std::move(r));
+}
+
+const std::string& arg_string(const std::vector<Value>& args,
+                              std::size_t i, const char* fn) {
+  if (i >= args.size()) {
+    throw EvalError(std::string(fn) + ": missing argument " +
+                    std::to_string(i + 1));
+  }
+  return args[i].as_string();
+}
+
+/// Resolves a rulebase name: built-in names first, then the filesystem.
+std::string resolve_rules(const std::string& name) {
+  namespace rb = rules::builtin;
+  // The Fig. 1 name and friendly aliases map to the embedded rulebases.
+  if (name == "openuh/OpenUHRules.drl" || name == "OpenUHRules.drl" ||
+      name == "openuh") {
+    return rb::openuh_rules();
+  }
+  if (name == "stalls_per_cycle") return std::string(rb::stalls_per_cycle());
+  if (name == "load_imbalance") return std::string(rb::load_imbalance());
+  if (name == "inefficiency") return std::string(rb::inefficiency());
+  if (name == "stall_coverage") return std::string(rb::stall_coverage());
+  if (name == "memory_locality") return std::string(rb::memory_locality());
+  if (name == "power") return std::string(rb::power());
+  if (name == "communication") return std::string(rb::communication());
+  if (name == "instrumentation") return std::string(rb::instrumentation());
+  if (name == "openmp") return std::string(rb::openmp());
+  std::ifstream is(name);
+  if (!is) {
+    throw NotFoundError("unknown rulebase '" + name +
+                        "' (not a built-in name and not a readable file)");
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+/// Builds the mean per-CPU counter vector of a trial from its counter
+/// metrics (summing events' exclusive values per thread, then averaging).
+hwcounters::CounterVector mean_counters(const profile::Trial& t) {
+  hwcounters::CounterVector mean;
+  for (profile::MetricId m = 0; m < t.metric_count(); ++m) {
+    const std::string& name = t.metric(m).name;
+    if (!hwcounters::is_counter_name(name)) continue;
+    const auto c = hwcounters::counter_from_name(name);
+    double total = 0.0;
+    for (std::size_t th = 0; th < t.thread_count(); ++th) {
+      for (profile::EventId e = 0; e < t.event_count(); ++e) {
+        total += t.exclusive(th, e, m);
+      }
+    }
+    mean.set(c, total / static_cast<double>(t.thread_count()));
+  }
+  return mean;
+}
+
+}  // namespace
+
+AnalysisSession::AnalysisSession(perfdmf::Repository& repository)
+    : repository_(&repository),
+      harness_(std::make_shared<rules::RuleHarness>()) {
+  register_api();
+}
+
+void AnalysisSession::run_file(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw IoError("cannot open script: " + path.string());
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  run(ss.str());
+}
+
+void AnalysisSession::register_api() {
+  auto* repo = repository_;
+  auto harness = harness_;
+
+  // ---- Utilities ---------------------------------------------------------
+  interp_.set_global(
+      "Utilities",
+      make_dict({
+          {"getTrial",
+           make_host_fn([repo](Interpreter&, const std::vector<Value>& a) {
+             return make_host_object(
+                 "Trial", std::make_shared<TrialHandle>(TrialHandle{
+                              repo->get(arg_string(a, 0, "getTrial"),
+                                        arg_string(a, 1, "getTrial"),
+                                        arg_string(a, 2, "getTrial"))}));
+           })},
+          {"getTrialList",
+           make_host_fn([repo](Interpreter&, const std::vector<Value>& a) {
+             std::vector<Value> out;
+             for (auto& t : repo->experiment_trials(
+                      arg_string(a, 0, "getTrialList"),
+                      arg_string(a, 1, "getTrialList"))) {
+               out.push_back(make_host_object(
+                   "Trial",
+                   std::make_shared<TrialHandle>(TrialHandle{t})));
+             }
+             return make_list(std::move(out));
+           })},
+          {"saveTrial",
+           make_host_fn([](Interpreter&, const std::vector<Value>& a) {
+             perfdmf::save_snapshot(*trial_of(a.at(0))->trial,
+                                    arg_string(a, 1, "saveTrial"));
+             return Value();
+           })},
+      }));
+
+  // ---- Trial methods -------------------------------------------------------
+  interp_.register_method(
+      "Trial", "getName",
+      [](Interpreter&, const HostObjPtr& o, const std::vector<Value>&) {
+        return Value(
+            std::static_pointer_cast<TrialHandle>(o->data)->trial->name());
+      });
+  interp_.register_method(
+      "Trial", "getThreadCount",
+      [](Interpreter&, const HostObjPtr& o, const std::vector<Value>&) {
+        return Value(std::static_pointer_cast<TrialHandle>(o->data)
+                         ->trial->thread_count());
+      });
+  interp_.register_method(
+      "Trial", "getMetadata",
+      [](Interpreter&, const HostObjPtr& o, const std::vector<Value>& a) {
+        const auto md = std::static_pointer_cast<TrialHandle>(o->data)
+                            ->trial->metadata(a.at(0).as_string());
+        return md ? Value(*md) : Value();
+      });
+
+  // ---- result constructors -------------------------------------------------
+  auto result_ctor = [](bool mean) {
+    return make_host_fn(
+        [mean](Interpreter&, const std::vector<Value>& a) {
+          auto t = trial_of(a.at(0));
+          return make_result(t->trial, mean, default_metric(*t->trial));
+        });
+  };
+  interp_.set_global("TrialResult", result_ctor(false));
+  interp_.set_global("TrialMeanResult", result_ctor(true));
+
+  // ---- TrialResult methods ---------------------------------------------------
+  auto result_handle = [](const HostObjPtr& o) {
+    return std::static_pointer_cast<ResultHandle>(o->data);
+  };
+  interp_.register_method(
+      "TrialResult", "getEvents",
+      [result_handle](Interpreter&, const HostObjPtr& o,
+                      const std::vector<Value>&) {
+        const auto r = result_handle(o);
+        std::vector<Value> out;
+        for (const auto& e : r->trial->events()) out.emplace_back(e.name);
+        return make_list(std::move(out));
+      });
+  interp_.register_method(
+      "TrialResult", "getMetrics",
+      [result_handle](Interpreter&, const HostObjPtr& o,
+                      const std::vector<Value>&) {
+        const auto r = result_handle(o);
+        std::vector<Value> out;
+        for (const auto& m : r->trial->metrics()) out.emplace_back(m.name);
+        return make_list(std::move(out));
+      });
+  interp_.register_method(
+      "TrialResult", "getMetric",
+      [result_handle](Interpreter&, const HostObjPtr& o,
+                      const std::vector<Value>&) {
+        return Value(result_handle(o)->metric);
+      });
+  interp_.register_method(
+      "TrialResult", "setMetric",
+      [result_handle](Interpreter&, const HostObjPtr& o,
+                      const std::vector<Value>& a) {
+        const auto r = result_handle(o);
+        (void)r->trial->metric_id(a.at(0).as_string());  // validate
+        r->metric = a.at(0).as_string();
+        return Value();
+      });
+  interp_.register_method(
+      "TrialResult", "getMainEvent",
+      [result_handle](Interpreter&, const HostObjPtr& o,
+                      const std::vector<Value>&) {
+        const auto r = result_handle(o);
+        return Value(r->trial->event(r->trial->main_event()).name);
+      });
+  interp_.register_method(
+      "TrialResult", "getThreadCount",
+      [result_handle](Interpreter&, const HostObjPtr& o,
+                      const std::vector<Value>&) {
+        return Value(result_handle(o)->trial->thread_count());
+      });
+  auto value_getter = [result_handle](bool inclusive) {
+    return [result_handle, inclusive](Interpreter&, const HostObjPtr& o,
+                                      const std::vector<Value>& a) {
+      const auto r = result_handle(o);
+      const auto m = r->trial->metric_id(r->metric);
+      if (r->mean) {
+        const auto e = r->trial->event_id(a.at(0).as_string());
+        return Value(inclusive ? r->trial->mean_inclusive(e, m)
+                               : r->trial->mean_exclusive(e, m));
+      }
+      const auto th = static_cast<std::size_t>(a.at(0).as_number());
+      const auto e = r->trial->event_id(a.at(1).as_string());
+      return Value(inclusive ? r->trial->inclusive(th, e, m)
+                             : r->trial->exclusive(th, e, m));
+    };
+  };
+  interp_.register_method("TrialResult", "getInclusive",
+                          value_getter(true));
+  interp_.register_method("TrialResult", "getExclusive",
+                          value_getter(false));
+
+  // ---- DeriveMetricOperation ---------------------------------------------
+  auto derive_ctor =
+      make_host_fn([](Interpreter&, const std::vector<Value>& a) {
+        auto h = std::make_shared<DeriveHandle>();
+        h->input = result_of(a.at(0));
+        h->metric_a = arg_string(a, 1, "DeriveMetricOperation");
+        h->metric_b = arg_string(a, 2, "DeriveMetricOperation");
+        const std::string& op = arg_string(a, 3, "DeriveMetricOperation");
+        if (op == "ADD") h->op = analysis::DeriveOp::kAdd;
+        else if (op == "SUBTRACT") h->op = analysis::DeriveOp::kSubtract;
+        else if (op == "MULTIPLY") h->op = analysis::DeriveOp::kMultiply;
+        else if (op == "DIVIDE") h->op = analysis::DeriveOp::kDivide;
+        else throw EvalError("unknown derive op '" + op + "'");
+        return make_host_object("DeriveMetricOperation", std::move(h));
+      });
+  interp_.set_global("DeriveMetricOperation",
+                     make_dict({{"__call__", derive_ctor},
+                                {"ADD", Value("ADD")},
+                                {"SUBTRACT", Value("SUBTRACT")},
+                                {"MULTIPLY", Value("MULTIPLY")},
+                                {"DIVIDE", Value("DIVIDE")}}));
+  interp_.register_method(
+      "DeriveMetricOperation", "processData",
+      [](Interpreter&, const HostObjPtr& o, const std::vector<Value>&) {
+        const auto h = std::static_pointer_cast<DeriveHandle>(o->data);
+        const auto id = analysis::derive_metric(
+            *h->input->trial, h->metric_a, h->metric_b, h->op);
+        const std::string name = h->input->trial->metric(id).name;
+        return make_list({make_result(h->input->trial, h->input->mean,
+                                      name)});
+      });
+
+  // ---- MeanEventFact --------------------------------------------------------
+  interp_.set_global(
+      "MeanEventFact",
+      make_dict({{"compareEventToMain",
+                  make_host_fn([harness](Interpreter&,
+                                         const std::vector<Value>& a) {
+                    // Accepts (result, event) or the 4-argument Jython
+                    // form (input, mainEvent, output, event).
+                    const Value& rv = a.size() >= 4 ? a[2] : a.at(0);
+                    const Value& ev = a.size() >= 4 ? a[3] : a.at(1);
+                    const auto r = result_of(rv);
+                    const auto e = r->trial->event_id(ev.as_string());
+                    harness->assert_fact(analysis::compare_event_to_main(
+                        *r->trial, r->metric, e));
+                    return Value();
+                  })}}));
+
+  // ---- RuleHarness ------------------------------------------------------------
+  auto harness_obj = make_host_object(
+      "RuleHarness", std::make_shared<HarnessHandle>(HarnessHandle{harness}));
+  interp_.set_global(
+      "RuleHarness",
+      make_dict(
+          {{"useGlobalRules",
+            make_host_fn([harness, harness_obj](
+                             Interpreter&, const std::vector<Value>& a) {
+              rules::add_rules(
+                  *harness,
+                  resolve_rules(arg_string(a, 0, "useGlobalRules")));
+              return harness_obj;
+            })},
+           {"getInstance",
+            make_host_fn([harness_obj](Interpreter&,
+                                       const std::vector<Value>&) {
+              return harness_obj;
+            })}}));
+  interp_.register_method(
+      "RuleHarness", "processRules",
+      [](Interpreter& interp, const HostObjPtr& o,
+         const std::vector<Value>&) {
+        auto h = std::static_pointer_cast<HarnessHandle>(o->data);
+        const auto fired = h->harness->process_rules();
+        for (const auto& line : h->harness->output()) interp.emit(line);
+        return Value(fired);
+      });
+  interp_.register_method(
+      "RuleHarness", "assertFact",
+      [](Interpreter&, const HostObjPtr& o, const std::vector<Value>& a) {
+        auto h = std::static_pointer_cast<HarnessHandle>(o->data);
+        rules::Fact fact(a.at(0).as_string());
+        for (const auto& [k, v] : *a.at(1).as_dict()) {
+          if (v.is_number()) fact.set(k, v.as_number());
+          else if (v.is_bool()) fact.set(k, v.as_bool());
+          else fact.set(k, v.str());
+        }
+        return Value(static_cast<double>(
+            h->harness->assert_fact(std::move(fact))));
+      });
+  interp_.register_method(
+      "RuleHarness", "getOutput",
+      [](Interpreter&, const HostObjPtr& o, const std::vector<Value>&) {
+        auto h = std::static_pointer_cast<HarnessHandle>(o->data);
+        std::vector<Value> out;
+        for (const auto& line : h->harness->output()) {
+          out.emplace_back(line);
+        }
+        return make_list(std::move(out));
+      });
+  interp_.register_method(
+      "RuleHarness", "getDiagnoses",
+      [](Interpreter&, const HostObjPtr& o, const std::vector<Value>&) {
+        auto h = std::static_pointer_cast<HarnessHandle>(o->data);
+        std::vector<Value> out;
+        for (const auto& d : h->harness->diagnoses()) {
+          out.push_back(make_dict({{"rule", Value(d.rule)},
+                                   {"problem", Value(d.problem)},
+                                   {"event", Value(d.event)},
+                                   {"severity", Value(d.severity)},
+                                   {"recommendation",
+                                    Value(d.recommendation)}}));
+        }
+        return make_list(std::move(out));
+      });
+
+  // ---- analysis helpers -----------------------------------------------------
+  interp_.set_global(
+      "correlateEvents",
+      make_host_fn([](Interpreter&, const std::vector<Value>& a) {
+        const auto r = result_of(a.at(0));
+        return Value(analysis::correlate_events(
+            *r->trial, r->trial->event_id(a.at(1).as_string()),
+            r->trial->event_id(a.at(2).as_string()), r->metric));
+      }));
+  interp_.set_global(
+      "loadBalance",
+      make_host_fn([](Interpreter&, const std::vector<Value>& a) {
+        const auto r = result_of(a.at(0));
+        std::vector<Value> out;
+        for (const auto& s :
+             analysis::basic_statistics(*r->trial, r->metric)) {
+          out.push_back(make_dict(
+              {{"event", Value(s.name)},
+               {"cv", Value(s.cv)},
+               {"mean", Value(s.mean)},
+               {"fraction", Value(analysis::runtime_fraction(
+                                *r->trial, s.event, r->metric))}}));
+        }
+        return make_list(std::move(out));
+      }));
+  interp_.set_global(
+      "topEvents",
+      make_host_fn([](Interpreter&, const std::vector<Value>& a) {
+        const auto r = result_of(a.at(0));
+        const auto n = static_cast<std::size_t>(a.at(1).as_number());
+        std::vector<Value> out;
+        for (const auto& s : analysis::top_events(*r->trial, r->metric, n)) {
+          out.emplace_back(s.name);
+        }
+        return make_list(std::move(out));
+      }));
+  interp_.set_global(
+      "assertLoadBalanceFacts",
+      make_host_fn([harness](Interpreter&, const std::vector<Value>& a) {
+        const auto r = result_of(a.at(0));
+        return Value(analysis::assert_load_balance_facts(*harness, *r->trial,
+                                                         r->metric));
+      }));
+  interp_.set_global(
+      "assertStallFacts",
+      make_host_fn([harness](Interpreter&, const std::vector<Value>& a) {
+        return Value(analysis::assert_stall_facts(
+            *harness, *result_of(a.at(0))->trial));
+      }));
+  interp_.set_global(
+      "assertMemoryLocalityFacts",
+      make_host_fn([harness](Interpreter&, const std::vector<Value>& a) {
+        return Value(analysis::assert_memory_locality_facts(
+            *harness, *result_of(a.at(0))->trial));
+      }));
+  interp_.set_global(
+      "assertScalingFacts",
+      make_host_fn([harness](Interpreter&, const std::vector<Value>& a) {
+        std::vector<perfdmf::TrialPtr> trials;
+        for (const auto& v : *a.at(0).as_list()) {
+          trials.push_back(trial_of(v)->trial);
+        }
+        analysis::ScalabilityAnalysis scaling(std::move(trials));
+        return Value(analysis::assert_scaling_facts(*harness, scaling));
+      }));
+  interp_.set_global(
+      "clusterThreads",
+      make_host_fn([](Interpreter&, const std::vector<Value>& a) {
+        const auto r = result_of(a.at(0));
+        const auto k = static_cast<std::size_t>(a.at(1).as_number());
+        const auto c =
+            analysis::cluster_threads(*r->trial, r->metric, k);
+        std::vector<Value> assignment;
+        for (const auto cl : c.assignment) {
+          assignment.emplace_back(static_cast<double>(cl));
+        }
+        return make_dict({{"assignment", make_list(std::move(assignment))},
+                          {"k", Value(c.k())},
+                          {"inertia", Value(c.inertia)}});
+      }));
+  interp_.set_global(
+      "pcaThreads",
+      make_host_fn([](Interpreter&, const std::vector<Value>& a) {
+        const auto r = result_of(a.at(0));
+        const auto k = static_cast<std::size_t>(a.at(1).as_number());
+        const auto rows =
+            analysis::thread_event_matrix(*r->trial, r->metric, false);
+        const auto p = analysis::pca(rows, k);
+        std::vector<Value> ratios;
+        for (const double x : p.explained_ratio) ratios.emplace_back(x);
+        std::vector<Value> projected;
+        for (const auto& row : p.projected) {
+          std::vector<Value> vals;
+          for (const double x : row) vals.emplace_back(x);
+          projected.push_back(make_list(std::move(vals)));
+        }
+        return make_dict(
+            {{"explainedRatio", make_list(std::move(ratios))},
+             {"projected", make_list(std::move(projected))}});
+      }));
+  interp_.set_global(
+      "aggregateThreads",
+      make_host_fn([](Interpreter&, const std::vector<Value>& a) {
+        const auto r = result_of(a.at(0));
+        const bool mean = a.size() > 1 && a[1].truthy();
+        auto trial = std::make_shared<profile::Trial>(
+            analysis::aggregate_threads(*r->trial, mean));
+        return make_result(trial, true, r->metric);
+      }));
+  interp_.set_global(
+      "mergeTrials",
+      make_host_fn([](Interpreter&, const std::vector<Value>& a) {
+        const auto x = result_of(a.at(0));
+        const auto y = result_of(a.at(1));
+        auto trial = std::make_shared<profile::Trial>(
+            analysis::merge_trials(*x->trial, *y->trial));
+        return make_result(trial, true, default_metric(*trial));
+      }));
+  interp_.set_global(
+      "saveJson",
+      make_host_fn([](Interpreter&, const std::vector<Value>& a) {
+        perfdmf::save_json(*trial_of(a.at(0))->trial,
+                           arg_string(a, 1, "saveJson"));
+        return Value();
+      }));
+  interp_.set_global(
+      "saveCsv",
+      make_host_fn([](Interpreter&, const std::vector<Value>& a) {
+        perfdmf::save_csv_long(*trial_of(a.at(0))->trial,
+                               arg_string(a, 1, "saveCsv"));
+        return Value();
+      }));
+  interp_.set_global(
+      "estimatePower",
+      make_host_fn([](Interpreter&, const std::vector<Value>& a) {
+        const auto r = result_of(a.at(0));
+        const auto& t = *r->trial;
+        const auto model = power::PowerModel::itanium2();
+        const auto per_cpu = mean_counters(t);
+        const double watts =
+            model.estimate(per_cpu).total_watts *
+            static_cast<double>(t.thread_count());
+        const double seconds =
+            t.mean_inclusive(t.main_event(), t.metric_id("TIME")) / 1e6;
+        const double joules = power::energy_joules(watts, seconds);
+        const double flops =
+            per_cpu.get(hwcounters::Counter::kFpOps) *
+            static_cast<double>(t.thread_count());
+        return make_dict(
+            {{"watts", Value(watts)},
+             {"joules", Value(joules)},
+             {"seconds", Value(seconds)},
+             {"flopPerJoule",
+              Value(power::flops_per_joule(flops, joules))}});
+      }));
+}
+
+}  // namespace perfknow::script

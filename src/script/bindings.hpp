@@ -1,0 +1,71 @@
+// PerfExplorer API bindings for PerfScript.
+//
+// An AnalysisSession wires an interpreter to a PerfDMF repository and a
+// rule harness and registers the scripting surface the paper's Fig. 1
+// uses, ported from the Jython API:
+//
+//   ruleHarness = RuleHarness.useGlobalRules("openuh/OpenUHRules.drl")
+//   trial  = TrialMeanResult(Utilities.getTrial("Fluid Dynamic",
+//                                               "rib 45", "1_8"))
+//   op     = DeriveMetricOperation(trial, stalls, cycles,
+//                                  DeriveMetricOperation.DIVIDE)
+//   derived = op.processData().get(0)
+//   for event in derived.getEvents():
+//       MeanEventFact.compareEventToMain(derived, mainEvent,
+//                                        derived, event)
+//   ruleHarness.processRules()
+//
+// Registered globals (beyond the language builtins):
+//   Utilities.getTrial / getTrialList / saveTrial
+//   TrialResult(trial) / TrialMeanResult(trial)
+//   DeriveMetricOperation(result, m1, m2, op) with ADD/SUBTRACT/
+//     MULTIPLY/DIVIDE constants; .processData() -> list of results
+//   ScaleMetricOperation(result, metric, factor, name)
+//   MeanEventFact.compareEventToMain(...)
+//   RuleHarness.useGlobalRules(name) / .assertFact / .processRules /
+//     .getOutput / .getDiagnoses
+//   correlateEvents, loadBalance, topEvents,
+//   assertLoadBalanceFacts, assertStallFacts, assertMemoryLocalityFacts,
+//   estimatePower
+//
+// Host-object types: "Trial", "TrialResult", "DeriveMetricOperation",
+// "RuleHarness".
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "perfdmf/repository.hpp"
+#include "rules/engine.hpp"
+#include "script/interpreter.hpp"
+
+namespace perfknow::script {
+
+class AnalysisSession {
+ public:
+  /// The repository must outlive the session.
+  explicit AnalysisSession(perfdmf::Repository& repository);
+
+  [[nodiscard]] Interpreter& interpreter() noexcept { return interp_; }
+  [[nodiscard]] rules::RuleHarness& harness() noexcept { return *harness_; }
+  [[nodiscard]] perfdmf::Repository& repository() noexcept {
+    return *repository_;
+  }
+
+  /// Runs a script; print() output is collected on the interpreter.
+  void run(const std::string& source) { interp_.run(source); }
+  void run_file(const std::filesystem::path& path);
+
+  [[nodiscard]] const std::vector<std::string>& output() const noexcept {
+    return interp_.output();
+  }
+
+ private:
+  void register_api();
+
+  perfdmf::Repository* repository_;
+  std::shared_ptr<rules::RuleHarness> harness_;
+  Interpreter interp_;
+};
+
+}  // namespace perfknow::script

@@ -1,0 +1,204 @@
+#include "script/lexer.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace perfknow::script {
+
+namespace {
+
+bool is_name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-char operators, longest first.
+constexpr const char* kOps3[] = {"**=", "//="};
+constexpr const char* kOps2[] = {"==", "!=", "<=", ">=", "+=", "-=",
+                                 "*=", "/=", "%=", "**", "//"};
+constexpr char kOps1[] = "+-*/%=<>()[]{},:.";
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& src) {
+  std::vector<Token> out;
+  std::vector<int> indents{0};
+  std::size_t pos = 0;
+  int line = 1;
+  int paren_depth = 0;
+  bool at_line_start = true;
+
+  auto push = [&](TokKind kind, std::string text = "", double num = 0.0) {
+    out.push_back(Token{kind, std::move(text), num, line});
+  };
+
+  while (pos < src.size()) {
+    if (at_line_start && paren_depth == 0) {
+      // Measure indentation; skip blank/comment-only lines entirely.
+      int col = 0;
+      std::size_t scan = pos;
+      while (scan < src.size() && (src[scan] == ' ' || src[scan] == '\t')) {
+        if (src[scan] == '\t') {
+          throw ParseError("tab in indentation (use spaces)", line);
+        }
+        ++col;
+        ++scan;
+      }
+      if (scan >= src.size()) break;
+      if (src[scan] == '\n') {
+        pos = scan + 1;
+        ++line;
+        continue;
+      }
+      if (src[scan] == '#') {
+        while (scan < src.size() && src[scan] != '\n') ++scan;
+        pos = scan;
+        continue;
+      }
+      pos = scan;
+      if (col > indents.back()) {
+        indents.push_back(col);
+        push(TokKind::kIndent);
+      } else {
+        while (col < indents.back()) {
+          indents.pop_back();
+          push(TokKind::kDedent);
+        }
+        if (col != indents.back()) {
+          throw ParseError("inconsistent dedent", line);
+        }
+      }
+      at_line_start = false;
+      continue;
+    }
+
+    const char c = src[pos];
+    if (c == '\n') {
+      ++pos;
+      ++line;
+      if (paren_depth == 0) {
+        // Collapse consecutive newlines.
+        if (!out.empty() && out.back().kind != TokKind::kNewline &&
+            out.back().kind != TokKind::kIndent &&
+            out.back().kind != TokKind::kDedent) {
+          push(TokKind::kNewline);
+        }
+        at_line_start = true;
+      }
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++pos;
+      continue;
+    }
+    if (c == '#') {
+      while (pos < src.size() && src[pos] != '\n') ++pos;
+      continue;
+    }
+    if (c == '\\' && pos + 1 < src.size() && src[pos + 1] == '\n') {
+      pos += 2;  // explicit line continuation
+      ++line;
+      continue;
+    }
+    if (is_name_start(c)) {
+      const std::size_t start = pos;
+      while (pos < src.size() && is_name_char(src[pos])) ++pos;
+      push(TokKind::kName, src.substr(start, pos - start));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && pos + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[pos + 1])))) {
+      const std::size_t start = pos;
+      while (pos < src.size() &&
+             (std::isdigit(static_cast<unsigned char>(src[pos])) ||
+              src[pos] == '.' || src[pos] == 'e' || src[pos] == 'E' ||
+              ((src[pos] == '+' || src[pos] == '-') && pos > start &&
+               (src[pos - 1] == 'e' || src[pos - 1] == 'E')))) {
+        ++pos;
+      }
+      const std::string text = src.substr(start, pos - start);
+      push(TokKind::kNumber, text, strings::parse_double(text));
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++pos;
+      std::string s;
+      while (pos < src.size() && src[pos] != quote) {
+        if (src[pos] == '\n') {
+          throw ParseError("unterminated string literal", line);
+        }
+        if (src[pos] == '\\' && pos + 1 < src.size()) {
+          ++pos;
+          switch (src[pos]) {
+            case 'n': s += '\n'; break;
+            case 't': s += '\t'; break;
+            case '\\': s += '\\'; break;
+            case '\'': s += '\''; break;
+            case '"': s += '"'; break;
+            default: s += src[pos];
+          }
+        } else {
+          s += src[pos];
+        }
+        ++pos;
+      }
+      if (pos >= src.size()) {
+        throw ParseError("unterminated string literal", line);
+      }
+      ++pos;
+      push(TokKind::kString, std::move(s));
+      continue;
+    }
+    // Operators.
+    bool matched = false;
+    for (const char* op : kOps3) {
+      if (src.compare(pos, 3, op) == 0) {
+        push(TokKind::kOp, op);
+        pos += 3;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const char* op : kOps2) {
+      if (src.compare(pos, 2, op) == 0) {
+        push(TokKind::kOp, op);
+        pos += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    if (std::string_view(kOps1).find(c) != std::string_view::npos) {
+      if (c == '(' || c == '[' || c == '{') ++paren_depth;
+      if (c == ')' || c == ']' || c == '}') {
+        if (paren_depth == 0) {
+          throw ParseError(std::string("unbalanced '") + c + "'", line);
+        }
+        --paren_depth;
+      }
+      push(TokKind::kOp, std::string(1, c));
+      ++pos;
+      continue;
+    }
+    throw ParseError(std::string("unexpected character '") + c + "'", line);
+  }
+
+  if (!out.empty() && out.back().kind != TokKind::kNewline) {
+    push(TokKind::kNewline);
+  }
+  while (indents.size() > 1) {
+    indents.pop_back();
+    push(TokKind::kDedent);
+  }
+  push(TokKind::kEnd);
+  return out;
+}
+
+}  // namespace perfknow::script

@@ -1,0 +1,33 @@
+// PerfScript lexer: Python-style tokens with INDENT/DEDENT tracking.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace perfknow::script {
+
+enum class TokKind {
+  kNumber,
+  kString,
+  kName,      // identifiers and keywords (parser distinguishes)
+  kOp,        // operators and punctuation
+  kNewline,   // logical line end
+  kIndent,
+  kDedent,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;     // name / op text / string contents
+  double number = 0.0;  // for kNumber
+  int line = 0;         // 1-based source line
+};
+
+/// Tokenizes a whole script. Indentation must use spaces (tabs are a
+/// ParseError — mixed-width tabs silently corrupt block structure).
+/// Newlines inside (), [] or {} do not end the logical line, as in
+/// Python. Comments start with '#'. Throws ParseError on bad input.
+[[nodiscard]] std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace perfknow::script

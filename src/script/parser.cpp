@@ -1,0 +1,460 @@
+// Recursive-descent parser for PerfScript.
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "script/ast.hpp"
+#include "script/lexer.hpp"
+
+namespace perfknow::script {
+
+namespace {
+
+const char* const kKeywords[] = {
+    "if",   "elif",  "else",   "while",    "for",  "in",   "def",
+    "return", "break", "continue", "pass", "and",  "or",   "not",
+    "True", "False", "None",   "import",   "from", "as"};
+
+bool is_keyword(const std::string& s) {
+  return std::find(std::begin(kKeywords), std::end(kKeywords), s) !=
+         std::end(kKeywords);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  std::shared_ptr<Program> parse() {
+    auto prog = std::make_shared<Program>();
+    skip_newlines();
+    while (!at(TokKind::kEnd)) {
+      prog->body.push_back(statement());
+      skip_newlines();
+    }
+    return prog;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& peek(std::size_t n = 1) const {
+    return toks_[std::min(pos_ + n, toks_.size() - 1)];
+  }
+  void advance() {
+    if (pos_ + 1 < toks_.size()) ++pos_;
+  }
+  bool at(TokKind k) const { return cur().kind == k; }
+  bool at_op(const char* op) const {
+    return cur().kind == TokKind::kOp && cur().text == op;
+  }
+  bool at_name(const char* name) const {
+    return cur().kind == TokKind::kName && cur().text == name;
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg, cur().line);
+  }
+  void expect_op(const char* op) {
+    if (!at_op(op)) fail(std::string("expected '") + op + "'");
+    advance();
+  }
+  void expect_name(const char* kw) {
+    if (!at_name(kw)) fail(std::string("expected '") + kw + "'");
+    advance();
+  }
+  void expect_newline() {
+    if (!at(TokKind::kNewline)) fail("expected end of line");
+    advance();
+  }
+  std::string expect_identifier() {
+    if (cur().kind != TokKind::kName || is_keyword(cur().text)) {
+      fail("expected identifier");
+    }
+    std::string s = cur().text;
+    advance();
+    return s;
+  }
+  void skip_newlines() {
+    while (at(TokKind::kNewline)) advance();
+  }
+
+  ExprPtr make(Expr::Kind kind) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->line = cur().line;
+    return e;
+  }
+
+  // ---- expressions -----------------------------------------------------
+
+  ExprPtr atom() {
+    if (at(TokKind::kNumber)) {
+      auto e = make(Expr::Kind::kNumber);
+      e->number = cur().number;
+      advance();
+      return e;
+    }
+    if (at(TokKind::kString)) {
+      auto e = make(Expr::Kind::kString);
+      e->text = cur().text;
+      advance();
+      return e;
+    }
+    if (at_name("True") || at_name("False")) {
+      auto e = make(Expr::Kind::kBool);
+      e->boolean = cur().text == "True";
+      advance();
+      return e;
+    }
+    if (at_name("None")) {
+      auto e = make(Expr::Kind::kNone);
+      advance();
+      return e;
+    }
+    if (cur().kind == TokKind::kName) {
+      if (is_keyword(cur().text)) {
+        fail("unexpected keyword '" + cur().text + "'");
+      }
+      auto e = make(Expr::Kind::kName);
+      e->text = cur().text;
+      advance();
+      return e;
+    }
+    if (at_op("(")) {
+      advance();
+      auto e = expression();
+      expect_op(")");
+      return e;
+    }
+    if (at_op("[")) {
+      auto e = make(Expr::Kind::kList);
+      advance();
+      if (!at_op("]")) {
+        while (true) {
+          e->items.push_back(expression());
+          if (at_op(",")) {
+            advance();
+            if (at_op("]")) break;  // trailing comma
+            continue;
+          }
+          break;
+        }
+      }
+      expect_op("]");
+      return e;
+    }
+    if (at_op("{")) {
+      auto e = make(Expr::Kind::kDict);
+      advance();
+      if (!at_op("}")) {
+        while (true) {
+          e->items.push_back(expression());
+          expect_op(":");
+          e->items.push_back(expression());
+          if (at_op(",")) {
+            advance();
+            if (at_op("}")) break;
+            continue;
+          }
+          break;
+        }
+      }
+      expect_op("}");
+      return e;
+    }
+    fail("expected expression");
+  }
+
+  ExprPtr postfix() {
+    auto e = atom();
+    while (true) {
+      if (at_op("(")) {
+        auto call = make(Expr::Kind::kCall);
+        advance();
+        if (!at_op(")")) {
+          while (true) {
+            call->items.push_back(expression());
+            if (at_op(",")) {
+              advance();
+              continue;
+            }
+            break;
+          }
+        }
+        expect_op(")");
+        call->lhs = std::move(e);
+        e = std::move(call);
+      } else if (at_op(".")) {
+        advance();
+        auto attr = make(Expr::Kind::kAttribute);
+        attr->text = expect_identifier();
+        attr->lhs = std::move(e);
+        e = std::move(attr);
+      } else if (at_op("[")) {
+        advance();
+        auto idx = make(Expr::Kind::kIndex);
+        idx->rhs = expression();
+        expect_op("]");
+        idx->lhs = std::move(e);
+        e = std::move(idx);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr unary() {
+    if (at_op("-")) {
+      auto e = make(Expr::Kind::kUnary);
+      e->text = "-";
+      advance();
+      e->lhs = unary();
+      return e;
+    }
+    if (at_name("not")) {
+      auto e = make(Expr::Kind::kUnary);
+      e->text = "not";
+      advance();
+      e->lhs = unary();
+      return e;
+    }
+    return power();
+  }
+
+  ExprPtr power() {
+    auto e = postfix();
+    if (at_op("**")) {
+      auto b = make(Expr::Kind::kBinary);
+      b->text = "**";
+      advance();
+      b->lhs = std::move(e);
+      b->rhs = unary();  // right-associative
+      return b;
+    }
+    return e;
+  }
+
+  ExprPtr term() {
+    auto e = unary();
+    while (at_op("*") || at_op("/") || at_op("%") || at_op("//")) {
+      auto b = make(Expr::Kind::kBinary);
+      b->text = cur().text;
+      advance();
+      b->lhs = std::move(e);
+      b->rhs = unary();
+      e = std::move(b);
+    }
+    return e;
+  }
+
+  ExprPtr arith() {
+    auto e = term();
+    while (at_op("+") || at_op("-")) {
+      auto b = make(Expr::Kind::kBinary);
+      b->text = cur().text;
+      advance();
+      b->lhs = std::move(e);
+      b->rhs = term();
+      e = std::move(b);
+    }
+    return e;
+  }
+
+  ExprPtr comparison() {
+    auto e = arith();
+    while (at_op("==") || at_op("!=") || at_op("<") || at_op("<=") ||
+           at_op(">") || at_op(">=") || at_name("in") ||
+           (at_name("not") && peek().kind == TokKind::kName &&
+            peek().text == "in")) {
+      auto c = make(Expr::Kind::kCompare);
+      if (at_name("not")) {
+        advance();
+        expect_name("in");
+        c->text = "notin";
+      } else if (at_name("in")) {
+        advance();
+        c->text = "in";
+      } else {
+        c->text = cur().text;
+        advance();
+      }
+      c->lhs = std::move(e);
+      c->rhs = arith();
+      e = std::move(c);
+    }
+    return e;
+  }
+
+  ExprPtr and_expr() {
+    auto e = comparison();
+    while (at_name("and")) {
+      auto b = make(Expr::Kind::kBoolOp);
+      b->text = "and";
+      advance();
+      b->lhs = std::move(e);
+      b->rhs = comparison();
+      e = std::move(b);
+    }
+    return e;
+  }
+
+  ExprPtr expression() {
+    auto e = and_expr();
+    while (at_name("or")) {
+      auto b = make(Expr::Kind::kBoolOp);
+      b->text = "or";
+      advance();
+      b->lhs = std::move(e);
+      b->rhs = and_expr();
+      e = std::move(b);
+    }
+    return e;
+  }
+
+  // ---- statements --------------------------------------------------------
+
+  std::vector<StmtPtr> block() {
+    expect_op(":");
+    expect_newline();
+    if (!at(TokKind::kIndent)) fail("expected an indented block");
+    advance();
+    std::vector<StmtPtr> body;
+    skip_newlines();
+    while (!at(TokKind::kDedent) && !at(TokKind::kEnd)) {
+      body.push_back(statement());
+      skip_newlines();
+    }
+    if (at(TokKind::kDedent)) advance();
+    if (body.empty()) fail("empty block");
+    return body;
+  }
+
+  StmtPtr make_stmt(Stmt::Kind kind) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = kind;
+    s->line = cur().line;
+    return s;
+  }
+
+  StmtPtr statement() {
+    if (at_name("if")) return if_statement();
+    if (at_name("while")) {
+      auto s = make_stmt(Stmt::Kind::kWhile);
+      advance();
+      s->value = expression();
+      s->body = block();
+      return s;
+    }
+    if (at_name("for")) {
+      auto s = make_stmt(Stmt::Kind::kFor);
+      advance();
+      s->text = expect_identifier();
+      expect_name("in");
+      s->value = expression();
+      s->body = block();
+      return s;
+    }
+    if (at_name("def")) {
+      auto s = make_stmt(Stmt::Kind::kDef);
+      advance();
+      auto fn = std::make_shared<FunctionDef>();
+      fn->name = expect_identifier();
+      expect_op("(");
+      if (!at_op(")")) {
+        while (true) {
+          fn->params.push_back(expect_identifier());
+          if (at_op(",")) {
+            advance();
+            continue;
+          }
+          break;
+        }
+      }
+      expect_op(")");
+      fn->body = block();
+      s->func = std::move(fn);
+      return s;
+    }
+    if (at_name("return")) {
+      auto s = make_stmt(Stmt::Kind::kReturn);
+      advance();
+      if (!at(TokKind::kNewline)) s->value = expression();
+      expect_newline();
+      return s;
+    }
+    if (at_name("break") || at_name("continue") || at_name("pass")) {
+      auto s = make_stmt(at_name("break")     ? Stmt::Kind::kBreak
+                         : at_name("continue") ? Stmt::Kind::kContinue
+                                               : Stmt::Kind::kPass);
+      advance();
+      expect_newline();
+      return s;
+    }
+    if (at_name("import") || at_name("from")) {
+      // Module imports are a no-op: all bindings are pre-registered.
+      // (Keeps PerfExplorer Jython scripts portable unchanged.)
+      auto s = make_stmt(Stmt::Kind::kPass);
+      while (!at(TokKind::kNewline) && !at(TokKind::kEnd)) advance();
+      expect_newline();
+      return s;
+    }
+
+    // Expression / assignment.
+    auto target = expression();
+    if (at_op("=")) {
+      auto s = make_stmt(Stmt::Kind::kAssign);
+      advance();
+      validate_assign_target(*target);
+      s->target = std::move(target);
+      s->value = expression();
+      expect_newline();
+      return s;
+    }
+    for (const char* aug : {"+=", "-=", "*=", "/=", "%=", "**=", "//="}) {
+      if (at_op(aug)) {
+        auto s = make_stmt(Stmt::Kind::kAugAssign);
+        s->text = std::string(aug).substr(0, std::string(aug).size() - 1);
+        advance();
+        validate_assign_target(*target);
+        s->target = std::move(target);
+        s->value = expression();
+        expect_newline();
+        return s;
+      }
+    }
+    auto s = make_stmt(Stmt::Kind::kExpr);
+    s->value = std::move(target);
+    expect_newline();
+    return s;
+  }
+
+  void validate_assign_target(const Expr& e) const {
+    if (e.kind != Expr::Kind::kName && e.kind != Expr::Kind::kIndex) {
+      throw ParseError("invalid assignment target", e.line);
+    }
+  }
+
+  StmtPtr if_statement() {
+    auto s = make_stmt(Stmt::Kind::kIf);
+    advance();  // if / elif
+    s->value = expression();
+    s->body = block();
+    skip_newlines();
+    if (at_name("elif")) {
+      s->orelse.push_back(if_statement());
+    } else if (at_name("else")) {
+      advance();
+      s->orelse = block();
+    }
+    return s;
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<Program> parse_program(const std::string& source) {
+  Parser parser(tokenize(source));
+  return parser.parse();
+}
+
+}  // namespace perfknow::script

@@ -1,0 +1,156 @@
+#include "script/value.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace perfknow::script {
+
+namespace {
+
+[[noreturn]] void type_error(const char* expected, const Value& got) {
+  throw EvalError(std::string("expected ") + expected + ", got " +
+                  got.repr());
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (const auto* b = std::get_if<bool>(&v)) return *b;
+  type_error("bool", *this);
+}
+
+double Value::as_number() const {
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  type_error("number", *this);
+}
+
+const std::string& Value::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  type_error("string", *this);
+}
+
+const ListPtr& Value::as_list() const {
+  if (const auto* l = std::get_if<ListPtr>(&v)) return *l;
+  type_error("list", *this);
+}
+
+const DictPtr& Value::as_dict() const {
+  if (const auto* d = std::get_if<DictPtr>(&v)) return *d;
+  type_error("dict", *this);
+}
+
+const HostObjPtr& Value::as_host_object() const {
+  if (const auto* o = std::get_if<HostObjPtr>(&v)) return *o;
+  type_error("host object", *this);
+}
+
+bool Value::truthy() const {
+  if (is_none()) return false;
+  if (const auto* b = std::get_if<bool>(&v)) return *b;
+  if (const auto* d = std::get_if<double>(&v)) return *d != 0.0;
+  if (const auto* s = std::get_if<std::string>(&v)) return !s->empty();
+  if (const auto* l = std::get_if<ListPtr>(&v)) return !(*l)->empty();
+  if (const auto* m = std::get_if<DictPtr>(&v)) return !(*m)->empty();
+  return true;  // functions, host objects
+}
+
+std::string Value::str() const {
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  return repr();
+}
+
+std::string Value::repr() const {
+  if (is_none()) return "None";
+  if (const auto* b = std::get_if<bool>(&v)) return *b ? "True" : "False";
+  if (const auto* d = std::get_if<double>(&v)) {
+    if (std::floor(*d) == *d && std::abs(*d) < 1e15) {
+      return std::to_string(static_cast<long long>(*d));
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", *d);
+    return buf;
+  }
+  if (const auto* s = std::get_if<std::string>(&v)) {
+    return "'" + *s + "'";
+  }
+  if (const auto* l = std::get_if<ListPtr>(&v)) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < (*l)->size(); ++i) {
+      if (i != 0) out += ", ";
+      out += (**l)[i].repr();
+    }
+    return out + "]";
+  }
+  if (const auto* m = std::get_if<DictPtr>(&v)) {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [k, val] : **m) {
+      if (!first) out += ", ";
+      first = false;
+      out += "'" + k + "': " + val.repr();
+    }
+    return out + "}";
+  }
+  if (std::holds_alternative<UserFunction>(v)) return "<function>";
+  if (std::holds_alternative<HostFnPtr>(v)) return "<builtin>";
+  const auto& obj = std::get<HostObjPtr>(v);
+  return "<" + obj->type + ">";
+}
+
+bool Value::equals(const Value& other) const {
+  if (is_none() && other.is_none()) return true;
+  if (is_bool() && other.is_bool()) return as_bool() == other.as_bool();
+  if (is_number() && other.is_number()) {
+    return as_number() == other.as_number();
+  }
+  if (is_string() && other.is_string()) {
+    return as_string() == other.as_string();
+  }
+  if (is_list() && other.is_list()) {
+    const auto& a = *as_list();
+    const auto& b = *other.as_list();
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].equals(b[i])) return false;
+    }
+    return true;
+  }
+  if (is_dict() && other.is_dict()) {
+    const auto& a = *as_dict();
+    const auto& b = *other.as_dict();
+    if (a.size() != b.size()) return false;
+    for (const auto& [k, val] : a) {
+      const auto it = b.find(k);
+      if (it == b.end() || !val.equals(it->second)) return false;
+    }
+    return true;
+  }
+  if (is_host_object() && other.is_host_object()) {
+    return as_host_object() == other.as_host_object();
+  }
+  return false;
+}
+
+Value make_list(std::vector<Value> items) {
+  return Value(std::make_shared<std::vector<Value>>(std::move(items)));
+}
+
+Value make_dict(std::map<std::string, Value> items) {
+  return Value(
+      std::make_shared<std::map<std::string, Value>>(std::move(items)));
+}
+
+Value make_host_fn(HostFn fn) {
+  return Value(std::make_shared<HostFn>(std::move(fn)));
+}
+
+namespace detail {
+void host_type_error(const std::string& expected, const std::string& got) {
+  throw EvalError("expected <" + expected + ">, got <" + got + ">");
+}
+}  // namespace detail
+
+}  // namespace perfknow::script

@@ -1,0 +1,142 @@
+// Value model of PerfScript, the embedded analysis-scripting language.
+//
+// PerfExplorer 2.0 exposed its Java analysis objects to Jython scripts;
+// PerfScript plays that role here: a small dynamically-typed language
+// whose values are None, booleans, numbers (double), strings, lists,
+// dicts, user functions, host functions, and host objects (opaque C++
+// objects like trials and rule harnesses, with a per-type method table).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace perfknow::script {
+
+class Interpreter;
+struct FunctionDef;  // ast.hpp
+
+struct Value;
+using ListPtr = std::shared_ptr<std::vector<Value>>;
+using DictPtr = std::shared_ptr<std::map<std::string, Value>>;
+
+/// A callable implemented by the host (C++). Receives the interpreter so
+/// bindings can reach the session (repository, rule harness, output).
+using HostFn =
+    std::function<Value(Interpreter&, const std::vector<Value>&)>;
+using HostFnPtr = std::shared_ptr<HostFn>;
+
+/// An opaque host object plus its dynamic type tag. Methods are resolved
+/// through the interpreter's per-type method registry.
+struct HostObject {
+  std::string type;
+  std::shared_ptr<void> data;
+};
+using HostObjPtr = std::shared_ptr<HostObject>;
+
+/// A user-defined function (def). Shares ownership of its definition so
+/// function values stay valid across script invocations.
+struct UserFunction {
+  std::shared_ptr<const FunctionDef> def;
+};
+
+struct None {
+  bool operator==(const None&) const = default;
+};
+
+struct Value {
+  std::variant<None, bool, double, std::string, ListPtr, DictPtr,
+               UserFunction, HostFnPtr, HostObjPtr>
+      v = None{};
+
+  Value() = default;
+  Value(bool b) : v(b) {}                                   // NOLINT
+  Value(double d) : v(d) {}                                 // NOLINT
+  Value(int i) : v(static_cast<double>(i)) {}               // NOLINT
+  Value(std::size_t i) : v(static_cast<double>(i)) {}       // NOLINT
+  Value(const char* s) : v(std::string(s)) {}               // NOLINT
+  Value(std::string s) : v(std::move(s)) {}                 // NOLINT
+  Value(ListPtr l) : v(std::move(l)) {}                     // NOLINT
+  Value(DictPtr d) : v(std::move(d)) {}                     // NOLINT
+  Value(UserFunction f) : v(f) {}                           // NOLINT
+  Value(HostFnPtr f) : v(std::move(f)) {}                   // NOLINT
+  Value(HostObjPtr o) : v(std::move(o)) {}                  // NOLINT
+
+  [[nodiscard]] bool is_none() const {
+    return std::holds_alternative<None>(v);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(v);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(v);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(v);
+  }
+  [[nodiscard]] bool is_list() const {
+    return std::holds_alternative<ListPtr>(v);
+  }
+  [[nodiscard]] bool is_dict() const {
+    return std::holds_alternative<DictPtr>(v);
+  }
+  [[nodiscard]] bool is_host_object() const {
+    return std::holds_alternative<HostObjPtr>(v);
+  }
+  [[nodiscard]] bool is_callable() const {
+    return std::holds_alternative<UserFunction>(v) ||
+           std::holds_alternative<HostFnPtr>(v);
+  }
+
+  /// Typed accessors; throw EvalError with the expected type on mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const ListPtr& as_list() const;
+  [[nodiscard]] const DictPtr& as_dict() const;
+  [[nodiscard]] const HostObjPtr& as_host_object() const;
+
+  /// Python-style truthiness: None/False/0/""/[]/{} are false.
+  [[nodiscard]] bool truthy() const;
+
+  /// Python repr-ish rendering (print uses str-ish: no quotes on strings
+  /// at top level; elements inside lists are repr'd).
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] std::string repr() const;
+
+  /// Structural equality (numbers numeric, lists/dicts element-wise,
+  /// host objects by identity).
+  [[nodiscard]] bool equals(const Value& other) const;
+};
+
+[[nodiscard]] Value make_list(std::vector<Value> items);
+[[nodiscard]] Value make_dict(std::map<std::string, Value> items);
+[[nodiscard]] Value make_host_fn(HostFn fn);
+
+/// Convenience for bindings: makes a typed host object.
+template <typename T>
+Value make_host_object(std::string type, std::shared_ptr<T> data) {
+  auto obj = std::make_shared<HostObject>();
+  obj->type = std::move(type);
+  obj->data = std::move(data);
+  return Value(std::move(obj));
+}
+
+namespace detail {
+[[noreturn]] void host_type_error(const std::string& expected,
+                                  const std::string& got);
+}  // namespace detail
+
+/// Extracts the typed payload of a host object; throws EvalError when the
+/// type tag does not match.
+template <typename T>
+std::shared_ptr<T> host_cast(const Value& v, const std::string& type) {
+  const auto& obj = v.as_host_object();
+  if (obj->type != type) detail::host_type_error(type, obj->type);
+  return std::static_pointer_cast<T>(obj->data);
+}
+
+}  // namespace perfknow::script

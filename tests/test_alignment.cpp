@@ -1,0 +1,154 @@
+// Tests for MSAP stages 2 and 3: UPGMA guide trees and progressive
+// profile alignment.
+#include <gtest/gtest.h>
+
+#include "apps/msap/alignment.hpp"
+#include "common/error.hpp"
+
+namespace pk = perfknow;
+using namespace pk::apps::msap;
+
+TEST(DistanceMatrix, IdenticalSequencesAreDistanceZero) {
+  const std::vector<std::string> seqs = {"ACDEF", "ACDEF", "WWWWW"};
+  const auto d = distance_matrix(seqs);
+  EXPECT_DOUBLE_EQ(d[0][1], 0.0);
+  EXPECT_DOUBLE_EQ(d[0][0], 0.0);
+  // Disjoint-alphabet sequences are maximally distant.
+  EXPECT_DOUBLE_EQ(d[0][2], 1.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(d[2][0], d[0][2]);
+  EXPECT_DOUBLE_EQ(d[1][2], d[2][1]);
+}
+
+TEST(Upgma, MergesClosestPairFirst) {
+  // 0 and 1 are near, 2 is far from both.
+  const std::vector<std::vector<double>> d = {
+      {0.0, 0.1, 0.8}, {0.1, 0.0, 0.9}, {0.8, 0.9, 0.0}};
+  const auto tree = upgma(d);
+  ASSERT_EQ(tree.nodes.size(), 5u);
+  // First internal node (index 3) joins leaves 0 and 1.
+  const auto& first = tree.nodes[3];
+  EXPECT_TRUE((first.left == 0 && first.right == 1) ||
+              (first.left == 1 && first.right == 0));
+  EXPECT_DOUBLE_EQ(first.height, 0.05);
+  // Root joins that cluster with leaf 2 at the average distance.
+  const auto& root = tree.nodes[static_cast<std::size_t>(tree.root())];
+  EXPECT_DOUBLE_EQ(root.height, (0.8 + 0.9) / 2.0 / 2.0);
+  EXPECT_EQ(root.size, 3);
+  const auto leaves = tree.leaves_under(tree.root());
+  EXPECT_EQ(leaves.size(), 3u);
+  EXPECT_EQ(to_newick(tree), "((0,1):0.05,2):0.43");
+}
+
+TEST(Upgma, AverageLinkageWeightsClusterSizes) {
+  // Clusters {0,1} then {0,1,2}: distance to 3 must be the mean of the
+  // three leaf distances, not the pair means of means.
+  const std::vector<std::vector<double>> d = {
+      {0.0, 0.1, 0.2, 0.6},
+      {0.1, 0.0, 0.2, 0.9},
+      {0.2, 0.2, 0.0, 0.9},
+      {0.6, 0.9, 0.9, 0.0}};
+  const auto tree = upgma(d);
+  const auto& root = tree.nodes[static_cast<std::size_t>(tree.root())];
+  EXPECT_NEAR(root.height, (0.6 + 0.9 + 0.9) / 3.0 / 2.0, 1e-12);
+}
+
+TEST(Upgma, RejectsBadInput) {
+  EXPECT_THROW(upgma({}), pk::InvalidArgumentError);
+  EXPECT_THROW(upgma({{0.0}}), pk::InvalidArgumentError);
+  EXPECT_THROW(upgma({{0.0, 1.0}, {1.0}}), pk::InvalidArgumentError);
+}
+
+TEST(Progressive, IdenticalSequencesAlignWithoutGaps) {
+  const std::vector<std::string> seqs = {"ACDEFG", "ACDEFG", "ACDEFG"};
+  const auto r = align_sequences(seqs);
+  for (const auto& row : r.alignment) {
+    EXPECT_EQ(row, "ACDEFG");
+  }
+}
+
+TEST(Progressive, InsertionsProduceGapColumns) {
+  // The middle sequence misses two residues; alignment must gap them.
+  const std::vector<std::string> seqs = {"ACDEFGHIKL", "ACDEHIKL",
+                                         "ACDEFGHIKL"};
+  const auto r = align_sequences(seqs);
+  ASSERT_EQ(r.alignment.size(), 3u);
+  const std::size_t len = r.alignment[0].size();
+  EXPECT_EQ(r.alignment[1].size(), len);
+  EXPECT_EQ(r.alignment[2].size(), len);
+  EXPECT_EQ(len, 10u);  // no extra columns needed
+  // Row 1 contains exactly two gaps; others none.
+  EXPECT_EQ(std::count(r.alignment[1].begin(), r.alignment[1].end(), '-'),
+            2);
+  EXPECT_EQ(std::count(r.alignment[0].begin(), r.alignment[0].end(), '-'),
+            0);
+  // Removing gaps recovers the input sequences.
+  std::string degapped;
+  for (char c : r.alignment[1]) {
+    if (c != '-') degapped += c;
+  }
+  EXPECT_EQ(degapped, "ACDEHIKL");
+}
+
+TEST(Progressive, AlignmentPreservesOrderAndResidues) {
+  const auto seqs =
+      generate_sequences(6, 15, 40, 1.2, 77);
+  const auto r = align_sequences(seqs);
+  ASSERT_EQ(r.alignment.size(), seqs.size());
+  const std::size_t len = r.alignment[0].size();
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_EQ(r.alignment[i].size(), len);
+    std::string degapped;
+    for (char c : r.alignment[i]) {
+      if (c != '-') degapped += c;
+    }
+    EXPECT_EQ(degapped, seqs[i]) << "row " << i;
+  }
+}
+
+TEST(Progressive, TreeOrderBeatsArbitraryOrderOnAverage) {
+  // Aligning along the UPGMA tree should produce a sum-of-pairs score at
+  // least as good as aligning along a deliberately bad (identity) chain.
+  const std::vector<std::string> seqs = {
+      "MKTAYIAKQR", "MKTAYIAKQR", "MKTAYIDKQR",
+      "GGGSSSPPPL", "GGGSSSAPPL"};
+  const auto good = align_sequences(seqs);
+
+  // Bad tree: ((((0,3),1),4),2) — interleaves the two families.
+  GuideTree bad;
+  for (int i = 0; i < 5; ++i) {
+    GuideTree::Node leaf;
+    leaf.sequence = i;
+    bad.nodes.push_back(leaf);
+  }
+  int prev = 0;
+  for (const int next : {3, 1, 4, 2}) {
+    GuideTree::Node merge;
+    merge.left = prev;
+    merge.right = next;
+    merge.size = bad.nodes[static_cast<std::size_t>(prev)].size + 1;
+    bad.nodes.push_back(merge);
+    prev = static_cast<int>(bad.nodes.size()) - 1;
+  }
+  const auto bad_alignment = progressive_alignment(seqs, bad);
+  EXPECT_GE(sum_of_pairs_score(good.alignment),
+            sum_of_pairs_score(bad_alignment));
+}
+
+TEST(Progressive, MismatchedTreeRejected) {
+  const std::vector<std::string> seqs = {"ACD", "ACD"};
+  const auto tree = upgma(distance_matrix({"AC", "CD", "DA"}));
+  EXPECT_THROW(progressive_alignment(seqs, tree),
+               pk::InvalidArgumentError);
+}
+
+TEST(SumOfPairs, KnownValues) {
+  // Two identical rows of length 3: 3 matches.
+  EXPECT_DOUBLE_EQ(sum_of_pairs_score({"ACD", "ACD"}), 9.0);  // 3 x match(3)
+  // One gap column: half gap penalty.
+  EXPECT_DOUBLE_EQ(sum_of_pairs_score({"A-C", "AAC"}),
+                   3.0 + (-2.0 * 0.5) + 3.0);
+  // Both-gap columns are free.
+  EXPECT_DOUBLE_EQ(sum_of_pairs_score({"A-", "A-"}), 3.0);
+  EXPECT_THROW((void)sum_of_pairs_score({"AC", "A"}), pk::InvalidArgumentError);
+}

@@ -1,0 +1,216 @@
+// Unit tests for the common utilities: stats, strings, rng, table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace pk = perfknow;
+using pk::stats::LinearFit;
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(pk::stats::mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(pk::stats::variance(xs), 2.0);
+  EXPECT_DOUBLE_EQ(pk::stats::stddev(xs), std::sqrt(2.0));
+}
+
+TEST(Stats, SampleStddevUsesNMinusOne) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(pk::stats::sample_stddev(xs), std::sqrt(10.0 / 4.0));
+}
+
+TEST(Stats, EmptyInputThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)pk::stats::mean(empty), pk::InvalidArgumentError);
+  EXPECT_THROW((void)pk::stats::variance(empty), pk::InvalidArgumentError);
+  EXPECT_THROW((void)pk::stats::min(empty), pk::InvalidArgumentError);
+  EXPECT_THROW((void)pk::stats::max(empty), pk::InvalidArgumentError);
+  EXPECT_THROW((void)pk::stats::percentile(empty, 50), pk::InvalidArgumentError);
+  EXPECT_DOUBLE_EQ(pk::stats::sum(empty), 0.0);
+}
+
+TEST(Stats, KahanSumIsAccurate) {
+  // 1e16 + many tiny values: naive summation loses them entirely.
+  std::vector<double> xs = {1e16};
+  for (int i = 0; i < 10000; ++i) xs.push_back(1.0);
+  EXPECT_DOUBLE_EQ(pk::stats::sum(xs), 1e16 + 10000.0);
+}
+
+TEST(Stats, CoefficientOfVariation) {
+  const std::vector<double> balanced = {10, 10, 10, 10};
+  EXPECT_DOUBLE_EQ(pk::stats::coefficient_of_variation(balanced), 0.0);
+  const std::vector<double> imbalanced = {0, 0, 0, 40};
+  EXPECT_GT(pk::stats::coefficient_of_variation(imbalanced), 1.0);
+  const std::vector<double> zeros = {0, 0};
+  EXPECT_DOUBLE_EQ(pk::stats::coefficient_of_variation(zeros), 0.0);
+}
+
+TEST(Stats, PearsonCorrelationPerfectSeries) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {2, 4, 6, 8};
+  const std::vector<double> zs = {8, 6, 4, 2};
+  EXPECT_NEAR(pk::stats::pearson_correlation(xs, ys), 1.0, 1e-12);
+  EXPECT_NEAR(pk::stats::pearson_correlation(xs, zs), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonCorrelationConstantSeriesIsZero) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(pk::stats::pearson_correlation(xs, ys), 0.0);
+}
+
+TEST(Stats, PearsonCorrelationLengthMismatchThrows) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> ys = {1, 2};
+  EXPECT_THROW((void)pk::stats::pearson_correlation(xs, ys),
+               pk::InvalidArgumentError);
+}
+
+TEST(Stats, Percentile) {
+  const std::vector<double> xs = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(pk::stats::percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(pk::stats::percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(pk::stats::percentile(xs, 50), 2.5);
+  EXPECT_THROW((void)pk::stats::percentile(xs, 101), pk::InvalidArgumentError);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  const std::vector<double> xs = {0, 1, 2, 3, 4};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 * x + 1.0);
+  const LinearFit fit = pk::stats::linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Stats, RelativeToFirst) {
+  const std::vector<double> xs = {2, 1, 4};
+  const auto rel = pk::stats::relative_to_first(xs);
+  EXPECT_DOUBLE_EQ(rel[0], 1.0);
+  EXPECT_DOUBLE_EQ(rel[1], 0.5);
+  EXPECT_DOUBLE_EQ(rel[2], 2.0);
+  const std::vector<double> zero_base = {0, 1};
+  EXPECT_THROW(pk::stats::relative_to_first(zero_base),
+               pk::InvalidArgumentError);
+}
+
+TEST(Stats, ZscoresOfConstantSeriesAreZero) {
+  const std::vector<double> xs = {7, 7, 7};
+  for (double z : pk::stats::zscores(xs)) EXPECT_DOUBLE_EQ(z, 0.0);
+}
+
+TEST(Strings, SplitAndTrim) {
+  const auto parts = pk::strings::split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(pk::strings::trim("  hi \t\n"), "hi");
+  EXPECT_EQ(pk::strings::trim(""), "");
+  EXPECT_EQ(pk::strings::trim("   "), "");
+}
+
+TEST(Strings, SplitWhitespaceSkipsRuns) {
+  const auto parts = pk::strings::split_whitespace("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(pk::strings::split_whitespace("   ").empty());
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(pk::strings::replace_all("aXbXc", "X", "yy"), "ayybyyc");
+  EXPECT_EQ(pk::strings::replace_all("abc", "", "x"), "abc");
+  EXPECT_EQ(pk::strings::replace_all("aaa", "aa", "b"), "ba");
+}
+
+TEST(Strings, ParseNumbers) {
+  EXPECT_DOUBLE_EQ(pk::strings::parse_double(" 3.5 "), 3.5);
+  EXPECT_EQ(pk::strings::parse_int("42"), 42);
+  EXPECT_EQ(pk::strings::parse_int("-7"), -7);
+  EXPECT_THROW((void)pk::strings::parse_double("abc"), pk::ParseError);
+  EXPECT_THROW((void)pk::strings::parse_int("1.5"), pk::ParseError);
+  EXPECT_THROW((void)pk::strings::parse_double(""), pk::ParseError);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  pk::Rng a(123);
+  pk::Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  pk::Rng a(1);
+  pk::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInRange) {
+  pk::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const auto n = rng.uniform_int(10, 20);
+    EXPECT_GE(n, 10u);
+    EXPECT_LE(n, 20u);
+  }
+}
+
+TEST(Rng, NormalMeanAndSpread) {
+  pk::Rng rng(99);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(pk::stats::mean(xs), 5.0, 0.1);
+  EXPECT_NEAR(pk::stats::stddev(xs), 2.0, 0.1);
+}
+
+TEST(Rng, BoundedParetoStaysInRange) {
+  pk::Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.pareto_bounded(100.0, 1000.0, 1.2);
+    EXPECT_GE(x, 100.0 * (1 - 1e-9));
+    EXPECT_LE(x, 1000.0 * (1 + 1e-9));
+  }
+}
+
+TEST(Rng, BoundedParetoIsSkewedLow) {
+  pk::Rng rng(12);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) {
+    xs.push_back(rng.pareto_bounded(100.0, 1000.0, 1.5));
+  }
+  // Heavy-tailed toward the low end: median far below the midpoint.
+  EXPECT_LT(pk::stats::percentile(xs, 50), 350.0);
+}
+
+TEST(Table, AlignsAndRendersRows) {
+  pk::TextTable t({"metric", "O0", "O1"});
+  t.add_row({"Time", "1.000", "0.338"});
+  t.begin_row().add("Watts").add(1.0, 3).add(1.025, 3);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("metric"), std::string::npos);
+  EXPECT_NE(s.find("0.338"), std::string::npos);
+  EXPECT_NE(s.find("1.025"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  pk::TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(pk::TextTable({}), pk::InvalidArgumentError);
+}

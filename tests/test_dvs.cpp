@@ -1,0 +1,97 @@
+// Tests for the DVS operating-point analysis.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "power/dvs.hpp"
+
+namespace pk = perfknow;
+using pk::hwcounters::Counter;
+using pk::hwcounters::CounterVector;
+using pk::power::dvs_sweep;
+using pk::power::DvsModel;
+
+namespace {
+
+CounterVector vector_with_memory_fraction(double mem_fraction) {
+  CounterVector c;
+  c.set(Counter::kCpuCycles, 1e9);
+  c.set(Counter::kL1dStallCycles, mem_fraction * 1e9);
+  return c;
+}
+
+const std::vector<double> kFreqs = {0.75, 1.0, 1.25, 1.5};
+
+}  // namespace
+
+TEST(Dvs, ComputeBoundScalesLinearlyWithFrequency) {
+  const auto sweep =
+      dvs_sweep(vector_with_memory_fraction(0.0), 10.0, 100.0, kFreqs);
+  ASSERT_EQ(sweep.size(), 4u);
+  // At half... 0.75/1.5 = half frequency: double the time.
+  EXPECT_NEAR(sweep[0].seconds, 20.0, 1e-9);
+  EXPECT_NEAR(sweep[3].seconds, 10.0, 1e-9);
+  // Power drops superlinearly (f * V^2).
+  EXPECT_LT(sweep[0].watts, 0.75 * sweep[3].watts);
+}
+
+TEST(Dvs, MemoryBoundTimeBarelyMoves) {
+  const auto sweep =
+      dvs_sweep(vector_with_memory_fraction(0.9), 10.0, 100.0, kFreqs);
+  // 90% of the time is DRAM latency: halving f adds only ~10% runtime.
+  EXPECT_NEAR(sweep[0].seconds, 10.0 * (0.1 * 2.0 + 0.9), 1e-9);
+  // So the lowest frequency is the energy winner.
+  EXPECT_TRUE(sweep[0].is_min_energy);
+  EXPECT_FALSE(sweep[3].is_min_energy);
+}
+
+TEST(Dvs, ComputeBoundPrefersRaceToIdleForEdp) {
+  const auto sweep =
+      dvs_sweep(vector_with_memory_fraction(0.0), 10.0, 100.0, kFreqs);
+  // EDP weights delay: the nominal frequency wins for compute-bound code.
+  EXPECT_TRUE(sweep[3].is_min_edp);
+}
+
+TEST(Dvs, ExactlyOneWinnerPerCriterion) {
+  for (const double mf : {0.0, 0.3, 0.6, 0.95}) {
+    const auto sweep =
+        dvs_sweep(vector_with_memory_fraction(mf), 5.0, 80.0, kFreqs);
+    int energy = 0;
+    int edp = 0;
+    for (const auto& p : sweep) {
+      energy += p.is_min_energy ? 1 : 0;
+      edp += p.is_min_edp ? 1 : 0;
+    }
+    EXPECT_EQ(energy, 1) << "memory fraction " << mf;
+    EXPECT_EQ(edp, 1) << "memory fraction " << mf;
+  }
+}
+
+TEST(Dvs, InvalidInputsRejected) {
+  const auto c = vector_with_memory_fraction(0.5);
+  EXPECT_THROW(dvs_sweep(c, 0.0, 100.0, kFreqs),
+               pk::InvalidArgumentError);
+  EXPECT_THROW(dvs_sweep(c, 1.0, 100.0, {}), pk::InvalidArgumentError);
+  EXPECT_THROW(dvs_sweep(c, 1.0, 100.0, {1.0, -0.5}),
+               pk::InvalidArgumentError);
+}
+
+TEST(Dvs, FactsRelativeToNominal) {
+  const auto sweep =
+      dvs_sweep(vector_with_memory_fraction(0.7), 10.0, 100.0, kFreqs);
+  pk::rules::RuleHarness h;
+  EXPECT_EQ(pk::power::assert_dvs_facts(h, sweep, 1.5), 4u);
+  bool found_nominal = false;
+  for (const auto id : h.memory().ids_of_type("DvsFact")) {
+    const auto* f = h.memory().find(id);
+    if (f->number("frequencyGhz") == 1.5) {
+      EXPECT_DOUBLE_EQ(f->number("relativeTime"), 1.0);
+      EXPECT_DOUBLE_EQ(f->number("relativeJoules"), 1.0);
+      found_nominal = true;
+    } else {
+      EXPECT_LT(f->number("relativeWatts"), 1.0);
+    }
+  }
+  EXPECT_TRUE(found_nominal);
+  EXPECT_THROW(pk::power::assert_dvs_facts(h, sweep, 2.0),
+               pk::InvalidArgumentError);
+}

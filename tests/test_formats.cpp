@@ -1,0 +1,144 @@
+// Tests for the CSV and JSON profile-interchange formats.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "perfdmf/csv_format.hpp"
+#include "perfdmf/json_format.hpp"
+#include "profile/profile.hpp"
+
+namespace pk = perfknow;
+using pk::profile::Trial;
+
+namespace {
+
+Trial fixture() {
+  Trial t("fixture");
+  t.set_thread_count(2);
+  const auto time = t.add_metric("TIME", "usec");
+  const auto fp = t.add_metric("FP_OPS");
+  const auto main = t.add_event("main", pk::profile::kNoEvent, "PROC");
+  const auto loop = t.add_event("main => loop, with \"quotes\"", main,
+                                "LOOP");
+  for (std::size_t th = 0; th < 2; ++th) {
+    t.set_inclusive(th, main, time, 100.5 + static_cast<double>(th));
+    t.set_exclusive(th, main, time, 10.25);
+    t.set_inclusive(th, main, fp, 1e6);
+    t.set_inclusive(th, loop, time, 90.0);
+    t.set_exclusive(th, loop, time, 90.0);
+    t.set_calls(th, main, 1, 3);
+    t.set_calls(th, loop, 3, 0);
+  }
+  t.set_metadata("schedule", "dynamic,1");
+  t.set_metadata("note", "line1\nline2\ttab");
+  return t;
+}
+
+}  // namespace
+
+TEST(CsvLong, RoundTripValuesAndCallpath) {
+  const Trial t = fixture();
+  std::stringstream ss;
+  pk::perfdmf::write_csv_long(t, ss);
+  const Trial back = pk::perfdmf::read_csv_long(ss);
+
+  EXPECT_EQ(back.thread_count(), 2u);
+  EXPECT_EQ(back.event_count(), 2u);
+  EXPECT_EQ(back.metric_count(), 2u);
+  const auto time = back.metric_id("TIME");
+  const auto loop = back.event_id("main => loop, with \"quotes\"");
+  EXPECT_DOUBLE_EQ(back.exclusive(1, loop, time), 90.0);
+  EXPECT_DOUBLE_EQ(back.inclusive(1, back.event_id("main"), time), 101.5);
+  EXPECT_DOUBLE_EQ(back.calls(0, loop).calls, 3.0);
+  // Parent reconstructed from the " => " prefix.
+  EXPECT_EQ(back.event(loop).parent, back.event_id("main"));
+}
+
+TEST(CsvLong, RejectsMalformedInput) {
+  std::stringstream empty("");
+  EXPECT_THROW(pk::perfdmf::read_csv_long(empty), pk::ParseError);
+  std::stringstream bad_header("a,b,c\n");
+  EXPECT_THROW(pk::perfdmf::read_csv_long(bad_header), pk::ParseError);
+  std::stringstream short_row(
+      "event,thread,metric,inclusive,exclusive,calls,subcalls\n"
+      "main,0,TIME,1\n");
+  EXPECT_THROW(pk::perfdmf::read_csv_long(short_row), pk::ParseError);
+  std::stringstream bad_quote(
+      "event,thread,metric,inclusive,exclusive,calls,subcalls\n"
+      "\"unterminated,0,TIME,1,1,1,0\n");
+  EXPECT_THROW(pk::perfdmf::read_csv_long(bad_quote), pk::ParseError);
+}
+
+TEST(JsonFormat, RoundTripExact) {
+  const Trial t = fixture();
+  const auto text = pk::perfdmf::to_json(t);
+  const Trial back = pk::perfdmf::from_json(text);
+
+  EXPECT_EQ(back.name(), "fixture");
+  EXPECT_EQ(back.thread_count(), t.thread_count());
+  EXPECT_EQ(back.metric_count(), t.metric_count());
+  EXPECT_EQ(back.event_count(), t.event_count());
+  EXPECT_EQ(*back.metadata("schedule"), "dynamic,1");
+  EXPECT_EQ(*back.metadata("note"), "line1\nline2\ttab");
+  for (std::size_t th = 0; th < t.thread_count(); ++th) {
+    for (pk::profile::EventId e = 0; e < t.event_count(); ++e) {
+      for (pk::profile::MetricId m = 0; m < t.metric_count(); ++m) {
+        EXPECT_DOUBLE_EQ(back.inclusive(th, e, m), t.inclusive(th, e, m));
+        EXPECT_DOUBLE_EQ(back.exclusive(th, e, m), t.exclusive(th, e, m));
+      }
+      EXPECT_DOUBLE_EQ(back.calls(th, e).calls, t.calls(th, e).calls);
+      EXPECT_EQ(back.event(e).parent, t.event(e).parent);
+      EXPECT_EQ(back.event(e).group, t.event(e).group);
+    }
+  }
+}
+
+TEST(JsonFormat, ParserHandlesEscapesAndWhitespace) {
+  const auto t = pk::perfdmf::from_json(R"({
+    "name": "uA\t\"x\"",
+    "threads": 1,
+    "metadata": {},
+    "metrics": [{"name": "M", "units": "count", "derived": false}],
+    "events": [{"name": "e", "parent": -1, "group": ""}],
+    "data": [
+      {"thread": 0, "event": 0, "calls": 2.5e2, "subcalls": 0,
+       "values": [[1.5, -0.25]]}
+    ]
+  })");
+  EXPECT_EQ(t.name(), "uA\t\"x\"");
+  EXPECT_DOUBLE_EQ(t.calls(0, 0).calls, 250.0);
+  EXPECT_DOUBLE_EQ(t.exclusive(0, 0, 0), -0.25);
+}
+
+TEST(JsonFormat, RejectsMalformedDocuments) {
+  EXPECT_THROW(pk::perfdmf::from_json("{"), pk::ParseError);
+  EXPECT_THROW(pk::perfdmf::from_json("[1, 2,]"), pk::ParseError);
+  EXPECT_THROW(pk::perfdmf::from_json("{\"name\": }"), pk::ParseError);
+  EXPECT_THROW(pk::perfdmf::from_json("{\"a\": 1} trailing"),
+               pk::ParseError);
+  EXPECT_THROW(pk::perfdmf::from_json("nope"), pk::ParseError);
+  // Schema violations.
+  EXPECT_THROW(pk::perfdmf::from_json("{\"threads\": 1}"), pk::ParseError);
+  EXPECT_THROW(pk::perfdmf::from_json(R"({
+    "name": "x", "threads": 1, "metrics": [], "events": [],
+    "data": [{"thread": 0, "event": 5, "calls": 0, "subcalls": 0,
+              "values": []}]
+  })"),
+               pk::ParseError);
+}
+
+TEST(JsonFormat, SparseZeroRowsOmittedButReadBack) {
+  Trial t("sparse");
+  t.set_thread_count(3);
+  t.add_metric("M");
+  const auto e = t.add_event("ev");
+  t.set_exclusive(1, e, 0, 7.0);  // threads 0 and 2 stay all-zero
+  const auto text = pk::perfdmf::to_json(t);
+  // Only one data row serialized.
+  EXPECT_EQ(text.find("\"thread\": 0"), std::string::npos);
+  const Trial back = pk::perfdmf::from_json(text);
+  EXPECT_DOUBLE_EQ(back.exclusive(0, e, 0), 0.0);
+  EXPECT_DOUBLE_EQ(back.exclusive(1, e, 0), 7.0);
+  EXPECT_DOUBLE_EQ(back.exclusive(2, e, 0), 0.0);
+}

@@ -1,0 +1,170 @@
+// Tests for frequency-based feedback optimizations: profile extraction,
+// inlining decisions, and branch layout.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "openuh/frequency.hpp"
+
+namespace pk = perfknow;
+using namespace pk::openuh;
+
+namespace {
+
+ProgramIR call_graph_program() {
+  ProgramIR ir;
+  ir.name = "callgraph";
+  Procedure main_p;
+  main_p.name = "main";
+  main_p.straightline_statements = 20;
+  main_p.callees = {"tiny_hot", "huge", "cold", "missing_extern"};
+  ir.procedures.push_back(main_p);
+
+  Procedure tiny;
+  tiny.name = "tiny_hot";
+  tiny.straightline_statements = 5;
+  tiny.callees = {"leaf"};
+  ir.procedures.push_back(tiny);
+
+  Procedure huge;
+  huge.name = "huge";
+  huge.straightline_statements = 500;
+  ir.procedures.push_back(huge);
+
+  Procedure cold;
+  cold.name = "cold";
+  cold.straightline_statements = 10;
+  ir.procedures.push_back(cold);
+
+  Procedure leaf;
+  leaf.name = "leaf";
+  leaf.straightline_statements = 2;
+  ir.procedures.push_back(leaf);
+  return ir;
+}
+
+FrequencyProfile hot_profile() {
+  FrequencyProfile fp;
+  fp.set("tiny_hot", 1e7);
+  fp.set("huge", 1e7);
+  fp.set("cold", 3.0);
+  fp.set("missing_extern", 1e7);
+  fp.set("leaf", 2e7);
+  return fp;
+}
+
+}  // namespace
+
+TEST(FrequencyProfile, FromTrialSumsThreads) {
+  pk::profile::Trial t("f");
+  t.set_thread_count(3);
+  t.add_metric("TIME");
+  const auto e = t.add_event("kernel");
+  for (std::size_t th = 0; th < 3; ++th) t.set_calls(th, e, 100, 0);
+  const auto fp = FrequencyProfile::from_trial(t);
+  EXPECT_DOUBLE_EQ(fp.calls("kernel"), 300.0);
+  EXPECT_DOUBLE_EQ(fp.calls("absent"), 0.0);
+}
+
+TEST(Inlining, DecidesByFrequencyAndSize) {
+  const auto ir = call_graph_program();
+  const auto decisions = decide_inlining(ir, hot_profile());
+  ASSERT_EQ(decisions.size(), 5u);  // 4 from main + 1 from tiny_hot
+
+  auto find = [&](const std::string& caller, const std::string& callee)
+      -> const InlineDecision& {
+    for (const auto& d : decisions) {
+      if (d.caller == caller && d.callee == callee) return d;
+    }
+    throw std::runtime_error("decision not found");
+  };
+  // Hot + tiny: inlined.
+  EXPECT_TRUE(find("main", "tiny_hot").inlined);
+  EXPECT_TRUE(find("tiny_hot", "leaf").inlined);
+  // Hot but huge: rejected for size.
+  EXPECT_FALSE(find("main", "huge").inlined);
+  EXPECT_EQ(find("main", "huge").reason, "callee too large");
+  // Tiny but cold: benefit too small.
+  EXPECT_FALSE(find("main", "cold").inlined);
+  EXPECT_EQ(find("main", "cold").reason, "benefit below threshold");
+  // External: unknown callee.
+  EXPECT_FALSE(find("main", "missing_extern").inlined);
+  EXPECT_EQ(find("main", "missing_extern").reason, "unknown callee");
+  // Benefit math: calls x overhead.
+  EXPECT_DOUBLE_EQ(find("main", "tiny_hot").benefit_cycles, 1e7 * 40.0);
+}
+
+TEST(Inlining, GrowthBudgetLimitsAcceptance) {
+  const auto ir = call_graph_program();
+  InlineParams params;
+  params.growth_budget_statements = 4.0;  // only the 2-statement leaf fits
+  const auto decisions = decide_inlining(ir, hot_profile(), params);
+  int inlined = 0;
+  for (const auto& d : decisions) {
+    if (d.inlined) {
+      ++inlined;
+      EXPECT_EQ(d.callee, "leaf");
+    }
+  }
+  EXPECT_EQ(inlined, 1);
+}
+
+TEST(Inlining, ApplyFoldsBodiesAndRetargetsCallsites) {
+  auto ir = call_graph_program();
+  // Give tiny_hot a loop so folding of nests is exercised.
+  LoopNest nest;
+  nest.name = "tiny_loop";
+  nest.trip_counts = {16};
+  ir.procedures[1].loops.push_back(nest);
+
+  const auto decisions = decide_inlining(ir, hot_profile());
+  const auto out = apply_inlining(ir, decisions);
+
+  const auto& main_p = out.procedure("main");
+  // tiny_hot (5 + loop weight) folded into main.
+  EXPECT_GT(main_p.straightline_statements, 20.0);
+  // Callsite main->tiny_hot removed; transitive callee inherited.
+  EXPECT_EQ(std::count(main_p.callees.begin(), main_p.callees.end(),
+                       "tiny_hot"),
+            0);
+  EXPECT_GE(std::count(main_p.callees.begin(), main_p.callees.end(),
+                       "leaf"),
+            1);
+  // The folded loop is namespaced into the caller.
+  bool found_loop = false;
+  for (const auto& l : main_p.loops) {
+    if (l.name == "main::tiny_loop") found_loop = true;
+  }
+  EXPECT_TRUE(found_loop);
+  // Callee still exists for other callers.
+  EXPECT_TRUE(out.has_procedure("tiny_hot"));
+}
+
+TEST(Inlining, ApplyRejectsForeignDecisions) {
+  const auto ir = call_graph_program();
+  InlineDecision bogus;
+  bogus.caller = "nope";
+  bogus.callee = "tiny_hot";
+  bogus.inlined = true;
+  EXPECT_THROW(apply_inlining(ir, {bogus}), pk::InvalidArgumentError);
+}
+
+TEST(BranchLayout, HotDirectionFallsThrough) {
+  const std::vector<BranchFrequency> branches = {
+      {"mostly_taken", 900, 100},
+      {"mostly_not_taken", 50, 950},
+      {"balanced", 500, 500},
+      {"never_run", 0, 0},
+  };
+  const auto layout = optimize_branches(branches);
+  ASSERT_EQ(layout.size(), 4u);
+  EXPECT_TRUE(layout[0].invert);
+  EXPECT_NEAR(layout[0].predicted_mispredict_rate, 0.1, 1e-12);
+  EXPECT_NEAR(layout[0].bias, 0.9, 1e-12);
+  EXPECT_FALSE(layout[1].invert);
+  EXPECT_NEAR(layout[1].predicted_mispredict_rate, 0.05, 1e-12);
+  EXPECT_FALSE(layout[2].invert);
+  EXPECT_NEAR(layout[2].predicted_mispredict_rate, 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(layout[3].predicted_mispredict_rate, 0.0);
+  EXPECT_THROW(optimize_branches({{"bad", -1, 2}}),
+               pk::InvalidArgumentError);
+}

@@ -1,0 +1,356 @@
+// Tests for the GenIDLEST case study: the real numerical solver and the
+// performance-simulation driver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/operations.hpp"
+#include "apps/genidlest/genidlest.hpp"
+#include "apps/genidlest/solver.hpp"
+#include "common/error.hpp"
+#include "hwcounters/counters.hpp"
+#include "machine/machine.hpp"
+
+namespace pk = perfknow;
+using namespace pk::apps::genidlest;
+using pk::hwcounters::Counter;
+using pk::machine::Machine;
+using pk::machine::MachineConfig;
+
+// ---------------------------------------------------------------------
+// Real numerics
+// ---------------------------------------------------------------------
+
+namespace {
+
+MultiblockDomain small_domain() {
+  MultiblockDomain dom;
+  dom.nx = 12;
+  dom.ny = 10;
+  dom.nz_total = 16;
+  dom.num_blocks = 4;
+  return dom;
+}
+
+}  // namespace
+
+TEST(Solver, LaplacianOfConstantInInteriorIsZero) {
+  const GridBlock g(8, 8, 4);
+  auto x = g.make_field();
+  auto y = g.make_field();
+  for (auto& v : x) v = 5.0;  // includes ghosts
+  apply_laplacian(g, x, y, 1.0);
+  // Interior cells away from x/y boundaries see all-equal neighbours.
+  EXPECT_DOUBLE_EQ(g.at(y, 4, 4, 2), 0.0);
+  // Cells on the x boundary lose a neighbour (Dirichlet zero).
+  EXPECT_DOUBLE_EQ(g.at(y, 0, 4, 2), 5.0);
+}
+
+TEST(Solver, GhostExchangeIsPeriodic) {
+  const auto dom = small_domain();
+  const GridBlock g(dom.nx, dom.ny, dom.nz_per_block());
+  std::vector<std::vector<double>> f(dom.num_blocks);
+  for (std::size_t b = 0; b < dom.num_blocks; ++b) {
+    f[b] = g.make_field();
+    for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(g.nz());
+         ++k) {
+      for (std::size_t j = 0; j < g.ny(); ++j) {
+        for (std::size_t i = 0; i < g.nx(); ++i) {
+          g.at(f[b], i, j, k) = static_cast<double>(b * 100 + k);
+        }
+      }
+    }
+  }
+  exchange_ghosts(dom, f, g);
+  // Block 1's bottom ghost = block 0's top plane (k = nz-1 = 3).
+  EXPECT_DOUBLE_EQ(g.at(f[1], 3, 3, -1), 3.0);
+  // Block 1's top ghost = block 2's bottom plane.
+  EXPECT_DOUBLE_EQ(g.at(f[1], 3, 3, 4), 200.0);
+  // Periodic wrap: block 0's bottom ghost = block 3's top plane.
+  EXPECT_DOUBLE_EQ(g.at(f[0], 3, 3, -1), 303.0);
+  EXPECT_DOUBLE_EQ(g.at(f[3], 3, 3, 4), 0.0);
+}
+
+TEST(Solver, BicgstabSolvesPoissonToTolerance) {
+  const auto dom = small_domain();
+  const GridBlock g(dom.nx, dom.ny, dom.nz_per_block());
+  std::vector<std::vector<double>> u(dom.num_blocks);
+  std::vector<std::vector<double>> rhs(dom.num_blocks);
+  for (std::size_t b = 0; b < dom.num_blocks; ++b) {
+    u[b] = g.make_field();
+    rhs[b] = g.make_field();
+    for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(g.nz());
+         ++k) {
+      for (std::size_t j = 0; j < g.ny(); ++j) {
+        for (std::size_t i = 0; i < g.nx(); ++i) {
+          g.at(rhs[b], i, j, k) =
+              std::sin(0.5 * static_cast<double>(i)) +
+              std::cos(0.3 * static_cast<double>(j + b));
+        }
+      }
+    }
+  }
+  const auto res = bicgstab_solve(dom, u, rhs, 1.0, 1e-8, 500);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.iterations, 500u);
+  EXPECT_LT(residual_norm(dom, u, rhs, 1.0), 1e-6);
+}
+
+TEST(Solver, SolutionIsNonTrivial) {
+  const auto dom = small_domain();
+  const GridBlock g(dom.nx, dom.ny, dom.nz_per_block());
+  std::vector<std::vector<double>> u(dom.num_blocks);
+  std::vector<std::vector<double>> rhs(dom.num_blocks);
+  for (std::size_t b = 0; b < dom.num_blocks; ++b) {
+    u[b] = g.make_field();
+    rhs[b] = g.make_field();
+    g.at(rhs[b], 5, 5, 1) = 1.0;  // point source per block
+  }
+  const auto res = bicgstab_solve(dom, u, rhs, 1.0, 1e-9, 500);
+  ASSERT_TRUE(res.converged);
+  double max_u = 0.0;
+  for (const auto& f : u) {
+    for (double v : f) max_u = std::max(max_u, std::abs(v));
+  }
+  EXPECT_GT(max_u, 1e-3);
+}
+
+TEST(Solver, RejectsMismatchedBlocks) {
+  const auto dom = small_domain();
+  std::vector<std::vector<double>> u(2), rhs(2);
+  EXPECT_THROW((void)bicgstab_solve(dom, u, rhs, 1.0, 1e-8, 10),
+               pk::InvalidArgumentError);
+}
+
+// ---------------------------------------------------------------------
+// Performance simulation
+// ---------------------------------------------------------------------
+
+namespace {
+
+GenResult run90(unsigned procs, Model model, bool optimized,
+                pk::openuh::OptLevel opt = pk::openuh::OptLevel::kO2) {
+  Machine machine(MachineConfig::altix3600());
+  auto cfg = GenConfig::rib90();
+  cfg.nprocs = procs;
+  cfg.model = model;
+  cfg.optimized = optimized;
+  cfg.opt = opt;
+  return run_genidlest(machine, cfg);
+}
+
+}  // namespace
+
+TEST(Genidlest, ConfigPresets) {
+  const auto c45 = GenConfig::rib45();
+  EXPECT_EQ(c45.num_blocks, 8u);
+  EXPECT_EQ(c45.cells_per_block(), 128u * 80 * 8);
+  const auto c90 = GenConfig::rib90();
+  EXPECT_EQ(c90.num_blocks, 32u);
+  EXPECT_EQ(c90.cells_per_block(), 128u * 128 * 4);
+  EXPECT_EQ(c90.face_bytes(), 128u * 128 * 8);
+}
+
+TEST(Genidlest, RejectsBadConfigs) {
+  Machine m(MachineConfig::altix300());
+  auto cfg = GenConfig::rib45();
+  cfg.nprocs = 0;
+  EXPECT_THROW(run_genidlest(m, cfg), pk::InvalidArgumentError);
+  cfg.nprocs = 16;  // > 8 blocks
+  EXPECT_THROW(run_genidlest(m, cfg), pk::InvalidArgumentError);
+  cfg = GenConfig::rib45();
+  cfg.num_blocks = 7;  // 64 % 7 != 0
+  cfg.nprocs = 4;
+  EXPECT_THROW(run_genidlest(m, cfg), pk::InvalidArgumentError);
+}
+
+TEST(Genidlest, ProfileStructureMatchesPaperEvents) {
+  const auto r = run90(8, Model::kOpenMP, false);
+  const auto& t = r.trial;
+  for (const char* name :
+       {"main", "initialization", "diff_coeff", "bicgstab",
+        "exchange_var__", "mpi_send_recv_ko", "matxvec", "pc",
+        "pc_jac_glb"}) {
+    EXPECT_TRUE(t.find_event(name).has_value()) << name;
+  }
+  EXPECT_EQ(t.event(t.event_id("mpi_send_recv_ko")).parent,
+            t.event_id("exchange_var__"));
+  EXPECT_EQ(t.event(t.event_id("pc_jac_glb")).parent, t.event_id("pc"));
+  EXPECT_TRUE(t.is_nested_under(t.event_id("exchange_var__"),
+                                t.event_id("bicgstab")));
+}
+
+TEST(Genidlest, TimeAccountingConsistentAcrossThreads) {
+  for (const auto model : {Model::kOpenMP, Model::kMpi}) {
+    const auto r = run90(8, model, true);
+    const auto& t = r.trial;
+    const auto time = t.metric_id("TIME");
+    const auto incl = t.inclusive_across_threads(t.event_id("main"), time);
+    for (double v : incl) {
+      EXPECT_NEAR(v, incl[0], incl[0] * 1e-6)
+          << to_string(model);
+    }
+    // main inclusive equals elapsed.
+    Machine m(MachineConfig::altix3600());
+    EXPECT_NEAR(incl[0], m.usec(r.elapsed_cycles), incl[0] * 1e-6);
+  }
+}
+
+TEST(Genidlest, UnoptimizedOpenMPLagsMpiByOrderTen) {
+  // Paper: "The OpenMP version lagged by a factor of 11.16 behind its MPI
+  // counterpart for the case of 90rib" (16 procs).
+  const auto omp = run90(16, Model::kOpenMP, false);
+  const auto mpi = run90(16, Model::kMpi, true);
+  const double ratio = omp.elapsed_seconds / mpi.elapsed_seconds;
+  EXPECT_GT(ratio, 8.0);
+  EXPECT_LT(ratio, 15.0);
+}
+
+TEST(Genidlest, ExchangeVarIsAboutThirtyPercentOfUnoptimizedRuntime) {
+  // Paper: exchange_var__ "represented 31% of the runtime".
+  const auto r = run90(16, Model::kOpenMP, false);
+  const auto& t = r.trial;
+  const double frac =
+      pk::analysis::runtime_fraction(t, t.event_id("exchange_var__")) +
+      pk::analysis::runtime_fraction(t, t.event_id("mpi_send_recv_ko"));
+  EXPECT_GT(frac, 0.22);
+  EXPECT_LT(frac, 0.42);
+}
+
+TEST(Genidlest, OptimizedOpenMPWithinTwentyPercentOfMpi) {
+  // Paper: the optimized difference is "minimal, in the range of 15%".
+  const auto omp = run90(16, Model::kOpenMP, true);
+  const auto mpi = run90(16, Model::kMpi, true);
+  const double ratio = omp.elapsed_seconds / mpi.elapsed_seconds;
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST(Genidlest, UnoptimizedOpenMPDoesNotScale) {
+  const auto t1 = run90(1, Model::kOpenMP, false);
+  const auto t16 = run90(16, Model::kOpenMP, false);
+  const double speedup = t1.elapsed_seconds / t16.elapsed_seconds;
+  EXPECT_LT(speedup, 2.5);  // "does not scale at all"
+}
+
+TEST(Genidlest, OptimizedVariantsScale) {
+  const auto o1 = run90(1, Model::kOpenMP, true);
+  const auto o16 = run90(16, Model::kOpenMP, true);
+  EXPECT_GT(o1.elapsed_seconds / o16.elapsed_seconds, 10.0);
+  const auto m1 = run90(1, Model::kMpi, true);
+  const auto m16 = run90(16, Model::kMpi, true);
+  EXPECT_GT(m1.elapsed_seconds / m16.elapsed_seconds, 10.0);
+}
+
+TEST(Genidlest, UnoptimizedHasRemoteAccessesOptimizedDoesNot) {
+  const auto unopt = run90(16, Model::kOpenMP, false);
+  const auto opt = run90(16, Model::kOpenMP, true);
+  const double remote_unopt = unopt.aggregate_counters.get(
+      Counter::kRemoteMemoryAccesses);
+  const double remote_opt =
+      opt.aggregate_counters.get(Counter::kRemoteMemoryAccesses);
+  EXPECT_GT(remote_unopt, 10.0 * std::max(remote_opt, 1.0));
+  // In the trial, matxvec shows the locality difference too.
+  const auto& t = unopt.trial;
+  const auto m = t.metric_id("REMOTE_MEMORY_ACCESSES");
+  // Thread 0 (node 0, where the data landed) is local; thread 15 remote.
+  const auto mx = t.event_id("matxvec");
+  EXPECT_GT(t.exclusive(15, mx, m), t.exclusive(0, mx, m));
+}
+
+TEST(Genidlest, MpiInitializationPlacesDataLocally) {
+  const auto r = run90(16, Model::kMpi, true);
+  EXPECT_LT(r.aggregate_counters.get(Counter::kRemoteMemoryAccesses),
+            0.01 * r.aggregate_counters.get(Counter::kL3Misses) + 1.0);
+}
+
+TEST(Genidlest, HigherOptLevelRunsFaster) {
+  const auto o0 = run90(16, Model::kMpi, true, pk::openuh::OptLevel::kO0);
+  const auto o2 = run90(16, Model::kMpi, true, pk::openuh::OptLevel::kO2);
+  const auto o3 = run90(16, Model::kMpi, true, pk::openuh::OptLevel::kO3);
+  EXPECT_GT(o0.elapsed_seconds, 3.0 * o2.elapsed_seconds);
+  EXPECT_GT(o2.elapsed_seconds, o3.elapsed_seconds);
+  // FLOPs are semantic work: identical across levels.
+  EXPECT_NEAR(o0.aggregate_counters.get(Counter::kFpOps),
+              o3.aggregate_counters.get(Counter::kFpOps),
+              o0.aggregate_counters.get(Counter::kFpOps) * 1e-9);
+  // Instruction count shrinks monotonically with optimization.
+  EXPECT_GT(o0.aggregate_counters.get(Counter::kInstructionsCompleted),
+            o2.aggregate_counters.get(Counter::kInstructionsCompleted));
+}
+
+TEST(Genidlest, DeterministicAcrossRuns) {
+  const auto a = run90(8, Model::kOpenMP, false);
+  const auto b = run90(8, Model::kOpenMP, false);
+  EXPECT_EQ(a.elapsed_cycles, b.elapsed_cycles);
+  EXPECT_DOUBLE_EQ(
+      a.aggregate_counters.get(Counter::kCpuCycles),
+      b.aggregate_counters.get(Counter::kCpuCycles));
+}
+
+TEST(Genidlest, MetadataDescribesTheRun) {
+  const auto r = run90(4, Model::kOpenMP, true,
+                       pk::openuh::OptLevel::kO3);
+  EXPECT_EQ(*r.trial.metadata("model"), "OpenMP");
+  EXPECT_EQ(*r.trial.metadata("optimized"), "true");
+  EXPECT_EQ(*r.trial.metadata("opt_level"), "O3");
+  EXPECT_EQ(*r.trial.metadata("nprocs"), "4");
+  EXPECT_EQ(*r.trial.metadata("problem"), "128x128x128/32blocks");
+}
+
+TEST(Solver, SchwarzPreconditionerConvergesInFewerIterations) {
+  const auto dom = small_domain();
+  const GridBlock g(dom.nx, dom.ny, dom.nz_per_block());
+  auto make_problem = [&](std::vector<std::vector<double>>& u,
+                          std::vector<std::vector<double>>& rhs) {
+    u.assign(dom.num_blocks, g.make_field());
+    rhs.assign(dom.num_blocks, g.make_field());
+    for (std::size_t b = 0; b < dom.num_blocks; ++b) {
+      for (std::ptrdiff_t k = 0; k < static_cast<std::ptrdiff_t>(g.nz());
+           ++k) {
+        for (std::size_t j = 0; j < g.ny(); ++j) {
+          for (std::size_t i = 0; i < g.nx(); ++i) {
+            g.at(rhs[b], i, j, k) =
+                std::sin(0.4 * static_cast<double>(i + j)) +
+                0.2 * static_cast<double>(k);
+          }
+        }
+      }
+    }
+  };
+
+  std::vector<std::vector<double>> u_j, rhs_j;
+  make_problem(u_j, rhs_j);
+  SolverOptions jacobi;
+  jacobi.tolerance = 1e-8;
+  const auto rj = bicgstab_solve(dom, u_j, rhs_j, 1.0, jacobi);
+  ASSERT_TRUE(rj.converged);
+
+  std::vector<std::vector<double>> u_s, rhs_s;
+  make_problem(u_s, rhs_s);
+  SolverOptions schwarz;
+  schwarz.preconditioner = PreconditionerKind::kAdditiveSchwarz;
+  schwarz.cache_block_nz = 2;
+  schwarz.schwarz_sweeps = 3;
+  schwarz.tolerance = 1e-8;
+  const auto rs = bicgstab_solve(dom, u_s, rhs_s, 1.0, schwarz);
+  ASSERT_TRUE(rs.converged);
+
+  // The Schwarz subdomain solves are a strictly stronger preconditioner
+  // than pointwise Jacobi: fewer BiCGSTAB iterations.
+  EXPECT_LT(rs.iterations, rj.iterations);
+  // Both genuinely solve the system.
+  EXPECT_LT(residual_norm(dom, u_s, rhs_s, 1.0), 1e-5);
+  EXPECT_LT(residual_norm(dom, u_j, rhs_j, 1.0), 1e-5);
+}
+
+TEST(Solver, SchwarzOptionsValidated) {
+  const auto dom = small_domain();
+  const GridBlock g(dom.nx, dom.ny, dom.nz_per_block());
+  std::vector<std::vector<double>> u(dom.num_blocks, g.make_field());
+  std::vector<std::vector<double>> rhs(dom.num_blocks, g.make_field());
+  SolverOptions bad;
+  bad.cache_block_nz = 0;
+  EXPECT_THROW((void)bicgstab_solve(dom, u, rhs, 1.0, bad),
+               pk::InvalidArgumentError);
+}

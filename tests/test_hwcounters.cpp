@@ -1,0 +1,185 @@
+// Tests for counter vocabulary and analytic counter synthesis.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "hwcounters/counters.hpp"
+#include "hwcounters/synthesize.hpp"
+#include "machine/machine.hpp"
+
+namespace pk = perfknow;
+using pk::hwcounters::Counter;
+using pk::hwcounters::CounterVector;
+using pk::hwcounters::KernelWork;
+using pk::hwcounters::MemoryStream;
+using pk::hwcounters::Synthesizer;
+using pk::machine::Machine;
+using pk::machine::MachineConfig;
+
+TEST(Counters, NameRoundTrip) {
+  for (std::size_t i = 0; i < pk::hwcounters::kNumCounters; ++i) {
+    const auto c = static_cast<Counter>(i);
+    EXPECT_EQ(pk::hwcounters::counter_from_name(pk::hwcounters::name_of(c)),
+              c);
+  }
+  EXPECT_TRUE(pk::hwcounters::is_counter_name("CPU_CYCLES"));
+  EXPECT_FALSE(pk::hwcounters::is_counter_name("MADE_UP"));
+  EXPECT_THROW((void)pk::hwcounters::counter_from_name("MADE_UP"),
+               pk::NotFoundError);
+}
+
+TEST(Counters, VectorArithmetic) {
+  CounterVector a;
+  a.set(Counter::kFpOps, 10);
+  CounterVector b;
+  b.set(Counter::kFpOps, 5);
+  b.set(Counter::kLoads, 3);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.get(Counter::kFpOps), 15.0);
+  EXPECT_DOUBLE_EQ(a.get(Counter::kLoads), 3.0);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a.get(Counter::kFpOps), 30.0);
+}
+
+TEST(Counters, StallDecompositionAndFormulas) {
+  CounterVector c;
+  c.set(Counter::kL1dStallCycles, 900.0);
+  c.set(Counter::kFpStallCycles, 50.0);
+  c.set(Counter::kBranchStallCycles, 30.0);
+  c.set(Counter::kRegDepStalls, 20.0);
+  const auto d = pk::hwcounters::decompose_stalls(c);
+  EXPECT_DOUBLE_EQ(d.total(), 1000.0);
+  EXPECT_DOUBLE_EQ(d.memory_fp_fraction(), 0.95);
+
+  c.set(Counter::kL2References, 1000.0);
+  c.set(Counter::kL2Misses, 100.0);
+  c.set(Counter::kL3Misses, 10.0);
+  c.set(Counter::kRemoteMemoryAccesses, 5.0);
+  c.set(Counter::kTlbMisses, 2.0);
+  pk::hwcounters::MemoryLatencies lat;
+  const double expected = 900.0 * lat.l2_cycles + 90.0 * lat.l3_cycles +
+                          5.0 * lat.local_cycles + 5.0 * lat.remote_cycles +
+                          2.0 * lat.tlb_penalty;
+  EXPECT_DOUBLE_EQ(pk::hwcounters::memory_stall_cycles(c, lat), expected);
+  EXPECT_DOUBLE_EQ(pk::hwcounters::remote_access_ratio(c), 0.5);
+}
+
+TEST(Counters, RemoteRatioWithoutMissesIsZero) {
+  CounterVector c;
+  EXPECT_DOUBLE_EQ(pk::hwcounters::remote_access_ratio(c), 0.0);
+}
+
+namespace {
+
+KernelWork simple_kernel(std::uint64_t base, std::uint64_t bytes,
+                         double passes = 1.0) {
+  KernelWork w;
+  w.flops = 1000.0;
+  w.int_instructions = 2000.0;
+  w.branches = 100.0;
+  w.streams.push_back(MemoryStream{base, bytes, 8, passes, 0.2});
+  return w;
+}
+
+}  // namespace
+
+TEST(Synthesize, ProducesConsistentCounters) {
+  Machine m(MachineConfig::altix300());
+  Synthesizer synth(m);
+  const auto base = m.address_space().allocate(1 << 20);
+  const auto r = synth.run(simple_kernel(base, 1 << 20), 0);
+
+  const auto& c = r.counters;
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_DOUBLE_EQ(c.get(Counter::kFpOps), 1000.0);
+  // Retired = flops + ints + loads + stores + branches.
+  const double mem = c.get(Counter::kLoads) + c.get(Counter::kStores);
+  EXPECT_DOUBLE_EQ(c.get(Counter::kInstructionsCompleted),
+                   1000.0 + 2000.0 + mem + 100.0);
+  EXPECT_GT(c.get(Counter::kInstructionsIssued),
+            c.get(Counter::kInstructionsCompleted));
+  // Cache hierarchy is inclusive: L1 >= L2 >= L3 misses.
+  EXPECT_GE(c.get(Counter::kL1dMisses), c.get(Counter::kL2Misses));
+  EXPECT_GE(c.get(Counter::kL2Misses), c.get(Counter::kL3Misses));
+  // CPU_CYCLES >= stall cycles.
+  EXPECT_GE(c.get(Counter::kCpuCycles), c.get(Counter::kBackEndBubbleAll));
+  // Local + remote = L3 misses.
+  EXPECT_DOUBLE_EQ(c.get(Counter::kLocalMemoryAccesses) +
+                       c.get(Counter::kRemoteMemoryAccesses),
+                   c.get(Counter::kL3Misses));
+}
+
+TEST(Synthesize, WorkingSetBelowCacheHasNoL3Misses) {
+  Machine m(MachineConfig::altix300());
+  Synthesizer synth(m);
+  const auto base = m.address_space().allocate(8 * 1024);
+  // 8 KB fits L1D (16 KB): repeated passes stay cached after the first.
+  const auto small = synth.run(simple_kernel(base, 8 * 1024, 100.0), 0);
+  const auto cold_lines = 8.0 * 1024 / 128;  // L3-line-grain cold misses
+  EXPECT_LE(small.counters.get(Counter::kL3Misses), cold_lines + 1);
+}
+
+TEST(Synthesize, StreamingWorkingSetMissesEveryPass) {
+  Machine m(MachineConfig::altix300());
+  Synthesizer synth(m);
+  const auto bytes = 32ull * 1024 * 1024;  // 32 MB >> 6 MB L3
+  const auto base = m.address_space().allocate(bytes);
+  const auto one = synth.run(simple_kernel(base, bytes, 1.0), 0);
+  const auto ten = synth.run(simple_kernel(base, bytes, 10.0), 0);
+  EXPECT_NEAR(ten.counters.get(Counter::kL3Misses),
+              10.0 * one.counters.get(Counter::kL3Misses),
+              one.counters.get(Counter::kL3Misses) * 0.01);
+}
+
+TEST(Synthesize, FirstTouchMakesAccessesLocal) {
+  Machine m(MachineConfig::altix300());
+  Synthesizer synth(m);
+  const auto bytes = 16ull * 1024 * 1024;
+  const auto base = m.address_space().allocate(bytes);
+  // CPU 6 (node 3) touches first: all pages home on node 3.
+  const auto r = synth.run(simple_kernel(base, bytes), 6);
+  EXPECT_DOUBLE_EQ(r.counters.get(Counter::kRemoteMemoryAccesses), 0.0);
+  EXPECT_GT(r.counters.get(Counter::kLocalMemoryAccesses), 0.0);
+}
+
+TEST(Synthesize, RemoteAccessesAfterForeignFirstTouch) {
+  Machine m(MachineConfig::altix300());
+  Synthesizer synth(m);
+  const auto bytes = 16ull * 1024 * 1024;
+  const auto base = m.address_space().allocate(bytes);
+  // CPU 0 (node 0) initializes; CPU 14 (node 7) then streams the data.
+  (void)synth.run(simple_kernel(base, bytes), 0);
+  const auto r = synth.run(simple_kernel(base, bytes), 14);
+  EXPECT_DOUBLE_EQ(r.counters.get(Counter::kLocalMemoryAccesses), 0.0);
+  EXPECT_GT(r.counters.get(Counter::kRemoteMemoryAccesses), 0.0);
+}
+
+TEST(Synthesize, RemoteAccessCostsMoreCycles) {
+  const auto bytes = 16ull * 1024 * 1024;
+  Machine m1(MachineConfig::altix300());
+  Synthesizer s1(m1);
+  const auto b1 = m1.address_space().allocate(bytes);
+  (void)s1.run(simple_kernel(b1, bytes), 0);           // place on node 0
+  const auto local = s1.run(simple_kernel(b1, bytes), 0);   // local reuse
+  const auto remote = s1.run(simple_kernel(b1, bytes), 14); // remote reuse
+  EXPECT_GT(remote.cycles, local.cycles);
+}
+
+TEST(Synthesize, HigherIlpMeansFewerCycles) {
+  Machine m(MachineConfig::altix300());
+  Synthesizer synth(m);
+  const auto base = m.address_space().allocate(1 << 16);
+  auto slow = simple_kernel(base, 1 << 16);
+  slow.ilp = 1.0;
+  auto fast = simple_kernel(base, 1 << 16);
+  fast.ilp = 4.0;
+  EXPECT_GT(synth.run(slow, 0).cycles, synth.run(fast, 0).cycles);
+}
+
+TEST(Synthesize, InvalidInputsThrow) {
+  Machine m(MachineConfig::altix300());
+  Synthesizer synth(m);
+  KernelWork w;
+  w.streams.push_back(MemoryStream{0, 100, 0, 1.0, 0.0});  // zero stride
+  EXPECT_THROW((void)synth.run(w, 0), pk::InvalidArgumentError);
+  EXPECT_THROW((void)synth.run(KernelWork{}, 999), pk::InvalidArgumentError);
+}

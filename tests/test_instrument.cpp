@@ -1,0 +1,277 @@
+// Tests for the instrumentation substrate: region registry, selective
+// instrumentation and the TrialBuilder measurement API.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "hwcounters/counters.hpp"
+#include "instrument/regions.hpp"
+#include "instrument/trial_builder.hpp"
+
+namespace pk = perfknow;
+using namespace pk::instrument;
+using pk::hwcounters::Counter;
+using pk::hwcounters::CounterVector;
+
+TEST(Regions, RegistryBasics) {
+  RegionRegistry reg;
+  Region proc;
+  proc.name = "solve";
+  proc.kind = RegionKind::kProcedure;
+  proc.weight = 40;
+  const auto p = reg.add(proc);
+  Region loop;
+  loop.name = "solve_loop";
+  loop.kind = RegionKind::kLoop;
+  loop.parent = p;
+  const auto l = reg.add(loop);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.get(l).parent, p);
+  EXPECT_EQ(reg.children_of(p), (std::vector<RegionId>{l}));
+  EXPECT_TRUE(reg.find("solve_loop").has_value());
+  EXPECT_FALSE(reg.find("nope").has_value());
+  EXPECT_THROW((void)reg.get(99), pk::InvalidArgumentError);
+  Region bad;
+  bad.parent = 42;
+  EXPECT_THROW(reg.add(bad), pk::InvalidArgumentError);
+}
+
+TEST(Regions, SelectivityScorePenalizesHotTinyRegions) {
+  Region big_rare;
+  big_rare.weight = 100.0;
+  big_rare.estimated_calls = 2.0;
+  Region tiny_hot;
+  tiny_hot.weight = 2.0;
+  tiny_hot.estimated_calls = 1e6;
+  EXPECT_GT(selectivity_score(big_rare), 1000.0 * selectivity_score(tiny_hot));
+  // Zero-call regions are treated as called once, not divided by zero.
+  Region never;
+  never.weight = 5.0;
+  never.estimated_calls = 0.0;
+  EXPECT_DOUBLE_EQ(selectivity_score(never), 5.0);
+}
+
+TEST(Regions, SelectionHonorsFlagsAndThreshold) {
+  RegionRegistry reg;
+  Region proc;
+  proc.name = "p";
+  proc.kind = RegionKind::kProcedure;
+  proc.weight = 50;
+  reg.add(proc);
+  Region loop;
+  loop.name = "l";
+  loop.kind = RegionKind::kLoop;
+  loop.weight = 10;
+  loop.estimated_calls = 1e6;
+  reg.add(loop);
+  Region mpi;
+  mpi.name = "MPI_Isend";
+  mpi.kind = RegionKind::kMpiOperation;
+  reg.add(mpi);
+
+  // procedures_only: loop excluded by kind; MPI always on (PMPI).
+  auto sel = select_regions(reg, InstrumentationFlags::procedures_only());
+  ASSERT_EQ(sel.size(), 2u);
+  EXPECT_EQ(reg.get(sel[0]).name, "p");
+  EXPECT_EQ(reg.get(sel[1]).name, "MPI_Isend");
+
+  // full_detail picks up the loop...
+  auto full = select_regions(reg, InstrumentationFlags::full_detail());
+  EXPECT_EQ(full.size(), 3u);
+  // ...unless the score threshold filters the hot tiny loop out.
+  auto scored = InstrumentationFlags::full_detail();
+  scored.min_score = 0.001;
+  EXPECT_EQ(select_regions(reg, scored).size(), 2u);
+}
+
+TEST(TrialBuilder, InclusiveExclusiveAttribution) {
+  TrialBuilder b("t", 1, 1.5);
+  b.enter(0, "main");
+  b.add_work(0, 1500);  // 1 usec at 1.5 GHz
+  b.enter(0, "loop");
+  b.add_work(0, 3000);
+  b.leave(0, "loop");
+  b.add_work(0, 1500);
+  b.leave(0, "main");
+  const auto t = b.build();
+  const auto time = t.metric_id("TIME");
+  const auto main = t.event_id("main");
+  const auto loop = t.event_id("loop");
+  EXPECT_DOUBLE_EQ(t.exclusive(0, main, time), 2.0);
+  EXPECT_DOUBLE_EQ(t.inclusive(0, main, time), 4.0);
+  EXPECT_DOUBLE_EQ(t.exclusive(0, loop, time), 2.0);
+  EXPECT_DOUBLE_EQ(t.inclusive(0, loop, time), 2.0);
+  EXPECT_EQ(t.event(loop).parent, main);
+  // Calls: main entered once with one subcall; loop entered once.
+  EXPECT_DOUBLE_EQ(t.calls(0, main).calls, 1.0);
+  EXPECT_DOUBLE_EQ(t.calls(0, main).subcalls, 1.0);
+  EXPECT_DOUBLE_EQ(t.calls(0, loop).calls, 1.0);
+}
+
+TEST(TrialBuilder, CountersFlowToOpenRegions) {
+  TrialBuilder b("t", 1, 1.0, {Counter::kFpOps, Counter::kL3Misses});
+  CounterVector c;
+  c.set(Counter::kFpOps, 100.0);
+  c.set(Counter::kL3Misses, 5.0);
+  b.enter(0, "main");
+  b.enter(0, "kernel");
+  b.add_work(0, 1000, &c);
+  b.leave(0, "kernel");
+  b.leave(0, "main");
+  const auto t = b.build();
+  const auto fp = t.metric_id("FP_OPS");
+  EXPECT_DOUBLE_EQ(t.exclusive(0, t.event_id("kernel"), fp), 100.0);
+  EXPECT_DOUBLE_EQ(t.exclusive(0, t.event_id("main"), fp), 0.0);
+  EXPECT_DOUBLE_EQ(t.inclusive(0, t.event_id("main"), fp), 100.0);
+  EXPECT_DOUBLE_EQ(
+      t.inclusive(0, t.event_id("main"), t.metric_id("L3_MISSES")), 5.0);
+}
+
+TEST(TrialBuilder, CatchesUnbalancedInstrumentation) {
+  TrialBuilder b("t", 2, 1.0);
+  b.enter(0, "main");
+  EXPECT_THROW(b.leave(0, "other"), pk::InvalidArgumentError);
+  EXPECT_THROW(b.leave(1, "main"), pk::InvalidArgumentError);
+  EXPECT_THROW(b.add_work(1, 10), pk::InvalidArgumentError);
+  // Still-open region at build time is an error naming the region.
+  try {
+    (void)b.build();
+    FAIL() << "expected InvalidArgumentError";
+  } catch (const pk::InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("main"), std::string::npos);
+  }
+}
+
+TEST(TrialBuilder, RecordLeafAndReuse) {
+  TrialBuilder b("t", 1, 1.0);
+  b.enter(0, "main");
+  b.record_leaf(0, "kernel", 500);
+  b.record_leaf(0, "kernel", 700);
+  b.leave(0, "main");
+  b.set_metadata("k", "v");
+  const auto t = b.build();
+  EXPECT_DOUBLE_EQ(t.exclusive(0, t.event_id("kernel"), 0), 1.2);
+  EXPECT_DOUBLE_EQ(t.calls(0, t.event_id("kernel")).calls, 2.0);
+  EXPECT_EQ(*t.metadata("k"), "v");
+}
+
+TEST(TrialBuilder, SingleUse) {
+  TrialBuilder b("t", 1, 1.0);
+  b.enter(0, "main");
+  b.add_work(0, 1);
+  b.leave(0, "main");
+  (void)b.build();
+  EXPECT_THROW(b.enter(0, "again"), pk::InvalidArgumentError);
+  EXPECT_THROW((void)b.build(), pk::InvalidArgumentError);
+}
+
+TEST(TrialBuilder, ValidatesConstruction) {
+  EXPECT_THROW(TrialBuilder("t", 0, 1.0), pk::InvalidArgumentError);
+  EXPECT_THROW(TrialBuilder("t", 1, 0.0), pk::InvalidArgumentError);
+}
+
+TEST(TrialBuilder, OpenDepthTracksNesting) {
+  TrialBuilder b("t", 1, 1.0);
+  EXPECT_EQ(b.open_depth(0), 0u);
+  b.enter(0, "a");
+  b.enter(0, "b");
+  EXPECT_EQ(b.open_depth(0), 2u);
+  b.leave(0, "b");
+  EXPECT_EQ(b.open_depth(0), 1u);
+  b.leave(0, "a");
+}
+
+// ---------------------------------------------------------------------
+// Instrumentation overhead estimation
+// ---------------------------------------------------------------------
+
+#include "instrument/overhead.hpp"
+#include "rules/rulebases.hpp"
+
+namespace {
+
+pk::profile::Trial overhead_trial() {
+  pk::profile::Trial t("oh");
+  t.set_thread_count(2);
+  const auto cyc = t.add_metric("CPU_CYCLES");
+  const auto main = t.add_event("main");
+  const auto fat = t.add_event("fat_kernel", main);
+  const auto tiny = t.add_event("tiny_hot", main);
+  for (std::size_t th = 0; th < 2; ++th) {
+    t.set_inclusive(th, main, cyc, 1e9);
+    t.set_calls(th, main, 1, 2);
+    t.set_inclusive(th, fat, cyc, 9e8);
+    t.set_calls(th, fat, 10, 0);
+    t.set_inclusive(th, tiny, cyc, 1e6);
+    t.set_calls(th, tiny, 1e6, 0);  // a million probes on 1M cycles
+  }
+  return t;
+}
+
+}  // namespace
+
+TEST(Overhead, DilationIdentifiesHotTinyRegions) {
+  const auto t = overhead_trial();
+  const auto report = pk::instrument::estimate_overhead(t);
+  ASSERT_EQ(report.per_event.size(), 3u);
+  // Sorted by dilation: tiny_hot first.
+  EXPECT_EQ(report.per_event[0].event, "tiny_hot");
+  // 2M calls x 280 cycles on 2M measured cycles: dilation >> 1.
+  EXPECT_GT(report.per_event[0].dilation, 100.0);
+  // The fat kernel is essentially free to instrument.
+  for (const auto& e : report.per_event) {
+    if (e.event == "fat_kernel") {
+      EXPECT_LT(e.dilation, 1e-5);
+    }
+  }
+  // Whole-app perturbation driven by the tiny region's probes.
+  EXPECT_GT(report.app_overhead_fraction, 0.2);
+  // Throttle list contains exactly the dilated region.
+  const auto throttle = pk::instrument::throttle_candidates(report);
+  ASSERT_EQ(throttle.size(), 1u);
+  EXPECT_EQ(throttle[0], "tiny_hot");
+}
+
+TEST(Overhead, WorksFromTimeWhenNoCycles) {
+  pk::profile::Trial t("time_only");
+  t.set_thread_count(1);
+  const auto time = t.add_metric("TIME", "usec");
+  const auto e = t.add_event("main");
+  t.set_inclusive(0, e, time, 1000.0);  // 1000 usec = 1.5e6 cycles
+  t.set_calls(0, e, 1000, 0);
+  const auto report = pk::instrument::estimate_overhead(t, 280.0, 1.5);
+  EXPECT_NEAR(report.per_event[0].dilation, 1000.0 * 280.0 / 1.5e6, 1e-9);
+  pk::profile::Trial bare("bare");
+  bare.set_thread_count(1);
+  bare.add_metric("FP_OPS");
+  EXPECT_THROW(pk::instrument::estimate_overhead(bare), pk::NotFoundError);
+  EXPECT_THROW(pk::instrument::estimate_overhead(t, -1.0),
+               pk::InvalidArgumentError);
+}
+
+TEST(Overhead, RulesFireOnDilatedRegions) {
+  const auto t = overhead_trial();
+  const auto report = pk::instrument::estimate_overhead(t);
+  pk::rules::RuleHarness h;
+  pk::rules::builtin::use(h, pk::rules::builtin::instrumentation());
+  EXPECT_EQ(pk::instrument::assert_overhead_facts(h, report), 4u);
+  h.process_rules();
+  const auto dilated = h.diagnoses_for("InstrumentationOverhead");
+  ASSERT_EQ(dilated.size(), 1u);
+  EXPECT_EQ(dilated[0].event, "tiny_hot");
+  ASSERT_EQ(h.diagnoses_for("ExcessiveProbeCost").size(), 1u);
+}
+
+TEST(Overhead, CleanRunIsQuiet) {
+  pk::profile::Trial t("clean");
+  t.set_thread_count(1);
+  const auto cyc = t.add_metric("CPU_CYCLES");
+  const auto main = t.add_event("main");
+  t.set_inclusive(0, main, cyc, 1e9);
+  t.set_calls(0, main, 1, 0);
+  const auto report = pk::instrument::estimate_overhead(t);
+  pk::rules::RuleHarness h;
+  pk::rules::builtin::use(h, pk::rules::builtin::instrumentation());
+  pk::instrument::assert_overhead_facts(h, report);
+  h.process_rules();
+  EXPECT_TRUE(h.diagnoses().empty());
+}

@@ -1,0 +1,277 @@
+// Integration tests: the full pipelines the paper demonstrates, crossing
+// every module boundary — workload -> profile -> repository -> analysis
+// -> facts -> rules -> diagnosis -> (feedback to the compiler).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "analysis/facts.hpp"
+#include "analysis/operations.hpp"
+#include "apps/genidlest/genidlest.hpp"
+#include "apps/msap/msap.hpp"
+#include "machine/machine.hpp"
+#include "openuh/compiler.hpp"
+#include "perfdmf/repository.hpp"
+#include "perfdmf/tau_format.hpp"
+#include "power/power_model.hpp"
+#include "rules/rulebases.hpp"
+#include "script/bindings.hpp"
+
+namespace pk = perfknow;
+namespace gen = pk::apps::genidlest;
+namespace msap = pk::apps::msap;
+using pk::machine::Machine;
+using pk::machine::MachineConfig;
+using pk::runtime::Schedule;
+
+namespace {
+
+gen::GenResult run_gen(unsigned procs, gen::Model model, bool optimized) {
+  Machine machine(MachineConfig::altix3600());
+  auto cfg = gen::GenConfig::rib90();
+  cfg.nprocs = procs;
+  cfg.model = model;
+  cfg.optimized = optimized;
+  return gen::run_genidlest(machine, cfg);
+}
+
+}  // namespace
+
+TEST(Integration, MsapImbalanceDiagnosisFiresAndFixWorks) {
+  Machine machine(MachineConfig::altix300());
+  msap::MsapConfig cfg;
+  cfg.threads = 16;
+  cfg.schedule = Schedule::static_even();
+  const auto bad = msap::run_msap(machine, cfg);
+
+  pk::rules::RuleHarness harness;
+  pk::rules::builtin::use(harness, pk::rules::builtin::load_imbalance());
+  pk::analysis::assert_load_balance_facts(harness, bad.trial);
+  harness.process_rules();
+  const auto diags = harness.diagnoses_for("LoadImbalance");
+  ASSERT_GE(diags.size(), 1u);
+  EXPECT_EQ(diags[0].event, "inner_loop");
+  EXPECT_NE(diags[0].recommendation.find("dynamic,1"), std::string::npos);
+
+  // Apply the fix; the diagnosis disappears and the run gets faster.
+  Machine machine2(MachineConfig::altix300());
+  cfg.schedule = Schedule::dynamic(1);
+  const auto good = msap::run_msap(machine2, cfg);
+  EXPECT_LT(good.elapsed_cycles, bad.elapsed_cycles);
+  pk::rules::RuleHarness clean;
+  pk::rules::builtin::use(clean, pk::rules::builtin::load_imbalance());
+  pk::analysis::assert_load_balance_facts(clean, good.trial);
+  clean.process_rules();
+  EXPECT_TRUE(clean.diagnoses_for("LoadImbalance").empty());
+}
+
+TEST(Integration, GenidlestLocalityChainIdentifiesExchangeVar) {
+  const auto unopt = run_gen(16, gen::Model::kOpenMP, false);
+  auto trial = unopt.trial;
+
+  pk::rules::RuleHarness harness;
+  pk::rules::builtin::use(harness, pk::rules::builtin::openuh_rules());
+  pk::analysis::derive_metric(trial, "BACK_END_BUBBLE_ALL", "CPU_CYCLES",
+                              pk::analysis::DeriveOp::kDivide);
+  pk::analysis::derive_metric(trial, "FP_OPS",
+                              "(BACK_END_BUBBLE_ALL / CPU_CYCLES)",
+                              pk::analysis::DeriveOp::kMultiply);
+  pk::analysis::assert_compare_to_average_facts(
+      harness, trial, "(FP_OPS * (BACK_END_BUBBLE_ALL / CPU_CYCLES))");
+  pk::analysis::assert_stall_facts(harness, trial);
+  pk::analysis::assert_memory_locality_facts(harness, trial);
+
+  auto base = std::make_shared<pk::profile::Trial>(
+      run_gen(1, gen::Model::kOpenMP, false).trial);
+  auto at16 = std::make_shared<pk::profile::Trial>(unopt.trial);
+  pk::analysis::ScalabilityAnalysis scaling({base, at16});
+  pk::analysis::assert_scaling_facts(harness, scaling);
+
+  harness.process_rules();
+  // The computation procedures are flagged inefficient and
+  // memory/FP-stall dominated.
+  EXPECT_GE(harness.diagnoses_for("HighInefficiency").size(), 2u);
+  EXPECT_GE(harness.diagnoses_for("MemoryFpStallDominated").size(), 2u);
+  // The locality rules blame first-touch placement...
+  EXPECT_GE(harness.diagnoses_for("RemoteMemoryDominates").size(), 2u);
+  // ...and exchange_var__ is diagnosed as a sequential bottleneck.
+  bool exchange_flagged = false;
+  for (const auto& d : harness.diagnoses_for("SequentialBottleneck")) {
+    if (d.event == "exchange_var__") exchange_flagged = true;
+  }
+  EXPECT_TRUE(exchange_flagged);
+}
+
+TEST(Integration, OptimizedRunProducesNoLocalityDiagnoses) {
+  const auto opt = run_gen(16, gen::Model::kOpenMP, true);
+  pk::rules::RuleHarness harness;
+  pk::rules::builtin::use(harness, pk::rules::builtin::memory_locality());
+  pk::analysis::assert_memory_locality_facts(harness, opt.trial);
+  harness.process_rules();
+  EXPECT_TRUE(harness.diagnoses_for("RemoteMemoryDominates").empty());
+}
+
+TEST(Integration, FeedbackClosesTheCompilerLoop) {
+  // 1. Measure the unoptimized OpenMP run.
+  const auto unopt = run_gen(16, gen::Model::kOpenMP, false);
+  const auto& trial = unopt.trial;
+
+  // 2. Export measured per-region facts as compiler feedback.
+  pk::openuh::FeedbackData feedback;
+  const auto l3 = trial.metric_id("L3_MISSES");
+  const auto remote = trial.metric_id("REMOTE_MEMORY_ACCESSES");
+  const auto time = trial.metric_id("TIME");
+  for (const char* region : {"matxvec", "pc_jac_glb"}) {
+    const auto e = trial.event_id(region);
+    pk::openuh::RegionFeedback rf;
+    rf.measured_time_usec = trial.mean_exclusive(e, time);
+    const double misses = trial.mean_exclusive(e, l3);
+    rf.remote_access_ratio =
+        misses == 0.0 ? 0.0 : trial.mean_exclusive(e, remote) / misses;
+    // Loop nests are named <proc>_loop in the IR.
+    feedback.set(std::string(region) + "_loop", rf);
+  }
+  ASSERT_GT(*feedback.find("matxvec_loop")->remote_access_ratio, 0.5);
+
+  // 3. Re-compile with feedback: the cost model now predicts remote
+  // latency and its loop-cost estimate rises accordingly.
+  pk::openuh::Compiler compiler(MachineConfig::altix3600());
+  pk::openuh::CompileOptions plain;
+  pk::openuh::CompileOptions fed;
+  fed.feedback = &feedback;
+  // Build the same IR the app uses by compiling through the app config.
+  Machine m1(MachineConfig::altix3600());
+  auto cfg = gen::GenConfig::rib90();
+  // Private rebuild of the IR isn't exposed; instead verify on a nest
+  // with the same name through the cost model directly.
+  pk::openuh::CostModel model(MachineConfig::altix3600());
+  pk::openuh::LoopNest nest;
+  nest.name = "matxvec_loop";
+  nest.trip_counts = {4, 128, 128};
+  nest.flops_per_iter = 13.0;
+  pk::openuh::ArrayRef a;
+  a.name = "coef";
+  a.extent_elements = 7ull * 4 * 128 * 128;
+  nest.arrays.push_back(a);
+  const auto cg = pk::openuh::codegen_profile(pk::openuh::OptLevel::kO2);
+  const double before = model.evaluate(nest, cg).total();
+  model.set_feedback(&feedback);
+  const double after = model.evaluate(nest, cg).total();
+  EXPECT_GT(after, 1.5 * before);
+  (void)compiler;
+  (void)plain;
+  (void)cfg;
+  (void)m1;
+}
+
+TEST(Integration, RepositoryScriptAndTauExportRoundTrip) {
+  namespace fs = std::filesystem;
+  // Profile -> repository -> script analysis -> TAU export -> re-import.
+  Machine machine(MachineConfig::altix300());
+  msap::MsapConfig cfg;
+  cfg.threads = 8;
+  cfg.schedule = Schedule::dynamic(1);  // balanced: inner_loop dominates
+  auto result = msap::run_msap(machine, cfg);
+  
+
+  pk::perfdmf::Repository repo;
+  auto trial = std::make_shared<pk::profile::Trial>(std::move(result.trial));
+  repo.put("MSAP", "tuning", trial);
+
+  pk::script::AnalysisSession session(repo);
+  session.run(R"(
+t = TrialMeanResult(Utilities.getTrial("MSAP", "tuning", "msap_dynamic,1_8t"))
+print(t.getMainEvent())
+print(topEvents(t, 1)[0])
+)");
+  EXPECT_EQ(session.output()[0], "main");
+  EXPECT_EQ(session.output()[1], "inner_loop");
+
+  const auto dir = fs::temp_directory_path() /
+                   ("perfknow_int_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  pk::perfdmf::write_tau_profiles(*trial, "TIME", dir);
+  const auto back = pk::perfdmf::read_tau_profiles(dir);
+  EXPECT_EQ(back.thread_count(), 8u);
+  const auto m = back.metric_id("TIME");
+  EXPECT_NEAR(back.mean_exclusive(back.event_id("inner_loop"), m),
+              trial->mean_exclusive(trial->event_id("inner_loop"),
+                                    trial->metric_id("TIME")),
+              1e-6);
+  fs::remove_all(dir);
+}
+
+TEST(Integration, PowerStudyRecommendationsMatchPaper) {
+  pk::power::PowerStudy study(pk::power::PowerModel::itanium2());
+  for (const auto level :
+       {pk::openuh::OptLevel::kO0, pk::openuh::OptLevel::kO1,
+        pk::openuh::OptLevel::kO2, pk::openuh::OptLevel::kO3}) {
+    Machine machine(MachineConfig::altix3600());
+    auto cfg = gen::GenConfig::rib90();
+    cfg.model = gen::Model::kMpi;
+    cfg.optimized = true;
+    cfg.nprocs = 16;
+    cfg.opt = level;
+    const auto r = gen::run_genidlest(machine, cfg);
+    study.add(level, r.aggregate_counters, r.elapsed_seconds, 16);
+  }
+  pk::rules::RuleHarness harness;
+  pk::rules::builtin::use(harness, pk::rules::builtin::power());
+  study.assert_facts(harness);
+  harness.process_rules();
+  // The paper's exact conclusion: O0 low power, O3 low energy, O2 both.
+  ASSERT_EQ(harness.diagnoses_for("LowPowerSetting").size(), 1u);
+  EXPECT_EQ(harness.diagnoses_for("LowPowerSetting")[0].event, "O0");
+  ASSERT_EQ(harness.diagnoses_for("LowEnergySetting").size(), 1u);
+  EXPECT_EQ(harness.diagnoses_for("LowEnergySetting")[0].event, "O3");
+  ASSERT_EQ(harness.diagnoses_for("BalancedSetting").size(), 1u);
+  EXPECT_EQ(harness.diagnoses_for("BalancedSetting")[0].event, "O2");
+  // Table I shape assertions.
+  const auto table = study.relative_table();
+  const auto& time = table[0].second;
+  EXPECT_GT(time[0], time[1]);
+  EXPECT_GT(time[1], time[2]);
+  EXPECT_GT(time[2], time[3]);
+  const auto& instr = table[1].second;
+  EXPECT_GT(instr[1], 3.0 * instr[2]);            // collapse at O2
+  EXPECT_NEAR(instr[2], instr[3], instr[2] * 0.2);  // flat O2->O3
+  const auto& watts = table[5].second;
+  for (const double w : watts) {
+    EXPECT_NEAR(w, 1.0, 0.2);  // power varies only slightly
+  }
+  const auto& fpj = table[7].second;
+  EXPECT_GT(fpj[3], fpj[2]);
+  EXPECT_GT(fpj[2], fpj[1]);
+  EXPECT_GT(fpj[1], 1.5);
+}
+
+TEST(Integration, SelectiveInstrumentationTwoPhaseWorkflow) {
+  // Phase 1: procedures only -> find the bottleneck procedure.
+  // Phase 2: full detail on the flagged region (the paper's §III-B
+  // "collection of in-depth performance information" run).
+  pk::openuh::Compiler compiler(MachineConfig::altix300());
+  pk::openuh::ProgramIR ir;
+  ir.name = "app";
+  pk::openuh::Procedure hot;
+  hot.name = "hot_proc";
+  pk::openuh::LoopNest nest;
+  nest.name = "hot_loop";
+  nest.trip_counts = {1000, 100};
+  nest.flops_per_iter = 10;
+  hot.loops.push_back(nest);
+  ir.procedures.push_back(hot);
+
+  pk::openuh::CompileOptions coarse;
+  coarse.instrumentation =
+      pk::instrument::InstrumentationFlags::procedures_only();
+  const auto p1 = compiler.compile(ir, coarse);
+  EXPECT_TRUE(p1.is_instrumented(*p1.registry.find("hot_proc")));
+  EXPECT_FALSE(p1.is_instrumented(*p1.registry.find("hot_loop")));
+
+  pk::openuh::CompileOptions fine;
+  fine.instrumentation =
+      pk::instrument::InstrumentationFlags::full_detail();
+  const auto p2 = compiler.compile(ir, fine);
+  EXPECT_TRUE(p2.is_instrumented(*p2.registry.find("hot_loop")));
+}

@@ -1,0 +1,114 @@
+// Tests for the ccNUMA machine model: topology, page table, latencies.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "machine/machine.hpp"
+
+namespace pk = perfknow;
+using pk::machine::Machine;
+using pk::machine::MachineConfig;
+using pk::machine::NumaTopology;
+
+TEST(MachineConfig, Presets) {
+  const auto a300 = MachineConfig::altix300();
+  EXPECT_EQ(a300.num_nodes, 8u);
+  EXPECT_EQ(a300.num_cpus(), 16u);
+  const auto a3600 = MachineConfig::altix3600();
+  EXPECT_EQ(a3600.num_cpus(), 512u);
+}
+
+TEST(Topology, NodeOfCpu) {
+  const NumaTopology topo(MachineConfig::altix300());
+  EXPECT_EQ(topo.node_of_cpu(0), 0u);
+  EXPECT_EQ(topo.node_of_cpu(1), 0u);
+  EXPECT_EQ(topo.node_of_cpu(2), 1u);
+  EXPECT_EQ(topo.node_of_cpu(15), 7u);
+  EXPECT_THROW((void)topo.node_of_cpu(16), pk::InvalidArgumentError);
+}
+
+TEST(Topology, HopsAreSymmetricAndMonotonic) {
+  const NumaTopology topo(MachineConfig::altix3600());
+  EXPECT_EQ(topo.hops(3, 3), 0u);
+  EXPECT_EQ(topo.hops(0, 1), 1u);  // same C-brick
+  EXPECT_GE(topo.hops(0, 2), 2u);  // cross-brick
+  for (std::uint32_t a : {0u, 5u, 100u}) {
+    for (std::uint32_t b : {1u, 60u, 255u}) {
+      EXPECT_EQ(topo.hops(a, b), topo.hops(b, a));
+    }
+  }
+  // Farther bricks cost at least as much as near ones.
+  EXPECT_GE(topo.hops(0, 255), topo.hops(0, 2));
+}
+
+TEST(Topology, MemoryLatencyGrowsWithDistance) {
+  const auto cfg = MachineConfig::altix300();
+  const NumaTopology topo(cfg);
+  const auto local = topo.memory_latency(0, 0);
+  const auto brick = topo.memory_latency(0, 1);
+  const auto far = topo.memory_latency(0, 7);
+  EXPECT_EQ(local, cfg.local_memory_latency);
+  EXPECT_GT(brick, local);
+  EXPECT_GT(far, brick);
+  EXPECT_EQ(topo.worst_case_remote_latency(), far);
+}
+
+TEST(PageTable, FirstTouchPlacesOnToucherNode) {
+  Machine m(MachineConfig::altix300());
+  const auto addr = m.address_space().allocate(64 * 1024);
+  // CPU 4 lives on node 2.
+  const std::size_t placed = m.pages().first_touch(addr, 64 * 1024, 4);
+  EXPECT_GE(placed, 4u);  // 64KB / 16KB pages
+  EXPECT_EQ(m.pages().node_of(addr), 2u);
+  EXPECT_DOUBLE_EQ(m.pages().local_fraction(addr, 64 * 1024, 2), 1.0);
+  EXPECT_DOUBLE_EQ(m.pages().local_fraction(addr, 64 * 1024, 0), 0.0);
+}
+
+TEST(PageTable, FirstTouchDoesNotMovePlacedPages) {
+  Machine m(MachineConfig::altix300());
+  const auto addr = m.address_space().allocate(16 * 1024);
+  m.pages().first_touch(addr, 16 * 1024, 0);   // node 0
+  const auto placed = m.pages().first_touch(addr, 16 * 1024, 14);  // node 7
+  EXPECT_EQ(placed, 0u);
+  EXPECT_EQ(m.pages().node_of(addr), 0u);
+}
+
+TEST(PageTable, ExplicitPlacementOverrides) {
+  Machine m(MachineConfig::altix300());
+  const auto addr = m.address_space().allocate(32 * 1024);
+  m.pages().first_touch(addr, 32 * 1024, 0);
+  m.pages().place(addr, 32 * 1024, 5);
+  EXPECT_EQ(m.pages().node_of(addr), 5u);
+  EXPECT_DOUBLE_EQ(m.pages().local_fraction(addr, 32 * 1024, 5), 1.0);
+}
+
+TEST(PageTable, PartialLocality) {
+  Machine m(MachineConfig::altix300());
+  const auto page = m.config().page_bytes;
+  const auto addr = m.address_space().allocate(4 * page, page);
+  m.pages().place(addr, 2 * page, 1);
+  m.pages().place(addr + 2 * page, 2 * page, 3);
+  EXPECT_DOUBLE_EQ(m.pages().local_fraction(addr, 4 * page, 1), 0.5);
+  EXPECT_DOUBLE_EQ(m.pages().local_fraction(addr, 4 * page, 3), 0.5);
+}
+
+TEST(PageTable, ZeroBytesAreHarmless) {
+  Machine m(MachineConfig::altix300());
+  EXPECT_EQ(m.pages().first_touch(4096, 0, 0), 0u);
+  EXPECT_DOUBLE_EQ(m.pages().local_fraction(4096, 0, 0), 1.0);
+}
+
+TEST(AddressSpace, AllocationsDoNotOverlapAndAlign) {
+  Machine m(MachineConfig::altix300());
+  const auto a = m.address_space().allocate(100, 64);
+  const auto b = m.address_space().allocate(100, 64);
+  EXPECT_GE(b, a + 100);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_THROW((void)m.address_space().allocate(8, 3), pk::InvalidArgumentError);
+}
+
+TEST(Machine, CycleConversions) {
+  Machine m(MachineConfig::altix300());  // 1.5 GHz
+  EXPECT_DOUBLE_EQ(m.seconds(1500000000ULL), 1.0);
+  EXPECT_DOUBLE_EQ(m.usec(1500ULL), 1.0);
+}

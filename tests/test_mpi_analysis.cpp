@@ -1,0 +1,175 @@
+// Tests for the PMPI communication analysis and its rulebase.
+#include <gtest/gtest.h>
+
+#include "analysis/mpi_analysis.hpp"
+#include "apps/genidlest/genidlest.hpp"
+#include "common/error.hpp"
+#include "machine/machine.hpp"
+#include "rules/rulebases.hpp"
+#include "runtime/mpi.hpp"
+
+namespace pk = perfknow;
+using pk::analysis::CommRecorder;
+using pk::machine::Machine;
+using pk::machine::MachineConfig;
+using pk::runtime::MpiWorld;
+
+TEST(CommRecorder, CategorizesEventKinds) {
+  Machine m(MachineConfig::altix300());
+  MpiWorld w(m, 2);
+  CommRecorder rec(2);
+  w.set_hook(rec.hook());
+
+  const auto s = w.isend(0, 1, 4096);
+  const auto r = w.irecv(1, 0, 4096);
+  w.wait(1, r);
+  w.wait(0, s);
+  w.local_copy(0, 8192);
+  w.barrier();
+  w.allreduce(8);
+
+  const auto& r0 = rec.rank(0);
+  const auto& r1 = rec.rank(1);
+  EXPECT_EQ(r0.messages_sent, 1u);
+  EXPECT_EQ(r0.bytes_sent, 4096u);
+  EXPECT_EQ(r1.messages_received, 1u);
+  EXPECT_EQ(r1.bytes_received, 4096u);
+  EXPECT_GT(r1.wait_cycles, 0u);
+  EXPECT_GT(r0.copy_cycles, 0u);
+  EXPECT_GT(r0.collective_cycles, 0u);
+  EXPECT_GT(r0.post_cycles, 0u);
+  EXPECT_GT(rec.total_cycles(), 0u);
+  // Receiver's wait is attributed to the sender.
+  EXPECT_GT(rec.wait_from(1, 0), 0u);
+  EXPECT_EQ(rec.wait_from(0, 1), 0u);  // send-side waits carry no bytes...
+  EXPECT_THROW((void)rec.rank(5), pk::InvalidArgumentError);
+}
+
+TEST(CommRecorder, LateSenderShowsInWaitMatrix) {
+  Machine m(MachineConfig::altix300());
+  MpiWorld w(m, 2);
+  CommRecorder rec(2);
+  w.set_hook(rec.hook());
+
+  w.compute(0, 5'000'000);  // rank 0 is late
+  const auto s = w.isend(0, 1, 1024);
+  const auto r = w.irecv(1, 0, 1024);
+  w.wait(1, r);
+  w.wait(0, s);
+  EXPECT_GT(rec.wait_from(1, 0), 4'000'000u);
+}
+
+TEST(CommRecorder, ClearResets) {
+  Machine m(MachineConfig::altix300());
+  MpiWorld w(m, 2);
+  CommRecorder rec(2);
+  w.set_hook(rec.hook());
+  w.local_copy(0, 4096);
+  EXPECT_GT(rec.rank(0).copy_cycles, 0u);
+  rec.clear();
+  EXPECT_EQ(rec.rank(0).copy_cycles, 0u);
+  EXPECT_EQ(rec.total_cycles(), 0u);
+}
+
+TEST(CommFacts, AssertedWithFractions) {
+  Machine m(MachineConfig::altix300());
+  MpiWorld w(m, 4);
+  CommRecorder rec(4);
+  w.set_hook(rec.hook());
+  w.compute(1, 8'000'000);  // rank 1 late to the barrier
+  w.barrier();
+
+  pk::rules::RuleHarness h;
+  EXPECT_EQ(pk::analysis::assert_communication_facts(h, rec, w.elapsed()),
+            4u);
+  const auto ids = h.memory().ids_of_type("CommunicationFact");
+  ASSERT_EQ(ids.size(), 4u);
+  // Rank 0 waited at the barrier nearly the whole run; rank 1 did not.
+  double frac0 = 0.0;
+  double frac1 = 0.0;
+  for (const auto id : ids) {
+    const auto* f = h.memory().find(id);
+    if (f->number("rank") == 0.0) frac0 = f->number("collectiveFraction");
+    if (f->number("rank") == 1.0) frac1 = f->number("collectiveFraction");
+  }
+  EXPECT_GT(frac0, 0.9);
+  EXPECT_LT(frac1, 0.1);
+  EXPECT_THROW(pk::analysis::assert_communication_facts(h, rec, 0),
+               pk::InvalidArgumentError);
+}
+
+TEST(CommRules, LateSenderRuleFires) {
+  Machine m(MachineConfig::altix300());
+  MpiWorld w(m, 2);
+  CommRecorder rec(2);
+  w.set_hook(rec.hook());
+  w.compute(0, 10'000'000);
+  const auto s = w.isend(0, 1, 1024);
+  const auto r = w.irecv(1, 0, 1024);
+  w.wait(1, r);
+  w.wait(0, s);
+
+  pk::rules::RuleHarness h;
+  pk::rules::builtin::use(h, pk::rules::builtin::communication());
+  pk::analysis::assert_communication_facts(h, rec, w.elapsed());
+  pk::analysis::assert_late_sender_facts(h, rec, w.elapsed());
+  h.process_rules();
+  const auto late = h.diagnoses_for("LateSender");
+  ASSERT_EQ(late.size(), 1u);
+  EXPECT_EQ(late[0].event, "rank 0");
+  // Receiver rank 1 is wait-dominated too.
+  EXPECT_GE(h.diagnoses_for("WaitDominated").size(), 1u);
+}
+
+TEST(CommRules, BalancedExchangeIsQuiet) {
+  Machine m(MachineConfig::altix300());
+  MpiWorld w(m, 4);
+  CommRecorder rec(4);
+  w.set_hook(rec.hook());
+  // Everyone computes the same amount, then a symmetric ring exchange.
+  for (unsigned r = 0; r < 4; ++r) w.compute(r, 50'000'000);
+  std::vector<pk::runtime::MpiRequest> reqs;
+  for (unsigned r = 0; r < 4; ++r) {
+    reqs.push_back(w.irecv(r, (r + 3) % 4, 1024));
+    reqs.push_back(w.isend(r, (r + 1) % 4, 1024));
+  }
+  for (unsigned r = 0; r < 4; ++r) {
+    w.wait(r, reqs[2 * r]);
+    w.wait(r, reqs[2 * r + 1]);
+  }
+
+  pk::rules::RuleHarness h;
+  pk::rules::builtin::use(h, pk::rules::builtin::communication());
+  pk::analysis::assert_communication_facts(h, rec, w.elapsed());
+  pk::analysis::assert_late_sender_facts(h, rec, w.elapsed());
+  h.process_rules();
+  EXPECT_TRUE(h.diagnoses().empty());
+}
+
+TEST(CommIntegration, GenidlestMpiRunCarriesCommStats) {
+  Machine machine(MachineConfig::altix3600());
+  auto cfg = pk::apps::genidlest::GenConfig::rib90();
+  cfg.model = pk::apps::genidlest::Model::kMpi;
+  cfg.optimized = true;
+  const auto r = pk::apps::genidlest::run_genidlest(machine, cfg);
+  ASSERT_NE(r.comm, nullptr);
+  EXPECT_EQ(r.comm->ranks(), 16u);
+  // Every rank sent 2 messages per solver iteration.
+  const auto expected =
+      2ull * cfg.timesteps * cfg.solver_iters;
+  EXPECT_EQ(r.comm->rank(0).messages_sent, expected);
+  EXPECT_GT(r.comm->rank(0).copy_cycles, 0u);
+  EXPECT_GT(r.comm->rank(0).collective_cycles, 0u);
+
+  // The optimized MPI run is not communication-bound.
+  pk::rules::RuleHarness h;
+  pk::rules::builtin::use(h, pk::rules::builtin::communication());
+  pk::analysis::assert_communication_facts(h, *r.comm, r.elapsed_cycles);
+  h.process_rules();
+  EXPECT_TRUE(h.diagnoses_for("CommunicationBound").empty());
+
+  // OpenMP runs have no PMPI stream.
+  Machine m2(MachineConfig::altix3600());
+  cfg.model = pk::apps::genidlest::Model::kOpenMP;
+  EXPECT_EQ(pk::apps::genidlest::run_genidlest(m2, cfg).comm, nullptr);
+}

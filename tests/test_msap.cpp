@@ -1,0 +1,157 @@
+// Tests for the MSAP case-study application (paper §III-A).
+#include <gtest/gtest.h>
+
+#include "apps/msap/msap.hpp"
+#include "common/error.hpp"
+#include "machine/machine.hpp"
+
+namespace pk = perfknow;
+using namespace pk::apps::msap;
+using pk::machine::Machine;
+using pk::machine::MachineConfig;
+using pk::runtime::Schedule;
+
+TEST(SmithWaterman, KnownAlignments) {
+  // Identical sequences: every position matches.
+  EXPECT_EQ(smith_waterman_score("ACGT", "ACGT"), 12);  // 4 * match(3)
+  // Disjoint alphabets: best local alignment is empty.
+  EXPECT_EQ(smith_waterman_score("AAAA", "CCCC"), 0);
+  // Local alignment finds the common substring.
+  EXPECT_EQ(smith_waterman_score("XXXACGTXXX", "YYACGTYY"), 12);
+  // One gap: match(3)*4 + gap(-2) for TTTT vs TT-TT style.
+  EXPECT_EQ(smith_waterman_score("TTAATT", "TTATT"),
+            smith_waterman_score("TTATT", "TTAATT"));
+  EXPECT_EQ(smith_waterman_score("", "ACGT"), 0);
+}
+
+TEST(SmithWaterman, ScoreIsSymmetric) {
+  const auto seqs = generate_sequences(6, 20, 60, 1.1, 42);
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    for (std::size_t j = i + 1; j < seqs.size(); ++j) {
+      EXPECT_EQ(smith_waterman_score(seqs[i], seqs[j]),
+                smith_waterman_score(seqs[j], seqs[i]));
+    }
+  }
+}
+
+TEST(Sequences, GeneratorRespectsBoundsAndSeed) {
+  const auto a = generate_sequences(50, 100, 1200, 1.05, 7);
+  const auto b = generate_sequences(50, 100, 1200, 1.05, 7);
+  const auto c = generate_sequences(50, 100, 1200, 1.05, 8);
+  EXPECT_EQ(a.size(), 50u);
+  ASSERT_EQ(a, b);  // deterministic
+  EXPECT_NE(a, c);
+  for (const auto& s : a) {
+    EXPECT_GE(s.size(), 100u);
+    EXPECT_LE(s.size(), 1200u);
+    for (char ch : s) {
+      EXPECT_NE(std::string("ACDEFGHIKLMNPQRSTVWY").find(ch),
+                std::string::npos);
+    }
+  }
+  EXPECT_THROW(generate_sequences(5, 0, 10, 1.0, 1),
+               pk::InvalidArgumentError);
+}
+
+TEST(Msap, RealAlignmentPathMatchesModelStructure) {
+  Machine m(MachineConfig::altix300());
+  MsapConfig cfg;
+  cfg.num_sequences = 12;
+  cfg.min_len = 20;
+  cfg.max_len = 80;
+  cfg.threads = 4;
+  cfg.compute_alignments = true;
+  const auto r = run_msap(m, cfg);
+  ASSERT_EQ(r.scores.size(), 144u);
+  // Scores computed for all pairs, symmetric, zero diagonal.
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(r.scores[i * 12 + i], 0);
+    for (std::size_t j = i + 1; j < 12; ++j) {
+      EXPECT_EQ(r.scores[i * 12 + j], r.scores[j * 12 + i]);
+      EXPECT_GT(r.scores[i * 12 + j], 0);  // 20-letter overlap exists
+    }
+  }
+}
+
+TEST(Msap, StaticEvenIsImbalancedDynamicIsNot) {
+  Machine m1(MachineConfig::altix300());
+  MsapConfig cfg;
+  cfg.threads = 16;
+  cfg.schedule = Schedule::static_even();
+  const auto st = run_msap(m1, cfg);
+  Machine m2(MachineConfig::altix300());
+  cfg.schedule = Schedule::dynamic(1);
+  const auto dy = run_msap(m2, cfg);
+
+  // The paper's rule thresholds: CV > 0.25 for the imbalanced case.
+  EXPECT_GT(st.stage1_loop.imbalance(), 0.25);
+  EXPECT_LT(dy.stage1_loop.imbalance(), 0.10);
+  EXPECT_LT(dy.elapsed_cycles, st.elapsed_cycles);
+}
+
+TEST(Msap, Dynamic1IsNear93PercentEfficientAt16Threads) {
+  // Fig. 4(b): "A dynamic schedule with a chunk size of 1 is nearly 93%
+  // efficient using 16 processors" (400-sequence set).
+  MsapConfig base;
+  base.schedule = Schedule::dynamic(1);
+  base.threads = 1;
+  Machine m1(MachineConfig::altix300());
+  const auto t1 = run_msap(m1, base);
+  base.threads = 16;
+  Machine m16(MachineConfig::altix300());
+  const auto t16 = run_msap(m16, base);
+  const double speedup = static_cast<double>(t1.elapsed_cycles) /
+                         static_cast<double>(t16.elapsed_cycles);
+  const double efficiency = speedup / 16.0;
+  EXPECT_GT(efficiency, 0.88);
+  EXPECT_LT(efficiency, 0.97);
+}
+
+TEST(Msap, ProfileAccountingIsConsistent) {
+  Machine m(MachineConfig::altix300());
+  MsapConfig cfg;
+  cfg.threads = 8;
+  const auto r = run_msap(m, cfg);
+  const auto& t = r.trial;
+  const auto time = t.metric_id("TIME");
+  const auto main = t.event_id("main");
+  // Every thread spans the whole run: identical main inclusive time.
+  const auto incl = t.inclusive_across_threads(main, time);
+  for (double v : incl) EXPECT_NEAR(v, incl[0], incl[0] * 1e-9);
+  // Callgraph: inner_loop nested under outer_loop under distance_matrix.
+  EXPECT_TRUE(t.is_nested_under(t.event_id("inner_loop"),
+                                t.event_id("distance_matrix")));
+  EXPECT_EQ(t.event(t.event_id("inner_loop")).parent,
+            t.event_id("outer_loop"));
+  // Inclusive main equals elapsed cycles (in usec).
+  EXPECT_NEAR(incl[0], m.usec(r.elapsed_cycles), 1.0);
+  // Metadata captured for rules.
+  EXPECT_EQ(*t.metadata("schedule"), "static");
+  EXPECT_EQ(*t.metadata("threads"), "8");
+}
+
+TEST(Msap, Stage1Dominates) {
+  Machine m(MachineConfig::altix300());
+  MsapConfig cfg;
+  cfg.threads = 1;
+  const auto r = run_msap(m, cfg);
+  const double frac = static_cast<double>(r.stage1_cycles) /
+                      static_cast<double>(r.elapsed_cycles);
+  EXPECT_GT(frac, 0.90);  // "almost 90% of the time in the first stage"
+}
+
+TEST(Msap, TotalCellsMatchesPairSum) {
+  const std::vector<std::string> seqs = {"AAA", "CCCCC", "GG"};
+  // pairs: 3*5 + 3*2 + 5*2 = 31
+  EXPECT_DOUBLE_EQ(total_cells(seqs), 31.0);
+}
+
+TEST(Msap, RejectsDegenerateConfigs) {
+  Machine m(MachineConfig::altix300());
+  MsapConfig cfg;
+  cfg.num_sequences = 1;
+  EXPECT_THROW(run_msap(m, cfg), pk::InvalidArgumentError);
+  cfg.num_sequences = 10;
+  cfg.threads = 64;  // more than the Altix 300 has
+  EXPECT_THROW(run_msap(m, cfg), pk::InvalidArgumentError);
+}

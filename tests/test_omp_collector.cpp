@@ -1,0 +1,185 @@
+// Tests for the OpenMP collector-API event interface.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "machine/machine.hpp"
+#include "runtime/omp.hpp"
+#include "apps/genidlest/genidlest.hpp"
+#include "rules/rulebases.hpp"
+#include "runtime/omp_collector.hpp"
+
+namespace pk = perfknow;
+using pk::machine::Machine;
+using pk::machine::MachineConfig;
+using pk::runtime::OmpCollector;
+using pk::runtime::OmpEvent;
+using pk::runtime::OmpEventKind;
+using pk::runtime::OmpTeam;
+using pk::runtime::Schedule;
+
+namespace {
+
+Machine altix() { return Machine(MachineConfig::altix300()); }
+
+}  // namespace
+
+TEST(OmpCollectorEvents, ForkJoinPairAndPerThreadBarriers) {
+  auto m = altix();
+  OmpTeam team(m, 4);
+  const auto result = team.parallel_for(
+      100, Schedule::dynamic(1),
+      [](std::uint64_t i, unsigned) { return 10 * (100 - i); });
+
+  std::vector<OmpEvent> events;
+  pk::runtime::emit_collector_events(
+      team, "loop1", result,
+      [&](const OmpEvent& ev) { events.push_back(ev); });
+
+  int forks = 0;
+  int joins = 0;
+  int barrier_enters = 0;
+  for (const auto& ev : events) {
+    if (ev.kind == OmpEventKind::kFork) ++forks;
+    if (ev.kind == OmpEventKind::kJoin) ++joins;
+    if (ev.kind == OmpEventKind::kImplicitBarrierEnter) ++barrier_enters;
+    EXPECT_EQ(ev.region, "loop1");
+  }
+  EXPECT_EQ(forks, 1);
+  EXPECT_EQ(joins, 1);
+  EXPECT_EQ(barrier_enters, 4);
+  EXPECT_THROW(
+      pk::runtime::emit_collector_events(team, "x", result, nullptr),
+      pk::InvalidArgumentError);
+}
+
+TEST(OmpCollectorStats, AccumulatesAcrossInvocations) {
+  auto m = altix();
+  OmpTeam team(m, 8);
+  OmpCollector collector(8);
+  const auto hook = collector.hook();
+  for (int iter = 0; iter < 3; ++iter) {
+    const auto r = team.parallel_for(
+        64, Schedule::static_even(),
+        [](std::uint64_t, unsigned) { return 1000; });
+    pk::runtime::emit_collector_events(team, "stencil", r, hook);
+  }
+  const auto& s = collector.region("stencil");
+  EXPECT_EQ(s.invocations, 3u);
+  // fork + join per invocation, plus one barrier-cost contribution each.
+  EXPECT_GT(s.fork_join_cycles,
+            3 * (team.costs().fork_cycles + team.costs().join_cycles));
+  EXPECT_LT(s.fork_join_cycles,
+            3 * (team.costs().fork_cycles + team.costs().join_cycles +
+                 10000));
+  // Uniform work: no barrier waits.
+  for (const auto w : s.barrier_wait) EXPECT_EQ(w, 0u);
+  EXPECT_THROW((void)collector.region("nope"), pk::NotFoundError);
+}
+
+TEST(OmpCollectorStats, FactsExposeOverheadShares) {
+  auto m = altix();
+  OmpTeam team(m, 8);
+  OmpCollector collector(8);
+  const auto hook = collector.hook();
+  // Imbalanced triangular loop: barrier waits dominate the overhead pool.
+  const auto r = team.parallel_for(
+      200, Schedule::static_even(),
+      [](std::uint64_t i, unsigned) { return 50 * (200 - i); });
+  pk::runtime::emit_collector_events(team, "tri", r, hook);
+
+  pk::rules::RuleHarness h;
+  EXPECT_EQ(collector.assert_facts(h), 1u);
+  const auto ids = h.memory().ids_of_type("OmpRegionFact");
+  ASSERT_EQ(ids.size(), 1u);
+  const auto* f = h.memory().find(ids[0]);
+  EXPECT_EQ(f->text("region"), "tri");
+  EXPECT_DOUBLE_EQ(f->number("invocations"), 1.0);
+  EXPECT_GT(f->number("barrierShare"), 0.5);
+  EXPECT_GT(f->number("imbalanceCv"), 0.1);
+  EXPECT_NEAR(f->number("barrierShare") + f->number("forkJoinShare") +
+                  f->number("dispatchCycles") /
+                      (f->number("dispatchCycles") +
+                       f->number("forkJoinCycles") +
+                       f->number("meanBarrierWait") * 8),
+              1.0, 0.2);
+}
+
+TEST(OmpCollectorStats, DispatchRecordedForDynamicOnly) {
+  auto m = altix();
+  OmpTeam team(m, 4);
+  OmpCollector collector(4);
+  const auto hook = collector.hook();
+  const auto st = team.parallel_for(
+      100, Schedule::static_even(),
+      [](std::uint64_t, unsigned) { return 100; });
+  pk::runtime::emit_collector_events(team, "static_loop", st, hook);
+  const auto dy = team.parallel_for(
+      100, Schedule::dynamic(1),
+      [](std::uint64_t, unsigned) { return 100; });
+  pk::runtime::emit_collector_events(team, "dynamic_loop", dy, hook);
+
+  EXPECT_GT(collector.region("dynamic_loop").dispatch_cycles,
+            10 * collector.region("static_loop").dispatch_cycles);
+}
+
+TEST(OmpCollectorIntegration, GenidlestCarriesRegionStats) {
+  pk::machine::Machine machine(MachineConfig::altix3600());
+  auto cfg = perfknow::apps::genidlest::GenConfig::rib90();
+  cfg.model = perfknow::apps::genidlest::Model::kOpenMP;
+  cfg.optimized = true;
+  cfg.nprocs = 16;
+  const auto r = perfknow::apps::genidlest::run_genidlest(machine, cfg);
+  ASSERT_NE(r.omp, nullptr);
+  // One region per compute phase, with the right invocation counts.
+  const auto& matx = r.omp->region("matxvec");
+  EXPECT_EQ(matx.invocations, cfg.timesteps * cfg.solver_iters);
+  EXPECT_EQ(r.omp->region("diff_coeff").invocations, cfg.timesteps);
+  EXPECT_GT(matx.fork_join_cycles, 0u);
+
+  // MPI runs carry no collector.
+  pk::machine::Machine m2(MachineConfig::altix3600());
+  cfg.model = perfknow::apps::genidlest::Model::kMpi;
+  EXPECT_EQ(perfknow::apps::genidlest::run_genidlest(m2, cfg).omp,
+            nullptr);
+}
+
+TEST(OmpCollectorRules, FineGrainedRegionTriggersForkJoinRule) {
+  auto m = altix();
+  OmpTeam team(m, 8);
+  OmpCollector collector(8);
+  const auto hook = collector.hook();
+  // A tiny loop forked 100 times: fork/join swamps the overhead pool.
+  for (int i = 0; i < 100; ++i) {
+    const auto r = team.parallel_for(
+        8, Schedule::static_even(),
+        [](std::uint64_t, unsigned) { return 50; });
+    pk::runtime::emit_collector_events(team, "tiny_region", r, hook);
+  }
+  pk::rules::RuleHarness h;
+  pk::rules::builtin::use(h, pk::rules::builtin::openmp());
+  collector.assert_facts(h);
+  h.process_rules();
+  const auto diags = h.diagnoses_for("ForkJoinOverhead");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].event, "tiny_region");
+  EXPECT_NE(diags[0].recommendation.find("Hoist"), std::string::npos);
+}
+
+TEST(OmpCollectorRules, ImbalancedBarrierTriggersScheduleAdvice) {
+  auto m = altix();
+  OmpTeam team(m, 8);
+  OmpCollector collector(8);
+  const auto hook = collector.hook();
+  const auto r = team.parallel_for(
+      160, Schedule::static_even(),
+      [](std::uint64_t i, unsigned) { return 1000 * (160 - i); });
+  pk::runtime::emit_collector_events(team, "triangle", r, hook);
+
+  pk::rules::RuleHarness h;
+  pk::rules::builtin::use(h, pk::rules::builtin::openmp());
+  collector.assert_facts(h);
+  h.process_rules();
+  const auto diags = h.diagnoses_for("BarrierImbalance");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].event, "triangle");
+}

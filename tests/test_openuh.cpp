@@ -1,0 +1,395 @@
+// Tests for the OpenUH compiler substrate: passes, cost models,
+// feedback, compiler driver and kernel-work lowering.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "machine/machine.hpp"
+#include "openuh/compiler.hpp"
+#include "openuh/cost_model.hpp"
+#include "openuh/feedback.hpp"
+#include "openuh/ir.hpp"
+#include "openuh/passes.hpp"
+
+namespace pk = perfknow;
+using namespace pk::openuh;
+using pk::machine::MachineConfig;
+
+namespace {
+
+LoopNest stream_nest(std::uint64_t n = 1 << 16) {
+  LoopNest nest;
+  nest.name = "stream_loop";
+  nest.trip_counts = {n};
+  nest.flops_per_iter = 2.0;
+  nest.int_ops_per_iter = 10.0;
+  nest.parallelizable = true;
+  ArrayRef a;
+  a.name = "x";
+  a.extent_elements = n;
+  a.stride_elements = 1;
+  a.passes = 4.0;
+  nest.arrays.push_back(a);
+  return nest;
+}
+
+ProgramIR small_program() {
+  ProgramIR ir;
+  ir.name = "demo";
+  Procedure p;
+  p.name = "kernel";
+  p.loops.push_back(stream_nest());
+  p.callees.push_back("helper");
+  ir.procedures.push_back(p);
+  Procedure helper;
+  helper.name = "helper";
+  helper.estimated_calls = 1e6;
+  helper.straightline_statements = 1.0;
+  ir.procedures.push_back(helper);
+  return ir;
+}
+
+}  // namespace
+
+TEST(Passes, LevelsParseAndStack) {
+  EXPECT_EQ(opt_level_from_string("O2"), OptLevel::kO2);
+  EXPECT_EQ(opt_level_from_string("-O3"), OptLevel::kO3);
+  EXPECT_THROW((void)opt_level_from_string("O9"), pk::InvalidArgumentError);
+  EXPECT_TRUE(pipeline_for(OptLevel::kO0).empty());
+  EXPECT_GT(pipeline_for(OptLevel::kO3).size(),
+            pipeline_for(OptLevel::kO2).size());
+  EXPECT_GT(pipeline_for(OptLevel::kO2).size(),
+            pipeline_for(OptLevel::kO1).size());
+}
+
+TEST(Passes, CodegenProfileTrendsMatchTableOne) {
+  const auto o0 = codegen_profile(OptLevel::kO0);
+  const auto o1 = codegen_profile(OptLevel::kO1);
+  const auto o2 = codegen_profile(OptLevel::kO2);
+  const auto o3 = codegen_profile(OptLevel::kO3);
+  // Instruction count shrinks monotonically, with the big drop at O2.
+  EXPECT_GT(o0.instruction_scale, o1.instruction_scale);
+  EXPECT_GT(o1.instruction_scale, 3.0 * o2.instruction_scale);
+  EXPECT_GE(o2.instruction_scale, o3.instruction_scale);
+  // ILP recovers at O3 (software pipelining / vectorization).
+  EXPECT_GT(o3.ilp, o2.ilp);
+  EXPECT_GT(o1.ilp, o0.ilp);
+  // Exposure of memory stalls falls with optimization.
+  EXPECT_GT(o0.exposed_stall_fraction, o2.exposed_stall_fraction);
+  EXPECT_GT(o2.exposed_stall_fraction, o3.exposed_stall_fraction);
+}
+
+TEST(CostModel, ProcessorCyclesScaleWithWorkAndIlp) {
+  CostModel model(MachineConfig::altix300());
+  const auto nest = stream_nest();
+  auto cg0 = codegen_profile(OptLevel::kO0);
+  auto cg3 = codegen_profile(OptLevel::kO3);
+  EXPECT_GT(model.processor_cycles(nest, cg0),
+            model.processor_cycles(nest, cg3));
+}
+
+TEST(CostModel, SpillCostOnlyUnderPressure) {
+  CostModel model(MachineConfig::altix300());
+  auto small = stream_nest();
+  const auto cg = codegen_profile(OptLevel::kO2);
+  EXPECT_DOUBLE_EQ(model.spill_cycles(small, cg), 0.0);
+  auto big = stream_nest();
+  big.flops_per_iter = 500.0;  // register pressure explodes
+  EXPECT_GT(model.spill_cycles(big, cg), 0.0);
+}
+
+TEST(CacheModel, TilingRemovesCapacityMisses) {
+  CostModel model(MachineConfig::altix300());
+  auto nest = stream_nest(1 << 20);  // 8 MB array, 4 passes: streams L3
+  const auto plain = model.predict_cache(nest);
+  Transformation tile;
+  tile.tile = true;
+  tile.tile_bytes = 128 * 1024;  // fits L2
+  const auto tiled = model.predict_cache(nest, tile);
+  EXPECT_GT(plain.l3_misses, 2.0 * tiled.l3_misses);
+  EXPECT_GT(plain.stall_cycles, tiled.stall_cycles);
+}
+
+TEST(CacheModel, InterchangeFixesStride) {
+  CostModel model(MachineConfig::altix300());
+  auto nest = stream_nest(1 << 18);
+  // Column-major disaster: stride-64 sweeps repeated 64 times to cover
+  // every element of the array.
+  nest.arrays[0].stride_elements = 64;
+  nest.arrays[0].passes = 64.0;
+  const auto bad = model.predict_cache(nest);
+  Transformation t;
+  t.interchange = true;
+  t.interchange_to_inner = 0;
+  const auto good = model.predict_cache(nest, t);
+  EXPECT_GT(bad.l1_misses, good.l1_misses);
+}
+
+TEST(CacheModel, StartupCostCountsInnerEntries) {
+  CostModel model(MachineConfig::altix300());
+  LoopNest nest = stream_nest();
+  nest.trip_counts = {100, 50};  // 100 inner-loop entries
+  const auto p = model.predict_cache(nest);
+  EXPECT_DOUBLE_EQ(p.startup_cycles, 100.0 * 12.0);
+}
+
+TEST(ParallelModel, OverheadAndLevelChoice) {
+  CostModel model(MachineConfig::altix300());
+  auto nest = stream_nest(1 << 20);
+  nest.trip_counts = {64, 1 << 14};
+  const auto cg = codegen_profile(OptLevel::kO2);
+  EXPECT_DOUBLE_EQ(model.parallel_overhead_cycles(nest, 1), 0.0);
+  EXPECT_GT(model.parallel_overhead_cycles(nest, 8), 0.0);
+  // Big nest: parallelizing the outermost level wins.
+  const auto level = model.recommend_parallel_level(nest, cg, 8);
+  ASSERT_TRUE(level.has_value());
+  EXPECT_EQ(*level, 0u);
+  // Tiny nest: not worth forking at all.
+  LoopNest tiny = stream_nest(8);
+  tiny.arrays.clear();
+  const auto none = model.recommend_parallel_level(tiny, cg, 8);
+  EXPECT_FALSE(none.has_value());
+}
+
+TEST(ParallelModel, ReductionAddsCost) {
+  CostModel model(MachineConfig::altix300());
+  auto nest = stream_nest();
+  const double plain = model.parallel_overhead_cycles(nest, 8);
+  nest.has_reduction = true;
+  EXPECT_GT(model.parallel_overhead_cycles(nest, 8), plain);
+}
+
+TEST(BestPlan, PicksCheapestAndPrunesIllegal) {
+  CostModel model(MachineConfig::altix300());
+  auto nest = stream_nest(1 << 20);
+  const auto cg = codegen_profile(OptLevel::kO2);
+  std::vector<Transformation> candidates;
+  Transformation tile;
+  tile.tile = true;
+  tile.tile_bytes = 128 * 1024;
+  candidates.push_back(tile);
+  Transformation illegal;
+  illegal.interchange = true;
+  illegal.interchange_to_inner = 99;  // no such array: pruned
+  candidates.push_back(illegal);
+  Transformation par;
+  par.parallelize = true;
+  par.num_threads = 8;
+  par.parallel_level = 0;
+  candidates.push_back(par);
+
+  const auto plan = model.best_plan(nest, cg, candidates);
+  // Parallel + nothing beats serial identity on a big nest.
+  EXPECT_NE(plan.chosen.name(), "identity");
+  // Pruned candidate is absent from the considered list.
+  for (const auto& [name, _] : plan.considered) {
+    EXPECT_EQ(name.find("a99"), std::string::npos);
+  }
+  EXPECT_GE(plan.considered.size(), 2u);
+}
+
+TEST(Feedback, MeasuredMissRatesOverrideModel) {
+  CostModel model(MachineConfig::altix300());
+  auto nest = stream_nest(1 << 20);
+  const auto static_pred = model.predict_cache(nest);
+
+  FeedbackData fb;
+  RegionFeedback rf;
+  rf.l3_miss_rate = 0.0;  // measured: everything fits after all
+  rf.l2_miss_rate = 0.0;
+  fb.set("stream_loop", rf);
+  model.set_feedback(&fb);
+  const auto fed = model.predict_cache(nest);
+  EXPECT_LT(fed.stall_cycles, static_pred.stall_cycles);
+  EXPECT_DOUBLE_EQ(fed.l3_misses, 0.0);
+}
+
+TEST(Feedback, RemoteRatioRaisesLatencyAndImbalanceAddsIdle) {
+  CostModel model(MachineConfig::altix300());
+  auto nest = stream_nest(1 << 20);
+  const auto cg = codegen_profile(OptLevel::kO2);
+
+  FeedbackData fb;
+  RegionFeedback rf;
+  rf.remote_access_ratio = 1.0;  // all remote
+  rf.imbalance_cv = 0.5;
+  fb.set("stream_loop", rf);
+
+  const auto before = model.predict_cache(nest).stall_cycles;
+  model.set_feedback(&fb);
+  EXPECT_GT(model.predict_cache(nest).stall_cycles, before);
+
+  Transformation par;
+  par.parallelize = true;
+  par.num_threads = 8;
+  const auto cost = model.evaluate(nest, cg, par);
+  EXPECT_GT(cost.imbalance_cycles, 0.0);
+}
+
+TEST(Feedback, FileRoundTrip) {
+  namespace fs = std::filesystem;
+  const auto path = fs::temp_directory_path() /
+                    ("perfknow_fb_" + std::to_string(::getpid()) + ".tsv");
+  FeedbackData fb;
+  RegionFeedback rf;
+  rf.measured_time_usec = 123.5;
+  rf.calls = 7;
+  rf.l3_miss_rate = 0.25;
+  rf.imbalance_cv = 0.4;
+  rf.recommendation = "use schedule(dynamic,1)";
+  fb.set("outer_loop", rf);
+  RegionFeedback partial;
+  partial.measured_time_usec = 1.0;
+  fb.set("other", partial);
+  fb.save(path);
+
+  const auto back = FeedbackData::load(path);
+  ASSERT_EQ(back.size(), 2u);
+  const auto* r = back.find("outer_loop");
+  ASSERT_NE(r, nullptr);
+  EXPECT_DOUBLE_EQ(r->measured_time_usec, 123.5);
+  ASSERT_TRUE(r->l3_miss_rate.has_value());
+  EXPECT_DOUBLE_EQ(*r->l3_miss_rate, 0.25);
+  EXPECT_FALSE(r->l2_miss_rate.has_value());
+  EXPECT_EQ(r->recommendation, "use schedule(dynamic,1)");
+  EXPECT_FALSE(back.find("other")->imbalance_cv.has_value());
+  EXPECT_EQ(back.find("missing"), nullptr);
+  fs::remove(path);
+}
+
+TEST(Compiler, RegistersRegionsWithMapIds) {
+  Compiler compiler(MachineConfig::altix300());
+  CompileOptions opts;
+  opts.instrumentation = pk::instrument::InstrumentationFlags::full_detail();
+  const auto prog = compiler.compile(small_program(), opts);
+  EXPECT_EQ(prog.name, "demo");
+  // Procedures + loop + callsite registered, unique map ids.
+  ASSERT_GE(prog.registry.size(), 4u);
+  std::set<std::uint32_t> ids;
+  for (const auto& r : prog.registry.all()) ids.insert(r.map_id);
+  EXPECT_EQ(ids.size(), prog.registry.size());
+  EXPECT_TRUE(prog.registry.find("kernel").has_value());
+  EXPECT_TRUE(prog.registry.find("stream_loop").has_value());
+  EXPECT_TRUE(prog.registry.find("kernel -> helper").has_value());
+  EXPECT_NO_THROW((void)prog.loop("stream_loop"));
+  EXPECT_THROW((void)prog.loop("nope"), pk::NotFoundError);
+}
+
+TEST(Compiler, LnoRunsOnlyAtO3) {
+  Compiler compiler(MachineConfig::altix300());
+  CompileOptions o2;
+  o2.opt = OptLevel::kO2;
+  const auto prog2 = compiler.compile(small_program(), o2);
+  // At O2 the only candidates are the parallel ones (none: 1 thread).
+  EXPECT_EQ(prog2.loops[0].plan.considered.size(), 1u);  // identity only
+
+  CompileOptions o3;
+  o3.opt = OptLevel::kO3;
+  const auto prog3 = compiler.compile(small_program(), o3);
+  EXPECT_GT(prog3.loops[0].plan.considered.size(), 1u);
+}
+
+TEST(Compiler, EmptyProgramRejected) {
+  Compiler compiler(MachineConfig::altix300());
+  EXPECT_THROW(compiler.compile(ProgramIR{}, CompileOptions{}),
+               pk::InvalidArgumentError);
+  ProgramIR bad;
+  bad.name = "bad";
+  Procedure p;
+  p.name = "p";
+  LoopNest nest;
+  nest.name = "no_trips";
+  p.loops.push_back(nest);
+  bad.procedures.push_back(p);
+  EXPECT_THROW(compiler.compile(bad, CompileOptions{}),
+               pk::InvalidArgumentError);
+}
+
+TEST(KernelWork, LoweringHonorsCodegenAndScale) {
+  const auto nest = stream_nest(1000);
+  const auto cg0 = codegen_profile(OptLevel::kO0);
+  const auto cg2 = codegen_profile(OptLevel::kO2);
+  const std::map<std::string, std::uint64_t> bases = {{"x", 0x10000}};
+
+  const auto w0 = kernel_work_for_nest(nest, cg0, 1.0, bases);
+  const auto w2 = kernel_work_for_nest(nest, cg2, 1.0, bases);
+  // FLOPs invariant; integer work scales with the instruction scale.
+  EXPECT_DOUBLE_EQ(w0.flops, w2.flops);
+  EXPECT_GT(w0.int_instructions, 5.0 * w2.int_instructions);
+  // Stack-spill stream present at O0, with far more traffic than at O2.
+  ASSERT_GE(w0.streams.size(), 2u);
+  EXPECT_GT(w0.streams.back().passes, w2.streams.back().passes);
+  // Array stream got the right base.
+  EXPECT_EQ(w0.streams.front().base, 0x10000u);
+
+  const auto half = kernel_work_for_nest(nest, cg0, 0.5, bases);
+  EXPECT_DOUBLE_EQ(half.flops, w0.flops / 2.0);
+  EXPECT_EQ(half.streams.front().extent_bytes,
+            w0.streams.front().extent_bytes / 2);
+  EXPECT_THROW(kernel_work_for_nest(nest, cg0, 0.0, bases),
+               pk::InvalidArgumentError);
+}
+
+TEST(Ir, ProgramLookupAndTotals) {
+  const auto ir = small_program();
+  EXPECT_TRUE(ir.has_procedure("kernel"));
+  EXPECT_FALSE(ir.has_procedure("nope"));
+  EXPECT_THROW((void)ir.procedure("nope"), pk::NotFoundError);
+  LoopNest nest;
+  nest.trip_counts = {4, 5, 6};
+  EXPECT_EQ(nest.total_iterations(), 120u);
+  EXPECT_EQ(to_string(WhirlLevel::kHigh), "HIGH");
+  EXPECT_EQ(to_string(OptLevel::kO1), "O1");
+}
+
+TEST(PhaseMap, ResolvesAcrossLevelsWithFallback) {
+  PhaseMap pm;
+  pm.record(WhirlLevel::kVeryHigh, 7, "matxvec_loop");
+  pm.record(WhirlLevel::kHigh, 7, "matxvec_loop[tile(131072B)]");
+  pm.record_derivation(WhirlLevel::kHigh, 7, "tile(131072B)");
+  pm.record(WhirlLevel::kVeryHigh, 9, "diff_coeff");
+
+  EXPECT_EQ(pm.resolve(7, WhirlLevel::kVeryHigh), "matxvec_loop");
+  EXPECT_EQ(pm.resolve(7, WhirlLevel::kHigh),
+            "matxvec_loop[tile(131072B)]");
+  // No later recording: the HIGH node persists through CG.
+  EXPECT_EQ(pm.resolve(7, WhirlLevel::kVeryLow),
+            "matxvec_loop[tile(131072B)]");
+  // Untouched construct persists from the source level.
+  EXPECT_EQ(pm.resolve(9, WhirlLevel::kVeryLow), "diff_coeff");
+  const auto chain = pm.derivation_chain(7, WhirlLevel::kVeryLow);
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0], "tile(131072B)");
+  EXPECT_TRUE(pm.derivation_chain(9, WhirlLevel::kVeryLow).empty());
+  EXPECT_THROW((void)pm.resolve(99, WhirlLevel::kHigh), pk::NotFoundError);
+  EXPECT_EQ(pm.ids().size(), 2u);
+  EXPECT_NE(pm.str().find("id 7"), std::string::npos);
+}
+
+TEST(PhaseMap, CompilerRecordsConstructsAndLnoRewrites) {
+  Compiler compiler(MachineConfig::altix300());
+  CompileOptions o3;
+  o3.opt = OptLevel::kO3;
+  const auto prog = compiler.compile(small_program(), o3);
+  // Every registered region has a VERY_HIGH node under its map_id.
+  for (const auto& r : prog.registry.all()) {
+    EXPECT_NO_THROW(
+        (void)prog.phase_map.resolve(r.map_id, WhirlLevel::kVeryHigh));
+  }
+  // The stream loop was transformed by the LNO: its HIGH node differs
+  // from the source node when a non-identity plan was chosen.
+  const auto loop_region =
+      prog.registry.get(*prog.registry.find("stream_loop"));
+  const auto& src =
+      prog.phase_map.resolve(loop_region.map_id, WhirlLevel::kVeryHigh);
+  EXPECT_EQ(src, "stream_loop");
+  if (prog.loops[0].plan.chosen.name() != "identity") {
+    EXPECT_NE(prog.phase_map.resolve(loop_region.map_id, WhirlLevel::kHigh),
+              src);
+    EXPECT_FALSE(
+        prog.phase_map.derivation_chain(loop_region.map_id,
+                                        WhirlLevel::kVeryLow)
+            .empty());
+  }
+}

@@ -1,0 +1,195 @@
+// Tests for the PerfDMF layer: repository, snapshot format, TAU format.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "perfdmf/repository.hpp"
+#include "perfdmf/snapshot.hpp"
+#include "perfdmf/tau_format.hpp"
+
+namespace pk = perfknow;
+namespace fs = std::filesystem;
+using pk::perfdmf::Repository;
+using pk::profile::Trial;
+
+namespace {
+
+std::shared_ptr<Trial> make_trial(const std::string& name,
+                                  std::size_t threads = 2) {
+  auto t = std::make_shared<Trial>(name);
+  t->set_thread_count(threads);
+  const auto time = t->add_metric("TIME", "usec");
+  const auto cyc = t->add_metric("CPU_CYCLES", "count");
+  const auto main = t->add_event("main", pk::profile::kNoEvent, "PROC");
+  const auto loop = t->add_event("main => loop", main, "LOOP");
+  for (std::size_t th = 0; th < threads; ++th) {
+    t->set_inclusive(th, main, time, 100.0 + static_cast<double>(th));
+    t->set_exclusive(th, main, time, 10.0);
+    t->set_inclusive(th, loop, time, 90.0 + static_cast<double>(th));
+    t->set_exclusive(th, loop, time, 90.0 + static_cast<double>(th));
+    t->set_inclusive(th, main, cyc, 1.5e8);
+    t->set_calls(th, main, 1, 7);
+    t->set_calls(th, loop, 7, 0);
+  }
+  t->set_metadata("schedule", "dynamic,1");
+  t->set_metadata("weird key", "value\twith\ttabs\nand newline");
+  return t;
+}
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = fs::temp_directory_path() /
+           ("perfknow_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    fs::create_directories(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] const fs::path& path() const { return dir_; }
+
+ private:
+  fs::path dir_;
+  static inline int counter_ = 0;
+};
+
+}  // namespace
+
+TEST(Repository, PutGetContainsErase) {
+  Repository repo;
+  repo.put("app", "exp", make_trial("t1"));
+  EXPECT_TRUE(repo.contains("app", "exp", "t1"));
+  EXPECT_FALSE(repo.contains("app", "exp", "t2"));
+  EXPECT_EQ(repo.get("app", "exp", "t1")->name(), "t1");
+  EXPECT_TRUE(repo.erase("app", "exp", "t1"));
+  EXPECT_FALSE(repo.erase("app", "exp", "t1"));
+}
+
+TEST(Repository, MissingLevelsThrowWithContext) {
+  Repository repo;
+  repo.put("app", "exp", make_trial("t1"));
+  EXPECT_THROW(repo.get("nope", "exp", "t1"), pk::NotFoundError);
+  EXPECT_THROW(repo.get("app", "nope", "t1"), pk::NotFoundError);
+  EXPECT_THROW(repo.get("app", "exp", "nope"), pk::NotFoundError);
+  EXPECT_THROW(repo.put("a", "e", nullptr), pk::InvalidArgumentError);
+}
+
+TEST(Repository, ListingAndCounts) {
+  Repository repo;
+  repo.put("app", "scaling", make_trial("1_2"));
+  repo.put("app", "scaling", make_trial("1_4"));
+  repo.put("app", "power", make_trial("O0"));
+  repo.put("other", "x", make_trial("t"));
+  EXPECT_EQ(repo.applications().size(), 2u);
+  EXPECT_EQ(repo.experiments("app").size(), 2u);
+  EXPECT_EQ(repo.trials("app", "scaling").size(), 2u);
+  EXPECT_EQ(repo.trial_count(), 4u);
+  EXPECT_EQ(repo.experiment_trials("app", "scaling").size(), 2u);
+}
+
+TEST(Snapshot, RoundTripIsExact) {
+  const auto t = make_trial("round trip");
+  std::stringstream ss;
+  pk::perfdmf::write_snapshot(*t, ss);
+  const Trial back = pk::perfdmf::read_snapshot(ss);
+
+  EXPECT_EQ(back.name(), t->name());
+  EXPECT_EQ(back.thread_count(), t->thread_count());
+  EXPECT_EQ(back.metric_count(), t->metric_count());
+  EXPECT_EQ(back.event_count(), t->event_count());
+  EXPECT_EQ(*back.metadata("schedule"), "dynamic,1");
+  EXPECT_EQ(*back.metadata("weird key"), "value\twith\ttabs\nand newline");
+  for (std::size_t th = 0; th < t->thread_count(); ++th) {
+    for (pk::profile::EventId e = 0; e < t->event_count(); ++e) {
+      for (pk::profile::MetricId m = 0; m < t->metric_count(); ++m) {
+        EXPECT_DOUBLE_EQ(back.inclusive(th, e, m), t->inclusive(th, e, m));
+        EXPECT_DOUBLE_EQ(back.exclusive(th, e, m), t->exclusive(th, e, m));
+      }
+      EXPECT_DOUBLE_EQ(back.calls(th, e).calls, t->calls(th, e).calls);
+    }
+  }
+  // Callgraph preserved.
+  EXPECT_EQ(back.event(back.event_id("main => loop")).parent,
+            back.event_id("main"));
+}
+
+TEST(Snapshot, RejectsGarbage) {
+  std::stringstream ss("not a snapshot\n");
+  EXPECT_THROW(pk::perfdmf::read_snapshot(ss), pk::ParseError);
+  std::stringstream truncated("PKPROF\t1\ntrial\tx\n");  // no 'end'
+  EXPECT_THROW(pk::perfdmf::read_snapshot(truncated), pk::ParseError);
+  std::stringstream empty("");
+  EXPECT_THROW(pk::perfdmf::read_snapshot(empty), pk::ParseError);
+}
+
+TEST(Snapshot, CsvExport) {
+  const auto t = make_trial("csv");
+  const std::string csv = pk::perfdmf::to_csv(*t, "TIME");
+  EXPECT_NE(csv.find("event,thread0,thread1"), std::string::npos);
+  EXPECT_NE(csv.find("main => loop"), std::string::npos);
+  EXPECT_THROW(pk::perfdmf::to_csv(*t, "NOPE"), pk::NotFoundError);
+}
+
+TEST(RepositoryPersistence, SaveLoadRoundTrip) {
+  TempDir dir;
+  Repository repo;
+  repo.put("Fluid Dynamic", "rib 45", make_trial("1_8"));
+  repo.put("Fluid Dynamic", "rib 45", make_trial("1_16"));
+  repo.put("MSAP", "schedules", make_trial("static"));
+  repo.save(dir.path());
+
+  const Repository loaded = Repository::load(dir.path());
+  EXPECT_EQ(loaded.trial_count(), 3u);
+  const auto t = loaded.get("Fluid Dynamic", "rib 45", "1_16");
+  EXPECT_EQ(t->thread_count(), 2u);
+  EXPECT_EQ(*t->metadata("schedule"), "dynamic,1");
+}
+
+TEST(RepositoryPersistence, LoadMissingIndexThrows) {
+  TempDir dir;
+  EXPECT_THROW(Repository::load(dir.path() / "nope"), pk::IoError);
+}
+
+TEST(TauFormat, WriteReadRoundTrip) {
+  TempDir dir;
+  const auto t = make_trial("tau", 4);
+  pk::perfdmf::write_tau_profiles(*t, "TIME", dir.path());
+  // Four per-thread files written.
+  EXPECT_TRUE(fs::exists(dir.path() / "profile.0.0.0"));
+  EXPECT_TRUE(fs::exists(dir.path() / "profile.3.0.0"));
+
+  const Trial back = pk::perfdmf::read_tau_profiles(dir.path());
+  EXPECT_EQ(back.thread_count(), 4u);
+  ASSERT_TRUE(back.find_metric("TIME").has_value());
+  const auto m = back.metric_id("TIME");
+  const auto loop = back.event_id("main => loop");
+  EXPECT_DOUBLE_EQ(back.exclusive(2, loop, m), 92.0);
+  EXPECT_DOUBLE_EQ(back.calls(1, back.event_id("main")).calls, 1.0);
+  // Callpath parent reconstructed from "a => b" naming.
+  EXPECT_EQ(back.event(loop).parent, back.event_id("main"));
+  // Group carried through.
+  EXPECT_EQ(back.event(loop).group, "LOOP");
+}
+
+TEST(TauFormat, EmptyDirectoryThrows) {
+  TempDir dir;
+  EXPECT_THROW(pk::perfdmf::read_tau_profiles(dir.path()), pk::IoError);
+  EXPECT_THROW(pk::perfdmf::read_tau_profiles(dir.path() / "nope"),
+               pk::IoError);
+}
+
+TEST(TauFormat, MalformedFileThrows) {
+  TempDir dir;
+  {
+    std::ofstream os(dir.path() / "profile.0.0.0");
+    os << "2 templated_functions_MULTI_TIME\n# Name ...\n\"main\" 1 0 5\n";
+    // second function row missing -> truncated
+  }
+  EXPECT_THROW(pk::perfdmf::read_tau_profiles(dir.path()), pk::ParseError);
+}

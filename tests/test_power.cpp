@@ -1,0 +1,161 @@
+// Tests for the power model (Eq. 1/2) and the optimization-level study.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "hwcounters/counters.hpp"
+#include "power/power_model.hpp"
+#include "rules/rulebases.hpp"
+
+namespace pk = perfknow;
+using pk::hwcounters::Counter;
+using pk::hwcounters::CounterVector;
+using pk::openuh::OptLevel;
+using pk::power::PowerModel;
+using pk::power::PowerStudy;
+
+namespace {
+
+CounterVector busy_vector(double cycles, double ipc, double fp_rate) {
+  CounterVector c;
+  c.set(Counter::kCpuCycles, cycles);
+  c.set(Counter::kInstructionsCompleted, cycles * ipc);
+  c.set(Counter::kInstructionsIssued, cycles * ipc * 1.05);
+  c.set(Counter::kFpOps, cycles * fp_rate);
+  c.set(Counter::kLoads, cycles * 0.4);
+  c.set(Counter::kL2References, cycles * 0.05);
+  c.set(Counter::kL3References, cycles * 0.01);
+  c.set(Counter::kL3Misses, cycles * 0.002);
+  return c;
+}
+
+}  // namespace
+
+TEST(PowerModel, IdleWhenNoCycles) {
+  const auto model = PowerModel::itanium2();
+  const auto e = model.estimate(CounterVector{});
+  EXPECT_DOUBLE_EQ(e.total_watts, model.idle_watts());
+  for (const auto& c : e.components) {
+    EXPECT_DOUBLE_EQ(c.watts, 0.0);
+  }
+}
+
+TEST(PowerModel, BoundedBetweenIdleAndTdp) {
+  const auto model = PowerModel::itanium2();
+  // Saturate every component beyond its peak rate: power caps at TDP.
+  CounterVector c;
+  c.set(Counter::kCpuCycles, 1e9);
+  c.set(Counter::kInstructionsCompleted, 1e11);
+  c.set(Counter::kInstructionsIssued, 1e11);
+  c.set(Counter::kFpOps, 1e11);
+  c.set(Counter::kLoads, 1e11);
+  c.set(Counter::kL2References, 1e11);
+  c.set(Counter::kL3References, 1e11);
+  c.set(Counter::kL3Misses, 1e11);
+  const auto e = model.estimate(c);
+  EXPECT_NEAR(e.total_watts, model.tdp_watts(), 1e-9);
+  for (const auto& comp : e.components) {
+    EXPECT_DOUBLE_EQ(comp.access_rate, 1.0);
+  }
+}
+
+TEST(PowerModel, HigherActivityMorePower) {
+  const auto model = PowerModel::itanium2();
+  const auto low = model.estimate(busy_vector(1e9, 0.5, 0.1));
+  const auto high = model.estimate(busy_vector(1e9, 2.0, 1.0));
+  EXPECT_GT(high.total_watts, low.total_watts);
+  EXPECT_GT(low.total_watts, model.idle_watts());
+}
+
+TEST(PowerModel, InvalidConfigsRejected) {
+  EXPECT_THROW(PowerModel(0.0, 0.0, {{"X", 1.0, 1.0, Counter::kFpOps}}),
+               pk::InvalidArgumentError);
+  EXPECT_THROW(PowerModel(100.0, 100.0, {{"X", 1.0, 1.0, Counter::kFpOps}}),
+               pk::InvalidArgumentError);
+  EXPECT_THROW(PowerModel(100.0, 10.0, {}), pk::InvalidArgumentError);
+  EXPECT_THROW(PowerModel(100.0, 10.0, {{"X", 0.0, 1.0, Counter::kFpOps}}),
+               pk::InvalidArgumentError);
+}
+
+TEST(Energy, Formulas) {
+  EXPECT_DOUBLE_EQ(pk::power::energy_joules(50.0, 2.0), 100.0);
+  EXPECT_DOUBLE_EQ(pk::power::flops_per_joule(200.0, 100.0), 2.0);
+  EXPECT_DOUBLE_EQ(pk::power::flops_per_joule(200.0, 0.0), 0.0);
+}
+
+namespace {
+
+/// Builds a study shaped like the paper's Table I: O0 slow and low-IPC,
+/// O1 scheduled, O2 few instructions, O3 fast with overlap.
+PowerStudy table_like_study() {
+  PowerStudy study(PowerModel::itanium2());
+  const double flops = 1e12;
+  auto add = [&](OptLevel lvl, double seconds, double instr, double ipc) {
+    CounterVector agg;
+    const double cycles = seconds * 1.5e9 * 16;  // 16 CPUs
+    agg.set(Counter::kCpuCycles, cycles);
+    agg.set(Counter::kInstructionsCompleted, instr);
+    agg.set(Counter::kInstructionsIssued, instr * 1.05);
+    agg.set(Counter::kFpOps, flops);
+    agg.set(Counter::kLoads, instr * 0.3);
+    agg.set(Counter::kL2References, instr * 0.05);
+    agg.set(Counter::kL3References, instr * 0.01);
+    agg.set(Counter::kL3Misses, cycles * 0.001);
+    (void)ipc;
+    study.add(lvl, agg, seconds, 16);
+  };
+  add(OptLevel::kO0, 100.0, 1.0e13, 0.9);
+  add(OptLevel::kO1, 34.0, 4.7e12, 1.3);
+  add(OptLevel::kO2, 7.1, 5.9e11, 0.8);
+  add(OptLevel::kO3, 4.9, 5.6e11, 1.1);
+  return study;
+}
+
+}  // namespace
+
+TEST(PowerStudy, RelativeTableNormalizesToO0) {
+  const auto study = table_like_study();
+  const auto table = study.relative_table();
+  ASSERT_EQ(table.size(), 8u);
+  for (const auto& [name, vals] : table) {
+    ASSERT_EQ(vals.size(), 4u);
+    EXPECT_DOUBLE_EQ(vals[0], 1.0) << name;
+  }
+  // Time row matches the inputs.
+  EXPECT_EQ(table[0].first, "Time");
+  EXPECT_NEAR(table[0].second[1], 0.34, 1e-9);
+  // Energy decreases monotonically.
+  const auto& joules = table[6].second;
+  EXPECT_GT(joules[0], joules[1]);
+  EXPECT_GT(joules[1], joules[2]);
+  EXPECT_GT(joules[2], joules[3]);
+  // FLOP/Joule rises strongly.
+  const auto& fpj = table[7].second;
+  EXPECT_GT(fpj[3], 5.0);
+  EXPECT_EQ(study.row(OptLevel::kO2).seconds, 7.1);
+  EXPECT_THROW(PowerStudy(PowerModel::itanium2()).relative_table(),
+               pk::InvalidArgumentError);
+}
+
+TEST(PowerStudy, FactsDriveTheRecommendationRules) {
+  const auto study = table_like_study();
+  pk::rules::RuleHarness h;
+  pk::rules::builtin::use(h, pk::rules::builtin::power());
+  EXPECT_EQ(study.assert_facts(h), 4u);
+  h.process_rules();
+  // One recommendation each for low power, low energy, balanced.
+  ASSERT_EQ(h.diagnoses_for("LowPowerSetting").size(), 1u);
+  ASSERT_EQ(h.diagnoses_for("LowEnergySetting").size(), 1u);
+  ASSERT_EQ(h.diagnoses_for("BalancedSetting").size(), 1u);
+  // Low energy must be the fastest level here (O3): energy ~ time.
+  EXPECT_EQ(h.diagnoses_for("LowEnergySetting")[0].event, "O3");
+}
+
+TEST(PowerStudy, InvalidInputsRejected) {
+  PowerStudy study(PowerModel::itanium2());
+  CounterVector agg;
+  EXPECT_THROW(study.add(OptLevel::kO0, agg, 1.0, 0),
+               pk::InvalidArgumentError);
+  EXPECT_THROW(study.add(OptLevel::kO0, agg, 0.0, 4),
+               pk::InvalidArgumentError);
+  EXPECT_THROW((void)study.row(OptLevel::kO2), pk::NotFoundError);
+}

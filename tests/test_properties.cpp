@@ -1,0 +1,494 @@
+// Property-based tests: invariants that must hold across parameter
+// sweeps, via parameterized gtest suites.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+#include <tuple>
+
+#include "analysis/operations.hpp"
+#include "apps/msap/msap.hpp"
+#include "common/rng.hpp"
+#include "hwcounters/synthesize.hpp"
+#include "machine/machine.hpp"
+#include "perfdmf/snapshot.hpp"
+#include "runtime/omp.hpp"
+
+namespace pk = perfknow;
+using pk::machine::Machine;
+using pk::machine::MachineConfig;
+using pk::runtime::OmpTeam;
+using pk::runtime::Schedule;
+using pk::runtime::ScheduleKind;
+
+// ---------------------------------------------------------------------
+// Property: every schedule, at every thread count, runs every iteration
+// exactly once and conserves total work.
+// ---------------------------------------------------------------------
+
+using ScheduleCase = std::tuple<int /*kind*/, int /*chunk*/, int /*threads*/,
+                                int /*iterations*/>;
+
+class ScheduleProperties : public ::testing::TestWithParam<ScheduleCase> {};
+
+TEST_P(ScheduleProperties, IterationsConserved) {
+  const auto [kind, chunk, threads, n] = GetParam();
+  Machine m(MachineConfig::altix300());
+  OmpTeam team(m, static_cast<unsigned>(threads));
+  Schedule sched{static_cast<ScheduleKind>(kind),
+                 static_cast<std::uint64_t>(chunk)};
+
+  std::vector<int> seen(n, 0);
+  std::uint64_t total_work = 0;
+  const auto r = team.parallel_for(
+      n, sched, [&](std::uint64_t i, unsigned) {
+        ++seen[i];
+        const std::uint64_t w = 13 + (i * 7) % 91;
+        total_work += w;
+        return w;
+      });
+
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(seen[i], 1) << sched.name() << " iteration " << i;
+  }
+  // Work conservation: per-thread work sums to the serial total.
+  const auto sum = std::accumulate(r.work_cycles.begin(),
+                                   r.work_cycles.end(), std::uint64_t{0});
+  EXPECT_EQ(sum, total_work) << sched.name();
+  // The region can never be faster than the critical path (max thread).
+  const auto max_work =
+      *std::max_element(r.work_cycles.begin(), r.work_cycles.end());
+  EXPECT_GE(r.elapsed_cycles, max_work);
+  // Barrier waits: the busiest thread waits zero.
+  const auto min_wait = *std::min_element(r.barrier_wait_cycles.begin(),
+                                          r.barrier_wait_cycles.end());
+  EXPECT_EQ(min_wait, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedules, ScheduleProperties,
+    ::testing::Combine(::testing::Values(0, 1, 2),       // static/dyn/guided
+                       ::testing::Values(0, 1, 7, 64),   // chunk
+                       ::testing::Values(1, 3, 8, 16),   // threads
+                       ::testing::Values(1, 17, 256)));  // iterations
+
+// ---------------------------------------------------------------------
+// Property: PKPROF snapshots round-trip random trials exactly.
+// ---------------------------------------------------------------------
+
+class SnapshotRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SnapshotRoundTrip, Exact) {
+  pk::Rng rng(GetParam());
+  pk::profile::Trial t("random_" + std::to_string(GetParam()));
+  const auto threads = 1 + rng.uniform_int(0, 7);
+  t.set_thread_count(threads);
+  const auto metrics = 1 + rng.uniform_int(0, 3);
+  for (std::uint64_t m = 0; m < metrics; ++m) {
+    t.add_metric("M" + std::to_string(m));
+  }
+  const auto events = 1 + rng.uniform_int(0, 9);
+  for (std::uint64_t e = 0; e < events; ++e) {
+    const auto parent =
+        e == 0 ? pk::profile::kNoEvent
+               : static_cast<pk::profile::EventId>(rng.uniform_int(0, e - 1));
+    t.add_event("ev_" + std::to_string(e) + " => with spaces", parent,
+                e % 2 ? "LOOP" : "");
+  }
+  for (std::size_t th = 0; th < t.thread_count(); ++th) {
+    for (pk::profile::EventId e = 0; e < t.event_count(); ++e) {
+      for (pk::profile::MetricId m = 0; m < t.metric_count(); ++m) {
+        t.set_inclusive(th, e, m, rng.uniform(0, 1e9));
+        t.set_exclusive(th, e, m, rng.uniform(0, 1e9));
+      }
+      t.set_calls(th, e, rng.uniform(0, 1e6), rng.uniform(0, 1e6));
+    }
+  }
+  t.set_metadata("seed", std::to_string(GetParam()));
+
+  std::stringstream ss;
+  pk::perfdmf::write_snapshot(t, ss);
+  const auto back = pk::perfdmf::read_snapshot(ss);
+  ASSERT_EQ(back.thread_count(), t.thread_count());
+  ASSERT_EQ(back.event_count(), t.event_count());
+  ASSERT_EQ(back.metric_count(), t.metric_count());
+  for (std::size_t th = 0; th < t.thread_count(); ++th) {
+    for (pk::profile::EventId e = 0; e < t.event_count(); ++e) {
+      for (pk::profile::MetricId m = 0; m < t.metric_count(); ++m) {
+        ASSERT_DOUBLE_EQ(back.inclusive(th, e, m), t.inclusive(th, e, m));
+        ASSERT_DOUBLE_EQ(back.exclusive(th, e, m), t.exclusive(th, e, m));
+      }
+      ASSERT_DOUBLE_EQ(back.calls(th, e).calls, t.calls(th, e).calls);
+      ASSERT_EQ(back.event(e).parent, t.event(e).parent);
+      ASSERT_EQ(back.event(e).group, t.event(e).group);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotRoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------
+// Property: counter synthesis invariants across stride/extent/pass grid.
+// ---------------------------------------------------------------------
+
+using SynthCase = std::tuple<int /*log2 extent*/, int /*stride*/,
+                             int /*passes*/>;
+
+class SynthesisProperties : public ::testing::TestWithParam<SynthCase> {};
+
+TEST_P(SynthesisProperties, HierarchyAndCycleInvariants) {
+  const auto [log_extent, stride, passes] = GetParam();
+  Machine m(MachineConfig::altix300());
+  pk::hwcounters::Synthesizer synth(m);
+  pk::hwcounters::KernelWork w;
+  w.flops = 500;
+  w.int_instructions = 1500;
+  w.branches = 100;
+  pk::hwcounters::MemoryStream s;
+  s.base = m.address_space().allocate(1ull << log_extent);
+  s.extent_bytes = 1ull << log_extent;
+  s.stride_bytes = static_cast<std::uint32_t>(stride);
+  s.passes = passes;
+  s.write_fraction = 0.25;
+  w.streams.push_back(s);
+
+  const auto r = synth.run(w, 3);
+  const auto& c = r.counters;
+  using pk::hwcounters::Counter;
+  // Cache inclusion.
+  EXPECT_GE(c.get(Counter::kL1dMisses), c.get(Counter::kL2Misses));
+  EXPECT_GE(c.get(Counter::kL2Misses), c.get(Counter::kL3Misses));
+  EXPECT_GE(c.get(Counter::kL3Misses), 0.0);
+  // Local + remote = L3 misses.
+  EXPECT_NEAR(c.get(Counter::kLocalMemoryAccesses) +
+                  c.get(Counter::kRemoteMemoryAccesses),
+              c.get(Counter::kL3Misses), 1e-6);
+  // Cycles >= stalls, >= issue floor.
+  EXPECT_GE(c.get(Counter::kCpuCycles), c.get(Counter::kBackEndBubbleAll));
+  EXPECT_GE(c.get(Counter::kCpuCycles),
+            c.get(Counter::kInstructionsCompleted) /
+                m.config().issue_width);
+  // Stall decomposition sums to BACK_END_BUBBLE_ALL.
+  const auto d = pk::hwcounters::decompose_stalls(c);
+  EXPECT_NEAR(d.total(), c.get(Counter::kBackEndBubbleAll),
+              1e-6 * std::max(1.0, d.total()));
+  // Issued >= retired.
+  EXPECT_GE(c.get(Counter::kInstructionsIssued),
+            c.get(Counter::kInstructionsCompleted));
+  // Determinism.
+  Machine m2(MachineConfig::altix300());
+  pk::hwcounters::Synthesizer synth2(m2);
+  auto w2 = w;
+  w2.streams[0].base = m2.address_space().allocate(1ull << log_extent);
+  const auto r2 = synth2.run(w2, 3);
+  EXPECT_EQ(r.cycles, r2.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SynthesisProperties,
+    ::testing::Combine(::testing::Values(10, 14, 18, 23),  // 1KB..8MB
+                       ::testing::Values(4, 8, 64, 256),
+                       ::testing::Values(1, 3, 10)));
+
+// ---------------------------------------------------------------------
+// Property: MSAP efficiency is monotone in schedule quality at 16
+// threads, across problem seeds.
+// ---------------------------------------------------------------------
+
+class MsapSeedProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MsapSeedProperties, DynamicBeatsStaticAtSixteenThreads) {
+  namespace msap = pk::apps::msap;
+  auto run = [&](const Schedule& sched) {
+    Machine machine(MachineConfig::altix300());
+    msap::MsapConfig cfg;
+    cfg.num_sequences = 200;
+    cfg.threads = 16;
+    cfg.schedule = sched;
+    cfg.seed = GetParam();
+    return msap::run_msap(machine, cfg);
+  };
+  const auto st = run(Schedule::static_even());
+  const auto dy = run(Schedule::dynamic(1));
+  EXPECT_LT(dy.elapsed_cycles, st.elapsed_cycles) << "seed " << GetParam();
+  EXPECT_LT(dy.stage1_loop.imbalance(), st.stage1_loop.imbalance());
+  // The sum of all threads' inner-loop work is schedule-invariant.
+  const auto sum = [](const msap::MsapResult& r) {
+    return std::accumulate(r.stage1_loop.work_cycles.begin(),
+                           r.stage1_loop.work_cycles.end(),
+                           std::uint64_t{0});
+  };
+  EXPECT_EQ(sum(st), sum(dy));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MsapSeedProperties,
+                         ::testing::Values(1, 7, 42, 2008, 90125));
+
+// ---------------------------------------------------------------------
+// Property: derived metrics commute with the mean across threads for
+// linear ops (ADD/SUBTRACT), across random trials.
+// ---------------------------------------------------------------------
+
+class DeriveProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeriveProperties, LinearOpsCommuteWithThreadMean) {
+  pk::Rng rng(GetParam());
+  pk::profile::Trial t("d");
+  t.set_thread_count(8);
+  t.add_metric("A");
+  t.add_metric("B");
+  const auto e = t.add_event("ev");
+  for (std::size_t th = 0; th < 8; ++th) {
+    t.set_exclusive(th, e, 0, rng.uniform(0, 100));
+    t.set_exclusive(th, e, 1, rng.uniform(0, 100));
+  }
+  const auto mean_a = t.mean_exclusive(e, 0);
+  const auto mean_b = t.mean_exclusive(e, 1);
+  const auto sum =
+      pk::analysis::derive_metric(t, "A", "B", pk::analysis::DeriveOp::kAdd);
+  EXPECT_NEAR(t.mean_exclusive(e, sum), mean_a + mean_b, 1e-9);
+  const auto diff = pk::analysis::derive_metric(
+      t, "A", "B", pk::analysis::DeriveOp::kSubtract);
+  EXPECT_NEAR(t.mean_exclusive(e, diff), mean_a - mean_b, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeriveProperties,
+                         ::testing::Range<std::uint64_t>(100, 110));
+
+// ---------------------------------------------------------------------
+// Property: MPI clocks are monotone and messages are conserved across
+// random BSP exchanges.
+// ---------------------------------------------------------------------
+
+#include "runtime/mpi.hpp"
+
+class MpiProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MpiProperties, ClockMonotoneAndMessagesConserved) {
+  pk::Rng rng(GetParam());
+  const auto ranks = static_cast<unsigned>(2 + rng.uniform_int(0, 6));
+  Machine m(MachineConfig::altix300());
+  pk::runtime::MpiWorld w(m, ranks);
+
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::vector<std::uint64_t> last_clock(ranks, 0);
+  auto check_monotone = [&]() {
+    for (unsigned r = 0; r < ranks; ++r) {
+      ASSERT_GE(w.clock(r), last_clock[r]);
+      last_clock[r] = w.clock(r);
+    }
+  };
+
+  for (int round = 0; round < 10; ++round) {
+    // Random compute.
+    for (unsigned r = 0; r < ranks; ++r) {
+      w.compute(r, rng.uniform_int(0, 100000));
+    }
+    check_monotone();
+    // Ring exchange with random payloads.
+    std::vector<pk::runtime::MpiRequest> sends(ranks), recvs(ranks);
+    for (unsigned r = 0; r < ranks; ++r) {
+      const auto bytes = rng.uniform_int(64, 65536);
+      sends[r] = w.isend(r, (r + 1) % ranks, bytes, round);
+      recvs[r] = w.irecv(r, (r + ranks - 1) % ranks, bytes, round);
+      ++sent;
+    }
+    check_monotone();
+    for (unsigned r = 0; r < ranks; ++r) {
+      w.wait(r, recvs[r]);
+      w.wait(r, sends[r]);
+      ++received;
+    }
+    check_monotone();
+    if (round % 3 == 0) {
+      w.barrier();
+      check_monotone();
+      // After a barrier every clock is equal.
+      for (unsigned r = 1; r < ranks; ++r) {
+        ASSERT_EQ(w.clock(r), w.clock(0));
+      }
+    }
+  }
+  EXPECT_EQ(sent, received);
+  // Elapsed equals the max clock.
+  std::uint64_t max_clock = 0;
+  for (unsigned r = 0; r < ranks; ++r) {
+    max_clock = std::max(max_clock, w.clock(r));
+  }
+  EXPECT_EQ(w.elapsed(), max_clock);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MpiProperties,
+                         ::testing::Range<std::uint64_t>(200, 208));
+
+// ---------------------------------------------------------------------
+// Property: LNO cost-model monotonicity — more iterations never cost
+// less; more threads never raise the parallel per-thread compute share.
+// ---------------------------------------------------------------------
+
+#include "openuh/cost_model.hpp"
+
+class CostModelProperties
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CostModelProperties, MonotoneInWorkAndLevel) {
+  const auto [log_n, opt] = GetParam();
+  const auto n = 1ull << log_n;
+  pk::openuh::CostModel model(MachineConfig::altix300());
+  const auto cg =
+      pk::openuh::codegen_profile(static_cast<pk::openuh::OptLevel>(opt));
+
+  auto nest_of = [](std::uint64_t iters) {
+    pk::openuh::LoopNest nest;
+    nest.name = "n";
+    nest.trip_counts = {iters};
+    nest.flops_per_iter = 4.0;
+    nest.int_ops_per_iter = 20.0;
+    nest.parallelizable = true;
+    pk::openuh::ArrayRef a;
+    a.name = "x";
+    a.extent_elements = iters;
+    nest.arrays.push_back(a);
+    return nest;
+  };
+
+  const double small = model.evaluate(nest_of(n), cg).total();
+  const double big = model.evaluate(nest_of(2 * n), cg).total();
+  EXPECT_GT(big, small);
+
+  // Higher optimization level never predicts more cycles for the same
+  // nest (each pass only removes work or hides stalls in this model).
+  if (opt < 3) {
+    const auto cg_next = pk::openuh::codegen_profile(
+        static_cast<pk::openuh::OptLevel>(opt + 1));
+    EXPECT_LE(model.evaluate(nest_of(n), cg_next).total(),
+              model.evaluate(nest_of(n), cg).total() * 1.01);
+  }
+
+  // Parallel compute share shrinks with threads.
+  pk::openuh::Transformation p8;
+  p8.parallelize = true;
+  p8.num_threads = 8;
+  pk::openuh::Transformation p2;
+  p2.parallelize = true;
+  p2.num_threads = 2;
+  EXPECT_LT(model.evaluate(nest_of(n), cg, p8).compute_cycles,
+            model.evaluate(nest_of(n), cg, p2).compute_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CostModelProperties,
+    ::testing::Combine(::testing::Values(10, 14, 18, 21),
+                       ::testing::Values(0, 1, 2, 3)));
+
+// ---------------------------------------------------------------------
+// Property: rule-engine results are invariant to fact assertion order.
+// ---------------------------------------------------------------------
+
+#include "analysis/facts.hpp"
+#include "rules/rulebases.hpp"
+
+class RuleOrderProperties : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RuleOrderProperties, DiagnosesIndependentOfAssertionOrder) {
+  pk::Rng rng(GetParam());
+  // A pool of facts, some of which satisfy the load-imbalance join.
+  struct Quad {
+    double cv_outer, cv_inner, frac, corr;
+  };
+  std::vector<Quad> quads;
+  for (int i = 0; i < 6; ++i) {
+    quads.push_back({0.1 + 0.1 * static_cast<double>(i),
+                     0.6 - 0.05 * static_cast<double>(i),
+                     0.04 + 0.03 * static_cast<double>(i),
+                     -0.95 + 0.3 * static_cast<double>(i)});
+  }
+
+  auto run_with_order = [&](const std::vector<std::size_t>& order) {
+    pk::rules::RuleHarness h;
+    pk::rules::builtin::use(h, pk::rules::builtin::load_imbalance());
+    for (const auto i : order) {
+      const auto& q = quads[i];
+      const std::string outer = "outer" + std::to_string(i);
+      const std::string inner = "inner" + std::to_string(i);
+      h.assert_fact(pk::rules::Fact("LoadBalanceFact")
+                        .set("eventName", outer)
+                        .set("cv", q.cv_outer)
+                        .set("runtimeFraction", q.frac));
+      h.assert_fact(pk::rules::Fact("LoadBalanceFact")
+                        .set("eventName", inner)
+                        .set("cv", q.cv_inner)
+                        .set("runtimeFraction", q.frac));
+      h.assert_fact(pk::rules::Fact("NestingFact")
+                        .set("parentEvent", outer)
+                        .set("childEvent", inner));
+      h.assert_fact(pk::rules::Fact("CorrelationFact")
+                        .set("eventA", outer)
+                        .set("eventB", inner)
+                        .set("metric", "TIME")
+                        .set("correlation", q.corr));
+    }
+    h.process_rules();
+    std::vector<std::string> events;
+    for (const auto& d : h.diagnoses()) events.push_back(d.event);
+    std::sort(events.begin(), events.end());
+    return events;
+  };
+
+  std::vector<std::size_t> order = {0, 1, 2, 3, 4, 5};
+  const auto baseline = run_with_order(order);
+  for (int shuffle = 0; shuffle < 4; ++shuffle) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.uniform_int(0, i - 1)]);
+    }
+    EXPECT_EQ(run_with_order(order), baseline);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuleOrderProperties,
+                         ::testing::Range<std::uint64_t>(300, 305));
+
+// ---------------------------------------------------------------------
+// Property: PCA with k = dims reconstructs every (centered) row exactly.
+// ---------------------------------------------------------------------
+
+#include "analysis/pca.hpp"
+
+class PcaProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PcaProperties, FullRankProjectionPreservesDistances) {
+  pk::Rng rng(GetParam());
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 12; ++i) {
+    rows.push_back({rng.uniform(-5, 5), rng.uniform(-5, 5),
+                    rng.uniform(-5, 5)});
+  }
+  const auto r = pk::analysis::pca(rows, 3);
+  ASSERT_EQ(r.components.size(), 3u);
+  // Pairwise distances are preserved by an orthonormal change of basis.
+  auto dist2 = [](const std::vector<double>& a,
+                  const std::vector<double>& b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      s += (a[i] - b[i]) * (a[i] - b[i]);
+    }
+    return s;
+  };
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = i + 1; j < rows.size(); ++j) {
+      EXPECT_NEAR(dist2(rows[i], rows[j]),
+                  dist2(r.projected[i], r.projected[j]),
+                  1e-6 * (1.0 + dist2(rows[i], rows[j])));
+    }
+  }
+  // Explained ratios sum to ~1 at full rank.
+  double total = 0.0;
+  for (const double x : r.explained_ratio) total += x;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PcaProperties,
+                         ::testing::Range<std::uint64_t>(400, 406));

@@ -1,0 +1,412 @@
+// Tests for the inference engine and the .rules DSL front end.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "rules/engine.hpp"
+#include "rules/fact.hpp"
+#include "rules/parser.hpp"
+#include "rules/rulebases.hpp"
+
+namespace pk = perfknow;
+using pk::rules::Bindings;
+using pk::rules::CmpOp;
+using pk::rules::Constraint;
+using pk::rules::Fact;
+using pk::rules::FactValue;
+using pk::rules::FieldBinding;
+using pk::rules::Operand;
+using pk::rules::Pattern;
+using pk::rules::Rule;
+using pk::rules::RuleContext;
+using pk::rules::RuleHarness;
+using pk::rules::WorkingMemory;
+
+TEST(FactValues, EqualityAndOrdering) {
+  EXPECT_TRUE(pk::rules::values_equal(FactValue(1.0), FactValue(1.0)));
+  EXPECT_FALSE(pk::rules::values_equal(FactValue(1.0), FactValue("1")));
+  EXPECT_TRUE(pk::rules::values_equal(FactValue(true), FactValue("true")));
+  EXPECT_TRUE(pk::rules::values_equal(FactValue("false"), FactValue(false)));
+  EXPECT_TRUE(pk::rules::values_less(FactValue(1.0), FactValue(2.0)));
+  EXPECT_TRUE(pk::rules::values_less(FactValue("a"), FactValue("b")));
+  EXPECT_FALSE(pk::rules::values_less(FactValue(1.0), FactValue("b")));
+}
+
+TEST(FactValues, Display) {
+  EXPECT_EQ(pk::rules::to_display(FactValue(3.0)), "3");
+  EXPECT_EQ(pk::rules::to_display(FactValue(0.3140)), "0.3140");
+  EXPECT_EQ(pk::rules::to_display(FactValue("hi")), "hi");
+  EXPECT_EQ(pk::rules::to_display(FactValue(true)), "true");
+}
+
+TEST(Fact, FieldAccess) {
+  Fact f("T");
+  f.set("x", 2.5).set("name", "loop").set("flag", true);
+  EXPECT_DOUBLE_EQ(f.number("x"), 2.5);
+  EXPECT_EQ(f.text("name"), "loop");
+  EXPECT_TRUE(f.boolean("flag"));
+  EXPECT_THROW((void)f.get("absent"), pk::NotFoundError);
+  EXPECT_THROW((void)f.number("name"), pk::EvalError);
+  EXPECT_NE(f.str().find("name=loop"), std::string::npos);
+}
+
+TEST(WorkingMemoryTest, AssertRetractQuery) {
+  WorkingMemory wm;
+  const auto a = wm.assert_fact(Fact("A"));
+  const auto b = wm.assert_fact(Fact("B"));
+  const auto a2 = wm.assert_fact(Fact("A"));
+  EXPECT_EQ(wm.size(), 3u);
+  EXPECT_EQ(wm.ids_of_type("A"), (std::vector<pk::rules::FactId>{a, a2}));
+  EXPECT_TRUE(wm.retract(b));
+  EXPECT_FALSE(wm.retract(b));
+  EXPECT_EQ(wm.find(b), nullptr);
+  EXPECT_NE(wm.find(a), nullptr);
+}
+
+namespace {
+
+Rule simple_rule(const std::string& name, const std::string& type,
+                 double threshold, int salience,
+                 std::vector<std::string>* fired) {
+  Rule r;
+  r.name = name;
+  r.salience = salience;
+  Pattern p;
+  p.fact_type = type;
+  p.constraints.push_back(
+      Constraint{"value", CmpOp::kGt, Operand::lit(threshold)});
+  p.bindings.push_back(FieldBinding{"v", "value"});
+  r.patterns.push_back(std::move(p));
+  r.action = [name, fired](RuleContext& ctx) {
+    fired->push_back(name + ":" +
+                     pk::rules::to_display(ctx.binding("v")));
+  };
+  return r;
+}
+
+}  // namespace
+
+TEST(Engine, SinglePatternFiresPerMatchingFact) {
+  RuleHarness h;
+  std::vector<std::string> fired;
+  h.add_rule(simple_rule("big", "Sample", 10.0, 0, &fired));
+  h.assert_fact(Fact("Sample").set("value", 5.0));
+  h.assert_fact(Fact("Sample").set("value", 15.0));
+  h.assert_fact(Fact("Sample").set("value", 25.0));
+  h.assert_fact(Fact("Other").set("value", 100.0));
+  EXPECT_EQ(h.process_rules(), 2u);
+  EXPECT_EQ(fired, (std::vector<std::string>{"big:15", "big:25"}));
+}
+
+TEST(Engine, SalienceOrdersFirings) {
+  RuleHarness h;
+  std::vector<std::string> fired;
+  h.add_rule(simple_rule("low", "S", 0.0, 1, &fired));
+  h.add_rule(simple_rule("high", "S", 0.0, 9, &fired));
+  h.assert_fact(Fact("S").set("value", 1.0));
+  h.process_rules();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], "high:1");
+  EXPECT_EQ(fired[1], "low:1");
+}
+
+TEST(Engine, FiresOncePerActivation) {
+  RuleHarness h;
+  std::vector<std::string> fired;
+  h.add_rule(simple_rule("r", "S", 0.0, 0, &fired));
+  h.assert_fact(Fact("S").set("value", 1.0));
+  EXPECT_EQ(h.process_rules(), 1u);
+  EXPECT_EQ(h.process_rules(), 0u);  // second call: nothing new
+  h.assert_fact(Fact("S").set("value", 2.0));
+  EXPECT_EQ(h.process_rules(), 1u);  // only the new fact fires
+}
+
+TEST(Engine, ChainingThroughAssertedFacts) {
+  RuleHarness h;
+  std::vector<std::string> fired;
+  // Rule 1: A(value > 0) => assert B(value = 2*value)
+  Rule r1;
+  r1.name = "a_to_b";
+  Pattern p1;
+  p1.fact_type = "A";
+  p1.bindings.push_back(FieldBinding{"v", "value"});
+  r1.patterns.push_back(std::move(p1));
+  r1.action = [](RuleContext& ctx) {
+    const double v = std::get<double>(ctx.binding("v"));
+    ctx.assert_fact(Fact("B").set("value", 2.0 * v));
+  };
+  h.add_rule(std::move(r1));
+  h.add_rule(simple_rule("b", "B", 5.0, 0, &fired));
+  h.assert_fact(Fact("A").set("value", 4.0));
+  h.process_rules();
+  EXPECT_EQ(fired, (std::vector<std::string>{"b:8"}));
+}
+
+TEST(Engine, JoinOverTwoPatternsWithVariableEquality) {
+  RuleHarness h;
+  std::vector<std::string> fired;
+  Rule r;
+  r.name = "join";
+  Pattern p1;
+  p1.fact_type = "Parent";
+  p1.bindings.push_back(FieldBinding{"pe", "name"});
+  r.patterns.push_back(std::move(p1));
+  Pattern p2;
+  p2.fact_type = "Child";
+  p2.constraints.push_back(
+      Constraint{"parent", CmpOp::kEq, Operand::var("pe")});
+  p2.bindings.push_back(FieldBinding{"ce", "name"});
+  r.patterns.push_back(std::move(p2));
+  r.action = [&fired](RuleContext& ctx) {
+    fired.push_back(pk::rules::to_display(ctx.binding("pe")) + "->" +
+                    pk::rules::to_display(ctx.binding("ce")));
+  };
+  h.add_rule(std::move(r));
+  h.assert_fact(Fact("Parent").set("name", "outer"));
+  h.assert_fact(Fact("Parent").set("name", "other"));
+  h.assert_fact(Fact("Child").set("name", "inner").set("parent", "outer"));
+  h.assert_fact(Fact("Child").set("name", "stray").set("parent", "none"));
+  EXPECT_EQ(h.process_rules(), 1u);
+  EXPECT_EQ(fired, (std::vector<std::string>{"outer->inner"}));
+}
+
+TEST(Engine, MissingFieldFailsPatternSilently) {
+  RuleHarness h;
+  std::vector<std::string> fired;
+  h.add_rule(simple_rule("r", "S", 0.0, 0, &fired));
+  h.assert_fact(Fact("S"));  // no 'value' field
+  EXPECT_EQ(h.process_rules(), 0u);
+}
+
+TEST(Engine, RunawayChainGuard) {
+  RuleHarness h;
+  Rule r;
+  r.name = "loop";
+  Pattern p;
+  p.fact_type = "X";
+  r.patterns.push_back(std::move(p));
+  r.action = [](RuleContext& ctx) { ctx.assert_fact(Fact("X")); };
+  h.add_rule(std::move(r));
+  h.assert_fact(Fact("X"));
+  EXPECT_THROW(h.process_rules(100), pk::EvalError);
+}
+
+TEST(Engine, RejectsMalformedRules) {
+  RuleHarness h;
+  Rule no_patterns;
+  no_patterns.name = "bad";
+  no_patterns.action = [](RuleContext&) {};
+  EXPECT_THROW(h.add_rule(std::move(no_patterns)),
+               pk::InvalidArgumentError);
+  Rule no_action;
+  no_action.name = "bad2";
+  Pattern p;
+  p.fact_type = "X";
+  no_action.patterns.push_back(std::move(p));
+  EXPECT_THROW(h.add_rule(std::move(no_action)), pk::InvalidArgumentError);
+}
+
+// ---------------------------------------------------------------------
+// DSL parser
+// ---------------------------------------------------------------------
+
+TEST(Parser, ParsesFig2StyleRule) {
+  const std::string src = R"RULES(
+    // the paper's example rule
+    rule "Stalls per Cycle"
+    when
+      f : MeanEventFact( metric == "(BACK_END_BUBBLE_ALL / CPU_CYCLES)",
+                         higherLower == "higher",
+                         severity > 0.10,
+                         e : eventName,
+                         a : mainValue,
+                         v : eventValue,
+                         factType == "Compared to Main" )
+    then
+      print("Event " + e + " has a higher than average stall / cycle rate")
+      print("\tAverage stall / cycle: " + a)
+      print("\tEvent stall / cycle: " + v)
+      print("\tPercentage of total runtime: " + f.severity)
+    end
+  )RULES";
+  const auto rules = pk::rules::parse_rules(src);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].name, "Stalls per Cycle");
+  ASSERT_EQ(rules[0].patterns.size(), 1u);
+  EXPECT_EQ(rules[0].patterns[0].fact_type, "MeanEventFact");
+  EXPECT_EQ(rules[0].patterns[0].constraints.size(), 4u);
+  EXPECT_EQ(rules[0].patterns[0].bindings.size(), 3u);
+
+  RuleHarness h;
+  pk::rules::add_rules(h, src);
+  h.assert_fact(Fact("MeanEventFact")
+                    .set("metric", "(BACK_END_BUBBLE_ALL / CPU_CYCLES)")
+                    .set("higherLower", "higher")
+                    .set("severity", 0.31)
+                    .set("eventName", "exchange_var__")
+                    .set("mainValue", 0.25)
+                    .set("eventValue", 0.55)
+                    .set("factType", "Compared to Main"));
+  h.assert_fact(Fact("MeanEventFact")
+                    .set("metric", "(BACK_END_BUBBLE_ALL / CPU_CYCLES)")
+                    .set("higherLower", "lower")
+                    .set("severity", 0.31)
+                    .set("eventName", "quiet")
+                    .set("mainValue", 0.25)
+                    .set("eventValue", 0.05)
+                    .set("factType", "Compared to Main"));
+  EXPECT_EQ(h.process_rules(), 1u);
+  ASSERT_EQ(h.output().size(), 4u);
+  EXPECT_EQ(h.output()[0],
+            "Event exchange_var__ has a higher than average stall / cycle "
+            "rate");
+  EXPECT_EQ(h.output()[3], "\tPercentage of total runtime: 0.3100");
+}
+
+TEST(Parser, SalienceAndMultipleRules) {
+  const std::string src = R"RULES(
+    rule "a" salience 5
+    when X( v > 1 ) then print("a") end
+    rule "b" salience -2
+    when X( v > 1 ) then print("b") end
+  )RULES";
+  const auto rules = pk::rules::parse_rules(src);
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].salience, 5);
+  EXPECT_EQ(rules[1].salience, -2);
+}
+
+TEST(Parser, DiagnoseAndAssertActions) {
+  const std::string src = R"RULES(
+    rule "chain start"
+    when S( x > 0, n : name )
+    then
+      assert(Derived(label = n + "!", doubled = s.missing + 0))
+    end
+  )RULES";
+  // s.missing is unbound -> parse ok, eval error at fire time.
+  RuleHarness h;
+  pk::rules::add_rules(h, src);
+  h.assert_fact(Fact("S").set("x", 1.0).set("name", "n1"));
+  EXPECT_THROW(h.process_rules(), pk::EvalError);
+
+  const std::string good = R"RULES(
+    rule "diagnose it"
+    when f : S( x > 0, n : name )
+    then
+      diagnose(problem = "TooSlow", event = n, severity = f.x * 2,
+               recommendation = "speed " + n + " up")
+      assert(Derived(label = n))
+    end
+    rule "follow up"
+    when Derived( label == "n1" )
+    then print("chained") end
+  )RULES";
+  RuleHarness h2;
+  pk::rules::add_rules(h2, good);
+  h2.assert_fact(Fact("S").set("x", 0.25).set("name", "n1"));
+  EXPECT_EQ(h2.process_rules(), 2u);
+  ASSERT_EQ(h2.diagnoses().size(), 1u);
+  EXPECT_EQ(h2.diagnoses()[0].problem, "TooSlow");
+  EXPECT_EQ(h2.diagnoses()[0].event, "n1");
+  EXPECT_DOUBLE_EQ(h2.diagnoses()[0].severity, 0.5);
+  EXPECT_EQ(h2.diagnoses()[0].recommendation, "speed n1 up");
+  EXPECT_EQ(h2.diagnoses()[0].rule, "diagnose it");
+  EXPECT_EQ(h2.output(), (std::vector<std::string>{"chained"}));
+  EXPECT_EQ(h2.diagnoses_for("TooSlow").size(), 1u);
+  EXPECT_TRUE(h2.diagnoses_for("Other").empty());
+}
+
+TEST(Parser, ArithmeticInConstraints) {
+  const std::string src = R"RULES(
+    rule "ratio"
+    when
+      a : A( t : threshold )
+      B( value > t * 2 + 1 )
+    then print("fired") end
+  )RULES";
+  RuleHarness h;
+  pk::rules::add_rules(h, src);
+  h.assert_fact(Fact("A").set("threshold", 10.0));
+  h.assert_fact(Fact("B").set("value", 22.0));  // > 21 -> fires
+  h.assert_fact(Fact("B").set("value", 20.0));  // not
+  EXPECT_EQ(h.process_rules(), 1u);
+}
+
+TEST(Parser, SyntaxErrorsCarryLineNumbers) {
+  try {
+    (void)pk::rules::parse_rules("rule \"x\"\nwhen\nF( a ==\n");
+    FAIL() << "expected ParseError";
+  } catch (const pk::ParseError& e) {
+    EXPECT_GE(e.line(), 3);
+  }
+  EXPECT_THROW(pk::rules::parse_rules("rule \"x\" when F(a == 1) then end x"),
+               pk::ParseError);
+  EXPECT_THROW(pk::rules::parse_rules("rule x"), pk::ParseError);
+  EXPECT_THROW(pk::rules::parse_rules("rule \"x\" when then print(\"\") end"),
+               pk::ParseError);
+  EXPECT_THROW(pk::rules::parse_rules("rule \"x\"\nwhen F(a == \"unclosed"),
+               pk::ParseError);
+}
+
+TEST(Builtin, AllRulebasesParse) {
+  for (const auto src :
+       {pk::rules::builtin::stalls_per_cycle(),
+        pk::rules::builtin::load_imbalance(),
+        pk::rules::builtin::inefficiency(),
+        pk::rules::builtin::stall_coverage(),
+        pk::rules::builtin::memory_locality(), pk::rules::builtin::power()}) {
+    EXPECT_GE(pk::rules::parse_rules(std::string(src)).size(), 1u);
+  }
+  RuleHarness h;
+  pk::rules::add_rules(h, pk::rules::builtin::openuh_rules());
+  EXPECT_GE(h.rule_count(), 10u);
+}
+
+TEST(Builtin, LoadImbalanceRuleJoins) {
+  RuleHarness h;
+  pk::rules::builtin::use(h, pk::rules::builtin::load_imbalance());
+  h.assert_fact(Fact("LoadBalanceFact")
+                    .set("eventName", "outer_loop")
+                    .set("cv", 0.4)
+                    .set("runtimeFraction", 0.3));
+  h.assert_fact(Fact("LoadBalanceFact")
+                    .set("eventName", "inner_loop")
+                    .set("cv", 0.35)
+                    .set("runtimeFraction", 0.6));
+  h.assert_fact(Fact("NestingFact")
+                    .set("parentEvent", "outer_loop")
+                    .set("childEvent", "inner_loop"));
+  h.assert_fact(Fact("CorrelationFact")
+                    .set("eventA", "outer_loop")
+                    .set("eventB", "inner_loop")
+                    .set("metric", "TIME")
+                    .set("correlation", -0.95));
+  EXPECT_EQ(h.process_rules(), 1u);
+  const auto diags = h.diagnoses_for("LoadImbalance");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].event, "inner_loop");
+  EXPECT_NE(diags[0].recommendation.find("dynamic,1"), std::string::npos);
+}
+
+TEST(Builtin, LoadImbalanceNeedsAllFourConditions) {
+  // Without the negative correlation the rule must stay silent.
+  RuleHarness h;
+  pk::rules::builtin::use(h, pk::rules::builtin::load_imbalance());
+  h.assert_fact(Fact("LoadBalanceFact")
+                    .set("eventName", "outer_loop")
+                    .set("cv", 0.4)
+                    .set("runtimeFraction", 0.3));
+  h.assert_fact(Fact("LoadBalanceFact")
+                    .set("eventName", "inner_loop")
+                    .set("cv", 0.35)
+                    .set("runtimeFraction", 0.6));
+  h.assert_fact(Fact("NestingFact")
+                    .set("parentEvent", "outer_loop")
+                    .set("childEvent", "inner_loop"));
+  h.assert_fact(Fact("CorrelationFact")
+                    .set("eventA", "outer_loop")
+                    .set("eventB", "inner_loop")
+                    .set("metric", "TIME")
+                    .set("correlation", 0.2));
+  EXPECT_EQ(h.process_rules(), 0u);
+}

@@ -1,0 +1,309 @@
+// Tests for the virtual-clock runtime: OpenMP team scheduling and the
+// simulated MPI world.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "machine/machine.hpp"
+#include "runtime/mpi.hpp"
+#include "runtime/omp.hpp"
+
+namespace pk = perfknow;
+using pk::machine::Machine;
+using pk::machine::MachineConfig;
+using pk::runtime::MpiRequest;
+using pk::runtime::MpiWorld;
+using pk::runtime::OmpTeam;
+using pk::runtime::ParallelForResult;
+using pk::runtime::Schedule;
+
+namespace {
+
+Machine altix() { return Machine(MachineConfig::altix300()); }
+
+}  // namespace
+
+TEST(Schedule, Names) {
+  EXPECT_EQ(Schedule::static_even().name(), "static");
+  EXPECT_EQ(Schedule::static_chunked(100).name(), "static,100");
+  EXPECT_EQ(Schedule::dynamic(1).name(), "dynamic,1");
+  EXPECT_EQ(Schedule::guided(8).name(), "guided,8");
+}
+
+TEST(OmpTeam, ConstructionLimits) {
+  auto m = altix();
+  EXPECT_THROW(OmpTeam(m, 0), pk::InvalidArgumentError);
+  EXPECT_THROW(OmpTeam(m, 17), pk::InvalidArgumentError);  // 16 CPUs
+  OmpTeam team(m, 16);
+  EXPECT_EQ(team.num_threads(), 16u);
+  EXPECT_EQ(team.cpu_of(3), 3u);
+  EXPECT_EQ(team.node_of(3), 1u);
+}
+
+TEST(OmpTeam, AllIterationsRunExactlyOnce) {
+  auto m = altix();
+  OmpTeam team(m, 4);
+  for (const auto sched : {Schedule::static_even(), Schedule::static_chunked(3),
+                           Schedule::dynamic(1), Schedule::dynamic(5),
+                           Schedule::guided(1)}) {
+    std::vector<int> seen(100, 0);
+    const auto r = team.parallel_for(
+        100, sched, [&](std::uint64_t i, unsigned) {
+          ++seen[i];
+          return 10;
+        });
+    for (int s : seen) EXPECT_EQ(s, 1) << sched.name();
+    const auto total = std::accumulate(r.iterations_run.begin(),
+                                       r.iterations_run.end(), 0ull);
+    EXPECT_EQ(total, 100u) << sched.name();
+    EXPECT_EQ(r.total_iterations, 100u);
+  }
+}
+
+TEST(OmpTeam, StaticEvenSplitsContiguously) {
+  auto m = altix();
+  OmpTeam team(m, 4);
+  std::vector<unsigned> owner(8, 99);
+  (void)team.parallel_for(8, Schedule::static_even(),
+                          [&](std::uint64_t i, unsigned t) {
+                            owner[i] = t;
+                            return 1;
+                          });
+  EXPECT_EQ(owner, (std::vector<unsigned>{0, 0, 1, 1, 2, 2, 3, 3}));
+}
+
+TEST(OmpTeam, UniformWorkIsBalanced) {
+  auto m = altix();
+  OmpTeam team(m, 8);
+  const auto r = team.parallel_for(
+      800, Schedule::static_even(),
+      [](std::uint64_t, unsigned) { return 100; });
+  EXPECT_NEAR(r.imbalance(), 0.0, 1e-9);
+  for (const auto w : r.work_cycles) EXPECT_EQ(w, 10000u);
+}
+
+TEST(OmpTeam, TriangularWorkImbalancedUnderStaticBalancedUnderDynamic) {
+  // Decreasing per-iteration cost, like MSAP's triangular pair loop.
+  auto m = altix();
+  OmpTeam team(m, 8);
+  auto body = [](std::uint64_t i, unsigned) { return 10 * (1000 - i); };
+  const auto st = team.parallel_for(1000, Schedule::static_even(), body);
+  const auto dy = team.parallel_for(1000, Schedule::dynamic(1), body);
+  EXPECT_GT(st.imbalance(), 0.25);  // the paper's rule threshold
+  EXPECT_LT(dy.imbalance(), 0.05);
+  EXPECT_LT(dy.elapsed_cycles, st.elapsed_cycles);
+}
+
+TEST(OmpTeam, BarrierWaitMirrorsWork) {
+  auto m = altix();
+  OmpTeam team(m, 4);
+  // Thread with more work waits less: work+wait is equal across threads.
+  auto body = [](std::uint64_t i, unsigned) { return (i % 4 == 0) ? 400 : 100; };
+  const auto r = team.parallel_for(64, Schedule::static_chunked(1), body);
+  for (unsigned t = 0; t < 4; ++t) {
+    const auto sum = r.work_cycles[t] + r.barrier_wait_cycles[t] +
+                     r.dispatch_cycles[t];
+    const auto sum0 = r.work_cycles[0] + r.barrier_wait_cycles[0] +
+                      r.dispatch_cycles[0];
+    EXPECT_EQ(sum, sum0);
+  }
+}
+
+TEST(OmpTeam, DynamicDispatchOverheadGrowsWithChunkCount) {
+  auto m = altix();
+  OmpTeam team(m, 4);
+  auto body = [](std::uint64_t, unsigned) { return 50; };
+  const auto fine = team.parallel_for(1000, Schedule::dynamic(1), body);
+  const auto coarse = team.parallel_for(1000, Schedule::dynamic(100), body);
+  const auto fine_overhead = std::accumulate(
+      fine.dispatch_cycles.begin(), fine.dispatch_cycles.end(), 0ull);
+  const auto coarse_overhead = std::accumulate(
+      coarse.dispatch_cycles.begin(), coarse.dispatch_cycles.end(), 0ull);
+  EXPECT_GT(fine_overhead, coarse_overhead * 10);
+}
+
+TEST(OmpTeam, GuidedChunksShrink) {
+  auto m = altix();
+  OmpTeam team(m, 4);
+  std::vector<std::uint64_t> chunk_sizes;
+  std::uint64_t last = 0;
+  std::uint64_t run = 0;
+  unsigned last_thread = 99;
+  (void)team.parallel_for(1000, Schedule::guided(1),
+                          [&](std::uint64_t i, unsigned t) {
+                            if (t != last_thread || i != last + 1) {
+                              if (run > 0) chunk_sizes.push_back(run);
+                              run = 0;
+                            }
+                            last = i;
+                            last_thread = t;
+                            ++run;
+                            return 10;
+                          });
+  if (run > 0) chunk_sizes.push_back(run);
+  ASSERT_GE(chunk_sizes.size(), 3u);
+  // First chunk is remaining/(2T) = 125; later chunks shrink.
+  EXPECT_EQ(chunk_sizes.front(), 125u);
+  EXPECT_LT(chunk_sizes.back(), chunk_sizes.front());
+}
+
+TEST(OmpTeam, SingleChargesBarrier) {
+  auto m = altix();
+  OmpTeam team(m, 8);
+  EXPECT_GT(team.single(1000), 1000u);
+}
+
+TEST(OmpTeam, DeterministicAcrossRuns) {
+  auto m1 = altix();
+  auto m2 = altix();
+  OmpTeam t1(m1, 6);
+  OmpTeam t2(m2, 6);
+  auto body = [](std::uint64_t i, unsigned) { return 7 * (i % 13) + 3; };
+  const auto a = t1.parallel_for(500, Schedule::dynamic(2), body);
+  const auto b = t2.parallel_for(500, Schedule::dynamic(2), body);
+  EXPECT_EQ(a.work_cycles, b.work_cycles);
+  EXPECT_EQ(a.elapsed_cycles, b.elapsed_cycles);
+}
+
+// ---------------------------------------------------------------------
+// MPI
+// ---------------------------------------------------------------------
+
+TEST(MpiWorld, ConstructionLimits) {
+  auto m = altix();
+  EXPECT_THROW(MpiWorld(m, 0), pk::InvalidArgumentError);
+  EXPECT_THROW(MpiWorld(m, 17), pk::InvalidArgumentError);
+  MpiWorld w(m, 8);
+  EXPECT_EQ(w.size(), 8u);
+  EXPECT_EQ(w.node_of(2), 1u);
+}
+
+TEST(MpiWorld, ComputeAdvancesOneClock) {
+  auto m = altix();
+  MpiWorld w(m, 4);
+  w.compute(2, 1000);
+  EXPECT_EQ(w.clock(2), 1000u);
+  EXPECT_EQ(w.clock(0), 0u);
+  EXPECT_EQ(w.elapsed(), 1000u);
+}
+
+TEST(MpiWorld, SendRecvDeliversAfterWireTime) {
+  auto m = altix();
+  MpiWorld w(m, 4);
+  const auto bytes = 1 << 20;
+  const auto sreq = w.isend(0, 3, bytes);
+  const auto rreq = w.irecv(3, 0, bytes);
+  w.wait(0, sreq);
+  w.wait(3, rreq);
+  // Receiver clock >= wire transfer time of 1MB.
+  EXPECT_GE(w.clock(3), w.transfer_cycles(0, 3, bytes));
+  // Sender is not blocked by the transfer (eager Isend).
+  EXPECT_LT(w.clock(0), w.transfer_cycles(0, 3, bytes));
+}
+
+TEST(MpiWorld, LateSenderStallsReceiver) {
+  auto m = altix();
+  MpiWorld w(m, 2);
+  w.compute(0, 1000000);  // sender is busy first
+  const auto sreq = w.isend(0, 1, 1024);
+  const auto rreq = w.irecv(1, 0, 1024);
+  w.wait(1, rreq);
+  EXPECT_GT(w.clock(1), 1000000u);
+  w.wait(0, sreq);
+}
+
+TEST(MpiWorld, EarlyReceiverWaitsOnlyUntilArrival) {
+  auto m = altix();
+  MpiWorld w(m, 2);
+  const auto rreq = w.irecv(1, 0, 1024);
+  const auto sreq = w.isend(0, 1, 1024);
+  w.wait(1, rreq);
+  const auto t1 = w.clock(1);
+  w.wait(0, sreq);
+  EXPECT_GT(t1, 0u);
+}
+
+TEST(MpiWorld, MessagesMatchInFifoOrderPerTag) {
+  auto m = altix();
+  MpiWorld w(m, 2);
+  const auto s1 = w.isend(0, 1, 100, /*tag=*/7);
+  const auto s2 = w.isend(0, 1, 200, /*tag=*/7);
+  const auto r1 = w.irecv(1, 0, 100, 7);
+  const auto r2 = w.irecv(1, 0, 200, 7);
+  w.wait(1, r1);
+  w.wait(1, r2);
+  w.wait(0, s1);
+  w.wait(0, s2);
+  SUCCEED();
+}
+
+TEST(MpiWorld, WaitWithoutMatchingSendThrows) {
+  auto m = altix();
+  MpiWorld w(m, 2);
+  const auto r = w.irecv(1, 0, 64);
+  EXPECT_THROW(w.wait(1, r), pk::InvalidArgumentError);
+  // Double wait on the same request also throws (request is consumed).
+  const auto s = w.isend(0, 1, 64);
+  w.wait(0, s);
+  EXPECT_THROW(w.wait(0, s), pk::InvalidArgumentError);
+}
+
+TEST(MpiWorld, BarrierSynchronizesClocks) {
+  auto m = altix();
+  MpiWorld w(m, 4);
+  w.compute(2, 5000);
+  w.barrier();
+  for (unsigned r = 0; r < 4; ++r) {
+    EXPECT_EQ(w.clock(r), w.clock(0));
+    EXPECT_GT(w.clock(r), 5000u);
+  }
+}
+
+TEST(MpiWorld, AllreduceCostGrowsWithRanksAndBytes) {
+  auto m = altix();
+  MpiWorld a(m, 2);
+  a.allreduce(8);
+  auto m2 = altix();
+  MpiWorld b(m2, 16);
+  b.allreduce(8);
+  EXPECT_GT(b.elapsed(), a.elapsed());
+  auto m3 = altix();
+  MpiWorld c(m3, 16);
+  c.allreduce(1 << 20);
+  EXPECT_GT(c.elapsed(), b.elapsed());
+}
+
+TEST(MpiWorld, FartherRanksCostMore) {
+  auto m = altix();
+  MpiWorld w(m, 16);
+  EXPECT_GT(w.transfer_cycles(0, 15, 4096), w.transfer_cycles(0, 1, 4096));
+}
+
+TEST(MpiWorld, HookObservesOperations) {
+  auto m = altix();
+  MpiWorld w(m, 2);
+  std::vector<pk::runtime::MpiEvent> events;
+  w.set_hook([&](const pk::runtime::MpiEvent& e) { events.push_back(e); });
+  const auto s = w.isend(0, 1, 256);
+  const auto r = w.irecv(1, 0, 256);
+  w.wait(1, r);
+  w.wait(0, s);
+  w.local_copy(0, 1024);
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].kind, pk::runtime::MpiEvent::Kind::kIsend);
+  EXPECT_EQ(events[1].kind, pk::runtime::MpiEvent::Kind::kIrecv);
+  EXPECT_EQ(events[4].kind, pk::runtime::MpiEvent::Kind::kCopy);
+  EXPECT_EQ(events[4].bytes, 1024u);
+  EXPECT_GT(events[4].end_cycles, events[4].start_cycles);
+}
+
+TEST(MpiWorld, LocalCopyCostScalesWithBytes) {
+  auto m = altix();
+  MpiWorld w(m, 1);
+  w.local_copy(0, 1000);
+  const auto t1 = w.clock(0);
+  w.local_copy(0, 10000);
+  EXPECT_NEAR(static_cast<double>(w.clock(0) - t1),
+              static_cast<double>(t1) * 10.0, static_cast<double>(t1) * 0.1);
+}

@@ -1,0 +1,314 @@
+// Tests for the PerfScript language: lexer, parser, interpreter.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "script/interpreter.hpp"
+#include "script/lexer.hpp"
+
+namespace pk = perfknow;
+using pk::script::Interpreter;
+using pk::script::Value;
+
+namespace {
+
+std::vector<std::string> run(const std::string& src) {
+  Interpreter interp;
+  interp.run(src);
+  return interp.output();
+}
+
+Value eval(const std::string& expr) {
+  Interpreter interp;
+  return interp.eval_expression(expr);
+}
+
+}  // namespace
+
+TEST(Lexer, TracksIndentation) {
+  const auto toks = pk::script::tokenize("if x:\n    y = 1\nz = 2\n");
+  int indents = 0;
+  int dedents = 0;
+  for (const auto& t : toks) {
+    if (t.kind == pk::script::TokKind::kIndent) ++indents;
+    if (t.kind == pk::script::TokKind::kDedent) ++dedents;
+  }
+  EXPECT_EQ(indents, 1);
+  EXPECT_EQ(dedents, 1);
+}
+
+TEST(Lexer, RejectsTabsAndBadDedent) {
+  EXPECT_THROW(pk::script::tokenize("if x:\n\ty = 1\n"), pk::ParseError);
+  EXPECT_THROW(pk::script::tokenize("if x:\n    y = 1\n  z = 2\n"),
+               pk::ParseError);
+}
+
+TEST(Lexer, NewlinesInsideBracketsAreSoft) {
+  Interpreter interp;
+  interp.run("x = [1,\n     2,\n     3]\nprint(len(x))\n");
+  EXPECT_EQ(interp.output(), (std::vector<std::string>{"3"}));
+}
+
+TEST(Eval, ArithmeticAndPrecedence) {
+  EXPECT_DOUBLE_EQ(eval("1 + 2 * 3").as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(eval("(1 + 2) * 3").as_number(), 9.0);
+  EXPECT_DOUBLE_EQ(eval("2 ** 3 ** 2").as_number(), 512.0);  // right assoc
+  EXPECT_DOUBLE_EQ(eval("7 // 2").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(eval("7 % 3").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(eval("-3 + 1").as_number(), -2.0);
+}
+
+TEST(Eval, DivisionByZeroThrows) {
+  EXPECT_THROW(eval("1 / 0"), pk::EvalError);
+  EXPECT_THROW(eval("1 % 0"), pk::EvalError);
+}
+
+TEST(Eval, StringsAndLists) {
+  EXPECT_EQ(eval("'a' + 'b'").as_string(), "ab");
+  EXPECT_EQ(eval("'ab' * 3").as_string(), "ababab");
+  EXPECT_DOUBLE_EQ(eval("[1, 2, 3][1]").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(eval("[1, 2, 3][-1]").as_number(), 3.0);
+  EXPECT_EQ(eval("'hello'[1]").as_string(), "e");
+  EXPECT_THROW(eval("[1][5]"), pk::EvalError);
+  EXPECT_THROW(eval("1 + 'a'"), pk::EvalError);
+}
+
+TEST(Eval, ComparisonAndMembership) {
+  EXPECT_TRUE(eval("1 < 2").as_bool());
+  EXPECT_TRUE(eval("'abc' < 'abd'").as_bool());
+  EXPECT_TRUE(eval("2 in [1, 2]").as_bool());
+  EXPECT_TRUE(eval("3 not in [1, 2]").as_bool());
+  EXPECT_TRUE(eval("'ell' in 'hello'").as_bool());
+  EXPECT_TRUE(eval("'k' in {'k': 1}").as_bool());
+  EXPECT_TRUE(eval("[1, 2] == [1, 2]").as_bool());
+  EXPECT_FALSE(eval("{'a': 1} == {'a': 2}").as_bool());
+}
+
+TEST(Eval, BoolOpsShortCircuit) {
+  // "or" returns the first truthy operand, Python style.
+  EXPECT_DOUBLE_EQ(eval("0 or 5").as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(eval("3 and 5").as_number(), 5.0);
+  EXPECT_FALSE(eval("not 1").as_bool());
+  // Division by zero on the unevaluated branch must not fire.
+  EXPECT_DOUBLE_EQ(eval("1 or 1 / 0").as_number(), 1.0);
+}
+
+TEST(Exec, IfElifElse) {
+  const auto out = run(R"(
+x = 15
+if x < 10:
+    print("small")
+elif x < 20:
+    print("medium")
+else:
+    print("large")
+)");
+  EXPECT_EQ(out, (std::vector<std::string>{"medium"}));
+}
+
+TEST(Exec, WhileWithBreakContinue) {
+  const auto out = run(R"(
+i = 0
+total = 0
+while True:
+    i = i + 1
+    if i % 2 == 0:
+        continue
+    if i > 7:
+        break
+    total += i
+print(total)
+)");
+  EXPECT_EQ(out, (std::vector<std::string>{"16"}));  // 1+3+5+7
+}
+
+TEST(Exec, ForOverRangeAndList) {
+  const auto out = run(R"(
+total = 0
+for i in range(5):
+    total += i
+for x in [10, 20]:
+    total += x
+print(total)
+for c in "ab":
+    print(c)
+)");
+  EXPECT_EQ(out, (std::vector<std::string>{"40", "a", "b"}));
+}
+
+TEST(Exec, FunctionsWithReturnAndRecursion) {
+  const auto out = run(R"(
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+print(fib(10))
+)");
+  EXPECT_EQ(out, (std::vector<std::string>{"55"}));
+}
+
+TEST(Exec, FunctionArityChecked) {
+  Interpreter interp;
+  EXPECT_THROW(interp.run("def f(a, b):\n    return a\nf(1)\n"),
+               pk::EvalError);
+}
+
+TEST(Exec, LocalScopeDoesNotLeak) {
+  Interpreter interp;
+  interp.run(R"(
+x = 1
+def f():
+    y = 99
+    return y
+f()
+)");
+  EXPECT_THROW((void)interp.global("y"), pk::NotFoundError);
+  EXPECT_DOUBLE_EQ(interp.global("x").as_number(), 1.0);
+}
+
+TEST(Exec, ListAndDictMutation) {
+  const auto out = run(R"(
+xs = []
+xs.append(3)
+xs.append(1)
+xs.append(2)
+xs.sort()
+print(xs[0], xs[1], xs[2])
+d = {"a": 1}
+d["b"] = 2
+d["a"] = 10
+print(d["a"] + d["b"])
+xs[0] = 100
+print(xs[0])
+)");
+  EXPECT_EQ(out, (std::vector<std::string>{"1 2 3", "12", "100"}));
+}
+
+TEST(Exec, Builtins) {
+  const auto out = run(R"(
+print(len("abc"), len([1, 2]), len({"a": 1}))
+print(min(3, 1, 2), max([4, 9, 2]))
+print(sum([1, 2, 3.5]))
+print(sorted([3, 1, 2]))
+print(abs(-4), round(3.14159, 2))
+print(str(42) + "!")
+print(int("7") + float("0.5"))
+print(type(1.0), type("s"), type([]))
+)");
+  EXPECT_EQ(out[0], "3 2 1");
+  EXPECT_EQ(out[1], "1 9");
+  EXPECT_EQ(out[2], "6.5");
+  EXPECT_EQ(out[3], "[1, 2, 3]");
+  EXPECT_EQ(out[4], "4 3.14");
+  EXPECT_EQ(out[5], "42!");
+  EXPECT_EQ(out[6], "7.5");
+  EXPECT_EQ(out[7], "float str list");
+}
+
+TEST(Exec, StringMethods) {
+  const auto out = run(R"(
+s = "Hello World"
+print(s.upper())
+print(s.lower())
+print(s.startswith("Hello"), s.endswith("World"))
+print(s.split(" ")[1])
+print(s.replace("World", "There"))
+)");
+  EXPECT_EQ(out[0], "HELLO WORLD");
+  EXPECT_EQ(out[1], "hello world");
+  EXPECT_EQ(out[2], "True True");
+  EXPECT_EQ(out[3], "World");
+  EXPECT_EQ(out[4], "Hello There");
+}
+
+TEST(Exec, ImportIsNoOp) {
+  const auto out = run(R"(
+import glue
+from edu.uoregon.tau.perfexplorer.glue import Utilities
+print("ok")
+)");
+  EXPECT_EQ(out, (std::vector<std::string>{"ok"}));
+}
+
+TEST(Exec, UndefinedNameReportsLine) {
+  Interpreter interp;
+  try {
+    interp.run("x = 1\ny = nope\n");
+    FAIL() << "expected EvalError";
+  } catch (const pk::EvalError& e) {
+    EXPECT_NE(std::string(e.what()).find("nope"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Exec, StatementLimitStopsInfiniteLoops) {
+  Interpreter interp;
+  interp.set_statement_limit(1000);
+  EXPECT_THROW(interp.run("while True:\n    x = 1\n"), pk::EvalError);
+}
+
+TEST(Exec, AugAssignOperators) {
+  const auto out = run(R"(
+x = 10
+x += 5
+x -= 3
+x *= 2
+x /= 4
+print(x)
+)");
+  EXPECT_EQ(out, (std::vector<std::string>{"6"}));
+}
+
+TEST(Exec, HostFunctionAndGlobals) {
+  Interpreter interp;
+  interp.set_global("double_it", pk::script::make_host_fn(
+                                     [](Interpreter&,
+                                        const std::vector<Value>& args) {
+                                       return Value(args.at(0).as_number() *
+                                                    2);
+                                     }));
+  interp.run("y = double_it(21)\n");
+  EXPECT_DOUBLE_EQ(interp.global("y").as_number(), 42.0);
+}
+
+TEST(Exec, HostObjectMethods) {
+  Interpreter interp;
+  auto data = std::make_shared<int>(5);
+  interp.set_global("counter",
+                    pk::script::make_host_object("Counter", data));
+  interp.register_method(
+      "Counter", "increment",
+      [](Interpreter&, const pk::script::HostObjPtr& obj,
+         const std::vector<Value>& args) {
+        auto p = std::static_pointer_cast<int>(obj->data);
+        *p += args.empty() ? 1 : static_cast<int>(args[0].as_number());
+        return Value(static_cast<double>(*p));
+      });
+  interp.run("a = counter.increment()\nb = counter.increment(10)\n");
+  EXPECT_DOUBLE_EQ(interp.global("a").as_number(), 6.0);
+  EXPECT_DOUBLE_EQ(interp.global("b").as_number(), 16.0);
+  EXPECT_THROW(interp.run("counter.nope()\n"), pk::EvalError);
+}
+
+TEST(Exec, NamespaceDictsResolveAttributes) {
+  Interpreter interp;
+  interp.set_global(
+      "Utilities",
+      pk::script::make_dict(
+          {{"answer", pk::script::make_host_fn(
+                          [](Interpreter&, const std::vector<Value>&) {
+                            return Value(42.0);
+                          })}}));
+  interp.run("x = Utilities.answer()\n");
+  EXPECT_DOUBLE_EQ(interp.global("x").as_number(), 42.0);
+}
+
+TEST(Parser, SyntaxErrors) {
+  Interpreter interp;
+  EXPECT_THROW(interp.run("if x\n    y = 1\n"), pk::ParseError);
+  EXPECT_THROW(interp.run("1 +\n"), pk::ParseError);
+  EXPECT_THROW(interp.run("def f(:\n    pass\n"), pk::ParseError);
+  EXPECT_THROW(interp.run("x = = 1\n"), pk::ParseError);
+  EXPECT_THROW(interp.run("for in [1]:\n    pass\n"), pk::ParseError);
+  EXPECT_THROW(interp.run("1 = x\n"), pk::ParseError);
+  EXPECT_THROW(interp.run("if 1:\npass\n"), pk::ParseError);
+}

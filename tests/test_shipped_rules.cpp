@@ -1,0 +1,62 @@
+// Guards the shipped rules/*.rules files against drifting from the
+// embedded rulebases (they are generated from the same strings).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "rules/parser.hpp"
+#include "rules/rulebases.hpp"
+#include "script/ast.hpp"
+
+namespace pk = perfknow;
+namespace fs = std::filesystem;
+namespace rb = pk::rules::builtin;
+
+namespace {
+
+fs::path rules_dir() { return fs::path(PERFKNOW_SOURCE_DIR) / "rules"; }
+
+std::string slurp(const fs::path& p) {
+  std::ifstream is(p);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+TEST(ShippedRules, FilesExistParseAndMatchBuiltins) {
+  const std::vector<std::pair<std::string, std::string>> files = {
+      {"stalls_per_cycle.rules", std::string(rb::stalls_per_cycle())},
+      {"load_imbalance.rules", std::string(rb::load_imbalance())},
+      {"inefficiency.rules", std::string(rb::inefficiency())},
+      {"stall_coverage.rules", std::string(rb::stall_coverage())},
+      {"memory_locality.rules", std::string(rb::memory_locality())},
+      {"power.rules", std::string(rb::power())},
+      {"communication.rules", std::string(rb::communication())},
+      {"instrumentation.rules", std::string(rb::instrumentation())},
+      {"openmp.rules", std::string(rb::openmp())},
+      {"OpenUHRules.rules", rb::openuh_rules()},
+  };
+  for (const auto& [name, builtin] : files) {
+    const auto path = rules_dir() / name;
+    ASSERT_TRUE(fs::exists(path)) << path;
+    const auto content = slurp(path);
+    EXPECT_EQ(content, builtin) << name << " drifted from the builtin";
+    EXPECT_GE(pk::rules::load_rules(path).size(), 1u) << name;
+  }
+}
+
+TEST(ShippedRules, ExampleScriptParses) {
+  const auto script = fs::path(PERFKNOW_SOURCE_DIR) / "examples" /
+                      "scripts" / "stall_analysis.ps";
+  ASSERT_TRUE(fs::exists(script));
+  // The script must at least tokenize and parse (running it needs a
+  // populated repository, covered by the scripted_analysis example).
+  std::ifstream is(script);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  EXPECT_NO_THROW((void)pk::script::parse_program(ss.str()));
+}
