@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_diag_genidlest"
+  "../bench/bench_diag_genidlest.pdb"
+  "CMakeFiles/bench_diag_genidlest.dir/bench_diag_genidlest.cpp.o"
+  "CMakeFiles/bench_diag_genidlest.dir/bench_diag_genidlest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diag_genidlest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

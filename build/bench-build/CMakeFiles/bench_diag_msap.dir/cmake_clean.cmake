@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_diag_msap"
+  "../bench/bench_diag_msap.pdb"
+  "CMakeFiles/bench_diag_msap.dir/bench_diag_msap.cpp.o"
+  "CMakeFiles/bench_diag_msap.dir/bench_diag_msap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diag_msap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

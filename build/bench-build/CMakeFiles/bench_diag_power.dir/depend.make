@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_diag_power.
+# This may be replaced when dependencies are built.

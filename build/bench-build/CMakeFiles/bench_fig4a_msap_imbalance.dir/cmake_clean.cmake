@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4a_msap_imbalance"
+  "../bench/bench_fig4a_msap_imbalance.pdb"
+  "CMakeFiles/bench_fig4a_msap_imbalance.dir/bench_fig4a_msap_imbalance.cpp.o"
+  "CMakeFiles/bench_fig4a_msap_imbalance.dir/bench_fig4a_msap_imbalance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_msap_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genidlest_scaling.dir/genidlest_scaling.cpp.o"
+  "CMakeFiles/genidlest_scaling.dir/genidlest_scaling.cpp.o.d"
+  "genidlest_scaling"
+  "genidlest_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genidlest_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msap_tuning.dir/msap_tuning.cpp.o"
+  "CMakeFiles/msap_tuning.dir/msap_tuning.cpp.o.d"
+  "msap_tuning"
+  "msap_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msap_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkx.dir/pkx.cpp.o"
+  "CMakeFiles/pkx.dir/pkx.cpp.o.d"
+  "pkx"
+  "pkx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

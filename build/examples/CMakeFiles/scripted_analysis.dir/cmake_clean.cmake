@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scripted_analysis.dir/scripted_analysis.cpp.o"
+  "CMakeFiles/scripted_analysis.dir/scripted_analysis.cpp.o.d"
+  "scripted_analysis"
+  "scripted_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scripted_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/clustering.cpp" "src/CMakeFiles/perfknow.dir/analysis/clustering.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/analysis/clustering.cpp.o.d"
+  "/root/repo/src/analysis/facts.cpp" "src/CMakeFiles/perfknow.dir/analysis/facts.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/analysis/facts.cpp.o.d"
+  "/root/repo/src/analysis/mpi_analysis.cpp" "src/CMakeFiles/perfknow.dir/analysis/mpi_analysis.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/analysis/mpi_analysis.cpp.o.d"
+  "/root/repo/src/analysis/operations.cpp" "src/CMakeFiles/perfknow.dir/analysis/operations.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/analysis/operations.cpp.o.d"
+  "/root/repo/src/analysis/pca.cpp" "src/CMakeFiles/perfknow.dir/analysis/pca.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/analysis/pca.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/perfknow.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/apps/genidlest/genidlest.cpp" "src/CMakeFiles/perfknow.dir/apps/genidlest/genidlest.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/apps/genidlest/genidlest.cpp.o.d"
+  "/root/repo/src/apps/genidlest/solver.cpp" "src/CMakeFiles/perfknow.dir/apps/genidlest/solver.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/apps/genidlest/solver.cpp.o.d"
+  "/root/repo/src/apps/msap/alignment.cpp" "src/CMakeFiles/perfknow.dir/apps/msap/alignment.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/apps/msap/alignment.cpp.o.d"
+  "/root/repo/src/apps/msap/msap.cpp" "src/CMakeFiles/perfknow.dir/apps/msap/msap.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/apps/msap/msap.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/perfknow.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/perfknow.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/CMakeFiles/perfknow.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/common/strings.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/perfknow.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/common/table.cpp.o.d"
+  "/root/repo/src/hwcounters/counters.cpp" "src/CMakeFiles/perfknow.dir/hwcounters/counters.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/hwcounters/counters.cpp.o.d"
+  "/root/repo/src/hwcounters/synthesize.cpp" "src/CMakeFiles/perfknow.dir/hwcounters/synthesize.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/hwcounters/synthesize.cpp.o.d"
+  "/root/repo/src/instrument/overhead.cpp" "src/CMakeFiles/perfknow.dir/instrument/overhead.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/instrument/overhead.cpp.o.d"
+  "/root/repo/src/instrument/regions.cpp" "src/CMakeFiles/perfknow.dir/instrument/regions.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/instrument/regions.cpp.o.d"
+  "/root/repo/src/instrument/trial_builder.cpp" "src/CMakeFiles/perfknow.dir/instrument/trial_builder.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/instrument/trial_builder.cpp.o.d"
+  "/root/repo/src/machine/machine.cpp" "src/CMakeFiles/perfknow.dir/machine/machine.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/machine/machine.cpp.o.d"
+  "/root/repo/src/openuh/compiler.cpp" "src/CMakeFiles/perfknow.dir/openuh/compiler.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/openuh/compiler.cpp.o.d"
+  "/root/repo/src/openuh/cost_model.cpp" "src/CMakeFiles/perfknow.dir/openuh/cost_model.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/openuh/cost_model.cpp.o.d"
+  "/root/repo/src/openuh/feedback.cpp" "src/CMakeFiles/perfknow.dir/openuh/feedback.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/openuh/feedback.cpp.o.d"
+  "/root/repo/src/openuh/frequency.cpp" "src/CMakeFiles/perfknow.dir/openuh/frequency.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/openuh/frequency.cpp.o.d"
+  "/root/repo/src/openuh/ir.cpp" "src/CMakeFiles/perfknow.dir/openuh/ir.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/openuh/ir.cpp.o.d"
+  "/root/repo/src/openuh/passes.cpp" "src/CMakeFiles/perfknow.dir/openuh/passes.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/openuh/passes.cpp.o.d"
+  "/root/repo/src/openuh/phase_map.cpp" "src/CMakeFiles/perfknow.dir/openuh/phase_map.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/openuh/phase_map.cpp.o.d"
+  "/root/repo/src/perfdmf/csv_format.cpp" "src/CMakeFiles/perfknow.dir/perfdmf/csv_format.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/perfdmf/csv_format.cpp.o.d"
+  "/root/repo/src/perfdmf/json_format.cpp" "src/CMakeFiles/perfknow.dir/perfdmf/json_format.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/perfdmf/json_format.cpp.o.d"
+  "/root/repo/src/perfdmf/repository.cpp" "src/CMakeFiles/perfknow.dir/perfdmf/repository.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/perfdmf/repository.cpp.o.d"
+  "/root/repo/src/perfdmf/snapshot.cpp" "src/CMakeFiles/perfknow.dir/perfdmf/snapshot.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/perfdmf/snapshot.cpp.o.d"
+  "/root/repo/src/perfdmf/tau_format.cpp" "src/CMakeFiles/perfknow.dir/perfdmf/tau_format.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/perfdmf/tau_format.cpp.o.d"
+  "/root/repo/src/power/dvs.cpp" "src/CMakeFiles/perfknow.dir/power/dvs.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/power/dvs.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/CMakeFiles/perfknow.dir/power/power_model.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/power/power_model.cpp.o.d"
+  "/root/repo/src/profile/profile.cpp" "src/CMakeFiles/perfknow.dir/profile/profile.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/profile/profile.cpp.o.d"
+  "/root/repo/src/rules/engine.cpp" "src/CMakeFiles/perfknow.dir/rules/engine.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/rules/engine.cpp.o.d"
+  "/root/repo/src/rules/fact.cpp" "src/CMakeFiles/perfknow.dir/rules/fact.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/rules/fact.cpp.o.d"
+  "/root/repo/src/rules/parser.cpp" "src/CMakeFiles/perfknow.dir/rules/parser.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/rules/parser.cpp.o.d"
+  "/root/repo/src/rules/rulebases.cpp" "src/CMakeFiles/perfknow.dir/rules/rulebases.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/rules/rulebases.cpp.o.d"
+  "/root/repo/src/runtime/mpi.cpp" "src/CMakeFiles/perfknow.dir/runtime/mpi.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/runtime/mpi.cpp.o.d"
+  "/root/repo/src/runtime/omp.cpp" "src/CMakeFiles/perfknow.dir/runtime/omp.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/runtime/omp.cpp.o.d"
+  "/root/repo/src/runtime/omp_collector.cpp" "src/CMakeFiles/perfknow.dir/runtime/omp_collector.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/runtime/omp_collector.cpp.o.d"
+  "/root/repo/src/script/bindings.cpp" "src/CMakeFiles/perfknow.dir/script/bindings.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/script/bindings.cpp.o.d"
+  "/root/repo/src/script/interpreter.cpp" "src/CMakeFiles/perfknow.dir/script/interpreter.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/script/interpreter.cpp.o.d"
+  "/root/repo/src/script/lexer.cpp" "src/CMakeFiles/perfknow.dir/script/lexer.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/script/lexer.cpp.o.d"
+  "/root/repo/src/script/parser.cpp" "src/CMakeFiles/perfknow.dir/script/parser.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/script/parser.cpp.o.d"
+  "/root/repo/src/script/value.cpp" "src/CMakeFiles/perfknow.dir/script/value.cpp.o" "gcc" "src/CMakeFiles/perfknow.dir/script/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bindings.dir/test_bindings.cpp.o"
+  "CMakeFiles/test_bindings.dir/test_bindings.cpp.o.d"
+  "test_bindings"
+  "test_bindings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bindings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

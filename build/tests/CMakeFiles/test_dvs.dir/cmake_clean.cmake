@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dvs.dir/test_dvs.cpp.o"
+  "CMakeFiles/test_dvs.dir/test_dvs.cpp.o.d"
+  "test_dvs"
+  "test_dvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_genidlest.dir/test_genidlest.cpp.o"
+  "CMakeFiles/test_genidlest.dir/test_genidlest.cpp.o.d"
+  "test_genidlest"
+  "test_genidlest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_genidlest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hwcounters.dir/test_hwcounters.cpp.o"
+  "CMakeFiles/test_hwcounters.dir/test_hwcounters.cpp.o.d"
+  "test_hwcounters"
+  "test_hwcounters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hwcounters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

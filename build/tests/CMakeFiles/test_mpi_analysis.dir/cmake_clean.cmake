@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_analysis.dir/test_mpi_analysis.cpp.o"
+  "CMakeFiles/test_mpi_analysis.dir/test_mpi_analysis.cpp.o.d"
+  "test_mpi_analysis"
+  "test_mpi_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msap.dir/test_msap.cpp.o"
+  "CMakeFiles/test_msap.dir/test_msap.cpp.o.d"
+  "test_msap"
+  "test_msap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

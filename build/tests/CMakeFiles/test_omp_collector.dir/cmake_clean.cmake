@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_omp_collector.dir/test_omp_collector.cpp.o"
+  "CMakeFiles/test_omp_collector.dir/test_omp_collector.cpp.o.d"
+  "test_omp_collector"
+  "test_omp_collector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_omp_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

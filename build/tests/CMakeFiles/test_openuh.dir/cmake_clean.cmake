@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_openuh.dir/test_openuh.cpp.o"
+  "CMakeFiles/test_openuh.dir/test_openuh.cpp.o.d"
+  "test_openuh"
+  "test_openuh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_openuh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perfdmf.dir/test_perfdmf.cpp.o"
+  "CMakeFiles/test_perfdmf.dir/test_perfdmf.cpp.o.d"
+  "test_perfdmf"
+  "test_perfdmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perfdmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

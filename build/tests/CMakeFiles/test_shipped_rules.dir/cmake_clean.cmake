@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shipped_rules.dir/test_shipped_rules.cpp.o"
+  "CMakeFiles/test_shipped_rules.dir/test_shipped_rules.cpp.o.d"
+  "test_shipped_rules"
+  "test_shipped_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shipped_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
