@@ -4,8 +4,23 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 
 namespace perfknow::analysis {
+
+namespace {
+
+// Per-index work below this many cube cells is cheaper inline than
+// through the pool. parallel_for runs ranges of <= grain indices inline,
+// so tiny trials never pay scheduling overhead.
+std::size_t grain_for(std::size_t cells_per_index) {
+  constexpr std::size_t kInlineCells = 4096;
+  return std::max<std::size_t>(1,
+                               kInlineCells / std::max<std::size_t>(
+                                   1, cells_per_index));
+}
+
+}  // namespace
 
 std::string_view to_string(DeriveOp op) {
   switch (op) {
@@ -40,16 +55,21 @@ profile::MetricId derive_metric(profile::Trial& trial,
                            std::string(to_string(op)) + " " + metric_b + ")";
   if (const auto existing = trial.find_metric(name)) return *existing;
   const auto d = trial.add_metric(name, "derived", /*derived=*/true);
-  for (std::size_t t = 0; t < trial.thread_count(); ++t) {
-    for (profile::EventId e = 0; e < trial.event_count(); ++e) {
-      trial.set_inclusive(
-          t, e, d,
-          apply(op, trial.inclusive(t, e, a), trial.inclusive(t, e, b)));
-      trial.set_exclusive(
-          t, e, d,
-          apply(op, trial.exclusive(t, e, a), trial.exclusive(t, e, b)));
-    }
-  }
+  // Threads write disjoint cube rows, and each row's computation is the
+  // same serial loop as before — results are bit-identical to serial.
+  ThreadPool::shared().parallel_for(
+      trial.thread_count(),
+      [&](std::size_t t) {
+        for (profile::EventId e = 0; e < trial.event_count(); ++e) {
+          trial.set_inclusive(
+              t, e, d,
+              apply(op, trial.inclusive(t, e, a), trial.inclusive(t, e, b)));
+          trial.set_exclusive(
+              t, e, d,
+              apply(op, trial.exclusive(t, e, a), trial.exclusive(t, e, b)));
+        }
+      },
+      grain_for(trial.event_count()));
   return d;
 }
 
@@ -59,12 +79,15 @@ profile::MetricId scale_metric(profile::Trial& trial,
   const auto m = trial.metric_id(metric);
   if (const auto existing = trial.find_metric(new_name)) return *existing;
   const auto d = trial.add_metric(new_name, "derived", /*derived=*/true);
-  for (std::size_t t = 0; t < trial.thread_count(); ++t) {
-    for (profile::EventId e = 0; e < trial.event_count(); ++e) {
-      trial.set_inclusive(t, e, d, trial.inclusive(t, e, m) * factor);
-      trial.set_exclusive(t, e, d, trial.exclusive(t, e, m) * factor);
-    }
-  }
+  ThreadPool::shared().parallel_for(
+      trial.thread_count(),
+      [&](std::size_t t) {
+        for (profile::EventId e = 0; e < trial.event_count(); ++e) {
+          trial.set_inclusive(t, e, d, trial.inclusive(t, e, m) * factor);
+          trial.set_exclusive(t, e, d, trial.exclusive(t, e, m) * factor);
+        }
+      },
+      grain_for(trial.event_count()));
   return d;
 }
 
@@ -72,8 +95,9 @@ EventStatistics event_statistics(const profile::Trial& trial,
                                  profile::EventId event,
                                  const std::string& metric, bool exclusive) {
   const auto m = trial.metric_id(metric);
-  const auto xs = exclusive ? trial.exclusive_across_threads(event, m)
-                            : trial.inclusive_across_threads(event, m);
+  // Strided view straight into the value cube — no per-call copy.
+  const auto xs = exclusive ? trial.exclusive_series(event, m)
+                            : trial.inclusive_series(event, m);
   EventStatistics s;
   s.event = event;
   s.name = trial.event(event).name;
@@ -90,11 +114,17 @@ EventStatistics event_statistics(const profile::Trial& trial,
 std::vector<EventStatistics> basic_statistics(const profile::Trial& trial,
                                               const std::string& metric,
                                               bool exclusive) {
-  std::vector<EventStatistics> out;
-  out.reserve(trial.event_count());
-  for (profile::EventId e = 0; e < trial.event_count(); ++e) {
-    out.push_back(event_statistics(trial, e, metric, exclusive));
-  }
+  // Resolve the metric up front so a bad name throws before any parallel
+  // work starts (same behaviour as the serial loop's first iteration).
+  (void)trial.metric_id(metric);
+  std::vector<EventStatistics> out(trial.event_count());
+  ThreadPool::shared().parallel_for(
+      trial.event_count(),
+      [&](std::size_t e) {
+        out[e] = event_statistics(trial, static_cast<profile::EventId>(e),
+                                  metric, exclusive);
+      },
+      grain_for(trial.thread_count()));
   return out;
 }
 
@@ -102,10 +132,10 @@ double correlate_events(const profile::Trial& trial, profile::EventId a,
                         profile::EventId b, const std::string& metric,
                         bool exclusive) {
   const auto m = trial.metric_id(metric);
-  const auto xs = exclusive ? trial.exclusive_across_threads(a, m)
-                            : trial.inclusive_across_threads(a, m);
-  const auto ys = exclusive ? trial.exclusive_across_threads(b, m)
-                            : trial.inclusive_across_threads(b, m);
+  const auto xs = exclusive ? trial.exclusive_series(a, m)
+                            : trial.inclusive_series(a, m);
+  const auto ys = exclusive ? trial.exclusive_series(b, m)
+                            : trial.inclusive_series(b, m);
   if (xs.size() < 2) return 0.0;
   return stats::pearson_correlation(xs, ys);
 }
@@ -212,20 +242,30 @@ profile::Trial aggregate_threads(const profile::Trial& trial, bool mean) {
       mean ? 1.0 / static_cast<double>(std::max<std::size_t>(
                  1, trial.thread_count()))
            : 1.0;
+  // Schema mutation stays serial; the fold is parallel over events (each
+  // event owns disjoint output cells) with the per-event thread loop kept
+  // in original order, so the accumulated sums are bit-identical.
+  std::vector<profile::EventId> out_event(trial.event_count());
   for (profile::EventId e = 0; e < trial.event_count(); ++e) {
-    const auto oe = out.add_event(trial.event(e).name, trial.event(e).parent,
-                                  trial.event(e).group);
-    for (std::size_t th = 0; th < trial.thread_count(); ++th) {
-      for (profile::MetricId m = 0; m < trial.metric_count(); ++m) {
-        out.accumulate_inclusive(0, oe, m,
-                                 scale * trial.inclusive(th, e, m));
-        out.accumulate_exclusive(0, oe, m,
-                                 scale * trial.exclusive(th, e, m));
-      }
-      const auto ci = trial.calls(th, e);
-      out.accumulate_calls(0, oe, scale * ci.calls, scale * ci.subcalls);
-    }
+    out_event[e] = out.add_event(trial.event(e).name, trial.event(e).parent,
+                                 trial.event(e).group);
   }
+  ThreadPool::shared().parallel_for(
+      trial.event_count(),
+      [&](std::size_t e) {
+        const auto oe = out_event[e];
+        for (std::size_t th = 0; th < trial.thread_count(); ++th) {
+          for (profile::MetricId m = 0; m < trial.metric_count(); ++m) {
+            out.accumulate_inclusive(0, oe, m,
+                                     scale * trial.inclusive(th, e, m));
+            out.accumulate_exclusive(0, oe, m,
+                                     scale * trial.exclusive(th, e, m));
+          }
+          const auto ci = trial.calls(th, e);
+          out.accumulate_calls(0, oe, scale * ci.calls, scale * ci.subcalls);
+        }
+      },
+      grain_for(trial.thread_count() * trial.metric_count()));
   for (const auto& [k, v] : trial.all_metadata()) {
     out.set_metadata(k, v);
   }
@@ -242,16 +282,23 @@ ScalabilityAnalysis::ScalabilityAnalysis(
             [](const perfdmf::TrialPtr& a, const perfdmf::TrialPtr& b) {
               return a->thread_count() < b->thread_count();
             });
-  for (const auto& t : trials) {
-    ScalingPoint p;
-    p.threads = t->thread_count();
-    const auto m = t->metric_id(metric);
-    p.total_time = t->mean_inclusive(t->main_event(), m);
-    for (profile::EventId e = 0; e < t->event_count(); ++e) {
-      p.event_times[t->event(e).name] = t->mean_exclusive(e, m);
-    }
-    points_.push_back(std::move(p));
-  }
+  // Each trial reduces independently into its own pre-sized slot; a
+  // missing metric rethrows from the lowest-indexed trial, matching the
+  // serial loop's failure order.
+  points_.resize(trials.size());
+  ThreadPool::shared().parallel_for(
+      trials.size(),
+      [&](std::size_t i) {
+        const auto& t = trials[i];
+        ScalingPoint p;
+        p.threads = t->thread_count();
+        const auto m = t->metric_id(metric);
+        p.total_time = t->mean_inclusive(t->main_event(), m);
+        for (profile::EventId e = 0; e < t->event_count(); ++e) {
+          p.event_times[t->event(e).name] = t->mean_exclusive(e, m);
+        }
+        points_[i] = std::move(p);
+      });
   // Baseline event ordering by cost.
   const auto& base = *trials.front();
   const auto m = base.metric_id(metric);

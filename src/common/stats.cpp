@@ -9,22 +9,27 @@ namespace perfknow::stats {
 
 namespace {
 
-void require_nonempty(std::span<const double> xs, const char* fn) {
-  if (xs.empty()) {
+// The reductions are written once as index-loop kernels over any view
+// with size()/operator[] (std::span or StridedSpan). Identical loop
+// structure means identical floating-point results for both entry
+// points — the parallel analysis layer depends on that.
+
+template <class V>
+void require_nonempty(const V& xs, const char* fn) {
+  if (xs.size() == 0) {
     throw InvalidArgumentError(std::string("stats::") + fn +
                                ": empty input");
   }
 }
 
-}  // namespace
-
-double sum(std::span<const double> xs) {
+template <class V>
+double sum_impl(const V& xs) {
   // Kahan summation: analysis pipelines sum millions of per-thread values
   // whose magnitudes span many orders; naive summation loses precision.
   double s = 0.0;
   double c = 0.0;
-  for (double x : xs) {
-    const double y = x - c;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double y = xs[i] - c;
     const double t = s + y;
     c = (t - s) - y;
     s = t;
@@ -32,56 +37,64 @@ double sum(std::span<const double> xs) {
   return s;
 }
 
-double mean(std::span<const double> xs) {
+template <class V>
+double mean_impl(const V& xs) {
   require_nonempty(xs, "mean");
-  return sum(xs) / static_cast<double>(xs.size());
+  return sum_impl(xs) / static_cast<double>(xs.size());
 }
 
-double variance(std::span<const double> xs) {
+template <class V>
+double variance_impl(const V& xs) {
   require_nonempty(xs, "variance");
-  const double m = mean(xs);
+  const double m = mean_impl(xs);
   double acc = 0.0;
-  for (double x : xs) {
-    const double d = x - m;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double d = xs[i] - m;
     acc += d * d;
   }
   return acc / static_cast<double>(xs.size());
 }
 
-double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
-
-double sample_stddev(std::span<const double> xs) {
+template <class V>
+double sample_stddev_impl(const V& xs) {
   if (xs.size() < 2) {
     throw InvalidArgumentError("stats::sample_stddev: need at least 2 values");
   }
-  const double m = mean(xs);
+  const double m = mean_impl(xs);
   double acc = 0.0;
-  for (double x : xs) {
-    const double d = x - m;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double d = xs[i] - m;
     acc += d * d;
   }
   return std::sqrt(acc / static_cast<double>(xs.size() - 1));
 }
 
-double min(std::span<const double> xs) {
+template <class V>
+double min_impl(const V& xs) {
   require_nonempty(xs, "min");
-  return *std::min_element(xs.begin(), xs.end());
+  double best = xs[0];
+  for (std::size_t i = 1; i < xs.size(); ++i) best = std::min(best, xs[i]);
+  return best;
 }
 
-double max(std::span<const double> xs) {
+template <class V>
+double max_impl(const V& xs) {
   require_nonempty(xs, "max");
-  return *std::max_element(xs.begin(), xs.end());
+  double best = xs[0];
+  for (std::size_t i = 1; i < xs.size(); ++i) best = std::max(best, xs[i]);
+  return best;
 }
 
-double coefficient_of_variation(std::span<const double> xs) {
+template <class V>
+double cv_impl(const V& xs) {
   require_nonempty(xs, "coefficient_of_variation");
-  const double m = mean(xs);
+  const double m = mean_impl(xs);
   if (m == 0.0) return 0.0;
-  return stddev(xs) / m;
+  return std::sqrt(variance_impl(xs)) / m;
 }
 
-double pearson_correlation(std::span<const double> xs,
-                           std::span<const double> ys) {
+template <class X, class Y>
+double pearson_impl(const X& xs, const Y& ys) {
   if (xs.size() != ys.size()) {
     throw InvalidArgumentError(
         "stats::pearson_correlation: length mismatch");
@@ -90,8 +103,8 @@ double pearson_correlation(std::span<const double> xs,
     throw InvalidArgumentError(
         "stats::pearson_correlation: need at least 2 points");
   }
-  const double mx = mean(xs);
-  const double my = mean(ys);
+  const double mx = mean_impl(xs);
+  const double my = mean_impl(ys);
   double sxy = 0.0;
   double sxx = 0.0;
   double syy = 0.0;
@@ -104,6 +117,46 @@ double pearson_correlation(std::span<const double> xs,
   }
   if (sxx == 0.0 || syy == 0.0) return 0.0;
   return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace
+
+double sum(std::span<const double> xs) { return sum_impl(xs); }
+double sum(StridedSpan xs) { return sum_impl(xs); }
+
+double mean(std::span<const double> xs) { return mean_impl(xs); }
+double mean(StridedSpan xs) { return mean_impl(xs); }
+
+double variance(std::span<const double> xs) { return variance_impl(xs); }
+double variance(StridedSpan xs) { return variance_impl(xs); }
+
+double stddev(std::span<const double> xs) {
+  return std::sqrt(variance_impl(xs));
+}
+double stddev(StridedSpan xs) { return std::sqrt(variance_impl(xs)); }
+
+double sample_stddev(std::span<const double> xs) {
+  return sample_stddev_impl(xs);
+}
+double sample_stddev(StridedSpan xs) { return sample_stddev_impl(xs); }
+
+double min(std::span<const double> xs) { return min_impl(xs); }
+double min(StridedSpan xs) { return min_impl(xs); }
+
+double max(std::span<const double> xs) { return max_impl(xs); }
+double max(StridedSpan xs) { return max_impl(xs); }
+
+double coefficient_of_variation(std::span<const double> xs) {
+  return cv_impl(xs);
+}
+double coefficient_of_variation(StridedSpan xs) { return cv_impl(xs); }
+
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys) {
+  return pearson_impl(xs, ys);
+}
+double pearson_correlation(StridedSpan xs, StridedSpan ys) {
+  return pearson_impl(xs, ys);
 }
 
 double percentile(std::span<const double> xs, double p) {

@@ -1,0 +1,137 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace perfknow {
+
+namespace {
+
+// True on threads currently executing pool work: a nested parallel_for
+// must not wait on the queue it is itself draining.
+thread_local bool tls_in_pool_task = false;
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("PERFKNOW_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  tls_in_pool_task = true;
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stop_ and drained
+      job = std::move(jobs_.front());
+      jobs_.pop();
+    }
+    job();
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  if (n == 0) return;
+  if (workers_.empty() || tls_in_pool_task || n <= std::max<std::size_t>(grain, 1)) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Contiguous chunks; workers and the caller claim them via an atomic
+  // cursor. Errors are kept per chunk so the rethrown exception does not
+  // depend on scheduling.
+  struct ForState {
+    std::size_t n = 0;
+    std::size_t chunk = 0;
+    std::size_t nchunks = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::mutex m;
+    std::condition_variable done_cv;
+    std::size_t done = 0;
+    std::vector<std::exception_ptr> errors;
+  };
+
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->nchunks =
+      std::min(n, (workers_.size() + 1) * 4);  // +1: the caller drains too
+  state->chunk = (n + state->nchunks - 1) / state->nchunks;
+  state->nchunks = (n + state->chunk - 1) / state->chunk;
+  state->body = &body;
+  state->errors.resize(state->nchunks);
+
+  auto drain = [](ForState& s) {
+    for (;;) {
+      const std::size_t c = s.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= s.nchunks) return;
+      const std::size_t begin = c * s.chunk;
+      const std::size_t end = std::min(s.n, begin + s.chunk);
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*s.body)(i);
+      } catch (...) {
+        s.errors[c] = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(s.m);
+      if (++s.done == s.nchunks) s.done_cv.notify_all();
+    }
+  };
+
+  const std::size_t helper_jobs =
+      std::min(workers_.size(), state->nchunks - 1);
+  for (std::size_t i = 0; i < helper_jobs; ++i) {
+    enqueue([state, drain] { drain(*state); });
+  }
+  drain(*state);
+  {
+    std::unique_lock<std::mutex> lock(state->m);
+    state->done_cv.wait(lock,
+                        [&] { return state->done == state->nchunks; });
+  }
+  for (auto& e : state->errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
+}
+
+}  // namespace perfknow

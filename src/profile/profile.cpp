@@ -237,38 +237,42 @@ CallInfo Trial::calls(std::size_t thread, EventId e) const {
   return calls_[thread * events_.size() + e];
 }
 
-std::vector<double> Trial::inclusive_across_threads(EventId e,
-                                                    MetricId m) const {
+stats::StridedSpan Trial::inclusive_series(EventId e, MetricId m) const {
   check_event(e);
   check_metric(m);
-  std::vector<double> out;
-  out.reserve(num_threads_);
-  for (std::size_t t = 0; t < num_threads_; ++t) {
-    out.push_back(inclusive_[idx(t, e, m)]);
-  }
-  return out;
+  if (num_threads_ == 0) return {};
+  // One (event, metric) column of the cube: consecutive threads are
+  // events*metrics doubles apart.
+  return {inclusive_.data() + idx(0, e, m), num_threads_,
+          events_.size() * metrics_.size()};
+}
+
+stats::StridedSpan Trial::exclusive_series(EventId e, MetricId m) const {
+  check_event(e);
+  check_metric(m);
+  if (num_threads_ == 0) return {};
+  return {exclusive_.data() + idx(0, e, m), num_threads_,
+          events_.size() * metrics_.size()};
+}
+
+std::vector<double> Trial::inclusive_across_threads(EventId e,
+                                                    MetricId m) const {
+  return inclusive_series(e, m).to_vector();
 }
 
 std::vector<double> Trial::exclusive_across_threads(EventId e,
                                                     MetricId m) const {
-  check_event(e);
-  check_metric(m);
-  std::vector<double> out;
-  out.reserve(num_threads_);
-  for (std::size_t t = 0; t < num_threads_; ++t) {
-    out.push_back(exclusive_[idx(t, e, m)]);
-  }
-  return out;
+  return exclusive_series(e, m).to_vector();
 }
 
 double Trial::mean_inclusive(EventId e, MetricId m) const {
-  const auto xs = inclusive_across_threads(e, m);
+  const auto xs = inclusive_series(e, m);
   if (xs.empty()) return 0.0;
   return stats::mean(xs);
 }
 
 double Trial::mean_exclusive(EventId e, MetricId m) const {
-  const auto xs = exclusive_across_threads(e, m);
+  const auto xs = exclusive_series(e, m);
   if (xs.empty()) return 0.0;
   return stats::mean(xs);
 }

@@ -15,6 +15,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/stats.hpp"
+
 namespace perfknow::profile {
 
 using EventId = std::uint32_t;
@@ -133,7 +135,15 @@ class Trial {
   [[nodiscard]] CallInfo calls(std::size_t thread, EventId e) const;
 
   /// Per-thread series for one (event, metric) — the unit the statistics
-  /// operate on (e.g. load-balance CV across threads).
+  /// operate on (e.g. load-balance CV across threads) — as a strided
+  /// no-copy view into the value cube. Valid until the trial's schema or
+  /// thread count changes (add_metric/add_event/set_thread_count).
+  [[nodiscard]] stats::StridedSpan inclusive_series(EventId e,
+                                                    MetricId m) const;
+  [[nodiscard]] stats::StridedSpan exclusive_series(EventId e,
+                                                    MetricId m) const;
+
+  /// Materializing variants for callers that need owned storage.
   [[nodiscard]] std::vector<double> inclusive_across_threads(
       EventId e, MetricId m) const;
   [[nodiscard]] std::vector<double> exclusive_across_threads(

@@ -71,6 +71,28 @@ FactId RuleContext::assert_fact(Fact fact) {
   return harness_.memory_.assert_fact(std::move(fact));
 }
 
+namespace {
+
+// True when the candidate pattern itself (re)binds `name`, in which case
+// an equality probe must not use the stale outer value of `name`.
+bool pattern_binds(const Pattern& pat, const std::string& name) {
+  for (const auto& b : pat.bindings) {
+    if (b.variable == name) return true;
+  }
+  if (!pat.fact_variable.empty()) {
+    if (name == pat.fact_variable) return true;
+    // fact_variable-prefixed field bindings ("f.severity").
+    if (name.size() > pat.fact_variable.size() + 1 &&
+        name.compare(0, pat.fact_variable.size(), pat.fact_variable) == 0 &&
+        name[pat.fact_variable.size()] == '.') {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
 void RuleHarness::add_rule(Rule rule) {
   if (rule.patterns.empty()) {
     throw InvalidArgumentError("rule '" + rule.name +
@@ -79,85 +101,206 @@ void RuleHarness::add_rule(Rule rule) {
   if (!rule.action) {
     throw InvalidArgumentError("rule '" + rule.name + "' has no action");
   }
+  CompiledRule compiled;
+  compiled.patterns.reserve(rule.patterns.size());
+  for (const auto& pat : rule.patterns) {
+    CompiledPattern cp;
+    for (std::size_t c = 0; c < pat.constraints.size(); ++c) {
+      const auto& con = pat.constraints[c];
+      if (con.op != CmpOp::kEq) continue;
+      if (con.rhs.kind == Operand::Kind::kLiteral) {
+        cp.probes.push_back(c);
+      } else if (con.rhs.kind == Operand::Kind::kVariable &&
+                 !pattern_binds(pat, con.rhs.variable)) {
+        cp.probes.push_back(c);
+      }
+    }
+    compiled.patterns.push_back(std::move(cp));
+  }
   rules_.push_back(std::move(rule));
+  compiled_.push_back(std::move(compiled));
+  rule_watermark_.push_back(0);
 }
 
-void RuleHarness::match_from(std::size_t rule_index,
-                             std::size_t pattern_index, Bindings bindings,
-                             std::vector<FactId> matched,
+namespace {
+
+void record_and_set(Bindings& bindings,
+                    std::vector<std::pair<std::string, std::optional<FactValue>>>&
+                        undo,
+                    const std::string& key, const FactValue& value) {
+  const auto it = bindings.lower_bound(key);
+  if (it != bindings.end() && it->first == key) {
+    undo.emplace_back(key, std::move(it->second));
+    it->second = value;
+  } else {
+    undo.emplace_back(key, std::nullopt);
+    bindings.emplace_hint(it, key, value);
+  }
+}
+
+void unwind(Bindings& bindings,
+            std::vector<std::pair<std::string, std::optional<FactValue>>>& undo,
+            std::size_t mark) {
+  while (undo.size() > mark) {
+    auto& [key, old] = undo.back();
+    if (old) {
+      bindings[key] = std::move(*old);
+    } else {
+      bindings.erase(key);
+    }
+    undo.pop_back();
+  }
+}
+
+}  // namespace
+
+void RuleHarness::match_step(std::size_t rule_index,
+                             std::size_t pattern_index, std::size_t new_pos,
+                             FactId old_max, FactId round_max,
+                             bool use_index, Bindings& bindings,
+                             std::vector<FactId>& matched, UndoLog& undo,
                              std::vector<Activation>& out) const {
   const Rule& rule = rules_[rule_index];
   if (pattern_index == rule.patterns.size()) {
-    out.push_back(Activation{rule_index, matched, std::move(bindings)});
+    out.push_back(Activation{rule_index, matched, bindings});
     return;
   }
   const Pattern& pat = rule.patterns[pattern_index];
-  for (const FactId id : memory_.ids_of_type(pat.fact_type)) {
+
+  // Delta windows: positions before new_pos take old facts only, the
+  // new_pos position only facts asserted since the watermark, later
+  // positions anything visible this round.
+  FactId lo = 0;
+  FactId hi = round_max;
+  if (new_pos != kAllPositions) {
+    if (pattern_index < new_pos) {
+      hi = old_max;
+    } else if (pattern_index == new_pos) {
+      lo = old_max;
+    }
+  }
+
+  const std::vector<FactId>* cands = &memory_.ids_of_type(pat.fact_type);
+  if (use_index) {
+    // Alpha-index probe: among the precompiled equality constraints whose
+    // right-hand side is known here, take the smallest candidate bucket.
+    for (const std::size_t ci : compiled_[rule_index]
+                                    .patterns[pattern_index]
+                                    .probes) {
+      const Constraint& con = pat.constraints[ci];
+      const FactValue* val = nullptr;
+      if (con.rhs.kind == Operand::Kind::kLiteral) {
+        val = &con.rhs.literal;
+      } else {
+        const auto it = bindings.find(con.rhs.variable);
+        if (it != bindings.end()) val = &it->second;
+      }
+      if (!val) continue;
+      const auto& bucket =
+          memory_.ids_with_field_value(pat.fact_type, con.field, *val);
+      if (bucket.size() < cands->size()) cands = &bucket;
+      if (cands->empty()) break;
+    }
+  }
+
+  const auto first = std::upper_bound(cands->begin(), cands->end(), lo);
+  const auto last = std::upper_bound(first, cands->end(), hi);
+  for (auto it = first; it != last; ++it) {
+    const FactId id = *it;
     // A fact may satisfy at most one pattern of an activation: joins over
     // the *same* fact are almost always a bug in a rulebase.
     if (std::find(matched.begin(), matched.end(), id) != matched.end()) {
       continue;
     }
     const Fact& fact = *memory_.find(id);
+    const std::size_t undo_mark = undo.size();
     // Bindings are extracted before constraints are evaluated so a
     // constraint may reference a binding declared anywhere in the same
     // pattern ("j : forkJoinCycles, dispatchCycles > j * 2").
-    Bindings next = bindings;
-    bool bind_ok = true;
-    for (const auto& b : pat.bindings) {
-      const auto field = fact.try_get(b.field);
-      if (!field) {
-        bind_ok = false;
-        break;
-      }
-      next[b.variable] = *field;
-    }
-    if (!bind_ok) continue;
-
     bool ok = true;
-    for (const auto& c : pat.constraints) {
-      const auto field = fact.try_get(c.field);
+    for (const auto& b : pat.bindings) {
+      const FactValue* field = fact.find_field(b.field);
       if (!field) {
         ok = false;
         break;
       }
-      if (!compare(c.op, *field, c.rhs.resolve(next))) {
-        ok = false;
-        break;
+      record_and_set(bindings, undo, b.variable, *field);
+    }
+    if (ok) {
+      for (const auto& c : pat.constraints) {
+        const FactValue* field = fact.find_field(c.field);
+        if (!field || !compare(c.op, *field, c.rhs.resolve(bindings))) {
+          ok = false;
+          break;
+        }
       }
     }
-    if (!ok) continue;
-    if (pat.guard && !pat.guard(fact, next)) continue;
-    if (!pat.fact_variable.empty()) {
+    if (ok && pat.guard && !pat.guard(fact, bindings)) ok = false;
+    if (ok && !pat.fact_variable.empty()) {
       // The whole-fact binding exposes the fact id as a number so later
       // constraints can reference it; field access resolves via fields.
-      next[pat.fact_variable] = static_cast<double>(id);
+      record_and_set(bindings, undo, pat.fact_variable,
+                     FactValue(static_cast<double>(id)));
+      std::string key;
       for (const auto& [k, v] : fact.fields()) {
-        next[pat.fact_variable + "." + k] = v;
+        key.assign(pat.fact_variable);
+        key += '.';
+        key += k;
+        record_and_set(bindings, undo, key, v);
       }
     }
-    auto next_matched = matched;
-    next_matched.push_back(id);
-    match_from(rule_index, pattern_index + 1, std::move(next),
-               std::move(next_matched), out);
+    if (ok) {
+      matched.push_back(id);
+      match_step(rule_index, pattern_index + 1, new_pos, old_max, round_max,
+                 use_index, bindings, matched, undo, out);
+      matched.pop_back();
+    }
+    unwind(bindings, undo, undo_mark);
   }
 }
 
-void RuleHarness::match_rule(std::size_t rule_index,
-                             std::vector<Activation>& out) const {
-  match_from(rule_index, 0, Bindings{}, {}, out);
+bool RuleHarness::delta_touches(const Rule& rule, FactId old_max,
+                                FactId round_max) const {
+  for (const auto& pat : rule.patterns) {
+    const auto& ids = memory_.ids_of_type(pat.fact_type);
+    const auto it = std::upper_bound(ids.begin(), ids.end(), old_max);
+    if (it != ids.end() && *it <= round_max) return true;
+  }
+  return false;
 }
 
 std::size_t RuleHarness::process_rules(std::size_t max_firings) {
   std::size_t fired_count = 0;
   bool progressed = true;
+  std::vector<Activation> agenda;
+  Bindings bindings;
+  std::vector<FactId> matched;
+  UndoLog undo;
   while (progressed) {
     progressed = false;
-    std::vector<Activation> agenda;
+    agenda.clear();
+    const FactId round_max = memory_.last_id();
     for (std::size_t r = 0; r < rules_.size(); ++r) {
-      match_rule(r, agenda);
+      if (strategy_ == MatchStrategy::kIndexed) {
+        FactId& watermark = rule_watermark_[r];
+        if (watermark >= round_max) continue;  // no facts newer than seen
+        if (!delta_touches(rules_[r], watermark, round_max)) {
+          watermark = round_max;
+          continue;
+        }
+        const std::size_t npat = rules_[r].patterns.size();
+        for (std::size_t new_pos = 0; new_pos < npat; ++new_pos) {
+          match_step(r, 0, new_pos, watermark, round_max,
+                     /*use_index=*/true, bindings, matched, undo, agenda);
+        }
+        watermark = round_max;
+      } else {
+        match_step(r, 0, kAllPositions, 0, round_max, /*use_index=*/false,
+                   bindings, matched, undo, agenda);
+      }
     }
-    // Salience (desc), then rule order, then fact ids — deterministic.
+    // Salience (desc), then rule order, then fact ids — a total order,
+    // so both strategies fire identical sequences.
     std::stable_sort(agenda.begin(), agenda.end(),
                      [this](const Activation& a, const Activation& b) {
                        const int sa = rules_[a.rule_index].salience;

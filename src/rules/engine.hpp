@@ -7,15 +7,30 @@
 // then fact recency), fires each activation exactly once, and re-matches
 // after actions assert new facts — until quiescence.
 //
-// Rulebases here are tens of rules over at most a few thousand facts, so
-// a direct O(rules x facts^patterns) matcher is deliberately used instead
-// of RETE; it is simple, deterministic and fast enough by orders of
-// magnitude.
+// Two matching strategies share one enumeration core:
+//
+//  * kIndexed (default): a RETE-lite incremental matcher. Candidate
+//    facts come from WorkingMemory's per-(type, field, value) alpha
+//    indexes, and after the first firing round only rules whose pattern
+//    types gained facts are re-matched — and only for binding tuples
+//    containing at least one newly-asserted fact (per-rule fact-id
+//    watermarks slice each pattern position into old/new windows, so
+//    every tuple is enumerated exactly once).
+//  * kNaive: the original full re-scan per round, kept as the
+//    differential-testing oracle.
+//
+// Both strategies fire the same activations in the same order (salience
+// desc, then rule order, then fact-id tuple — a total order), so outputs
+// and diagnosis sequences are byte-identical. The one permitted
+// divergence: on rulebases whose constraints *throw* during matching
+// (e.g. unbound variables), the indexed matcher may skip candidates an
+// equality index already excluded and therefore not raise the error.
 #pragma once
 
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -138,6 +153,9 @@ struct Diagnosis {
   std::string recommendation;
 };
 
+/// How RuleHarness enumerates activations. See the file comment.
+enum class MatchStrategy { kNaive, kIndexed };
+
 /// Owns a rulebase and working memory; runs the match-fire loop.
 class RuleHarness {
  public:
@@ -146,6 +164,12 @@ class RuleHarness {
   void add_rule(Rule rule);
   [[nodiscard]] std::size_t rule_count() const noexcept {
     return rules_.size();
+  }
+
+  /// Strategy may be switched any time before process_rules.
+  void set_match_strategy(MatchStrategy s) noexcept { strategy_ = s; }
+  [[nodiscard]] MatchStrategy match_strategy() const noexcept {
+    return strategy_;
   }
 
   [[nodiscard]] WorkingMemory& memory() noexcept { return memory_; }
@@ -182,13 +206,46 @@ class RuleHarness {
     Bindings bindings;
   };
 
-  /// All activations of one rule against current memory.
-  void match_rule(std::size_t rule_index, std::vector<Activation>& out) const;
-  void match_from(std::size_t rule_index, std::size_t pattern_index,
-                  Bindings bindings, std::vector<FactId> matched,
+  /// Per-pattern matching plan computed once in add_rule: which equality
+  /// constraints can be answered by the alpha index (literal right-hand
+  /// side, or a variable that is necessarily bound by an earlier pattern
+  /// — never by the candidate pattern itself).
+  struct CompiledPattern {
+    std::vector<std::size_t> probes;  ///< indexes into Pattern::constraints
+  };
+  struct CompiledRule {
+    std::vector<CompiledPattern> patterns;
+  };
+
+  /// Undo log for move-friendly binding propagation: one shared Bindings
+  /// map is mutated in place per candidate and rolled back afterwards,
+  /// instead of copying the map for every candidate fact.
+  using UndoLog = std::vector<std::pair<std::string, std::optional<FactValue>>>;
+
+  /// new_pos value meaning "no delta windows — enumerate everything".
+  static constexpr std::size_t kAllPositions = static_cast<std::size_t>(-1);
+
+  /// Recursive enumeration step shared by both strategies. Facts at
+  /// pattern positions before `new_pos` are restricted to ids <= old_max
+  /// ("old"), the position `new_pos` to (old_max, round_max] ("new"),
+  /// later positions to ids <= round_max — the standard delta-join
+  /// scheme that yields each tuple containing >= 1 new fact exactly once.
+  void match_step(std::size_t rule_index, std::size_t pattern_index,
+                  std::size_t new_pos, FactId old_max, FactId round_max,
+                  bool use_index, Bindings& bindings,
+                  std::vector<FactId>& matched, UndoLog& undo,
                   std::vector<Activation>& out) const;
 
+  /// True when some pattern of `rule` has facts in (old_max, round_max].
+  [[nodiscard]] bool delta_touches(const Rule& rule, FactId old_max,
+                                   FactId round_max) const;
+
   std::vector<Rule> rules_;
+  std::vector<CompiledRule> compiled_;
+  /// Per-rule fact-id watermark: all tuples over facts <= watermark have
+  /// already been enumerated for that rule.
+  std::vector<FactId> rule_watermark_;
+  MatchStrategy strategy_ = MatchStrategy::kIndexed;
   WorkingMemory memory_;
   std::vector<std::string> output_;
   std::vector<Diagnosis> diagnoses_;

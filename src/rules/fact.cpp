@@ -1,6 +1,8 @@
 #include "rules/fact.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -61,6 +63,11 @@ std::optional<FactValue> Fact::try_get(const std::string& field) const {
   return it->second;
 }
 
+const FactValue* Fact::find_field(const std::string& field) const {
+  const auto it = fields_.find(field);
+  return it == fields_.end() ? nullptr : &it->second;
+}
+
 double Fact::number(const std::string& field) const {
   const auto& v = get(field);
   if (const auto* d = std::get_if<double>(&v)) return *d;
@@ -93,33 +100,112 @@ std::string Fact::str() const {
   return out + "}";
 }
 
+namespace {
+
+const std::vector<FactId>& empty_ids() {
+  static const std::vector<FactId> kEmpty;
+  return kEmpty;
+}
+
+// Canonical hash key whose equality classes are exactly those of
+// values_equal: numbers key on their (sign-normalized) bit pattern,
+// strings on their text, and booleans on "true"/"false" text so the
+// DSL's bool <-> string equivalence probes the same bucket.
+std::string value_key(const FactValue& v) {
+  if (const auto* d = std::get_if<double>(&v)) {
+    double x = (*d == 0.0) ? 0.0 : *d;  // collapse -0.0 into +0.0
+    std::string key(1 + sizeof(double), '\0');
+    key[0] = 'n';
+    std::memcpy(key.data() + 1, &x, sizeof(double));
+    return key;
+  }
+  if (const auto* s = std::get_if<std::string>(&v)) return "s" + *s;
+  return std::get<bool>(v) ? "strue" : "sfalse";
+}
+
+void erase_sorted(std::vector<FactId>& ids, FactId id) {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  if (it != ids.end() && *it == id) ids.erase(it);
+}
+
+}  // namespace
+
 FactId WorkingMemory::assert_fact(Fact fact) {
   const FactId id = next_++;
-  facts_.emplace(id, std::move(fact));
+  auto& idx = types_[fact.type()];
+  idx.ids.push_back(id);  // ids are ascending, so append keeps order
+  for (const auto& [field, value] : fact.fields()) {
+    idx.by_field[field][value_key(value)].push_back(id);
+  }
+  slots_.push_back(std::move(fact));
+  ++live_;
   return id;
 }
 
-bool WorkingMemory::retract(FactId id) { return facts_.erase(id) != 0; }
+bool WorkingMemory::retract(FactId id) {
+  if (id < base_ || id >= next_) return false;
+  auto& slot = slots_[id - base_];
+  if (!slot) return false;
+  const auto tit = types_.find(slot->type());
+  if (tit != types_.end()) {
+    auto& idx = tit->second;
+    erase_sorted(idx.ids, id);
+    for (const auto& [field, value] : slot->fields()) {
+      const auto fit = idx.by_field.find(field);
+      if (fit == idx.by_field.end()) continue;
+      const auto vit = fit->second.find(value_key(value));
+      if (vit == fit->second.end()) continue;
+      erase_sorted(vit->second, id);
+      if (vit->second.empty()) fit->second.erase(vit);
+    }
+  }
+  slot.reset();
+  --live_;
+  return true;
+}
 
 const Fact* WorkingMemory::find(FactId id) const {
-  const auto it = facts_.find(id);
-  return it == facts_.end() ? nullptr : &it->second;
+  if (id < base_ || id >= next_) return nullptr;
+  const auto& slot = slots_[id - base_];
+  return slot ? &*slot : nullptr;
 }
 
 std::vector<FactId> WorkingMemory::ids() const {
   std::vector<FactId> out;
-  out.reserve(facts_.size());
-  for (const auto& [id, _] : facts_) out.push_back(id);
+  out.reserve(live_);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i]) out.push_back(base_ + i);
+  }
   return out;
 }
 
-std::vector<FactId> WorkingMemory::ids_of_type(
+const std::vector<FactId>& WorkingMemory::ids_of_type(
     const std::string& type) const {
-  std::vector<FactId> out;
-  for (const auto& [id, f] : facts_) {
-    if (f.type() == type) out.push_back(id);
+  const auto it = types_.find(type);
+  return it == types_.end() ? empty_ids() : it->second.ids;
+}
+
+const std::vector<FactId>& WorkingMemory::ids_with_field_value(
+    const std::string& type, const std::string& field,
+    const FactValue& value) const {
+  // NaN never compares equal to anything (not even itself), so an
+  // equality probe with NaN can have no matches.
+  if (const auto* d = std::get_if<double>(&value)) {
+    if (std::isnan(*d)) return empty_ids();
   }
-  return out;
+  const auto tit = types_.find(type);
+  if (tit == types_.end()) return empty_ids();
+  const auto fit = tit->second.by_field.find(field);
+  if (fit == tit->second.by_field.end()) return empty_ids();
+  const auto vit = fit->second.find(value_key(value));
+  return vit == fit->second.end() ? empty_ids() : vit->second;
+}
+
+void WorkingMemory::clear() {
+  slots_.clear();
+  types_.clear();
+  live_ = 0;
+  base_ = next_;  // ids stay monotonic across clear()
 }
 
 }  // namespace perfknow::rules

@@ -4,12 +4,19 @@
 // fields. The analysis layer asserts facts (e.g. MeanEventFact instances
 // comparing each event to main); rules match on type and field
 // constraints and may assert further facts, chaining inference forward.
+//
+// WorkingMemory is the alpha network of the indexed matcher: facts are
+// partitioned by type, and every (field, value) pair is hash-indexed so
+// equality constraints probe a candidate list instead of scanning all
+// facts of a type. Ids are monotonically increasing and double as the
+// recency ordering the incremental matcher's delta windows slice on.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -61,6 +68,9 @@ class Fact {
   [[nodiscard]] const FactValue& get(const std::string& field) const;
   [[nodiscard]] std::optional<FactValue> try_get(
       const std::string& field) const;
+  /// Like try_get but without the copy; nullptr when absent. The matcher
+  /// evaluates constraints through this.
+  [[nodiscard]] const FactValue* find_field(const std::string& field) const;
   /// Typed accessors; throw EvalError on type mismatch.
   [[nodiscard]] double number(const std::string& field) const;
   [[nodiscard]] const std::string& text(const std::string& field) const;
@@ -81,7 +91,9 @@ class Fact {
 
 using FactId = std::uint64_t;
 
-/// The set of asserted facts. Ids are stable and never reused.
+/// The set of asserted facts. Ids are stable, ascending in assertion
+/// order, and never reused — so "asserted after fact X" is simply
+/// "id > X", which the incremental matcher exploits.
 class WorkingMemory {
  public:
   FactId assert_fact(Fact fact);
@@ -89,19 +101,43 @@ class WorkingMemory {
   bool retract(FactId id);
 
   [[nodiscard]] const Fact* find(FactId id) const;
-  [[nodiscard]] std::size_t size() const noexcept { return facts_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
 
   /// Ids of all live facts, ascending (assertion order).
   [[nodiscard]] std::vector<FactId> ids() const;
-  /// Ids of live facts of one type, ascending.
-  [[nodiscard]] std::vector<FactId> ids_of_type(
+  /// Ids of live facts of one type, ascending. The reference stays valid
+  /// until the next assert/retract/clear.
+  [[nodiscard]] const std::vector<FactId>& ids_of_type(
       const std::string& type) const;
+  /// Alpha-index probe: ids of live facts of `type` whose `field`
+  /// compares values_equal to `value`, ascending. Same lifetime caveat
+  /// as ids_of_type.
+  [[nodiscard]] const std::vector<FactId>& ids_with_field_value(
+      const std::string& type, const std::string& field,
+      const FactValue& value) const;
 
-  void clear() { facts_.clear(); }
+  /// Highest id ever asserted (0 before the first assert). Facts
+  /// asserted later compare greater — the matcher's recency watermark.
+  [[nodiscard]] FactId last_id() const noexcept { return next_ - 1; }
+
+  void clear();
 
  private:
-  std::map<FactId, Fact> facts_;
+  struct TypeIndex {
+    std::vector<FactId> ids;  ///< live ids of this type, ascending
+    /// field -> canonical value key -> live ids, ascending.
+    std::unordered_map<std::string,
+                       std::unordered_map<std::string, std::vector<FactId>>>
+        by_field;
+  };
+
+  // Dense id -> fact storage: slot i holds id base_ + i. clear() keeps
+  // ids monotonic by advancing base_ instead of resetting next_.
+  std::vector<std::optional<Fact>> slots_;
+  FactId base_ = 1;
   FactId next_ = 1;
+  std::size_t live_ = 0;
+  std::unordered_map<std::string, TypeIndex> types_;
 };
 
 }  // namespace perfknow::rules

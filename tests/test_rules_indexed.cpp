@@ -1,0 +1,466 @@
+// Differential tests for the indexed incremental matcher: the naive
+// full-rescan matcher is the oracle, and the indexed engine must produce
+// byte-identical output lines, diagnoses, and firing counts on every
+// shipped rulebase and on randomized fact soups / rulebases.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "rules/engine.hpp"
+#include "rules/fact.hpp"
+#include "rules/parser.hpp"
+#include "rules/rulebases.hpp"
+
+namespace pk = perfknow;
+using pk::rules::CmpOp;
+using pk::rules::Constraint;
+using pk::rules::Fact;
+using pk::rules::FactValue;
+using pk::rules::FieldBinding;
+using pk::rules::MatchStrategy;
+using pk::rules::Operand;
+using pk::rules::Pattern;
+using pk::rules::Rule;
+using pk::rules::RuleContext;
+using pk::rules::RuleHarness;
+
+namespace {
+
+struct RunResult {
+  std::vector<std::string> output;
+  std::vector<pk::rules::Diagnosis> diagnoses;
+  std::vector<std::size_t> firings_per_stage;
+  /// Fire-time errors (e.g. an action touching a field the matched fact
+  /// lacks) are part of the observable behaviour: both strategies must
+  /// fail identically, after the identical output prefix.
+  std::string error;
+};
+
+bool diagnoses_equal(const pk::rules::Diagnosis& a,
+                     const pk::rules::Diagnosis& b) {
+  return a.rule == b.rule && a.problem == b.problem && a.event == b.event &&
+         a.severity == b.severity && a.recommendation == b.recommendation;
+}
+
+/// Runs `rules` over the staged fact soup with one strategy, calling
+/// process_rules after every stage (the incremental path: later stages
+/// re-enter a harness whose watermarks are already advanced).
+RunResult run_with(MatchStrategy strategy, const std::vector<Rule>& rules,
+                   const std::vector<std::vector<Fact>>& stages) {
+  RuleHarness h;
+  h.set_match_strategy(strategy);
+  for (const auto& r : rules) h.add_rule(r);
+  RunResult res;
+  for (const auto& stage : stages) {
+    for (const auto& f : stage) h.assert_fact(f);
+    try {
+      res.firings_per_stage.push_back(h.process_rules());
+    } catch (const std::exception& e) {
+      res.error = e.what();
+      break;
+    }
+  }
+  res.output = h.output();
+  res.diagnoses = h.diagnoses();
+  return res;
+}
+
+/// The differential assertion: both strategies, same everything.
+std::size_t expect_identical(const std::vector<Rule>& rules,
+                             const std::vector<std::vector<Fact>>& stages,
+                             const std::string& label) {
+  const RunResult naive = run_with(MatchStrategy::kNaive, rules, stages);
+  const RunResult indexed = run_with(MatchStrategy::kIndexed, rules, stages);
+  EXPECT_EQ(naive.firings_per_stage, indexed.firings_per_stage) << label;
+  EXPECT_EQ(naive.output, indexed.output) << label;
+  EXPECT_EQ(naive.error, indexed.error) << label;
+  EXPECT_EQ(naive.diagnoses.size(), indexed.diagnoses.size()) << label;
+  for (std::size_t i = 0;
+       i < std::min(naive.diagnoses.size(), indexed.diagnoses.size()); ++i) {
+    EXPECT_TRUE(diagnoses_equal(naive.diagnoses[i], indexed.diagnoses[i]))
+        << label << ": diagnosis " << i << " differs: "
+        << naive.diagnoses[i].rule << " / " << indexed.diagnoses[i].rule;
+  }
+  std::size_t total = 0;
+  for (const auto f : naive.firings_per_stage) total += f;
+  return total;
+}
+
+// ---- pattern-derived fact soups --------------------------------------
+//
+// For every pattern of every rule, synthesize a fact engineered to
+// satisfy that pattern's literal constraints (and, where a constraint
+// references a variable bound earlier in the same rule, the value that
+// variable took), plus perturbed near-miss variants and random noise
+// facts of the same types. This exercises each rulebase without
+// hand-curating its field names, and guarantees both satisfying and
+// non-satisfying candidates flow through the index probes.
+
+// Numbers only: generated values can flow through rulebase arithmetic
+// ("dispatchCycles > j * 2"), which throws on strings/booleans — equally
+// in both engines, but an exception aborts the differential run. String
+// and boolean bucketing get dedicated tests below.
+FactValue pool_value(std::mt19937& rng) {
+  switch (rng() % 4) {
+    case 0: return 0.0;
+    case 1: return 0.5;
+    case 2: return 2.0;
+    default: return 7.25;
+  }
+}
+
+FactValue satisfying_value(CmpOp op, const FactValue& rhs) {
+  if (const auto* d = std::get_if<double>(&rhs)) {
+    switch (op) {
+      case CmpOp::kEq: return *d;
+      case CmpOp::kNe: return *d + 1.0;
+      case CmpOp::kLt: return *d - 1.0;
+      case CmpOp::kLe: return *d;
+      case CmpOp::kGt: return *d + 1.0;
+      case CmpOp::kGe: return *d;
+    }
+  }
+  if (const auto* s = std::get_if<std::string>(&rhs)) {
+    switch (op) {
+      case CmpOp::kEq: return *s;
+      case CmpOp::kNe: return *s + "x";
+      case CmpOp::kLt: return std::string("");
+      case CmpOp::kLe: return *s;
+      case CmpOp::kGt: return *s + "x";
+      case CmpOp::kGe: return *s;
+    }
+  }
+  // Booleans: equality is the only useful relation.
+  if (const auto* b = std::get_if<bool>(&rhs)) {
+    return op == CmpOp::kNe ? FactValue(!*b) : FactValue(*b);
+  }
+  return rhs;
+}
+
+std::vector<Fact> soup_for_rules(const std::vector<Rule>& rules,
+                                 std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<Fact> soup;
+  for (const auto& rule : rules) {
+    // Simulate left-to-right matching so variable right-hand sides can be
+    // given the value the variable would actually hold.
+    std::map<std::string, FactValue> var_values;
+    for (const auto& pat : rule.patterns) {
+      Fact f(pat.fact_type);
+      for (const auto& con : pat.constraints) {
+        FactValue rhs;
+        bool known = false;
+        if (con.rhs.kind == Operand::Kind::kLiteral) {
+          rhs = con.rhs.literal;
+          known = true;
+        } else if (con.rhs.kind == Operand::Kind::kVariable) {
+          const auto it = var_values.find(con.rhs.variable);
+          if (it != var_values.end()) {
+            rhs = it->second;
+            known = true;
+          }
+        }
+        f.set(con.field, known ? satisfying_value(con.op, rhs)
+                               : FactValue(1.0 + double(rng() % 4)));
+      }
+      for (const auto& b : pat.bindings) {
+        if (!f.has(b.field)) f.set(b.field, pool_value(rng));
+        var_values[b.variable] = f.get(b.field);
+      }
+      if (!pat.fact_variable.empty()) {
+        for (const auto& [k, v] : f.fields()) {
+          var_values[pat.fact_variable + "." + k] = v;
+        }
+      }
+      // A perturbed near-miss sibling: one field nudged off-target so the
+      // index must separate it from the satisfying fact.
+      Fact miss = f;
+      if (!f.fields().empty()) {
+        const auto& first = f.fields().begin()->first;
+        miss.set(first, FactValue(-123.25));
+      }
+      soup.push_back(std::move(f));
+      soup.push_back(std::move(miss));
+      // And a pure-noise fact of the same type.
+      Fact noise(pat.fact_type);
+      for (const auto& [k, v] : soup[soup.size() - 2].fields()) {
+        (void)v;
+        noise.set(k, pool_value(rng));
+      }
+      soup.push_back(std::move(noise));
+    }
+  }
+  // Deterministic shuffle so assertion order differs from pattern order.
+  std::shuffle(soup.begin(), soup.end(), rng);
+  return soup;
+}
+
+std::vector<std::vector<Fact>> split_stages(std::vector<Fact> soup) {
+  const std::size_t half = soup.size() / 2;
+  std::vector<Fact> a(soup.begin(), soup.begin() + half);
+  std::vector<Fact> b(soup.begin() + half, soup.end());
+  return {std::move(a), std::move(b)};
+}
+
+std::size_t differential_rulebase(std::string_view source,
+                                  const std::string& label) {
+  std::size_t total = 0;
+  for (std::uint32_t seed = 1; seed <= 3; ++seed) {
+    const auto rules = pk::rules::parse_rules(std::string(source));
+    auto soup = soup_for_rules(rules, seed);
+    total += expect_identical(rules, split_stages(std::move(soup)),
+                              label + " seed " + std::to_string(seed));
+  }
+  return total;
+}
+
+}  // namespace
+
+TEST(IndexedDifferential, StallsPerCycle) {
+  differential_rulebase(pk::rules::builtin::stalls_per_cycle(), "stalls");
+}
+
+TEST(IndexedDifferential, LoadImbalance) {
+  differential_rulebase(pk::rules::builtin::load_imbalance(), "imbalance");
+}
+
+TEST(IndexedDifferential, Inefficiency) {
+  differential_rulebase(pk::rules::builtin::inefficiency(), "inefficiency");
+}
+
+TEST(IndexedDifferential, StallCoverage) {
+  differential_rulebase(pk::rules::builtin::stall_coverage(), "coverage");
+}
+
+TEST(IndexedDifferential, MemoryLocality) {
+  differential_rulebase(pk::rules::builtin::memory_locality(), "locality");
+}
+
+TEST(IndexedDifferential, Power) {
+  differential_rulebase(pk::rules::builtin::power(), "power");
+}
+
+TEST(IndexedDifferential, Instrumentation) {
+  differential_rulebase(pk::rules::builtin::instrumentation(),
+                        "instrumentation");
+}
+
+TEST(IndexedDifferential, OpenMP) {
+  differential_rulebase(pk::rules::builtin::openmp(), "openmp");
+}
+
+TEST(IndexedDifferential, Communication) {
+  differential_rulebase(pk::rules::builtin::communication(), "comm");
+}
+
+TEST(IndexedDifferential, FullOpenUHRulebaseFires) {
+  // The union rulebase must not only agree — the generated soups must
+  // actually trigger firings, or the differential proves nothing.
+  const std::string all = pk::rules::builtin::openuh_rules();
+  std::size_t total = 0;
+  for (std::uint32_t seed = 10; seed <= 12; ++seed) {
+    const auto rules = pk::rules::parse_rules(all);
+    auto soup = soup_for_rules(rules, seed);
+    total += expect_identical(rules, split_stages(std::move(soup)),
+                              "openuh seed " + std::to_string(seed));
+  }
+  EXPECT_GT(total, 0u) << "fact soups never fired a rule — vacuous test";
+}
+
+// ---- randomized rulebases --------------------------------------------
+
+namespace {
+
+/// Builds a random but well-formed rulebase: variable right-hand sides
+/// only reference variables bound by an earlier pattern of the same rule
+/// (so neither strategy can hit an unbound-variable error), and derived
+/// fact types form a DAG (rule i may consume D0..D(i-1), asserts Di), so
+/// chains always terminate.
+std::vector<Rule> random_rules(std::mt19937& rng, std::size_t count) {
+  const std::vector<std::string> base_types = {"T0", "T1", "T2"};
+  const std::vector<std::string> fields = {"f0", "f1", "f2"};
+  std::vector<Rule> rules;
+  for (std::size_t ri = 0; ri < count; ++ri) {
+    Rule rule;
+    rule.name = "rand" + std::to_string(ri);
+    rule.salience = static_cast<int>(rng() % 3) - 1;
+    std::vector<std::string> bound;
+    const std::size_t npat = 1 + rng() % 2;
+    for (std::size_t pi = 0; pi < npat; ++pi) {
+      Pattern pat;
+      const bool derived = ri > 0 && rng() % 3 == 0;
+      pat.fact_type = derived ? "D" + std::to_string(rng() % ri)
+                              : base_types[rng() % base_types.size()];
+      const std::size_t ncon = rng() % 3;
+      for (std::size_t ci = 0; ci < ncon; ++ci) {
+        Constraint con;
+        con.field = fields[rng() % fields.size()];
+        con.op = static_cast<CmpOp>(rng() % 6);
+        if (!bound.empty() && rng() % 3 == 0) {
+          con.rhs = Operand::var(bound[rng() % bound.size()]);
+        } else {
+          con.rhs = Operand::lit(FactValue(double(rng() % 4)));
+        }
+        pat.constraints.push_back(std::move(con));
+      }
+      if (rng() % 2 == 0) {
+        FieldBinding b;
+        b.variable = "v" + std::to_string(ri) + "_" + std::to_string(pi);
+        b.field = fields[rng() % fields.size()];
+        bound.push_back(b.variable);
+        pat.bindings.push_back(std::move(b));
+      }
+      rule.patterns.push_back(std::move(pat));
+    }
+    const bool asserts = rng() % 3 == 0;
+    const std::string derived_type = "D" + std::to_string(ri);
+    rule.action = [name = rule.name, asserts,
+                   derived_type](RuleContext& ctx) {
+      std::string line = name + " fired on";
+      for (const auto id : ctx.matched_facts()) {
+        line += " #" + std::to_string(id);
+      }
+      for (const auto& [k, v] : ctx.bindings()) {
+        line += " " + k + "=" + pk::rules::to_display(v);
+      }
+      ctx.print(line);
+      if (asserts) {
+        ctx.assert_fact(Fact(derived_type).set("f0", 1.0).set("f1", 2.0));
+      }
+    };
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+std::vector<Fact> random_soup(std::mt19937& rng, std::size_t count) {
+  const std::vector<std::string> base_types = {"T0", "T1", "T2"};
+  const std::vector<std::string> fields = {"f0", "f1", "f2"};
+  std::vector<Fact> soup;
+  for (std::size_t i = 0; i < count; ++i) {
+    Fact f(base_types[rng() % base_types.size()]);
+    for (const auto& fld : fields) {
+      if (rng() % 4 != 0) f.set(fld, FactValue(double(rng() % 4)));
+    }
+    soup.push_back(std::move(f));
+  }
+  return soup;
+}
+
+}  // namespace
+
+TEST(IndexedDifferential, RandomizedRulebasesAndSoups) {
+  std::size_t total = 0;
+  for (std::uint32_t seed = 100; seed < 140; ++seed) {
+    std::mt19937 rng(seed);
+    const auto rules = random_rules(rng, 2 + rng() % 6);
+    const auto soup = random_soup(rng, 8 + rng() % 20);
+    total += expect_identical(rules, split_stages(soup),
+                              "random seed " + std::to_string(seed));
+  }
+  EXPECT_GT(total, 100u) << "random soups barely fired — weak test";
+}
+
+TEST(IndexedDifferential, StrategyAccessorsAndDefault) {
+  RuleHarness h;
+  EXPECT_EQ(h.match_strategy(), MatchStrategy::kIndexed);
+  h.set_match_strategy(MatchStrategy::kNaive);
+  EXPECT_EQ(h.match_strategy(), MatchStrategy::kNaive);
+}
+
+TEST(IndexedDifferential, IncrementalRerunOnlyFiresNewFacts) {
+  // The watermark must survive across process_rules calls: re-running
+  // after new asserts fires only activations involving the new facts.
+  RuleHarness h;  // default: indexed
+  Rule r;
+  r.name = "seen";
+  Pattern p;
+  p.fact_type = "Obs";
+  p.bindings.push_back(FieldBinding{"x", "val"});
+  r.patterns.push_back(std::move(p));
+  r.action = [](RuleContext& ctx) {
+    ctx.print("saw " + pk::rules::to_display(ctx.binding("x")));
+  };
+  h.add_rule(std::move(r));
+  h.assert_fact(Fact("Obs").set("val", 1.0));
+  h.assert_fact(Fact("Obs").set("val", 2.0));
+  EXPECT_EQ(h.process_rules(), 2u);
+  EXPECT_EQ(h.process_rules(), 0u);
+  h.assert_fact(Fact("Obs").set("val", 3.0));
+  EXPECT_EQ(h.process_rules(), 1u);
+  EXPECT_EQ(h.output(),
+            (std::vector<std::string>{"saw 1", "saw 2", "saw 3"}));
+}
+
+TEST(IndexedDifferential, IndexProbeRespectsValueEquivalence) {
+  // values_equal treats true == "true" and 2 == 2.0; the alpha index
+  // must bucket them identically or the indexed engine would miss
+  // activations the naive engine finds.
+  Rule r;
+  r.name = "boolish";
+  Pattern p;
+  p.fact_type = "Flag";
+  p.constraints.push_back(
+      Constraint{"on", CmpOp::kEq, Operand::lit(FactValue(true))});
+  r.patterns.push_back(std::move(p));
+  r.action = [](RuleContext& ctx) { ctx.print("hit"); };
+
+  std::vector<Fact> soup;
+  soup.push_back(Fact("Flag").set("on", true));
+  soup.push_back(Fact("Flag").set("on", "true"));
+  soup.push_back(Fact("Flag").set("on", "false"));
+  soup.push_back(Fact("Flag").set("on", false));
+  soup.push_back(Fact("Flag").set("on", 1.0));
+  expect_identical({r}, {soup}, "bool equivalence");
+
+  Rule neg;
+  neg.name = "negzero";
+  Pattern q;
+  q.fact_type = "Num";
+  q.constraints.push_back(
+      Constraint{"x", CmpOp::kEq, Operand::lit(FactValue(0.0))});
+  neg.patterns.push_back(std::move(q));
+  neg.action = [](RuleContext& ctx) { ctx.print("zero"); };
+  std::vector<Fact> nums;
+  nums.push_back(Fact("Num").set("x", 0.0));
+  nums.push_back(Fact("Num").set("x", -0.0));
+  nums.push_back(Fact("Num").set("x", 1.0));
+  expect_identical({neg}, {nums}, "negative zero");
+}
+
+TEST(IndexedDifferential, JoinOnBoundVariableUsesIndex) {
+  // The classic beta join: the second pattern's equality against a
+  // variable bound by the first pattern. Both strategies must agree on
+  // every pairing, across incremental stages.
+  Rule r;
+  r.name = "nest";
+  Pattern outer;
+  outer.fact_type = "Parent";
+  outer.bindings.push_back(FieldBinding{"pid", "id"});
+  Pattern inner;
+  inner.fact_type = "Child";
+  inner.constraints.push_back(
+      Constraint{"parent", CmpOp::kEq, Operand::var("pid")});
+  inner.bindings.push_back(FieldBinding{"cid", "id"});
+  r.patterns.push_back(std::move(outer));
+  r.patterns.push_back(std::move(inner));
+  r.action = [](RuleContext& ctx) {
+    ctx.print(pk::rules::to_display(ctx.binding("pid")) + "->" +
+              pk::rules::to_display(ctx.binding("cid")));
+  };
+
+  std::vector<std::vector<Fact>> stages(2);
+  for (int i = 0; i < 6; ++i) {
+    stages[0].push_back(
+        Fact("Parent").set("id", double(i)));
+    stages[0].push_back(
+        Fact("Child").set("parent", double(i % 3)).set("id", double(10 + i)));
+  }
+  // Second stage: new children joining OLD parents, and vice versa.
+  stages[1].push_back(Fact("Child").set("parent", 1.0).set("id", 99.0));
+  stages[1].push_back(Fact("Parent").set("id", 2.0));
+  const auto fired = expect_identical({r}, stages, "join");
+  EXPECT_GT(fired, 0u);
+}

@@ -1,0 +1,161 @@
+// Tests for the common::ThreadPool parallel_for primitive.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/operations.hpp"
+#include "common/thread_pool.hpp"
+#include "profile/profile.hpp"
+
+namespace pk = perfknow;
+
+TEST(ThreadPool, ZeroTasksReturnsImmediately) {
+  pk::ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, NoWorkersRunsInlineInOrder) {
+  pk::ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  std::vector<std::size_t> seen;
+  pool.parallel_for(8, [&](std::size_t i) { seen.push_back(i); });
+  std::vector<std::size_t> want(8);
+  std::iota(want.begin(), want.end(), 0u);
+  EXPECT_EQ(seen, want);  // inline fallback preserves index order
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  pk::ThreadPool pool(4);
+  constexpr std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, OversubscriptionManyMoreTasksThanThreads) {
+  pk::ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  constexpr std::size_t n = 50000;
+  pool.parallel_for(n, [&](std::size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+  // The pool must be reusable after a big run.
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(10, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 10u);
+}
+
+TEST(ThreadPool, PropagatesBodyException) {
+  pk::ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(1000,
+                        [](std::size_t i) {
+                          if (i == 537) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Still usable afterwards.
+  std::atomic<int> ok{0};
+  pool.parallel_for(16, [&](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 16);
+}
+
+TEST(ThreadPool, RethrowsLowestChunkExceptionDeterministically) {
+  pk::ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    try {
+      pool.parallel_for(1024, [](std::size_t i) {
+        if (i == 3) throw std::runtime_error("low");
+        if (i >= 900) throw std::logic_error("high");
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "low");  // lowest chunk wins every time
+    }
+  }
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  pk::ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 64u);
+}
+
+TEST(ThreadPool, GrainRunsSmallRangesInline) {
+  pk::ThreadPool pool(2);
+  std::vector<std::size_t> seen;  // unsynchronized on purpose: must be inline
+  pool.parallel_for(4, [&](std::size_t i) { seen.push_back(i); },
+                    /*grain=*/8);
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, SharedPoolExists) {
+  auto& pool = pk::ThreadPool::shared();
+  std::atomic<int> n{0};
+  pool.parallel_for(32, [&](std::size_t) { ++n; });
+  EXPECT_EQ(n.load(), 32);
+}
+
+TEST(ThreadPool, ParallelAnalysisBitIdenticalToSerial) {
+  // The parallelized analysis primitives must produce bit-for-bit the
+  // values the original serial loops produced: each index computes the
+  // same thing in the same order, only on a different thread. Values are
+  // chosen non-representable (1/3 steps) so any reassociation would show.
+  pk::profile::Trial trial("pool-identity");
+  trial.set_thread_count(7);
+  const auto ma = trial.add_metric("A");
+  const auto mb = trial.add_metric("B");
+  for (int e = 0; e < 11; ++e) {
+    trial.add_event("ev" + std::to_string(e));
+  }
+  for (std::size_t t = 0; t < 7; ++t) {
+    for (pk::profile::EventId e = 0; e < 11; ++e) {
+      trial.set_inclusive(t, e, ma, double(t * 11 + e) / 3.0);
+      trial.set_inclusive(t, e, mb, double(t + e) / 7.0 + 0.1);
+      trial.set_exclusive(t, e, ma, double(t * 3 + e) / 9.0);
+      trial.set_exclusive(t, e, mb, double(t) / 11.0 + 1.0);
+    }
+  }
+  const auto d = pk::analysis::derive_metric(trial, "A", "B",
+                                             pk::analysis::DeriveOp::kDivide);
+  for (std::size_t t = 0; t < 7; ++t) {
+    for (pk::profile::EventId e = 0; e < 11; ++e) {
+      EXPECT_EQ(trial.inclusive(t, e, d),
+                trial.inclusive(t, e, ma) / trial.inclusive(t, e, mb));
+    }
+  }
+  const auto stats = pk::analysis::basic_statistics(trial, "A",
+                                                    /*exclusive=*/false);
+  ASSERT_EQ(stats.size(), 11u);
+  for (pk::profile::EventId e = 0; e < 11; ++e) {
+    // The serial oracle: the single-event primitive computed inline.
+    const auto one =
+        pk::analysis::event_statistics(trial, e, "A", /*exclusive=*/false);
+    EXPECT_EQ(stats[e].mean, one.mean);
+    EXPECT_EQ(stats[e].stddev, one.stddev);
+    EXPECT_EQ(stats[e].total, one.total);
+  }
+  // Strided series views read the same cells the copying accessors copy.
+  for (pk::profile::EventId e = 0; e < 11; ++e) {
+    const auto view = trial.inclusive_series(e, ma);
+    const auto copy = trial.inclusive_across_threads(e, ma);
+    ASSERT_EQ(view.size(), copy.size());
+    for (std::size_t t = 0; t < copy.size(); ++t) {
+      EXPECT_EQ(view[t], copy[t]);
+    }
+  }
+}
