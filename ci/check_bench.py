@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for bench_rules_engine.
+
+Compares a fresh google-benchmark JSON report against the committed
+baseline (bench/baseline/bench_rules_engine.json) and fails if any
+benchmark regressed by more than the threshold (default 25%).
+
+CI runners and the machine that produced the baseline differ in raw
+speed, so absolute times are not comparable. Instead each benchmark is
+normalized by the geometric mean of all benchmarks *in the same
+report*:
+
+    ratio(b) = real_time(b) / geomean(all real_times in report)
+
+which cancels machine speed to first order; a benchmark only fails the
+gate when it got slower *relative to its siblings* -- i.e. when the
+code path it measures actually regressed. A uniform slowdown across
+every benchmark (new machine, debug build) passes by construction, so
+the gate catches per-path regressions, not environment changes.
+
+Exit codes: 0 pass, 1 regression detected, 2 usage/input error.
+
+--self-test proves the gate can fire: it re-reads the baseline as the
+"current" report with a synthetic 2x slowdown injected into one
+non-reference benchmark, and asserts the comparison fails (and that the
+unmodified report passes). Run in CI before the real comparison so a
+silently broken gate cannot masquerade as green.
+
+Stdlib only (no pip installs on the runner).
+"""
+
+import argparse
+import copy
+import json
+import math
+import sys
+
+
+def load_benchmarks(paths):
+    """Returns {name: real_time} merged over one or more JSON reports.
+
+    Run the benchmark with --benchmark_repetitions=N (and optionally
+    several times); the minimum over all repetition rows in all files
+    is taken per benchmark. Min is the standard low-noise statistic
+    for wall-clock microbenchmarks: scheduler preemption and cache
+    pollution only ever add time, so the minimum approaches the true
+    cost while mean/median wander with load.
+    """
+    out = {}
+    for path in paths:
+        with open(path) as f:
+            report = json.load(f)
+        for b in report.get("benchmarks", []):
+            if b.get("run_type") == "aggregate":
+                continue
+            name = b["name"]
+            t = float(b["real_time"])
+            out[name] = min(out.get(name, t), t)
+    if not out:
+        raise ValueError(f"{paths}: no benchmark entries")
+    return out
+
+
+def geomean(times):
+    return math.exp(sum(math.log(t) for t in times) / len(times))
+
+
+def compare(baseline, current, threshold):
+    """Returns a list of failure strings (empty = gate passes)."""
+    failures = []
+    missing = sorted(set(baseline) - set(current))
+    for name in missing:
+        failures.append(f"{name}: present in baseline but missing from "
+                        f"current report")
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        failures.append("no shared benchmarks between baseline and current")
+        return failures
+    if any(baseline[n] <= 0 or current[n] <= 0 for n in shared):
+        failures.append("non-positive benchmark time in report")
+        return failures
+    # Normalize by the report's own geometric mean so machine speed
+    # cancels; only a benchmark that slowed relative to its siblings
+    # (i.e. a real code regression on its path) trips the gate.
+    base_geo = geomean([baseline[n] for n in shared])
+    cur_geo = geomean([current[n] for n in shared])
+    for name in shared:
+        base_ratio = baseline[name] / base_geo
+        cur_ratio = current[name] / cur_geo
+        rel = cur_ratio / base_ratio - 1.0
+        status = "FAIL" if rel > threshold else "ok"
+        print(f"  {status:4s} {name}: ratio {base_ratio:.3f} -> "
+              f"{cur_ratio:.3f} ({rel:+.1%} vs {threshold:.0%} allowed)")
+        if rel > threshold:
+            failures.append(f"{name}: {rel:+.1%} relative slowdown "
+                            f"(threshold {threshold:.0%})")
+    return failures
+
+
+def self_test(baseline, threshold):
+    """Proves the gate fires on an injected slowdown and not otherwise."""
+    print("self-test: unmodified report must pass")
+    if compare(baseline, dict(baseline), threshold):
+        print("self-test FAILED: identical report did not pass")
+        return False
+    victim = sorted(baseline)[0]
+    slowed = copy.deepcopy(baseline)
+    slowed[victim] *= 2.0
+    print(f"self-test: 2x slowdown injected into {victim} must fail")
+    failures = compare(baseline, slowed, threshold)
+    if not failures:
+        print("self-test FAILED: injected 2x slowdown was not detected")
+        return False
+    print("self-test passed: gate fires on injected slowdown")
+    return True
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True, nargs="+",
+                    help="committed baseline JSON report(s)")
+    ap.add_argument("--current", nargs="+",
+                    help="fresh benchmark JSON report(s); several runs "
+                    "are merged by elementwise min "
+                    "(required unless --self-test)")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="max allowed relative slowdown (default 0.25)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate fires on a synthetic slowdown")
+    args = ap.parse_args()
+
+    try:
+        baseline = load_benchmarks(args.baseline)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"error reading baseline: {e}", file=sys.stderr)
+        return 2
+
+    if args.self_test:
+        return 0 if self_test(baseline, args.threshold) else 1
+
+    if not args.current:
+        print("error: --current is required unless --self-test",
+              file=sys.stderr)
+        return 2
+    try:
+        current = load_benchmarks(args.current)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"error reading current report: {e}", file=sys.stderr)
+        return 2
+
+    print(f"bench gate: geomean-normalized, threshold={args.threshold:.0%}")
+    failures = compare(baseline, current, args.threshold)
+    if failures:
+        print("\nbenchmark regressions detected:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+// Shared LLVMFuzzerTestOneInput body for the per-front-end libFuzzer
+// harnesses (built with -DPERFKNOW_FUZZ=ON under clang).
+//
+// libFuzzer + ASan/UBSan catch the crash/hang/leak side of the ingest
+// contract natively; check_contract adds the exception-side (only
+// ParseError/IoError may escape, and with sane locations). A violation
+// aborts so libFuzzer records and minimizes the input.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fuzz/harness.hpp"
+#include "fuzz/targets.hpp"
+
+namespace perfknow::fuzz {
+
+inline int fuzz_one(Frontend fe, const std::uint8_t* data,
+                    std::size_t size) {
+  static const FuzzTarget t = target(fe);
+  const std::string input(reinterpret_cast<const char*>(data), size);
+  if (const auto reason = check_contract(t, input)) {
+    std::fprintf(stderr, "ingest contract violation (%s): %s\n",
+                 frontend_name(fe), reason->c_str());
+    std::abort();
+  }
+  return 0;
+}
+
+}  // namespace perfknow::fuzz
+
+#define PERFKNOW_DEFINE_FUZZER(frontend)                                   \
+  extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,          \
+                                        std::size_t size) {                \
+    return perfknow::fuzz::fuzz_one(frontend, data, size);                 \
+  }

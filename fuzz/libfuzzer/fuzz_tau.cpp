@@ -1,0 +1,4 @@
+// libFuzzer harness for the tau front end.
+#include "driver.hpp"
+
+PERFKNOW_DEFINE_FUZZER(perfknow::fuzz::Frontend::kTau)

@@ -29,18 +29,80 @@ class InvalidArgumentError : public Error {
 };
 
 /// A text front end (rules DSL, PerfScript, profile formats) rejected input.
-/// Carries the 1-based source line where the problem was detected.
+///
+/// Carries structured location data alongside the formatted what() string:
+/// the 1-based source line and column where the problem was detected, the
+/// source file (when the input came from a file), and a short excerpt of
+/// the offending input. Diagnostics render as
+///
+///   file:line: message          (file known)
+///   file:line:column: message   (file and column known)
+///   message (line N)            (no file -- string input)
+///
+/// with ` near '<excerpt>'` appended when an excerpt is available.
 class ParseError : public Error {
  public:
   ParseError(const std::string& what, int line)
-      : Error(what + " (line " + std::to_string(line) + ")"), line_(line) {}
-  explicit ParseError(const std::string& what) : Error(what), line_(0) {}
+      : ParseError(what, line, 0, "", "") {}
+  explicit ParseError(const std::string& what)
+      : ParseError(what, 0, 0, "", "") {}
+  ParseError(const std::string& what, int line, int column,
+             const std::string& excerpt = "", const std::string& file = "")
+      : Error(format(what, line, column, excerpt, file)),
+        message_(what),
+        excerpt_(excerpt),
+        file_(file),
+        line_(line),
+        column_(column) {}
 
   /// 1-based line number, or 0 when no location is known.
   [[nodiscard]] int line() const noexcept { return line_; }
+  /// 1-based column number, or 0 when no column is known.
+  [[nodiscard]] int column() const noexcept { return column_; }
+  /// Source file the input came from; empty for in-memory sources.
+  [[nodiscard]] const std::string& file() const noexcept { return file_; }
+  /// Short excerpt of the offending input; may be empty.
+  [[nodiscard]] const std::string& excerpt() const noexcept {
+    return excerpt_;
+  }
+  /// The bare message without any location formatting.
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
+
+  /// Returns a copy of this error with the source file attached, so the
+  /// file loaders can upgrade `msg (line N)` to `file:line: msg` without
+  /// every internal throw site knowing the path.
+  [[nodiscard]] ParseError with_file(const std::string& file) const {
+    return ParseError(message_, line_, column_, excerpt_, file);
+  }
 
  private:
+  static std::string format(const std::string& what, int line, int column,
+                            const std::string& excerpt,
+                            const std::string& file) {
+    std::string out;
+    if (!file.empty() && line > 0) {
+      out = file + ":" + std::to_string(line);
+      if (column > 0) out += ":" + std::to_string(column);
+      out += ": " + what;
+    } else {
+      out = what;
+      if (line > 0) {
+        out += " (line " + std::to_string(line);
+        if (column > 0) out += ", column " + std::to_string(column);
+        out += ")";
+      }
+    }
+    if (!excerpt.empty()) out += " near '" + excerpt + "'";
+    return out;
+  }
+
+  std::string message_;
+  std::string excerpt_;
+  std::string file_;
   int line_;
+  int column_;
 };
 
 /// Runtime failure while evaluating a script or rule action.

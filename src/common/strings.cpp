@@ -131,4 +131,25 @@ long long parse_int(std::string_view s) {
   return value;
 }
 
+std::string printable_char(char c) {
+  const auto u = static_cast<unsigned char>(c);
+  if (std::isprint(u)) return std::string(1, c);
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "\\x%02x", u);
+  return buf;
+}
+
+std::string excerpt(std::string_view s, std::size_t pos,
+                    std::size_t radius) {
+  if (s.empty()) return "";
+  if (pos >= s.size()) pos = s.size() - 1;
+  std::size_t b = pos;
+  while (b > 0 && pos - (b - 1) <= radius && s[b - 1] != '\n') --b;
+  std::size_t e = pos;
+  while (e < s.size() && e - pos < radius && s[e] != '\n') ++e;
+  std::string out;
+  for (std::size_t i = b; i < e; ++i) out += printable_char(s[i]);
+  return out;
+}
+
 }  // namespace perfknow::strings

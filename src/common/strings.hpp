@@ -42,4 +42,15 @@ namespace perfknow::strings {
 /// Parses a non-negative integer; throws ParseError on failure.
 [[nodiscard]] long long parse_int(std::string_view s);
 
+/// Renders one byte for diagnostics: printable characters verbatim,
+/// everything else (NUL, control bytes, high bytes) as \xNN so error
+/// messages from hostile input stay printable.
+[[nodiscard]] std::string printable_char(char c);
+
+/// Returns up to `radius` characters to each side of `pos`, clipped to
+/// `pos`'s line, with non-printable bytes escaped -- the input excerpt
+/// attached to ParseError diagnostics.
+[[nodiscard]] std::string excerpt(std::string_view s, std::size_t pos,
+                                  std::size_t radius = 20);
+
 }  // namespace perfknow::strings

@@ -1,0 +1,157 @@
+#include "fuzz/mutator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace perfknow::fuzz {
+
+namespace {
+
+// Boundary literals spliced over numeric runs: overflow doubles, integer
+// extremes, negatives where indexes are expected, and denormal-ish noise.
+const char* const kBoundaryNumbers[] = {
+    "0",  "-1",   "1e999", "-1e999", "9223372036854775807",
+    "-9223372036854775808", "1e18", "4294967296", "0.0000000001",
+    "nan", "inf", "1e-999", "99999999999999999999",
+};
+
+bool is_number_char(char c) {
+  return (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' ||
+         c == 'e' || c == 'E';
+}
+
+}  // namespace
+
+Mutator::Mutator(std::uint64_t seed, std::vector<std::string> dictionary)
+    : rng_(seed), dictionary_(std::move(dictionary)) {}
+
+std::size_t Mutator::index_below(std::size_t n) {
+  return n == 0 ? 0 : static_cast<std::size_t>(rng_() % n);
+}
+
+std::string Mutator::mutate(const std::string& input) {
+  std::string out = input;
+  const std::size_t rounds = 1 + index_below(4);
+  for (std::size_t i = 0; i < rounds; ++i) {
+    out = apply_one(std::move(out));
+  }
+  if (out.size() > max_size_) out.resize(max_size_);
+  return out;
+}
+
+std::string Mutator::cross(const std::string& a, const std::string& b) {
+  const std::size_t ca = index_below(a.size() + 1);
+  const std::size_t cb = index_below(b.size() + 1);
+  std::string out = a.substr(0, ca) + b.substr(cb);
+  if (out.size() > max_size_) out.resize(max_size_);
+  return out;
+}
+
+std::string Mutator::apply_one(std::string s) {
+  // 12 mutation kinds; empty inputs can only grow.
+  const std::size_t kind = index_below(12);
+  switch (kind) {
+    case 0: {  // bit flip
+      if (s.empty()) break;
+      const std::size_t i = index_below(s.size());
+      s[i] = static_cast<char>(s[i] ^ (1u << index_below(8)));
+      break;
+    }
+    case 1: {  // byte replace
+      if (s.empty()) break;
+      s[index_below(s.size())] = static_cast<char>(rng_() & 0xFF);
+      break;
+    }
+    case 2: {  // byte insert
+      const char c = static_cast<char>(rng_() & 0xFF);
+      s.insert(s.begin() + static_cast<std::ptrdiff_t>(
+                               index_below(s.size() + 1)),
+               c);
+      break;
+    }
+    case 3: {  // span erase
+      if (s.empty()) break;
+      const std::size_t at = index_below(s.size());
+      const std::size_t len = 1 + index_below(
+          std::min<std::size_t>(s.size() - at, 64));
+      s.erase(at, len);
+      break;
+    }
+    case 4: {  // span duplicate
+      if (s.empty()) break;
+      const std::size_t at = index_below(s.size());
+      const std::size_t len = 1 + index_below(
+          std::min<std::size_t>(s.size() - at, 64));
+      s.insert(index_below(s.size() + 1), s.substr(at, len));
+      break;
+    }
+    case 5: {  // truncate
+      if (s.empty()) break;
+      s.resize(index_below(s.size()));
+      break;
+    }
+    case 6: {  // dictionary token insert
+      if (dictionary_.empty()) break;
+      const std::string& tok = dictionary_[index_below(dictionary_.size())];
+      s.insert(index_below(s.size() + 1), tok);
+      break;
+    }
+    case 7: {  // replace a numeric run with a boundary literal
+      if (s.empty()) break;
+      const std::size_t probe = index_below(s.size());
+      std::size_t b = probe;
+      while (b < s.size() && !is_number_char(s[b])) ++b;
+      if (b == s.size()) break;
+      std::size_t e = b;
+      while (e < s.size() && is_number_char(s[e])) ++e;
+      const std::size_t n = sizeof(kBoundaryNumbers) /
+                            sizeof(kBoundaryNumbers[0]);
+      s.replace(b, e - b, kBoundaryNumbers[index_below(n)]);
+      break;
+    }
+    case 8: {  // duplicate a line
+      const std::size_t at = index_below(s.size() + 1);
+      const std::size_t ls = s.rfind('\n', at == 0 ? 0 : at - 1);
+      const std::size_t begin = ls == std::string::npos ? 0 : ls + 1;
+      std::size_t end = s.find('\n', at);
+      if (end == std::string::npos) end = s.size();
+      if (end > begin) {
+        s.insert(begin, s.substr(begin, end - begin) + "\n");
+      }
+      break;
+    }
+    case 9: {  // delete a line
+      if (s.empty()) break;
+      const std::size_t at = index_below(s.size());
+      const std::size_t ls = s.rfind('\n', at);
+      const std::size_t begin = ls == std::string::npos ? 0 : ls + 1;
+      std::size_t end = s.find('\n', at);
+      end = end == std::string::npos ? s.size() : end + 1;
+      if (end > begin) s.erase(begin, end - begin);
+      break;
+    }
+    case 10: {  // swap two bytes
+      if (s.size() < 2) break;
+      std::swap(s[index_below(s.size())], s[index_below(s.size())]);
+      break;
+    }
+    case 11: {  // repeat a short chunk many times (stress loops/guards)
+      if (s.empty()) break;
+      const std::size_t at = index_below(s.size());
+      const std::size_t len = 1 + index_below(
+          std::min<std::size_t>(s.size() - at, 8));
+      const std::string chunk = s.substr(at, len);
+      const std::size_t reps = 1 + index_below(256);
+      std::string blob;
+      blob.reserve(chunk.size() * reps);
+      for (std::size_t i = 0; i < reps; ++i) blob += chunk;
+      s.insert(index_below(s.size() + 1), blob);
+      break;
+    }
+    default: break;
+  }
+  if (s.size() > max_size_) s.resize(max_size_);
+  return s;
+}
+
+}  // namespace perfknow::fuzz

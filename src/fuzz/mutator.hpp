@@ -1,0 +1,51 @@
+// Deterministic, seedable input mutator for the ingest fuzz harnesses.
+//
+// Three mutation layers, mirroring what coverage-guided fuzzers do but
+// fully reproducible from a single seed (the smoke tests replay the exact
+// same mutation stream on every CI run and every host):
+//
+//   byte level     bit flips, byte insert/replace/erase, span duplicate,
+//                  span erase, truncation
+//   token level    line duplicate/delete/swap, splice of two inputs
+//   grammar level  insertion of dictionary tokens (per-front-end keywords)
+//                  and replacement of numeric runs with boundary literals
+//                  ("1e999", "-1", "9223372036854775807", ...)
+//
+// Output size is capped so no mutation chain can grow an input without
+// bound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace perfknow::fuzz {
+
+class Mutator {
+ public:
+  explicit Mutator(std::uint64_t seed,
+                   std::vector<std::string> dictionary = {});
+
+  /// Returns `input` with 1..4 random mutations applied. Deterministic:
+  /// the same construction seed and call sequence yield the same outputs.
+  [[nodiscard]] std::string mutate(const std::string& input);
+
+  /// Splices a prefix of `a` with a suffix of `b` (crossover).
+  [[nodiscard]] std::string cross(const std::string& a,
+                                  const std::string& b);
+
+  /// Caps the size of any produced input (default 1 MiB).
+  void set_max_size(std::size_t n) { max_size_ = n; }
+
+ private:
+  std::string apply_one(std::string s);
+  std::size_t index_below(std::size_t n);  // uniform in [0, n)
+
+  Rng rng_;
+  std::vector<std::string> dictionary_;
+  std::size_t max_size_ = 1u << 20;
+};
+
+}  // namespace perfknow::fuzz

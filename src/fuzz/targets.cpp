@@ -1,0 +1,79 @@
+#include "fuzz/targets.hpp"
+
+#include <sstream>
+
+#include "perfdmf/csv_format.hpp"
+#include "perfdmf/json_format.hpp"
+#include "perfdmf/tau_format.hpp"
+#include "rules/parser.hpp"
+#include "script/ast.hpp"
+
+namespace perfknow::fuzz {
+
+FuzzTarget target(Frontend fe) {
+  switch (fe) {
+    case Frontend::kTau:
+      return [](const std::string& in) {
+        std::istringstream is(in);
+        (void)perfdmf::read_tau_stream(is, "fuzz");
+      };
+    case Frontend::kCsv:
+      return [](const std::string& in) {
+        std::istringstream is(in);
+        (void)perfdmf::read_csv_long(is);
+      };
+    case Frontend::kJson:
+      return [](const std::string& in) { (void)perfdmf::from_json(in); };
+    case Frontend::kRules:
+      return [](const std::string& in) { (void)rules::parse_rules(in); };
+    case Frontend::kScript:
+      return [](const std::string& in) {
+        (void)script::parse_program(in);
+      };
+  }
+  return [](const std::string&) {};
+}
+
+const std::vector<std::string>& dictionary(Frontend fe) {
+  static const std::vector<std::string> kTauDict = {
+      "templated_functions_MULTI_TIME",
+      "templated_functions",
+      "GROUP=\"TAU_DEFAULT\"",
+      " => ",
+      "\"main\" ",
+      "0 aggregates",
+      "# Name Calls Subrs Excl Incl ProfileCalls",
+      "\"",
+  };
+  static const std::vector<std::string> kCsvDict = {
+      "event,thread,metric,inclusive,exclusive,calls,subcalls",
+      "\"", "\"\"", ",", " => ", "TIME", "\r",
+  };
+  static const std::vector<std::string> kJsonDict = {
+      "{", "}", "[", "]", "\"name\":", "\"threads\":", "\"metrics\":",
+      "\"events\":", "\"data\":", "\"parent\":", "\"values\":",
+      "\"thread\":", "\"event\":", "\"calls\":", "\"subcalls\":",
+      "null", "true", "false", "\\u0022", "\\\\",
+  };
+  static const std::vector<std::string> kRulesDict = {
+      "rule ", "when ", "then ", "end", "salience ", "print(",
+      "diagnose(", "assert(", "==", "!=", "<=", ">=", " : ", "\"",
+      "problem = ", "severity", "f.severity", "(", ")",
+  };
+  static const std::vector<std::string> kScriptDict = {
+      "if ", "elif ", "else:", "while ", "for ", " in ", "def ",
+      "return ", "break", "continue", "pass", " and ", " or ", "not ",
+      "True", "False", "None", ":", "\n    ", "\n", "(", ")", "[", "]",
+      "{", "}", "**", "//", "\\\n", "#",
+  };
+  switch (fe) {
+    case Frontend::kTau: return kTauDict;
+    case Frontend::kCsv: return kCsvDict;
+    case Frontend::kJson: return kJsonDict;
+    case Frontend::kRules: return kRulesDict;
+    case Frontend::kScript: return kScriptDict;
+  }
+  return kTauDict;
+}
+
+}  // namespace perfknow::fuzz

@@ -1,11 +1,13 @@
 #include "perfdmf/csv_format.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "perfdmf/limits.hpp"
 
 namespace perfknow::perfdmf {
 
@@ -61,6 +63,54 @@ std::vector<std::string> csv_split(const std::string& line, int lineno) {
 constexpr const char* kHeader =
     "event,thread,metric,inclusive,exclusive,calls,subcalls";
 
+
+/// Ingests one non-empty CSV data row into the trial.
+void read_csv_row(profile::Trial& trial, const std::string& line,
+                  int lineno) {
+  const auto f = csv_split(line, lineno);
+  if (f.size() != 7) {
+    throw ParseError("CSV row: expected 7 fields, got " +
+                         std::to_string(f.size()),
+                     lineno);
+  }
+  // The thread index is untrusted: "-1" used to wrap through size_t and
+  // either explode the thread count or surface as InvalidArgumentError
+  // from Trial internals (found by fuzzing). Bound it and re-check the
+  // total trial shape before growing anything.
+  const long long raw_thread = strings::parse_int(f[1]);
+  if (raw_thread < 0 ||
+      raw_thread > static_cast<long long>(kMaxThreads)) {
+    throw ParseError("CSV row: thread index out of range (must be in "
+                     "[0, " + std::to_string(kMaxThreads) + "])",
+                     lineno);
+  }
+  const auto thread = static_cast<std::size_t>(raw_thread);
+  const std::size_t new_threads =
+      std::max(trial.thread_count(), thread + 1);
+  const std::size_t new_events =
+      trial.event_count() + (trial.find_event(f[0]) ? 0 : 1);
+  const std::size_t new_metrics =
+      trial.metric_count() + (trial.find_metric(f[2]) ? 0 : 1);
+  check_cells(new_threads, new_events, new_metrics, lineno);
+  if (thread >= trial.thread_count()) {
+    trial.set_thread_count(thread + 1);
+  }
+  // Callpath parents from "a => b" naming, as in the TAU reader.
+  profile::EventId parent = profile::kNoEvent;
+  const auto pos = f[0].rfind(" => ");
+  if (pos != std::string::npos) {
+    if (const auto p = trial.find_event(f[0].substr(0, pos))) {
+      parent = *p;
+    }
+  }
+  const auto event = trial.add_event(f[0], parent);
+  const auto metric = trial.add_metric(f[2]);
+  trial.set_inclusive(thread, event, metric, strings::parse_double(f[3]));
+  trial.set_exclusive(thread, event, metric, strings::parse_double(f[4]));
+  trial.set_calls(thread, event, strings::parse_double(f[5]),
+                  strings::parse_double(f[6]));
+}
+
 }  // namespace
 
 void write_csv_long(const profile::Trial& trial, std::ostream& os) {
@@ -110,31 +160,14 @@ profile::Trial read_csv_long(std::istream& is) {
   while (std::getline(is, line)) {
     ++lineno;
     if (strings::trim(line).empty()) continue;
-    const auto f = csv_split(line, lineno);
-    if (f.size() != 7) {
-      throw ParseError("CSV row: expected 7 fields, got " +
-                           std::to_string(f.size()),
-                       lineno);
+    try {
+      read_csv_row(trial, line, lineno);
+    } catch (const ParseError& e) {
+      // Field-level parses (parse_int/parse_double) throw without a
+      // location; attach the row's line number before propagating.
+      if (e.line() == 0) throw ParseError(e.message(), lineno);
+      throw;
     }
-    const auto thread =
-        static_cast<std::size_t>(strings::parse_int(f[1]));
-    if (thread >= trial.thread_count()) {
-      trial.set_thread_count(thread + 1);
-    }
-    // Callpath parents from "a => b" naming, as in the TAU reader.
-    profile::EventId parent = profile::kNoEvent;
-    const auto pos = f[0].rfind(" => ");
-    if (pos != std::string::npos) {
-      if (const auto p = trial.find_event(f[0].substr(0, pos))) {
-        parent = *p;
-      }
-    }
-    const auto event = trial.add_event(f[0], parent);
-    const auto metric = trial.add_metric(f[2]);
-    trial.set_inclusive(thread, event, metric, strings::parse_double(f[3]));
-    trial.set_exclusive(thread, event, metric, strings::parse_double(f[4]));
-    trial.set_calls(thread, event, strings::parse_double(f[5]),
-                    strings::parse_double(f[6]));
   }
   trial.set_metadata("source_format", "CSV");
   return trial;
@@ -143,9 +176,13 @@ profile::Trial read_csv_long(std::istream& is) {
 profile::Trial load_csv_long(const std::filesystem::path& file) {
   std::ifstream is(file);
   if (!is) throw IoError("cannot read CSV: " + file.string());
-  auto trial = read_csv_long(is);
-  trial.set_name(file.stem().string());
-  return trial;
+  try {
+    auto trial = read_csv_long(is);
+    trial.set_name(file.stem().string());
+    return trial;
+  } catch (const ParseError& e) {
+    throw e.with_file(file.string());
+  }
 }
 
 }  // namespace perfknow::perfdmf

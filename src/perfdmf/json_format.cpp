@@ -12,10 +12,16 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/strings.hpp"
+#include "perfdmf/limits.hpp"
 
 namespace perfknow::perfdmf {
 
 namespace {
+
+// Hostile inputs like "[[[[[..." otherwise overflow the stack through the
+// recursive-descent value() -> array() -> value() cycle (found by fuzzing).
+constexpr int kMaxJsonDepth = 192;
 
 // ---------------------------------------------------------------------
 // Minimal JSON value + recursive-descent parser
@@ -78,6 +84,10 @@ class JsonParser {
   explicit JsonParser(const std::string& text) : text_(text) {}
 
   JsonPtr parse() {
+    // Tolerate a UTF-8 BOM before the document.
+    if (text_.size() >= 3 && text_.compare(0, 3, "\xEF\xBB\xBF") == 0) {
+      pos_ = 3;
+    }
     skip_ws();
     auto v = value();
     skip_ws();
@@ -90,10 +100,16 @@ class JsonParser {
  private:
   [[noreturn]] void fail(const std::string& msg) const {
     int line = 1;
+    std::size_t line_start = 0;
     for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
-      if (text_[i] == '\n') ++line;
+      if (text_[i] == '\n') {
+        ++line;
+        line_start = i + 1;
+      }
     }
-    throw ParseError("JSON: " + msg, line);
+    const int column = static_cast<int>(pos_ - line_start) + 1;
+    throw ParseError("JSON: " + msg, line, column,
+                     strings::excerpt(text_, pos_));
   }
 
   void skip_ws() {
@@ -111,6 +127,16 @@ class JsonParser {
   }
 
   JsonPtr value() {
+    if (++depth_ > kMaxJsonDepth) {
+      fail("nesting deeper than " + std::to_string(kMaxJsonDepth) +
+           " levels");
+    }
+    auto v = value_impl();
+    --depth_;
+    return v;
+  }
+
+  JsonPtr value_impl() {
     skip_ws();
     const char c = peek();
     if (c == '{') return object();
@@ -277,6 +303,7 @@ class JsonParser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 // ---------------------------------------------------------------------
@@ -409,33 +436,49 @@ profile::Trial from_json(const std::string& text) {
   const auto root = parser.parse();
 
   profile::Trial trial(root->at("name").string());
-  trial.set_thread_count(
-      static_cast<std::size_t>(root->at("threads").number()));
+  // Dimension-like numbers come from untrusted input: funnel every one
+  // through checked_index so "threads": -1 / 1e18 / NaN becomes a
+  // ParseError instead of a UB float cast or an unbounded allocation
+  // (both found by fuzzing).
+  const std::size_t threads =
+      checked_index(root->at("threads").number(), kMaxThreads,
+                    "JSON: thread count");
+  const auto& metrics = root->at("metrics").array();
+  const auto& events = root->at("events").array();
+  check_cells(threads, events.size(), metrics.size());
+  trial.set_thread_count(threads);
   if (const auto* md = root->find("metadata")) {
     for (const auto& [k, v] : md->object()) {
       trial.set_metadata(k, v->string());
     }
   }
-  for (const auto& m : root->at("metrics").array()) {
+  for (const auto& m : metrics) {
     const auto* derived = m->find("derived");
     const auto* units = m->find("units");
     trial.add_metric(m->at("name").string(),
                      units != nullptr ? units->string() : "count",
                      derived != nullptr && derived->boolean());
   }
-  for (const auto& e : root->at("events").array()) {
-    const auto parent = static_cast<long long>(e->at("parent").number());
+  for (const auto& e : events) {
+    const double parent_num = e->at("parent").number();
+    profile::EventId parent = profile::kNoEvent;
+    if (parent_num >= 0.0) {
+      const std::size_t p = checked_index(parent_num, events.size(),
+                                          "JSON: event parent");
+      if (p >= trial.event_count()) {
+        throw ParseError("JSON: event parent must refer to an earlier event");
+      }
+      parent = static_cast<profile::EventId>(p);
+    }
     const auto* group = e->find("group");
-    trial.add_event(e->at("name").string(),
-                    parent < 0 ? profile::kNoEvent
-                               : static_cast<profile::EventId>(parent),
+    trial.add_event(e->at("name").string(), parent,
                     group != nullptr ? group->string() : "");
   }
   for (const auto& row : root->at("data").array()) {
-    const auto th =
-        static_cast<std::size_t>(row->at("thread").number());
-    const auto e =
-        static_cast<profile::EventId>(row->at("event").number());
+    const auto th = checked_index(row->at("thread").number(),
+                                  trial.thread_count(), "JSON: data thread");
+    const auto e = static_cast<profile::EventId>(checked_index(
+        row->at("event").number(), trial.event_count(), "JSON: data event"));
     if (e >= trial.event_count() || th >= trial.thread_count()) {
       throw ParseError("JSON: data row out of range");
     }
@@ -466,7 +509,11 @@ profile::Trial read_json(std::istream& is) {
 profile::Trial load_json(const std::filesystem::path& file) {
   std::ifstream is(file);
   if (!is) throw IoError("cannot read JSON: " + file.string());
-  return read_json(is);
+  try {
+    return read_json(is);
+  } catch (const ParseError& e) {
+    throw e.with_file(file.string());
+  }
 }
 
 }  // namespace perfknow::perfdmf

@@ -1,0 +1,57 @@
+// Hard sanity caps applied by the profile importers.
+//
+// Profile files are untrusted input: a single hostile row ("thread":-1,
+// "threads":1e18) must not be able to drive unbounded allocation, integer
+// wraparound, or undefined float->integer casts. Every importer funnels
+// dimension-like numbers through these checks and throws ParseError --
+// never bad_alloc, never InvalidArgumentError from deep inside Trial --
+// so the ingest contract (parse or ParseError/IoError) holds.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace perfknow::perfdmf {
+
+/// Highest thread index any importer accepts (1M threads covers every
+/// TAU/PerfDMF deployment we know of by a wide margin).
+inline constexpr std::size_t kMaxThreads = 1u << 20;
+
+/// Cap on threads * events * metrics cells a single imported trial may
+/// allocate (each cell is two doubles; 2^26 cells ~= 1 GiB total).
+inline constexpr std::size_t kMaxCells = 1u << 26;
+
+/// Converts a number parsed from an untrusted profile to an array index.
+/// Rejects NaN, negatives, non-integral values and anything above `max`
+/// with a ParseError naming the field. The comparison happens in double
+/// so no UB-prone float->integer cast is ever applied to a bad value.
+inline std::size_t checked_index(double v, std::size_t max,
+                                 const std::string& what, int line = 0) {
+  if (!(v >= 0.0) || v != std::floor(v) ||
+      v > static_cast<double>(max)) {
+    throw ParseError(what + " out of range (must be an integer in [0, " +
+                         std::to_string(max) + "])",
+                     line);
+  }
+  return static_cast<std::size_t>(v);
+}
+
+/// Validates the prospective trial shape before any allocation happens.
+inline void check_cells(std::size_t threads, std::size_t events,
+                        std::size_t metrics, int line = 0) {
+  if (threads == 0) threads = 1;
+  if (events == 0) events = 1;
+  if (metrics == 0) metrics = 1;
+  // Divide instead of multiplying so the guard itself cannot overflow.
+  if (threads > kMaxCells / events ||
+      threads * events > kMaxCells / metrics) {
+    throw ParseError("profile too large (threads*events*metrics exceeds " +
+                         std::to_string(kMaxCells) + " cells)",
+                     line);
+  }
+}
+
+}  // namespace perfknow::perfdmf

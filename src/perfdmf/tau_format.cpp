@@ -60,12 +60,10 @@ TauFunctionRow parse_function_line(const std::string& line, int lineno) {
   return row;
 }
 
-TauFile parse_tau_file(const std::filesystem::path& file, int node,
-                       int context, int thread) {
-  std::ifstream is(file);
-  if (!is) {
-    throw IoError("cannot open TAU profile: " + file.string());
-  }
+// Parses one TAU profile from a stream. Messages carry only line numbers;
+// file-based callers attach the path via ParseError::with_file.
+TauFile parse_tau_source(std::istream& is, int node, int context,
+                         int thread) {
   TauFile tf;
   tf.node = node;
   tf.context = context;
@@ -74,14 +72,26 @@ TauFile parse_tau_file(const std::filesystem::path& file, int node,
   std::string line;
   int lineno = 0;
   if (!std::getline(is, line)) {
-    throw ParseError("empty TAU profile: " + file.string(), 1);
+    throw ParseError("empty TAU profile", 1);
   }
   ++lineno;
+  // Tolerate a UTF-8 BOM on the first line.
+  if (line.size() >= 3 && line.compare(0, 3, "\xEF\xBB\xBF") == 0) {
+    line = line.substr(3);
+  }
   const auto header = strings::split_whitespace(line);
   if (header.size() < 2) {
-    throw ParseError("bad TAU header in " + file.string(), lineno);
+    throw ParseError("bad TAU header", lineno);
   }
-  const long long nfuncs = strings::parse_int(header[0]);
+  long long nfuncs = 0;
+  try {
+    nfuncs = strings::parse_int(header[0]);
+  } catch (const ParseError& e) {
+    throw ParseError("bad TAU header: " + e.message(), lineno);
+  }
+  if (nfuncs < 0) {
+    throw ParseError("negative function count in TAU header", lineno);
+  }
   const std::string& tag = header[1];
   constexpr std::string_view kMulti = "templated_functions_MULTI_";
   if (strings::starts_with(tag, kMulti)) {
@@ -89,9 +99,7 @@ TauFile parse_tau_file(const std::filesystem::path& file, int node,
   } else if (tag == "templated_functions") {
     tf.metric = "TIME";
   } else {
-    throw ParseError("unrecognized TAU header tag '" + tag + "' in " +
-                         file.string(),
-                     lineno);
+    throw ParseError("unrecognized TAU header tag '" + tag + "'", lineno);
   }
 
   // The line after the header is the column comment ("# Name Calls ...").
@@ -99,13 +107,56 @@ TauFile parse_tau_file(const std::filesystem::path& file, int node,
 
   for (long long i = 0; i < nfuncs; ++i) {
     if (!std::getline(is, line)) {
-      throw ParseError("truncated TAU profile " + file.string(), lineno);
+      throw ParseError("truncated TAU profile", lineno);
     }
     ++lineno;
-    tf.rows.push_back(parse_function_line(line, lineno));
+    try {
+      tf.rows.push_back(parse_function_line(line, lineno));
+    } catch (const ParseError& e) {
+      // Numeric field parses throw without a location; attach the line.
+      if (e.line() == 0) throw ParseError(e.message(), lineno);
+      throw;
+    }
   }
   // Remaining sections (aggregates, userevents) are ignored.
   return tf;
+}
+
+TauFile parse_tau_file(const std::filesystem::path& file, int node,
+                       int context, int thread) {
+  std::ifstream is(file);
+  if (!is) {
+    throw IoError("cannot open TAU profile: " + file.string());
+  }
+  try {
+    return parse_tau_source(is, node, context, thread);
+  } catch (const ParseError& e) {
+    throw e.with_file(file.string());
+  }
+}
+
+// Adds one parsed per-thread file's rows to the trial at `flat_thread`,
+// creating callpath parents first so links resolve.
+void fill_trial_from(profile::Trial& trial, const TauFile& tf,
+                     std::size_t flat_thread, profile::MetricId metric_id) {
+  std::vector<TauFunctionRow> rows = tf.rows;
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const TauFunctionRow& a, const TauFunctionRow& b) {
+                     return a.name.size() < b.name.size();
+                   });
+  for (const auto& row : rows) {
+    profile::EventId parent = profile::kNoEvent;
+    const std::size_t pos = row.name.rfind(" => ");
+    if (pos != std::string::npos) {
+      if (const auto p = trial.find_event(row.name.substr(0, pos))) {
+        parent = *p;
+      }
+    }
+    const auto e = trial.add_event(row.name, parent, row.group);
+    trial.set_calls(flat_thread, e, row.calls, row.subrs);
+    trial.set_inclusive(flat_thread, e, metric_id, row.incl);
+    trial.set_exclusive(flat_thread, e, metric_id, row.excl);
+  }
 }
 
 // Reconstructs "a => b => c" callpath parents. TAU callpath profiles name
@@ -172,28 +223,21 @@ profile::Trial read_tau_profiles(const std::filesystem::path& dir) {
                        trial.metric(metric_id).name + "' vs '" + tf.metric +
                        "' in " + path.string());
     }
-    // First pass: create events whose names are callpath prefixes before
-    // their children so parent links resolve.
-    std::vector<TauFunctionRow> rows = tf.rows;
-    std::stable_sort(rows.begin(), rows.end(),
-                     [](const TauFunctionRow& a, const TauFunctionRow& b) {
-                       return a.name.size() < b.name.size();
-                     });
-    for (const auto& row : rows) {
-      profile::EventId parent = profile::kNoEvent;
-      const std::size_t pos = row.name.rfind(" => ");
-      if (pos != std::string::npos) {
-        if (const auto p = trial.find_event(row.name.substr(0, pos))) {
-          parent = *p;
-        }
-      }
-      const auto e = trial.add_event(row.name, parent, row.group);
-      trial.set_calls(flat_thread, e, row.calls, row.subrs);
-      trial.set_inclusive(flat_thread, e, metric_id, row.incl);
-      trial.set_exclusive(flat_thread, e, metric_id, row.excl);
-    }
+    fill_trial_from(trial, tf, flat_thread, metric_id);
     ++flat_thread;
   }
+  link_callpath_parents(trial);
+  trial.set_metadata("source_format", "TAU");
+  return trial;
+}
+
+profile::Trial read_tau_stream(std::istream& is, const std::string& name) {
+  const TauFile tf = parse_tau_source(is, 0, 0, 0);
+  profile::Trial trial(name);
+  trial.set_thread_count(1);
+  const auto metric_id = trial.add_metric(
+      tf.metric, tf.metric == "TIME" ? "usec" : "count");
+  fill_trial_from(trial, tf, 0, metric_id);
   link_callpath_parents(trial);
   trial.set_metadata("source_format", "TAU");
   return trial;

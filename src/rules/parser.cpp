@@ -29,6 +29,7 @@ struct Token {
   std::string text;
   double number = 0.0;
   int line = 0;
+  int column = 0;
 };
 
 class Lexer {
@@ -39,6 +40,7 @@ class Lexer {
     skip_ws_and_comments();
     Token t;
     t.line = line_;
+    t.column = static_cast<int>(pos_ - line_start_) + 1;
     if (pos_ >= src_.size()) {
       t.kind = Tok::kEnd;
       return t;
@@ -68,7 +70,14 @@ class Lexer {
       }
       t.kind = Tok::kNumber;
       t.text = src_.substr(start, pos_ - start);
-      t.number = strings::parse_double(t.text);
+      try {
+        t.number = strings::parse_double(t.text);
+      } catch (const ParseError& e) {
+        // parse_double has no location; malformed literals like "1e+"
+        // must still carry line/column (found by fuzzing).
+        throw ParseError(e.message(), t.line, t.column,
+                         strings::excerpt(src_, start));
+      }
       return t;
     }
     if (c == '"') {
@@ -91,7 +100,8 @@ class Lexer {
         ++pos_;
       }
       if (pos_ >= src_.size()) {
-        throw ParseError("unterminated string literal", t.line);
+        throw ParseError("unterminated string literal", t.line, t.column,
+                         strings::excerpt(src_, pos_ - 1));
       }
       ++pos_;  // closing quote
       t.kind = Tok::kString;
@@ -115,7 +125,9 @@ class Lexer {
       ++pos_;
       return t;
     }
-    throw ParseError(std::string("unexpected character '") + c + "'", line_);
+    throw ParseError("unexpected character '" + strings::printable_char(c) +
+                         "'",
+                     line_, t.column, strings::excerpt(src_, pos_));
   }
 
  private:
@@ -125,6 +137,7 @@ class Lexer {
       if (c == '\n') {
         ++line_;
         ++pos_;
+        line_start_ = pos_;
       } else if (std::isspace(static_cast<unsigned char>(c))) {
         ++pos_;
       } else if (c == '#' ||
@@ -139,6 +152,7 @@ class Lexer {
 
   const std::string& src_;
   std::size_t pos_ = 0;
+  std::size_t line_start_ = 0;
   int line_ = 1;
 };
 
@@ -216,7 +230,7 @@ class Parser {
   void advance() { cur_ = lexer_.next(); }
 
   [[noreturn]] void fail(const std::string& msg) const {
-    throw ParseError(msg, cur_.line);
+    throw ParseError(msg, cur_.line, cur_.column);
   }
 
   bool is_punct(const char* p) const {
@@ -240,7 +254,22 @@ class Parser {
     advance();
   }
 
+  // Bounds the '(' expr ')' recursion: "((((..." otherwise overflows the
+  // stack (found by fuzzing).
+  static constexpr int kMaxExprDepth = 200;
+  struct DepthGuard {
+    explicit DepthGuard(const Parser& parser) : p(parser) {
+      if (++p.expr_depth_ > kMaxExprDepth) {
+        p.fail("expression nesting deeper than " +
+               std::to_string(kMaxExprDepth) + " levels");
+      }
+    }
+    ~DepthGuard() { --p.expr_depth_; }
+    const Parser& p;
+  };
+
   std::shared_ptr<Expr> parse_factor() {
+    const DepthGuard depth(*this);
     if (is_punct("-")) {
       // Unary minus: 0 - factor.
       advance();
@@ -468,6 +497,8 @@ class Parser {
         advance();
       }
       if (cur_.kind != Tok::kNumber) fail("expected salience number");
+      // A literal like 1e99 would make the int cast UB (found by fuzzing).
+      if (cur_.number > 1e9) fail("salience out of range");
       rule.salience = static_cast<int>(cur_.number) * (negative ? -1 : 1);
       advance();
     }
@@ -494,6 +525,7 @@ class Parser {
 
   Lexer lexer_;
   Token cur_;
+  mutable int expr_depth_ = 0;
 };
 
 }  // namespace
@@ -510,7 +542,13 @@ std::vector<Rule> load_rules(const std::filesystem::path& file) {
   }
   std::ostringstream ss;
   ss << is.rdbuf();
-  return parse_rules(ss.str());
+  try {
+    return parse_rules(ss.str());
+  } catch (const ParseError& e) {
+    // Internal throw sites carry only line/column; diagnostics from
+    // file-based rulebases should read "file:line: message".
+    throw e.with_file(file.string());
+  }
 }
 
 void add_rules(RuleHarness& harness, const std::string& source) {

@@ -147,7 +147,13 @@ void AnalysisSession::run_file(const std::filesystem::path& path) {
   }
   std::ostringstream ss;
   ss << is.rdbuf();
-  run(ss.str());
+  try {
+    run(ss.str());
+  } catch (const ParseError& e) {
+    // Lexer/parser throw with line/column only; file-based scripts
+    // should diagnose as "file:line: message".
+    throw e.with_file(path.string());
+  }
 }
 
 void AnalysisSession::register_api() {

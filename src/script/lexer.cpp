@@ -28,13 +28,21 @@ std::vector<Token> tokenize(const std::string& src) {
   std::vector<Token> out;
   std::vector<int> indents{0};
   std::size_t pos = 0;
+  std::size_t line_start = 0;
   int line = 1;
   int paren_depth = 0;
   bool at_line_start = true;
 
+  auto column = [&]() { return static_cast<int>(pos - line_start) + 1; };
   auto push = [&](TokKind kind, std::string text = "", double num = 0.0) {
-    out.push_back(Token{kind, std::move(text), num, line});
+    out.push_back(Token{kind, std::move(text), num, line, column()});
   };
+
+  // Tolerate a UTF-8 BOM before the first line.
+  if (src.size() >= 3 && src.compare(0, 3, "\xEF\xBB\xBF") == 0) {
+    pos = 3;
+    line_start = 3;
+  }
 
   while (pos < src.size()) {
     if (at_line_start && paren_depth == 0) {
@@ -43,15 +51,24 @@ std::vector<Token> tokenize(const std::string& src) {
       std::size_t scan = pos;
       while (scan < src.size() && (src[scan] == ' ' || src[scan] == '\t')) {
         if (src[scan] == '\t') {
-          throw ParseError("tab in indentation (use spaces)", line);
+          throw ParseError("tab in indentation (use spaces)", line,
+                           static_cast<int>(scan - line_start) + 1);
         }
         ++col;
         ++scan;
       }
       if (scan >= src.size()) break;
+      if (src[scan] == '\r' &&
+          (scan + 1 >= src.size() || src[scan + 1] == '\n')) {
+        // CRLF blank line: "  \r\n" is not indentation (found by fuzzing:
+        // valid CRLF scripts produced phantom INDENT tokens).
+        pos = scan + 1;
+        continue;
+      }
       if (src[scan] == '\n') {
         pos = scan + 1;
         ++line;
+        line_start = pos;
         continue;
       }
       if (src[scan] == '#') {
@@ -69,7 +86,7 @@ std::vector<Token> tokenize(const std::string& src) {
           push(TokKind::kDedent);
         }
         if (col != indents.back()) {
-          throw ParseError("inconsistent dedent", line);
+          throw ParseError("inconsistent dedent", line, col + 1);
         }
       }
       at_line_start = false;
@@ -80,6 +97,7 @@ std::vector<Token> tokenize(const std::string& src) {
     if (c == '\n') {
       ++pos;
       ++line;
+      line_start = pos;
       if (paren_depth == 0) {
         // Collapse consecutive newlines.
         if (!out.empty() && out.back().kind != TokKind::kNewline &&
@@ -102,6 +120,7 @@ std::vector<Token> tokenize(const std::string& src) {
     if (c == '\\' && pos + 1 < src.size() && src[pos + 1] == '\n') {
       pos += 2;  // explicit line continuation
       ++line;
+      line_start = pos;
       continue;
     }
     if (is_name_start(c)) {
@@ -122,7 +141,17 @@ std::vector<Token> tokenize(const std::string& src) {
         ++pos;
       }
       const std::string text = src.substr(start, pos - start);
-      push(TokKind::kNumber, text, strings::parse_double(text));
+      double num = 0.0;
+      try {
+        num = strings::parse_double(text);
+      } catch (const ParseError& e) {
+        // parse_double has no location; malformed literals like "1e+"
+        // must still carry line/column (found by fuzzing).
+        throw ParseError(e.message(), line,
+                         static_cast<int>(start - line_start) + 1,
+                         strings::excerpt(src, start));
+      }
+      push(TokKind::kNumber, text, num);
       continue;
     }
     if (c == '"' || c == '\'') {
@@ -131,7 +160,8 @@ std::vector<Token> tokenize(const std::string& src) {
       std::string s;
       while (pos < src.size() && src[pos] != quote) {
         if (src[pos] == '\n') {
-          throw ParseError("unterminated string literal", line);
+          throw ParseError("unterminated string literal", line, column(),
+                           strings::excerpt(src, pos));
         }
         if (src[pos] == '\\' && pos + 1 < src.size()) {
           ++pos;
@@ -149,7 +179,8 @@ std::vector<Token> tokenize(const std::string& src) {
         ++pos;
       }
       if (pos >= src.size()) {
-        throw ParseError("unterminated string literal", line);
+        throw ParseError("unterminated string literal", line, column(),
+                         strings::excerpt(src, pos - 1));
       }
       ++pos;
       push(TokKind::kString, std::move(s));
@@ -179,7 +210,8 @@ std::vector<Token> tokenize(const std::string& src) {
       if (c == '(' || c == '[' || c == '{') ++paren_depth;
       if (c == ')' || c == ']' || c == '}') {
         if (paren_depth == 0) {
-          throw ParseError(std::string("unbalanced '") + c + "'", line);
+          throw ParseError(std::string("unbalanced '") + c + "'", line,
+                           column(), strings::excerpt(src, pos));
         }
         --paren_depth;
       }
@@ -187,7 +219,9 @@ std::vector<Token> tokenize(const std::string& src) {
       ++pos;
       continue;
     }
-    throw ParseError(std::string("unexpected character '") + c + "'", line);
+    throw ParseError("unexpected character '" + strings::printable_char(c) +
+                         "'",
+                     line, column(), strings::excerpt(src, pos));
   }
 
   if (!out.empty() && out.back().kind != TokKind::kNewline) {

@@ -22,6 +22,7 @@ struct Token {
   std::string text;     // name / op text / string contents
   double number = 0.0;  // for kNumber
   int line = 0;         // 1-based source line
+  int column = 0;       // 1-based source column (0 = unknown)
 };
 
 /// Tokenizes a whole script. Indentation must use spaces (tabs are a

@@ -49,7 +49,7 @@ class Parser {
     return cur().kind == TokKind::kName && cur().text == name;
   }
   [[noreturn]] void fail(const std::string& msg) const {
-    throw ParseError(msg, cur().line);
+    throw ParseError(msg, cur().line, cur().column);
   }
   void expect_op(const char* op) {
     if (!at_op(op)) fail(std::string("expected '") + op + "'");
@@ -74,6 +74,20 @@ class Parser {
   void skip_newlines() {
     while (at(TokKind::kNewline)) advance();
   }
+
+  // Bounds the expression and statement recursion: "((((..." and deeply
+  // nested blocks otherwise overflow the stack (found by fuzzing).
+  static constexpr int kMaxDepth = 256;
+  struct DepthGuard {
+    explicit DepthGuard(const Parser& parser) : p(parser) {
+      if (++p.depth_ > kMaxDepth) {
+        p.fail("nesting deeper than " + std::to_string(kMaxDepth) +
+               " levels");
+      }
+    }
+    ~DepthGuard() { --p.depth_; }
+    const Parser& p;
+  };
 
   ExprPtr make(Expr::Kind kind) {
     auto e = std::make_unique<Expr>();
@@ -296,6 +310,7 @@ class Parser {
   }
 
   ExprPtr expression() {
+    const DepthGuard depth(*this);
     auto e = and_expr();
     while (at_name("or")) {
       auto b = make(Expr::Kind::kBoolOp);
@@ -334,6 +349,7 @@ class Parser {
   }
 
   StmtPtr statement() {
+    const DepthGuard depth(*this);
     if (at_name("if")) return if_statement();
     if (at_name("while")) {
       auto s = make_stmt(Stmt::Kind::kWhile);
@@ -448,6 +464,7 @@ class Parser {
 
   std::vector<Token> toks_;
   std::size_t pos_ = 0;
+  mutable int depth_ = 0;
 };
 
 }  // namespace

@@ -2,7 +2,10 @@
 // Fig. 1 script, ported line-for-line.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
+#include <fstream>
 #include <memory>
 
 #include "common/error.hpp"
@@ -217,6 +220,28 @@ TEST(Bindings, RunFileMissingThrows) {
   Repository repo;
   AnalysisSession session(repo);
   EXPECT_THROW(session.run_file("/nonexistent/script.ps"), pk::IoError);
+}
+
+TEST(Bindings, RunFilePrefixesDiagnosticsWithFileAndLine) {
+  Repository repo;
+  AnalysisSession session(repo);
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("pk_bind_err_" + std::to_string(::getpid()) + ".ps");
+  {
+    std::ofstream os(path);
+    os << "x = 1\ny = = 2\n";
+  }
+  try {
+    session.run_file(path);
+    FAIL() << "expected ParseError";
+  } catch (const pk::ParseError& e) {
+    EXPECT_EQ(e.file(), path.string());
+    EXPECT_EQ(e.line(), 2);
+    const std::string what = e.what();
+    EXPECT_EQ(what.rfind(path.string() + ":2", 0), 0u)
+        << "diagnostic should read file:line: message, got: " << what;
+  }
+  std::filesystem::remove(path);
 }
 
 TEST(Bindings, DataMiningAndFormatHelpers) {

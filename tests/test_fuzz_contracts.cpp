@@ -1,0 +1,167 @@
+// Ingest-contract tests: every text front end must either parse a
+// hostile input or throw ParseError/IoError with a sane location --
+// never crash, hang, or leak. These are the deterministic companions to
+// the fuzz_smoke runners; each case here is a class of input the
+// mutation engine also explores randomly.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "fuzz/harness.hpp"
+#include "fuzz/mutator.hpp"
+#include "fuzz/targets.hpp"
+#include "perfdmf/json_format.hpp"
+
+namespace pk = perfknow;
+using pk::fuzz::Frontend;
+using pk::fuzz::check_contract;
+using pk::fuzz::frontend_name;
+using pk::fuzz::kAllFrontends;
+using pk::fuzz::target;
+
+namespace {
+
+// Expects the contract to hold (parse cleanly or throw a well-formed
+// ParseError/IoError) and reports the front end + reason on failure.
+void expect_contract(Frontend fe, const std::string& input,
+                     const std::string& label) {
+  const auto reason = check_contract(target(fe), input);
+  EXPECT_FALSE(reason.has_value())
+      << frontend_name(fe) << " violated contract on " << label << ": "
+      << *reason;
+}
+
+void expect_contract_all(const std::string& input, const std::string& label) {
+  for (const auto fe : kAllFrontends) expect_contract(fe, input, label);
+}
+
+}  // namespace
+
+TEST(FuzzContracts, EmptyInput) { expect_contract_all("", "empty input"); }
+
+TEST(FuzzContracts, Utf8ByteOrderMark) {
+  expect_contract_all("\xEF\xBB\xBF", "bare BOM");
+  // A BOM before otherwise-valid input must not break parsing.
+  EXPECT_FALSE(check_contract(target(Frontend::kScript),
+                              "\xEF\xBB\xBFx = 1\n"));
+  EXPECT_FALSE(check_contract(target(Frontend::kJson),
+                              "\xEF\xBB\xBF{\"name\": \"t\"}"));
+}
+
+TEST(FuzzContracts, CarriageReturnLineFeed) {
+  expect_contract_all("a,b,c\r\nd,e,f\r\n", "CRLF lines");
+  // CRLF-terminated script with a whitespace-only line must parse: the
+  // lexer once emitted a phantom INDENT for the "  \r" line.
+  EXPECT_FALSE(check_contract(target(Frontend::kScript),
+                              "x = 1\r\n  \r\ny = 2\r\n"));
+}
+
+TEST(FuzzContracts, OneMegabyteSingleLine) {
+  std::string line(1u << 20, 'a');
+  expect_contract_all(line, "1 MB single line");
+  line.back() = '\n';
+  expect_contract_all(line, "1 MB line with newline");
+}
+
+TEST(FuzzContracts, EmbeddedNulBytes) {
+  const std::string nul("a\0b\0c", 5);
+  expect_contract_all(nul, "embedded NUL bytes");
+  expect_contract_all(std::string(16, '\0'), "all-NUL input");
+}
+
+TEST(FuzzContracts, DeeplyNestedJson) {
+  // Far past the kMaxJsonDepth guard; must throw, not smash the stack.
+  const std::string deep_arrays(100000, '[');
+  expect_contract(Frontend::kJson, deep_arrays, "100k nested arrays");
+  std::string deep_objects;
+  for (int i = 0; i < 5000; ++i) deep_objects += "{\"a\":";
+  expect_contract(Frontend::kJson, deep_objects, "5k nested objects");
+  // The same guard class applies to expression parsers.
+  expect_contract(Frontend::kRules,
+                  "rule \"r\" when F( a == " + std::string(100000, '(') +
+                      " ) then end",
+                  "deep parens in rules expr");
+  expect_contract(Frontend::kScript, "x = " + std::string(100000, '('),
+                  "deep parens in script expr");
+}
+
+TEST(FuzzContracts, NumericOverflow) {
+  expect_contract_all("1e999", "bare 1e999");
+  expect_contract(Frontend::kJson, R"({"name":"t","threads":1e999})",
+                  "1e999 thread count");
+  expect_contract(Frontend::kCsv,
+                  "event,thread,metric,value\nmain,1e999,TIME,1\n",
+                  "1e999 CSV thread");
+  expect_contract(Frontend::kRules,
+                  "rule \"r\" salience 1e999 when F(a == 1) then end",
+                  "1e999 salience");
+  expect_contract(Frontend::kScript, "x = 1e999\n", "1e999 script literal");
+  expect_contract(Frontend::kTau,
+                  "1 templated_functions_MULTI_TIME\n# Name Calls ...\n"
+                  "\"main\" 1e999 0 1\n",
+                  "1e999 TAU field");
+}
+
+TEST(FuzzContracts, HugeAllocationRequestsAreRejected) {
+  // Dimensions that pass numeric parsing but would allocate absurd
+  // amounts of memory must be rejected up front, not attempted.
+  expect_contract(Frontend::kJson, R"({"name":"t","threads":1e18})",
+                  "1e18 thread count");
+  expect_contract(Frontend::kJson, R"({"name":"t","threads":-1})",
+                  "negative thread count");
+  expect_contract(Frontend::kCsv,
+                  "event,thread,metric,value\nmain,-1,TIME,1\n",
+                  "negative CSV thread");
+}
+
+TEST(FuzzContracts, ParseErrorsCarryLocations) {
+  try {
+    (void)pk::perfdmf::from_json("{\"name\": nope}");
+    FAIL() << "expected ParseError";
+  } catch (const pk::ParseError& e) {
+    EXPECT_GE(e.line(), 1);
+    EXPECT_GE(e.column(), 1);
+    EXPECT_FALSE(e.excerpt().empty());
+  }
+}
+
+// --- mutation engine -------------------------------------------------
+
+TEST(FuzzMutator, DeterministicForSameSeed) {
+  const std::string seed_input = "rule \"r\" when F(a == 1) then end";
+  pk::fuzz::Mutator a(42), b(42), c(43);
+  std::string ma = seed_input, mb = seed_input, mc = seed_input;
+  bool diverged = false;
+  for (int i = 0; i < 50; ++i) {
+    ma = a.mutate(ma);
+    mb = b.mutate(mb);
+    mc = c.mutate(mc);
+    EXPECT_EQ(ma, mb) << "same seed diverged at step " << i;
+    diverged = diverged || (ma != mc);
+  }
+  EXPECT_TRUE(diverged) << "different seeds never diverged";
+}
+
+TEST(FuzzMutator, RespectsSizeCap) {
+  pk::fuzz::Mutator m(7);
+  m.set_max_size(512);
+  std::string input(256, 'x');
+  for (int i = 0; i < 200; ++i) {
+    input = m.mutate(input);
+    ASSERT_LE(input.size(), 512u);
+  }
+}
+
+TEST(FuzzMutator, MutatedInputsHoldContractEverywhere) {
+  // A miniature in-process fuzz run: mutate each front end's grammar
+  // dictionary seed and check the contract on every derivative.
+  for (const auto fe : kAllFrontends) {
+    pk::fuzz::Mutator m(11, pk::fuzz::dictionary(fe));
+    std::string input = "x = 1\n";
+    for (int i = 0; i < 100; ++i) {
+      input = m.mutate(input);
+      expect_contract(fe, input, "mutation chain step");
+    }
+  }
+}

@@ -1,5 +1,9 @@
 // Tests for the inference engine and the .rules DSL front end.
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
 
 #include "common/error.hpp"
 #include "rules/engine.hpp"
@@ -346,6 +350,28 @@ TEST(Parser, SyntaxErrorsCarryLineNumbers) {
                pk::ParseError);
   EXPECT_THROW(pk::rules::parse_rules("rule \"x\"\nwhen F(a == \"unclosed"),
                pk::ParseError);
+}
+
+TEST(Parser, LoadRulesPrefixesDiagnosticsWithFileAndLine) {
+  namespace fs = std::filesystem;
+  const fs::path file =
+      fs::temp_directory_path() /
+      ("perfknow_rules_err_" + std::to_string(::getpid()) + ".rules");
+  {
+    std::ofstream os(file);
+    os << "rule \"x\"\nwhen\nF( a ==\n";
+  }
+  try {
+    (void)pk::rules::load_rules(file);
+    FAIL() << "expected ParseError";
+  } catch (const pk::ParseError& e) {
+    EXPECT_EQ(e.file(), file.string());
+    EXPECT_GE(e.line(), 3);
+    const std::string what = e.what();
+    EXPECT_EQ(what.rfind(file.string() + ":", 0), 0u)
+        << "diagnostic should read file:line: message, got: " << what;
+  }
+  fs::remove(file);
 }
 
 TEST(Builtin, AllRulebasesParse) {

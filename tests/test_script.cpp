@@ -302,6 +302,27 @@ TEST(Exec, NamespaceDictsResolveAttributes) {
   EXPECT_DOUBLE_EQ(interp.global("x").as_number(), 42.0);
 }
 
+TEST(Parser, SyntaxErrorsCarryLineAndColumn) {
+  try {
+    Interpreter().run("x = 1\ny = = 2\n");
+    FAIL() << "expected ParseError";
+  } catch (const pk::ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 5);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos);
+    EXPECT_NE(what.find("column 5"), std::string::npos);
+  }
+  try {
+    (void)pk::script::tokenize("x = 1 $\n");
+    FAIL() << "expected ParseError";
+  } catch (const pk::ParseError& e) {
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_EQ(e.column(), 7);
+    EXPECT_FALSE(e.excerpt().empty());
+  }
+}
+
 TEST(Parser, SyntaxErrors) {
   Interpreter interp;
   EXPECT_THROW(interp.run("if x\n    y = 1\n"), pk::ParseError);
