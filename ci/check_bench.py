@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""Benchmark regression gate for bench_rules_engine.
+"""Benchmark regression gate for the bench_* binaries.
 
 Compares a fresh google-benchmark JSON report against the committed
-baseline (bench/baseline/bench_rules_engine.json) and fails if any
+baseline (bench/baseline/<bench_name>.json) and fails if any
 benchmark regressed by more than the threshold (default 25%).
 
 CI runners and the machine that produced the baseline differ in raw
@@ -17,6 +17,13 @@ gate when it got slower *relative to its siblings* -- i.e. when the
 code path it measures actually regressed. A uniform slowdown across
 every benchmark (new machine, debug build) passes by construction, so
 the gate catches per-path regressions, not environment changes.
+
+--require-speedup SLOW FAST RATIO additionally asserts an absolute
+speedup *within* the current report: real_time(SLOW) must be at least
+RATIO times real_time(FAST). Both benchmarks come from the same run on
+the same machine, so no normalization is needed; this pins down claims
+like "PKB cold load is >= 5x faster than the text parse" instead of
+merely keeping the ratio from drifting. Repeatable.
 
 Exit codes: 0 pass, 1 regression detected, 2 usage/input error.
 
@@ -97,6 +104,33 @@ def compare(baseline, current, threshold):
     return failures
 
 
+def check_speedups(current, requirements):
+    """Returns failure strings for unmet --require-speedup constraints."""
+    failures = []
+    for slow, fast, ratio in requirements:
+        if slow not in current or fast not in current:
+            missing = [n for n in (slow, fast) if n not in current]
+            failures.append(f"--require-speedup: {', '.join(missing)} "
+                            f"missing from current report")
+            continue
+        actual = current[slow] / current[fast]
+        status = "ok" if actual >= ratio else "FAIL"
+        print(f"  {status:4s} {slow} / {fast}: {actual:.1f}x "
+              f"(required >= {ratio:g}x)")
+        if actual < ratio:
+            failures.append(f"{fast} is only {actual:.1f}x faster than "
+                            f"{slow} (required >= {ratio:g}x)")
+    return failures
+
+
+def parse_speedup_args(raw):
+    """[[slow, fast, '5'], ...] -> [(slow, fast, 5.0), ...]."""
+    out = []
+    for slow, fast, ratio in raw or []:
+        out.append((slow, fast, float(ratio)))
+    return out
+
+
 def self_test(baseline, threshold):
     """Proves the gate fires on an injected slowdown and not otherwise."""
     print("self-test: unmodified report must pass")
@@ -111,6 +145,18 @@ def self_test(baseline, threshold):
     if not failures:
         print("self-test FAILED: injected 2x slowdown was not detected")
         return False
+    if len(baseline) >= 2:
+        names = sorted(baseline)
+        slow, fast = names[0], names[1]
+        actual = baseline[slow] / baseline[fast]
+        print("self-test: satisfiable --require-speedup must pass")
+        if check_speedups(baseline, [(slow, fast, actual / 2)]):
+            print("self-test FAILED: satisfied speedup requirement failed")
+            return False
+        print("self-test: unsatisfiable --require-speedup must fail")
+        if not check_speedups(baseline, [(slow, fast, actual * 2)]):
+            print("self-test FAILED: unmet speedup requirement passed")
+            return False
     print("self-test passed: gate fires on injected slowdown")
     return True
 
@@ -127,7 +173,17 @@ def main():
                     help="max allowed relative slowdown (default 0.25)")
     ap.add_argument("--self-test", action="store_true",
                     help="verify the gate fires on a synthetic slowdown")
+    ap.add_argument("--require-speedup", nargs=3, action="append",
+                    metavar=("SLOW", "FAST", "RATIO"),
+                    help="require real_time(SLOW) >= RATIO * "
+                    "real_time(FAST) in the current report; repeatable")
     args = ap.parse_args()
+
+    try:
+        speedups = parse_speedup_args(args.require_speedup)
+    except ValueError as e:
+        print(f"error in --require-speedup: {e}", file=sys.stderr)
+        return 2
 
     try:
         baseline = load_benchmarks(args.baseline)
@@ -150,6 +206,9 @@ def main():
 
     print(f"bench gate: geomean-normalized, threshold={args.threshold:.0%}")
     failures = compare(baseline, current, args.threshold)
+    if speedups:
+        print("bench gate: absolute speedup requirements")
+        failures += check_speedups(current, speedups)
     if failures:
         print("\nbenchmark regressions detected:")
         for f in failures:

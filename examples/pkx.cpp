@@ -20,12 +20,10 @@
 #include "apps/msap/msap.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
+#include "io/format.hpp"
 #include "machine/machine.hpp"
 #include "perfdmf/repository.hpp"
-#include "perfdmf/csv_format.hpp"
-#include "perfdmf/json_format.hpp"
 #include "perfdmf/snapshot.hpp"
-#include "perfdmf/tau_format.hpp"
 #include "script/bindings.hpp"
 
 namespace pk = perfknow;
@@ -45,8 +43,11 @@ int usage() {
       "  pkx <repo-dir> export-csv <app> <exp> <trial> <metric>\n"
       "  pkx <repo-dir> import-tau <tau-dir> <app> <exp>\n"
       "  pkx <repo-dir> export-json <app> <exp> <trial> <file>\n"
-      "  pkx <repo-dir> import-csv <file.csv> <app> <exp>\n"
-      "  pkx <repo-dir> report <app> <exp> <trial>\n");
+      "  pkx <repo-dir> import <file-or-dir> <app> <exp>\n"
+      "  pkx <repo-dir> report <app> <exp> <trial>\n"
+      "\n"
+      "import auto-detects the profile format (pkprof, pkb, json, csv,\n"
+      "tau); import-csv and import-tau remain as aliases.\n");
   return 2;
 }
 
@@ -181,23 +182,17 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (cmd == "export-json" && args.size() == 6) {
-      pk::perfdmf::save_json(*repo.get(args[2], args[3], args[4]),
-                             args[5]);
+      pk::io::save_trial(*repo.get(args[2], args[3], args[4]), args[5],
+                         "json");
       std::printf("wrote %s\n", args[5].c_str());
       return 0;
     }
-    if (cmd == "import-csv" && args.size() == 5) {
+    // "import" sniffs the format; the old import-csv/import-tau spellings
+    // go through the same auto-detecting front door.
+    if ((cmd == "import" || cmd == "import-csv" || cmd == "import-tau") &&
+        args.size() == 5) {
       auto trial = std::make_shared<pk::profile::Trial>(
-          pk::perfdmf::load_csv_long(args[2]));
-      repo.put(args[3], args[4], trial);
-      repo.save(args[0]);
-      std::printf("imported %s as %s/%s/%s\n", args[2].c_str(),
-                  args[3].c_str(), args[4].c_str(), trial->name().c_str());
-      return 0;
-    }
-    if (cmd == "import-tau" && args.size() == 5) {
-      auto trial = std::make_shared<pk::profile::Trial>(
-          pk::perfdmf::read_tau_profiles(args[2]));
+          pk::io::open_trial(args[2]));
       repo.put(args[3], args[4], trial);
       repo.save(args[0]);
       std::printf("imported %s as %s/%s/%s\n", args[2].c_str(),

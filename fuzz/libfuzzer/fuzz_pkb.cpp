@@ -1,0 +1,4 @@
+// libFuzzer harness for the PKB binary snapshot front end.
+#include "driver.hpp"
+
+PERFKNOW_DEFINE_FUZZER(perfknow::fuzz::Frontend::kPkb)

@@ -9,7 +9,7 @@ namespace {
 
 /// Share of total runtime: prefer TIME when present so severity always
 /// means "fraction of wall time", as in the paper's 10 % threshold.
-double severity_of(const profile::Trial& trial, profile::EventId event) {
+double severity_of(const profile::TrialView& trial, profile::EventId event) {
   if (trial.find_metric("TIME")) {
     return runtime_fraction(trial, event, "TIME");
   }
@@ -18,7 +18,7 @@ double severity_of(const profile::Trial& trial, profile::EventId event) {
 
 }  // namespace
 
-rules::Fact compare_event_to_main(const profile::Trial& trial,
+rules::Fact compare_event_to_main(const profile::TrialView& trial,
                                   const std::string& metric,
                                   profile::EventId event) {
   const auto m = trial.metric_id(metric);
@@ -41,7 +41,7 @@ rules::Fact compare_event_to_main(const profile::Trial& trial,
 }
 
 std::size_t assert_compare_to_main_facts(rules::RuleHarness& harness,
-                                         const profile::Trial& trial,
+                                         const profile::TrialView& trial,
                                          const std::string& metric) {
   const auto main = trial.main_event();
   std::size_t n = 0;
@@ -54,7 +54,7 @@ std::size_t assert_compare_to_main_facts(rules::RuleHarness& harness,
 }
 
 std::size_t assert_compare_to_average_facts(rules::RuleHarness& harness,
-                                            const profile::Trial& trial,
+                                            const profile::TrialView& trial,
                                             const std::string& metric) {
   const auto m = trial.metric_id(metric);
   const auto main = trial.main_event();
@@ -90,7 +90,7 @@ std::size_t assert_compare_to_average_facts(rules::RuleHarness& harness,
 }
 
 std::size_t assert_load_balance_facts(rules::RuleHarness& harness,
-                                      const profile::Trial& trial,
+                                      const profile::TrialView& trial,
                                       const std::string& metric) {
   std::size_t n = 0;
   for (profile::EventId e = 0; e < trial.event_count(); ++e) {
@@ -124,7 +124,7 @@ std::size_t assert_load_balance_facts(rules::RuleHarness& harness,
 }
 
 std::size_t assert_stall_facts(rules::RuleHarness& harness,
-                               const profile::Trial& trial) {
+                               const profile::TrialView& trial) {
   const auto stalls = trial.metric_id("BACK_END_BUBBLE_ALL");
   const auto cycles = trial.metric_id("CPU_CYCLES");
   const auto mem = trial.metric_id("L1D_STALL_CYCLES");
@@ -147,7 +147,7 @@ std::size_t assert_stall_facts(rules::RuleHarness& harness,
 }
 
 std::size_t assert_memory_locality_facts(rules::RuleHarness& harness,
-                                         const profile::Trial& trial) {
+                                         const profile::TrialView& trial) {
   const auto l3 = trial.metric_id("L3_MISSES");
   const auto remote = trial.metric_id("REMOTE_MEMORY_ACCESSES");
   const auto local = trial.metric_id("LOCAL_MEMORY_ACCESSES");

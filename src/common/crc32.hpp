@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the checksum
+// the PKB binary trial store uses to validate every section payload.
+// Incremental: feed chunks by passing the previous result as `seed`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace perfknow {
+
+/// CRC-32 of `n` bytes at `data`. Chain calls by passing the previous
+/// return value as `seed` (the seed of the first chunk is 0).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t n,
+                                  std::uint32_t seed = 0);
+
+}  // namespace perfknow

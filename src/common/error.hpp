@@ -37,6 +37,7 @@ class InvalidArgumentError : public Error {
 ///
 ///   file:line: message          (file known)
 ///   file:line:column: message   (file and column known)
+///   file: message               (file known, no line -- binary formats)
 ///   message (line N)            (no file -- string input)
 ///
 /// with ` near '<excerpt>'` appended when an excerpt is available.
@@ -82,9 +83,12 @@ class ParseError : public Error {
                             const std::string& excerpt,
                             const std::string& file) {
     std::string out;
-    if (!file.empty() && line > 0) {
-      out = file + ":" + std::to_string(line);
-      if (column > 0) out += ":" + std::to_string(column);
+    if (!file.empty()) {
+      out = file;
+      if (line > 0) {
+        out += ":" + std::to_string(line);
+        if (column > 0) out += ":" + std::to_string(column);
+      }
       out += ": " + what;
     } else {
       out = what;

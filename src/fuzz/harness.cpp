@@ -44,6 +44,7 @@ const char* frontend_name(Frontend fe) {
     case Frontend::kJson: return "json";
     case Frontend::kRules: return "rules";
     case Frontend::kScript: return "perfscript";
+    case Frontend::kPkb: return "pkb";
   }
   return "unknown";
 }

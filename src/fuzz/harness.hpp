@@ -1,7 +1,7 @@
 // Ingest-contract fuzz harness shared by the libFuzzer entry points, the
 // fuzz_smoke ctest runners and the unit tests.
 //
-// The contract every text front end must satisfy:
+// The contract every front end must satisfy:
 //
 //   Any input either parses, or throws perfknow::ParseError / IoError
 //   with a non-empty message and a sane location. It never crashes,
@@ -22,15 +22,17 @@
 
 namespace perfknow::fuzz {
 
-/// The five text front ends under contract.
-enum class Frontend { kTau, kCsv, kJson, kRules, kScript };
+/// The front ends under contract: five text formats plus the PKB
+/// binary snapshot format.
+enum class Frontend { kTau, kCsv, kJson, kRules, kScript, kPkb };
 
 inline constexpr Frontend kAllFrontends[] = {
     Frontend::kTau, Frontend::kCsv, Frontend::kJson, Frontend::kRules,
-    Frontend::kScript};
+    Frontend::kScript, Frontend::kPkb};
 
 /// Short name used for corpus directories, regression-file prefixes and
-/// the fuzz_smoke --frontend flag: tau, csv, json, rules, perfscript.
+/// the fuzz_smoke --frontend flag: tau, csv, json, rules, perfscript,
+/// pkb.
 [[nodiscard]] const char* frontend_name(Frontend fe);
 [[nodiscard]] std::optional<Frontend> frontend_from_name(
     const std::string& name);

@@ -4,6 +4,7 @@
 
 #include "perfdmf/csv_format.hpp"
 #include "perfdmf/json_format.hpp"
+#include "perfdmf/pkb_format.hpp"
 #include "perfdmf/tau_format.hpp"
 #include "rules/parser.hpp"
 #include "script/ast.hpp"
@@ -30,6 +31,8 @@ FuzzTarget target(Frontend fe) {
       return [](const std::string& in) {
         (void)script::parse_program(in);
       };
+    case Frontend::kPkb:
+      return [](const std::string& in) { (void)perfdmf::parse_pkb(in); };
   }
   return [](const std::string&) {};
 }
@@ -66,12 +69,28 @@ const std::vector<std::string>& dictionary(Frontend fe) {
       "True", "False", "None", ":", "\n    ", "\n", "(", ")", "[", "]",
       "{", "}", "**", "//", "\\\n", "#",
   };
+  // Binary fragments: the magic, section tags, and little-endian
+  // length/count words, so mutations hit section framing, not just the
+  // magic check. std::string(ptr, n) keeps the embedded NULs.
+  static const std::vector<std::string> kPkbDict = {
+      std::string("PKB1"),
+      std::string("\x01\x00\x00\x00", 4),
+      std::string("SCHM"), std::string("META"), std::string("COLS"),
+      std::string("PKBE"),
+      std::string("\x10\x00\x00\x00\x00\x00\x00\x00", 8),
+      std::string("\x00\x00\x00\x00", 4),
+      std::string("\x01\x00\x00\x00\x00\x00\x00\x00", 8),
+      std::string("\xff\xff\xff\xff", 4),
+      std::string("\x04\x00\x00\x00TIME", 8),
+      std::string("\x04\x00\x00\x00main", 8),
+  };
   switch (fe) {
     case Frontend::kTau: return kTauDict;
     case Frontend::kCsv: return kCsvDict;
     case Frontend::kJson: return kJsonDict;
     case Frontend::kRules: return kRulesDict;
     case Frontend::kScript: return kScriptDict;
+    case Frontend::kPkb: return kPkbDict;
   }
   return kTauDict;
 }

@@ -1,4 +1,4 @@
-// The five fuzzable parser entry points and their grammar dictionaries.
+// The fuzzable parser entry points and their grammar dictionaries.
 #pragma once
 
 #include <string>
@@ -15,6 +15,7 @@ namespace perfknow::fuzz {
 ///   json        perfdmf::from_json
 ///   rules       rules::parse_rules
 ///   perfscript  script::parse_program (tokenize + parse)
+///   pkb         perfdmf::parse_pkb (binary snapshot)
 [[nodiscard]] FuzzTarget target(Frontend fe);
 
 /// Keywords and structural fragments of the front end's grammar, fed to

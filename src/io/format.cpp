@@ -1,0 +1,240 @@
+#include "io/format.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "perfdmf/csv_format.hpp"
+#include "perfdmf/json_format.hpp"
+#include "perfdmf/pkb_format.hpp"
+#include "perfdmf/snapshot.hpp"
+#include "perfdmf/tau_format.hpp"
+
+namespace perfknow::io {
+
+namespace {
+
+// How many leading bytes the content sniffers get to look at. Plenty for
+// every magic/header line we match.
+constexpr std::size_t kHeadBytes = 512;
+
+std::string first_line(std::string_view head) {
+  const auto nl = head.find('\n');
+  return std::string(nl == std::string_view::npos ? head
+                                                  : head.substr(0, nl));
+}
+
+// True when the filename looks like TAU's per-thread "profile.N.C.T".
+bool tau_profile_filename(const std::filesystem::path& path) {
+  const std::string name = path.filename().string();
+  if (name.rfind("profile.", 0) != 0) return false;
+  std::size_t digits = 0;
+  std::size_t dots = 0;
+  for (std::size_t i = 8; i < name.size(); ++i) {
+    if (name[i] == '.') {
+      ++dots;
+    } else if (std::isdigit(static_cast<unsigned char>(name[i])) != 0) {
+      ++digits;
+    } else {
+      return false;
+    }
+  }
+  return dots == 2 && digits >= 3;
+}
+
+// ---- per-format hooks --------------------------------------------------
+
+bool pkb_can_read(std::string_view head, const std::filesystem::path&) {
+  return head.substr(0, 4) == perfdmf::kPkbMagic;
+}
+profile::Trial pkb_read(const std::filesystem::path& path) {
+  return perfdmf::load_pkb(path);
+}
+void pkb_write(const profile::TrialView& trial,
+               const std::filesystem::path& path) {
+  perfdmf::save_pkb(trial, path);
+}
+
+bool pkprof_can_read(std::string_view head, const std::filesystem::path&) {
+  return head.substr(0, 7) == "PKPROF\t";
+}
+profile::Trial pkprof_read(const std::filesystem::path& path) {
+  return perfdmf::load_snapshot(path);
+}
+void pkprof_write(const profile::TrialView& trial,
+                  const std::filesystem::path& path) {
+  perfdmf::save_snapshot(trial, path);
+}
+
+bool json_can_read(std::string_view head, const std::filesystem::path&) {
+  for (const char c : head) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) continue;
+    return c == '{';
+  }
+  return false;
+}
+profile::Trial json_read(const std::filesystem::path& path) {
+  return perfdmf::load_json(path);
+}
+void json_write(const profile::TrialView& trial,
+                const std::filesystem::path& path) {
+  perfdmf::save_json(trial, path);
+}
+
+bool tau_can_read(std::string_view head, const std::filesystem::path& path) {
+  if (std::filesystem::is_directory(path)) return true;
+  if (first_line(head).find("templated_functions") != std::string::npos) {
+    return true;
+  }
+  return tau_profile_filename(path);
+}
+profile::Trial tau_read(const std::filesystem::path& path) {
+  if (std::filesystem::is_directory(path)) {
+    return perfdmf::read_tau_profiles(path);
+  }
+  std::ifstream is(path);
+  if (!is) {
+    throw IoError("cannot open for reading: " + path.string());
+  }
+  try {
+    return perfdmf::read_tau_stream(is, path.filename().string());
+  } catch (const ParseError& e) {
+    if (e.file().empty()) throw e.with_file(path.string());
+    throw;
+  }
+}
+
+bool csv_can_read(std::string_view head, const std::filesystem::path&) {
+  // The long-format header row: all three leading column names present
+  // on the first line, comma-separated.
+  const std::string line = first_line(head);
+  return line.find("event") != std::string::npos &&
+         line.find("thread") != std::string::npos &&
+         line.find("metric") != std::string::npos &&
+         std::count(line.begin(), line.end(), ',') >= 2;
+}
+profile::Trial csv_read(const std::filesystem::path& path) {
+  return perfdmf::load_csv_long(path);
+}
+void csv_write(const profile::TrialView& trial,
+               const std::filesystem::path& path) {
+  perfdmf::save_csv_long(trial, path);
+}
+
+std::string known_format_names() {
+  std::string out;
+  for (const Format& f : formats()) {
+    if (!out.empty()) out += ", ";
+    out += f.name;
+  }
+  return out;
+}
+
+std::string writable_format_names() {
+  std::string out;
+  for (const Format& f : formats()) {
+    if (f.write == nullptr) continue;
+    if (!out.empty()) out += ", ";
+    out += f.name;
+  }
+  return out;
+}
+
+std::string read_head(const std::filesystem::path& file) {
+  if (std::filesystem::is_directory(file)) return {};
+  std::ifstream is(file, std::ios::binary);
+  if (!is) {
+    throw IoError("cannot open for reading: " + file.string());
+  }
+  std::string head(kHeadBytes, '\0');
+  is.read(head.data(), static_cast<std::streamsize>(head.size()));
+  head.resize(static_cast<std::size_t>(is.gcount()));
+  return head;
+}
+
+}  // namespace
+
+const std::vector<Format>& formats() {
+  // Detection order: unambiguous magics first, the lenient CSV sniff
+  // last. The TAU sniff only matches its header line / filename shape.
+  static const std::vector<Format> kFormats = {
+      {"pkb", {".pkb"}, pkb_can_read, pkb_read, pkb_write},
+      {"pkprof", {".pkprof"}, pkprof_can_read, pkprof_read, pkprof_write},
+      {"json", {".json"}, json_can_read, json_read, json_write},
+      {"tau", {".tau"}, tau_can_read, tau_read, nullptr},
+      {"csv", {".csv"}, csv_can_read, csv_read, csv_write},
+  };
+  return kFormats;
+}
+
+const Format* find_format(std::string_view name) {
+  for (const Format& f : formats()) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+profile::Trial open_trial(const std::filesystem::path& file) {
+  const std::string head = read_head(file);
+  for (const Format& f : formats()) {
+    if (f.can_read(head, file)) return f.read(file);
+  }
+  // No content match; fall back to the extension.
+  const std::string ext = file.extension().string();
+  if (!ext.empty()) {
+    for (const Format& f : formats()) {
+      for (const std::string& e : f.extensions) {
+        if (e == ext) return f.read(file);
+      }
+    }
+  }
+  throw ParseError("unrecognized profile format (known formats: " +
+                   known_format_names() + ")")
+      .with_file(file.string());
+}
+
+profile::Trial open_trial(const std::filesystem::path& file,
+                          std::string_view format) {
+  const Format* f = find_format(format);
+  if (f == nullptr) {
+    throw InvalidArgumentError("unknown profile format '" +
+                               std::string(format) + "' (known formats: " +
+                               known_format_names() + ")");
+  }
+  return f->read(file);
+}
+
+void save_trial(const profile::TrialView& trial,
+                const std::filesystem::path& file) {
+  const std::string ext = file.extension().string();
+  for (const Format& f : formats()) {
+    if (f.write == nullptr) continue;
+    for (const std::string& e : f.extensions) {
+      if (e == ext) {
+        f.write(trial, file);
+        return;
+      }
+    }
+  }
+  throw InvalidArgumentError(
+      "no writable format for extension '" + ext +
+      "' (writable formats: " + writable_format_names() + ")");
+}
+
+void save_trial(const profile::TrialView& trial,
+                const std::filesystem::path& file, std::string_view format) {
+  const Format* f = find_format(format);
+  if (f == nullptr) {
+    throw InvalidArgumentError("unknown profile format '" +
+                               std::string(format) + "' (known formats: " +
+                               known_format_names() + ")");
+  }
+  if (f->write == nullptr) {
+    throw InvalidArgumentError("format '" + std::string(format) +
+                               "' is not writable via io::save_trial");
+  }
+  f->write(trial, file);
+}
+
+}  // namespace perfknow::io

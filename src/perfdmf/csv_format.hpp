@@ -21,10 +21,14 @@
 namespace perfknow::perfdmf {
 
 /// Writes every (event, thread, metric) cell of the trial.
-void write_csv_long(const profile::Trial& trial, std::ostream& os);
-void save_csv_long(const profile::Trial& trial,
+/// @deprecated New code should call io::save_trial (io/format.hpp).
+void write_csv_long(const profile::TrialView& trial, std::ostream& os);
+void save_csv_long(const profile::TrialView& trial,
                    const std::filesystem::path& file);
 
+/// @deprecated New code should call io::open_trial (io/format.hpp),
+/// which auto-detects the format; this stays for direct access.
+///
 /// Parses a long-format CSV into a trial (named after the file or
 /// "csv_import" when reading a stream). Throws ParseError on malformed
 /// rows; unknown columns are rejected so silent data loss is impossible.

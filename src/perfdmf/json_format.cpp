@@ -344,7 +344,7 @@ void write_number(std::ostream& os, double v) {
 
 }  // namespace
 
-void write_json(const profile::Trial& trial, std::ostream& os) {
+void write_json(const profile::TrialView& trial, std::ostream& os) {
   os << "{\n  \"name\": ";
   write_json_string(os, trial.name());
   os << ",\n  \"threads\": " << trial.thread_count();
@@ -417,13 +417,13 @@ void write_json(const profile::Trial& trial, std::ostream& os) {
   os << "\n  ]\n}\n";
 }
 
-std::string to_json(const profile::Trial& trial) {
+std::string to_json(const profile::TrialView& trial) {
   std::ostringstream ss;
   write_json(trial, ss);
   return ss.str();
 }
 
-void save_json(const profile::Trial& trial,
+void save_json(const profile::TrialView& trial,
                const std::filesystem::path& file) {
   std::ofstream os(file);
   if (!os) throw IoError("cannot write JSON: " + file.string());

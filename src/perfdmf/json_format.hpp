@@ -24,10 +24,13 @@
 
 namespace perfknow::perfdmf {
 
-void write_json(const profile::Trial& trial, std::ostream& os);
-void save_json(const profile::Trial& trial,
+// Deprecated entry points: new code should call io::open_trial /
+// io::save_trial (io/format.hpp), which auto-detect the format; these
+// stay for direct access to the JSON format.
+void write_json(const profile::TrialView& trial, std::ostream& os);
+void save_json(const profile::TrialView& trial,
                const std::filesystem::path& file);
-[[nodiscard]] std::string to_json(const profile::Trial& trial);
+[[nodiscard]] std::string to_json(const profile::TrialView& trial);
 
 /// Throws ParseError on malformed JSON or schema violations.
 [[nodiscard]] profile::Trial read_json(std::istream& is);

@@ -1,0 +1,488 @@
+#include "perfdmf/pkb_format.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "perfdmf/limits.hpp"
+
+namespace perfknow::perfdmf {
+
+namespace {
+
+constexpr bool kHostLittle = std::endian::native == std::endian::little;
+
+constexpr std::uint32_t fourcc(const char (&s)[5]) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(s[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[3])) << 24;
+}
+
+constexpr std::uint32_t kTagSchema = fourcc("SCHM");
+constexpr std::uint32_t kTagMeta = fourcc("META");
+constexpr std::uint32_t kTagColumns = fourcc("COLS");
+constexpr std::uint32_t kTagEnd = fourcc("PKBE");
+
+std::string tag_name(std::uint32_t tag) {
+  std::string out;
+  for (int i = 0; i < 4; ++i) {
+    const char c = static_cast<char>((tag >> (8 * i)) & 0xFFu);
+    out += (c >= 0x20 && c < 0x7F) ? c : '?';
+  }
+  return out;
+}
+
+constexpr std::size_t align8(std::size_t n) { return (n + 7u) & ~std::size_t{7}; }
+
+// std::byteswap is C++23; this project is C++20.
+constexpr std::uint64_t bswap64(std::uint64_t v) {
+  v = ((v & 0x00FF00FF00FF00FFull) << 8) | ((v >> 8) & 0x00FF00FF00FF00FFull);
+  v = ((v & 0x0000FFFF0000FFFFull) << 16) |
+      ((v >> 16) & 0x0000FFFF0000FFFFull);
+  return (v << 32) | (v >> 32);
+}
+
+// ---- little-endian encoding --------------------------------------------
+
+void append_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out += static_cast<char>((v >> (8 * i)) & 0xFFu);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out += static_cast<char>((v >> (8 * i)) & 0xFFu);
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  append_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void append_str(std::string& out, std::string_view s) {
+  append_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Byte-swaps a column in place when the host is big-endian, so the
+/// bytes that reach disk (and the CRC) are always little-endian.
+void to_little_endian(std::vector<double>& col) {
+  if constexpr (!kHostLittle) {
+    for (double& d : col) {
+      d = std::bit_cast<double>(bswap64(std::bit_cast<std::uint64_t>(d)));
+    }
+  } else {
+    (void)col;
+  }
+}
+
+// ---- section writer -----------------------------------------------------
+
+void write_section_header(std::ostream& os, std::uint32_t tag,
+                          std::uint32_t crc, std::uint64_t len) {
+  std::string hdr;
+  hdr.reserve(16);
+  append_u32(hdr, tag);
+  append_u32(hdr, crc);
+  append_u64(hdr, len);
+  os.write(hdr.data(), static_cast<std::streamsize>(hdr.size()));
+}
+
+void write_section(std::ostream& os, std::uint32_t tag,
+                   std::string_view payload) {
+  write_section_header(os, tag, crc32(payload.data(), payload.size()),
+                       payload.size());
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  static constexpr char kZeros[8] = {};
+  const std::size_t pad = align8(payload.size()) - payload.size();
+  if (pad != 0) os.write(kZeros, static_cast<std::streamsize>(pad));
+}
+
+// ---- column extraction --------------------------------------------------
+
+enum class Field { kInclusive, kExclusive, kCalls, kSubcalls };
+
+void fill_column(const profile::TrialView& trial, Field field,
+                 profile::MetricId m, std::vector<double>& buf) {
+  const std::size_t threads = trial.thread_count();
+  const std::size_t events = trial.event_count();
+  switch (field) {
+    case Field::kInclusive:
+    case Field::kExclusive:
+      for (profile::EventId e = 0; e < events; ++e) {
+        const auto s = field == Field::kInclusive
+                           ? trial.inclusive_series(e, m)
+                           : trial.exclusive_series(e, m);
+        for (std::size_t t = 0; t < threads; ++t) buf[t * events + e] = s[t];
+      }
+      break;
+    case Field::kCalls:
+    case Field::kSubcalls:
+      for (std::size_t t = 0; t < threads; ++t) {
+        for (profile::EventId e = 0; e < events; ++e) {
+          const auto ci = trial.calls(t, e);
+          buf[t * events + e] =
+              field == Field::kCalls ? ci.calls : ci.subcalls;
+        }
+      }
+      break;
+  }
+  to_little_endian(buf);
+}
+
+/// Every (field, metric) column of the cube, in on-disk order.
+std::vector<std::pair<Field, profile::MetricId>> column_order(
+    std::size_t metric_count) {
+  std::vector<std::pair<Field, profile::MetricId>> order;
+  order.reserve(2 * metric_count + 2);
+  for (profile::MetricId m = 0; m < metric_count; ++m) {
+    order.emplace_back(Field::kInclusive, m);
+    order.emplace_back(Field::kExclusive, m);
+  }
+  order.emplace_back(Field::kCalls, 0);
+  order.emplace_back(Field::kSubcalls, 0);
+  return order;
+}
+
+// ---- parse cursor -------------------------------------------------------
+
+struct Cursor {
+  std::string_view data;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError("PKB: " + what + " (at byte offset " +
+                     std::to_string(pos) + ")");
+  }
+
+  void need(std::size_t n, const char* what) const {
+    if (pos > data.size() || n > data.size() - pos) {
+      fail(std::string("truncated ") + what + ": need " + std::to_string(n) +
+           " bytes, " + std::to_string(data.size() - pos) + " left");
+    }
+  }
+
+  std::uint32_t read_u32(const char* what) {
+    need(4, what);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(data[pos + i]))
+           << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+
+  std::uint64_t read_u64(const char* what) {
+    need(8, what);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data[pos + i]))
+           << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+
+  std::string read_str(const char* what) {
+    const std::uint32_t len = read_u32(what);
+    need(len, what);
+    std::string out(data.substr(pos, len));
+    pos += len;
+    return out;
+  }
+};
+
+struct Section {
+  std::uint32_t tag = 0;
+  std::size_t payload_off = 0;
+  std::size_t payload_len = 0;
+};
+
+/// Reads one section header at the cursor, bounds-checks the payload,
+/// optionally verifies its CRC, and leaves the cursor at the payload.
+Section read_section(Cursor& cur, bool verify_crc) {
+  const std::size_t header_off = cur.pos;
+  const std::uint32_t tag = cur.read_u32("section header");
+  const std::uint32_t crc = cur.read_u32("section header");
+  const std::uint64_t len = cur.read_u64("section header");
+  if (len > cur.data.size() - cur.pos) {
+    cur.pos = header_off;
+    cur.fail("section '" + tag_name(tag) + "' length " + std::to_string(len) +
+             " overruns the snapshot (" +
+             std::to_string(cur.data.size() - cur.pos - 16) +
+             " payload bytes left)");
+  }
+  if (verify_crc &&
+      crc32(cur.data.data() + cur.pos, static_cast<std::size_t>(len)) != crc) {
+    cur.pos = header_off;
+    cur.fail("bad section checksum in '" + tag_name(tag) + "'");
+  }
+  return Section{tag, cur.pos, static_cast<std::size_t>(len)};
+}
+
+void expect_tag(const Cursor& cur, const Section& s, std::uint32_t want) {
+  if (s.tag != want) {
+    Cursor at = cur;
+    at.pos = s.payload_off - 16;
+    at.fail("expected section '" + tag_name(want) + "', found '" +
+            tag_name(s.tag) + "'");
+  }
+}
+
+}  // namespace
+
+double pkb_read_f64(const char* p) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, p, sizeof bits);
+  if constexpr (!kHostLittle) bits = bswap64(bits);
+  return std::bit_cast<double>(bits);
+}
+
+void write_pkb(const profile::TrialView& trial, std::ostream& os) {
+  os.write(kPkbMagic.data(), static_cast<std::streamsize>(kPkbMagic.size()));
+  std::string version;
+  append_u32(version, kPkbVersion);
+  os.write(version.data(), static_cast<std::streamsize>(version.size()));
+
+  // SCHM
+  std::string schema;
+  append_u64(schema, trial.thread_count());
+  append_str(schema, trial.name());
+  append_u32(schema, static_cast<std::uint32_t>(trial.metric_count()));
+  for (profile::MetricId m = 0; m < trial.metric_count(); ++m) {
+    const auto& metric = trial.metric(m);
+    append_str(schema, metric.name);
+    append_str(schema, metric.units);
+    schema += static_cast<char>(metric.derived ? 1 : 0);
+  }
+  append_u32(schema, static_cast<std::uint32_t>(trial.event_count()));
+  for (profile::EventId e = 0; e < trial.event_count(); ++e) {
+    const auto& ev = trial.event(e);
+    append_str(schema, ev.name);
+    append_i64(schema, ev.parent == profile::kNoEvent
+                           ? -1
+                           : static_cast<std::int64_t>(ev.parent));
+    append_str(schema, ev.group);
+  }
+  write_section(os, kTagSchema, schema);
+
+  // META
+  std::string meta;
+  append_u32(meta, static_cast<std::uint32_t>(trial.all_metadata().size()));
+  for (const auto& [k, v] : trial.all_metadata()) {
+    append_str(meta, k);
+    append_str(meta, v);
+  }
+  write_section(os, kTagMeta, meta);
+
+  // COLS — streamed one column at a time so the writer never holds a
+  // second copy of the cube: pass 1 computes the payload CRC (the header
+  // precedes the payload), pass 2 writes the same bytes.
+  const std::size_t cells = trial.thread_count() * trial.event_count();
+  const auto order = column_order(trial.metric_count());
+  std::vector<double> col(cells);
+  std::uint32_t crc = 0;
+  for (const auto& [field, m] : order) {
+    fill_column(trial, field, m, col);
+    crc = crc32(col.data(), cells * sizeof(double), crc);
+  }
+  const std::uint64_t cols_len = order.size() * cells * sizeof(double);
+  write_section_header(os, kTagColumns, crc, cols_len);
+  for (const auto& [field, m] : order) {
+    fill_column(trial, field, m, col);
+    os.write(reinterpret_cast<const char*>(col.data()),
+             static_cast<std::streamsize>(cells * sizeof(double)));
+  }
+  // cols_len is a multiple of 8, so no padding is needed.
+
+  write_section(os, kTagEnd, {});
+}
+
+void save_pkb(const profile::TrialView& trial,
+              const std::filesystem::path& file) {
+  std::ofstream os(file, std::ios::binary);
+  if (!os) {
+    throw IoError("cannot open for writing: " + file.string());
+  }
+  write_pkb(trial, os);
+  if (!os) {
+    throw IoError("write failed: " + file.string());
+  }
+}
+
+std::string to_pkb(const profile::TrialView& trial) {
+  std::ostringstream os;
+  write_pkb(trial, os);
+  return std::move(os).str();
+}
+
+PkbLayout parse_pkb_layout(std::string_view bytes, bool verify_columns) {
+  Cursor cur{bytes, 0};
+  cur.need(8, "header");
+  if (bytes.substr(0, 4) != kPkbMagic) {
+    cur.fail("not a PKB snapshot (bad magic)");
+  }
+  cur.pos = 4;
+  if (const auto version = cur.read_u32("version"); version != kPkbVersion) {
+    cur.pos = 4;
+    cur.fail("unsupported version " + std::to_string(version));
+  }
+
+  PkbLayout layout;
+  layout.total_size = bytes.size();
+
+  // SCHM
+  const Section schm = read_section(cur, /*verify_crc=*/true);
+  expect_tag(cur, schm, kTagSchema);
+  const std::size_t schm_end = schm.payload_off + schm.payload_len;
+  {
+    // Parse within the section's bounds only.
+    Cursor sc{bytes.substr(0, schm_end), schm.payload_off};
+    const std::uint64_t threads = sc.read_u64("thread count");
+    if (threads > kMaxThreads) {
+      sc.fail("thread count " + std::to_string(threads) +
+              " exceeds the importer cap of " + std::to_string(kMaxThreads));
+    }
+    layout.threads = static_cast<std::size_t>(threads);
+    layout.trial_name = sc.read_str("trial name");
+
+    const std::uint32_t metric_count = sc.read_u32("metric count");
+    std::set<std::string, std::less<>> metric_names;
+    for (std::uint32_t m = 0; m < metric_count; ++m) {
+      profile::Metric metric;
+      metric.name = sc.read_str("metric name");
+      metric.units = sc.read_str("metric units");
+      sc.need(1, "metric derived flag");
+      metric.derived = bytes[sc.pos++] != 0;
+      if (!metric_names.insert(metric.name).second) {
+        sc.fail("duplicate metric name '" + metric.name + "'");
+      }
+      layout.metrics.push_back(std::move(metric));
+    }
+
+    const std::uint32_t event_count = sc.read_u32("event count");
+    std::set<std::string, std::less<>> event_names;
+    for (std::uint32_t e = 0; e < event_count; ++e) {
+      profile::Event ev;
+      ev.name = sc.read_str("event name");
+      const auto parent =
+          static_cast<std::int64_t>(sc.read_u64("event parent"));
+      if (parent < -1 || parent >= static_cast<std::int64_t>(e)) {
+        sc.fail("event " + std::to_string(e) + " has bad parent id " +
+                std::to_string(parent) +
+                " (must be -1 or an earlier event)");
+      }
+      ev.parent = parent < 0 ? profile::kNoEvent
+                             : static_cast<profile::EventId>(parent);
+      ev.group = sc.read_str("event group");
+      if (!event_names.insert(ev.name).second) {
+        sc.fail("duplicate event name '" + ev.name + "'");
+      }
+      layout.events.push_back(std::move(ev));
+    }
+    if (sc.pos != schm_end) {
+      sc.fail("schema section has " + std::to_string(schm_end - sc.pos) +
+              " trailing bytes");
+    }
+    check_cells(layout.threads, layout.events.size(), layout.metrics.size());
+  }
+  cur.pos = align8(schm_end);
+
+  // META
+  const Section meta = read_section(cur, /*verify_crc=*/true);
+  expect_tag(cur, meta, kTagMeta);
+  const std::size_t meta_end = meta.payload_off + meta.payload_len;
+  {
+    Cursor mc{bytes.substr(0, meta_end), meta.payload_off};
+    const std::uint32_t count = mc.read_u32("metadata count");
+    for (std::uint32_t i = 0; i < count; ++i) {
+      auto key = mc.read_str("metadata key");
+      auto value = mc.read_str("metadata value");
+      layout.metadata.emplace_back(std::move(key), std::move(value));
+    }
+    if (mc.pos != meta_end) {
+      mc.fail("metadata section has " + std::to_string(meta_end - mc.pos) +
+              " trailing bytes");
+    }
+  }
+  cur.pos = align8(meta_end);
+
+  // COLS
+  const Section cols = read_section(cur, verify_columns);
+  expect_tag(cur, cols, kTagColumns);
+  const std::size_t expected =
+      (2 * layout.metrics.size() + 2) * layout.column_bytes();
+  if (cols.payload_len != expected) {
+    cur.pos = cols.payload_off - 16;
+    cur.fail("column section is " + std::to_string(cols.payload_len) +
+             " bytes, schema requires " + std::to_string(expected));
+  }
+  layout.cols_offset = cols.payload_off;
+  cur.pos = align8(cols.payload_off + cols.payload_len);
+
+  // PKBE
+  const Section end = read_section(cur, /*verify_crc=*/true);
+  expect_tag(cur, end, kTagEnd);
+  if (end.payload_len != 0) {
+    cur.pos = end.payload_off - 16;
+    cur.fail("end marker carries a payload");
+  }
+  if (end.payload_off != bytes.size()) {
+    cur.pos = end.payload_off;
+    cur.fail("snapshot has " + std::to_string(bytes.size() - end.payload_off) +
+             " bytes after the end marker");
+  }
+  return layout;
+}
+
+profile::Trial parse_pkb(std::string_view bytes) {
+  const PkbLayout layout = parse_pkb_layout(bytes, /*verify_columns=*/true);
+  profile::Trial trial(layout.trial_name);
+  for (const auto& [k, v] : layout.metadata) trial.set_metadata(k, v);
+  for (const auto& metric : layout.metrics) {
+    trial.add_metric(metric.name, metric.units, metric.derived);
+  }
+  for (const auto& ev : layout.events) {
+    trial.add_event(ev.name, ev.parent, ev.group);
+  }
+  trial.set_thread_count(layout.threads);
+
+  const std::size_t events = layout.events.size();
+  const auto cell = [&](std::size_t col_off, std::size_t t, std::size_t e) {
+    return pkb_read_f64(bytes.data() + col_off +
+                        (t * events + e) * sizeof(double));
+  };
+  for (std::size_t t = 0; t < layout.threads; ++t) {
+    for (profile::EventId e = 0; e < events; ++e) {
+      for (profile::MetricId m = 0; m < layout.metrics.size(); ++m) {
+        trial.set_inclusive(t, e, m, cell(layout.inclusive_column(m), t, e));
+        trial.set_exclusive(t, e, m, cell(layout.exclusive_column(m), t, e));
+      }
+      trial.set_calls(t, e, cell(layout.calls_column(), t, e),
+                      cell(layout.subcalls_column(), t, e));
+    }
+  }
+  return trial;
+}
+
+profile::Trial load_pkb(const std::filesystem::path& file) {
+  std::ifstream is(file, std::ios::binary);
+  if (!is) {
+    throw IoError("cannot open for reading: " + file.string());
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  try {
+    return parse_pkb(std::move(ss).str());
+  } catch (const ParseError& e) {
+    throw e.with_file(file.string());
+  }
+}
+
+}  // namespace perfknow::perfdmf

@@ -1,24 +1,130 @@
 #include "perfdmf/repository.hpp"
 
+#include <cstdint>
 #include <fstream>
+#include <mutex>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "common/thread_pool.hpp"
+#include "perfdmf/pkb_format.hpp"
+#include "perfdmf/pkb_view.hpp"
 #include "perfdmf/snapshot.hpp"
 
 namespace perfknow::perfdmf {
+
+namespace {
+
+constexpr std::size_t kShardCount = 16;
+
+// FNV-1a over the trial coordinates; 0x1f separators keep ("a","bc")
+// and ("ab","c") in (usually) different shards.
+std::size_t shard_of(const std::string& app, const std::string& exp,
+                     const std::string& trial) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+    h ^= 0x1f;
+    h *= 0x100000001b3ull;
+  };
+  mix(app);
+  mix(exp);
+  mix(trial);
+  return static_cast<std::size_t>(h % kShardCount);
+}
+
+std::string shard_dirname(std::size_t shard) {
+  return "shard-" + std::string(shard < 10 ? "0" : "") +
+         std::to_string(shard);
+}
+
+// Index lines are tab-separated: app, experiment, trial name, relative
+// snapshot path ("shard-NN/name_K.pkb", or "name_K.pkprof" in the legacy
+// flat layout).
+std::string sanitize_filename(std::string_view s, std::size_t ordinal) {
+  std::string out;
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out += ok ? c : '_';
+  }
+  return out + "_" + std::to_string(ordinal);
+}
+
+// Approximate in-memory footprint of a materialized trial: the value
+// cube dominates (two doubles per cell plus call counters).
+std::size_t trial_charge(const profile::TrialView& t) {
+  return t.thread_count() * t.event_count() *
+             (t.metric_count() * 2 + 2) * sizeof(double) +
+         std::size_t{4096};
+}
+
+profile::Trial load_text_snapshot(const std::filesystem::path& file) {
+  try {
+    return load_snapshot(file);
+  } catch (const ParseError& e) {
+    if (e.file().empty()) throw e.with_file(file.string());
+    throw;
+  }
+}
+
+}  // namespace
+
+// One trial slot. `trial`/`view` are the resident representations; a
+// non-resident entry holds only the backing file path and is reloaded on
+// demand. All fields except `file`/`pkb`/`pinned` are guarded by the
+// repository cache mutex.
+struct Repository::Entry {
+  TrialPtr trial;
+  std::shared_ptr<PkbView> view;
+  std::filesystem::path file;  ///< backing snapshot; empty for put() trials
+  bool pkb = false;
+  bool pinned = false;  ///< never evicted, never charged
+  std::size_t charge = 0;
+  std::uint64_t last_used = 0;
+};
+
+struct Repository::Cache {
+  mutable std::mutex mutex;
+  std::size_t budget = Repository::kDefaultCacheBudget;
+  std::size_t resident = 0;
+  std::uint64_t tick = 0;
+};
+
+Repository::Repository() : cache_(std::make_unique<Cache>()) {}
+Repository::Repository(Repository&&) noexcept = default;
+Repository& Repository::operator=(Repository&&) noexcept = default;
+Repository::~Repository() = default;
 
 void Repository::put(const std::string& application,
                      const std::string& experiment, TrialPtr trial) {
   if (!trial) {
     throw InvalidArgumentError("Repository::put: null trial");
   }
-  store_[application][experiment][trial->name()] = std::move(trial);
+  auto entry = std::make_shared<Entry>();
+  entry->pinned = true;
+  std::string name = trial->name();
+  entry->trial = std::move(trial);
+  insert_entry(application, experiment, name, std::move(entry));
 }
 
-TrialPtr Repository::get(const std::string& application,
-                         const std::string& experiment,
-                         const std::string& trial) const {
+void Repository::insert_entry(const std::string& application,
+                              const std::string& experiment,
+                              const std::string& trial, EntryPtr entry) {
+  auto& slot = store_[application][experiment][trial];
+  if (slot && slot->charge > 0) {
+    const std::lock_guard lock(cache_->mutex);
+    cache_->resident -= slot->charge;
+  }
+  slot = std::move(entry);
+}
+
+const Repository::EntryPtr& Repository::find_entry(
+    const std::string& application, const std::string& experiment,
+    const std::string& trial) const {
   const auto a = store_.find(application);
   if (a == store_.end()) {
     throw NotFoundError("no application '" + application + "'");
@@ -34,6 +140,93 @@ TrialPtr Repository::get(const std::string& application,
                         "' has no trial '" + trial + "'");
   }
   return t->second;
+}
+
+void Repository::touch_locked(Entry& entry) const {
+  entry.last_used = ++cache_->tick;
+}
+
+void Repository::charge_locked(Entry& entry, std::size_t bytes) const {
+  if (entry.pinned) return;
+  entry.charge += bytes;
+  cache_->resident += bytes;
+}
+
+void Repository::evict_to_budget_locked() const {
+  while (cache_->resident > cache_->budget) {
+    Entry* victim = nullptr;
+    for (const auto& [app, exps] : store_) {
+      for (const auto& [exp, trs] : exps) {
+        for (const auto& [name, entry] : trs) {
+          if (entry->pinned || entry->charge == 0) continue;
+          if (victim == nullptr || entry->last_used < victim->last_used) {
+            victim = entry.get();
+          }
+        }
+      }
+    }
+    if (victim == nullptr) return;  // nothing evictable left
+    // Dropping our references is safe: callers that still hold the
+    // shared_ptr keep the trial (and its mapping) alive.
+    victim->trial.reset();
+    victim->view.reset();
+    cache_->resident -= victim->charge;
+    victim->charge = 0;
+  }
+}
+
+TrialPtr Repository::materialize_locked(Entry& entry) const {
+  if (entry.trial) return entry.trial;
+  if (entry.pkb) {
+    if (!entry.view) {
+      entry.view = std::make_shared<PkbView>(
+          PkbView::open(entry.file, PkbView::Verify::kSchema));
+      charge_locked(entry, entry.view->byte_size());
+    }
+    // Promotion verifies the column checksums and materializes the cube;
+    // the aliased pointer keeps the view's mapping alive.
+    entry.trial = PkbView::promote_shared(entry.view);
+    charge_locked(entry, trial_charge(*entry.trial));
+  } else {
+    entry.trial =
+        std::make_shared<profile::Trial>(load_text_snapshot(entry.file));
+    charge_locked(entry, trial_charge(*entry.trial));
+  }
+  return entry.trial;
+}
+
+TrialPtr Repository::get(const std::string& application,
+                         const std::string& experiment,
+                         const std::string& trial) const {
+  const EntryPtr& entry = find_entry(application, experiment, trial);
+  const std::lock_guard lock(cache_->mutex);
+  TrialPtr out = materialize_locked(*entry);
+  touch_locked(*entry);
+  evict_to_budget_locked();
+  return out;
+}
+
+TrialViewPtr Repository::view(const std::string& application,
+                              const std::string& experiment,
+                              const std::string& trial) const {
+  const EntryPtr& entry = find_entry(application, experiment, trial);
+  const std::lock_guard lock(cache_->mutex);
+  TrialViewPtr out;
+  if (entry->trial) {
+    out = entry->trial;
+  } else if (entry->pkb) {
+    if (!entry->view) {
+      entry->view = std::make_shared<PkbView>(
+          PkbView::open(entry->file, PkbView::Verify::kSchema));
+      charge_locked(*entry, entry->view->byte_size());
+    }
+    out = entry->view;
+  } else {
+    out = materialize_locked(*entry);
+  }
+  touch_locked(*entry);
+  evict_to_budget_locked();
+  return out;
 }
 
 bool Repository::contains(const std::string& application,
@@ -53,7 +246,14 @@ bool Repository::erase(const std::string& application,
   if (a == store_.end()) return false;
   const auto e = a->second.find(experiment);
   if (e == a->second.end()) return false;
-  return e->second.erase(trial) != 0;
+  const auto t = e->second.find(trial);
+  if (t == e->second.end()) return false;
+  if (t->second->charge > 0) {
+    const std::lock_guard lock(cache_->mutex);
+    cache_->resident -= t->second->charge;
+  }
+  e->second.erase(t);
+  return true;
 }
 
 std::vector<std::string> Repository::applications() const {
@@ -109,23 +309,35 @@ std::size_t Repository::trial_count() const noexcept {
   return n;
 }
 
-namespace {
-
-// Index lines are tab-separated: app, experiment, trial name, file name.
-std::string sanitize_filename(std::string_view s, std::size_t ordinal) {
-  std::string out;
-  for (char c : s) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '-' || c == '_';
-    out += ok ? c : '_';
-  }
-  return out + "_" + std::to_string(ordinal) + ".pkprof";
+void Repository::set_cache_budget(std::size_t bytes) {
+  const std::lock_guard lock(cache_->mutex);
+  cache_->budget = bytes;
+  evict_to_budget_locked();
 }
 
-}  // namespace
+std::size_t Repository::cached_bytes() const {
+  const std::lock_guard lock(cache_->mutex);
+  return cache_->resident;
+}
+
+std::size_t Repository::resident_trials() const {
+  const std::lock_guard lock(cache_->mutex);
+  std::size_t n = 0;
+  for (const auto& [_, exps] : store_) {
+    for (const auto& [__, trs] : exps) {
+      for (const auto& [___, entry] : trs) {
+        if (entry->trial || entry->view) ++n;
+      }
+    }
+  }
+  return n;
+}
 
 void Repository::save(const std::filesystem::path& dir) const {
   std::filesystem::create_directories(dir);
+  for (std::size_t s = 0; s < kShardCount; ++s) {
+    std::filesystem::create_directories(dir / shard_dirname(s));
+  }
   std::ofstream index(dir / "index.tsv");
   if (!index) {
     throw IoError("cannot write index: " + (dir / "index.tsv").string());
@@ -133,9 +345,28 @@ void Repository::save(const std::filesystem::path& dir) const {
   std::size_t ordinal = 0;
   for (const auto& [app, exps] : store_) {
     for (const auto& [exp, trs] : exps) {
-      for (const auto& [tname, trial] : trs) {
-        const std::string fname = sanitize_filename(tname, ordinal++);
-        save_snapshot(*trial, dir / fname);
+      for (const auto& [tname, entry] : trs) {
+        const std::string fname = shard_dirname(shard_of(app, exp, tname)) +
+                                  "/" +
+                                  sanitize_filename(tname, ordinal++) +
+                                  ".pkb";
+        {
+          const std::lock_guard lock(cache_->mutex);
+          // A resident view can be streamed out without materializing
+          // the cube; anything else goes through the materialized trial.
+          if (!entry->trial && entry->pkb) {
+            if (!entry->view) {
+              entry->view = std::make_shared<PkbView>(
+                  PkbView::open(entry->file, PkbView::Verify::kSchema));
+              charge_locked(*entry, entry->view->byte_size());
+            }
+            save_pkb(*entry->view, dir / fname);
+          } else {
+            save_pkb(*materialize_locked(*entry), dir / fname);
+          }
+          touch_locked(*entry);
+          evict_to_budget_locked();
+        }
         index << app << '\t' << exp << '\t' << tname << '\t' << fname
               << '\n';
       }
@@ -146,12 +377,19 @@ void Repository::save(const std::filesystem::path& dir) const {
   }
 }
 
-Repository Repository::load(const std::filesystem::path& dir) {
+Repository Repository::open_index(const std::filesystem::path& dir,
+                                  bool eager, ThreadPool* pool,
+                                  std::size_t cache_budget) {
   std::ifstream index(dir / "index.tsv");
   if (!index) {
     throw IoError("cannot read index: " + (dir / "index.tsv").string());
   }
-  Repository repo;
+  struct Row {
+    std::string app, exp, name;
+    std::filesystem::path file;
+    bool pkb;
+  };
+  std::vector<Row> rows;
   std::string line;
   int lineno = 0;
   while (std::getline(index, line)) {
@@ -161,16 +399,65 @@ Repository Repository::load(const std::filesystem::path& dir) {
     if (fields.size() != 4) {
       throw ParseError("repository index: expected 4 fields", lineno);
     }
-    auto trial = std::make_shared<profile::Trial>(
-        load_snapshot(dir / fields[3]));
-    if (trial->name() != fields[2]) {
-      throw ParseError("repository index: trial name mismatch for '" +
-                           fields[3] + "'",
-                       lineno);
+    const std::filesystem::path rel(fields[3]);
+    rows.push_back(Row{fields[0], fields[1], fields[2], dir / rel,
+                       rel.extension() == ".pkb"});
+  }
+
+  Repository repo;
+  repo.cache_->budget = cache_budget;
+  if (eager) {
+    // Fan the per-snapshot parsing (the expensive part) across the pool;
+    // a failure surfaces deterministically as the lowest row's exception.
+    std::vector<TrialPtr> loaded(rows.size());
+    const auto load_row = [&](std::size_t i) {
+      const Row& row = rows[i];
+      loaded[i] = row.pkb ? std::make_shared<profile::Trial>(
+                                load_pkb(row.file))
+                          : std::make_shared<profile::Trial>(
+                                load_text_snapshot(row.file));
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(rows.size(), load_row);
+    } else {
+      for (std::size_t i = 0; i < rows.size(); ++i) load_row(i);
     }
-    repo.put(fields[0], fields[1], std::move(trial));
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (loaded[i]->name() != rows[i].name) {
+        throw ParseError("repository index: trial name mismatch for '" +
+                         rows[i].file.filename().string() + "'");
+      }
+      auto entry = std::make_shared<Entry>();
+      entry->pinned = true;
+      entry->trial = std::move(loaded[i]);
+      entry->file = rows[i].file;
+      entry->pkb = rows[i].pkb;
+      repo.insert_entry(rows[i].app, rows[i].exp, rows[i].name,
+                        std::move(entry));
+    }
+  } else {
+    for (const Row& row : rows) {
+      auto entry = std::make_shared<Entry>();
+      entry->file = row.file;
+      entry->pkb = row.pkb;
+      repo.insert_entry(row.app, row.exp, row.name, std::move(entry));
+    }
   }
   return repo;
+}
+
+Repository Repository::load(const std::filesystem::path& dir) {
+  return open_index(dir, /*eager=*/true, nullptr, kDefaultCacheBudget);
+}
+
+Repository Repository::load(const std::filesystem::path& dir,
+                            ThreadPool& pool) {
+  return open_index(dir, /*eager=*/true, &pool, kDefaultCacheBudget);
+}
+
+Repository Repository::attach(const std::filesystem::path& dir,
+                              std::size_t cache_budget) {
+  return open_index(dir, /*eager=*/false, nullptr, cache_budget);
 }
 
 }  // namespace perfknow::perfdmf

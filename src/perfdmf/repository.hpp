@@ -3,10 +3,30 @@
 // The original PerfDMF stores parallel profiles in a relational database
 // under an Application -> Experiment -> Trial hierarchy and offers query
 // utilities to the analysis layer (PerfExplorer). This module reproduces
-// that hierarchy with an in-memory repository plus durable text snapshots,
-// and a reader for the classic TAU "profile.N.C.T" flat-file format.
+// that hierarchy as a sharded on-disk store of binary PKB snapshots
+// (pkb_format.hpp) with an in-memory LRU cache in front:
+//
+//   repo-dir/
+//     index.tsv        app \t experiment \t trial \t relative-path
+//     shard-00/ ... shard-15/   one .pkb file per trial, placed by a
+//                               hash of (app, experiment, trial)
+//
+// Sharding keeps directory fan-out bounded for repositories with tens of
+// thousands of trials and gives concurrent bulk ingest naturally disjoint
+// write targets. The legacy flat layout (one .pkprof text snapshot per
+// trial next to index.tsv) is still loadable; load() dispatches on the
+// indexed file's extension.
+//
+// Two ways to open a repository:
+//   load(dir)    eagerly materializes every trial (optionally fanned out
+//                across a ThreadPool), like the original behaviour;
+//   attach(dir)  reads only the index, then demand-loads trials through
+//                get()/view() into an LRU cache with a configurable byte
+//                budget, so a repository much larger than memory can be
+//                queried.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -14,31 +34,63 @@
 #include <vector>
 
 #include "profile/profile.hpp"
+#include "profile/trial_view.hpp"
+
+namespace perfknow {
+class ThreadPool;
+}
 
 namespace perfknow::perfdmf {
+
+class PkbView;
 
 /// Handle type the analysis layer passes around. Trials are shared:
 /// analysis operations never copy the value cube.
 using TrialPtr = std::shared_ptr<profile::Trial>;
 using ConstTrialPtr = std::shared_ptr<const profile::Trial>;
+/// Read-only handle; may be backed by an unmaterialized PkbView.
+using TrialViewPtr = std::shared_ptr<const profile::TrialView>;
 
 /// Application -> Experiment -> Trial store, the PerfDMF schema.
 class Repository {
  public:
+  /// Default cache budget for demand-loaded trials (bytes).
+  static constexpr std::size_t kDefaultCacheBudget =
+      std::size_t{256} * 1024 * 1024;
+
+  Repository();
+  Repository(Repository&&) noexcept;
+  Repository& operator=(Repository&&) noexcept;
+  Repository(const Repository&) = delete;
+  Repository& operator=(const Repository&) = delete;
+  ~Repository();
+
   /// Inserts (replacing any previous trial with the same coordinates).
+  /// Directly-put trials are pinned: they are never evicted.
   void put(const std::string& application, const std::string& experiment,
            TrialPtr trial);
 
   /// Fetches a trial; throws NotFoundError naming the missing level.
+  /// In an attached repository this demand-loads (and caches) the
+  /// snapshot; ParseError diagnostics name the snapshot file.
   [[nodiscard]] TrialPtr get(const std::string& application,
                              const std::string& experiment,
                              const std::string& trial) const;
+
+  /// Read-only fetch. For PKB-backed trials this returns the mmap-backed
+  /// PkbView without materializing the value cube — the cheap path for
+  /// analysis that only reads. Falls back to the materialized trial for
+  /// text snapshots and in-memory entries.
+  [[nodiscard]] TrialViewPtr view(const std::string& application,
+                                  const std::string& experiment,
+                                  const std::string& trial) const;
 
   [[nodiscard]] bool contains(const std::string& application,
                               const std::string& experiment,
                               const std::string& trial) const noexcept;
 
-  /// Removes a trial; returns false when it was absent.
+  /// Removes a trial; returns false when it was absent. Does not delete
+  /// the backing snapshot file.
   bool erase(const std::string& application, const std::string& experiment,
              const std::string& trial);
 
@@ -55,18 +107,65 @@ class Repository {
 
   [[nodiscard]] std::size_t trial_count() const noexcept;
 
-  /// Persists the whole repository: one snapshot file per trial plus an
-  /// index file, under `dir` (created if needed).
+  /// Persists the whole repository in the sharded PKB layout: one binary
+  /// snapshot per trial under shard-NN/, plus index.tsv, under `dir`
+  /// (created if needed).
   void save(const std::filesystem::path& dir) const;
 
-  /// Loads a repository previously written by save().
+  /// Eagerly loads a repository previously written by save() — either
+  /// the sharded PKB layout or the legacy flat .pkprof layout. Parse
+  /// failures name the snapshot file that was being read. The overload
+  /// taking a ThreadPool fans the per-trial snapshot parsing across it.
   [[nodiscard]] static Repository load(const std::filesystem::path& dir);
+  [[nodiscard]] static Repository load(const std::filesystem::path& dir,
+                                       ThreadPool& pool);
+
+  /// Opens a repository lazily: only index.tsv is read. Trials are
+  /// demand-loaded by get()/view() into an LRU cache capped at
+  /// `cache_budget` bytes (counting snapshot sizes); least-recently-used
+  /// unpinned entries are dropped first. Evicted trials stay alive for
+  /// callers that still hold their shared_ptr.
+  [[nodiscard]] static Repository attach(
+      const std::filesystem::path& dir,
+      std::size_t cache_budget = kDefaultCacheBudget);
+
+  /// Adjusts the demand-load cache budget, evicting as needed.
+  void set_cache_budget(std::size_t bytes);
+  /// Bytes currently charged against the cache budget.
+  [[nodiscard]] std::size_t cached_bytes() const;
+  /// Number of trials currently resident in memory (pinned or cached).
+  [[nodiscard]] std::size_t resident_trials() const;
 
  private:
-  // application -> experiment -> trial-name -> trial
+  struct Entry;
+  struct Cache;
+
+  using EntryPtr = std::shared_ptr<Entry>;
+
+  void insert_entry(const std::string& application,
+                    const std::string& experiment, const std::string& trial,
+                    EntryPtr entry);
+  [[nodiscard]] const EntryPtr& find_entry(const std::string& application,
+                                           const std::string& experiment,
+                                           const std::string& trial) const;
+  /// Loads `entry`'s snapshot if non-resident; returns its trial.
+  /// Must be called with the cache mutex held.
+  [[nodiscard]] TrialPtr materialize_locked(Entry& entry) const;
+  void touch_locked(Entry& entry) const;
+  void charge_locked(Entry& entry, std::size_t bytes) const;
+  void evict_to_budget_locked() const;
+
+  static Repository open_index(const std::filesystem::path& dir,
+                               bool eager, ThreadPool* pool,
+                               std::size_t cache_budget);
+
+  // application -> experiment -> trial-name -> entry
   std::map<std::string,
-           std::map<std::string, std::map<std::string, TrialPtr>>>
+           std::map<std::string, std::map<std::string, EntryPtr>>>
       store_;
+  // Mutex-holding cache bookkeeping lives behind a pointer so the
+  // Repository itself stays movable (load()/attach() return by value).
+  std::unique_ptr<Cache> cache_;
 };
 
 }  // namespace perfknow::perfdmf

@@ -48,7 +48,7 @@ std::string unescape(std::string_view s) {
 
 }  // namespace
 
-void write_snapshot(const profile::Trial& trial, std::ostream& os) {
+void write_snapshot(const profile::TrialView& trial, std::ostream& os) {
   os << "PKPROF\t1\n";
   os << "trial\t" << escape(trial.name()) << '\n';
   for (const auto& [k, v] : trial.all_metadata()) {
@@ -83,7 +83,7 @@ void write_snapshot(const profile::Trial& trial, std::ostream& os) {
   os << "end\n";
 }
 
-void save_snapshot(const profile::Trial& trial,
+void save_snapshot(const profile::TrialView& trial,
                    const std::filesystem::path& file) {
   std::ofstream os(file);
   if (!os) {
@@ -172,10 +172,15 @@ profile::Trial load_snapshot(const std::filesystem::path& file) {
   if (!is) {
     throw IoError("cannot open for reading: " + file.string());
   }
-  return read_snapshot(is);
+  try {
+    return read_snapshot(is);
+  } catch (const ParseError& e) {
+    if (e.file().empty()) throw e.with_file(file.string());
+    throw;
+  }
 }
 
-std::string to_csv(const profile::Trial& trial, const std::string& metric) {
+std::string to_csv(const profile::TrialView& trial, const std::string& metric) {
   const auto m = trial.metric_id(metric);
   std::ostringstream os;
   os << "event";

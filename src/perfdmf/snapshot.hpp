@@ -15,18 +15,22 @@
 namespace perfknow::perfdmf {
 
 /// Serializes a trial to the PKPROF text format.
-void write_snapshot(const profile::Trial& trial, std::ostream& os);
-void save_snapshot(const profile::Trial& trial,
+/// @deprecated New code should call io::save_trial (io/format.hpp); this
+/// stays for direct access to the text format.
+void write_snapshot(const profile::TrialView& trial, std::ostream& os);
+void save_snapshot(const profile::TrialView& trial,
                    const std::filesystem::path& file);
 
 /// Parses a PKPROF snapshot; throws ParseError / IoError on bad input.
+/// @deprecated New code should call io::open_trial (io/format.hpp),
+/// which auto-detects the format; this stays for direct access.
 [[nodiscard]] profile::Trial read_snapshot(std::istream& is);
 [[nodiscard]] profile::Trial load_snapshot(
     const std::filesystem::path& file);
 
 /// Exports the per-thread exclusive values of one metric as CSV
 /// (rows = events, columns = threads) for spreadsheet-style inspection.
-[[nodiscard]] std::string to_csv(const profile::Trial& trial,
+[[nodiscard]] std::string to_csv(const profile::TrialView& trial,
                                  const std::string& metric);
 
 }  // namespace perfknow::perfdmf

@@ -243,7 +243,7 @@ profile::Trial read_tau_stream(std::istream& is, const std::string& name) {
   return trial;
 }
 
-void write_tau_profiles(const profile::Trial& trial,
+void write_tau_profiles(const profile::TrialView& trial,
                         const std::string& metric,
                         const std::filesystem::path& dir) {
   const auto m = trial.metric_id(metric);

@@ -24,6 +24,9 @@
 
 namespace perfknow::perfdmf {
 
+/// @deprecated New code should call io::open_trial (io/format.hpp) on
+/// the directory; this stays for direct access.
+///
 /// Reads every "profile.N.C.T" file in `dir` into one Trial. The metric
 /// name is taken from the "templated_functions_MULTI_<METRIC>" header
 /// (plain "templated_functions" maps to TIME). Throws IoError when no
@@ -41,7 +44,7 @@ namespace perfknow::perfdmf {
 
 /// Writes `trial`'s metric `metric` in TAU format, one file per thread
 /// ("profile.<t>.0.0") under `dir` (created if needed).
-void write_tau_profiles(const profile::Trial& trial,
+void write_tau_profiles(const profile::TrialView& trial,
                         const std::string& metric,
                         const std::filesystem::path& dir);
 

@@ -100,55 +100,6 @@ std::optional<EventId> Trial::find_event(std::string_view name) const {
   return it->second;
 }
 
-MetricId Trial::metric_id(std::string_view name) const {
-  if (const auto id = find_metric(name)) return *id;
-  throw NotFoundError("Trial '" + name_ + "': no metric named '" +
-                      std::string(name) + "'");
-}
-
-EventId Trial::event_id(std::string_view name) const {
-  if (const auto id = find_event(name)) return *id;
-  throw NotFoundError("Trial '" + name_ + "': no event named '" +
-                      std::string(name) + "'");
-}
-
-std::vector<EventId> Trial::children_of(EventId e) const {
-  check_event(e);
-  std::vector<EventId> out;
-  for (EventId c = 0; c < events_.size(); ++c) {
-    if (events_[c].parent == e) out.push_back(c);
-  }
-  return out;
-}
-
-bool Trial::is_nested_under(EventId e, EventId ancestor) const {
-  check_event(e);
-  check_event(ancestor);
-  for (EventId cur = e; cur != kNoEvent; cur = events_[cur].parent) {
-    if (cur == ancestor) return true;
-  }
-  return false;
-}
-
-EventId Trial::main_event() const {
-  if (events_.empty()) {
-    throw NotFoundError("Trial '" + name_ + "': no events");
-  }
-  if (const auto id = find_event("main")) return *id;
-  if (const auto id = find_event(".TAU application")) return *id;
-  if (metrics_.empty() || num_threads_ == 0) return 0;
-  EventId best = 0;
-  double best_val = -1.0;
-  for (EventId e = 0; e < events_.size(); ++e) {
-    const double v = mean_inclusive(e, 0);
-    if (v > best_val) {
-      best_val = v;
-      best = e;
-    }
-  }
-  return best;
-}
-
 void Trial::check_thread(std::size_t thread) const {
   if (thread >= num_threads_) {
     throw InvalidArgumentError("Trial '" + name_ + "': thread " +
@@ -253,28 +204,6 @@ stats::StridedSpan Trial::exclusive_series(EventId e, MetricId m) const {
   if (num_threads_ == 0) return {};
   return {exclusive_.data() + idx(0, e, m), num_threads_,
           events_.size() * metrics_.size()};
-}
-
-std::vector<double> Trial::inclusive_across_threads(EventId e,
-                                                    MetricId m) const {
-  return inclusive_series(e, m).to_vector();
-}
-
-std::vector<double> Trial::exclusive_across_threads(EventId e,
-                                                    MetricId m) const {
-  return exclusive_series(e, m).to_vector();
-}
-
-double Trial::mean_inclusive(EventId e, MetricId m) const {
-  const auto xs = inclusive_series(e, m);
-  if (xs.empty()) return 0.0;
-  return stats::mean(xs);
-}
-
-double Trial::mean_exclusive(EventId e, MetricId m) const {
-  const auto xs = exclusive_series(e, m);
-  if (xs.empty()) return 0.0;
-  return stats::mean(xs);
 }
 
 }  // namespace perfknow::profile

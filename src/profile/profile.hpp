@@ -6,6 +6,10 @@
 // metric (TIME, CPU_CYCLES, ...), an inclusive value, an exclusive value,
 // and call counts. Trials also carry free-form metadata ("performance
 // context") which inference rules may consult to justify conclusions.
+//
+// Trial is the mutable, fully-materialized implementation of the
+// profile::TrialView read surface; perfdmf::PkbView is the lazy,
+// mmap-backed one. Code that only reads should take a TrialView.
 #pragma once
 
 #include <cstdint>
@@ -16,54 +20,32 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "profile/trial_view.hpp"
 
 namespace perfknow::profile {
-
-using EventId = std::uint32_t;
-using MetricId = std::uint32_t;
-constexpr EventId kNoEvent = static_cast<EventId>(-1);
-
-/// A measured or derived metric column.
-struct Metric {
-  std::string name;   ///< e.g. "TIME", "CPU_CYCLES", "BACK_END_BUBBLE_ALL"
-  std::string units;  ///< e.g. "usec", "count"
-  bool derived = false;  ///< true when produced by DeriveMetricOperation
-};
-
-/// An instrumented code region. Callpath membership is expressed through
-/// `parent`: a top-level event has parent == kNoEvent.
-struct Event {
-  std::string name;            ///< e.g. "bicgstab", "main => outer_loop"
-  EventId parent = kNoEvent;   ///< enclosing event in the callgraph
-  std::string group;           ///< e.g. "LOOP", "MPI", "OPENMP", "PROC"
-};
-
-/// Per-(thread,event) call counters.
-struct CallInfo {
-  double calls = 0.0;
-  double subcalls = 0.0;
-};
 
 /// A single experiment run: the full (thread x event x metric) value cube.
 ///
 /// Threads are a flattened node/context/thread index, as PerfDMF flattens
 /// them. Values default to 0; instrumentation accumulates into them.
-class Trial {
+class Trial : public TrialView {
  public:
   Trial() = default;
   explicit Trial(std::string name) : name_(std::move(name)) {}
 
   // ---- identity & metadata -------------------------------------------
-  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return name_;
+  }
   void set_name(std::string name) { name_ = std::move(name); }
 
   void set_metadata(const std::string& key, std::string value) {
     metadata_[key] = std::move(value);
   }
   [[nodiscard]] std::optional<std::string> metadata(
-      const std::string& key) const;
+      const std::string& key) const override;
   [[nodiscard]] const std::map<std::string, std::string>& all_metadata()
-      const noexcept {
+      const noexcept override {
     return metadata_;
   }
 
@@ -71,13 +53,13 @@ class Trial {
   /// Sets the thread count. Must be called before set/accumulate; growing
   /// later is allowed, shrinking is not.
   void set_thread_count(std::size_t n);
-  [[nodiscard]] std::size_t thread_count() const noexcept {
+  [[nodiscard]] std::size_t thread_count() const noexcept override {
     return num_threads_;
   }
-  [[nodiscard]] std::size_t event_count() const noexcept {
+  [[nodiscard]] std::size_t event_count() const noexcept override {
     return events_.size();
   }
-  [[nodiscard]] std::size_t metric_count() const noexcept {
+  [[nodiscard]] std::size_t metric_count() const noexcept override {
     return metrics_.size();
   }
 
@@ -89,32 +71,19 @@ class Trial {
   EventId add_event(std::string name, EventId parent = kNoEvent,
                     std::string group = "");
 
-  [[nodiscard]] const Metric& metric(MetricId m) const;
-  [[nodiscard]] const Event& event(EventId e) const;
+  [[nodiscard]] const Metric& metric(MetricId m) const override;
+  [[nodiscard]] const Event& event(EventId e) const override;
   [[nodiscard]] std::optional<MetricId> find_metric(
-      std::string_view name) const;
+      std::string_view name) const override;
   [[nodiscard]] std::optional<EventId> find_event(
-      std::string_view name) const;
-  /// Like find_*, but throws NotFoundError with a helpful message.
-  [[nodiscard]] MetricId metric_id(std::string_view name) const;
-  [[nodiscard]] EventId event_id(std::string_view name) const;
+      std::string_view name) const override;
 
-  [[nodiscard]] const std::vector<Metric>& metrics() const noexcept {
+  [[nodiscard]] const std::vector<Metric>& metrics() const noexcept override {
     return metrics_;
   }
-  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+  [[nodiscard]] const std::vector<Event>& events() const noexcept override {
     return events_;
   }
-
-  /// Direct children of `e` in the callgraph.
-  [[nodiscard]] std::vector<EventId> children_of(EventId e) const;
-  /// True when `ancestor` appears on `e`'s parent chain (or equals it).
-  [[nodiscard]] bool is_nested_under(EventId e, EventId ancestor) const;
-
-  /// The conventional top-level event. Prefers an event named "main" or
-  /// ".TAU application"; otherwise the event with the largest mean
-  /// inclusive value of metric 0. Throws NotFoundError on an empty trial.
-  [[nodiscard]] EventId main_event() const;
 
   // ---- values ---------------------------------------------------------
   void set_inclusive(std::size_t thread, EventId e, MetricId m, double v);
@@ -129,29 +98,18 @@ class Trial {
                         double subcalls);
 
   [[nodiscard]] double inclusive(std::size_t thread, EventId e,
-                                 MetricId m) const;
+                                 MetricId m) const override;
   [[nodiscard]] double exclusive(std::size_t thread, EventId e,
-                                 MetricId m) const;
-  [[nodiscard]] CallInfo calls(std::size_t thread, EventId e) const;
+                                 MetricId m) const override;
+  [[nodiscard]] CallInfo calls(std::size_t thread, EventId e) const override;
 
-  /// Per-thread series for one (event, metric) — the unit the statistics
-  /// operate on (e.g. load-balance CV across threads) — as a strided
-  /// no-copy view into the value cube. Valid until the trial's schema or
-  /// thread count changes (add_metric/add_event/set_thread_count).
-  [[nodiscard]] stats::StridedSpan inclusive_series(EventId e,
-                                                    MetricId m) const;
-  [[nodiscard]] stats::StridedSpan exclusive_series(EventId e,
-                                                    MetricId m) const;
-
-  /// Materializing variants for callers that need owned storage.
-  [[nodiscard]] std::vector<double> inclusive_across_threads(
-      EventId e, MetricId m) const;
-  [[nodiscard]] std::vector<double> exclusive_across_threads(
-      EventId e, MetricId m) const;
-
-  /// Mean over threads for one (event, metric).
-  [[nodiscard]] double mean_inclusive(EventId e, MetricId m) const;
-  [[nodiscard]] double mean_exclusive(EventId e, MetricId m) const;
+  /// One (event, metric) column of the cube as a strided no-copy view.
+  /// Valid until the trial's schema or thread count changes
+  /// (add_metric/add_event/set_thread_count).
+  [[nodiscard]] stats::StridedSpan inclusive_series(
+      EventId e, MetricId m) const override;
+  [[nodiscard]] stats::StridedSpan exclusive_series(
+      EventId e, MetricId m) const override;
 
  private:
   void check_thread(std::size_t thread) const;

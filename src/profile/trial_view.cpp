@@ -1,0 +1,83 @@
+#include "profile/trial_view.hpp"
+
+#include "common/error.hpp"
+
+namespace perfknow::profile {
+
+MetricId TrialView::metric_id(std::string_view name) const {
+  if (const auto id = find_metric(name)) return *id;
+  throw NotFoundError("Trial '" + this->name() + "': no metric named '" +
+                      std::string(name) + "'");
+}
+
+EventId TrialView::event_id(std::string_view name) const {
+  if (const auto id = find_event(name)) return *id;
+  throw NotFoundError("Trial '" + this->name() + "': no event named '" +
+                      std::string(name) + "'");
+}
+
+std::vector<EventId> TrialView::children_of(EventId e) const {
+  const auto& evs = events();
+  if (e >= evs.size()) {
+    throw InvalidArgumentError("Trial '" + name() + "': bad event id");
+  }
+  std::vector<EventId> out;
+  for (EventId c = 0; c < evs.size(); ++c) {
+    if (evs[c].parent == e) out.push_back(c);
+  }
+  return out;
+}
+
+bool TrialView::is_nested_under(EventId e, EventId ancestor) const {
+  const auto& evs = events();
+  if (e >= evs.size() || ancestor >= evs.size()) {
+    throw InvalidArgumentError("Trial '" + name() + "': bad event id");
+  }
+  for (EventId cur = e; cur != kNoEvent; cur = evs[cur].parent) {
+    if (cur == ancestor) return true;
+  }
+  return false;
+}
+
+EventId TrialView::main_event() const {
+  if (event_count() == 0) {
+    throw NotFoundError("Trial '" + name() + "': no events");
+  }
+  if (const auto id = find_event("main")) return *id;
+  if (const auto id = find_event(".TAU application")) return *id;
+  if (metric_count() == 0 || thread_count() == 0) return 0;
+  EventId best = 0;
+  double best_val = -1.0;
+  for (EventId e = 0; e < event_count(); ++e) {
+    const double v = mean_inclusive(e, 0);
+    if (v > best_val) {
+      best_val = v;
+      best = e;
+    }
+  }
+  return best;
+}
+
+std::vector<double> TrialView::inclusive_across_threads(EventId e,
+                                                        MetricId m) const {
+  return inclusive_series(e, m).to_vector();
+}
+
+std::vector<double> TrialView::exclusive_across_threads(EventId e,
+                                                        MetricId m) const {
+  return exclusive_series(e, m).to_vector();
+}
+
+double TrialView::mean_inclusive(EventId e, MetricId m) const {
+  const auto xs = inclusive_series(e, m);
+  if (xs.empty()) return 0.0;
+  return stats::mean(xs);
+}
+
+double TrialView::mean_exclusive(EventId e, MetricId m) const {
+  const auto xs = exclusive_series(e, m);
+  if (xs.empty()) return 0.0;
+  return stats::mean(xs);
+}
+
+}  // namespace perfknow::profile

@@ -1,0 +1,127 @@
+// Read-only surface of a trial — the interface every trial source
+// implements.
+//
+// Two implementations exist today: profile::Trial (the mutable in-memory
+// value cube) and perfdmf::PkbView (an mmap-backed view over a binary
+// PKB snapshot that serves reads without materializing the cube). The
+// analysis layer consumes this interface, so a several-hundred-MB trial
+// can be statistically reduced straight off the page cache.
+//
+// The virtual methods are the storage primitives; everything else
+// (callgraph walks, means, the main-event heuristic) is implemented once
+// on top of them, so the two backends cannot drift apart.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace perfknow::profile {
+
+using EventId = std::uint32_t;
+using MetricId = std::uint32_t;
+constexpr EventId kNoEvent = static_cast<EventId>(-1);
+
+/// A measured or derived metric column.
+struct Metric {
+  std::string name;   ///< e.g. "TIME", "CPU_CYCLES", "BACK_END_BUBBLE_ALL"
+  std::string units;  ///< e.g. "usec", "count"
+  bool derived = false;  ///< true when produced by DeriveMetricOperation
+};
+
+/// An instrumented code region. Callpath membership is expressed through
+/// `parent`: a top-level event has parent == kNoEvent.
+struct Event {
+  std::string name;            ///< e.g. "bicgstab", "main => outer_loop"
+  EventId parent = kNoEvent;   ///< enclosing event in the callgraph
+  std::string group;           ///< e.g. "LOOP", "MPI", "OPENMP", "PROC"
+};
+
+/// Per-(thread,event) call counters.
+struct CallInfo {
+  double calls = 0.0;
+  double subcalls = 0.0;
+};
+
+class TrialView {
+ public:
+  virtual ~TrialView() = default;
+
+  // ---- identity & metadata -------------------------------------------
+  [[nodiscard]] virtual const std::string& name() const = 0;
+  [[nodiscard]] virtual std::optional<std::string> metadata(
+      const std::string& key) const = 0;
+  [[nodiscard]] virtual const std::map<std::string, std::string>&
+  all_metadata() const = 0;
+
+  // ---- shape ----------------------------------------------------------
+  [[nodiscard]] virtual std::size_t thread_count() const = 0;
+  [[nodiscard]] virtual std::size_t event_count() const = 0;
+  [[nodiscard]] virtual std::size_t metric_count() const = 0;
+
+  // ---- schema ---------------------------------------------------------
+  [[nodiscard]] virtual const Metric& metric(MetricId m) const = 0;
+  [[nodiscard]] virtual const Event& event(EventId e) const = 0;
+  [[nodiscard]] virtual const std::vector<Metric>& metrics() const = 0;
+  [[nodiscard]] virtual const std::vector<Event>& events() const = 0;
+  [[nodiscard]] virtual std::optional<MetricId> find_metric(
+      std::string_view name) const = 0;
+  [[nodiscard]] virtual std::optional<EventId> find_event(
+      std::string_view name) const = 0;
+
+  // ---- values ---------------------------------------------------------
+  [[nodiscard]] virtual double inclusive(std::size_t thread, EventId e,
+                                         MetricId m) const = 0;
+  [[nodiscard]] virtual double exclusive(std::size_t thread, EventId e,
+                                         MetricId m) const = 0;
+  [[nodiscard]] virtual CallInfo calls(std::size_t thread,
+                                       EventId e) const = 0;
+
+  /// Per-thread series for one (event, metric) — the unit the statistics
+  /// operate on (e.g. load-balance CV across threads) — as a strided
+  /// no-copy view into the backing storage. Valid until the source's
+  /// schema or thread count changes.
+  [[nodiscard]] virtual stats::StridedSpan inclusive_series(
+      EventId e, MetricId m) const = 0;
+  [[nodiscard]] virtual stats::StridedSpan exclusive_series(
+      EventId e, MetricId m) const = 0;
+
+  // ---- derived helpers (implemented once over the primitives) ---------
+  /// Like find_*, but throws NotFoundError with a helpful message.
+  [[nodiscard]] MetricId metric_id(std::string_view name) const;
+  [[nodiscard]] EventId event_id(std::string_view name) const;
+
+  /// Direct children of `e` in the callgraph.
+  [[nodiscard]] std::vector<EventId> children_of(EventId e) const;
+  /// True when `ancestor` appears on `e`'s parent chain (or equals it).
+  [[nodiscard]] bool is_nested_under(EventId e, EventId ancestor) const;
+
+  /// The conventional top-level event. Prefers an event named "main" or
+  /// ".TAU application"; otherwise the event with the largest mean
+  /// inclusive value of metric 0. Throws NotFoundError on an empty trial.
+  [[nodiscard]] EventId main_event() const;
+
+  /// Materializing variants for callers that need owned storage.
+  [[nodiscard]] std::vector<double> inclusive_across_threads(
+      EventId e, MetricId m) const;
+  [[nodiscard]] std::vector<double> exclusive_across_threads(
+      EventId e, MetricId m) const;
+
+  /// Mean over threads for one (event, metric).
+  [[nodiscard]] double mean_inclusive(EventId e, MetricId m) const;
+  [[nodiscard]] double mean_exclusive(EventId e, MetricId m) const;
+
+ protected:
+  TrialView() = default;
+  TrialView(const TrialView&) = default;
+  TrialView(TrialView&&) = default;
+  TrialView& operator=(const TrialView&) = default;
+  TrialView& operator=(TrialView&&) = default;
+};
+
+}  // namespace perfknow::profile

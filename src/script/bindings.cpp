@@ -10,9 +10,7 @@
 #include "analysis/pca.hpp"
 #include "common/error.hpp"
 #include "hwcounters/counters.hpp"
-#include "perfdmf/csv_format.hpp"
-#include "perfdmf/json_format.hpp"
-#include "perfdmf/snapshot.hpp"
+#include "io/format.hpp"
 #include "power/power_model.hpp"
 #include "rules/parser.hpp"
 #include "rules/rulebases.hpp"
@@ -65,7 +63,7 @@ std::shared_ptr<ResultHandle> result_of(const Value& v) {
   return host_cast<ResultHandle>(v, "TrialResult");
 }
 
-std::string default_metric(const profile::Trial& t) {
+std::string default_metric(const profile::TrialView& t) {
   return t.find_metric("TIME") ? "TIME" : t.metric(0).name;
 }
 
@@ -113,9 +111,27 @@ std::string resolve_rules(const std::string& name) {
   return ss.str();
 }
 
+/// saveTrial historically always wrote a PKPROF snapshot, whatever the
+/// file was called. Route through the io registry when the extension
+/// names a writable format, and keep PKPROF as the fallback.
+void save_by_extension(const profile::TrialView& trial,
+                       const std::filesystem::path& file) {
+  const std::string ext = file.extension().string();
+  for (const auto& f : io::formats()) {
+    if (f.write == nullptr) continue;
+    for (const auto& e : f.extensions) {
+      if (e == ext) {
+        io::save_trial(trial, file);
+        return;
+      }
+    }
+  }
+  io::save_trial(trial, file, "pkprof");
+}
+
 /// Builds the mean per-CPU counter vector of a trial from its counter
 /// metrics (summing events' exclusive values per thread, then averaging).
-hwcounters::CounterVector mean_counters(const profile::Trial& t) {
+hwcounters::CounterVector mean_counters(const profile::TrialView& t) {
   hwcounters::CounterVector mean;
   for (profile::MetricId m = 0; m < t.metric_count(); ++m) {
     const std::string& name = t.metric(m).name;
@@ -186,9 +202,18 @@ void AnalysisSession::register_api() {
            })},
           {"saveTrial",
            make_host_fn([](Interpreter&, const std::vector<Value>& a) {
-             perfdmf::save_snapshot(*trial_of(a.at(0))->trial,
-                                    arg_string(a, 1, "saveTrial"));
+             save_by_extension(*trial_of(a.at(0))->trial,
+                               arg_string(a, 1, "saveTrial"));
              return Value();
+           })},
+          {"loadTrial",
+           make_host_fn([](Interpreter&, const std::vector<Value>& a) {
+             // Auto-detects the format (pkprof, pkb, json, csv, tau).
+             return make_host_object(
+                 "Trial",
+                 std::make_shared<TrialHandle>(
+                     TrialHandle{std::make_shared<profile::Trial>(
+                         io::open_trial(arg_string(a, 0, "loadTrial")))}));
            })},
       }));
 
@@ -532,15 +557,15 @@ void AnalysisSession::register_api() {
   interp_.set_global(
       "saveJson",
       make_host_fn([](Interpreter&, const std::vector<Value>& a) {
-        perfdmf::save_json(*trial_of(a.at(0))->trial,
-                           arg_string(a, 1, "saveJson"));
+        io::save_trial(*trial_of(a.at(0))->trial,
+                       arg_string(a, 1, "saveJson"), "json");
         return Value();
       }));
   interp_.set_global(
       "saveCsv",
       make_host_fn([](Interpreter&, const std::vector<Value>& a) {
-        perfdmf::save_csv_long(*trial_of(a.at(0))->trial,
-                               arg_string(a, 1, "saveCsv"));
+        io::save_trial(*trial_of(a.at(0))->trial,
+                       arg_string(a, 1, "saveCsv"), "csv");
         return Value();
       }));
   interp_.set_global(

@@ -1,0 +1,163 @@
+// Tests for the unified io::open_trial / io::save_trial front door:
+// auto-detection across all six registered formats, content-over-
+// extension sniffing, and the candidate-listing failure diagnostics.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "io/format.hpp"
+#include "perfdmf/tau_format.hpp"
+
+namespace pk = perfknow;
+namespace fs = std::filesystem;
+using pk::profile::Trial;
+
+namespace {
+
+Trial make_trial(const std::string& name) {
+  Trial t(name);
+  const auto time = t.add_metric("TIME", "usec");
+  const auto main = t.add_event("main", pk::profile::kNoEvent, "PROC");
+  const auto loop = t.add_event("main => loop", main, "LOOP");
+  t.set_thread_count(2);
+  for (std::size_t th = 0; th < 2; ++th) {
+    t.set_inclusive(th, main, time, 100.0 + th);
+    t.set_exclusive(th, main, time, 10.0);
+    t.set_inclusive(th, loop, time, 90.0 + th);
+    t.set_exclusive(th, loop, time, 90.0 + th);
+    t.set_calls(th, main, 1, 1);
+    t.set_calls(th, loop, 1, 0);
+  }
+  return t;
+}
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = fs::temp_directory_path() /
+           ("perfknow_io_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    fs::create_directories(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] const fs::path& path() const { return dir_; }
+
+ private:
+  fs::path dir_;
+  static inline int counter_ = 0;
+};
+
+}  // namespace
+
+TEST(IoRegistry, AllSixFormatsRegistered) {
+  for (const char* name : {"pkb", "pkprof", "json", "csv", "tau"}) {
+    EXPECT_NE(pk::io::find_format(name), nullptr) << name;
+  }
+  EXPECT_EQ(pk::io::formats().size(), 5u);  // tau covers files + dirs
+  EXPECT_EQ(pk::io::find_format("bogus"), nullptr);
+}
+
+TEST(IoOpen, AutoDetectsEveryWritableFormatByContent) {
+  TempDir dir;
+  const Trial t = make_trial("detect me");
+  for (const char* format : {"pkb", "pkprof", "json", "csv"}) {
+    // Deliberately extension-less: detection must work off content.
+    const fs::path file = dir.path() / (std::string("trial_") + format);
+    pk::io::save_trial(t, file, format);
+    const Trial back = pk::io::open_trial(file);
+    EXPECT_EQ(back.thread_count(), 2u) << format;
+    EXPECT_TRUE(back.find_event("main => loop").has_value()) << format;
+    const auto m = back.metric_id("TIME");
+    EXPECT_EQ(back.exclusive(1, back.event_id("main => loop"), m), 91.0)
+        << format;
+  }
+}
+
+TEST(IoOpen, DetectsTauDirectoryAndSingleProfile) {
+  TempDir dir;
+  const Trial t = make_trial("tau trial");
+  const fs::path tau_dir = dir.path() / "taudir";
+  pk::perfdmf::write_tau_profiles(t, "TIME", tau_dir);
+
+  const Trial from_dir = pk::io::open_trial(tau_dir);
+  EXPECT_EQ(from_dir.thread_count(), 2u);
+  EXPECT_TRUE(from_dir.find_event("main => loop").has_value());
+
+  // A single profile.N.C.T file detects by its header line.
+  const Trial one = pk::io::open_trial(tau_dir / "profile.0.0.0");
+  EXPECT_EQ(one.thread_count(), 1u);
+}
+
+TEST(IoOpen, FallsBackToExtensionWhenContentIsInconclusive) {
+  TempDir dir;
+  // An empty .csv has no header line to sniff, but the extension names
+  // the format, whose reader then gives the format's own diagnostic.
+  const fs::path file = dir.path() / "empty.csv";
+  std::ofstream(file).close();
+  EXPECT_THROW((void)pk::io::open_trial(file), pk::ParseError);
+}
+
+TEST(IoOpen, UnrecognizedInputListsCandidateFormats) {
+  TempDir dir;
+  const fs::path file = dir.path() / "mystery.dat";
+  std::ofstream(file) << "no format looks like this\n";
+  try {
+    (void)pk::io::open_trial(file);
+    FAIL() << "garbage opened";
+  } catch (const pk::ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("mystery.dat"), std::string::npos) << what;
+    for (const char* name : {"pkb", "pkprof", "json", "csv", "tau"}) {
+      EXPECT_NE(what.find(name), std::string::npos) << what;
+    }
+  }
+  EXPECT_THROW((void)pk::io::open_trial(dir.path() / "absent.pkb"),
+               pk::IoError);
+}
+
+TEST(IoOpen, ExplicitFormatNameOverridesDetection) {
+  TempDir dir;
+  const Trial t = make_trial("explicit");
+  const fs::path file = dir.path() / "data.bin";
+  pk::io::save_trial(t, file, "csv");
+  const Trial back = pk::io::open_trial(file, "csv");
+  EXPECT_EQ(back.thread_count(), 2u);
+  EXPECT_THROW((void)pk::io::open_trial(file, "nope"),
+               pk::InvalidArgumentError);
+}
+
+TEST(IoSave, PicksFormatByExtension) {
+  TempDir dir;
+  const Trial t = make_trial("by ext");
+  for (const char* ext : {".pkb", ".pkprof", ".json", ".csv"}) {
+    const fs::path file = dir.path() / (std::string("trial") + ext);
+    pk::io::save_trial(t, file);
+    EXPECT_EQ(pk::io::open_trial(file).thread_count(), 2u) << ext;
+  }
+  try {
+    pk::io::save_trial(t, dir.path() / "trial.xyz");
+    FAIL() << "unknown extension accepted";
+  } catch (const pk::InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("pkprof"), std::string::npos)
+        << e.what();
+  }
+  // TAU is read-only through this API (its writer needs a metric + dir).
+  EXPECT_THROW(pk::io::save_trial(t, dir.path() / "x", "tau"),
+               pk::InvalidArgumentError);
+}
+
+TEST(IoOpen, MislabeledExtensionStillDetectsByMagic) {
+  TempDir dir;
+  const Trial t = make_trial("mislabeled");
+  // A PKB snapshot wearing a .csv extension: content sniffing wins.
+  const fs::path file = dir.path() / "actually_pkb.csv";
+  pk::io::save_trial(t, file, "pkb");
+  const Trial back = pk::io::open_trial(file);
+  EXPECT_EQ(back.name(), "mislabeled");
+}

@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "perfdmf/repository.hpp"
 #include "perfdmf/snapshot.hpp"
+#include "common/thread_pool.hpp"
 #include "perfdmf/tau_format.hpp"
 
 namespace pk = perfknow;
@@ -192,4 +193,181 @@ TEST(TauFormat, MalformedFileThrows) {
     // second function row missing -> truncated
   }
   EXPECT_THROW(pk::perfdmf::read_tau_profiles(dir.path()), pk::ParseError);
+}
+
+// ---- sharded store, demand loading, cache ------------------------------
+
+TEST(RepositoryPersistence, SaveWritesShardedPkbLayout) {
+  TempDir dir;
+  Repository repo;
+  repo.put("app", "exp", make_trial("a"));
+  repo.put("app", "exp", make_trial("b"));
+  repo.save(dir.path());
+
+  EXPECT_TRUE(fs::exists(dir.path() / "index.tsv"));
+  std::size_t pkb_files = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(dir.path())) {
+    if (entry.path().extension() == ".pkb") {
+      // Every snapshot lives under a shard directory.
+      EXPECT_EQ(entry.path().parent_path().filename().string().rfind(
+                    "shard-", 0),
+                0u)
+          << entry.path();
+      ++pkb_files;
+    }
+  }
+  EXPECT_EQ(pkb_files, 2u);
+}
+
+TEST(RepositoryPersistence, LegacyFlatPkprofLayoutStillLoads) {
+  TempDir dir;
+  // Hand-write the pre-sharding layout: flat .pkprof files + index.
+  const auto t = make_trial("old trial");
+  pk::perfdmf::save_snapshot(*t, dir.path() / "old_trial_0.pkprof");
+  {
+    std::ofstream index(dir.path() / "index.tsv");
+    index << "app\texp\told trial\told_trial_0.pkprof\n";
+  }
+  const Repository loaded = Repository::load(dir.path());
+  EXPECT_EQ(loaded.trial_count(), 1u);
+  EXPECT_EQ(*loaded.get("app", "exp", "old trial")->metadata("schedule"),
+            "dynamic,1");
+  // attach() handles it too (text snapshots just materialize eagerly).
+  const Repository attached = Repository::attach(dir.path());
+  EXPECT_EQ(attached.get("app", "exp", "old trial")->thread_count(), 2u);
+}
+
+TEST(RepositoryPersistence, LoadNamesTheFailingSnapshotFile) {
+  TempDir dir;
+  Repository repo;
+  repo.put("app", "exp", make_trial("fine"));
+  repo.save(dir.path());
+  // Corrupt the one snapshot behind the index's back.
+  fs::path victim;
+  for (const auto& entry : fs::recursive_directory_iterator(dir.path())) {
+    if (entry.path().extension() == ".pkb") victim = entry.path();
+  }
+  ASSERT_FALSE(victim.empty());
+  {
+    std::ofstream os(victim, std::ios::binary | std::ios::trunc);
+    os << "PKB1 but not really";
+  }
+  try {
+    (void)Repository::load(dir.path());
+    FAIL() << "corrupt repository loaded";
+  } catch (const pk::ParseError& e) {
+    EXPECT_EQ(e.file(), victim.string());
+    EXPECT_NE(std::string(e.what()).find(victim.filename().string()),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RepositoryPersistence, ParallelLoadMatchesSerial) {
+  TempDir dir;
+  Repository repo;
+  for (int i = 0; i < 12; ++i) {
+    repo.put("app", "exp", make_trial("t" + std::to_string(i)));
+  }
+  repo.save(dir.path());
+
+  pk::ThreadPool pool(4);
+  const Repository serial = Repository::load(dir.path());
+  const Repository parallel = Repository::load(dir.path(), pool);
+  EXPECT_EQ(parallel.trial_count(), serial.trial_count());
+  for (int i = 0; i < 12; ++i) {
+    const std::string name = "t" + std::to_string(i);
+    const auto a = serial.get("app", "exp", name);
+    const auto b = parallel.get("app", "exp", name);
+    EXPECT_EQ(a->inclusive(1, 0, 0), b->inclusive(1, 0, 0));
+  }
+}
+
+TEST(RepositoryCache, AttachIsLazyAndGetDemandLoads) {
+  TempDir dir;
+  Repository repo;
+  repo.put("app", "exp", make_trial("lazy1"));
+  repo.put("app", "exp", make_trial("lazy2"));
+  repo.save(dir.path());
+
+  const Repository attached = Repository::attach(dir.path());
+  // The index is read, the snapshots are not.
+  EXPECT_EQ(attached.trial_count(), 2u);
+  EXPECT_TRUE(attached.contains("app", "exp", "lazy1"));
+  EXPECT_EQ(attached.resident_trials(), 0u);
+  EXPECT_EQ(attached.cached_bytes(), 0u);
+
+  const auto t = attached.get("app", "exp", "lazy1");
+  EXPECT_EQ(*t->metadata("schedule"), "dynamic,1");
+  EXPECT_EQ(attached.resident_trials(), 1u);
+  EXPECT_GT(attached.cached_bytes(), 0u);
+  // Same entry twice -> same shared trial, no duplicate charge.
+  const auto before = attached.cached_bytes();
+  EXPECT_EQ(attached.get("app", "exp", "lazy1"), t);
+  EXPECT_EQ(attached.cached_bytes(), before);
+}
+
+TEST(RepositoryCache, ViewServesReadsWithoutMaterializing) {
+  TempDir dir;
+  Repository repo;
+  repo.put("app", "exp", make_trial("viewed"));
+  repo.save(dir.path());
+
+  const Repository attached = Repository::attach(dir.path());
+  const auto view = attached.view("app", "exp", "viewed");
+  ASSERT_TRUE(view);
+  EXPECT_EQ(view->thread_count(), 2u);
+  EXPECT_DOUBLE_EQ(
+      view->mean_inclusive(view->event_id("main"), view->metric_id("TIME")),
+      100.5);
+  // A later get() materializes; the view stays coherent.
+  const auto trial = attached.get("app", "exp", "viewed");
+  EXPECT_EQ(trial->thread_count(), view->thread_count());
+}
+
+TEST(RepositoryCache, LruEvictionRespectsByteBudget) {
+  TempDir dir;
+  Repository repo;
+  for (int i = 0; i < 6; ++i) {
+    repo.put("app", "exp", make_trial("t" + std::to_string(i), 64));
+  }
+  repo.save(dir.path());
+
+  // A budget big enough for roughly one trial forces steady eviction.
+  Repository attached = Repository::attach(dir.path());
+  (void)attached.get("app", "exp", "t0");
+  const std::size_t one_trial = attached.cached_bytes();
+  ASSERT_GT(one_trial, 0u);
+  attached.set_cache_budget(one_trial + one_trial / 2);
+  for (int i = 0; i < 6; ++i) {
+    (void)attached.get("app", "exp", "t" + std::to_string(i));
+    EXPECT_LE(attached.cached_bytes(), one_trial + one_trial / 2);
+  }
+  EXPECT_LT(attached.resident_trials(), 6u);
+
+  // Shrinking the budget to zero evicts everything evictable...
+  attached.set_cache_budget(0);
+  EXPECT_EQ(attached.cached_bytes(), 0u);
+  EXPECT_EQ(attached.resident_trials(), 0u);
+  // ...but pinned (directly put) trials are never evicted.
+  attached.put("app", "exp2", make_trial("pinned"));
+  EXPECT_EQ(attached.get("app", "exp2", "pinned")->name(), "pinned");
+  EXPECT_EQ(attached.resident_trials(), 1u);
+}
+
+TEST(RepositoryCache, EvictedTrialsStayAliveForHolders) {
+  TempDir dir;
+  Repository repo;
+  repo.put("app", "exp", make_trial("held"));
+  repo.put("app", "exp", make_trial("other"));
+  repo.save(dir.path());
+
+  Repository attached = Repository::attach(dir.path());
+  const auto held = attached.get("app", "exp", "held");
+  attached.set_cache_budget(0);  // evicts the cache's reference
+  EXPECT_EQ(attached.resident_trials(), 0u);
+  // Our shared_ptr (and the mmap behind it) is still fully usable.
+  EXPECT_EQ(*held->metadata("schedule"), "dynamic,1");
+  // And a fresh get() reloads from disk.
+  EXPECT_EQ(attached.get("app", "exp", "held")->thread_count(), 2u);
 }
