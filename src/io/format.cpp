@@ -82,8 +82,23 @@ void json_write(const profile::TrialView& trial,
   perfdmf::save_json(trial, path);
 }
 
+// A directory is only claimed for TAU when it actually holds at least
+// one profile.N.C.T file; otherwise an unrelated directory would be
+// dispatched to the TAU reader and fail with a misleading TAU parse
+// error instead of "unrecognized profile format".
+bool tau_profile_directory(const std::filesystem::path& path) {
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(path, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (tau_profile_filename(it->path())) return true;
+  }
+  return false;
+}
+
 bool tau_can_read(std::string_view head, const std::filesystem::path& path) {
-  if (std::filesystem::is_directory(path)) return true;
+  if (std::filesystem::is_directory(path)) {
+    return tau_profile_directory(path);
+  }
   if (first_line(head).find("templated_functions") != std::string::npos) {
     return true;
   }

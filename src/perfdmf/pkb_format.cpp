@@ -200,6 +200,7 @@ struct Cursor {
 
 struct Section {
   std::uint32_t tag = 0;
+  std::uint32_t crc = 0;
   std::size_t payload_off = 0;
   std::size_t payload_len = 0;
 };
@@ -223,7 +224,7 @@ Section read_section(Cursor& cur, bool verify_crc) {
     cur.pos = header_off;
     cur.fail("bad section checksum in '" + tag_name(tag) + "'");
   }
-  return Section{tag, cur.pos, static_cast<std::size_t>(len)};
+  return Section{tag, crc, cur.pos, static_cast<std::size_t>(len)};
 }
 
 void expect_tag(const Cursor& cur, const Section& s, std::uint32_t want) {
@@ -424,6 +425,7 @@ PkbLayout parse_pkb_layout(std::string_view bytes, bool verify_columns) {
              " bytes, schema requires " + std::to_string(expected));
   }
   layout.cols_offset = cols.payload_off;
+  layout.cols_crc = cols.crc;
   cur.pos = align8(cols.payload_off + cols.payload_len);
 
   // PKBE

@@ -68,6 +68,7 @@ struct PkbLayout {
   std::size_t threads = 0;
   std::size_t cols_offset = 0;  ///< absolute offset of the COLS payload
   std::size_t total_size = 0;   ///< snapshot size in bytes
+  std::uint32_t cols_crc = 0;   ///< stored CRC of the COLS payload
 
   /// threads * events — the length of one column.
   [[nodiscard]] std::size_t cells() const noexcept {

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -234,6 +235,18 @@ stats::StridedSpan PkbView::exclusive_series(profile::EventId e,
   if (layout_.threads == 0) return {};
   return {column(layout_.exclusive_column(m)) + e, layout_.threads,
           layout_.events.size()};
+}
+
+void PkbView::verify_columns() const {
+  const std::string_view bytes = mapping_->bytes();
+  const std::size_t len =
+      (2 * layout_.metrics.size() + 2) * layout_.column_bytes();
+  if (crc32(bytes.data() + layout_.cols_offset, len) != layout_.cols_crc) {
+    const ParseError err("PKB: bad section checksum in 'COLS' (at byte offset " +
+                         std::to_string(layout_.cols_offset - 16) + ")");
+    if (!path_.empty()) throw err.with_file(path_.string());
+    throw err;
+  }
 }
 
 // ---- promotion ---------------------------------------------------------

@@ -99,6 +99,12 @@ class PkbView final : public profile::TrialView {
   [[nodiscard]] stats::StridedSpan exclusive_series(
       profile::EventId e, profile::MetricId m) const override;
 
+  /// Checks the COLS payload against its stored CRC, throwing ParseError
+  /// (with the file path attached) on mismatch. Lets a view opened with
+  /// Verify::kSchema be upgraded to full verification later — e.g. before
+  /// its bytes are streamed back out and re-signed with fresh checksums.
+  void verify_columns() const;
+
   // ---- promotion -------------------------------------------------------
   /// True once promote() has materialized a mutable Trial.
   [[nodiscard]] bool promoted() const noexcept { return promoted_ != nullptr; }

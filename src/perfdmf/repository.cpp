@@ -75,9 +75,14 @@ profile::Trial load_text_snapshot(const std::filesystem::path& file) {
 
 // One trial slot. `trial`/`view` are the resident representations; a
 // non-resident entry holds only the backing file path and is reloaded on
-// demand. All fields except `file`/`pkb`/`pinned` are guarded by the
-// repository cache mutex.
+// demand. `file`/`pkb`/`pinned` are immutable after construction; every
+// other field is guarded by the repository cache mutex. Residency
+// transitions (demand-loading `trial`/`view` from disk) are additionally
+// serialized by the per-entry `load_mutex` so the expensive open/parse
+// runs with the cache mutex released; `load_mutex` is always acquired
+// before — never while holding — the cache mutex.
 struct Repository::Entry {
+  std::mutex load_mutex;  ///< serializes demand-loads of this entry
   TrialPtr trial;
   std::shared_ptr<PkbView> view;
   std::filesystem::path file;  ///< backing snapshot; empty for put() trials
@@ -115,7 +120,9 @@ void Repository::insert_entry(const std::string& application,
                               const std::string& experiment,
                               const std::string& trial, EntryPtr entry) {
   auto& slot = store_[application][experiment][trial];
-  if (slot && slot->charge > 0) {
+  if (slot) {
+    // `charge` is guarded by the cache mutex: read and settle it under
+    // the same lock so a concurrent load can't skew the accounting.
     const std::lock_guard lock(cache_->mutex);
     cache_->resident -= slot->charge;
   }
@@ -175,55 +182,89 @@ void Repository::evict_to_budget_locked() const {
   }
 }
 
-TrialPtr Repository::materialize_locked(Entry& entry) const {
-  if (entry.trial) return entry.trial;
-  if (entry.pkb) {
-    if (!entry.view) {
-      entry.view = std::make_shared<PkbView>(
-          PkbView::open(entry.file, PkbView::Verify::kSchema));
-      charge_locked(entry, entry.view->byte_size());
+std::shared_ptr<PkbView> Repository::load_view(Entry& entry) const {
+  {
+    const std::lock_guard lock(cache_->mutex);
+    if (entry.view) return entry.view;
+  }
+  // The open/mmap/schema parse runs with the cache unlocked; holding the
+  // entry's load mutex guarantees no other thread loads this entry, so
+  // publishing below cannot clobber a concurrent load.
+  auto view = std::make_shared<PkbView>(
+      PkbView::open(entry.file, PkbView::Verify::kSchema));
+  const std::lock_guard lock(cache_->mutex);
+  entry.view = view;
+  charge_locked(entry, view->byte_size());
+  return view;
+}
+
+TrialPtr Repository::load_trial(Entry& entry) const {
+  {
+    const std::lock_guard lock(cache_->mutex);
+    if (entry.trial) {
+      touch_locked(entry);
+      return entry.trial;
     }
+  }
+  TrialPtr trial;
+  if (entry.pkb) {
     // Promotion verifies the column checksums and materializes the cube;
     // the aliased pointer keeps the view's mapping alive.
-    entry.trial = PkbView::promote_shared(entry.view);
-    charge_locked(entry, trial_charge(*entry.trial));
+    trial = PkbView::promote_shared(load_view(entry));
   } else {
-    entry.trial =
+    trial =
         std::make_shared<profile::Trial>(load_text_snapshot(entry.file));
-    charge_locked(entry, trial_charge(*entry.trial));
   }
-  return entry.trial;
+  const std::lock_guard lock(cache_->mutex);
+  entry.trial = trial;
+  charge_locked(entry, trial_charge(*trial));
+  touch_locked(entry);
+  evict_to_budget_locked();
+  return trial;
 }
 
 TrialPtr Repository::get(const std::string& application,
                          const std::string& experiment,
                          const std::string& trial) const {
   const EntryPtr& entry = find_entry(application, experiment, trial);
-  const std::lock_guard lock(cache_->mutex);
-  TrialPtr out = materialize_locked(*entry);
-  touch_locked(*entry);
-  evict_to_budget_locked();
-  return out;
+  {
+    const std::lock_guard lock(cache_->mutex);
+    if (entry->trial) {
+      touch_locked(*entry);
+      return entry->trial;
+    }
+  }
+  const std::lock_guard load(entry->load_mutex);
+  return load_trial(*entry);
 }
 
 TrialViewPtr Repository::view(const std::string& application,
                               const std::string& experiment,
                               const std::string& trial) const {
   const EntryPtr& entry = find_entry(application, experiment, trial);
-  const std::lock_guard lock(cache_->mutex);
-  TrialViewPtr out;
-  if (entry->trial) {
-    out = entry->trial;
-  } else if (entry->pkb) {
-    if (!entry->view) {
-      entry->view = std::make_shared<PkbView>(
-          PkbView::open(entry->file, PkbView::Verify::kSchema));
-      charge_locked(*entry, entry->view->byte_size());
+  {
+    const std::lock_guard lock(cache_->mutex);
+    if (entry->trial) {
+      touch_locked(*entry);
+      return entry->trial;
     }
-    out = entry->view;
-  } else {
-    out = materialize_locked(*entry);
+    if (entry->view) {
+      touch_locked(*entry);
+      return entry->view;
+    }
   }
+  const std::lock_guard load(entry->load_mutex);
+  if (!entry->pkb) return load_trial(*entry);
+  {
+    // Re-check: a loader we waited on may have materialized the trial.
+    const std::lock_guard lock(cache_->mutex);
+    if (entry->trial) {
+      touch_locked(*entry);
+      return entry->trial;
+    }
+  }
+  const std::shared_ptr<PkbView> out = load_view(*entry);
+  const std::lock_guard lock(cache_->mutex);
   touch_locked(*entry);
   evict_to_budget_locked();
   return out;
@@ -248,7 +289,7 @@ bool Repository::erase(const std::string& application,
   if (e == a->second.end()) return false;
   const auto t = e->second.find(trial);
   if (t == e->second.end()) return false;
-  if (t->second->charge > 0) {
+  {
     const std::lock_guard lock(cache_->mutex);
     cache_->resident -= t->second->charge;
   }
@@ -350,23 +391,7 @@ void Repository::save(const std::filesystem::path& dir) const {
                                   "/" +
                                   sanitize_filename(tname, ordinal++) +
                                   ".pkb";
-        {
-          const std::lock_guard lock(cache_->mutex);
-          // A resident view can be streamed out without materializing
-          // the cube; anything else goes through the materialized trial.
-          if (!entry->trial && entry->pkb) {
-            if (!entry->view) {
-              entry->view = std::make_shared<PkbView>(
-                  PkbView::open(entry->file, PkbView::Verify::kSchema));
-              charge_locked(*entry, entry->view->byte_size());
-            }
-            save_pkb(*entry->view, dir / fname);
-          } else {
-            save_pkb(*materialize_locked(*entry), dir / fname);
-          }
-          touch_locked(*entry);
-          evict_to_budget_locked();
-        }
+        save_entry(*entry, dir / fname);
         index << app << '\t' << exp << '\t' << tname << '\t' << fname
               << '\n';
       }
@@ -375,6 +400,50 @@ void Repository::save(const std::filesystem::path& dir) const {
   if (!index) {
     throw IoError("index write failed: " + (dir / "index.tsv").string());
   }
+}
+
+void Repository::save_entry(Entry& entry,
+                            const std::filesystem::path& dest) const {
+  const std::lock_guard load(entry.load_mutex);
+  TrialPtr trial;
+  {
+    const std::lock_guard lock(cache_->mutex);
+    trial = entry.trial;
+  }
+  // The snapshot is written to a sibling temp file and renamed into
+  // place: the write never truncates `dest` itself, so saving an
+  // attached repository back into its own directory cannot destroy the
+  // file that backs the live mmap being streamed out (the old inode
+  // stays mapped until the view drops it), and a failed write leaves no
+  // torn snapshot behind.
+  const std::filesystem::path tmp = dest.string() + ".tmp";
+  try {
+    if (!trial && entry.pkb) {
+      // A resident view can be streamed out without materializing the
+      // cube — but its COLS CRC was skipped at open (Verify::kSchema),
+      // so check it now: write_pkb re-signs the payload with fresh CRCs,
+      // which must not turn a corrupt snapshot into a valid-looking one.
+      const std::shared_ptr<PkbView> view = load_view(entry);
+      view->verify_columns();
+      save_pkb(*view, tmp);
+    } else {
+      if (!trial) trial = load_trial(entry);
+      save_pkb(*trial, tmp);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, dest, ec);
+    if (ec) {
+      throw IoError("cannot rename " + tmp.string() + " -> " +
+                    dest.string() + ": " + ec.message());
+    }
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw;
+  }
+  const std::lock_guard lock(cache_->mutex);
+  touch_locked(entry);
+  evict_to_budget_locked();
 }
 
 Repository Repository::open_index(const std::filesystem::path& dir,

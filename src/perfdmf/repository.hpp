@@ -148,9 +148,17 @@ class Repository {
   [[nodiscard]] const EntryPtr& find_entry(const std::string& application,
                                            const std::string& experiment,
                                            const std::string& trial) const;
-  /// Loads `entry`'s snapshot if non-resident; returns its trial.
-  /// Must be called with the cache mutex held.
-  [[nodiscard]] TrialPtr materialize_locked(Entry& entry) const;
+  /// Demand-loads `entry`'s PKB view (publishing and charging it) and
+  /// returns it. Caller must hold the entry's load mutex and must NOT
+  /// hold the cache mutex: the file open/mmap/schema parse runs with the
+  /// cache unlocked so other entries stay serviceable during I/O.
+  [[nodiscard]] std::shared_ptr<PkbView> load_view(Entry& entry) const;
+  /// Demand-loads `entry`'s materialized trial (same locking contract as
+  /// load_view); returns the already-resident trial when there is one.
+  [[nodiscard]] TrialPtr load_trial(Entry& entry) const;
+  /// Streams one entry's snapshot to `dest` (temp file + atomic rename;
+  /// verifies a schema-only view's column CRC before re-signing it).
+  void save_entry(Entry& entry, const std::filesystem::path& dest) const;
   void touch_locked(Entry& entry) const;
   void charge_locked(Entry& entry, std::size_t bytes) const;
   void evict_to_budget_locked() const;

@@ -94,6 +94,23 @@ TEST(IoOpen, DetectsTauDirectoryAndSingleProfile) {
   EXPECT_EQ(one.thread_count(), 1u);
 }
 
+TEST(IoOpen, DirectoryWithoutTauProfilesIsNotClaimed) {
+  TempDir dir;
+  const fs::path sub = dir.path() / "not_tau";
+  fs::create_directories(sub);
+  std::ofstream(sub / "notes.txt") << "just some files\n";
+  // A directory with no profile.N.C.T files must not dispatch to the
+  // TAU reader (whose parse error would be misleading).
+  try {
+    (void)pk::io::open_trial(sub);
+    FAIL() << "directory of non-TAU files opened";
+  } catch (const pk::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("unrecognized profile format"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(IoOpen, FallsBackToExtensionWhenContentIsInconclusive) {
   TempDir dir;
   // An empty .csv has no header line to sniff, but the extension names

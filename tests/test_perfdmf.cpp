@@ -1,10 +1,13 @@
 // Tests for the PerfDMF layer: repository, snapshot format, TAU format.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "common/error.hpp"
 #include "perfdmf/repository.hpp"
@@ -353,6 +356,111 @@ TEST(RepositoryCache, LruEvictionRespectsByteBudget) {
   attached.put("app", "exp2", make_trial("pinned"));
   EXPECT_EQ(attached.get("app", "exp2", "pinned")->name(), "pinned");
   EXPECT_EQ(attached.resident_trials(), 1u);
+}
+
+TEST(RepositoryCache, ConcurrentDemandLoadsKeepAccountingConsistent) {
+  TempDir dir;
+  {
+    Repository repo;
+    for (int i = 0; i < 4; ++i) {
+      repo.put("app", "exp", make_trial("c" + std::to_string(i)));
+    }
+    repo.save(dir.path());
+  }
+  const Repository attached = Repository::attach(dir.path());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 8; ++w) {
+    workers.emplace_back([&attached, &failures, w] {
+      for (int i = 0; i < 25; ++i) {
+        const std::string name = "c" + std::to_string((w + i) % 4);
+        const auto t = attached.get("app", "exp", name);
+        if (t->thread_count() != 2) ++failures;
+        (void)attached.cached_bytes();
+        (void)attached.resident_trials();
+      }
+    });
+  }
+  // A concurrent save exercises the same per-entry load serialization.
+  TempDir out;
+  attached.save(out.path());
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(attached.resident_trials(), 4u);
+  // Each trial charged exactly once despite 8 racing loaders.
+  const std::size_t bytes = attached.cached_bytes();
+  EXPECT_GT(bytes, 0u);
+  for (int i = 0; i < 4; ++i) {
+    (void)attached.get("app", "exp", "c" + std::to_string(i));
+  }
+  EXPECT_EQ(attached.cached_bytes(), bytes);
+}
+
+TEST(RepositoryPersistence, ResavingIntoOwnDirectoryPreservesSnapshots) {
+  TempDir dir;
+  {
+    Repository repo;
+    repo.put("app", "exp", make_trial("self"));
+    repo.save(dir.path());
+  }
+  // Re-save an attached repository into its own directory: the shard
+  // filenames are deterministic, so the streaming writer reads each
+  // snapshot through a live mmap of the very file it replaces. The
+  // temp-file + rename write must leave the mapped source untouched.
+  const Repository attached = Repository::attach(dir.path());
+  (void)attached.view("app", "exp", "self");  // map the snapshot
+  attached.save(dir.path());
+
+  const Repository reloaded = Repository::load(dir.path());
+  const auto t = reloaded.get("app", "exp", "self");
+  EXPECT_EQ(t->thread_count(), 2u);
+  EXPECT_DOUBLE_EQ(
+      t->inclusive(1, t->event_id("main"), t->metric_id("TIME")), 101.0);
+  EXPECT_EQ(*t->metadata("schedule"), "dynamic,1");
+  // No temp files left behind.
+  for (const auto& e : fs::recursive_directory_iterator(dir.path())) {
+    EXPECT_NE(e.path().extension(), ".tmp") << e.path();
+  }
+}
+
+TEST(RepositoryPersistence, SaveDoesNotResignCorruptColumns) {
+  TempDir dir;
+  {
+    Repository repo;
+    repo.put("app", "exp", make_trial("tamper"));
+    repo.save(dir.path());
+  }
+  // Flip one byte inside the COLS payload of the snapshot on disk (the
+  // last 16 bytes are the end-marker header; the cube ends just before).
+  fs::path pkb;
+  for (const auto& e : fs::recursive_directory_iterator(dir.path())) {
+    if (e.path().extension() == ".pkb") pkb = e.path();
+  }
+  ASSERT_FALSE(pkb.empty());
+  {
+    std::fstream f(pkb, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(-32, std::ios::end);
+    char b = 0;
+    f.get(b);
+    f.seekp(-32, std::ios::end);
+    f.put(static_cast<char>(b ^ 0x01));
+  }
+  // Streaming the attached repository back out must surface the
+  // corruption as a ParseError naming the snapshot — not re-sign the
+  // bad bytes with fresh checksums.
+  TempDir out;
+  const Repository attached = Repository::attach(dir.path());
+  try {
+    attached.save(out.path());
+    FAIL() << "corrupt COLS section streamed and re-signed";
+  } catch (const pk::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find(".pkb"), std::string::npos)
+        << e.what();
+  }
+  // Materialization (promotion) rejects it the same way.
+  EXPECT_THROW((void)attached.get("app", "exp", "tamper"), pk::ParseError);
 }
 
 TEST(RepositoryCache, EvictedTrialsStayAliveForHolders) {

@@ -303,6 +303,21 @@ TEST(PkbCorruption, SchemaOnlyVerifySkipsColumnsButPromotionChecks) {
   EXPECT_THROW((void)view.promote(), pk::ParseError);
 }
 
+TEST(PkbCorruption, VerifyColumnsUpgradesSchemaOnlyViews) {
+  std::string bytes = pk::perfdmf::to_pkb(make_trial("upgrade"));
+  const PkbView ok = PkbView::from_bytes(bytes, PkbView::Verify::kSchema);
+  EXPECT_NO_THROW(ok.verify_columns());
+  bytes[bytes.size() - 32] ^= 0x01;
+  const PkbView bad = PkbView::from_bytes(bytes, PkbView::Verify::kSchema);
+  try {
+    bad.verify_columns();
+    FAIL() << "corrupt columns passed verification";
+  } catch (const pk::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(PkbCorruption, OversizedDimensionsAreRejectedBeforeAllocation) {
   std::string bytes = pk::perfdmf::to_pkb(make_trial("dims"));
   // The SCHM payload begins at offset 24 with the u64 thread count;
