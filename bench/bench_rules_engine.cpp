@@ -18,99 +18,16 @@
 
 #include "rules/engine.hpp"
 #include "rules/fact.hpp"
+#include "rules_workload.hpp"
 
 namespace {
 
 namespace rl = perfknow::rules;
 
-constexpr std::size_t kGroups = 64;
-
-std::vector<rl::Fact> make_facts(std::size_t n) {
-  std::vector<rl::Fact> out;
-  out.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    rl::Fact f("MeanEventFact");
-    f.set("eventName", "ev" + std::to_string(i));
-    f.set("group", "g" + std::to_string(i % kGroups));
-    // Deterministic pseudo-random severity in [0, 1); every 1024th fact
-    // crosses the hot threshold.
-    const double sev =
-        (i % 1024 == 7) ? 0.999 : double((i * 2654435761u) % 997) / 1000.0;
-    f.set("severity", sev);
-    f.set("metric", (i % 3 == 0) ? "TIME" : "CPU_CYCLES");
-    out.push_back(std::move(f));
-  }
-  return out;
-}
-
-std::vector<rl::Rule> make_rules() {
-  std::vector<rl::Rule> rules;
-
-  // Threshold rule with an index-probeable equality on metric.
-  rl::Rule hot;
-  hot.name = "hot-event";
-  hot.salience = 10;
-  rl::Pattern hp;
-  hp.fact_type = "MeanEventFact";
-  hp.constraints.push_back(rl::Constraint{
-      "metric", rl::CmpOp::kEq, rl::Operand::lit(rl::FactValue("TIME"))});
-  hp.constraints.push_back(rl::Constraint{
-      "severity", rl::CmpOp::kGt, rl::Operand::lit(rl::FactValue(0.99))});
-  hp.bindings.push_back(rl::FieldBinding{"e", "eventName"});
-  hot.patterns.push_back(std::move(hp));
-  hot.action = [](rl::RuleContext& ctx) {
-    ctx.assert_fact(rl::Fact("HotEvent")
-                        .set("eventName", ctx.binding("e"))
-                        .set("level", 1.0));
-  };
-  rules.push_back(std::move(hot));
-
-  // Join: hot events paired with same-group siblings (the equality
-  // against a bound variable is the beta-join the index accelerates).
-  rl::Rule join;
-  join.name = "hot-group-pair";
-  rl::Pattern p0;
-  p0.fact_type = "MeanEventFact";
-  p0.constraints.push_back(rl::Constraint{
-      "severity", rl::CmpOp::kGt, rl::Operand::lit(rl::FactValue(0.998))});
-  p0.bindings.push_back(rl::FieldBinding{"g", "group"});
-  p0.bindings.push_back(rl::FieldBinding{"e1", "eventName"});
-  rl::Pattern p1;
-  p1.fact_type = "MeanEventFact";
-  p1.constraints.push_back(
-      rl::Constraint{"group", rl::CmpOp::kEq, rl::Operand::var("g")});
-  p1.constraints.push_back(rl::Constraint{
-      "severity", rl::CmpOp::kGt, rl::Operand::lit(rl::FactValue(0.95))});
-  p1.bindings.push_back(rl::FieldBinding{"e2", "eventName"});
-  join.patterns.push_back(std::move(p0));
-  join.patterns.push_back(std::move(p1));
-  join.action = [](rl::RuleContext& ctx) {
-    ctx.assert_fact(rl::Fact("GroupPair")
-                        .set("group", ctx.binding("g"))
-                        .set("level", 2.0));
-  };
-  rules.push_back(std::move(join));
-
-  // Chained summary over the derived facts: forces extra firing rounds.
-  rl::Rule summary;
-  summary.name = "summary";
-  summary.salience = -10;
-  rl::Pattern sp;
-  sp.fact_type = "GroupPair";
-  sp.bindings.push_back(rl::FieldBinding{"g", "group"});
-  summary.patterns.push_back(std::move(sp));
-  summary.action = [](rl::RuleContext& ctx) {
-    ctx.print("pair in " + rl::to_display(ctx.binding("g")));
-  };
-  rules.push_back(std::move(summary));
-
-  return rules;
-}
-
 void run_engine(benchmark::State& state, rl::MatchStrategy strategy) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  const auto facts = make_facts(n);
-  const auto rules = make_rules();
+  const auto facts = perfknow::benchres::make_facts(n);
+  const auto rules = perfknow::benchres::make_rules();
   std::size_t fired = 0;
   for (auto _ : state) {
     rl::RuleHarness h;

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "common/thread_pool.hpp"
+#include "io/format.hpp"
 #include "perfdmf/pkb_format.hpp"
 #include "perfdmf/pkb_view.hpp"
 #include "perfdmf/repository.hpp"
@@ -80,8 +81,8 @@ struct Fixture {
     const Trial cube = make_cube("cube", kEvents, kThreads);
     text_file = dir / "cube.pkprof";
     pkb_file = dir / "cube.pkb";
-    pk::perfdmf::save_snapshot(cube, text_file);
-    pk::perfdmf::save_pkb(cube, pkb_file);
+    pk::io::save_trial(cube, text_file);
+    pk::io::save_trial(cube, pkb_file);
 
     pk::perfdmf::Repository repo;
     for (int i = 0; i < 16; ++i) {
@@ -107,7 +108,7 @@ struct Fixture {
 void BM_ColdLoadText(benchmark::State& state) {
   const auto& f = Fixture::get();
   for (auto _ : state) {
-    Trial t = pk::perfdmf::load_snapshot(f.text_file);
+    Trial t = pk::io::open_trial(f.text_file, "pkprof");
     benchmark::DoNotOptimize(t.thread_count());
   }
   state.counters["cells"] = static_cast<double>(kEvents * kThreads);
@@ -116,7 +117,7 @@ void BM_ColdLoadText(benchmark::State& state) {
 void BM_ColdLoadPkb(benchmark::State& state) {
   const auto& f = Fixture::get();
   for (auto _ : state) {
-    Trial t = pk::perfdmf::load_pkb(f.pkb_file);
+    Trial t = pk::io::open_trial(f.pkb_file, "pkb");
     benchmark::DoNotOptimize(t.thread_count());
   }
   state.counters["cells"] = static_cast<double>(kEvents * kThreads);

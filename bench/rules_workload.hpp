@@ -1,0 +1,106 @@
+// Shared rule-engine benchmark workload, the shape the analysis layer
+// produces: many MeanEventFact-style facts partitioned into groups, a
+// few single-pattern threshold rules whose equality constraints the
+// alpha index can probe, one two-pattern join, and a chained summary
+// rule so the engine runs multiple firing rounds.
+//
+// Used by bench_rules_engine (naive vs indexed scaling) and
+// bench_telemetry (the same fixed-size workload built with and without
+// telemetry compiled in / enabled).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rules/engine.hpp"
+#include "rules/fact.hpp"
+
+namespace perfknow::benchres {
+
+inline constexpr std::size_t kGroups = 64;
+
+inline std::vector<rules::Fact> make_facts(std::size_t n) {
+  std::vector<rules::Fact> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rules::Fact f("MeanEventFact");
+    f.set("eventName", "ev" + std::to_string(i));
+    f.set("group", "g" + std::to_string(i % kGroups));
+    // Deterministic pseudo-random severity in [0, 1); every 1024th fact
+    // crosses the hot threshold.
+    const double sev =
+        (i % 1024 == 7) ? 0.999 : double((i * 2654435761u) % 997) / 1000.0;
+    f.set("severity", sev);
+    f.set("metric", (i % 3 == 0) ? "TIME" : "CPU_CYCLES");
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+inline std::vector<rules::Rule> make_rules() {
+  namespace rl = rules;
+  std::vector<rl::Rule> out;
+
+  // Threshold rule with an index-probeable equality on metric.
+  rl::Rule hot;
+  hot.name = "hot-event";
+  hot.salience = 10;
+  rl::Pattern hp;
+  hp.fact_type = "MeanEventFact";
+  hp.constraints.push_back(rl::Constraint{
+      "metric", rl::CmpOp::kEq, rl::Operand::lit(rl::FactValue("TIME"))});
+  hp.constraints.push_back(rl::Constraint{
+      "severity", rl::CmpOp::kGt, rl::Operand::lit(rl::FactValue(0.99))});
+  hp.bindings.push_back(rl::FieldBinding{"e", "eventName"});
+  hot.patterns.push_back(std::move(hp));
+  hot.action = [](rl::RuleContext& ctx) {
+    ctx.assert_fact(rl::Fact("HotEvent")
+                        .set("eventName", ctx.binding("e"))
+                        .set("level", 1.0));
+  };
+  out.push_back(std::move(hot));
+
+  // Join: hot events paired with same-group siblings (the equality
+  // against a bound variable is the beta-join the index accelerates).
+  rl::Rule join;
+  join.name = "hot-group-pair";
+  rl::Pattern p0;
+  p0.fact_type = "MeanEventFact";
+  p0.constraints.push_back(rl::Constraint{
+      "severity", rl::CmpOp::kGt, rl::Operand::lit(rl::FactValue(0.998))});
+  p0.bindings.push_back(rl::FieldBinding{"g", "group"});
+  p0.bindings.push_back(rl::FieldBinding{"e1", "eventName"});
+  rl::Pattern p1;
+  p1.fact_type = "MeanEventFact";
+  p1.constraints.push_back(
+      rl::Constraint{"group", rl::CmpOp::kEq, rl::Operand::var("g")});
+  p1.constraints.push_back(rl::Constraint{
+      "severity", rl::CmpOp::kGt, rl::Operand::lit(rl::FactValue(0.95))});
+  p1.bindings.push_back(rl::FieldBinding{"e2", "eventName"});
+  join.patterns.push_back(std::move(p0));
+  join.patterns.push_back(std::move(p1));
+  join.action = [](rl::RuleContext& ctx) {
+    ctx.assert_fact(rl::Fact("GroupPair")
+                        .set("group", ctx.binding("g"))
+                        .set("level", 2.0));
+  };
+  out.push_back(std::move(join));
+
+  // Chained summary over the derived facts: forces extra firing rounds.
+  rl::Rule summary;
+  summary.name = "summary";
+  summary.salience = -10;
+  rl::Pattern sp;
+  sp.fact_type = "GroupPair";
+  sp.bindings.push_back(rl::FieldBinding{"g", "group"});
+  summary.patterns.push_back(std::move(sp));
+  summary.action = [](rl::RuleContext& ctx) {
+    ctx.print("pair in " + rl::to_display(ctx.binding("g")));
+  };
+  out.push_back(std::move(summary));
+
+  return out;
+}
+
+}  // namespace perfknow::benchres

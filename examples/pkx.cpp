@@ -148,7 +148,7 @@ int main(int argc, char** argv) {
       return cmd_show(repo, args[2], args[3], args[4]);
     }
     if (cmd == "run" && args.size() == 3) {
-      pk::script::AnalysisSession session(repo);
+      pk::script::AnalysisSession session(pk::script::SessionOptions{&repo});
       session.interpreter().set_echo(true);
       session.run_file(args[2]);
       std::printf("\n%zu diagnoses\n",

@@ -33,7 +33,7 @@ int main() {
            std::make_shared<profile::Trial>(std::move(result.trial)));
 
   // --- 3. automate the analysis ----------------------------------------
-  script::AnalysisSession session(repo);
+  script::AnalysisSession session(script::SessionOptions{&repo});
   session.run(R"(
 # load the expert rules and the trial (Fig. 1 of the paper)
 ruleHarness = RuleHarness.useGlobalRules("openuh/OpenUHRules.drl")

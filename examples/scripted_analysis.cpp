@@ -53,7 +53,8 @@ int main(int argc, char** argv) {
            std::make_shared<perfknow::profile::Trial>(
                std::move(result.trial)));
 
-  perfknow::script::AnalysisSession session(repo);
+  perfknow::script::AnalysisSession session(
+      perfknow::script::SessionOptions{&repo});
   session.interpreter().set_echo(true);
 
   const std::filesystem::path script =

@@ -57,7 +57,7 @@ profile::MetricId derive_metric(profile::Trial& trial,
   const auto d = trial.add_metric(name, "derived", /*derived=*/true);
   // Threads write disjoint cube rows, and each row's computation is the
   // same serial loop as before — results are bit-identical to serial.
-  ThreadPool::shared().parallel_for(
+  ThreadPool::current().parallel_for(
       trial.thread_count(),
       [&](std::size_t t) {
         for (profile::EventId e = 0; e < trial.event_count(); ++e) {
@@ -79,7 +79,7 @@ profile::MetricId scale_metric(profile::Trial& trial,
   const auto m = trial.metric_id(metric);
   if (const auto existing = trial.find_metric(new_name)) return *existing;
   const auto d = trial.add_metric(new_name, "derived", /*derived=*/true);
-  ThreadPool::shared().parallel_for(
+  ThreadPool::current().parallel_for(
       trial.thread_count(),
       [&](std::size_t t) {
         for (profile::EventId e = 0; e < trial.event_count(); ++e) {
@@ -118,7 +118,7 @@ std::vector<EventStatistics> basic_statistics(const profile::TrialView& trial,
   // work starts (same behaviour as the serial loop's first iteration).
   (void)trial.metric_id(metric);
   std::vector<EventStatistics> out(trial.event_count());
-  ThreadPool::shared().parallel_for(
+  ThreadPool::current().parallel_for(
       trial.event_count(),
       [&](std::size_t e) {
         out[e] = event_statistics(trial, static_cast<profile::EventId>(e),
@@ -250,7 +250,7 @@ profile::Trial aggregate_threads(const profile::TrialView& trial, bool mean) {
     out_event[e] = out.add_event(trial.event(e).name, trial.event(e).parent,
                                  trial.event(e).group);
   }
-  ThreadPool::shared().parallel_for(
+  ThreadPool::current().parallel_for(
       trial.event_count(),
       [&](std::size_t e) {
         const auto oe = out_event[e];
@@ -286,7 +286,7 @@ ScalabilityAnalysis::ScalabilityAnalysis(
   // missing metric rethrows from the lowest-indexed trial, matching the
   // serial loop's failure order.
   points_.resize(trials.size());
-  ThreadPool::shared().parallel_for(
+  ThreadPool::current().parallel_for(
       trials.size(),
       [&](std::size_t i) {
         const auto& t = trials[i];

@@ -6,6 +6,8 @@
 #include <memory>
 #include <string>
 
+#include "telemetry/telemetry.hpp"
+
 namespace perfknow {
 
 namespace {
@@ -13,6 +15,9 @@ namespace {
 // True on threads currently executing pool work: a nested parallel_for
 // must not wait on the queue it is itself draining.
 thread_local bool tls_in_pool_task = false;
+
+// Innermost CurrentScope override for this thread; null means shared().
+thread_local ThreadPool* tls_current_pool = nullptr;
 
 std::size_t default_thread_count() {
   if (const char* env = std::getenv("PERFKNOW_THREADS")) {
@@ -68,6 +73,8 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body,
                               std::size_t grain) {
   if (n == 0) return;
+  static const telemetry::SpanSite for_site("threadpool.parallel_for");
+  telemetry::ScopedSpan for_span(for_site);
   if (workers_.empty() || tls_in_pool_task || n <= std::max<std::size_t>(grain, 1)) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
@@ -98,13 +105,20 @@ void ThreadPool::parallel_for(std::size_t n,
   state->errors.resize(state->nchunks);
 
   auto drain = [](ForState& s) {
+    // Each chunk is a span on the thread that ran it, so a telemetry
+    // snapshot shows per-worker busy time and chunk imbalance (the
+    // self_diagnosis rules judge "threadpool.chunk" imbalanceCv).
+    static const telemetry::SpanSite chunk_site("threadpool.chunk");
+    static telemetry::Counter& chunks = telemetry::counter("threadpool.chunks");
     for (;;) {
       const std::size_t c = s.next.fetch_add(1, std::memory_order_relaxed);
       if (c >= s.nchunks) return;
       const std::size_t begin = c * s.chunk;
       const std::size_t end = std::min(s.n, begin + s.chunk);
       try {
+        telemetry::ScopedSpan chunk_span(chunk_site);
         for (std::size_t i = begin; i < end; ++i) (*s.body)(i);
+        chunks.add();
       } catch (...) {
         s.errors[c] = std::current_exception();
       }
@@ -133,5 +147,16 @@ ThreadPool& ThreadPool::shared() {
   static ThreadPool pool(default_thread_count());
   return pool;
 }
+
+ThreadPool& ThreadPool::current() noexcept {
+  return tls_current_pool != nullptr ? *tls_current_pool : shared();
+}
+
+ThreadPool::CurrentScope::CurrentScope(ThreadPool& pool) noexcept
+    : previous_(tls_current_pool) {
+  tls_current_pool = &pool;
+}
+
+ThreadPool::CurrentScope::~CurrentScope() { tls_current_pool = previous_; }
 
 }  // namespace perfknow

@@ -4,16 +4,52 @@
 #include <cctype>
 #include <fstream>
 
+#include <sstream>
+
 #include "common/error.hpp"
 #include "perfdmf/csv_format.hpp"
 #include "perfdmf/json_format.hpp"
 #include "perfdmf/pkb_format.hpp"
 #include "perfdmf/snapshot.hpp"
 #include "perfdmf/tau_format.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace perfknow::io {
 
 namespace {
+
+// ---- file-level plumbing over the per-format stream primitives ---------
+//
+// Each format module exposes stream/string readers and writers only; the
+// registry owns opening files and attaching the file name to ParseError
+// diagnostics, so the policy lives in exactly one place.
+
+profile::Trial read_file(const std::filesystem::path& path, bool binary,
+                         profile::Trial (*parse)(std::istream&)) {
+  std::ifstream is(path, binary ? std::ios::binary : std::ios::in);
+  if (!is) {
+    throw IoError("cannot open for reading: " + path.string());
+  }
+  try {
+    return parse(is);
+  } catch (const ParseError& e) {
+    if (e.file().empty()) throw e.with_file(path.string());
+    throw;
+  }
+}
+
+void write_file(const profile::TrialView& trial,
+                const std::filesystem::path& path, bool binary,
+                void (*write)(const profile::TrialView&, std::ostream&)) {
+  std::ofstream os(path, binary ? std::ios::binary : std::ios::out);
+  if (!os) {
+    throw IoError("cannot open for writing: " + path.string());
+  }
+  write(trial, os);
+  if (!os) {
+    throw IoError("write failed: " + path.string());
+  }
+}
 
 // How many leading bytes the content sniffers get to look at. Plenty for
 // every magic/header line we match.
@@ -49,22 +85,27 @@ bool pkb_can_read(std::string_view head, const std::filesystem::path&) {
   return head.substr(0, 4) == perfdmf::kPkbMagic;
 }
 profile::Trial pkb_read(const std::filesystem::path& path) {
-  return perfdmf::load_pkb(path);
+  // Binary format: slurp then parse so ParseError offsets are absolute.
+  return read_file(path, /*binary=*/true, +[](std::istream& is) {
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return perfdmf::parse_pkb(std::move(ss).str());
+  });
 }
 void pkb_write(const profile::TrialView& trial,
                const std::filesystem::path& path) {
-  perfdmf::save_pkb(trial, path);
+  write_file(trial, path, /*binary=*/true, perfdmf::write_pkb);
 }
 
 bool pkprof_can_read(std::string_view head, const std::filesystem::path&) {
   return head.substr(0, 7) == "PKPROF\t";
 }
 profile::Trial pkprof_read(const std::filesystem::path& path) {
-  return perfdmf::load_snapshot(path);
+  return read_file(path, /*binary=*/false, perfdmf::read_snapshot);
 }
 void pkprof_write(const profile::TrialView& trial,
                   const std::filesystem::path& path) {
-  perfdmf::save_snapshot(trial, path);
+  write_file(trial, path, /*binary=*/false, perfdmf::write_snapshot);
 }
 
 bool json_can_read(std::string_view head, const std::filesystem::path&) {
@@ -75,11 +116,11 @@ bool json_can_read(std::string_view head, const std::filesystem::path&) {
   return false;
 }
 profile::Trial json_read(const std::filesystem::path& path) {
-  return perfdmf::load_json(path);
+  return read_file(path, /*binary=*/false, perfdmf::read_json);
 }
 void json_write(const profile::TrialView& trial,
                 const std::filesystem::path& path) {
-  perfdmf::save_json(trial, path);
+  write_file(trial, path, /*binary=*/false, perfdmf::write_json);
 }
 
 // A directory is only claimed for TAU when it actually holds at least
@@ -130,11 +171,13 @@ bool csv_can_read(std::string_view head, const std::filesystem::path&) {
          std::count(line.begin(), line.end(), ',') >= 2;
 }
 profile::Trial csv_read(const std::filesystem::path& path) {
-  return perfdmf::load_csv_long(path);
+  auto trial = read_file(path, /*binary=*/false, perfdmf::read_csv_long);
+  trial.set_name(path.stem().string());
+  return trial;
 }
 void csv_write(const profile::TrialView& trial,
                const std::filesystem::path& path) {
-  perfdmf::save_csv_long(trial, path);
+  write_file(trial, path, /*binary=*/false, perfdmf::write_csv_long);
 }
 
 std::string known_format_names() {
@@ -154,6 +197,25 @@ std::string writable_format_names() {
     out += f.name;
   }
   return out;
+}
+
+// Times one format hook under a per-format span ("io.read.pkb",
+// "io.write.json", ...) so telemetry attributes parse cost by format.
+profile::Trial timed_read(const Format& f,
+                          const std::filesystem::path& file) {
+  static telemetry::Counter& opened = telemetry::counter("io.trials_opened");
+  telemetry::ScopedSpan span(std::string("io.read.") + f.name);
+  auto trial = f.read(file);
+  opened.add();
+  return trial;
+}
+
+void timed_write(const Format& f, const profile::TrialView& trial,
+                 const std::filesystem::path& file) {
+  static telemetry::Counter& saved = telemetry::counter("io.trials_saved");
+  telemetry::ScopedSpan span(std::string("io.write.") + f.name);
+  f.write(trial, file);
+  saved.add();
 }
 
 std::string read_head(const std::filesystem::path& file) {
@@ -191,16 +253,18 @@ const Format* find_format(std::string_view name) {
 }
 
 profile::Trial open_trial(const std::filesystem::path& file) {
+  static const telemetry::SpanSite site("io.open_trial");
+  telemetry::ScopedSpan span(site);
   const std::string head = read_head(file);
   for (const Format& f : formats()) {
-    if (f.can_read(head, file)) return f.read(file);
+    if (f.can_read(head, file)) return timed_read(f, file);
   }
   // No content match; fall back to the extension.
   const std::string ext = file.extension().string();
   if (!ext.empty()) {
     for (const Format& f : formats()) {
       for (const std::string& e : f.extensions) {
-        if (e == ext) return f.read(file);
+        if (e == ext) return timed_read(f, file);
       }
     }
   }
@@ -211,23 +275,27 @@ profile::Trial open_trial(const std::filesystem::path& file) {
 
 profile::Trial open_trial(const std::filesystem::path& file,
                           std::string_view format) {
+  static const telemetry::SpanSite site("io.open_trial");
+  telemetry::ScopedSpan span(site);
   const Format* f = find_format(format);
   if (f == nullptr) {
     throw InvalidArgumentError("unknown profile format '" +
                                std::string(format) + "' (known formats: " +
                                known_format_names() + ")");
   }
-  return f->read(file);
+  return timed_read(*f, file);
 }
 
 void save_trial(const profile::TrialView& trial,
                 const std::filesystem::path& file) {
+  static const telemetry::SpanSite site("io.save_trial");
+  telemetry::ScopedSpan span(site);
   const std::string ext = file.extension().string();
   for (const Format& f : formats()) {
     if (f.write == nullptr) continue;
     for (const std::string& e : f.extensions) {
       if (e == ext) {
-        f.write(trial, file);
+        timed_write(f, trial, file);
         return;
       }
     }
@@ -239,6 +307,8 @@ void save_trial(const profile::TrialView& trial,
 
 void save_trial(const profile::TrialView& trial,
                 const std::filesystem::path& file, std::string_view format) {
+  static const telemetry::SpanSite site("io.save_trial");
+  telemetry::ScopedSpan span(site);
   const Format* f = find_format(format);
   if (f == nullptr) {
     throw InvalidArgumentError("unknown profile format '" +
@@ -249,7 +319,7 @@ void save_trial(const profile::TrialView& trial,
     throw InvalidArgumentError("format '" + std::string(format) +
                                "' is not writable via io::save_trial");
   }
-  f->write(trial, file);
+  timed_write(*f, trial, file);
 }
 
 }  // namespace perfknow::io

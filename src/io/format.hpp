@@ -13,9 +13,12 @@
 // fails with a ParseError that lists every known format. Directories
 // dispatch to the TAU flat-profile reader.
 //
-// The per-format free functions (load_snapshot, load_csv_long, load_json,
-// read_tau_profiles, load_pkb, ...) remain available but new code should
-// come through here; see the registry in format.cpp for the mapping.
+// This is the ONLY file-level read/write API: the per-format modules
+// expose stream/string primitives (read_snapshot, write_pkb, from_json,
+// read_csv_long, read_tau_stream, ...) and this registry owns opening
+// files and attaching file names to diagnostics. Each open/save is
+// timed under telemetry spans "io.open_trial" / "io.save_trial" and
+// per-format "io.read.<fmt>" / "io.write.<fmt>".
 #pragma once
 
 #include <filesystem>

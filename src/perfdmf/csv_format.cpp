@@ -130,14 +130,6 @@ void write_csv_long(const profile::TrialView& trial, std::ostream& os) {
   }
 }
 
-void save_csv_long(const profile::TrialView& trial,
-                   const std::filesystem::path& file) {
-  std::ofstream os(file);
-  if (!os) throw IoError("cannot write CSV: " + file.string());
-  write_csv_long(trial, os);
-  if (!os) throw IoError("CSV write failed: " + file.string());
-}
-
 profile::Trial read_csv_long(std::istream& is) {
   std::string line;
   int lineno = 0;
@@ -171,18 +163,6 @@ profile::Trial read_csv_long(std::istream& is) {
   }
   trial.set_metadata("source_format", "CSV");
   return trial;
-}
-
-profile::Trial load_csv_long(const std::filesystem::path& file) {
-  std::ifstream is(file);
-  if (!is) throw IoError("cannot read CSV: " + file.string());
-  try {
-    auto trial = read_csv_long(is);
-    trial.set_name(file.stem().string());
-    return trial;
-  } catch (const ParseError& e) {
-    throw e.with_file(file.string());
-  }
 }
 
 }  // namespace perfknow::perfdmf

@@ -20,20 +20,15 @@
 
 namespace perfknow::perfdmf {
 
-/// Writes every (event, thread, metric) cell of the trial.
-/// @deprecated New code should call io::save_trial (io/format.hpp).
+/// Writes every (event, thread, metric) cell of the trial. The format
+/// primitive behind io::save_trial (io/format.hpp) — call that for
+/// file-level access.
 void write_csv_long(const profile::TrialView& trial, std::ostream& os);
-void save_csv_long(const profile::TrialView& trial,
-                   const std::filesystem::path& file);
 
-/// @deprecated New code should call io::open_trial (io/format.hpp),
-/// which auto-detects the format; this stays for direct access.
-///
-/// Parses a long-format CSV into a trial (named after the file or
-/// "csv_import" when reading a stream). Throws ParseError on malformed
-/// rows; unknown columns are rejected so silent data loss is impossible.
+/// Parses a long-format CSV into a trial (named "csv_import";
+/// io::open_trial renames it after the file). Throws ParseError on
+/// malformed rows; unknown columns are rejected so silent data loss is
+/// impossible. The format primitive behind io::open_trial.
 [[nodiscard]] profile::Trial read_csv_long(std::istream& is);
-[[nodiscard]] profile::Trial load_csv_long(
-    const std::filesystem::path& file);
 
 }  // namespace perfknow::perfdmf

@@ -423,14 +423,6 @@ std::string to_json(const profile::TrialView& trial) {
   return ss.str();
 }
 
-void save_json(const profile::TrialView& trial,
-               const std::filesystem::path& file) {
-  std::ofstream os(file);
-  if (!os) throw IoError("cannot write JSON: " + file.string());
-  write_json(trial, os);
-  if (!os) throw IoError("JSON write failed: " + file.string());
-}
-
 profile::Trial from_json(const std::string& text) {
   JsonParser parser(text);
   const auto root = parser.parse();
@@ -504,16 +496,6 @@ profile::Trial read_json(std::istream& is) {
   std::ostringstream ss;
   ss << is.rdbuf();
   return from_json(ss.str());
-}
-
-profile::Trial load_json(const std::filesystem::path& file) {
-  std::ifstream is(file);
-  if (!is) throw IoError("cannot read JSON: " + file.string());
-  try {
-    return read_json(is);
-  } catch (const ParseError& e) {
-    throw e.with_file(file.string());
-  }
 }
 
 }  // namespace perfknow::perfdmf

@@ -24,17 +24,14 @@
 
 namespace perfknow::perfdmf {
 
-// Deprecated entry points: new code should call io::open_trial /
-// io::save_trial (io/format.hpp), which auto-detect the format; these
-// stay for direct access to the JSON format.
+// The format primitives behind io::open_trial / io::save_trial
+// (io/format.hpp) — call those for file-level access; the stream and
+// string forms exist for in-memory use.
 void write_json(const profile::TrialView& trial, std::ostream& os);
-void save_json(const profile::TrialView& trial,
-               const std::filesystem::path& file);
 [[nodiscard]] std::string to_json(const profile::TrialView& trial);
 
 /// Throws ParseError on malformed JSON or schema violations.
 [[nodiscard]] profile::Trial read_json(std::istream& is);
 [[nodiscard]] profile::Trial from_json(const std::string& text);
-[[nodiscard]] profile::Trial load_json(const std::filesystem::path& file);
 
 }  // namespace perfknow::perfdmf

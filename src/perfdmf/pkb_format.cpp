@@ -305,18 +305,6 @@ void write_pkb(const profile::TrialView& trial, std::ostream& os) {
   write_section(os, kTagEnd, {});
 }
 
-void save_pkb(const profile::TrialView& trial,
-              const std::filesystem::path& file) {
-  std::ofstream os(file, std::ios::binary);
-  if (!os) {
-    throw IoError("cannot open for writing: " + file.string());
-  }
-  write_pkb(trial, os);
-  if (!os) {
-    throw IoError("write failed: " + file.string());
-  }
-}
-
 std::string to_pkb(const profile::TrialView& trial) {
   std::ostringstream os;
   write_pkb(trial, os);
@@ -471,20 +459,6 @@ profile::Trial parse_pkb(std::string_view bytes) {
     }
   }
   return trial;
-}
-
-profile::Trial load_pkb(const std::filesystem::path& file) {
-  std::ifstream is(file, std::ios::binary);
-  if (!is) {
-    throw IoError("cannot open for reading: " + file.string());
-  }
-  std::ostringstream ss;
-  ss << is.rdbuf();
-  try {
-    return parse_pkb(std::move(ss).str());
-  } catch (const ParseError& e) {
-    throw e.with_file(file.string());
-  }
 }
 
 }  // namespace perfknow::perfdmf

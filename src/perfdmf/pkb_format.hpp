@@ -51,10 +51,9 @@ inline constexpr std::string_view kPkbMagic = "PKB1";
 inline constexpr std::uint32_t kPkbVersion = 1;
 
 /// Serializes a trial (any TrialView — a materialized Trial or an open
-/// PkbView) to the PKB binary format.
+/// PkbView) to the PKB binary format. The format primitives behind
+/// io::save_trial (io/format.hpp) — call that for file-level access.
 void write_pkb(const profile::TrialView& trial, std::ostream& os);
-void save_pkb(const profile::TrialView& trial,
-              const std::filesystem::path& file);
 [[nodiscard]] std::string to_pkb(const profile::TrialView& trial);
 
 /// Everything in a PKB file except the value cube: the parsed schema,
@@ -101,12 +100,10 @@ struct PkbLayout {
                                          bool verify_columns = true);
 
 /// Parses a PKB image into a fully-materialized Trial (always verifies
-/// every checksum). This is also the promotion path PkbView uses.
+/// every checksum). This is also the promotion path PkbView uses, and
+/// the format primitive behind io::open_trial; PkbView::open reads a
+/// snapshot without materializing.
 [[nodiscard]] profile::Trial parse_pkb(std::string_view bytes);
-
-/// Reads `file` into memory and parses it. Prefer io::open_trial, which
-/// auto-detects the format, or PkbView::open, which does not materialize.
-[[nodiscard]] profile::Trial load_pkb(const std::filesystem::path& file);
 
 /// Decodes one little-endian f64 at `p` (no alignment requirement).
 [[nodiscard]] double pkb_read_f64(const char* p) noexcept;

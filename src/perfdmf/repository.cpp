@@ -1,8 +1,10 @@
 #include "perfdmf/repository.hpp"
 
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <mutex>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -10,6 +12,7 @@
 #include "perfdmf/pkb_format.hpp"
 #include "perfdmf/pkb_view.hpp"
 #include "perfdmf/snapshot.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace perfknow::perfdmf {
 
@@ -63,11 +66,42 @@ std::size_t trial_charge(const profile::TrialView& t) {
 }
 
 profile::Trial load_text_snapshot(const std::filesystem::path& file) {
+  std::ifstream is(file);
+  if (!is) {
+    throw IoError("cannot open for reading: " + file.string());
+  }
   try {
-    return load_snapshot(file);
+    return read_snapshot(is);
   } catch (const ParseError& e) {
     if (e.file().empty()) throw e.with_file(file.string());
     throw;
+  }
+}
+
+profile::Trial load_pkb_file(const std::filesystem::path& file) {
+  std::ifstream is(file, std::ios::binary);
+  if (!is) {
+    throw IoError("cannot open for reading: " + file.string());
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  try {
+    return parse_pkb(std::move(ss).str());
+  } catch (const ParseError& e) {
+    if (e.file().empty()) throw e.with_file(file.string());
+    throw;
+  }
+}
+
+void save_pkb_file(const profile::TrialView& trial,
+                   const std::filesystem::path& file) {
+  std::ofstream os(file, std::ios::binary);
+  if (!os) {
+    throw IoError("cannot open for writing: " + file.string());
+  }
+  write_pkb(trial, os);
+  if (!os) {
+    throw IoError("write failed: " + file.string());
   }
 }
 
@@ -173,6 +207,9 @@ void Repository::evict_to_budget_locked() const {
       }
     }
     if (victim == nullptr) return;  // nothing evictable left
+    static telemetry::Counter& evictions =
+        telemetry::counter("perfdmf.repository.cache.eviction");
+    evictions.add();
     // Dropping our references is safe: callers that still hold the
     // shared_ptr keep the trial (and its mapping) alive.
     victim->trial.reset();
@@ -187,11 +224,16 @@ std::shared_ptr<PkbView> Repository::load_view(Entry& entry) const {
     const std::lock_guard lock(cache_->mutex);
     if (entry.view) return entry.view;
   }
+  static const telemetry::SpanSite site("perfdmf.load_view");
+  telemetry::ScopedSpan span(site);
   // The open/mmap/schema parse runs with the cache unlocked; holding the
   // entry's load mutex guarantees no other thread loads this entry, so
   // publishing below cannot clobber a concurrent load.
   auto view = std::make_shared<PkbView>(
       PkbView::open(entry.file, PkbView::Verify::kSchema));
+  static telemetry::Counter& mapped =
+      telemetry::counter("perfdmf.repository.bytes_mapped");
+  mapped.add(view->byte_size());
   const std::lock_guard lock(cache_->mutex);
   entry.view = view;
   charge_locked(entry, view->byte_size());
@@ -206,6 +248,15 @@ TrialPtr Repository::load_trial(Entry& entry) const {
       return entry.trial;
     }
   }
+  static const telemetry::SpanSite site("perfdmf.load_trial");
+  telemetry::ScopedSpan span(site);
+  const std::uint64_t t0 =
+      telemetry::enabled()
+          ? static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count())
+          : 0;
   TrialPtr trial;
   if (entry.pkb) {
     // Promotion verifies the column checksums and materializes the cube;
@@ -215,6 +266,16 @@ TrialPtr Repository::load_trial(Entry& entry) const {
     trial =
         std::make_shared<profile::Trial>(load_text_snapshot(entry.file));
   }
+  if (telemetry::enabled()) {
+    static telemetry::Histogram& load_ns =
+        telemetry::histogram("perfdmf.repository.load_ns");
+    load_ns.record(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count()) -
+        t0);
+  }
   const std::lock_guard lock(cache_->mutex);
   entry.trial = trial;
   charge_locked(entry, trial_charge(*trial));
@@ -222,6 +283,25 @@ TrialPtr Repository::load_trial(Entry& entry) const {
   evict_to_budget_locked();
   return trial;
 }
+
+namespace {
+
+// Cache hit/miss accounting shared by get() and view(). The hit rate
+// these feed (telemetry "perfdmf.repository.cache.hit_rate") is what the
+// shipped self_diagnosis rules judge, so a hit is strictly "served from
+// an already-resident representation without taking the load mutex".
+telemetry::Counter& cache_hits() {
+  static telemetry::Counter& c =
+      telemetry::counter("perfdmf.repository.cache.hit");
+  return c;
+}
+telemetry::Counter& cache_misses() {
+  static telemetry::Counter& c =
+      telemetry::counter("perfdmf.repository.cache.miss");
+  return c;
+}
+
+}  // namespace
 
 TrialPtr Repository::get(const std::string& application,
                          const std::string& experiment,
@@ -231,9 +311,11 @@ TrialPtr Repository::get(const std::string& application,
     const std::lock_guard lock(cache_->mutex);
     if (entry->trial) {
       touch_locked(*entry);
+      cache_hits().add();
       return entry->trial;
     }
   }
+  cache_misses().add();
   const std::lock_guard load(entry->load_mutex);
   return load_trial(*entry);
 }
@@ -246,13 +328,16 @@ TrialViewPtr Repository::view(const std::string& application,
     const std::lock_guard lock(cache_->mutex);
     if (entry->trial) {
       touch_locked(*entry);
+      cache_hits().add();
       return entry->trial;
     }
     if (entry->view) {
       touch_locked(*entry);
+      cache_hits().add();
       return entry->view;
     }
   }
+  cache_misses().add();
   const std::lock_guard load(entry->load_mutex);
   if (!entry->pkb) return load_trial(*entry);
   {
@@ -425,10 +510,10 @@ void Repository::save_entry(Entry& entry,
       // which must not turn a corrupt snapshot into a valid-looking one.
       const std::shared_ptr<PkbView> view = load_view(entry);
       view->verify_columns();
-      save_pkb(*view, tmp);
+      save_pkb_file(*view, tmp);
     } else {
       if (!trial) trial = load_trial(entry);
-      save_pkb(*trial, tmp);
+      save_pkb_file(*trial, tmp);
     }
     std::error_code ec;
     std::filesystem::rename(tmp, dest, ec);
@@ -482,7 +567,7 @@ Repository Repository::open_index(const std::filesystem::path& dir,
     const auto load_row = [&](std::size_t i) {
       const Row& row = rows[i];
       loaded[i] = row.pkb ? std::make_shared<profile::Trial>(
-                                load_pkb(row.file))
+                                load_pkb_file(row.file))
                           : std::make_shared<profile::Trial>(
                                 load_text_snapshot(row.file));
     };

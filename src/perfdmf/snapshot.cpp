@@ -83,18 +83,6 @@ void write_snapshot(const profile::TrialView& trial, std::ostream& os) {
   os << "end\n";
 }
 
-void save_snapshot(const profile::TrialView& trial,
-                   const std::filesystem::path& file) {
-  std::ofstream os(file);
-  if (!os) {
-    throw IoError("cannot open for writing: " + file.string());
-  }
-  write_snapshot(trial, os);
-  if (!os) {
-    throw IoError("write failed: " + file.string());
-  }
-}
-
 profile::Trial read_snapshot(std::istream& is) {
   profile::Trial trial;
   std::string line;
@@ -165,19 +153,6 @@ profile::Trial read_snapshot(std::istream& is) {
   if (!saw_header) throw ParseError("empty snapshot", lineno);
   if (!saw_end) throw ParseError("truncated snapshot: missing 'end'", lineno);
   return trial;
-}
-
-profile::Trial load_snapshot(const std::filesystem::path& file) {
-  std::ifstream is(file);
-  if (!is) {
-    throw IoError("cannot open for reading: " + file.string());
-  }
-  try {
-    return read_snapshot(is);
-  } catch (const ParseError& e) {
-    if (e.file().empty()) throw e.with_file(file.string());
-    throw;
-  }
 }
 
 std::string to_csv(const profile::TrialView& trial, const std::string& metric) {

@@ -14,19 +14,15 @@
 
 namespace perfknow::perfdmf {
 
-/// Serializes a trial to the PKPROF text format.
-/// @deprecated New code should call io::save_trial (io/format.hpp); this
-/// stays for direct access to the text format.
+/// Serializes a trial to the PKPROF text format. This is the format
+/// primitive behind io::save_trial (io/format.hpp) — call that for
+/// file-level access; the stream form exists for in-memory use.
 void write_snapshot(const profile::TrialView& trial, std::ostream& os);
-void save_snapshot(const profile::TrialView& trial,
-                   const std::filesystem::path& file);
 
-/// Parses a PKPROF snapshot; throws ParseError / IoError on bad input.
-/// @deprecated New code should call io::open_trial (io/format.hpp),
-/// which auto-detects the format; this stays for direct access.
+/// Parses a PKPROF snapshot; throws ParseError on bad input. The format
+/// primitive behind io::open_trial (io/format.hpp), which auto-detects
+/// the format and attaches the file name to diagnostics.
 [[nodiscard]] profile::Trial read_snapshot(std::istream& is);
-[[nodiscard]] profile::Trial load_snapshot(
-    const std::filesystem::path& file);
 
 /// Exports the per-thread exclusive values of one metric as CSV
 /// (rows = events, columns = threads) for spreadsheet-style inspection.

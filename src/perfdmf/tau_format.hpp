@@ -24,10 +24,10 @@
 
 namespace perfknow::perfdmf {
 
-/// @deprecated New code should call io::open_trial (io/format.hpp) on
-/// the directory; this stays for direct access.
-///
-/// Reads every "profile.N.C.T" file in `dir` into one Trial. The metric
+/// Reads every "profile.N.C.T" file in `dir` into one Trial. This is
+/// the TAU directory primitive behind io::open_trial (io/format.hpp) —
+/// prefer that front door; the direct form stays for callers that need
+/// TAU-specific error behaviour. The metric
 /// name is taken from the "templated_functions_MULTI_<METRIC>" header
 /// (plain "templated_functions" maps to TIME). Throws IoError when no
 /// profile files are present; ParseError on malformed contents.

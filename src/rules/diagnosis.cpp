@@ -1,0 +1,17 @@
+#include "rules/diagnosis.hpp"
+
+#include "common/strings.hpp"
+
+namespace perfknow::rules {
+
+std::string Diagnosis::to_string() const {
+  std::string out = "[" + problem + "] " + event;
+  if (!metric.empty()) out += " {" + metric + "}";
+  out += " (severity " + strings::format_double(severity, 2) + ", rule \"" +
+         rule + "\")";
+  if (!message.empty()) out += ": " + message;
+  if (!recommendation.empty()) out += " -> " + recommendation;
+  return out;
+}
+
+}  // namespace perfknow::rules

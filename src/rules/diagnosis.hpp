@@ -1,0 +1,30 @@
+// The structured conclusion a fired rule produces, shared by the rule
+// engine, analysis::report, the script bindings, and the telemetry
+// self-analysis loop — exporters and scripts consume these fields
+// directly instead of re-parsing formatted strings.
+#pragma once
+
+#include <string>
+
+namespace perfknow::rules {
+
+struct Diagnosis {
+  std::string rule;     ///< name of the rule that fired
+  std::string problem;  ///< problem tag, e.g. "LoadImbalance"
+  std::string event;    ///< the event (code region) the problem is on
+  std::string metric;   ///< the metric implicated; may be empty
+  double severity = 0.0;
+  std::string message;  ///< free-text detail; may be empty
+  std::string recommendation;
+
+  /// Canonical one-line text rendering:
+  ///   [problem] event {metric} (severity S, rule "R"): message
+  ///     -> recommendation
+  /// (all on one line; the {metric}, ": message", and
+  /// " -> recommendation" parts are omitted when their field is empty;
+  /// severity is formatted with 2 decimal places). Pinned byte-for-byte
+  /// by tests/test_shipped_rules.cpp — treat the format as frozen.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace perfknow::rules

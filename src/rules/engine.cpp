@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace perfknow::rules {
 
@@ -59,16 +60,27 @@ void RuleContext::print(const std::string& line) {
 void RuleContext::diagnose(std::string problem, std::string event,
                            double severity, std::string recommendation) {
   Diagnosis d;
-  d.rule = harness_.current_rule_;
   d.problem = std::move(problem);
   d.event = std::move(event);
   d.severity = severity;
   d.recommendation = std::move(recommendation);
+  diagnose(std::move(d));
+}
+
+void RuleContext::diagnose(Diagnosis d) {
+  d.rule = harness_.current_rule_;
   harness_.diagnoses_.push_back(std::move(d));
 }
 
 FactId RuleContext::assert_fact(Fact fact) {
-  return harness_.memory_.assert_fact(std::move(fact));
+  return harness_.assert_fact(std::move(fact));
+}
+
+FactId RuleHarness::assert_fact(Fact fact) {
+  static telemetry::Counter& asserted =
+      telemetry::counter("rules.facts_asserted");
+  asserted.add();
+  return memory_.assert_fact(std::move(fact));
 }
 
 namespace {
@@ -270,6 +282,13 @@ bool RuleHarness::delta_touches(const Rule& rule, FactId old_max,
 }
 
 std::size_t RuleHarness::process_rules(std::size_t max_firings) {
+  static const telemetry::SpanSite process_site("rules.process_rules");
+  static const telemetry::SpanSite match_site("rules.match");
+  static const telemetry::SpanSite fire_site("rules.fire");
+  static telemetry::Counter& fired_counter =
+      telemetry::counter("rules.fired");
+  telemetry::ScopedSpan process_span(process_site);
+
   std::size_t fired_count = 0;
   bool progressed = true;
   std::vector<Activation> agenda;
@@ -280,37 +299,41 @@ std::size_t RuleHarness::process_rules(std::size_t max_firings) {
     progressed = false;
     agenda.clear();
     const FactId round_max = memory_.last_id();
-    for (std::size_t r = 0; r < rules_.size(); ++r) {
-      if (strategy_ == MatchStrategy::kIndexed) {
-        FactId& watermark = rule_watermark_[r];
-        if (watermark >= round_max) continue;  // no facts newer than seen
-        if (!delta_touches(rules_[r], watermark, round_max)) {
+    {
+      telemetry::ScopedSpan match_span(match_site);
+      for (std::size_t r = 0; r < rules_.size(); ++r) {
+        if (strategy_ == MatchStrategy::kIndexed) {
+          FactId& watermark = rule_watermark_[r];
+          if (watermark >= round_max) continue;  // no facts newer than seen
+          if (!delta_touches(rules_[r], watermark, round_max)) {
+            watermark = round_max;
+            continue;
+          }
+          const std::size_t npat = rules_[r].patterns.size();
+          for (std::size_t new_pos = 0; new_pos < npat; ++new_pos) {
+            match_step(r, 0, new_pos, watermark, round_max,
+                       /*use_index=*/true, bindings, matched, undo, agenda);
+          }
           watermark = round_max;
-          continue;
+        } else {
+          match_step(r, 0, kAllPositions, 0, round_max, /*use_index=*/false,
+                     bindings, matched, undo, agenda);
         }
-        const std::size_t npat = rules_[r].patterns.size();
-        for (std::size_t new_pos = 0; new_pos < npat; ++new_pos) {
-          match_step(r, 0, new_pos, watermark, round_max,
-                     /*use_index=*/true, bindings, matched, undo, agenda);
-        }
-        watermark = round_max;
-      } else {
-        match_step(r, 0, kAllPositions, 0, round_max, /*use_index=*/false,
-                   bindings, matched, undo, agenda);
       }
+      // Salience (desc), then rule order, then fact ids — a total order,
+      // so both strategies fire identical sequences.
+      std::stable_sort(agenda.begin(), agenda.end(),
+                       [this](const Activation& a, const Activation& b) {
+                         const int sa = rules_[a.rule_index].salience;
+                         const int sb = rules_[b.rule_index].salience;
+                         if (sa != sb) return sa > sb;
+                         if (a.rule_index != b.rule_index) {
+                           return a.rule_index < b.rule_index;
+                         }
+                         return a.facts < b.facts;
+                       });
     }
-    // Salience (desc), then rule order, then fact ids — a total order,
-    // so both strategies fire identical sequences.
-    std::stable_sort(agenda.begin(), agenda.end(),
-                     [this](const Activation& a, const Activation& b) {
-                       const int sa = rules_[a.rule_index].salience;
-                       const int sb = rules_[b.rule_index].salience;
-                       if (sa != sb) return sa > sb;
-                       if (a.rule_index != b.rule_index) {
-                         return a.rule_index < b.rule_index;
-                       }
-                       return a.facts < b.facts;
-                     });
+    telemetry::ScopedSpan fire_span(fire_site);
     for (const auto& act : agenda) {
       const auto key = std::make_pair(act.rule_index, act.facts);
       if (fired_.count(key) != 0) continue;
@@ -319,6 +342,7 @@ std::size_t RuleHarness::process_rules(std::size_t max_firings) {
       RuleContext ctx(*this, act.bindings, act.facts);
       rules_[act.rule_index].action(ctx);
       ++fired_count;
+      fired_counter.add();
       progressed = true;
       if (fired_count >= max_firings) {
         throw EvalError("rule engine exceeded " +

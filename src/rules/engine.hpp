@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "rules/diagnosis.hpp"
 #include "rules/fact.hpp"
 
 namespace perfknow::rules {
@@ -125,9 +126,12 @@ class RuleContext {
   /// Emits an output line (collected by the harness, as System.out in
   /// the paper's Fig. 2 action).
   void print(const std::string& line);
-  /// Records a structured diagnosis.
+  /// Records a structured diagnosis (metric/message left empty).
   void diagnose(std::string problem, std::string event, double severity,
                 std::string recommendation);
+  /// Records a fully-populated diagnosis; `d.rule` is overwritten with
+  /// the firing rule's name.
+  void diagnose(Diagnosis d);
   /// Asserts a new fact (visible to subsequent matching cycles).
   FactId assert_fact(Fact fact);
 
@@ -142,15 +146,6 @@ struct Rule {
   int salience = 0;
   std::vector<Pattern> patterns;
   std::function<void(RuleContext&)> action;
-};
-
-/// A structured conclusion produced by a fired rule.
-struct Diagnosis {
-  std::string rule;
-  std::string problem;
-  std::string event;
-  double severity = 0.0;
-  std::string recommendation;
 };
 
 /// How RuleHarness enumerates activations. See the file comment.
@@ -176,9 +171,7 @@ class RuleHarness {
   [[nodiscard]] const WorkingMemory& memory() const noexcept {
     return memory_;
   }
-  FactId assert_fact(Fact fact) {
-    return memory_.assert_fact(std::move(fact));
-  }
+  FactId assert_fact(Fact fact);
 
   /// Runs to quiescence; returns the number of rule firings. Throws
   /// EvalError after `max_firings` (runaway-chain guard).

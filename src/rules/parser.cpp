@@ -448,8 +448,14 @@ class Parser {
           const FactValue v = eval_expr(*it->second, ctx.bindings());
           if (const auto* d = std::get_if<double>(&v)) severity = *d;
         }
-        ctx.diagnose(get_text("problem"), get_text("event"), severity,
-                     get_text("recommendation"));
+        Diagnosis d;
+        d.problem = get_text("problem");
+        d.event = get_text("event");
+        d.metric = get_text("metric");
+        d.severity = severity;
+        d.message = get_text("message");
+        d.recommendation = get_text("recommendation");
+        ctx.diagnose(std::move(d));
       };
     }
     if (is_ident("assert")) {

@@ -307,6 +307,76 @@ then
 end
 )RULES";
 
+constexpr std::string_view kSelfDiagnosis = R"RULES(
+// Self-observation rules: diagnose perfknow's own execution from a
+// telemetry trial (telemetry::to_trial, re-asserted as facts by
+// telemetry::assert_self_facts). Not part of openuh_rules(): these
+// consume TelemetryMetricFact / TelemetrySpanFact, not profile facts.
+rule "Repository Cache Thrashing"
+when
+  r : TelemetryMetricFact( name == "perfdmf.repository.cache.hit_rate",
+                           value < 0.5, v : value )
+  TelemetryMetricFact( name == "perfdmf.repository.cache.lookups",
+                       value >= 16 )
+then
+  print("Repository cache hit rate is only " + v)
+  diagnose(problem = "RepositoryCacheThrashing", event = "perfdmf.repository",
+           metric = "perfdmf.repository.cache.hit_rate", severity = 1 - v,
+           message = "demand-load cache hit rate " + v + " is below 0.5",
+           recommendation = "Raise the attach() cache budget (set_cache_budget) or pin hot trials with put()")
+end
+
+rule "Rule Matching Dominates Ingest"
+when
+  m : TelemetrySpanFact( name == "rules.match", totalUsec > 0,
+                         t : totalUsec )
+  i : TelemetrySpanFact( name == "io.open_trial", totalUsec > 0,
+                         u : totalUsec, totalUsec < t * 0.5 )
+then
+  print("Rule matching took " + t + " usec vs " + u + " usec of ingest")
+  diagnose(problem = "RuleMatchDominatesIngest", event = "rules.match",
+           metric = "TIME", severity = t / (t + u),
+           message = "match time " + t + " usec is more than twice ingest time " + u + " usec",
+           recommendation = "Use MatchStrategy.kIndexed and assert facts for hot events only")
+end
+
+rule "Thread Pool Imbalance"
+when
+  w : TelemetrySpanFact( name == "threadpool.chunk", imbalanceCv > 0.25,
+                         c : imbalanceCv )
+then
+  print("Thread pool busy-time imbalance cv is " + c)
+  diagnose(problem = "ThreadPoolImbalance", event = "threadpool.chunk",
+           metric = "TIME", severity = c,
+           message = "per-worker busy-time stddev/mean is " + c,
+           recommendation = "Reduce the parallel_for grain so chunks are smaller, or balance per-index work")
+end
+
+rule "Interpreter Overhead Dominates"
+when
+  s : TelemetrySpanFact( name == "script.statement", share > 0.5,
+                         h : share )
+then
+  print("Interpreted statements account for " + h + " of instrumented time")
+  diagnose(problem = "InterpreterOverheadDominates", event = "script.statement",
+           metric = "TIME", severity = h,
+           message = "interpreted statements take " + h + " of all instrumented time",
+           recommendation = "Move per-event loops from PerfScript into host calls (the assert*Facts helpers)")
+end
+
+rule "Telemetry Ring Overflow"
+when
+  d : TelemetryMetricFact( name == "telemetry.dropped_spans", value > 0,
+                           n : value )
+then
+  print("Telemetry dropped " + n + " spans before the snapshot")
+  diagnose(problem = "TelemetryRingOverflow", event = "perfknow",
+           metric = "telemetry.dropped_spans", severity = 1,
+           message = "dropped " + n + " spans to ring wraparound",
+           recommendation = "Snapshot more often, or disable per-statement spans for long scripts")
+end
+)RULES";
+
 }  // namespace
 
 std::string_view stalls_per_cycle() { return kStallsPerCycle; }
@@ -318,6 +388,7 @@ std::string_view power() { return kPower; }
 std::string_view communication() { return kCommunication; }
 std::string_view instrumentation() { return kInstrumentation; }
 std::string_view openmp() { return kOpenmp; }
+std::string_view self_diagnosis() { return kSelfDiagnosis; }
 
 std::string openuh_rules() {
   std::string all;

@@ -51,6 +51,13 @@ namespace perfknow::rules::builtin {
 /// ranks, wait domination, late senders, copy-heavy exchanges.
 [[nodiscard]] std::string_view communication();
 
+/// Self-observation rules over perfknow's own telemetry trials
+/// (TelemetryMetricFact / TelemetrySpanFact from
+/// telemetry::assert_self_facts): cache thrashing, match-dominates-
+/// ingest, thread-pool imbalance, interpreter overhead, ring overflow.
+/// Deliberately NOT part of openuh_rules().
+[[nodiscard]] std::string_view self_diagnosis();
+
 /// The union of all of the above — the "OpenUHRules" file of Fig. 1.
 [[nodiscard]] std::string openuh_rules();
 

@@ -14,6 +14,9 @@
 #include "power/power_model.hpp"
 #include "rules/parser.hpp"
 #include "rules/rulebases.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/self_analysis.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace perfknow::script {
 
@@ -84,8 +87,10 @@ const std::string& arg_string(const std::vector<Value>& args,
   return args[i].as_string();
 }
 
-/// Resolves a rulebase name: built-in names first, then the filesystem.
-std::string resolve_rules(const std::string& name) {
+/// Resolves a rulebase name: built-in names first, then the session's
+/// rules_path directory (when configured), then the filesystem as-is.
+std::string resolve_rules(const std::string& name,
+                          const std::filesystem::path& rules_path) {
   namespace rb = rules::builtin;
   // The Fig. 1 name and friendly aliases map to the embedded rulebases.
   if (name == "openuh/OpenUHRules.drl" || name == "OpenUHRules.drl" ||
@@ -101,14 +106,22 @@ std::string resolve_rules(const std::string& name) {
   if (name == "communication") return std::string(rb::communication());
   if (name == "instrumentation") return std::string(rb::instrumentation());
   if (name == "openmp") return std::string(rb::openmp());
+  if (name == "self_diagnosis") return std::string(rb::self_diagnosis());
+  const auto slurp = [](std::ifstream& is) {
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+  };
+  if (!rules_path.empty()) {
+    std::ifstream is(rules_path / name);
+    if (is) return slurp(is);
+  }
   std::ifstream is(name);
   if (!is) {
     throw NotFoundError("unknown rulebase '" + name +
                         "' (not a built-in name and not a readable file)");
   }
-  std::ostringstream ss;
-  ss << is.rdbuf();
-  return ss.str();
+  return slurp(is);
 }
 
 /// saveTrial historically always wrote a PKPROF snapshot, whatever the
@@ -150,10 +163,51 @@ hwcounters::CounterVector mean_counters(const profile::TrialView& t) {
 
 }  // namespace
 
-AnalysisSession::AnalysisSession(perfdmf::Repository& repository)
-    : repository_(&repository),
+AnalysisSession::AnalysisSession(SessionOptions options)
+    : options_(std::move(options)),
+      repository_(options_.repository),
       harness_(std::make_shared<rules::RuleHarness>()) {
+  if (repository_ == nullptr) {
+    throw InvalidArgumentError(
+        "AnalysisSession: SessionOptions.repository is null");
+  }
+  if (options_.threads != 0) {
+    pool_ = std::make_unique<ThreadPool>(options_.threads);
+  }
+  harness_->set_match_strategy(options_.match_strategy);
+  if (options_.enable_telemetry) telemetry::set_enabled(true);
   register_api();
+}
+
+// The deprecation is for callers; delegating to the new constructor from
+// here is the compatibility shim itself.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+AnalysisSession::AnalysisSession(perfdmf::Repository& repository)
+    : AnalysisSession(SessionOptions{&repository}) {}
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+AnalysisSession::~AnalysisSession() {
+  if (options_.telemetry_trace.empty()) return;
+  // Best effort: a failed trace dump must not throw out of a destructor.
+  try {
+    std::ofstream os(options_.telemetry_trace);
+    if (os) telemetry::write_chrome_trace(telemetry::snapshot(), os);
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+}
+
+ThreadPool& AnalysisSession::pool() noexcept {
+  return pool_ ? *pool_ : ThreadPool::shared();
+}
+
+void AnalysisSession::run(const std::string& source) {
+  const ThreadPool::CurrentScope scope(pool());
+  interp_.run(source);
 }
 
 void AnalysisSession::run_file(const std::filesystem::path& path) {
@@ -175,6 +229,7 @@ void AnalysisSession::run_file(const std::filesystem::path& path) {
 void AnalysisSession::register_api() {
   auto* repo = repository_;
   auto harness = harness_;
+  const std::filesystem::path rules_path = options_.rules_path;
 
   // ---- Utilities ---------------------------------------------------------
   interp_.set_global(
@@ -376,11 +431,12 @@ void AnalysisSession::register_api() {
       "RuleHarness",
       make_dict(
           {{"useGlobalRules",
-            make_host_fn([harness, harness_obj](
+            make_host_fn([harness, harness_obj, rules_path](
                              Interpreter&, const std::vector<Value>& a) {
               rules::add_rules(
                   *harness,
-                  resolve_rules(arg_string(a, 0, "useGlobalRules")));
+                  resolve_rules(arg_string(a, 0, "useGlobalRules"),
+                                rules_path));
               return harness_obj;
             })},
            {"getInstance",
@@ -429,9 +485,12 @@ void AnalysisSession::register_api() {
           out.push_back(make_dict({{"rule", Value(d.rule)},
                                    {"problem", Value(d.problem)},
                                    {"event", Value(d.event)},
+                                   {"metric", Value(d.metric)},
                                    {"severity", Value(d.severity)},
+                                   {"message", Value(d.message)},
                                    {"recommendation",
-                                    Value(d.recommendation)}}));
+                                    Value(d.recommendation)},
+                                   {"text", Value(d.to_string())}}));
         }
         return make_list(std::move(out));
       });
@@ -590,6 +649,46 @@ void AnalysisSession::register_api() {
              {"seconds", Value(seconds)},
              {"flopPerJoule",
               Value(power::flops_per_joule(flops, joules))}});
+      }));
+
+  // ---- Telemetry (self-observation) ----------------------------------------
+  // Telemetry.snapshot() closes the loop from inside a script: the
+  // process's own spans/counters become a Trial host object that the rest
+  // of this API (TrialMeanResult, saveTrial, assertSelfFacts +
+  // useGlobalRules("self_diagnosis") + processRules) treats like any
+  // ingested profile.
+  interp_.set_global(
+      "Telemetry",
+      make_dict({
+          {"snapshot",
+           make_host_fn([](Interpreter&, const std::vector<Value>& a) {
+             const std::string name =
+                 a.empty() ? "perfknow.self" : a[0].as_string();
+             return make_host_object(
+                 "Trial", std::make_shared<TrialHandle>(TrialHandle{
+                              std::make_shared<profile::Trial>(
+                                  telemetry::to_trial(telemetry::snapshot(),
+                                                      name))}));
+           })},
+          {"enabled",
+           make_host_fn([](Interpreter&, const std::vector<Value>&) {
+             return Value(telemetry::enabled());
+           })},
+          {"setEnabled",
+           make_host_fn([](Interpreter&, const std::vector<Value>& a) {
+             telemetry::set_enabled(a.at(0).truthy());
+             return Value();
+           })},
+          {"reset",
+           make_host_fn([](Interpreter&, const std::vector<Value>&) {
+             telemetry::reset();
+             return Value();
+           })},
+          {"assertSelfFacts",
+           make_host_fn([harness](Interpreter&, const std::vector<Value>& a) {
+             return Value(static_cast<double>(telemetry::assert_self_facts(
+                 *harness, *trial_of(a.at(0))->trial)));
+           })},
       }));
 }
 

@@ -27,33 +27,84 @@
 //   correlateEvents, loadBalance, topEvents,
 //   assertLoadBalanceFacts, assertStallFacts, assertMemoryLocalityFacts,
 //   estimatePower
+//   Telemetry.snapshot / enabled / setEnabled / reset / assertSelfFacts
 //
 // Host-object types: "Trial", "TrialResult", "DeriveMetricOperation",
 // "RuleHarness".
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 
+#include "common/thread_pool.hpp"
 #include "perfdmf/repository.hpp"
 #include "rules/engine.hpp"
 #include "script/interpreter.hpp"
 
 namespace perfknow::script {
 
+/// Everything an AnalysisSession can be configured with, in one place.
+/// Only `repository` is required; the defaults reproduce the historical
+/// one-argument constructor's behaviour exactly.
+struct SessionOptions {
+  /// The trial store scripts see as `Utilities`. Required; must outlive
+  /// the session.
+  perfdmf::Repository* repository = nullptr;
+
+  /// Extra directory RuleHarness.useGlobalRules searches for ".rules"
+  /// files after the built-in names (so scripts can say
+  /// useGlobalRules("self_diagnosis.rules") with rules_path = "rules/").
+  std::filesystem::path rules_path = {};
+
+  /// Rule-matching strategy installed on the session's harness.
+  rules::MatchStrategy match_strategy = rules::MatchStrategy::kIndexed;
+
+  /// Worker threads for analysis primitives run from this session's
+  /// scripts. 0 means the process-wide ThreadPool::shared(); any other
+  /// value gives the session a private pool of that size, installed via
+  /// ThreadPool::CurrentScope for the duration of each run()/run_file().
+  std::size_t threads = 0;
+
+  /// Turns telemetry collection on at construction (equivalent to
+  /// telemetry::set_enabled(true); the PERFKNOW_TELEMETRY environment
+  /// variable still works without this).
+  bool enable_telemetry = false;
+
+  /// When non-empty, the session destructor writes a Chrome trace_event
+  /// JSON snapshot of the whole process's telemetry to this file.
+  std::filesystem::path telemetry_trace = {};
+};
+
 class AnalysisSession {
  public:
-  /// The repository must outlive the session.
+  /// Configured construction; throws InvalidArgumentError when
+  /// options.repository is null.
+  explicit AnalysisSession(SessionOptions options);
+
+  /// Historical shorthand for AnalysisSession(SessionOptions{&repository}).
+  [[deprecated(
+      "construct with SessionOptions (aggregate: set .repository)")]]
   explicit AnalysisSession(perfdmf::Repository& repository);
+
+  ~AnalysisSession();
+  AnalysisSession(const AnalysisSession&) = delete;
+  AnalysisSession& operator=(const AnalysisSession&) = delete;
 
   [[nodiscard]] Interpreter& interpreter() noexcept { return interp_; }
   [[nodiscard]] rules::RuleHarness& harness() noexcept { return *harness_; }
   [[nodiscard]] perfdmf::Repository& repository() noexcept {
     return *repository_;
   }
+  [[nodiscard]] const SessionOptions& options() const noexcept {
+    return options_;
+  }
+  /// The pool analysis primitives use during run(): the private pool
+  /// when options().threads != 0, else ThreadPool::shared().
+  [[nodiscard]] ThreadPool& pool() noexcept;
 
   /// Runs a script; print() output is collected on the interpreter.
-  void run(const std::string& source) { interp_.run(source); }
+  void run(const std::string& source);
   void run_file(const std::filesystem::path& path);
 
   [[nodiscard]] const std::vector<std::string>& output() const noexcept {
@@ -63,7 +114,9 @@ class AnalysisSession {
  private:
   void register_api();
 
+  SessionOptions options_;
   perfdmf::Repository* repository_;
+  std::unique_ptr<ThreadPool> pool_;  ///< only when options_.threads != 0
   std::shared_ptr<rules::RuleHarness> harness_;
   Interpreter interp_;
 };

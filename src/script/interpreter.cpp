@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace perfknow::script {
 
@@ -49,7 +50,14 @@ void Interpreter::run(const std::string& source) {
   auto prog = parse_program(source);
   retained_.push_back(prog);
   executed_ = 0;
-  exec_block(prog->body, nullptr);
+  // Each top-level statement is a span (nested blocks run inside it), so
+  // a telemetry snapshot attributes interpreter time per statement; the
+  // self_diagnosis rules judge "script.statement"'s share of the run.
+  static const telemetry::SpanSite stmt_site("script.statement");
+  for (const auto& s : prog->body) {
+    telemetry::ScopedSpan span(stmt_site);
+    exec(*s, nullptr);
+  }
 }
 
 Value Interpreter::eval_expression(const std::string& source) {
@@ -191,6 +199,11 @@ void Interpreter::exec(const Stmt& stmt, Env* local) {
 
 Value Interpreter::call(const Value& callee, const std::vector<Value>& args) {
   if (const auto* host = std::get_if<HostFnPtr>(&callee.v)) {
+    static const telemetry::SpanSite host_site("script.host_call");
+    static telemetry::Counter& host_calls =
+        telemetry::counter("script.host_calls");
+    telemetry::ScopedSpan span(host_site);
+    host_calls.add();
     return (**host)(*this, args);
   }
   // Namespace dicts with a "__call__" entry act like Java classes whose

@@ -1,0 +1,40 @@
+// Telemetry exporters: Chrome trace_event JSON for timeline viewing,
+// and a profile::Trial builder so perfknow's own execution can be
+// stored, reloaded, and diagnosed like any other profile.
+//
+// Trial mapping (the TAU measurement model applied to ourselves):
+//   * span name  -> event (group "TELEMETRY", parented under a
+//     synthetic root event "perfknow" so main_event() and runtime
+//     fractions behave);
+//   * per (thread, span): inclusive TIME += duration, exclusive
+//     TIME += duration - enclosed spans, calls += 1 (metric "TIME",
+//     units usec — the PerfDMF convention);
+//   * counter -> metric (units "count") valued on the root event of
+//     thread 0;
+//   * histogram -> two metrics, "<name>.count" and "<name>.mean",
+//     valued on the root event of thread 0;
+//   * Snapshot::dropped_spans -> metric "telemetry.dropped_spans" and
+//     metadata of the same name.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "profile/profile.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace perfknow::telemetry {
+
+/// Writes the snapshot as Chrome trace_event JSON (load in
+/// chrome://tracing or Perfetto). Complete spans become "X" events with
+/// microsecond timestamps relative to the earliest span; counters
+/// become one trailing "C" event each.
+void write_chrome_trace(const Snapshot& snap, std::ostream& os);
+
+/// Builds a Trial from the snapshot (see the mapping above). The
+/// result round-trips through io::save_trial / io::open_trial like any
+/// other profile.
+[[nodiscard]] profile::Trial to_trial(
+    const Snapshot& snap, const std::string& name = "perfknow.self");
+
+}  // namespace perfknow::telemetry

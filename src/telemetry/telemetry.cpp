@@ -1,0 +1,266 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace perfknow::telemetry {
+
+namespace detail {
+std::atomic<bool> g_enabled{[] {
+  if (!kCompiledIn) return false;
+  const char* env = std::getenv("PERFKNOW_TELEMETRY");
+  if (env == nullptr) return false;
+  const std::string_view v(env);
+  return v == "1" || v == "on" || v == "true" || v == "yes";
+}()};
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  if constexpr (kCompiledIn) {
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+  } else {
+    (void)on;
+  }
+}
+
+namespace {
+
+constexpr std::size_t kRingCapacity = std::size_t{1} << 14;
+
+[[nodiscard]] std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// One ring slot. The seq field is a per-slot seqlock: record i (the
+// i-th span this thread ever emitted; the slot holds i, i+capacity,
+// i+2*capacity, ...) is published by storing 2*i+1 (write in progress),
+// the fields, then 2*i+2 (complete). A reader expecting record i
+// accepts the fields only when seq == 2*i+2 both before and after
+// reading them. All fields are atomics so concurrent overwrites are
+// well-defined (the validation discards them) and TSan-clean.
+struct Slot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint32_t> name{0};
+  std::atomic<std::uint64_t> start_ns{0};
+  std::atomic<std::uint64_t> duration_ns{0};
+  std::atomic<std::uint64_t> exclusive_ns{0};
+};
+
+// Single-writer ring: only the owning thread stores, any thread may
+// read via snapshot(). head counts spans ever emitted (monotonic).
+struct ThreadBuffer {
+  std::uint32_t thread_index = 0;
+  std::atomic<std::uint64_t> head{0};
+  std::vector<Slot> slots{kRingCapacity};
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  std::vector<std::string> names;                    // NameId -> name
+  std::map<std::string, NameId, std::less<>> name_ids;
+};
+
+// Leaked on purpose: thread-local destructors of worker threads may run
+// after static destruction would have torn the registry down.
+Registry& registry() {
+  static Registry* r = new Registry;  // NOLINT(cppcoreguidelines-owning-memory)
+  if (r->names.empty()) r->names.emplace_back();  // NameId 0 == ""
+  return *r;
+}
+
+// Open spans of the current thread; exclusive time is derived by
+// charging each finished span's duration to its parent frame.
+struct StackFrame {
+  NameId name = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t child_ns = 0;
+};
+
+struct ThreadState {
+  std::shared_ptr<ThreadBuffer> buffer;
+  std::vector<StackFrame> stack;
+
+  ThreadState() {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    buffer = std::make_shared<ThreadBuffer>();
+    buffer->thread_index = static_cast<std::uint32_t>(reg.buffers.size());
+    reg.buffers.push_back(buffer);
+    stack.reserve(16);
+  }
+  // On thread exit the buffer stays registered (shared_ptr) so spans
+  // from retired pool workers survive into later snapshots.
+};
+
+ThreadState& thread_state() {
+  thread_local ThreadState state;
+  return state;
+}
+
+}  // namespace
+
+namespace detail {
+
+void span_begin(NameId name) {
+  ThreadState& s = thread_state();
+  s.stack.push_back(StackFrame{name, now_ns(), 0});
+}
+
+void span_end() noexcept {
+  ThreadState& s = thread_state();
+  if (s.stack.empty()) return;
+  const StackFrame frame = s.stack.back();
+  s.stack.pop_back();
+  const std::uint64_t end = now_ns();
+  const std::uint64_t dur = end > frame.start_ns ? end - frame.start_ns : 0;
+  const std::uint64_t excl =
+      dur > frame.child_ns ? dur - frame.child_ns : 0;
+  if (!s.stack.empty()) s.stack.back().child_ns += dur;
+
+  ThreadBuffer& b = *s.buffer;
+  const std::uint64_t i = b.head.load(std::memory_order_relaxed);
+  Slot& slot = b.slots[i % kRingCapacity];
+  slot.seq.store(2 * i + 1, std::memory_order_release);
+  slot.name.store(frame.name, std::memory_order_relaxed);
+  slot.start_ns.store(frame.start_ns, std::memory_order_relaxed);
+  slot.duration_ns.store(dur, std::memory_order_relaxed);
+  slot.exclusive_ns.store(excl, std::memory_order_relaxed);
+  slot.seq.store(2 * i + 2, std::memory_order_release);
+  b.head.store(i + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+NameId intern(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.name_ids.find(name);
+  if (it != reg.name_ids.end()) return it->second;
+  const auto id = static_cast<NameId>(reg.names.size());
+  reg.names.emplace_back(name);
+  reg.name_ids.emplace(std::string(name), id);
+  return id;
+}
+
+std::string name_of(NameId id) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (id >= reg.names.size()) return {};
+  return reg.names[id];
+}
+
+Counter& counter(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.counters.find(name);
+  if (it == reg.counters.end()) {
+    it = reg.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+void Histogram::record(std::uint64_t v) noexcept {
+  if (!enabled()) return;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  buckets_[static_cast<std::size_t>(std::bit_width(v))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void Histogram::reset_values() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Histogram& histogram(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.histograms.find(name);
+  if (it == reg.histograms.end()) {
+    it = reg.histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot snapshot() {
+  Registry& reg = registry();
+  Snapshot snap;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    snap.names = reg.names;
+    buffers = reg.buffers;
+    for (const auto& [name, c] : reg.counters) {
+      snap.counters.push_back(CounterSample{name, c->value()});
+    }
+    for (const auto& [name, h] : reg.histograms) {
+      HistogramSample s;
+      s.name = name;
+      s.count = h->count();
+      s.sum = h->sum();
+      s.buckets.resize(Histogram::kBuckets);
+      for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+        s.buckets[i] = h->bucket(i);
+      }
+      snap.histograms.push_back(std::move(s));
+    }
+  }
+  for (const auto& b : buffers) {
+    const std::uint64_t head = b->head.load(std::memory_order_acquire);
+    const std::uint64_t lo =
+        head > kRingCapacity ? head - kRingCapacity : 0;
+    snap.dropped_spans += lo;  // overwritten by wraparound
+    for (std::uint64_t i = lo; i < head; ++i) {
+      Slot& slot = b->slots[i % kRingCapacity];
+      const std::uint64_t want = 2 * i + 2;
+      if (slot.seq.load(std::memory_order_acquire) != want) {
+        ++snap.dropped_spans;
+        continue;
+      }
+      SpanRecord r;
+      r.name = slot.name.load(std::memory_order_relaxed);
+      r.thread = b->thread_index;
+      r.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+      r.duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
+      r.exclusive_ns = slot.exclusive_ns.load(std::memory_order_relaxed);
+      if (slot.seq.load(std::memory_order_acquire) != want) {
+        ++snap.dropped_spans;  // overwritten while reading
+        continue;
+      }
+      snap.spans.push_back(r);
+    }
+    snap.thread_count =
+        std::max(snap.thread_count, b->thread_index + 1);
+  }
+  return snap;
+}
+
+void reset() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& b : reg.buffers) {
+    for (auto& slot : b->slots) slot.seq.store(0, std::memory_order_relaxed);
+    b->head.store(0, std::memory_order_relaxed);
+  }
+  for (const auto& [name, c] : reg.counters) c->reset_value();
+  for (const auto& [name, h] : reg.histograms) h->reset_values();
+}
+
+std::size_t ring_capacity() noexcept { return kRingCapacity; }
+
+}  // namespace perfknow::telemetry

@@ -1,0 +1,216 @@
+// Self-observation: low-overhead in-process telemetry.
+//
+// perfknow diagnoses other programs' performance from profiles; this
+// module lets it capture its *own* execution the same way, closing the
+// paper's loop between measurement and knowledge. Three primitives:
+//
+//   * Counter    — a process-wide named monotonic counter (relaxed
+//                  atomic add on the hot path);
+//   * Histogram  — power-of-two bucketed value distribution (e.g.
+//                  snapshot load latency in nanoseconds);
+//   * ScopedSpan — an RAII timed region. Completed spans go to a
+//                  per-thread lock-free ring buffer (single writer per
+//                  ring, seqlock slots), so emission never takes a
+//                  mutex and never blocks another thread.
+//
+// Cost model:
+//   * compiled out: building with -DPERFKNOW_NO_TELEMETRY turns
+//     enabled() into `false` at compile time and every probe into dead
+//     code;
+//   * disabled (default at runtime): one relaxed atomic load and a
+//     predictable branch per probe — bench/bench_telemetry.cpp gates
+//     this at <= 2% of a no-telemetry build on the rules-engine
+//     workload;
+//   * enabled: a steady_clock read at span entry/exit plus a handful of
+//     relaxed atomic stores into the thread-local ring. Rings hold the
+//     most recent ring_capacity() spans per thread; older records are
+//     overwritten and surface as Snapshot::dropped_spans.
+//
+// Telemetry starts disabled unless the PERFKNOW_TELEMETRY environment
+// variable is set to a truthy value ("1", "on", "true", "yes");
+// set_enabled() flips it at runtime.
+//
+// snapshot() drains everything into a plain-data Snapshot, which
+// telemetry/export.hpp turns into a Chrome trace or a profile::Trial —
+// the latter feeds PKB round-trips and the rules/self_diagnosis.rules
+// rulebase (telemetry/self_analysis.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace perfknow::telemetry {
+
+/// False when the library was built with -DPERFKNOW_NO_TELEMETRY: every
+/// probe below is then statically dead.
+#ifdef PERFKNOW_NO_TELEMETRY
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when probes record. The hot-path check: a relaxed load.
+[[nodiscard]] inline bool enabled() noexcept {
+  if constexpr (!kCompiledIn) return false;
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips recording at runtime. No-op in a no-telemetry build.
+void set_enabled(bool on) noexcept;
+
+/// Interned span-name id. 0 is reserved for the empty name.
+using NameId = std::uint32_t;
+
+/// Interns `name` in the process-wide name table (takes a mutex; call
+/// once per site, not per event — see SpanSite).
+[[nodiscard]] NameId intern(std::string_view name);
+
+/// Resolves an interned id; returns "" for unknown ids.
+[[nodiscard]] std::string name_of(NameId id);
+
+/// A named monotonic counter. Obtain refs via counter() once and cache
+/// them (function-local static at the instrumentation site).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset_value() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Registry lookup (mutex-guarded; cache the reference). The returned
+/// reference lives for the whole process.
+[[nodiscard]] Counter& counter(std::string_view name);
+
+/// A power-of-two bucketed histogram of non-negative values; bucket i
+/// counts values with bit_width == i (bucket 0: the value 0).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::uint64_t v) noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset_values() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+/// Registry lookup (mutex-guarded; cache the reference).
+[[nodiscard]] Histogram& histogram(std::string_view name);
+
+/// A span's interned name, resolved once. Declare as a function-local
+/// static at hot instrumentation sites:
+///
+///   static const telemetry::SpanSite site("rules.match");
+///   telemetry::ScopedSpan span(site);
+struct SpanSite {
+  explicit SpanSite(std::string_view name) : id(intern(name)) {}
+  NameId id;
+};
+
+namespace detail {
+void span_begin(NameId name);
+void span_end() noexcept;
+}  // namespace detail
+
+/// RAII timed region. Construction/destruction cost is one enabled()
+/// check when telemetry is off. Spans nest per thread; the exporter
+/// derives exclusive time from the nesting.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const SpanSite& site) noexcept {
+    if (enabled()) {
+      active_ = true;
+      detail::span_begin(site.id);
+    }
+  }
+  /// Cold-path overload for dynamic names (interns under a mutex).
+  explicit ScopedSpan(std::string_view name) {
+    if (enabled()) {
+      active_ = true;
+      detail::span_begin(intern(name));
+    }
+  }
+  ~ScopedSpan() {
+    if (active_) detail::span_end();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+/// One completed span as read out of a ring.
+struct SpanRecord {
+  NameId name = 0;
+  std::uint32_t thread = 0;       ///< dense per-thread index (0 = first)
+  std::uint64_t start_ns = 0;     ///< steady_clock, process-relative
+  std::uint64_t duration_ns = 0;  ///< inclusive wall time
+  std::uint64_t exclusive_ns = 0; ///< duration minus enclosed spans
+};
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::vector<std::uint64_t> buckets;  ///< Histogram::kBuckets entries
+};
+
+/// Plain-data capture of all telemetry state at one point in time.
+struct Snapshot {
+  std::vector<std::string> names;  ///< NameId -> span name
+  std::vector<SpanRecord> spans;   ///< all rings, oldest retained first
+  std::vector<CounterSample> counters;
+  std::vector<HistogramSample> histograms;
+  /// Spans lost to ring wraparound (cumulative) or torn reads.
+  std::uint64_t dropped_spans = 0;
+  /// Number of threads that ever emitted a span (dense index bound).
+  std::uint32_t thread_count = 0;
+};
+
+/// Drains counters, histograms, and every thread's ring into a
+/// Snapshot. Safe to call while other threads keep emitting: records
+/// written concurrently are either consistently included or counted as
+/// dropped, never torn.
+[[nodiscard]] Snapshot snapshot();
+
+/// Zeroes all counters, histograms, and rings. Callers must ensure no
+/// span is being emitted concurrently (quiesce first) — intended for
+/// tests and benchmarks, not for concurrent production use.
+void reset();
+
+/// Per-thread ring capacity in spans (compile-time constant; exposed
+/// for the wraparound tests).
+[[nodiscard]] std::size_t ring_capacity() noexcept;
+
+}  // namespace perfknow::telemetry

@@ -60,7 +60,7 @@ std::shared_ptr<Trial> make_stall_trial() {
 TEST(Bindings, Figure1ScriptEndToEnd) {
   Repository repo;
   repo.put("Fluid Dynamic", "rib 45", make_stall_trial());
-  AnalysisSession session(repo);
+  AnalysisSession session(pk::script::SessionOptions{&repo});
 
   // The paper's Fig. 1 script, ported to PerfScript (same call surface).
   session.run(R"(
@@ -101,7 +101,7 @@ ruleHarness.processRules()
 TEST(Bindings, DerivedMetricValuesAreQuotients) {
   Repository repo;
   repo.put("app", "exp", make_stall_trial());
-  AnalysisSession session(repo);
+  AnalysisSession session(pk::script::SessionOptions{&repo});
   session.run(R"(
 trial = TrialMeanResult(Utilities.getTrial("app", "exp", "1_8"))
 op = DeriveMetricOperation(trial, "BACK_END_BUBBLE_ALL", "CPU_CYCLES",
@@ -123,7 +123,7 @@ TEST(Bindings, TrialAccessorsAndErrors) {
   auto t = make_stall_trial();
   t->set_metadata("schedule", "static");
   repo.put("app", "exp", t);
-  AnalysisSession session(repo);
+  AnalysisSession session(pk::script::SessionOptions{&repo});
   session.run(R"(
 trial = Utilities.getTrial("app", "exp", "1_8")
 print(trial.getName())
@@ -156,7 +156,7 @@ print(result.getMetric())
 TEST(Bindings, PerThreadResultNeedsThreadArgument) {
   Repository repo;
   repo.put("app", "exp", make_stall_trial());
-  AnalysisSession session(repo);
+  AnalysisSession session(pk::script::SessionOptions{&repo});
   session.run(R"(
 r = TrialResult(Utilities.getTrial("app", "exp", "1_8"))
 print(r.getExclusive(2, "exchange_var__"))
@@ -166,7 +166,7 @@ print(r.getExclusive(2, "exchange_var__"))
 
 TEST(Bindings, AssertFactAndCustomRules) {
   Repository repo;
-  AnalysisSession session(repo);
+  AnalysisSession session(pk::script::SessionOptions{&repo});
   session.run(R"(
 h = RuleHarness.useGlobalRules("load_imbalance")
 h.assertFact("LoadBalanceFact",
@@ -190,7 +190,7 @@ for d in h.getDiagnoses():
 TEST(Bindings, AnalysisHelpers) {
   Repository repo;
   repo.put("app", "exp", make_stall_trial());
-  AnalysisSession session(repo);
+  AnalysisSession session(pk::script::SessionOptions{&repo});
   session.run(R"(
 r = TrialMeanResult(Utilities.getTrial("app", "exp", "1_8"))
 print(topEvents(r, 2))
@@ -211,20 +211,20 @@ print(p["watts"] > 0 and p["joules"] > 0)
 
 TEST(Bindings, UnknownRulebaseThrows) {
   Repository repo;
-  AnalysisSession session(repo);
+  AnalysisSession session(pk::script::SessionOptions{&repo});
   EXPECT_THROW(session.run("RuleHarness.useGlobalRules('no_such_rules')\n"),
                pk::NotFoundError);
 }
 
 TEST(Bindings, RunFileMissingThrows) {
   Repository repo;
-  AnalysisSession session(repo);
+  AnalysisSession session(pk::script::SessionOptions{&repo});
   EXPECT_THROW(session.run_file("/nonexistent/script.ps"), pk::IoError);
 }
 
 TEST(Bindings, RunFilePrefixesDiagnosticsWithFileAndLine) {
   Repository repo;
-  AnalysisSession session(repo);
+  AnalysisSession session(pk::script::SessionOptions{&repo});
   const auto path = std::filesystem::temp_directory_path() /
                     ("pk_bind_err_" + std::to_string(::getpid()) + ".ps");
   {
@@ -244,10 +244,70 @@ TEST(Bindings, RunFilePrefixesDiagnosticsWithFileAndLine) {
   std::filesystem::remove(path);
 }
 
+TEST(Bindings, SessionOptionsConfiguresHarnessAndPool) {
+  Repository repo;
+  repo.put("app", "exp", make_stall_trial());
+  pk::script::SessionOptions opts;
+  opts.repository = &repo;
+  opts.match_strategy = pk::rules::MatchStrategy::kNaive;
+  opts.threads = 2;
+  AnalysisSession session(opts);
+  EXPECT_EQ(session.harness().match_strategy(),
+            pk::rules::MatchStrategy::kNaive);
+  EXPECT_EQ(session.pool().thread_count(), 2u);
+  // The private pool is installed for analysis primitives during run().
+  session.run(R"(
+r = TrialMeanResult(Utilities.getTrial("app", "exp", "1_8"))
+print(len(loadBalance(r)))
+)");
+  EXPECT_EQ(session.output().back(), "3");
+}
+
+TEST(Bindings, SessionOptionsRequiresRepository) {
+  EXPECT_THROW(AnalysisSession{pk::script::SessionOptions{}},
+               pk::InvalidArgumentError);
+}
+
+TEST(Bindings, SessionOptionsRulesPathResolvesShippedFiles) {
+  Repository repo;
+  pk::script::SessionOptions opts;
+  opts.repository = &repo;
+  opts.rules_path = std::filesystem::path(PERFKNOW_SOURCE_DIR) / "rules";
+  AnalysisSession session(opts);
+  session.run(R"(
+h = RuleHarness.useGlobalRules("self_diagnosis.rules")
+h.assertFact("TelemetryMetricFact",
+             {"name": "telemetry.dropped_spans", "value": 3})
+h.processRules()
+for d in h.getDiagnoses():
+    print(d["problem"])
+)");
+  EXPECT_EQ(session.output().back(), "TelemetryRingOverflow");
+}
+
+// The one-argument constructor must keep compiling (deprecated, not
+// removed) and behave exactly like SessionOptions{&repo}.
+TEST(Bindings, DeprecatedRepositoryConstructorStillWorks) {
+  Repository repo;
+  repo.put("app", "exp", make_stall_trial());
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  AnalysisSession session(repo);
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  EXPECT_EQ(&session.repository(), &repo);
+  EXPECT_EQ(session.options().threads, 0u);
+  session.run("print(Utilities.getTrial('app', 'exp', '1_8').getName())\n");
+  EXPECT_EQ(session.output().back(), "1_8");
+}
+
 TEST(Bindings, DataMiningAndFormatHelpers) {
   Repository repo;
   repo.put("app", "exp", make_stall_trial());
-  AnalysisSession session(repo);
+  AnalysisSession session(pk::script::SessionOptions{&repo});
   const auto json_path =
       std::filesystem::temp_directory_path() /
       ("pk_bind_" + std::to_string(::getpid()) + ".json");

@@ -179,7 +179,7 @@ TEST(Integration, RepositoryScriptAndTauExportRoundTrip) {
   auto trial = std::make_shared<pk::profile::Trial>(std::move(result.trial));
   repo.put("MSAP", "tuning", trial);
 
-  pk::script::AnalysisSession session(repo);
+  pk::script::AnalysisSession session(pk::script::SessionOptions{&repo});
   session.run(R"(
 t = TrialMeanResult(Utilities.getTrial("MSAP", "tuning", "msap_dynamic,1_8t"))
 print(t.getMainEvent())

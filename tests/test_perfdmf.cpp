@@ -11,6 +11,7 @@
 
 #include "common/error.hpp"
 #include "perfdmf/repository.hpp"
+#include "io/format.hpp"
 #include "perfdmf/snapshot.hpp"
 #include "common/thread_pool.hpp"
 #include "perfdmf/tau_format.hpp"
@@ -226,7 +227,7 @@ TEST(RepositoryPersistence, LegacyFlatPkprofLayoutStillLoads) {
   TempDir dir;
   // Hand-write the pre-sharding layout: flat .pkprof files + index.
   const auto t = make_trial("old trial");
-  pk::perfdmf::save_snapshot(*t, dir.path() / "old_trial_0.pkprof");
+  pk::io::save_trial(*t, dir.path() / "old_trial_0.pkprof");
   {
     std::ofstream index(dir.path() / "index.tsv");
     index << "app\texp\told trial\told_trial_0.pkprof\n";

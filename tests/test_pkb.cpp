@@ -12,6 +12,7 @@
 
 #include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "io/format.hpp"
 #include "perfdmf/csv_format.hpp"
 #include "perfdmf/json_format.hpp"
 #include "perfdmf/pkb_format.hpp"
@@ -212,7 +213,7 @@ TEST(PkbView, OpenFromFileAndBoundsChecks) {
   TempDir dir;
   const Trial t = make_trial("on disk");
   const fs::path file = dir.path() / "trial.pkb";
-  pk::perfdmf::save_pkb(t, file);
+  pk::io::save_trial(t, file);
 
   PkbView view = PkbView::open(file);
   EXPECT_EQ(view.path(), file);
@@ -350,7 +351,7 @@ TEST(PkbCorruption, LoadErrorsNameTheFile) {
     os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }
   try {
-    (void)pk::perfdmf::load_pkb(file);
+    (void)pk::io::open_trial(file);
     FAIL() << "corrupt file loaded";
   } catch (const pk::ParseError& e) {
     EXPECT_EQ(e.file(), file.string());

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "rules/diagnosis.hpp"
 #include "rules/parser.hpp"
 #include "rules/rulebases.hpp"
 #include "script/ast.hpp"
@@ -38,6 +39,7 @@ TEST(ShippedRules, FilesExistParseAndMatchBuiltins) {
       {"communication.rules", std::string(rb::communication())},
       {"instrumentation.rules", std::string(rb::instrumentation())},
       {"openmp.rules", std::string(rb::openmp())},
+      {"self_diagnosis.rules", std::string(rb::self_diagnosis())},
       {"OpenUHRules.rules", rb::openuh_rules()},
   };
   for (const auto& [name, builtin] : files) {
@@ -47,6 +49,30 @@ TEST(ShippedRules, FilesExistParseAndMatchBuiltins) {
     EXPECT_EQ(content, builtin) << name << " drifted from the builtin";
     EXPECT_GE(pk::rules::load_rules(path).size(), 1u) << name;
   }
+}
+
+// Diagnosis::to_string() is rendered into reports and example output;
+// pin the exact format so downstream parsers don't silently break.
+TEST(ShippedRules, DiagnosisToStringFormatIsStable) {
+  pk::rules::Diagnosis d;
+  d.rule = "Repository Cache Thrashing";
+  d.problem = "RepositoryCacheThrashing";
+  d.event = "perfdmf.repository";
+  d.metric = "cache.hit_rate";
+  d.severity = 0.96;
+  d.message = "hit rate 4%";
+  d.recommendation = "raise the cache budget";
+  EXPECT_EQ(d.to_string(),
+            "[RepositoryCacheThrashing] perfdmf.repository {cache.hit_rate}"
+            " (severity 0.96, rule \"Repository Cache Thrashing\")"
+            ": hit rate 4% -> raise the cache budget");
+
+  pk::rules::Diagnosis bare;
+  bare.rule = "r";
+  bare.problem = "P";
+  bare.event = "e";
+  bare.severity = 1.0;
+  EXPECT_EQ(bare.to_string(), "[P] e (severity 1.00, rule \"r\")");
 }
 
 TEST(ShippedRules, ExampleScriptParses) {
