@@ -24,7 +24,9 @@ namespace {
 
 namespace rl = perfknow::rules;
 
-void run_engine(benchmark::State& state, rl::MatchStrategy strategy) {
+void run_engine(benchmark::State& state, rl::MatchStrategy strategy,
+                perfknow::provenance::ProvenanceMode provenance =
+                    perfknow::provenance::ProvenanceMode::kOff) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto facts = perfknow::benchres::make_facts(n);
   const auto rules = perfknow::benchres::make_rules();
@@ -32,6 +34,7 @@ void run_engine(benchmark::State& state, rl::MatchStrategy strategy) {
   for (auto _ : state) {
     rl::RuleHarness h;
     h.set_match_strategy(strategy);
+    h.set_provenance(provenance);
     for (const auto& r : rules) h.add_rule(r);
     for (const auto& f : facts) h.assert_fact(f);
     fired = h.process_rules(1u << 20);
@@ -49,6 +52,19 @@ void BM_RulesIndexed(benchmark::State& state) {
   run_engine(state, rl::MatchStrategy::kIndexed);
 }
 
+// The CI bench gate compares these against BM_RulesIndexed: with
+// provenance off the recorder is a null pointer and the firing loop must
+// stay within 2% of the plain engine (check_bench.py --require-speedup).
+void BM_RulesProvenanceOff(benchmark::State& state) {
+  run_engine(state, rl::MatchStrategy::kIndexed,
+             perfknow::provenance::ProvenanceMode::kOff);
+}
+
+void BM_RulesProvenanceFull(benchmark::State& state) {
+  run_engine(state, rl::MatchStrategy::kIndexed,
+             perfknow::provenance::ProvenanceMode::kFull);
+}
+
 // The naive join is quadratic in facts-per-group; 100k facts would take
 // minutes per iteration, so only the indexed engine runs at that size.
 BENCHMARK(BM_RulesNaive)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
@@ -56,6 +72,12 @@ BENCHMARK(BM_RulesIndexed)
     ->Arg(1000)
     ->Arg(10000)
     ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RulesProvenanceOff)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RulesProvenanceFull)
+    ->Arg(10000)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -8,7 +8,9 @@
 //   pkx <repo-dir> export-csv <app> <exp> <trial> <metric>
 //   pkx <repo-dir> import-tau <tau-dir> <app> <exp>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,7 @@
 #include "machine/machine.hpp"
 #include "perfdmf/repository.hpp"
 #include "perfdmf/snapshot.hpp"
+#include "provenance/explanation.hpp"
 #include "script/bindings.hpp"
 
 namespace pk = perfknow;
@@ -45,9 +48,15 @@ int usage() {
       "  pkx <repo-dir> export-json <app> <exp> <trial> <file>\n"
       "  pkx <repo-dir> import <file-or-dir> <app> <exp>\n"
       "  pkx <repo-dir> report <app> <exp> <trial>\n"
+      "  pkx <repo-dir> explain <app> <exp> <trial> [--json <file>]"
+      " [--dot <file>]\n"
+      "  pkx explain --from <explanations.json>\n"
       "\n"
       "import auto-detects the profile format (pkprof, pkb, json, csv,\n"
-      "tau); import-csv and import-tau remain as aliases.\n");
+      "tau); import-csv and import-tau remain as aliases.\n"
+      "explain runs the OpenUH rulebase with full provenance capture and\n"
+      "prints a proof tree per diagnosis; --from re-renders a previously\n"
+      "exported --json file without touching a repository.\n");
   return 2;
 }
 
@@ -131,6 +140,72 @@ int cmd_show(const pk::perfdmf::Repository& repo, const std::string& app,
   return 0;
 }
 
+int cmd_explain(const pk::perfdmf::Repository& repo,
+                const std::vector<std::string>& args) {
+  const auto trial = repo.get(args[2], args[3], args[4]);
+  std::string json_file;
+  std::string dot_file;
+  if ((args.size() - 5) % 2 != 0) return usage();
+  for (std::size_t i = 5; i + 1 < args.size(); i += 2) {
+    if (args[i] == "--json") json_file = args[i + 1];
+    else if (args[i] == "--dot") dot_file = args[i + 1];
+    else return usage();
+  }
+
+  pk::rules::RuleHarness harness;
+  harness.set_provenance(pk::provenance::ProvenanceMode::kFull);
+  pk::rules::builtin::use(harness, pk::rules::builtin::openuh_rules());
+  pk::analysis::assert_load_balance_facts(harness, *trial);
+  if (trial->find_metric("BACK_END_BUBBLE_ALL")) {
+    pk::analysis::assert_stall_facts(harness, *trial);
+  }
+  if (trial->find_metric("L3_MISSES")) {
+    pk::analysis::assert_memory_locality_facts(harness, *trial);
+  }
+  harness.process_rules();
+
+  std::vector<pk::provenance::Explanation> explanations;
+  for (const auto& d : harness.diagnoses()) {
+    if (d.provenance) explanations.push_back(*d.provenance);
+  }
+  if (explanations.empty()) {
+    std::printf("no diagnoses for %s/%s/%s\n", args[2].c_str(),
+                args[3].c_str(), args[4].c_str());
+    return 0;
+  }
+  for (const auto& e : explanations) {
+    std::fputs(pk::provenance::to_text(e).c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
+  if (!json_file.empty()) {
+    std::ofstream os(json_file);
+    os << pk::provenance::to_json(explanations);
+    std::printf("wrote %s\n", json_file.c_str());
+  }
+  if (!dot_file.empty()) {
+    std::ofstream os(dot_file);
+    os << pk::provenance::to_dot(explanations);
+    std::printf("wrote %s\n", dot_file.c_str());
+  }
+  return 0;
+}
+
+int cmd_explain_from(const std::string& file) {
+  std::ifstream is(file);
+  if (!is) {
+    throw pk::IoError("cannot open explanation file: " + file);
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  const auto explanations = pk::provenance::explanations_from_json(ss.str());
+  for (const auto& e : explanations) {
+    std::fputs(pk::provenance::to_text(e).c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
+  std::printf("%zu explanations\n", explanations.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -138,6 +213,9 @@ int main(int argc, char** argv) {
   try {
     if (args.size() == 2 && args[0] == "demo") {
       return cmd_demo(args[1]);
+    }
+    if (args.size() == 3 && args[0] == "explain" && args[1] == "--from") {
+      return cmd_explain_from(args[2]);
     }
     if (args.size() < 2) return usage();
     auto repo = pk::perfdmf::Repository::load(args[0]);
@@ -175,6 +253,9 @@ int main(int argc, char** argv) {
       std::fputs(
           pk::analysis::render_report(*trial, &harness).c_str(), stdout);
       return 0;
+    }
+    if (cmd == "explain" && args.size() >= 5) {
+      return cmd_explain(repo, args);
     }
     if (cmd == "export-csv" && args.size() == 6) {
       const auto trial = repo.get(args[2], args[3], args[4]);

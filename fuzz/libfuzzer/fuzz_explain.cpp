@@ -1,0 +1,5 @@
+// libFuzzer harness for the explanation-JSON front end
+// (`pkx explain --from`).
+#include "driver.hpp"
+
+PERFKNOW_DEFINE_FUZZER(perfknow::fuzz::Frontend::kExplain)

@@ -2,6 +2,7 @@
 
 #include "analysis/operations.hpp"
 #include "common/stats.hpp"
+#include "provenance/lineage.hpp"
 
 namespace perfknow::analysis {
 
@@ -14,6 +15,23 @@ double severity_of(const profile::TrialView& trial, profile::EventId event) {
     return runtime_fraction(trial, event, "TIME");
   }
   return runtime_fraction(trial, event, trial.metric(0).name);
+}
+
+/// Metric-lineage chains for the provenance origin label — computed
+/// only under kFull so the default path never touches metadata.
+std::vector<std::string> chains_if_full(
+    const rules::RuleHarness& harness, const profile::TrialView& trial,
+    std::initializer_list<std::string> metrics) {
+  std::vector<std::string> out;
+  if (harness.provenance_mode() != provenance::ProvenanceMode::kFull) {
+    return out;
+  }
+  for (const auto& m : metrics) {
+    auto chain = provenance::lineage_chain(trial, m);
+    out.insert(out.end(), std::make_move_iterator(chain.begin()),
+               std::make_move_iterator(chain.end()));
+  }
+  return out;
 }
 
 }  // namespace
@@ -43,6 +61,11 @@ rules::Fact compare_event_to_main(const profile::TrialView& trial,
 std::size_t assert_compare_to_main_facts(rules::RuleHarness& harness,
                                          const profile::TrialView& trial,
                                          const std::string& metric) {
+  const rules::ProvenanceSource src(
+      harness,
+      "assert_compare_to_main_facts(trial='" + trial.name() + "', metric='" +
+          metric + "')",
+      chains_if_full(harness, trial, {metric}));
   const auto main = trial.main_event();
   std::size_t n = 0;
   for (profile::EventId e = 0; e < trial.event_count(); ++e) {
@@ -56,6 +79,11 @@ std::size_t assert_compare_to_main_facts(rules::RuleHarness& harness,
 std::size_t assert_compare_to_average_facts(rules::RuleHarness& harness,
                                             const profile::TrialView& trial,
                                             const std::string& metric) {
+  const rules::ProvenanceSource src(
+      harness,
+      "assert_compare_to_average_facts(trial='" + trial.name() +
+          "', metric='" + metric + "')",
+      chains_if_full(harness, trial, {metric}));
   const auto m = trial.metric_id(metric);
   const auto main = trial.main_event();
   double total = 0.0;
@@ -92,6 +120,11 @@ std::size_t assert_compare_to_average_facts(rules::RuleHarness& harness,
 std::size_t assert_load_balance_facts(rules::RuleHarness& harness,
                                       const profile::TrialView& trial,
                                       const std::string& metric) {
+  const rules::ProvenanceSource src(
+      harness,
+      "assert_load_balance_facts(trial='" + trial.name() + "', metric='" +
+          metric + "')",
+      chains_if_full(harness, trial, {metric}));
   std::size_t n = 0;
   for (profile::EventId e = 0; e < trial.event_count(); ++e) {
     const auto s = event_statistics(trial, e, metric, /*exclusive=*/true);
@@ -125,6 +158,11 @@ std::size_t assert_load_balance_facts(rules::RuleHarness& harness,
 
 std::size_t assert_stall_facts(rules::RuleHarness& harness,
                                const profile::TrialView& trial) {
+  const rules::ProvenanceSource src(
+      harness, "assert_stall_facts(trial='" + trial.name() + "')",
+      chains_if_full(harness, trial,
+                     {"BACK_END_BUBBLE_ALL", "CPU_CYCLES",
+                      "L1D_STALL_CYCLES", "FP_STALL_CYCLES"}));
   const auto stalls = trial.metric_id("BACK_END_BUBBLE_ALL");
   const auto cycles = trial.metric_id("CPU_CYCLES");
   const auto mem = trial.metric_id("L1D_STALL_CYCLES");
@@ -148,6 +186,11 @@ std::size_t assert_stall_facts(rules::RuleHarness& harness,
 
 std::size_t assert_memory_locality_facts(rules::RuleHarness& harness,
                                          const profile::TrialView& trial) {
+  const rules::ProvenanceSource src(
+      harness, "assert_memory_locality_facts(trial='" + trial.name() + "')",
+      chains_if_full(harness, trial,
+                     {"L3_MISSES", "REMOTE_MEMORY_ACCESSES",
+                      "LOCAL_MEMORY_ACCESSES"}));
   const auto l3 = trial.metric_id("L3_MISSES");
   const auto remote = trial.metric_id("REMOTE_MEMORY_ACCESSES");
   const auto local = trial.metric_id("LOCAL_MEMORY_ACCESSES");
@@ -187,6 +230,10 @@ std::size_t assert_scaling_facts(rules::RuleHarness& harness,
   const auto& points = analysis.points();
   const auto& base = points.front();
   const auto& last = points.back();
+  const rules::ProvenanceSource src(
+      harness, "assert_scaling_facts(threads=" +
+                   std::to_string(base.threads) + ".." +
+                   std::to_string(last.threads) + ")");
   const double ideal = static_cast<double>(last.threads) /
                        static_cast<double>(base.threads);
   std::size_t n = 0;

@@ -76,6 +76,8 @@ std::size_t assert_communication_facts(rules::RuleHarness& harness,
     throw InvalidArgumentError(
         "assert_communication_facts: elapsed_cycles must be positive");
   }
+  const rules::ProvenanceSource source(harness,
+                                       "assert_communication_facts()");
   const auto elapsed = static_cast<double>(elapsed_cycles);
   std::size_t n = 0;
   for (unsigned r = 0; r < recorder.ranks(); ++r) {
@@ -105,6 +107,7 @@ std::size_t assert_late_sender_facts(rules::RuleHarness& harness,
     throw InvalidArgumentError(
         "assert_late_sender_facts: elapsed_cycles must be positive");
   }
+  const rules::ProvenanceSource source(harness, "assert_late_sender_facts()");
   const auto elapsed = static_cast<double>(elapsed_cycles);
   std::size_t n = 0;
   for (unsigned dst = 0; dst < recorder.ranks(); ++dst) {

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include <cstdio>
+
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "provenance/lineage.hpp"
 
 namespace perfknow::analysis {
 
@@ -44,6 +47,14 @@ double apply(DeriveOp op, double a, double b) {
   return 0.0;
 }
 
+// Scale factors span 1e-6 (usec->sec) to large; %g keeps both readable
+// in lineage stamps.
+std::string format_factor(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
 }  // namespace
 
 profile::MetricId derive_metric(profile::Trial& trial,
@@ -55,6 +66,9 @@ profile::MetricId derive_metric(profile::Trial& trial,
                            std::string(to_string(op)) + " " + metric_b + ")";
   if (const auto existing = trial.find_metric(name)) return *existing;
   const auto d = trial.add_metric(name, "derived", /*derived=*/true);
+  provenance::stamp(trial,
+                    {name, "derive(" + std::string(to_string(op)) + ")",
+                     {metric_a, metric_b}, trial.name()});
   // Threads write disjoint cube rows, and each row's computation is the
   // same serial loop as before — results are bit-identical to serial.
   ThreadPool::current().parallel_for(
@@ -79,6 +93,9 @@ profile::MetricId scale_metric(profile::Trial& trial,
   const auto m = trial.metric_id(metric);
   if (const auto existing = trial.find_metric(new_name)) return *existing;
   const auto d = trial.add_metric(new_name, "derived", /*derived=*/true);
+  provenance::stamp(trial,
+                    {new_name, "scale(" + format_factor(factor) + ")",
+                     {metric}, trial.name()});
   ThreadPool::current().parallel_for(
       trial.thread_count(),
       [&](std::size_t t) {
@@ -187,6 +204,9 @@ profile::Trial merge_trials(const profile::TrialView& trial_a,
   profile::Trial out("merge(" + trial_a.name() + ", " + trial_b.name() +
                      ")");
   out.set_thread_count(trial_a.thread_count());
+  out.set_metadata(provenance::kTrialKey, "merge of '" + trial_a.name() +
+                                              "' and '" + trial_b.name() +
+                                              "'");
   // Metrics common to both inputs, in trial_a order.
   std::vector<std::pair<profile::MetricId, profile::MetricId>> metric_map;
   for (profile::MetricId m = 0; m < trial_a.metric_count(); ++m) {
@@ -269,6 +289,10 @@ profile::Trial aggregate_threads(const profile::TrialView& trial, bool mean) {
   for (const auto& [k, v] : trial.all_metadata()) {
     out.set_metadata(k, v);
   }
+  out.set_metadata(provenance::kTrialKey,
+                   std::string(mean ? "aggregate_threads(mean)"
+                                    : "aggregate_threads(sum)") +
+                       " of '" + trial.name() + "'");
   return out;
 }
 

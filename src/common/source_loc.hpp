@@ -1,0 +1,30 @@
+// A position in a source artifact (rulebase file, builtin rulebase,
+// script). Kept deliberately tiny: provenance records one per rule and
+// per pattern, so thousands may be alive during a diagnosis run.
+#pragma once
+
+#include <string>
+
+namespace perfknow {
+
+struct SourceLoc {
+  std::string file;  ///< path or synthetic label ("builtin:openmp"); may be empty
+  int line = 0;      ///< 1-based; 0 means unknown
+  int column = 0;    ///< 1-based; 0 means unknown
+
+  [[nodiscard]] bool known() const noexcept { return line > 0; }
+
+  /// "file:line" (or "file:line:col" when the column is known); just
+  /// "line N" when there is no file; "?" when nothing is known.
+  [[nodiscard]] std::string str() const {
+    if (!known()) return file.empty() ? "?" : file;
+    std::string out = file.empty() ? "line " + std::to_string(line)
+                                   : file + ":" + std::to_string(line);
+    if (column > 0 && !file.empty()) {
+      out += ":" + std::to_string(column);
+    }
+    return out;
+  }
+};
+
+}  // namespace perfknow

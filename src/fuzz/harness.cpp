@@ -45,6 +45,7 @@ const char* frontend_name(Frontend fe) {
     case Frontend::kRules: return "rules";
     case Frontend::kScript: return "perfscript";
     case Frontend::kPkb: return "pkb";
+    case Frontend::kExplain: return "explain";
   }
   return "unknown";
 }

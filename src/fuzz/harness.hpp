@@ -22,17 +22,18 @@
 
 namespace perfknow::fuzz {
 
-/// The front ends under contract: five text formats plus the PKB
-/// binary snapshot format.
-enum class Frontend { kTau, kCsv, kJson, kRules, kScript, kPkb };
+/// The front ends under contract: five text formats, the PKB binary
+/// snapshot format, and the explanation-JSON form behind
+/// `pkx explain --from`.
+enum class Frontend { kTau, kCsv, kJson, kRules, kScript, kPkb, kExplain };
 
 inline constexpr Frontend kAllFrontends[] = {
     Frontend::kTau, Frontend::kCsv, Frontend::kJson, Frontend::kRules,
-    Frontend::kScript, Frontend::kPkb};
+    Frontend::kScript, Frontend::kPkb, Frontend::kExplain};
 
 /// Short name used for corpus directories, regression-file prefixes and
 /// the fuzz_smoke --frontend flag: tau, csv, json, rules, perfscript,
-/// pkb.
+/// pkb, explain.
 [[nodiscard]] const char* frontend_name(Frontend fe);
 [[nodiscard]] std::optional<Frontend> frontend_from_name(
     const std::string& name);

@@ -6,6 +6,7 @@
 #include "perfdmf/json_format.hpp"
 #include "perfdmf/pkb_format.hpp"
 #include "perfdmf/tau_format.hpp"
+#include "provenance/explanation.hpp"
 #include "rules/parser.hpp"
 #include "script/ast.hpp"
 
@@ -33,6 +34,10 @@ FuzzTarget target(Frontend fe) {
       };
     case Frontend::kPkb:
       return [](const std::string& in) { (void)perfdmf::parse_pkb(in); };
+    case Frontend::kExplain:
+      return [](const std::string& in) {
+        (void)provenance::explanations_from_json(in);
+      };
   }
   return [](const std::string&) {};
 }
@@ -84,6 +89,16 @@ const std::vector<std::string>& dictionary(Frontend fe) {
       std::string("\x04\x00\x00\x00TIME", 8),
       std::string("\x04\x00\x00\x00main", 8),
   };
+  static const std::vector<std::string> kExplainDict = {
+      "{", "}", "[", "]", "\"schema\":", "\"perfknow.explanation/1\"",
+      "\"diagnosis\":", "\"firing\":", "\"rule\":", "\"problem\":",
+      "\"event\":", "\"metric\":", "\"severity\":", "\"message\":",
+      "\"recommendation\":", "\"id\":", "\"file\":", "\"line\":",
+      "\"column\":", "\"salience\":", "\"generation\":", "\"bindings\":",
+      "\"facts\":", "\"prints\":", "\"fact\":", "\"type\":",
+      "\"fields\":", "\"origin\":", "\"lineage\":", "\"derived_from\":",
+      "null", "true", "false", "\\u0022", "\\\\", "1e308", "-0.5",
+  };
   switch (fe) {
     case Frontend::kTau: return kTauDict;
     case Frontend::kCsv: return kCsvDict;
@@ -91,6 +106,7 @@ const std::vector<std::string>& dictionary(Frontend fe) {
     case Frontend::kRules: return kRulesDict;
     case Frontend::kScript: return kScriptDict;
     case Frontend::kPkb: return kPkbDict;
+    case Frontend::kExplain: return kExplainDict;
   }
   return kTauDict;
 }

@@ -61,6 +61,7 @@ OverheadReport estimate_overhead(const profile::TrialView& trial,
 
 std::size_t assert_overhead_facts(rules::RuleHarness& harness,
                                   const OverheadReport& report) {
+  const rules::ProvenanceSource source(harness, "assert_overhead_facts()");
   std::size_t n = 0;
   for (const auto& est : report.per_event) {
     rules::Fact f("OverheadFact");

@@ -73,6 +73,7 @@ std::size_t assert_dvs_facts(rules::RuleHarness& harness,
     throw InvalidArgumentError(
         "assert_dvs_facts: sweep does not contain the nominal frequency");
   }
+  const rules::ProvenanceSource source(harness, "assert_dvs_facts()");
   std::size_t n = 0;
   for (const auto& p : sweep) {
     rules::Fact f("DvsFact");

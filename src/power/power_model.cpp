@@ -152,6 +152,7 @@ PowerStudy::relative_table() const {
 
 std::size_t PowerStudy::assert_facts(rules::RuleHarness& harness) const {
   if (rows_.empty()) return 0;
+  const rules::ProvenanceSource source(harness, "assert_facts(PowerStudy)");
   const PowerStudyRow& base = rows_.front();
   auto rel = [](double v, double b) { return b == 0.0 ? 0.0 : v / b; };
 

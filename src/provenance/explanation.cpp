@@ -1,0 +1,673 @@
+#include "provenance/explanation.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace perfknow::provenance {
+
+namespace {
+
+telemetry::Counter& rendered_counter() {
+  static telemetry::Counter& c =
+      telemetry::counter("provenance.explanations_rendered");
+  return c;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Shortest round-trip rendering; JSON has no Inf/NaN, so those become
+// null (read back as 0).
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, p);
+}
+
+std::string json_value(const rules::FactValue& v) {
+  if (const auto* d = std::get_if<double>(&v)) return json_number(*d);
+  if (const auto* s = std::get_if<std::string>(&v)) {
+    return "\"" + json_escape(*s) + "\"";
+  }
+  return std::get<bool>(v) ? "true" : "false";
+}
+
+// ---------------------------------------------------------------------
+// Text proof tree
+// ---------------------------------------------------------------------
+
+void indent(std::string& out, int depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+std::string headline(const Explanation& e) {
+  // Mirrors Diagnosis::to_string so the explanation opens with the
+  // exact line the analyst already saw in the report.
+  std::string out = "[" + e.problem + "] " + e.event;
+  if (!e.metric.empty()) out += " {" + e.metric + "}";
+  out += " (severity " + strings::format_double(e.severity, 2) +
+         ", rule \"" + e.rule + "\")";
+  if (!e.message.empty()) out += ": " + e.message;
+  if (!e.recommendation.empty()) out += " -> " + e.recommendation;
+  return out;
+}
+
+void render_firing(const FiringNode& f, int depth, std::string& out) {
+  indent(out, depth);
+  out += "because rule \"" + f.rule + "\" fired (" + f.rule_loc.str() +
+         ", salience " + std::to_string(f.salience) + ", round " +
+         std::to_string(f.generation) + ")\n";
+  if (!f.bindings.empty()) {
+    indent(out, depth + 1);
+    out += "with ";
+    bool first = true;
+    for (const auto& [k, v] : f.bindings) {
+      if (!first) out += ", ";
+      first = false;
+      out += k + " = " + rules::to_display(v);
+    }
+    out += "\n";
+  }
+  for (const auto& p : f.prints) {
+    indent(out, depth + 1);
+    out += "printed: " + p + "\n";
+  }
+  for (const auto& bf : f.facts) {
+    indent(out, depth + 1);
+    out += "matched " + bf.type + " #" + std::to_string(bf.id);
+    if (bf.pattern_loc.known()) {
+      out += " (pattern at " + bf.pattern_loc.str() + ")";
+    }
+    out += "\n";
+    for (const auto& [k, v] : bf.fields) {
+      indent(out, depth + 2);
+      out += k + " = " + rules::to_display(v) + "\n";
+    }
+    if (bf.derived_from) {
+      render_firing(*bf.derived_from, depth + 2, out);
+    } else {
+      indent(out, depth + 2);
+      out += "from " +
+             (bf.origin.empty() ? std::string("(unknown origin)")
+                                : bf.origin) +
+             "\n";
+      for (const auto& line : bf.lineage) {
+        indent(out, depth + 3);
+        out += line + "\n";
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------
+
+void json_loc(const SourceLoc& loc, std::string& out) {
+  out += "\"file\":\"" + json_escape(loc.file) + "\",\"line\":" +
+         std::to_string(loc.line) + ",\"column\":" +
+         std::to_string(loc.column);
+}
+
+void json_firing(const FiringNode& f, std::string& out) {
+  out += "{\"id\":" + std::to_string(f.id) + ",\"rule\":\"" +
+         json_escape(f.rule) + "\",";
+  json_loc(f.rule_loc, out);
+  out += ",\"salience\":" + std::to_string(f.salience) +
+         ",\"generation\":" + std::to_string(f.generation) +
+         ",\"bindings\":{";
+  bool first = true;
+  for (const auto& [k, v] : f.bindings) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(k) + "\":" + json_value(v);
+  }
+  out += "},\"facts\":[";
+  first = true;
+  for (const auto& bf : f.facts) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"fact\":" + std::to_string(bf.id) + ",\"type\":\"" +
+           json_escape(bf.type) + "\",";
+    json_loc(bf.pattern_loc, out);
+    out += ",\"fields\":{";
+    bool ff = true;
+    for (const auto& [k, v] : bf.fields) {
+      if (!ff) out += ",";
+      ff = false;
+      out += "\"" + json_escape(k) + "\":" + json_value(v);
+    }
+    out += "}";
+    if (!bf.origin.empty()) {
+      out += ",\"origin\":\"" + json_escape(bf.origin) + "\"";
+    }
+    if (!bf.lineage.empty()) {
+      out += ",\"lineage\":[";
+      bool fl = true;
+      for (const auto& line : bf.lineage) {
+        if (!fl) out += ",";
+        fl = false;
+        out += "\"" + json_escape(line) + "\"";
+      }
+      out += "]";
+    }
+    if (bf.derived_from) {
+      out += ",\"derived_from\":";
+      json_firing(*bf.derived_from, out);
+    }
+    out += "}";
+  }
+  out += "],\"prints\":[";
+  first = true;
+  for (const auto& p : f.prints) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(p) + "\"";
+  }
+  out += "]}";
+}
+
+void json_explanation(const Explanation& e, std::string& out) {
+  out += "{\"schema\":\"perfknow.explanation/1\",\"diagnosis\":{";
+  out += "\"rule\":\"" + json_escape(e.rule) + "\",\"problem\":\"" +
+         json_escape(e.problem) + "\",\"event\":\"" +
+         json_escape(e.event) + "\",\"metric\":\"" +
+         json_escape(e.metric) + "\",\"severity\":" +
+         json_number(e.severity) + ",\"message\":\"" +
+         json_escape(e.message) + "\",\"recommendation\":\"" +
+         json_escape(e.recommendation) + "\"},\"firing\":";
+  if (e.root) {
+    json_firing(*e.root, out);
+  } else {
+    out += "null";
+  }
+  out += "}";
+}
+
+// ---------------------------------------------------------------------
+// DOT
+// ---------------------------------------------------------------------
+
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+struct DotWriter {
+  std::string body;
+  std::set<std::size_t> firings;
+  std::set<rules::FactId> facts;
+  std::set<std::string> edges;
+
+  void edge(const std::string& from, const std::string& to) {
+    const std::string e = "  " + from + " -> " + to + ";\n";
+    if (edges.insert(e).second) body += e;
+  }
+
+  void visit(const FiringNode& f) {
+    const std::string rnode = "r" + std::to_string(f.id);
+    if (firings.insert(f.id).second) {
+      body += "  " + rnode + " [shape=box,label=\"rule \\\"" +
+              dot_escape(f.rule) + "\\\"\\n" + dot_escape(f.rule_loc.str()) +
+              ", round " + std::to_string(f.generation) + "\"];\n";
+    }
+    for (const auto& bf : f.facts) {
+      const std::string fnode = "f" + std::to_string(bf.id);
+      if (facts.insert(bf.id).second) {
+        std::string label = bf.type + " #" + std::to_string(bf.id);
+        int shown = 0;
+        for (const auto& [k, v] : bf.fields) {
+          if (++shown > 6) {
+            label += "\n...";
+            break;
+          }
+          label += "\n" + k + " = " + rules::to_display(v);
+        }
+        body += "  " + fnode + " [shape=ellipse,label=\"" +
+                dot_escape(label) + "\"];\n";
+        if (!bf.derived_from && !bf.origin.empty()) {
+          const std::string onode = "o" + std::to_string(bf.id);
+          body += "  " + onode + " [shape=note,label=\"" +
+                  dot_escape(bf.origin) + "\"];\n";
+          edge(onode, fnode);
+        }
+      }
+      edge(fnode, rnode);
+      if (bf.derived_from) {
+        visit(*bf.derived_from);
+        edge("r" + std::to_string(bf.derived_from->id), fnode);
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------
+// JSON parser (the `pkx explain --from` ingest; fuzzed)
+// ---------------------------------------------------------------------
+
+// A minimal JSON value model: just enough to read the to_json form back
+// while satisfying the fuzz contract (malformed input -> ParseError,
+// never a crash).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& src) : src_(src) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != src_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 96;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    int line = 1;
+    int col = 1;
+    for (std::size_t i = 0; i < pos_ && i < src_.size(); ++i) {
+      if (src_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw ParseError(msg, line, col, strings::excerpt(src_, pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < src_.size() &&
+           (src_[pos_] == ' ' || src_[pos_] == '\t' || src_[pos_] == '\n' ||
+            src_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= src_.size()) fail("unexpected end of JSON");
+    return src_[pos_];
+  }
+
+  bool consume_keyword(const char* kw) {
+    const std::size_t n = std::char_traits<char>::length(kw);
+    if (src_.compare(pos_, n, kw) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    if (src_[pos_] != '"') fail("expected string");
+    ++pos_;
+    std::string out;
+    while (true) {
+      if (pos_ >= src_.size()) fail("unterminated string");
+      const char c = src_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= src_.size()) fail("unterminated escape");
+        const char e = src_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > src_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = src_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape digit");
+            }
+            // UTF-8 encode the BMP code point (surrogates pass through
+            // as-is; explanation text never contains them).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue parse_value() {
+    if (++depth_ > kMaxDepth) fail("JSON nested too deeply");
+    const char c = peek();
+    JsonValue v;
+    if (c == '{') {
+      ++pos_;
+      v.kind = JsonValue::Kind::kObject;
+      if (peek() == '}') {
+        ++pos_;
+      } else {
+        while (true) {
+          skip_ws();
+          if (pos_ >= src_.size()) fail("unterminated object");
+          std::string key = parse_string();
+          skip_ws();
+          if (pos_ >= src_.size() || src_[pos_] != ':') fail("expected ':'");
+          ++pos_;
+          v.members.emplace_back(std::move(key), parse_value());
+          const char d = peek();
+          ++pos_;
+          if (d == '}') break;
+          if (d != ',') fail("expected ',' or '}'");
+        }
+      }
+    } else if (c == '[') {
+      ++pos_;
+      v.kind = JsonValue::Kind::kArray;
+      if (peek() == ']') {
+        ++pos_;
+      } else {
+        while (true) {
+          v.items.push_back(parse_value());
+          const char d = peek();
+          ++pos_;
+          if (d == ']') break;
+          if (d != ',') fail("expected ',' or ']'");
+        }
+      }
+    } else if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.text = parse_string();
+    } else if (consume_keyword("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+    } else if (consume_keyword("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = false;
+    } else if (consume_keyword("null")) {
+      v.kind = JsonValue::Kind::kNull;
+    } else {
+      const std::size_t start = pos_;
+      if (pos_ < src_.size() && (src_[pos_] == '-' || src_[pos_] == '+')) {
+        ++pos_;
+      }
+      while (pos_ < src_.size() &&
+             (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '.' || src_[pos_] == 'e' || src_[pos_] == 'E' ||
+              src_[pos_] == '+' || src_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ == start) fail("expected JSON value");
+      const std::string_view text(src_.data() + start, pos_ - start);
+      double value = 0.0;
+      const auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), value);
+      if (ec != std::errc{} || ptr != text.data() + text.size()) {
+        fail("malformed number");
+      }
+      v.kind = JsonValue::Kind::kNumber;
+      v.number = value;
+    }
+    --depth_;
+    return v;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+// --- mapping the JSON value model back onto Explanation ---------------
+
+double num_or(const JsonValue* v, double fallback) {
+  return v != nullptr && v->kind == JsonValue::Kind::kNumber ? v->number
+                                                             : fallback;
+}
+
+std::string text_or(const JsonValue* v) {
+  return v != nullptr && v->kind == JsonValue::Kind::kString ? v->text : "";
+}
+
+SourceLoc loc_from(const JsonValue& obj) {
+  SourceLoc loc;
+  loc.file = text_or(obj.find("file"));
+  loc.line = static_cast<int>(num_or(obj.find("line"), 0));
+  loc.column = static_cast<int>(num_or(obj.find("column"), 0));
+  return loc;
+}
+
+rules::FactValue fact_value_from(const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kBool: return v.boolean;
+    case JsonValue::Kind::kString: return v.text;
+    case JsonValue::Kind::kNumber: return v.number;
+    default: return 0.0;
+  }
+}
+
+std::shared_ptr<const FiringNode> firing_from(const JsonValue& obj);
+
+BoundFact bound_fact_from(const JsonValue& obj) {
+  BoundFact bf;
+  bf.id = static_cast<rules::FactId>(num_or(obj.find("fact"), 0));
+  bf.type = text_or(obj.find("type"));
+  bf.pattern_loc = loc_from(obj);
+  if (const auto* fields = obj.find("fields");
+      fields != nullptr && fields->kind == JsonValue::Kind::kObject) {
+    for (const auto& [k, v] : fields->members) {
+      bf.fields[k] = fact_value_from(v);
+    }
+  }
+  bf.origin = text_or(obj.find("origin"));
+  if (const auto* lineage = obj.find("lineage");
+      lineage != nullptr && lineage->kind == JsonValue::Kind::kArray) {
+    for (const auto& item : lineage->items) {
+      if (item.kind == JsonValue::Kind::kString) {
+        bf.lineage.push_back(item.text);
+      }
+    }
+  }
+  if (const auto* from = obj.find("derived_from");
+      from != nullptr && from->kind == JsonValue::Kind::kObject) {
+    bf.derived_from = firing_from(*from);
+  }
+  return bf;
+}
+
+std::shared_ptr<const FiringNode> firing_from(const JsonValue& obj) {
+  auto f = std::make_shared<FiringNode>();
+  f->id = static_cast<std::size_t>(num_or(obj.find("id"), 0));
+  f->rule = text_or(obj.find("rule"));
+  f->rule_loc = loc_from(obj);
+  f->salience = static_cast<int>(num_or(obj.find("salience"), 0));
+  f->generation = static_cast<std::size_t>(num_or(obj.find("generation"), 0));
+  if (const auto* bindings = obj.find("bindings");
+      bindings != nullptr && bindings->kind == JsonValue::Kind::kObject) {
+    for (const auto& [k, v] : bindings->members) {
+      f->bindings[k] = fact_value_from(v);
+    }
+  }
+  if (const auto* facts = obj.find("facts");
+      facts != nullptr && facts->kind == JsonValue::Kind::kArray) {
+    for (const auto& item : facts->items) {
+      if (item.kind == JsonValue::Kind::kObject) {
+        f->facts.push_back(bound_fact_from(item));
+      }
+    }
+  }
+  if (const auto* prints = obj.find("prints");
+      prints != nullptr && prints->kind == JsonValue::Kind::kArray) {
+    for (const auto& item : prints->items) {
+      if (item.kind == JsonValue::Kind::kString) {
+        f->prints.push_back(item.text);
+      }
+    }
+  }
+  return f;
+}
+
+Explanation explanation_from(const JsonValue& obj) {
+  Explanation e;
+  if (const auto* d = obj.find("diagnosis");
+      d != nullptr && d->kind == JsonValue::Kind::kObject) {
+    e.rule = text_or(d->find("rule"));
+    e.problem = text_or(d->find("problem"));
+    e.event = text_or(d->find("event"));
+    e.metric = text_or(d->find("metric"));
+    e.severity = num_or(d->find("severity"), 0.0);
+    e.message = text_or(d->find("message"));
+    e.recommendation = text_or(d->find("recommendation"));
+  }
+  if (const auto* f = obj.find("firing");
+      f != nullptr && f->kind == JsonValue::Kind::kObject) {
+    e.root = firing_from(*f);
+  }
+  return e;
+}
+
+}  // namespace
+
+std::string to_text(const Explanation& e) {
+  rendered_counter().add();
+  std::string out = headline(e) + "\n";
+  if (e.root) {
+    render_firing(*e.root, 1, out);
+  } else {
+    indent(out, 1);
+    out += "(no recorded inference chain)\n";
+  }
+  return out;
+}
+
+std::string to_json(const Explanation& e) {
+  rendered_counter().add();
+  std::string out;
+  json_explanation(e, out);
+  out += "\n";
+  return out;
+}
+
+std::string to_json(const std::vector<Explanation>& es) {
+  rendered_counter().add();
+  std::string out = "[";
+  bool first = true;
+  for (const auto& e : es) {
+    if (!first) out += ",\n ";
+    first = false;
+    json_explanation(e, out);
+  }
+  out += "]\n";
+  return out;
+}
+
+std::string to_dot(const std::vector<Explanation>& es) {
+  rendered_counter().add();
+  DotWriter w;
+  std::size_t dn = 0;
+  for (const auto& e : es) {
+    const std::string dnode = "d" + std::to_string(dn++);
+    w.body += "  " + dnode + " [shape=doubleoctagon,label=\"" +
+              dot_escape(headline(e)) + "\"];\n";
+    if (e.root) {
+      w.visit(*e.root);
+      w.edge("r" + std::to_string(e.root->id), dnode);
+    }
+  }
+  return "digraph provenance {\n  rankdir=BT;\n  node [fontsize=10];\n" +
+         w.body + "}\n";
+}
+
+std::string to_dot(const Explanation& e) {
+  return to_dot(std::vector<Explanation>{e});
+}
+
+std::vector<Explanation> explanations_from_json(const std::string& json) {
+  JsonParser parser(json);
+  const JsonValue root = parser.parse();
+  std::vector<Explanation> out;
+  if (root.kind == JsonValue::Kind::kArray) {
+    for (const auto& item : root.items) {
+      if (item.kind != JsonValue::Kind::kObject) {
+        throw ParseError("explanation array element is not an object");
+      }
+      out.push_back(explanation_from(item));
+    }
+  } else if (root.kind == JsonValue::Kind::kObject) {
+    out.push_back(explanation_from(root));
+  } else {
+    throw ParseError("explanation JSON must be an object or array");
+  }
+  return out;
+}
+
+}  // namespace perfknow::provenance

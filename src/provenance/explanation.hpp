@@ -1,0 +1,53 @@
+// Renderers for diagnosis provenance: an indented proof-tree text form
+// ("why did this fire?"), a JSON form for tooling, and a Graphviz DOT
+// form of the fact DAG — plus the inverse JSON parser that backs
+// `pkx explain --from` (and is fuzzed through src/fuzz).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "provenance/provenance.hpp"
+
+namespace perfknow::provenance {
+
+/// A diagnosis plus the root of its inference DAG. The diagnosis fields
+/// are copied (not referenced) so an Explanation outlives its harness.
+struct Explanation {
+  std::string rule;
+  std::string problem;
+  std::string event;
+  std::string metric;
+  double severity = 0.0;
+  std::string message;
+  std::string recommendation;
+  /// The firing that emitted the diagnosis; matched facts chain further
+  /// firings via BoundFact::derived_from. Never null for explanations
+  /// produced by the engine; may be partial for ones parsed from JSON.
+  std::shared_ptr<const FiringNode> root;
+};
+
+/// Human-readable proof tree, indented two spaces per level, ending in
+/// a newline. Pinned by golden tests — treat the format as frozen.
+[[nodiscard]] std::string to_text(const Explanation& e);
+
+/// One JSON object per explanation (diagnosis + nested firing tree).
+/// Deterministic: no timestamps, keys in fixed order.
+[[nodiscard]] std::string to_json(const Explanation& e);
+/// A JSON array of explanation objects (the `pkx explain --json` form).
+[[nodiscard]] std::string to_json(const std::vector<Explanation>& es);
+
+/// Graphviz DOT of the fact DAG: firings are boxes, facts are ellipses,
+/// the diagnosis is a doubleoctagon; edges follow inference direction
+/// (fact -> firing that consumed it, firing -> fact it asserted).
+[[nodiscard]] std::string to_dot(const Explanation& e);
+[[nodiscard]] std::string to_dot(const std::vector<Explanation>& es);
+
+/// Parses the to_json form back (single object or array, in a tolerant
+/// JSON subset). Shared DAG nodes come back as separate tree nodes.
+/// Throws ParseError on malformed input; never crashes (fuzzed).
+[[nodiscard]] std::vector<Explanation> explanations_from_json(
+    const std::string& json);
+
+}  // namespace perfknow::provenance

@@ -1,0 +1,104 @@
+#include "provenance/provenance.hpp"
+
+#include "provenance/explanation.hpp"
+#include "rules/diagnosis.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace perfknow::provenance {
+
+std::string_view to_string(ProvenanceMode mode) {
+  switch (mode) {
+    case ProvenanceMode::kOff: return "off";
+    case ProvenanceMode::kRules: return "rules";
+    case ProvenanceMode::kFull: return "full";
+  }
+  return "?";
+}
+
+void Recorder::push_source(std::string label,
+                           std::vector<std::string> lineage) {
+  Origin o;
+  o.label = std::move(label);
+  if (mode_ == ProvenanceMode::kFull) {
+    o.lineage = std::move(lineage);
+  }
+  source_stack_.push_back(std::move(o));
+}
+
+void Recorder::pop_source() {
+  if (!source_stack_.empty()) source_stack_.pop_back();
+}
+
+void Recorder::on_assert(rules::FactId id) {
+  Origin o;
+  if (current_) {
+    o.firing = current_;
+  } else if (!source_stack_.empty()) {
+    o = source_stack_.back();
+  } else {
+    o.label = "(asserted outside any labelled source)";
+  }
+  origins_[id] = std::move(o);
+}
+
+void Recorder::begin_firing(
+    const FiringInfo& info,
+    const std::map<std::string, rules::FactValue>& bindings,
+    const std::vector<MatchedFact>& matched) {
+  auto node = std::make_shared<FiringNode>();
+  node->id = next_firing_id_++;
+  node->rule = info.rule;
+  node->rule_loc = info.rule_loc;
+  node->salience = info.salience;
+  node->generation = info.generation;
+  node->bindings = bindings;
+  node->facts.reserve(matched.size());
+  for (const auto& m : matched) {
+    BoundFact bf;
+    bf.id = m.id;
+    bf.pattern_loc = m.pattern_loc;
+    if (m.fact != nullptr) {
+      bf.type = m.fact->type();
+      if (mode_ == ProvenanceMode::kFull) {
+        bf.fields = m.fact->fields();
+      }
+    }
+    if (const auto it = origins_.find(m.id); it != origins_.end()) {
+      bf.derived_from = it->second.firing;
+      bf.origin = it->second.label;
+      bf.lineage = it->second.lineage;
+    } else {
+      // Facts asserted before provenance was switched on have no
+      // recorded origin; keep the tree free of dangling edges anyway.
+      bf.origin = "(asserted before provenance capture was enabled)";
+    }
+    node->facts.push_back(std::move(bf));
+  }
+  current_ = std::move(node);
+}
+
+void Recorder::end_firing() { current_.reset(); }
+
+void Recorder::on_print(const std::string& line) {
+  if (current_) current_->prints.push_back(line);
+}
+
+std::shared_ptr<const Explanation> Recorder::make_explanation(
+    const rules::Diagnosis& d) const {
+  if (!current_) return nullptr;
+  static telemetry::Counter& captured =
+      telemetry::counter("provenance.explanations_captured");
+  captured.add();
+  auto e = std::make_shared<Explanation>();
+  e->rule = d.rule;
+  e->problem = d.problem;
+  e->event = d.event;
+  e->metric = d.metric;
+  e->severity = d.severity;
+  e->message = d.message;
+  e->recommendation = d.recommendation;
+  e->root = current_;
+  return e;
+}
+
+}  // namespace perfknow::provenance

@@ -1,6 +1,7 @@
 #include "rules/diagnosis.hpp"
 
 #include "common/strings.hpp"
+#include "provenance/explanation.hpp"
 
 namespace perfknow::rules {
 
@@ -12,6 +13,11 @@ std::string Diagnosis::to_string() const {
   if (!message.empty()) out += ": " + message;
   if (!recommendation.empty()) out += " -> " + recommendation;
   return out;
+}
+
+std::string Diagnosis::explain() const {
+  if (!provenance) return "";
+  return provenance::to_text(*provenance);
 }
 
 }  // namespace perfknow::rules

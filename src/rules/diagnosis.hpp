@@ -4,7 +4,12 @@
 // directly instead of re-parsing formatted strings.
 #pragma once
 
+#include <memory>
 #include <string>
+
+namespace perfknow::provenance {
+struct Explanation;
+}  // namespace perfknow::provenance
 
 namespace perfknow::rules {
 
@@ -16,6 +21,10 @@ struct Diagnosis {
   double severity = 0.0;
   std::string message;  ///< free-text detail; may be empty
   std::string recommendation;
+  /// Full inference trace behind this diagnosis; null when the harness
+  /// ran with ProvenanceMode::kOff (the default). Shared so copies of a
+  /// Diagnosis stay cheap.
+  std::shared_ptr<const provenance::Explanation> provenance;
 
   /// Canonical one-line text rendering:
   ///   [problem] event {metric} (severity S, rule "R"): message
@@ -25,6 +34,10 @@ struct Diagnosis {
   /// severity is formatted with 2 decimal places). Pinned byte-for-byte
   /// by tests/test_shipped_rules.cpp — treat the format as frozen.
   [[nodiscard]] std::string to_string() const;
+
+  /// Human-readable proof tree for this diagnosis (the provenance
+  /// layer's to_text rendering); empty when no provenance was captured.
+  [[nodiscard]] std::string explain() const;
 };
 
 }  // namespace perfknow::rules

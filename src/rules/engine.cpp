@@ -55,6 +55,7 @@ const FactValue& RuleContext::binding(const std::string& name) const {
 
 void RuleContext::print(const std::string& line) {
   harness_.output_.push_back(line);
+  if (harness_.recorder_) harness_.recorder_->on_print(line);
 }
 
 void RuleContext::diagnose(std::string problem, std::string event,
@@ -69,6 +70,9 @@ void RuleContext::diagnose(std::string problem, std::string event,
 
 void RuleContext::diagnose(Diagnosis d) {
   d.rule = harness_.current_rule_;
+  if (harness_.recorder_) {
+    d.provenance = harness_.recorder_->make_explanation(d);
+  }
   harness_.diagnoses_.push_back(std::move(d));
 }
 
@@ -80,7 +84,32 @@ FactId RuleHarness::assert_fact(Fact fact) {
   static telemetry::Counter& asserted =
       telemetry::counter("rules.facts_asserted");
   asserted.add();
-  return memory_.assert_fact(std::move(fact));
+  const FactId id = memory_.assert_fact(std::move(fact));
+  if (recorder_) recorder_->on_assert(id);
+  return id;
+}
+
+void RuleHarness::set_provenance(provenance::ProvenanceMode mode) {
+  if (mode == provenance::ProvenanceMode::kOff) {
+    recorder_.reset();
+  } else {
+    recorder_ = std::make_unique<provenance::Recorder>(mode);
+  }
+}
+
+ProvenanceSource::ProvenanceSource(RuleHarness& harness, std::string label,
+                                   std::vector<std::string> lineage) {
+  if (harness.recorder_) {
+    harness_ = &harness;
+    harness.recorder_->push_source(std::move(label), std::move(lineage));
+  }
+}
+
+ProvenanceSource::~ProvenanceSource() {
+  // recorder_ may have been reset mid-scope via set_provenance(kOff).
+  if (harness_ != nullptr && harness_->recorder_) {
+    harness_->recorder_->pop_source();
+  }
 }
 
 namespace {
@@ -295,9 +324,11 @@ std::size_t RuleHarness::process_rules(std::size_t max_firings) {
   Bindings bindings;
   std::vector<FactId> matched;
   UndoLog undo;
+  std::size_t round = 0;  ///< delta-window generation, for provenance
   while (progressed) {
     progressed = false;
     agenda.clear();
+    ++round;
     const FactId round_max = memory_.last_id();
     {
       telemetry::ScopedSpan match_span(match_site);
@@ -340,7 +371,26 @@ std::size_t RuleHarness::process_rules(std::size_t max_firings) {
       fired_.insert(key);
       current_rule_ = rules_[act.rule_index].name;
       RuleContext ctx(*this, act.bindings, act.facts);
+      if (recorder_) {
+        const Rule& rule = rules_[act.rule_index];
+        provenance::FiringInfo info;
+        info.rule = rule.name;
+        info.rule_loc = rule.loc;
+        info.salience = rule.salience;
+        info.generation = round;
+        std::vector<provenance::MatchedFact> matched_facts;
+        matched_facts.reserve(act.facts.size());
+        for (std::size_t i = 0; i < act.facts.size(); ++i) {
+          provenance::MatchedFact mf;
+          mf.id = act.facts[i];
+          mf.fact = memory_.find(act.facts[i]);
+          if (i < rule.patterns.size()) mf.pattern_loc = rule.patterns[i].loc;
+          matched_facts.push_back(std::move(mf));
+        }
+        recorder_->begin_firing(info, act.bindings, matched_facts);
+      }
       rules_[act.rule_index].action(ctx);
+      if (recorder_) recorder_->end_firing();
       ++fired_count;
       fired_counter.add();
       progressed = true;

@@ -35,6 +35,8 @@
 #include <string>
 #include <vector>
 
+#include "common/source_loc.hpp"
+#include "provenance/provenance.hpp"
 #include "rules/diagnosis.hpp"
 #include "rules/fact.hpp"
 
@@ -104,6 +106,9 @@ struct Pattern {
   std::vector<FieldBinding> bindings;
   /// Optional extra predicate for rules built from C++.
   std::function<bool(const Fact&, const Bindings&)> guard;
+  /// Where this pattern starts in its .rules source (unset for rules
+  /// built from C++ without one).
+  SourceLoc loc;
 };
 
 class RuleHarness;
@@ -146,6 +151,8 @@ struct Rule {
   int salience = 0;
   std::vector<Pattern> patterns;
   std::function<void(RuleContext&)> action;
+  /// Where the rule's `rule "..."` header sits in its .rules source.
+  SourceLoc loc;
 };
 
 /// How RuleHarness enumerates activations. See the file comment.
@@ -165,6 +172,17 @@ class RuleHarness {
   void set_match_strategy(MatchStrategy s) noexcept { strategy_ = s; }
   [[nodiscard]] MatchStrategy match_strategy() const noexcept {
     return strategy_;
+  }
+
+  /// Switches provenance capture. kOff (the default) records nothing and
+  /// costs one pointer-null branch per firing/assert; kRules records the
+  /// firing DAG; kFull additionally snapshots matched-fact fields and
+  /// analysis-layer metric lineage. Facts asserted before capture is
+  /// enabled appear with a placeholder origin, so enable it before
+  /// asserting baseline facts.
+  void set_provenance(provenance::ProvenanceMode mode);
+  [[nodiscard]] provenance::ProvenanceMode provenance_mode() const noexcept {
+    return recorder_ ? recorder_->mode() : provenance::ProvenanceMode::kOff;
   }
 
   [[nodiscard]] WorkingMemory& memory() noexcept { return memory_; }
@@ -233,6 +251,8 @@ class RuleHarness {
   [[nodiscard]] bool delta_touches(const Rule& rule, FactId old_max,
                                    FactId round_max) const;
 
+  friend class ProvenanceSource;
+
   std::vector<Rule> rules_;
   std::vector<CompiledRule> compiled_;
   /// Per-rule fact-id watermark: all tuples over facts <= watermark have
@@ -244,6 +264,24 @@ class RuleHarness {
   std::vector<Diagnosis> diagnoses_;
   std::string current_rule_;  ///< name of the rule being fired
   std::set<std::pair<std::size_t, std::vector<FactId>>> fired_;
+  /// Null when provenance is off — the hot-path guard is this one check.
+  std::unique_ptr<provenance::Recorder> recorder_;
+};
+
+/// RAII origin label for baseline facts asserted from the analysis
+/// layer: facts asserted on `harness` while this is alive carry `label`
+/// (and `lineage`, under kFull) as their origin in explanations. A
+/// no-op when the harness has no recorder.
+class ProvenanceSource {
+ public:
+  ProvenanceSource(RuleHarness& harness, std::string label,
+                   std::vector<std::string> lineage = {});
+  ~ProvenanceSource();
+  ProvenanceSource(const ProvenanceSource&) = delete;
+  ProvenanceSource& operator=(const ProvenanceSource&) = delete;
+
+ private:
+  RuleHarness* harness_ = nullptr;
 };
 
 }  // namespace perfknow::rules

@@ -216,7 +216,10 @@ FactValue eval_expr(const Expr& e, const Bindings& b) {
 
 class Parser {
  public:
-  explicit Parser(const std::string& src) : lexer_(src) { advance(); }
+  Parser(const std::string& src, std::string origin)
+      : lexer_(src), origin_(std::move(origin)) {
+    advance();
+  }
 
   std::vector<Rule> parse() {
     std::vector<Rule> rules;
@@ -373,8 +376,13 @@ class Parser {
     return op;
   }
 
+  [[nodiscard]] SourceLoc here() const {
+    return SourceLoc{origin_, cur_.line, cur_.column};
+  }
+
   Pattern parse_pattern() {
     Pattern p;
+    p.loc = here();
     std::string first = expect_ident();
     if (is_punct(":")) {
       advance();
@@ -490,9 +498,11 @@ class Parser {
   }
 
   Rule parse_rule() {
+    const SourceLoc loc = here();
     expect_keyword("rule");
     if (cur_.kind != Tok::kString) fail("expected rule name string");
     Rule rule;
+    rule.loc = loc;
     rule.name = cur_.text;
     advance();
     if (is_ident("salience")) {
@@ -531,13 +541,15 @@ class Parser {
 
   Lexer lexer_;
   Token cur_;
+  std::string origin_;
   mutable int expr_depth_ = 0;
 };
 
 }  // namespace
 
-std::vector<Rule> parse_rules(const std::string& source) {
-  Parser parser(source);
+std::vector<Rule> parse_rules(const std::string& source,
+                              const std::string& origin) {
+  Parser parser(source, origin);
   return parser.parse();
 }
 
@@ -549,7 +561,7 @@ std::vector<Rule> load_rules(const std::filesystem::path& file) {
   std::ostringstream ss;
   ss << is.rdbuf();
   try {
-    return parse_rules(ss.str());
+    return parse_rules(ss.str(), file.string());
   } catch (const ParseError& e) {
     // Internal throw sites carry only line/column; diagnostics from
     // file-based rulebases should read "file:line: message".
@@ -557,8 +569,9 @@ std::vector<Rule> load_rules(const std::filesystem::path& file) {
   }
 }
 
-void add_rules(RuleHarness& harness, const std::string& source) {
-  for (auto& r : parse_rules(source)) {
+void add_rules(RuleHarness& harness, const std::string& source,
+               const std::string& origin) {
+  for (auto& r : parse_rules(source, origin)) {
     harness.add_rule(std::move(r));
   }
 }

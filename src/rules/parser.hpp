@@ -49,13 +49,19 @@
 namespace perfknow::rules {
 
 /// Parses a rulebase from text; throws ParseError with line info.
-[[nodiscard]] std::vector<Rule> parse_rules(const std::string& source);
+/// `origin` labels where the text came from (a path, or a synthetic
+/// label like "builtin:openmp") and is retained as the file part of
+/// every Rule::loc / Pattern::loc for provenance and diagnostics.
+[[nodiscard]] std::vector<Rule> parse_rules(const std::string& source,
+                                            const std::string& origin = "");
 
-/// Parses a rulebase file; throws IoError / ParseError.
+/// Parses a rulebase file; throws IoError / ParseError. The file path
+/// becomes the rules' source-location origin.
 [[nodiscard]] std::vector<Rule> load_rules(
     const std::filesystem::path& file);
 
 /// Parses `source` and adds every rule to `harness`.
-void add_rules(RuleHarness& harness, const std::string& source);
+void add_rules(RuleHarness& harness, const std::string& source,
+               const std::string& origin = "");
 
 }  // namespace perfknow::rules

@@ -404,8 +404,36 @@ std::string openuh_rules() {
   return all;
 }
 
+namespace {
+
+// Origin label for provenance source locations: name the builtin when
+// the source text is one of ours, so explanations read
+// "builtin:openmp:12" instead of a bare line number.
+std::string origin_for(std::string_view src) {
+  static const std::pair<std::string_view, const char*> kKnown[] = {
+      {kStallsPerCycle, "builtin:stalls_per_cycle"},
+      {kLoadImbalance, "builtin:load_imbalance"},
+      {kInefficiency, "builtin:inefficiency"},
+      {kStallCoverage, "builtin:stall_coverage"},
+      {kMemoryLocality, "builtin:memory_locality"},
+      {kPower, "builtin:power"},
+      {kCommunication, "builtin:communication"},
+      {kInstrumentation, "builtin:instrumentation"},
+      {kOpenmp, "builtin:openmp"},
+      {kSelfDiagnosis, "builtin:self_diagnosis"},
+  };
+  for (const auto& [text, label] : kKnown) {
+    if (src == text) return label;
+  }
+  if (src == openuh_rules()) return "builtin:openuh";
+  return "builtin";
+}
+
+}  // namespace
+
 void use(RuleHarness& harness, std::string_view rulebase_source) {
-  add_rules(harness, std::string(rulebase_source));
+  add_rules(harness, std::string(rulebase_source),
+            origin_for(rulebase_source));
 }
 
 }  // namespace perfknow::rules::builtin

@@ -104,6 +104,8 @@ const OmpCollector::RegionStats& OmpCollector::region(
 }
 
 std::size_t OmpCollector::assert_facts(rules::RuleHarness& harness) const {
+  const rules::ProvenanceSource source(harness,
+                                       "assert_facts(OmpCollector)");
   std::size_t n = 0;
   for (const auto& r : regions_) {
     // Per-thread barrier wait statistics.

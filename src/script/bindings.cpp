@@ -12,6 +12,7 @@
 #include "hwcounters/counters.hpp"
 #include "io/format.hpp"
 #include "power/power_model.hpp"
+#include "provenance/explanation.hpp"
 #include "rules/parser.hpp"
 #include "rules/rulebases.hpp"
 #include "telemetry/export.hpp"
@@ -175,21 +176,10 @@ AnalysisSession::AnalysisSession(SessionOptions options)
     pool_ = std::make_unique<ThreadPool>(options_.threads);
   }
   harness_->set_match_strategy(options_.match_strategy);
+  harness_->set_provenance(options_.provenance);
   if (options_.enable_telemetry) telemetry::set_enabled(true);
   register_api();
 }
-
-// The deprecation is for callers; delegating to the new constructor from
-// here is the compatibility shim itself.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-AnalysisSession::AnalysisSession(perfdmf::Repository& repository)
-    : AnalysisSession(SessionOptions{&repository}) {}
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 AnalysisSession::~AnalysisSession() {
   if (options_.telemetry_trace.empty()) return;
@@ -463,6 +453,8 @@ void AnalysisSession::register_api() {
           else if (v.is_bool()) fact.set(k, v.as_bool());
           else fact.set(k, v.str());
         }
+        const rules::ProvenanceSource source(
+            *h->harness, "assert_fact(script, '" + fact.type() + "')");
         return Value(static_cast<double>(
             h->harness->assert_fact(std::move(fact))));
       });
@@ -482,18 +474,63 @@ void AnalysisSession::register_api() {
         auto h = std::static_pointer_cast<HarnessHandle>(o->data);
         std::vector<Value> out;
         for (const auto& d : h->harness->diagnoses()) {
-          out.push_back(make_dict({{"rule", Value(d.rule)},
-                                   {"problem", Value(d.problem)},
-                                   {"event", Value(d.event)},
-                                   {"metric", Value(d.metric)},
-                                   {"severity", Value(d.severity)},
-                                   {"message", Value(d.message)},
-                                   {"recommendation",
-                                    Value(d.recommendation)},
-                                   {"text", Value(d.to_string())}}));
+          // Capture the (shared, immutable) explanation so the script
+          // value stays valid past clear_results().
+          auto prov = d.provenance;
+          out.push_back(make_dict(
+              {{"rule", Value(d.rule)},
+               {"problem", Value(d.problem)},
+               {"event", Value(d.event)},
+               {"metric", Value(d.metric)},
+               {"severity", Value(d.severity)},
+               {"message", Value(d.message)},
+               {"recommendation", Value(d.recommendation)},
+               {"text", Value(d.to_string())},
+               {"explain",
+                make_host_fn([prov](Interpreter&,
+                                    const std::vector<Value>&) {
+                  return Value(prov ? provenance::to_text(*prov)
+                                    : std::string());
+                })}}));
         }
         return make_list(std::move(out));
       });
+
+  // ---- Session (the session itself, as a script object) ---------------------
+  interp_.set_global(
+      "Session",
+      make_dict(
+          {{"explainAll",
+            make_host_fn([harness](Interpreter&, const std::vector<Value>&) {
+              std::string out;
+              for (const auto& d : harness->diagnoses()) {
+                if (!d.provenance) continue;
+                out += provenance::to_text(*d.provenance);
+              }
+              return Value(out);
+            })},
+           {"provenanceMode",
+            make_host_fn([harness](Interpreter&, const std::vector<Value>&) {
+              return Value(std::string(
+                  provenance::to_string(harness->provenance_mode())));
+            })},
+           {"setProvenance",
+            make_host_fn([harness](Interpreter&,
+                                   const std::vector<Value>& a) {
+              const std::string mode = arg_string(a, 0, "setProvenance");
+              if (mode == "off") {
+                harness->set_provenance(provenance::ProvenanceMode::kOff);
+              } else if (mode == "rules") {
+                harness->set_provenance(provenance::ProvenanceMode::kRules);
+              } else if (mode == "full") {
+                harness->set_provenance(provenance::ProvenanceMode::kFull);
+              } else {
+                throw InvalidArgumentError(
+                    "setProvenance: expected 'off', 'rules', or 'full', got "
+                    "'" + mode + "'");
+              }
+              return Value();
+            })}}));
 
   // ---- analysis helpers -----------------------------------------------------
   interp_.set_global(

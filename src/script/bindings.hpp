@@ -74,6 +74,13 @@ struct SessionOptions {
   /// When non-empty, the session destructor writes a Chrome trace_event
   /// JSON snapshot of the whole process's telemetry to this file.
   std::filesystem::path telemetry_trace = {};
+
+  /// Provenance capture on the session's harness: kOff (default) records
+  /// nothing; kRules records the firing DAG behind every diagnosis;
+  /// kFull additionally snapshots matched-fact fields and metric
+  /// lineage. Scripts read the result via Diagnosis.explain() /
+  /// Session.explainAll().
+  provenance::ProvenanceMode provenance = provenance::ProvenanceMode::kOff;
 };
 
 class AnalysisSession {
@@ -81,11 +88,6 @@ class AnalysisSession {
   /// Configured construction; throws InvalidArgumentError when
   /// options.repository is null.
   explicit AnalysisSession(SessionOptions options);
-
-  /// Historical shorthand for AnalysisSession(SessionOptions{&repository}).
-  [[deprecated(
-      "construct with SessionOptions (aggregate: set .repository)")]]
-  explicit AnalysisSession(perfdmf::Repository& repository);
 
   ~AnalysisSession();
   AnalysisSession(const AnalysisSession&) = delete;

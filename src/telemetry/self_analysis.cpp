@@ -37,6 +37,8 @@ std::size_t assert_self_facts(rules::RuleHarness& harness,
   }
 
   std::size_t asserted = 0;
+  const rules::ProvenanceSource source(
+      harness, "assert_self_facts(trial='" + trial.name() + "')");
 
   // Total instrumented time across threads: the root event's inclusive
   // TIME is the per-thread sum of exclusive span times (see to_trial).

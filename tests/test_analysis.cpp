@@ -473,11 +473,12 @@ TEST(Report, RendersSummaryEventsAndGroupedDiagnoses) {
   pk::rules::RuleHarness h;
   h.add_rule(pk::rules::Rule{
       "always", 0,
-      {pk::rules::Pattern{"LoadBalanceFact", "", {}, {}, nullptr}},
+      {pk::rules::Pattern{"LoadBalanceFact", "", {}, {}, nullptr, {}}},
       [](pk::rules::RuleContext& ctx) {
         ctx.diagnose("SomeProblem", "loop", 0.7, "do the thing");
         ctx.print("trace line");
-      }});
+      },
+      {}});
   pk::analysis::assert_load_balance_facts(h, *t);
   h.process_rules();
 

@@ -285,21 +285,17 @@ for d in h.getDiagnoses():
   EXPECT_EQ(session.output().back(), "TelemetryRingOverflow");
 }
 
-// The one-argument constructor must keep compiling (deprecated, not
-// removed) and behave exactly like SessionOptions{&repo}.
-TEST(Bindings, DeprecatedRepositoryConstructorStillWorks) {
+// A bare SessionOptions{&repo} must behave exactly like the removed
+// one-argument constructor did: shared pool, no telemetry, default
+// strategy, provenance off.
+TEST(Bindings, DefaultSessionOptionsMatchHistoricalBehaviour) {
   Repository repo;
   repo.put("app", "exp", make_stall_trial());
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  AnalysisSession session(repo);
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
+  AnalysisSession session(pk::script::SessionOptions{&repo});
   EXPECT_EQ(&session.repository(), &repo);
   EXPECT_EQ(session.options().threads, 0u);
+  EXPECT_EQ(session.harness().provenance_mode(),
+            pk::provenance::ProvenanceMode::kOff);
   session.run("print(Utilities.getTrial('app', 'exp', '1_8').getName())\n");
   EXPECT_EQ(session.output().back(), "1_8");
 }

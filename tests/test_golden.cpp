@@ -1,0 +1,165 @@
+// Golden-file tests: byte-pinned output formats that downstream tooling
+// parses — the telemetry Chrome-trace exporter and the provenance
+// explanation renderers. Regenerate with PERFKNOW_REGEN_GOLDEN=1 after
+// an intentional format change and review the diff like code.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+
+#include "provenance/explanation.hpp"
+#include "rules/engine.hpp"
+#include "rules/parser.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace pk = perfknow;
+namespace tel = pk::telemetry;
+namespace prov = pk::provenance;
+
+namespace {
+
+std::filesystem::path golden_dir() {
+  return std::filesystem::path(PERFKNOW_SOURCE_DIR) / "tests" / "golden";
+}
+
+void compare_golden(const std::string& name, const std::string& actual) {
+  const auto path = golden_dir() / name;
+  if (std::getenv("PERFKNOW_REGEN_GOLDEN") != nullptr) {
+    std::filesystem::create_directories(golden_dir());
+    std::ofstream os(path);
+    os << actual;
+    return;
+  }
+  std::ifstream is(path);
+  ASSERT_TRUE(is.is_open())
+      << "missing golden file " << path
+      << " — run this test once with PERFKNOW_REGEN_GOLDEN=1";
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  EXPECT_EQ(actual, ss.str()) << "output differs from " << path;
+}
+
+// Blanks the run-dependent parts of a Chrome trace so a live capture can
+// be compared against a golden: timestamps, durations, and thread ids
+// vary per run; names, order, and structure must not.
+std::string normalize_trace(const std::string& trace) {
+  std::string out = std::regex_replace(
+      trace, std::regex("\"(ts|dur)\":-?[0-9.]+"), "\"$1\":<NUM>");
+  return std::regex_replace(out, std::regex("\"tid\":[0-9]+"),
+                            "\"tid\":<TID>");
+}
+
+}  // namespace
+
+TEST(Golden, ChromeTraceFromHandBuiltSnapshot) {
+  // A fully synthetic snapshot: every field chosen by hand, so the
+  // exporter's output is compared byte-for-byte with no normalizing.
+  tel::Snapshot snap;
+  snap.names = {"repo.load", "rules.match"};
+  snap.thread_count = 2;
+  snap.spans = {
+      {0, 0, 1000, 5000, 3500},
+      {1, 1, 2500, 1500, 1500},
+      {1, 0, 6000, 250, 250},
+  };
+  snap.counters = {{"rules.firings", 42}, {"io.bytes", 123456}};
+
+  std::ostringstream os;
+  tel::write_chrome_trace(snap, os);
+  compare_golden("chrome_trace_synthetic.json", os.str());
+}
+
+TEST(Golden, ChromeTraceFromLiveCaptureNormalized) {
+  tel::reset();
+  tel::set_enabled(true);
+  {
+    tel::ScopedSpan outer(std::string_view("golden.outer"));
+    {
+      tel::ScopedSpan inner(std::string_view("golden.inner"));
+    }
+    tel::counter("golden.counter").add(3);
+  }
+  tel::set_enabled(false);
+  const auto snap = tel::snapshot();
+
+  std::ostringstream os;
+  tel::write_chrome_trace(snap, os);
+  compare_golden("chrome_trace_live.json", normalize_trace(os.str()));
+  tel::reset();
+}
+
+namespace {
+
+// A two-rule chain with hand-picked values so every rendered number is
+// deterministic: Seed(v=2) -> Derived(doubled=4) -> diagnosis.
+std::string golden_explanation_harness(pk::rules::RuleHarness& harness) {
+  pk::rules::add_rules(harness, R"RULES(
+rule "seed to derived" salience 10
+when s : Seed( v > 1, n : name )
+then
+  print("deriving from " + n)
+  assert(Derived(name = n, doubled = s.v * 2))
+end
+rule "derived to diagnosis"
+when d : Derived( doubled > 3, n : name )
+then
+  print("diagnosing " + n)
+  diagnose(problem = "Chained", event = n, metric = "M",
+           severity = d.doubled / 8,
+           recommendation = "split " + n)
+end
+)RULES",
+                      "golden.rules");
+  {
+    const pk::rules::ProvenanceSource source(
+        harness, "assert_golden_facts(trial='t0', metric='M')",
+        {"\"M\" = derive(/) of [A, B] on trial 't0'",
+         "\"A\": raw column of trial 't0'",
+         "\"B\": raw column of trial 't0'"});
+    harness.assert_fact(
+        pk::rules::Fact("Seed").set("v", 2.0).set("name", "n1"));
+  }
+  harness.process_rules();
+  return harness.diagnoses().empty() ? ""
+                                     : harness.diagnoses()[0].explain();
+}
+
+}  // namespace
+
+TEST(Golden, ExplanationTextProofTree) {
+  pk::rules::RuleHarness harness;
+  harness.set_provenance(prov::ProvenanceMode::kFull);
+  const std::string text = golden_explanation_harness(harness);
+  ASSERT_FALSE(text.empty());
+  compare_golden("explanation_chain.txt", text);
+}
+
+TEST(Golden, ExplanationTextUnderRulesMode) {
+  // kRules drops field snapshots and lineage but keeps the DAG; pin that
+  // shape too so the mode split stays visible.
+  pk::rules::RuleHarness harness;
+  harness.set_provenance(prov::ProvenanceMode::kRules);
+  const std::string text = golden_explanation_harness(harness);
+  ASSERT_FALSE(text.empty());
+  compare_golden("explanation_chain_rules_mode.txt", text);
+}
+
+TEST(Golden, ExplanationJsonAndDot) {
+  pk::rules::RuleHarness harness;
+  harness.set_provenance(prov::ProvenanceMode::kFull);
+  ASSERT_FALSE(golden_explanation_harness(harness).empty());
+  const auto& e = *harness.diagnoses()[0].provenance;
+  compare_golden("explanation_chain.json", prov::to_json(e));
+  compare_golden("explanation_chain.dot", prov::to_dot(e));
+
+  // The golden JSON parses back to the golden text: the two formats pin
+  // the same tree.
+  const auto parsed = prov::explanations_from_json(prov::to_json(e));
+  ASSERT_EQ(parsed.size(), 1u);
+  compare_golden("explanation_chain.txt", prov::to_text(parsed[0]));
+}

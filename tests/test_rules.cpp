@@ -279,6 +279,44 @@ TEST(Parser, SalienceAndMultipleRules) {
   EXPECT_EQ(rules[1].salience, -2);
 }
 
+TEST(Parser, RetainsRuleAndPatternSourceLocations) {
+  const std::string src =
+      "rule \"first\"\n"              // line 1
+      "when\n"                        // line 2
+      "  A( x > 0 )\n"                // line 3
+      "then print(\"a\") end\n"       // line 4
+      "rule \"second\" salience 3\n"  // line 5
+      "when\n"                        // line 6
+      "  f : B( y > 1 )\n"            // line 7
+      "  C( z == 2 )\n"               // line 8
+      "then print(\"b\") end\n";      // line 9
+  const auto rules = pk::rules::parse_rules(src, "pins.rules");
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].loc.file, "pins.rules");
+  EXPECT_EQ(rules[0].loc.line, 1);
+  EXPECT_EQ(rules[0].loc.column, 1);
+  ASSERT_EQ(rules[0].patterns.size(), 1u);
+  EXPECT_EQ(rules[0].patterns[0].loc.file, "pins.rules");
+  EXPECT_EQ(rules[0].patterns[0].loc.line, 3);
+  EXPECT_EQ(rules[0].patterns[0].loc.column, 3);
+  EXPECT_EQ(rules[1].loc.line, 5);
+  EXPECT_EQ(rules[1].loc.column, 1);
+  ASSERT_EQ(rules[1].patterns.size(), 2u);
+  // The pattern location points at the first token, including the
+  // fact-variable binding when one is present (f : B(...)).
+  EXPECT_EQ(rules[1].patterns[0].loc.line, 7);
+  EXPECT_EQ(rules[1].patterns[0].loc.column, 3);
+  EXPECT_EQ(rules[1].patterns[1].loc.line, 8);
+  EXPECT_EQ(rules[1].loc.str(), "pins.rules:5:1");
+
+  // Without an origin the file is empty but lines still resolve.
+  const auto anon = pk::rules::parse_rules(src);
+  ASSERT_EQ(anon.size(), 2u);
+  EXPECT_TRUE(anon[0].loc.file.empty());
+  EXPECT_EQ(anon[0].loc.line, 1);
+  EXPECT_TRUE(anon[0].loc.known());
+}
+
 TEST(Parser, DiagnoseAndAssertActions) {
   const std::string src = R"RULES(
     rule "chain start"
