@@ -1,18 +1,32 @@
 // Rule-engine matching benchmark: naive full-rescan vs the indexed
-// incremental matcher, over working memories of 1k / 10k / 100k facts.
+// incremental matcher vs the beta-memory join network, over working
+// memories of 1k / 10k / 100k facts.
 //
-// The workload is the shape the analysis layer produces: many
-// MeanEventFact-style facts partitioned into groups, a few single-pattern
-// threshold rules whose equality constraints the alpha index can probe,
-// one two-pattern join, and a chained summary rule so the engine runs
-// multiple firing rounds (where the incremental matcher's delta windows
-// pay off hardest — the naive engine rescans everything every round).
+// The workload is the shape the analysis layer produces (see
+// rules_workload.hpp): selective threshold rules, inequality band rules
+// no equality index can probe, a two- and a three-pattern join, and a
+// chained summary rule so the engine runs multiple firing rounds.
+// Harness construction, fact assertion, and teardown are excluded from
+// the timed region — the loop measures process_rules, where the
+// strategies actually differ.
+//
+// The churn variants measure incremental cycles: after an initial
+// process_rules, each timed iteration retracts, modifies, and asserts
+// ~1% of the facts and re-runs process_rules three times — the
+// memoized-join invalidation path (sweep + delta admission) against the
+// indexed matcher's per-rule re-match.
 //
 // Run with --benchmark_format=json --benchmark_out=... for the CI
-// artifact; the naive variant is only registered up to 10k facts because
-// its join is quadratic.
+// artifact; naive variants are only registered at small sizes because
+// their joins are quadratic. CI gates (ci/check_bench.py):
+//
+//   BM_RulesIndexed/100000  >= 10x  BM_RulesBeta/100000
+//   BM_RulesIndexed/10000   within 2% of BM_RulesProvenanceOff/10000
+//   BM_RulesBeta/10000      within 2% of BM_RulesBetaProvenanceOff/10000
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +38,17 @@ namespace {
 
 namespace rl = perfknow::rules;
 
+std::unique_ptr<rl::RuleHarness> make_harness(
+    rl::MatchStrategy strategy, perfknow::provenance::ProvenanceMode provenance,
+    const std::vector<rl::Rule>& rules, const std::vector<rl::Fact>& facts) {
+  auto h = std::make_unique<rl::RuleHarness>();
+  h->set_match_strategy(strategy);
+  h->set_provenance(provenance);
+  for (const auto& r : rules) h->add_rule(r);
+  for (const auto& f : facts) h->assert_fact(f);
+  return h;
+}
+
 void run_engine(benchmark::State& state, rl::MatchStrategy strategy,
                 perfknow::provenance::ProvenanceMode provenance =
                     perfknow::provenance::ProvenanceMode::kOff) {
@@ -32,16 +57,61 @@ void run_engine(benchmark::State& state, rl::MatchStrategy strategy,
   const auto rules = perfknow::benchres::make_rules();
   std::size_t fired = 0;
   for (auto _ : state) {
-    rl::RuleHarness h;
-    h.set_match_strategy(strategy);
-    h.set_provenance(provenance);
-    for (const auto& r : rules) h.add_rule(r);
-    for (const auto& f : facts) h.assert_fact(f);
-    fired = h.process_rules(1u << 20);
+    state.PauseTiming();
+    auto h = make_harness(strategy, provenance, rules, facts);
+    state.ResumeTiming();
+    fired = h->process_rules(1u << 20);
     benchmark::DoNotOptimize(fired);
+    state.PauseTiming();
+    h.reset();
+    state.ResumeTiming();
   }
   state.counters["facts"] = static_cast<double>(n);
   state.counters["firings"] = static_cast<double>(fired);
+}
+
+/// Churn cycles over a warmed harness: per timed iteration, three rounds
+/// of retract / modify / assert over ~1% of the seed facts followed by
+/// process_rules. Fact ids are deterministic (assert order), so the
+/// retract/modify targets are computed, not tracked.
+void run_churn(benchmark::State& state, rl::MatchStrategy strategy) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto facts = perfknow::benchres::make_facts(n);
+  const auto rules = perfknow::benchres::make_rules();
+  const std::size_t k = n / 100;
+  std::size_t fired = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto h = make_harness(strategy, perfknow::provenance::ProvenanceMode::kOff,
+                          rules, facts);
+    h->process_rules(1u << 20);
+    std::size_t churn_cycle = 0;
+    state.ResumeTiming();
+    for (std::size_t cycle = 0; cycle < 3; ++cycle) {
+      // Seed facts get ids 1..n; each cycle consumes two fresh disjoint
+      // id ranges, so every retract/modify target is still live.
+      const rl::FactId base =
+          static_cast<rl::FactId>(2 * k * cycle);
+      for (std::size_t i = 0; i < k; ++i) {
+        h->retract(base + static_cast<rl::FactId>(i) + 1);
+      }
+      for (std::size_t i = 0; i < k; ++i) {
+        h->modify(base + static_cast<rl::FactId>(k + i) + 1,
+                  perfknow::benchres::make_churn_fact(churn_cycle, i));
+      }
+      ++churn_cycle;
+      for (std::size_t i = 0; i < k; ++i) {
+        h->assert_fact(perfknow::benchres::make_churn_fact(churn_cycle, i));
+      }
+      ++churn_cycle;
+      fired += h->process_rules(1u << 20);
+      benchmark::DoNotOptimize(fired);
+    }
+    state.PauseTiming();
+    h.reset();
+    state.ResumeTiming();
+  }
+  state.counters["facts"] = static_cast<double>(n);
 }
 
 void BM_RulesNaive(benchmark::State& state) {
@@ -52,9 +122,14 @@ void BM_RulesIndexed(benchmark::State& state) {
   run_engine(state, rl::MatchStrategy::kIndexed);
 }
 
-// The CI bench gate compares these against BM_RulesIndexed: with
-// provenance off the recorder is a null pointer and the firing loop must
-// stay within 2% of the plain engine (check_bench.py --require-speedup).
+void BM_RulesBeta(benchmark::State& state) {
+  run_engine(state, rl::MatchStrategy::kBeta);
+}
+
+// The CI bench gate compares these against BM_RulesIndexed /
+// BM_RulesBeta: with provenance off the recorder is a null pointer and
+// the firing loop must stay within 2% of the plain engine
+// (check_bench.py --require-speedup).
 void BM_RulesProvenanceOff(benchmark::State& state) {
   run_engine(state, rl::MatchStrategy::kIndexed,
              perfknow::provenance::ProvenanceMode::kOff);
@@ -65,10 +140,38 @@ void BM_RulesProvenanceFull(benchmark::State& state) {
              perfknow::provenance::ProvenanceMode::kFull);
 }
 
+void BM_RulesBetaProvenanceOff(benchmark::State& state) {
+  run_engine(state, rl::MatchStrategy::kBeta,
+             perfknow::provenance::ProvenanceMode::kOff);
+}
+
+void BM_RulesBetaProvenanceFull(benchmark::State& state) {
+  run_engine(state, rl::MatchStrategy::kBeta,
+             perfknow::provenance::ProvenanceMode::kFull);
+}
+
+void BM_RulesChurnNaive(benchmark::State& state) {
+  run_churn(state, rl::MatchStrategy::kNaive);
+}
+
+void BM_RulesChurnIndexed(benchmark::State& state) {
+  run_churn(state, rl::MatchStrategy::kIndexed);
+}
+
+void BM_RulesChurnBeta(benchmark::State& state) {
+  run_churn(state, rl::MatchStrategy::kBeta);
+}
+
 // The naive join is quadratic in facts-per-group; 100k facts would take
-// minutes per iteration, so only the indexed engine runs at that size.
+// minutes per iteration, so only the incremental engines run at that
+// size.
 BENCHMARK(BM_RulesNaive)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RulesIndexed)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RulesBeta)
     ->Arg(1000)
     ->Arg(10000)
     ->Arg(100000)
@@ -78,6 +181,23 @@ BENCHMARK(BM_RulesProvenanceOff)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RulesProvenanceFull)
     ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RulesBetaProvenanceOff)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RulesBetaProvenanceFull)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RulesChurnNaive)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RulesChurnIndexed)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RulesChurnBeta)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -60,7 +60,7 @@ void Recorder::begin_firing(
     if (m.fact != nullptr) {
       bf.type = m.fact->type();
       if (mode_ == ProvenanceMode::kFull) {
-        bf.fields = m.fact->fields();
+        bf.fields.insert(m.fact->fields().begin(), m.fact->fields().end());
       }
     }
     if (const auto it = origins_.find(m.id); it != origins_.end()) {

@@ -1,0 +1,709 @@
+#include "rules/beta.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace perfknow::rules::beta {
+
+// ---------------------------------------------------------------------------
+// Arena
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (!chunks_.empty()) {
+    Chunk& c = chunks_.back();
+    const std::size_t aligned = (c.used + align - 1) & ~(align - 1);
+    if (aligned + bytes <= c.cap) {
+      c.used = aligned + bytes;
+      return c.data.get() + aligned;
+    }
+  }
+  const std::size_t cap = std::max(bytes, kChunkBytes);
+  Chunk c;
+  c.data = std::make_unique<std::byte[]>(cap);
+  c.cap = cap;
+  c.used = bytes;
+  reserved_ += cap;
+  chunks_.push_back(std::move(c));
+  return chunks_.back().data.get();
+}
+
+// ---------------------------------------------------------------------------
+// Compiled representation
+
+/// One fallback step of a variable reference. The naive matcher's
+/// binding map resolves a name to the *latest* write along the pattern
+/// prefix; field-binding and fact-id writes are unconditional
+/// (terminal), while a fact-variable expansion ("f.severity" from
+/// `f : Type(...)`) only wrote the name when the matched fact had that
+/// field — a conditional step that falls through to the next-older
+/// write.
+struct BetaNetwork::VarStep {
+  enum class Kind { kField, kFactId, kWildcard } kind = Kind::kField;
+  std::uint32_t level = 0;
+  std::string field;
+};
+
+struct BetaNetwork::VarRef {
+  std::string name;
+  /// Latest-write-first; an empty or wildcard-exhausted chain throws
+  /// the same EvalError Operand::resolve would.
+  std::vector<VarStep> steps;
+};
+
+/// A join test that needs the token (or the full bindings environment),
+/// kept in the pattern's original constraint order.
+struct BetaNetwork::ResidualTest {
+  enum class Rhs { kToken, kComputed } rhs = Rhs::kToken;
+  std::uint32_t ci = 0;  ///< index into Pattern::constraints
+  VarRef ref;            ///< kToken
+};
+
+struct BetaNetwork::CompiledLevel {
+  bool has_probe = false;
+  std::uint32_t probe_ci = 0;  ///< eq constraint answered by hash join
+  VarRef probe_ref;            ///< single terminal step, never throws
+  std::vector<ResidualTest> residuals;
+  bool has_guard = false;
+  bool needs_env = false;  ///< any kComputed residual, or a guard
+};
+
+struct BetaNetwork::AlphaMemory {
+  Column<FactId> ids;
+  Column<std::uint8_t> dead;
+  /// Join-key columns, populated only when the level has a probe.
+  std::vector<FactValue> keys;
+  std::vector<std::uint64_t> key_hashes;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+  std::size_t new_begin = 0;
+
+  explicit AlphaMemory(Arena& a) : ids(a), dead(a) {}
+};
+
+struct BetaNetwork::TokenMemory {
+  /// SoA token columns: ids[k][row] is the fact matching pattern k.
+  std::vector<Column<FactId>> ids;
+  Column<std::uint8_t> dead;
+  bool has_key = false;  ///< the next level joins by hash on key_ref
+  VarRef key_ref;
+  std::vector<FactValue> keys;
+  std::vector<std::uint64_t> key_hashes;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+  std::size_t new_begin = 0;
+
+  TokenMemory(Arena& a, std::size_t levels) : dead(a) {
+    ids.reserve(levels);
+    for (std::size_t i = 0; i < levels; ++i) ids.emplace_back(a);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return dead.size(); }
+};
+
+struct BetaNetwork::RuleNet {
+  std::size_t rule_index = 0;
+  std::size_t nlevels = 0;
+  std::vector<CompiledLevel> levels;
+  /// alphas[0] exists for indexing symmetry but is never used: level-0
+  /// admissions go straight into mems[0] (or become activations for
+  /// single-pattern rules).
+  std::vector<AlphaMemory> alphas;
+  /// Token memories for prefixes [0..l], l in [0, nlevels-2]. The last
+  /// level is never stored — complete tokens fire once, at creation.
+  std::vector<TokenMemory> mems;
+};
+
+struct BetaNetwork::SubscriberPlan {
+  /// A test evaluated from extracted field slots at admission.
+  struct StaticTest {
+    std::uint32_t lhs_slot = 0;
+    CmpOp op = CmpOp::kEq;
+    bool rhs_is_slot = false;
+    std::uint32_t rhs_slot = 0;
+    FactValue literal = 0.0;
+  };
+  std::uint32_t net = 0;
+  std::uint32_t level = 0;
+  std::vector<std::uint32_t> required_slots;
+  std::vector<StaticTest> tests;
+  std::int32_t key_slot = -1;  ///< probe key = candidate's field value
+};
+
+struct BetaNetwork::TypeGroup {
+  std::string type;
+  std::vector<std::string> slot_names;      ///< stable slot indices
+  std::vector<std::uint32_t> sorted_slots;  ///< slot ids, name-ascending
+  std::vector<SubscriberPlan> subs;
+  FactId watermark = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Compilation helpers
+
+namespace {
+
+/// Mirrors engine.cpp's binding write order: within one matched pattern
+/// the writes are field bindings (list order), then the fact variable's
+/// id, then its per-field expansions. Returns latest-write-first
+/// fallback steps for `name` over patterns [0, level).
+std::vector<BetaNetwork::VarStep> resolve_chain(
+    const std::vector<Pattern>& patterns, std::size_t level,
+    const std::string& name) {
+  using Step = BetaNetwork::VarStep;
+  std::vector<Step> steps;
+  for (std::size_t lv = level; lv-- > 0;) {
+    const Pattern& p = patterns[lv];
+    if (!p.fact_variable.empty()) {
+      // Expansions are the level's last writes, but conditional on the
+      // matched fact having the field.
+      if (name.size() > p.fact_variable.size() + 1 &&
+          name.compare(0, p.fact_variable.size(), p.fact_variable) == 0 &&
+          name[p.fact_variable.size()] == '.') {
+        Step s;
+        s.kind = Step::Kind::kWildcard;
+        s.level = static_cast<std::uint32_t>(lv);
+        s.field = name.substr(p.fact_variable.size() + 1);
+        steps.push_back(std::move(s));
+      }
+      if (name == p.fact_variable) {
+        Step s;
+        s.kind = Step::Kind::kFactId;
+        s.level = static_cast<std::uint32_t>(lv);
+        steps.push_back(std::move(s));
+        return steps;  // unconditional write: chain terminates
+      }
+    }
+    for (std::size_t b = p.bindings.size(); b-- > 0;) {
+      if (p.bindings[b].variable == name) {
+        Step s;
+        s.kind = Step::Kind::kField;
+        s.level = static_cast<std::uint32_t>(lv);
+        s.field = p.bindings[b].field;
+        steps.push_back(std::move(s));
+        return steps;  // binding fields are admission-required: present
+      }
+    }
+  }
+  return steps;  // may be empty or end on a wildcard: resolving can throw
+}
+
+const std::string* self_binding_field(const Pattern& pat,
+                                      const std::string& name) {
+  // Latest write wins, exactly like record_and_set over the list.
+  for (std::size_t b = pat.bindings.size(); b-- > 0;) {
+    if (pat.bindings[b].variable == name) return &pat.bindings[b].field;
+  }
+  return nullptr;
+}
+
+/// Resolves a compiled variable reference against a token row. Token
+/// facts are fetched by id; rows reaching this point are live (dead
+/// tokens are swept or skipped beforehand).
+FactValue resolve_ref(const BetaNetwork::VarRef& ref,
+                      const std::vector<Column<FactId>>& ids,
+                      std::size_t row, const WorkingMemory& memory) {
+  using Kind = BetaNetwork::VarStep::Kind;
+  for (const auto& s : ref.steps) {
+    const FactId fid = ids[s.level][row];
+    switch (s.kind) {
+      case Kind::kFactId:
+        return FactValue(static_cast<double>(fid));
+      case Kind::kField:
+        return *memory.find(fid)->find_field(s.field);
+      case Kind::kWildcard:
+        if (const FactValue* v = memory.find(fid)->find_field(s.field)) {
+          return *v;
+        }
+        break;  // expansion never wrote the name: older write decides
+    }
+  }
+  throw EvalError("rule constraint references unbound variable '" +
+                  ref.name + "'");
+}
+
+/// Replays the binding writes of matched patterns [0, upto) into `env`
+/// in the naive matcher's order, so computed expressions, guards, and
+/// activations see a byte-identical map.
+void replay_env(Bindings& env, const std::vector<Pattern>& patterns,
+                std::size_t upto, const WorkingMemory& memory,
+                const FactId* facts) {
+  std::string key;
+  for (std::size_t lv = 0; lv < upto; ++lv) {
+    const Fact& f = *memory.find(facts[lv]);
+    const Pattern& p = patterns[lv];
+    for (const auto& b : p.bindings) {
+      env.insert_or_assign(b.variable, *f.find_field(b.field));
+    }
+    if (!p.fact_variable.empty()) {
+      env.insert_or_assign(p.fact_variable,
+                           FactValue(static_cast<double>(facts[lv])));
+      for (const auto& [k, v] : f.fields()) {
+        key.assign(p.fact_variable);
+        key += '.';
+        key += k;
+        env.insert_or_assign(key, v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BetaNetwork
+
+BetaNetwork::BetaNetwork() = default;
+BetaNetwork::~BetaNetwork() = default;
+
+void BetaNetwork::extract_slots(const TypeGroup& group, const Fact& fact,
+                                std::vector<const FactValue*>& slots) const {
+  // Both the fact's fields and the slot table are name-sorted: a linear
+  // merge extracts every field any subscriber needs in one pass.
+  slots.assign(group.slot_names.size(), nullptr);
+  auto fit = fact.fields().begin();
+  const auto fend = fact.fields().end();
+  auto sit = group.sorted_slots.begin();
+  const auto send = group.sorted_slots.end();
+  while (fit != fend && sit != send) {
+    const std::string& sname = group.slot_names[*sit];
+    if (fit->first < sname) {
+      ++fit;
+    } else if (sname < fit->first) {
+      ++sit;
+    } else {
+      slots[*sit] = &fit->second;
+      ++fit;
+      ++sit;
+    }
+  }
+}
+
+void BetaNetwork::admit_one(const std::vector<Rule>& rules,
+                            const WorkingMemory& memory, SubscriberPlan& sub,
+                            FactId id, const Fact& fact,
+                            const std::vector<const FactValue*>& slots,
+                            std::vector<Activation>& out) {
+  for (const std::uint32_t s : sub.required_slots) {
+    if (slots[s] == nullptr) return;
+  }
+  for (const auto& t : sub.tests) {
+    const FactValue& rhs = t.rhs_is_slot ? *slots[t.rhs_slot] : t.literal;
+    if (!compare(t.op, *slots[t.lhs_slot], rhs)) return;
+  }
+  RuleNet& net = *nets_[sub.net];
+  const Rule& rule = rules[net.rule_index];
+  if (sub.level == 0) {
+    const CompiledLevel& cl = net.levels[0];
+    const Pattern& pat = rule.patterns[0];
+    if (cl.needs_env || !cl.residuals.empty()) {
+      Bindings env;
+      for (const auto& b : pat.bindings) {
+        env.insert_or_assign(b.variable, *fact.find_field(b.field));
+      }
+      for (const auto& rt : cl.residuals) {
+        const Constraint& con = pat.constraints[rt.ci];
+        FactValue rhs;
+        if (rt.rhs == ResidualTest::Rhs::kComputed) {
+          rhs = con.rhs.resolve(env);
+        } else {
+          // Level 0 has no earlier patterns: a variable that is not a
+          // same-pattern binding is unbound, like Operand::resolve.
+          throw EvalError("rule constraint references unbound variable '" +
+                          rt.ref.name + "'");
+        }
+        if (!compare(con.op, *fact.find_field(con.field), rhs)) return;
+      }
+      if (pat.guard && !pat.guard(fact, env)) return;
+    }
+    if (net.nlevels == 1) {
+      out.push_back(make_activation(rules, net.rule_index, {id}, memory));
+      return;
+    }
+    TokenMemory& tm = net.mems[0];
+    tm.ids[0].push_back(id);
+    tm.dead.push_back(0);
+    if (tm.has_key) {
+      FactValue key = resolve_ref(tm.key_ref, tm.ids, tm.size() - 1, memory);
+      const std::uint64_t h = value_hash(key);
+      tm.buckets[h].push_back(static_cast<std::uint32_t>(tm.size() - 1));
+      tm.keys.push_back(std::move(key));
+      tm.key_hashes.push_back(h);
+    }
+    ++tokens_;
+    return;
+  }
+  AlphaMemory& am = net.alphas[sub.level];
+  am.ids.push_back(id);
+  am.dead.push_back(0);
+  if (sub.key_slot >= 0) {
+    const FactValue& key = *slots[sub.key_slot];
+    const std::uint64_t h = value_hash(key);
+    am.buckets[h].push_back(static_cast<std::uint32_t>(am.ids.size() - 1));
+    am.keys.push_back(key);
+    am.key_hashes.push_back(h);
+  }
+}
+
+void BetaNetwork::ensure_rules(const std::vector<Rule>& rules,
+                               const WorkingMemory& memory,
+                               std::vector<Activation>& out) {
+  std::vector<const FactValue*> slots;
+  for (std::size_t r = nets_.size(); r < rules.size(); ++r) {
+    const Rule& rule = rules[r];
+    auto net = std::make_unique<RuleNet>();
+    net->rule_index = r;
+    net->nlevels = rule.patterns.size();
+    net->levels.resize(net->nlevels);
+    net->alphas.reserve(net->nlevels);
+    for (std::size_t l = 0; l < net->nlevels; ++l) {
+      net->alphas.emplace_back(arena_);
+    }
+    for (std::size_t l = 0; l + 1 < net->nlevels; ++l) {
+      net->mems.emplace_back(arena_, l + 1);
+    }
+
+    std::vector<std::pair<std::size_t, std::size_t>> new_subs;  // group, sub
+    for (std::size_t l = 0; l < net->nlevels; ++l) {
+      const Pattern& pat = rule.patterns[l];
+      CompiledLevel& cl = net->levels[l];
+
+      const auto git = group_of_type_.find(pat.fact_type);
+      std::size_t gi;
+      if (git == group_of_type_.end()) {
+        gi = groups_.size();
+        groups_.emplace_back();
+        groups_.back().type = pat.fact_type;
+        group_of_type_.emplace(pat.fact_type, gi);
+      } else {
+        gi = git->second;
+      }
+      TypeGroup& group = groups_[gi];
+      const auto slot_for = [&group](const std::string& field) {
+        for (std::uint32_t s = 0;
+             s < static_cast<std::uint32_t>(group.slot_names.size()); ++s) {
+          if (group.slot_names[s] == field) return s;
+        }
+        group.slot_names.push_back(field);
+        const auto s =
+            static_cast<std::uint32_t>(group.slot_names.size() - 1);
+        group.sorted_slots.push_back(s);
+        std::sort(group.sorted_slots.begin(), group.sorted_slots.end(),
+                  [&group](std::uint32_t a, std::uint32_t b) {
+                    return group.slot_names[a] < group.slot_names[b];
+                  });
+        return s;
+      };
+
+      SubscriberPlan sub;
+      sub.net = static_cast<std::uint32_t>(r);
+      sub.level = static_cast<std::uint32_t>(l);
+      for (const auto& b : pat.bindings) {
+        sub.required_slots.push_back(slot_for(b.field));
+      }
+      for (std::uint32_t ci = 0;
+           ci < static_cast<std::uint32_t>(pat.constraints.size()); ++ci) {
+        const Constraint& con = pat.constraints[ci];
+        sub.required_slots.push_back(slot_for(con.field));
+        if (con.rhs.kind == Operand::Kind::kLiteral) {
+          SubscriberPlan::StaticTest t;
+          t.lhs_slot = slot_for(con.field);
+          t.op = con.op;
+          t.literal = con.rhs.literal;
+          sub.tests.push_back(std::move(t));
+          continue;
+        }
+        if (con.rhs.kind == Operand::Kind::kComputed) {
+          ResidualTest rt;
+          rt.rhs = ResidualTest::Rhs::kComputed;
+          rt.ci = ci;
+          cl.residuals.push_back(std::move(rt));
+          cl.needs_env = true;
+          continue;
+        }
+        // Variable right-hand side. The candidate pattern's own field
+        // bindings are applied before its constraints run, so they
+        // shadow older writes; its fact variable is applied *after*
+        // constraints, so it does not.
+        if (const std::string* field =
+                self_binding_field(pat, con.rhs.variable)) {
+          SubscriberPlan::StaticTest t;
+          t.lhs_slot = slot_for(con.field);
+          t.op = con.op;
+          t.rhs_is_slot = true;
+          t.rhs_slot = slot_for(*field);
+          sub.tests.push_back(std::move(t));
+          continue;
+        }
+        VarRef ref;
+        ref.name = con.rhs.variable;
+        ref.steps = resolve_chain(rule.patterns, l, con.rhs.variable);
+        // Only a single unconditional step may drive the hash probe: a
+        // fallback chain can throw, and throwing while *building* a key
+        // would raise errors the oracle strategies never reach.
+        const bool terminal_single =
+            ref.steps.size() == 1 &&
+            ref.steps[0].kind != VarStep::Kind::kWildcard;
+        if (con.op == CmpOp::kEq && terminal_single && l >= 1 &&
+            !cl.has_probe) {
+          cl.has_probe = true;
+          cl.probe_ci = ci;
+          cl.probe_ref = std::move(ref);
+          sub.key_slot = static_cast<std::int32_t>(slot_for(con.field));
+        } else {
+          ResidualTest rt;
+          rt.rhs = ResidualTest::Rhs::kToken;
+          rt.ci = ci;
+          rt.ref = std::move(ref);
+          cl.residuals.push_back(std::move(rt));
+        }
+      }
+      cl.has_guard = static_cast<bool>(pat.guard);
+      if (cl.has_guard) cl.needs_env = true;
+
+      std::sort(sub.required_slots.begin(), sub.required_slots.end());
+      sub.required_slots.erase(
+          std::unique(sub.required_slots.begin(), sub.required_slots.end()),
+          sub.required_slots.end());
+      group.subs.push_back(std::move(sub));
+      new_subs.emplace_back(gi, group.subs.size() - 1);
+    }
+    for (std::size_t l = 0; l + 1 < net->nlevels; ++l) {
+      if (net->levels[l + 1].has_probe) {
+        net->mems[l].has_key = true;
+        net->mems[l].key_ref = net->levels[l + 1].probe_ref;
+      }
+    }
+    nets_.push_back(std::move(net));
+
+    // Backfill: a rule added after facts were asserted must still see
+    // everything up to its type groups' watermarks (the regular delta
+    // pass covers the rest of this round).
+    for (const auto& [gi, si] : new_subs) {
+      TypeGroup& group = groups_[gi];
+      if (group.watermark == 0) continue;
+      const auto& ids = memory.ids_of_type(group.type);
+      const auto end = std::upper_bound(ids.begin(), ids.end(),
+                                        group.watermark);
+      for (auto it = ids.begin(); it != end; ++it) {
+        const Fact& fact = *memory.find(*it);
+        extract_slots(group, fact, slots);
+        admit_one(rules, memory, group.subs[si], *it, fact, slots, out);
+      }
+    }
+  }
+}
+
+void BetaNetwork::sweep(const WorkingMemory& memory) {
+  const std::uint64_t epoch = memory.mutation_epoch();
+  if (epoch == seen_epoch_) return;
+  seen_epoch_ = epoch;
+  static telemetry::Counter& c_dead =
+      telemetry::counter("rules.beta.dead_tokens");
+  std::size_t newly_dead = 0;
+  for (auto& net : nets_) {
+    for (std::size_t l = 1; l < net->nlevels; ++l) {
+      AlphaMemory& am = net->alphas[l];
+      for (std::size_t row = 0; row < am.ids.size(); ++row) {
+        if (am.dead[row] == 0 && memory.find(am.ids[row]) == nullptr) {
+          am.dead[row] = 1;
+        }
+      }
+    }
+    for (TokenMemory& tm : net->mems) {
+      for (std::size_t row = 0; row < tm.size(); ++row) {
+        if (tm.dead[row] != 0) continue;
+        for (const auto& col : tm.ids) {
+          if (memory.find(col[row]) == nullptr) {
+            tm.dead[row] = 1;
+            ++newly_dead;
+            break;
+          }
+        }
+      }
+    }
+  }
+  dead_tokens_ += newly_dead;
+  c_dead.add(newly_dead);
+}
+
+void BetaNetwork::admit_deltas(const std::vector<Rule>& rules,
+                               const WorkingMemory& memory, FactId round_max,
+                               std::vector<Activation>& out) {
+  std::vector<const FactValue*> slots;
+  for (TypeGroup& group : groups_) {
+    const auto& ids = memory.ids_of_type(group.type);
+    auto it = std::upper_bound(ids.begin(), ids.end(), group.watermark);
+    const auto end = std::upper_bound(it, ids.end(), round_max);
+    for (; it != end; ++it) {
+      const Fact& fact = *memory.find(*it);
+      extract_slots(group, fact, slots);
+      for (SubscriberPlan& sub : group.subs) {
+        admit_one(rules, memory, sub, *it, fact, slots, out);
+      }
+    }
+    group.watermark = round_max;
+  }
+}
+
+Activation BetaNetwork::make_activation(const std::vector<Rule>& rules,
+                                        std::size_t rule_index,
+                                        std::vector<FactId> facts,
+                                        const WorkingMemory& memory) {
+  Activation act;
+  act.rule_index = rule_index;
+  replay_env(act.bindings, rules[rule_index].patterns, facts.size(), memory,
+             facts.data());
+  act.facts = std::move(facts);
+  return act;
+}
+
+void BetaNetwork::extend_rule(const std::vector<Rule>& rules, RuleNet& net,
+                              const WorkingMemory& memory,
+                              std::vector<Activation>& out) {
+  const Rule& rule = rules[net.rule_index];
+  std::vector<FactId> prefix;
+  Bindings env;
+
+  for (std::size_t l = 1; l < net.nlevels; ++l) {
+    const CompiledLevel& cl = net.levels[l];
+    const Pattern& pat = rule.patterns[l];
+    TokenMemory& prev = net.mems[l - 1];
+    AlphaMemory& am = net.alphas[l];
+    const bool last = (l + 1 == net.nlevels);
+
+    const auto try_extend = [&](std::size_t trow, std::size_t arow) {
+      ++probes_round_;
+      const FactId cand_id = am.ids[arow];
+      // A fact may satisfy at most one pattern of an activation.
+      for (std::size_t k = 0; k < l; ++k) {
+        if (prev.ids[k][trow] == cand_id) return;
+      }
+      const Fact& cand = *memory.find(cand_id);
+      if (cl.needs_env) {
+        env.clear();
+        prefix.clear();
+        for (std::size_t k = 0; k < l; ++k) {
+          prefix.push_back(prev.ids[k][trow]);
+        }
+        replay_env(env, rule.patterns, l, memory, prefix.data());
+        for (const auto& b : pat.bindings) {
+          env.insert_or_assign(b.variable, *cand.find_field(b.field));
+        }
+      }
+      for (const auto& rt : cl.residuals) {
+        const Constraint& con = pat.constraints[rt.ci];
+        const FactValue* lhs = cand.find_field(con.field);
+        const FactValue rhs =
+            rt.rhs == ResidualTest::Rhs::kComputed
+                ? con.rhs.resolve(env)
+                : resolve_ref(rt.ref, prev.ids, trow, memory);
+        if (!compare(con.op, *lhs, rhs)) return;
+      }
+      if (cl.has_guard && !pat.guard(cand, env)) return;
+      ++hits_round_;
+      if (last) {
+        std::vector<FactId> tuple;
+        tuple.reserve(l + 1);
+        for (std::size_t k = 0; k < l; ++k) {
+          tuple.push_back(prev.ids[k][trow]);
+        }
+        tuple.push_back(cand_id);
+        out.push_back(
+            make_activation(rules, net.rule_index, std::move(tuple), memory));
+      } else {
+        TokenMemory& tm = net.mems[l];
+        for (std::size_t k = 0; k < l; ++k) {
+          tm.ids[k].push_back(prev.ids[k][trow]);
+        }
+        tm.ids[l].push_back(cand_id);
+        tm.dead.push_back(0);
+        if (tm.has_key) {
+          FactValue key =
+              resolve_ref(tm.key_ref, tm.ids, tm.size() - 1, memory);
+          const std::uint64_t h = value_hash(key);
+          tm.buckets[h].push_back(
+              static_cast<std::uint32_t>(tm.size() - 1));
+          tm.keys.push_back(std::move(key));
+          tm.key_hashes.push_back(h);
+        }
+        ++tokens_;
+      }
+    };
+
+    // old tokens x new facts
+    for (std::size_t arow = am.new_begin; arow < am.ids.size(); ++arow) {
+      if (cl.has_probe) {
+        const auto bit = prev.buckets.find(am.key_hashes[arow]);
+        if (bit == prev.buckets.end()) continue;
+        for (const std::uint32_t trow : bit->second) {
+          if (trow >= prev.new_begin) continue;
+          if (prev.dead[trow] != 0) continue;
+          if (!values_equal(prev.keys[trow], am.keys[arow])) continue;
+          try_extend(trow, arow);
+        }
+      } else {
+        for (std::size_t trow = 0; trow < prev.new_begin; ++trow) {
+          if (prev.dead[trow] != 0) continue;
+          try_extend(trow, arow);
+        }
+      }
+    }
+    // new tokens x all facts
+    for (std::size_t trow = prev.new_begin; trow < prev.size(); ++trow) {
+      if (cl.has_probe) {
+        const auto bit = am.buckets.find(prev.key_hashes[trow]);
+        if (bit == am.buckets.end()) continue;
+        for (const std::uint32_t arow : bit->second) {
+          if (am.dead[arow] != 0) continue;
+          if (!values_equal(am.keys[arow], prev.keys[trow])) continue;
+          try_extend(trow, arow);
+        }
+      } else {
+        for (std::size_t arow = 0; arow < am.ids.size(); ++arow) {
+          if (am.dead[arow] != 0) continue;
+          try_extend(trow, arow);
+        }
+      }
+    }
+  }
+}
+
+void BetaNetwork::match(const std::vector<Rule>& rules,
+                        const WorkingMemory& memory, FactId round_max,
+                        std::vector<Activation>& out) {
+  static telemetry::Counter& c_tokens =
+      telemetry::counter("rules.beta.tokens");
+  static telemetry::Counter& c_bytes =
+      telemetry::counter("rules.beta.token_bytes");
+  static telemetry::Counter& c_probes =
+      telemetry::counter("rules.beta.extension_probes");
+  static telemetry::Counter& c_hits =
+      telemetry::counter("rules.beta.extension_hits");
+
+  const std::size_t tokens_before = tokens_;
+  probes_round_ = 0;
+  hits_round_ = 0;
+
+  // Round bookkeeping first: anything appended from here on (including
+  // backfill for rules added mid-life) counts as "new" for this round's
+  // disjoint join decomposition.
+  for (auto& net : nets_) {
+    for (auto& am : net->alphas) am.new_begin = am.ids.size();
+    for (auto& tm : net->mems) tm.new_begin = tm.size();
+  }
+  ensure_rules(rules, memory, out);
+  sweep(memory);
+  admit_deltas(rules, memory, round_max, out);
+  for (auto& net : nets_) {
+    if (net->nlevels > 1) extend_rule(rules, *net, memory, out);
+  }
+
+  c_tokens.add(tokens_ - tokens_before);
+  c_probes.add(probes_round_);
+  c_hits.add(hits_round_);
+  if (arena_.bytes_reserved() > reported_bytes_) {
+    c_bytes.add(arena_.bytes_reserved() - reported_bytes_);
+    reported_bytes_ = arena_.bytes_reserved();
+  }
+}
+
+}  // namespace perfknow::rules::beta

@@ -1,0 +1,185 @@
+// Beta-memory join network: the kBeta matching strategy.
+//
+// Where the indexed matcher re-runs a delta-window join over working
+// memory every firing cycle, this network *memoizes* the join. For each
+// rule it keeps
+//
+//   * one alpha memory per pattern: the facts of the pattern's type
+//     that pass its statically evaluable tests (literal right-hand
+//     sides and same-pattern variable references), stored as
+//     structure-of-arrays columns — fact ids and dead flags in chunked
+//     arena-backed columns, the pattern's equality-join key as a value
+//     column plus a hash bucket map keyed by value_hash; and
+//
+//   * one beta memory per pattern prefix: partial join tokens, each the
+//     fact-id tuple matching patterns [0..l]. Token columns are again
+//     SoA — one arena-backed fact-id column per level plus a dead-flag
+//     column — so prefix probes scan contiguously and extending a token
+//     never copies the store.
+//
+// Per firing cycle the network admits only the alpha *delta* (facts
+// asserted since each type's watermark) and extends tokens by the
+// standard disjoint decomposition
+//
+//     new_tokens(l) = old_tokens(l-1) x new_facts(l)
+//                   U new_tokens(l-1) x all_facts(l)
+//
+// so every tuple is produced exactly once over the harness's lifetime.
+// Tokens at the last level are not stored: they become Activations
+// immediately (variable bindings are materialized only here, replaying
+// the pattern's binding writes in the naive matcher's order, which
+// keeps bindings, provenance, and firing order byte-identical).
+//
+// Retract/modify invalidation is epoch-based: WorkingMemory bumps a
+// mutation epoch on every retract/clear; when the network observes a
+// new epoch it sweeps alpha rows and tokens whose facts died, marking
+// them dead in place (bucket entries are skipped on probe, not erased —
+// the BetaMemoryBloat self-diagnosis rule watches the dead/created
+// ratio). When no facts were retracted the sweep is a single integer
+// compare.
+//
+// Telemetry counters: rules.beta.tokens, rules.beta.dead_tokens,
+// rules.beta.token_bytes, rules.beta.extension_probes,
+// rules.beta.extension_hits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "rules/engine.hpp"
+#include "rules/fact.hpp"
+
+namespace perfknow::rules::beta {
+
+/// Bump allocator backing the token and alpha columns. Chunks are never
+/// freed individually (the network's stores are append-only); bytes are
+/// reported to telemetry so self-diagnosis can watch join-state growth.
+class Arena {
+ public:
+  static constexpr std::size_t kChunkBytes = 64 * 1024;
+
+  void* allocate(std::size_t bytes, std::size_t align);
+  [[nodiscard]] std::size_t bytes_reserved() const noexcept {
+    return reserved_;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t used = 0;
+    std::size_t cap = 0;
+  };
+  std::vector<Chunk> chunks_;
+  std::size_t reserved_ = 0;
+};
+
+/// Append-only chunked column over an Arena: stable addresses (growth
+/// never moves existing elements), O(1) append and index. The SoA
+/// building block for token and alpha stores.
+template <typename T>
+class Column {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "arena columns never run destructors");
+
+ public:
+  explicit Column(Arena& arena) : arena_(&arena) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] T& operator[](std::size_t i) noexcept {
+    return chunks_[i >> kShift][i & kMask];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return chunks_[i >> kShift][i & kMask];
+  }
+  void push_back(T v) {
+    if ((size_ & kMask) == 0 && (size_ >> kShift) == chunks_.size()) {
+      chunks_.push_back(static_cast<T*>(
+          arena_->allocate(sizeof(T) << kShift, alignof(T))));
+    }
+    chunks_[size_ >> kShift][size_ & kMask] = v;
+    ++size_;
+  }
+
+ private:
+  static constexpr std::size_t kShift = 12;  // 4096 elements per chunk
+  static constexpr std::size_t kMask = (std::size_t{1} << kShift) - 1;
+  Arena* arena_;
+  std::vector<T*> chunks_;
+  std::size_t size_ = 0;
+};
+
+/// The network. One instance lives inside a RuleHarness; match() is
+/// called once per firing round with the round's fact-id ceiling and
+/// appends this round's activations.
+class BetaNetwork {
+ public:
+  // Implementation types, public so file-local helpers in beta.cpp can
+  // name them; they are only ever defined and used there.
+  struct VarStep;
+  struct VarRef;
+  struct ResidualTest;
+  struct CompiledLevel;
+  struct AlphaMemory;
+  struct TokenMemory;
+  struct RuleNet;
+  struct SubscriberPlan;
+  struct TypeGroup;
+
+  BetaNetwork();
+  ~BetaNetwork();
+
+  /// Admits the alpha delta for every rule, extends token memories, and
+  /// appends every activation whose tuple contains at least one fact in
+  /// (watermark, round_max]. `rules` must only ever grow between calls.
+  void match(const std::vector<Rule>& rules, const WorkingMemory& memory,
+             FactId round_max, std::vector<Activation>& out);
+
+  /// Introspection for tests and telemetry.
+  [[nodiscard]] std::size_t token_count() const noexcept { return tokens_; }
+  [[nodiscard]] std::size_t dead_token_count() const noexcept {
+    return dead_tokens_;
+  }
+  [[nodiscard]] std::size_t arena_bytes() const noexcept {
+    return arena_.bytes_reserved();
+  }
+
+ private:
+  void ensure_rules(const std::vector<Rule>& rules,
+                    const WorkingMemory& memory,
+                    std::vector<Activation>& out);
+  void sweep(const WorkingMemory& memory);
+  void extract_slots(const TypeGroup& group, const Fact& fact,
+                     std::vector<const FactValue*>& slots) const;
+  void admit_one(const std::vector<Rule>& rules, const WorkingMemory& memory,
+                 SubscriberPlan& sub, FactId id, const Fact& fact,
+                 const std::vector<const FactValue*>& slots,
+                 std::vector<Activation>& out);
+  void admit_deltas(const std::vector<Rule>& rules,
+                    const WorkingMemory& memory, FactId round_max,
+                    std::vector<Activation>& out);
+  void extend_rule(const std::vector<Rule>& rules, RuleNet& net,
+                   const WorkingMemory& memory,
+                   std::vector<Activation>& out);
+  Activation make_activation(const std::vector<Rule>& rules,
+                             std::size_t rule_index,
+                             std::vector<FactId> facts,
+                             const WorkingMemory& memory);
+
+  Arena arena_;
+  std::vector<std::unique_ptr<RuleNet>> nets_;
+  std::vector<TypeGroup> groups_;
+  std::unordered_map<std::string, std::size_t> group_of_type_;
+  std::uint64_t seen_epoch_ = 0;
+  std::size_t tokens_ = 0;
+  std::size_t dead_tokens_ = 0;
+  std::size_t reported_bytes_ = 0;
+  std::size_t probes_round_ = 0;
+  std::size_t hits_round_ = 0;
+};
+
+}  // namespace perfknow::rules::beta

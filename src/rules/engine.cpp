@@ -3,9 +3,14 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "rules/beta.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace perfknow::rules {
+
+// Out-of-line: beta::BetaNetwork is incomplete in the header.
+RuleHarness::RuleHarness() = default;
+RuleHarness::~RuleHarness() = default;
 
 std::string_view to_string(CmpOp op) {
   switch (op) {
@@ -87,6 +92,17 @@ FactId RuleHarness::assert_fact(Fact fact) {
   const FactId id = memory_.assert_fact(std::move(fact));
   if (recorder_) recorder_->on_assert(id);
   return id;
+}
+
+bool RuleHarness::retract(FactId id) { return memory_.retract(id); }
+
+FactId RuleHarness::modify(FactId id, Fact replacement) {
+  if (memory_.find(id) == nullptr) {
+    throw NotFoundError("modify: no live fact with id " +
+                        std::to_string(id));
+  }
+  memory_.retract(id);
+  return assert_fact(std::move(replacement));
 }
 
 void RuleHarness::set_provenance(provenance::ProvenanceMode mode) {
@@ -332,23 +348,28 @@ std::size_t RuleHarness::process_rules(std::size_t max_firings) {
     const FactId round_max = memory_.last_id();
     {
       telemetry::ScopedSpan match_span(match_site);
-      for (std::size_t r = 0; r < rules_.size(); ++r) {
-        if (strategy_ == MatchStrategy::kIndexed) {
-          FactId& watermark = rule_watermark_[r];
-          if (watermark >= round_max) continue;  // no facts newer than seen
-          if (!delta_touches(rules_[r], watermark, round_max)) {
+      if (strategy_ == MatchStrategy::kBeta) {
+        if (!beta_) beta_ = std::make_unique<beta::BetaNetwork>();
+        beta_->match(rules_, memory_, round_max, agenda);
+      } else {
+        for (std::size_t r = 0; r < rules_.size(); ++r) {
+          if (strategy_ == MatchStrategy::kIndexed) {
+            FactId& watermark = rule_watermark_[r];
+            if (watermark >= round_max) continue;  // no facts newer than seen
+            if (!delta_touches(rules_[r], watermark, round_max)) {
+              watermark = round_max;
+              continue;
+            }
+            const std::size_t npat = rules_[r].patterns.size();
+            for (std::size_t new_pos = 0; new_pos < npat; ++new_pos) {
+              match_step(r, 0, new_pos, watermark, round_max,
+                         /*use_index=*/true, bindings, matched, undo, agenda);
+            }
             watermark = round_max;
-            continue;
+          } else {
+            match_step(r, 0, kAllPositions, 0, round_max,
+                       /*use_index=*/false, bindings, matched, undo, agenda);
           }
-          const std::size_t npat = rules_[r].patterns.size();
-          for (std::size_t new_pos = 0; new_pos < npat; ++new_pos) {
-            match_step(r, 0, new_pos, watermark, round_max,
-                       /*use_index=*/true, bindings, matched, undo, agenda);
-          }
-          watermark = round_max;
-        } else {
-          match_step(r, 0, kAllPositions, 0, round_max, /*use_index=*/false,
-                     bindings, matched, undo, agenda);
         }
       }
       // Salience (desc), then rule order, then fact ids — a total order,

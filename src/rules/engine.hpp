@@ -7,24 +7,35 @@
 // then fact recency), fires each activation exactly once, and re-matches
 // after actions assert new facts — until quiescence.
 //
-// Two matching strategies share one enumeration core:
+// Three matching strategies produce identical activations:
 //
-//  * kIndexed (default): a RETE-lite incremental matcher. Candidate
-//    facts come from WorkingMemory's per-(type, field, value) alpha
-//    indexes, and after the first firing round only rules whose pattern
-//    types gained facts are re-matched — and only for binding tuples
-//    containing at least one newly-asserted fact (per-rule fact-id
-//    watermarks slice each pattern position into old/new windows, so
-//    every tuple is enumerated exactly once).
-//  * kNaive: the original full re-scan per round, kept as the
+//  * kBeta (default): a beta-memory join network (rules/beta.hpp).
+//    Partial join tokens — bound-variable tuples plus their supporting
+//    fact ids — are memoized per rule and pattern prefix in
+//    structure-of-arrays columns on a bump arena, extended each cycle
+//    by the alpha delta only, and invalidated by working-memory
+//    mutation epochs on retract/modify. A firing cycle touches tokens
+//    reachable from new facts instead of re-running the delta-window
+//    join.
+//  * kIndexed: the RETE-lite incremental matcher, kept as an oracle.
+//    Candidate facts come from WorkingMemory's per-(type, field, value)
+//    alpha indexes, and after the first firing round only rules whose
+//    pattern types gained facts are re-matched — and only for binding
+//    tuples containing at least one newly-asserted fact (per-rule
+//    fact-id watermarks slice each pattern position into old/new
+//    windows, so every tuple is enumerated exactly once).
+//  * kNaive: the original full re-scan per round, the second
 //    differential-testing oracle.
 //
-// Both strategies fire the same activations in the same order (salience
+// All strategies fire the same activations in the same order (salience
 // desc, then rule order, then fact-id tuple — a total order), so outputs
 // and diagnosis sequences are byte-identical. The one permitted
 // divergence: on rulebases whose constraints *throw* during matching
 // (e.g. unbound variables), the indexed matcher may skip candidates an
-// equality index already excluded and therefore not raise the error.
+// equality index already excluded — and the beta matcher additionally
+// front-loads literal/same-fact tests before variable and computed
+// ones — so either may reject a candidate before reaching the throwing
+// constraint and therefore not raise the error.
 #pragma once
 
 #include <functional>
@@ -155,13 +166,29 @@ struct Rule {
   SourceLoc loc;
 };
 
+/// One enumerated rule/fact-tuple pair awaiting firing. All strategies
+/// produce identical activation sets; the agenda sort makes the firing
+/// order identical too.
+struct Activation {
+  std::size_t rule_index = 0;
+  std::vector<FactId> facts;
+  Bindings bindings;
+};
+
 /// How RuleHarness enumerates activations. See the file comment.
-enum class MatchStrategy { kNaive, kIndexed };
+enum class MatchStrategy { kNaive, kIndexed, kBeta };
+
+namespace beta {
+class BetaNetwork;
+}  // namespace beta
 
 /// Owns a rulebase and working memory; runs the match-fire loop.
 class RuleHarness {
  public:
-  RuleHarness() = default;
+  RuleHarness();
+  ~RuleHarness();  // out-of-line: beta::BetaNetwork is incomplete here
+  RuleHarness(const RuleHarness&) = delete;
+  RuleHarness& operator=(const RuleHarness&) = delete;
 
   void add_rule(Rule rule);
   [[nodiscard]] std::size_t rule_count() const noexcept {
@@ -190,6 +217,16 @@ class RuleHarness {
     return memory_;
   }
   FactId assert_fact(Fact fact);
+  /// Removes a fact between firing cycles; returns false when the id is
+  /// unknown (already retracted). Tuples that fired over the fact stay
+  /// fired (no truth maintenance — diagnoses are not withdrawn), and
+  /// memoized partial joins over it are invalidated before the next
+  /// cycle.
+  bool retract(FactId id);
+  /// Classic RETE modify: retract + re-assert under a fresh id (facts
+  /// are immutable once asserted, so recency watermarks stay truthful).
+  /// Returns the new id; throws NotFoundError when `id` is unknown.
+  FactId modify(FactId id, Fact replacement);
 
   /// Runs to quiescence; returns the number of rule firings. Throws
   /// EvalError after `max_firings` (runaway-chain guard).
@@ -210,12 +247,6 @@ class RuleHarness {
 
  private:
   friend class RuleContext;
-
-  struct Activation {
-    std::size_t rule_index = 0;
-    std::vector<FactId> facts;
-    Bindings bindings;
-  };
 
   /// Per-pattern matching plan computed once in add_rule: which equality
   /// constraints can be answered by the alpha index (literal right-hand
@@ -258,7 +289,10 @@ class RuleHarness {
   /// Per-rule fact-id watermark: all tuples over facts <= watermark have
   /// already been enumerated for that rule.
   std::vector<FactId> rule_watermark_;
-  MatchStrategy strategy_ = MatchStrategy::kIndexed;
+  MatchStrategy strategy_ = MatchStrategy::kBeta;
+  /// Memoized join state for kBeta; built on first use, invalidated by
+  /// WorkingMemory::mutation_epoch.
+  std::unique_ptr<beta::BetaNetwork> beta_;
   WorkingMemory memory_;
   std::vector<std::string> output_;
   std::vector<Diagnosis> diagnoses_;

@@ -49,23 +49,74 @@ bool values_less(const FactValue& a, const FactValue& b) {
   return false;
 }
 
-const FactValue& Fact::get(const std::string& field) const {
-  const auto it = fields_.find(field);
-  if (it == fields_.end()) {
-    throw NotFoundError("fact " + type_ + " has no field '" + field + "'");
+namespace {
+
+// FNV-1a over bytes; tagged so numbers and strings can't collide by
+// construction (a number's bit pattern vs. 8 string characters).
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
   }
-  return it->second;
+  return h;
 }
 
-std::optional<FactValue> Fact::try_get(const std::string& field) const {
-  const auto it = fields_.find(field);
-  if (it == fields_.end()) return std::nullopt;
-  return it->second;
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+std::uint64_t hash_text(const char* s, std::size_t n) {
+  std::uint64_t h = fnv1a(kFnvOffset, "s", 1);
+  return fnv1a(h, s, n);
+}
+
+}  // namespace
+
+std::uint64_t value_hash(const FactValue& v) {
+  if (const auto* d = std::get_if<double>(&v)) {
+    double x = (*d == 0.0) ? 0.0 : *d;  // collapse -0.0 into +0.0
+    std::uint64_t h = fnv1a(kFnvOffset, "n", 1);
+    return fnv1a(h, &x, sizeof(x));
+  }
+  if (const auto* s = std::get_if<std::string>(&v)) {
+    return hash_text(s->data(), s->size());
+  }
+  // Booleans hash as their string spellings so the DSL's bool <->
+  // "true"/"false" equivalence lands in the same bucket.
+  return std::get<bool>(v) ? hash_text("true", 4) : hash_text("false", 5);
+}
+
+Fact& Fact::set(const std::string& field, FactValue v) {
+  const auto it = std::lower_bound(
+      fields_.begin(), fields_.end(), field,
+      [](const auto& entry, const std::string& name) {
+        return entry.first < name;
+      });
+  if (it != fields_.end() && it->first == field) {
+    it->second = std::move(v);
+  } else {
+    fields_.emplace(it, field, std::move(v));
+  }
+  return *this;
 }
 
 const FactValue* Fact::find_field(const std::string& field) const {
-  const auto it = fields_.find(field);
-  return it == fields_.end() ? nullptr : &it->second;
+  // Facts hold a handful of fields; a sorted scan with early exit beats
+  // binary search at this size and has no branch-misprediction cliff.
+  for (const auto& [name, value] : fields_) {
+    if (name == field) return &value;
+    if (name > field) return nullptr;
+  }
+  return nullptr;
+}
+
+const FactValue& Fact::get(const std::string& field) const {
+  if (const FactValue* v = find_field(field)) return *v;
+  throw NotFoundError("fact " + type_ + " has no field '" + field + "'");
+}
+
+std::optional<FactValue> Fact::try_get(const std::string& field) const {
+  if (const FactValue* v = find_field(field)) return *v;
+  return std::nullopt;
 }
 
 double Fact::number(const std::string& field) const {
@@ -107,7 +158,7 @@ const std::vector<FactId>& empty_ids() {
   return kEmpty;
 }
 
-// Canonical hash key whose equality classes are exactly those of
+// Canonical bucket key whose equality classes are exactly those of
 // values_equal: numbers key on their (sign-normalized) bit pattern,
 // strings on their text, and booleans on "true"/"false" text so the
 // DSL's bool <-> string equivalence probes the same bucket.
@@ -134,9 +185,6 @@ FactId WorkingMemory::assert_fact(Fact fact) {
   const FactId id = next_++;
   auto& idx = types_[fact.type()];
   idx.ids.push_back(id);  // ids are ascending, so append keeps order
-  for (const auto& [field, value] : fact.fields()) {
-    idx.by_field[field][value_key(value)].push_back(id);
-  }
   slots_.push_back(std::move(fact));
   ++live_;
   return id;
@@ -150,17 +198,21 @@ bool WorkingMemory::retract(FactId id) {
   if (tit != types_.end()) {
     auto& idx = tit->second;
     erase_sorted(idx.ids, id);
-    for (const auto& [field, value] : slot->fields()) {
-      const auto fit = idx.by_field.find(field);
-      if (fit == idx.by_field.end()) continue;
-      const auto vit = fit->second.find(value_key(value));
-      if (vit == fit->second.end()) continue;
-      erase_sorted(vit->second, id);
-      if (vit->second.empty()) fit->second.erase(vit);
+    // Only facts the lazy index has already seen have bucket entries.
+    if (id <= idx.indexed_upto) {
+      for (const auto& [field, value] : slot->fields()) {
+        const auto fit = idx.by_field.find(field);
+        if (fit == idx.by_field.end()) continue;
+        const auto vit = fit->second.find(value_key(value));
+        if (vit == fit->second.end()) continue;
+        erase_sorted(vit->second, id);
+        if (vit->second.empty()) fit->second.erase(vit);
+      }
     }
   }
   slot.reset();
   --live_;
+  ++epoch_;
   return true;
 }
 
@@ -185,6 +237,22 @@ const std::vector<FactId>& WorkingMemory::ids_of_type(
   return it == types_.end() ? empty_ids() : it->second.ids;
 }
 
+void WorkingMemory::catch_up(const TypeIndex& idx) const {
+  const FactId upto = last_id();
+  if (idx.indexed_upto >= upto) return;
+  // idx.ids holds only live facts, so retracted-before-first-probe facts
+  // are skipped for free here (and retract skips un-indexed ids above).
+  const auto first = std::upper_bound(idx.ids.begin(), idx.ids.end(),
+                                      idx.indexed_upto);
+  for (auto it = first; it != idx.ids.end(); ++it) {
+    const Fact& fact = *slots_[*it - base_];
+    for (const auto& [field, value] : fact.fields()) {
+      idx.by_field[field][value_key(value)].push_back(*it);
+    }
+  }
+  idx.indexed_upto = upto;
+}
+
 const std::vector<FactId>& WorkingMemory::ids_with_field_value(
     const std::string& type, const std::string& field,
     const FactValue& value) const {
@@ -195,6 +263,7 @@ const std::vector<FactId>& WorkingMemory::ids_with_field_value(
   }
   const auto tit = types_.find(type);
   if (tit == types_.end()) return empty_ids();
+  catch_up(tit->second);
   const auto fit = tit->second.by_field.find(field);
   if (fit == tit->second.by_field.end()) return empty_ids();
   const auto vit = fit->second.find(value_key(value));
@@ -206,6 +275,7 @@ void WorkingMemory::clear() {
   types_.clear();
   live_ = 0;
   base_ = next_;  // ids stay monotonic across clear()
+  ++epoch_;
 }
 
 }  // namespace perfknow::rules

@@ -5,18 +5,31 @@
 // comparing each event to main); rules match on type and field
 // constraints and may assert further facts, chaining inference forward.
 //
+// Fields are stored as a flat vector sorted by name rather than a
+// node-based map: facts are small (a handful of fields), so lookup is a
+// short branchless-ish scan and — more importantly — asserting a fact
+// into working memory is one contiguous copy instead of a tree clone.
+// Iteration order is identical to the old std::map (name-ascending), so
+// printing, provenance snapshots, and fact-variable expansion are
+// byte-compatible.
+//
 // WorkingMemory is the alpha network of the indexed matcher: facts are
 // partitioned by type, and every (field, value) pair is hash-indexed so
 // equality constraints probe a candidate list instead of scanning all
-// facts of a type. Ids are monotonically increasing and double as the
-// recency ordering the incremental matcher's delta windows slice on.
+// facts of a type. The per-(field, value) buckets are built lazily, on
+// the first index probe for a type: strategies that never probe
+// (kNaive, and the beta network, which keeps its own alpha memories)
+// never pay for index maintenance. Ids are monotonically increasing and
+// double as the recency ordering the incremental matchers' delta
+// windows slice on; retract/clear bump a mutation epoch that the beta
+// network uses to invalidate memoized join state.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -38,16 +51,23 @@ using FactValue = std::variant<double, std::string, bool>;
 /// when both are strings; mixed comparisons are always false.
 [[nodiscard]] bool values_less(const FactValue& a, const FactValue& b);
 
+/// Canonical hash of a value whose equality classes are exactly those
+/// of values_equal: numbers hash on their (sign-normalized) bit
+/// pattern, strings on their text, booleans as "true"/"false" text.
+/// Allocation-free; the beta network's join buckets key on this.
+[[nodiscard]] std::uint64_t value_hash(const FactValue& v);
+
 class Fact {
  public:
+  /// Name-sorted (ascending) field storage; iteration order matches the
+  /// former std::map representation.
+  using Fields = std::vector<std::pair<std::string, FactValue>>;
+
   explicit Fact(std::string type) : type_(std::move(type)) {}
 
   [[nodiscard]] const std::string& type() const noexcept { return type_; }
 
-  Fact& set(const std::string& field, FactValue v) {
-    fields_[field] = std::move(v);
-    return *this;
-  }
+  Fact& set(const std::string& field, FactValue v);
   Fact& set(const std::string& field, double v) {
     return set(field, FactValue(v));
   }
@@ -62,7 +82,7 @@ class Fact {
   }
 
   [[nodiscard]] bool has(const std::string& field) const {
-    return fields_.count(field) != 0;
+    return find_field(field) != nullptr;
   }
   /// Throws NotFoundError when absent.
   [[nodiscard]] const FactValue& get(const std::string& field) const;
@@ -76,24 +96,21 @@ class Fact {
   [[nodiscard]] const std::string& text(const std::string& field) const;
   [[nodiscard]] bool boolean(const std::string& field) const;
 
-  [[nodiscard]] const std::map<std::string, FactValue>& fields()
-      const noexcept {
-    return fields_;
-  }
+  [[nodiscard]] const Fields& fields() const noexcept { return fields_; }
 
   /// "Type{field=value, ...}" for logs and test failures.
   [[nodiscard]] std::string str() const;
 
  private:
   std::string type_;
-  std::map<std::string, FactValue> fields_;
+  Fields fields_;
 };
 
 using FactId = std::uint64_t;
 
 /// The set of asserted facts. Ids are stable, ascending in assertion
 /// order, and never reused — so "asserted after fact X" is simply
-/// "id > X", which the incremental matcher exploits.
+/// "id > X", which the incremental matchers exploit.
 class WorkingMemory {
  public:
   FactId assert_fact(Fact fact);
@@ -110,8 +127,9 @@ class WorkingMemory {
   [[nodiscard]] const std::vector<FactId>& ids_of_type(
       const std::string& type) const;
   /// Alpha-index probe: ids of live facts of `type` whose `field`
-  /// compares values_equal to `value`, ascending. Same lifetime caveat
-  /// as ids_of_type.
+  /// compares values_equal to `value`, ascending. Builds the type's
+  /// (field, value) buckets on first use. Same lifetime caveat as
+  /// ids_of_type.
   [[nodiscard]] const std::vector<FactId>& ids_with_field_value(
       const std::string& type, const std::string& field,
       const FactValue& value) const;
@@ -120,16 +138,28 @@ class WorkingMemory {
   /// asserted later compare greater — the matcher's recency watermark.
   [[nodiscard]] FactId last_id() const noexcept { return next_ - 1; }
 
+  /// Bumped by every retract() that removes a fact and by clear().
+  /// Memoizing matchers compare this against the epoch they last swept
+  /// at: unchanged epoch means every previously seen fact is still live.
+  [[nodiscard]] std::uint64_t mutation_epoch() const noexcept {
+    return epoch_;
+  }
+
   void clear();
 
  private:
   struct TypeIndex {
     std::vector<FactId> ids;  ///< live ids of this type, ascending
-    /// field -> canonical value key -> live ids, ascending.
-    std::unordered_map<std::string,
-                       std::unordered_map<std::string, std::vector<FactId>>>
+    /// field -> canonical value key -> live ids, ascending. Built lazily
+    /// by ids_with_field_value; covers live facts with id <=
+    /// indexed_upto.
+    mutable std::unordered_map<
+        std::string, std::unordered_map<std::string, std::vector<FactId>>>
         by_field;
+    mutable FactId indexed_upto = 0;
   };
+
+  void catch_up(const TypeIndex& idx) const;
 
   // Dense id -> fact storage: slot i holds id base_ + i. clear() keeps
   // ids monotonic by advancing base_ instead of resetting next_.
@@ -137,6 +167,7 @@ class WorkingMemory {
   FactId base_ = 1;
   FactId next_ = 1;
   std::size_t live_ = 0;
+  std::uint64_t epoch_ = 0;
   std::unordered_map<std::string, TypeIndex> types_;
 };
 

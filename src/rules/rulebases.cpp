@@ -337,7 +337,21 @@ then
   diagnose(problem = "RuleMatchDominatesIngest", event = "rules.match",
            metric = "TIME", severity = t / (t + u),
            message = "match time " + t + " usec is more than twice ingest time " + u + " usec",
-           recommendation = "Use MatchStrategy.kIndexed and assert facts for hot events only")
+           recommendation = "Keep MatchStrategy.kBeta (the default) and assert facts for hot events only")
+end
+
+rule "Beta Memory Bloat"
+when
+  t : TelemetryMetricFact( name == "rules.beta.tokens", value >= 1024,
+                           n : value )
+  d : TelemetryMetricFact( name == "rules.beta.dead_tokens",
+                           value > n * 0.5, k : value )
+then
+  print("Beta join memory holds " + k + " dead tokens of " + n + " created")
+  diagnose(problem = "BetaMemoryBloat", event = "rules.beta",
+           metric = "rules.beta.dead_tokens", severity = k / n,
+           message = "dead tokens " + k + " of " + n + " created: retract/modify churn is bloating memoized join state",
+           recommendation = "Retract in batches between process_rules calls, or switch churn-heavy sessions to MatchStrategy.kIndexed")
 end
 
 rule "Thread Pool Imbalance"

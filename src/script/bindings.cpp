@@ -459,6 +459,36 @@ void AnalysisSession::register_api() {
             h->harness->assert_fact(std::move(fact))));
       });
   interp_.register_method(
+      "RuleHarness", "setMatchStrategy",
+      [](Interpreter&, const HostObjPtr& o, const std::vector<Value>& a) {
+        auto h = std::static_pointer_cast<HarnessHandle>(o->data);
+        const std::string name = arg_string(a, 0, "setMatchStrategy");
+        if (name == "naive") {
+          h->harness->set_match_strategy(rules::MatchStrategy::kNaive);
+        } else if (name == "indexed") {
+          h->harness->set_match_strategy(rules::MatchStrategy::kIndexed);
+        } else if (name == "beta") {
+          h->harness->set_match_strategy(rules::MatchStrategy::kBeta);
+        } else {
+          throw InvalidArgumentError(
+              "setMatchStrategy: expected 'naive', 'indexed', or 'beta', "
+              "got '" + name + "'");
+        }
+        return Value();
+      });
+  interp_.register_method(
+      "RuleHarness", "getMatchStrategy",
+      [](Interpreter&, const HostObjPtr& o, const std::vector<Value>&) {
+        auto h = std::static_pointer_cast<HarnessHandle>(o->data);
+        switch (h->harness->match_strategy()) {
+          case rules::MatchStrategy::kNaive: return Value(std::string("naive"));
+          case rules::MatchStrategy::kIndexed:
+            return Value(std::string("indexed"));
+          case rules::MatchStrategy::kBeta: break;
+        }
+        return Value(std::string("beta"));
+      });
+  interp_.register_method(
       "RuleHarness", "getOutput",
       [](Interpreter&, const HostObjPtr& o, const std::vector<Value>&) {
         auto h = std::static_pointer_cast<HarnessHandle>(o->data);

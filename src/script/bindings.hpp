@@ -23,7 +23,7 @@
 //   ScaleMetricOperation(result, metric, factor, name)
 //   MeanEventFact.compareEventToMain(...)
 //   RuleHarness.useGlobalRules(name) / .assertFact / .processRules /
-//     .getOutput / .getDiagnoses
+//     .getOutput / .getDiagnoses / .setMatchStrategy / .getMatchStrategy
 //   correlateEvents, loadBalance, topEvents,
 //   assertLoadBalanceFacts, assertStallFacts, assertMemoryLocalityFacts,
 //   estimatePower
@@ -57,8 +57,11 @@ struct SessionOptions {
   /// useGlobalRules("self_diagnosis.rules") with rules_path = "rules/").
   std::filesystem::path rules_path = {};
 
-  /// Rule-matching strategy installed on the session's harness.
-  rules::MatchStrategy match_strategy = rules::MatchStrategy::kIndexed;
+  /// Rule-matching strategy installed on the session's harness. The
+  /// default is the memoized beta join network; kIndexed / kNaive stay
+  /// available as differential oracles (scripts can also switch at run
+  /// time via RuleHarness.setMatchStrategy).
+  rules::MatchStrategy match_strategy = rules::MatchStrategy::kBeta;
 
   /// Worker threads for analysis primitives run from this session's
   /// scripts. 0 means the process-wide ThreadPool::shared(); any other

@@ -263,6 +263,31 @@ print(len(loadBalance(r)))
   EXPECT_EQ(session.output().back(), "3");
 }
 
+TEST(Bindings, MatchStrategyDefaultsToBetaAndIsScriptVisible) {
+  Repository repo;
+  pk::script::SessionOptions opts;
+  opts.repository = &repo;
+  AnalysisSession session(opts);
+  EXPECT_EQ(session.harness().match_strategy(),
+            pk::rules::MatchStrategy::kBeta);
+  session.run(R"(
+h = RuleHarness.getInstance()
+print(h.getMatchStrategy())
+h.setMatchStrategy("indexed")
+print(h.getMatchStrategy())
+h.setMatchStrategy("beta")
+print(h.getMatchStrategy())
+)");
+  const auto& out = session.output();
+  ASSERT_GE(out.size(), 3u);
+  EXPECT_EQ(out[out.size() - 3], "beta");
+  EXPECT_EQ(out[out.size() - 2], "indexed");
+  EXPECT_EQ(out[out.size() - 1], "beta");
+  EXPECT_THROW(session.run("RuleHarness.getInstance()"
+                           ".setMatchStrategy(\"rete\")"),
+               pk::InvalidArgumentError);
+}
+
 TEST(Bindings, SessionOptionsRequiresRepository) {
   EXPECT_THROW(AnalysisSession{pk::script::SessionOptions{}},
                pk::InvalidArgumentError);

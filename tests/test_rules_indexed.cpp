@@ -1,13 +1,16 @@
-// Differential tests for the indexed incremental matcher: the naive
-// full-rescan matcher is the oracle, and the indexed engine must produce
-// byte-identical output lines, diagnoses, and firing counts on every
-// shipped rulebase and on randomized fact soups / rulebases.
+// Differential tests for the incremental matchers: the naive full-rescan
+// matcher is the oracle, and both the alpha-indexed engine and the
+// beta-memory join network must produce byte-identical output lines,
+// diagnoses, firing counts, and provenance trees on every shipped
+// rulebase and on randomized fact soups / rulebases — including
+// retract-heavy sequences that exercise memoized-join invalidation.
 #include <gtest/gtest.h>
 
 #include <random>
 #include <string>
 #include <vector>
 
+#include "provenance/explanation.hpp"
 #include "rules/engine.hpp"
 #include "rules/fact.hpp"
 #include "rules/parser.hpp"
@@ -31,9 +34,12 @@ namespace {
 struct RunResult {
   std::vector<std::string> output;
   std::vector<pk::rules::Diagnosis> diagnoses;
+  /// to_json of each diagnosis's captured explanation, in order —
+  /// provenance trees are part of the byte-identical contract.
+  std::vector<std::string> provenance;
   std::vector<std::size_t> firings_per_stage;
   /// Fire-time errors (e.g. an action touching a field the matched fact
-  /// lacks) are part of the observable behaviour: both strategies must
+  /// lacks) are part of the observable behaviour: all strategies must
   /// fail identically, after the identical output prefix.
   std::string error;
 };
@@ -44,19 +50,67 @@ bool diagnoses_equal(const pk::rules::Diagnosis& a,
          a.severity == b.severity && a.recommendation == b.recommendation;
 }
 
-/// Runs `rules` over the staged fact soup with one strategy, calling
-/// process_rules after every stage (the incremental path: later stages
-/// re-enter a harness whose watermarks are already advanced).
-RunResult run_with(MatchStrategy strategy, const std::vector<Rule>& rules,
-                   const std::vector<std::vector<Fact>>& stages) {
+/// One step of a differential scenario. Retract/modify address facts by
+/// their position in the sequence of asserts/modifies so far (ids are
+/// only comparable within one run).
+struct Op {
+  enum class Kind { kAssert, kRetract, kModify, kProcess } kind = Kind::kAssert;
+  Fact fact{"_"};          ///< kAssert payload / kModify replacement
+  std::size_t target = 0;  ///< kRetract / kModify: index into the id log
+};
+
+Op op_assert(Fact f) {
+  Op o;
+  o.kind = Op::Kind::kAssert;
+  o.fact = std::move(f);
+  return o;
+}
+Op op_retract(std::size_t target) {
+  Op o;
+  o.kind = Op::Kind::kRetract;
+  o.target = target;
+  return o;
+}
+Op op_modify(std::size_t target, Fact f) {
+  Op o;
+  o.kind = Op::Kind::kModify;
+  o.fact = std::move(f);
+  o.target = target;
+  return o;
+}
+Op op_process() {
+  Op o;
+  o.kind = Op::Kind::kProcess;
+  return o;
+}
+
+/// Runs an op sequence with one strategy, full provenance capture on.
+/// Later process steps re-enter a harness whose watermarks (and, for
+/// kBeta, memoized tokens) are already advanced.
+RunResult run_ops(MatchStrategy strategy, const std::vector<Rule>& rules,
+                  const std::vector<Op>& ops) {
   RuleHarness h;
   h.set_match_strategy(strategy);
+  h.set_provenance(pk::provenance::ProvenanceMode::kFull);
   for (const auto& r : rules) h.add_rule(r);
   RunResult res;
-  for (const auto& stage : stages) {
-    for (const auto& f : stage) h.assert_fact(f);
+  std::vector<pk::rules::FactId> log;
+  for (const auto& op : ops) {
     try {
-      res.firings_per_stage.push_back(h.process_rules());
+      switch (op.kind) {
+        case Op::Kind::kAssert:
+          log.push_back(h.assert_fact(op.fact));
+          break;
+        case Op::Kind::kRetract:
+          h.retract(log.at(op.target));
+          break;
+        case Op::Kind::kModify:
+          log.push_back(h.modify(log.at(op.target), op.fact));
+          break;
+        case Op::Kind::kProcess:
+          res.firings_per_stage.push_back(h.process_rules());
+          break;
+      }
     } catch (const std::exception& e) {
       res.error = e.what();
       break;
@@ -64,28 +118,52 @@ RunResult run_with(MatchStrategy strategy, const std::vector<Rule>& rules,
   }
   res.output = h.output();
   res.diagnoses = h.diagnoses();
+  for (const auto& d : res.diagnoses) {
+    res.provenance.push_back(d.provenance ? pk::provenance::to_json(*d.provenance)
+                                          : "(none)");
+  }
   return res;
 }
 
-/// The differential assertion: both strategies, same everything.
-std::size_t expect_identical(const std::vector<Rule>& rules,
-                             const std::vector<std::vector<Fact>>& stages,
-                             const std::string& label) {
-  const RunResult naive = run_with(MatchStrategy::kNaive, rules, stages);
-  const RunResult indexed = run_with(MatchStrategy::kIndexed, rules, stages);
-  EXPECT_EQ(naive.firings_per_stage, indexed.firings_per_stage) << label;
-  EXPECT_EQ(naive.output, indexed.output) << label;
-  EXPECT_EQ(naive.error, indexed.error) << label;
-  EXPECT_EQ(naive.diagnoses.size(), indexed.diagnoses.size()) << label;
+void expect_same(const RunResult& oracle, const RunResult& got,
+                 const std::string& label) {
+  EXPECT_EQ(oracle.firings_per_stage, got.firings_per_stage) << label;
+  EXPECT_EQ(oracle.output, got.output) << label;
+  EXPECT_EQ(oracle.error, got.error) << label;
+  EXPECT_EQ(oracle.provenance, got.provenance) << label;
+  EXPECT_EQ(oracle.diagnoses.size(), got.diagnoses.size()) << label;
   for (std::size_t i = 0;
-       i < std::min(naive.diagnoses.size(), indexed.diagnoses.size()); ++i) {
-    EXPECT_TRUE(diagnoses_equal(naive.diagnoses[i], indexed.diagnoses[i]))
+       i < std::min(oracle.diagnoses.size(), got.diagnoses.size()); ++i) {
+    EXPECT_TRUE(diagnoses_equal(oracle.diagnoses[i], got.diagnoses[i]))
         << label << ": diagnosis " << i << " differs: "
-        << naive.diagnoses[i].rule << " / " << indexed.diagnoses[i].rule;
+        << oracle.diagnoses[i].rule << " / " << got.diagnoses[i].rule;
   }
+}
+
+/// The three-way differential assertion: naive is the oracle; both the
+/// indexed matcher and the beta network must agree byte-for-byte.
+std::size_t expect_identical_ops(const std::vector<Rule>& rules,
+                                 const std::vector<Op>& ops,
+                                 const std::string& label) {
+  const RunResult naive = run_ops(MatchStrategy::kNaive, rules, ops);
+  expect_same(naive, run_ops(MatchStrategy::kIndexed, rules, ops),
+              label + " [indexed]");
+  expect_same(naive, run_ops(MatchStrategy::kBeta, rules, ops),
+              label + " [beta]");
   std::size_t total = 0;
   for (const auto f : naive.firings_per_stage) total += f;
   return total;
+}
+
+std::size_t expect_identical(const std::vector<Rule>& rules,
+                             const std::vector<std::vector<Fact>>& stages,
+                             const std::string& label) {
+  std::vector<Op> ops;
+  for (const auto& stage : stages) {
+    for (const auto& f : stage) ops.push_back(op_assert(f));
+    ops.push_back(op_process());
+  }
+  return expect_identical_ops(rules, ops, label);
 }
 
 // ---- pattern-derived fact soups --------------------------------------
@@ -365,33 +443,37 @@ TEST(IndexedDifferential, RandomizedRulebasesAndSoups) {
 
 TEST(IndexedDifferential, StrategyAccessorsAndDefault) {
   RuleHarness h;
-  EXPECT_EQ(h.match_strategy(), MatchStrategy::kIndexed);
+  EXPECT_EQ(h.match_strategy(), MatchStrategy::kBeta);
   h.set_match_strategy(MatchStrategy::kNaive);
   EXPECT_EQ(h.match_strategy(), MatchStrategy::kNaive);
 }
 
 TEST(IndexedDifferential, IncrementalRerunOnlyFiresNewFacts) {
-  // The watermark must survive across process_rules calls: re-running
-  // after new asserts fires only activations involving the new facts.
-  RuleHarness h;  // default: indexed
-  Rule r;
-  r.name = "seen";
-  Pattern p;
-  p.fact_type = "Obs";
-  p.bindings.push_back(FieldBinding{"x", "val"});
-  r.patterns.push_back(std::move(p));
-  r.action = [](RuleContext& ctx) {
-    ctx.print("saw " + pk::rules::to_display(ctx.binding("x")));
-  };
-  h.add_rule(std::move(r));
-  h.assert_fact(Fact("Obs").set("val", 1.0));
-  h.assert_fact(Fact("Obs").set("val", 2.0));
-  EXPECT_EQ(h.process_rules(), 2u);
-  EXPECT_EQ(h.process_rules(), 0u);
-  h.assert_fact(Fact("Obs").set("val", 3.0));
-  EXPECT_EQ(h.process_rules(), 1u);
-  EXPECT_EQ(h.output(),
-            (std::vector<std::string>{"saw 1", "saw 2", "saw 3"}));
+  // Watermarks (and, for kBeta, memoized tokens) must survive across
+  // process_rules calls: re-running after new asserts fires only
+  // activations involving the new facts.
+  for (const auto strategy : {MatchStrategy::kIndexed, MatchStrategy::kBeta}) {
+    RuleHarness h;
+    h.set_match_strategy(strategy);
+    Rule r;
+    r.name = "seen";
+    Pattern p;
+    p.fact_type = "Obs";
+    p.bindings.push_back(FieldBinding{"x", "val"});
+    r.patterns.push_back(std::move(p));
+    r.action = [](RuleContext& ctx) {
+      ctx.print("saw " + pk::rules::to_display(ctx.binding("x")));
+    };
+    h.add_rule(std::move(r));
+    h.assert_fact(Fact("Obs").set("val", 1.0));
+    h.assert_fact(Fact("Obs").set("val", 2.0));
+    EXPECT_EQ(h.process_rules(), 2u);
+    EXPECT_EQ(h.process_rules(), 0u);
+    h.assert_fact(Fact("Obs").set("val", 3.0));
+    EXPECT_EQ(h.process_rules(), 1u);
+    EXPECT_EQ(h.output(),
+              (std::vector<std::string>{"saw 1", "saw 2", "saw 3"}));
+  }
 }
 
 TEST(IndexedDifferential, IndexProbeRespectsValueEquivalence) {
@@ -463,4 +545,181 @@ TEST(IndexedDifferential, JoinOnBoundVariableUsesIndex) {
   stages[1].push_back(Fact("Parent").set("id", 2.0));
   const auto fired = expect_identical({r}, stages, "join");
   EXPECT_GT(fired, 0u);
+}
+
+// ---- retraction, modification, and memoized-join invalidation --------
+
+namespace {
+
+/// Parent(id -> pid) joined with Child(parent == pid), printing the pair.
+Rule parent_child_rule() {
+  Rule r;
+  r.name = "nest";
+  Pattern outer;
+  outer.fact_type = "Parent";
+  outer.bindings.push_back(FieldBinding{"pid", "id"});
+  Pattern inner;
+  inner.fact_type = "Child";
+  inner.constraints.push_back(
+      Constraint{"parent", CmpOp::kEq, Operand::var("pid")});
+  inner.bindings.push_back(FieldBinding{"cid", "id"});
+  r.patterns.push_back(std::move(outer));
+  r.patterns.push_back(std::move(inner));
+  r.action = [](RuleContext& ctx) {
+    ctx.print(pk::rules::to_display(ctx.binding("pid")) + "->" +
+              pk::rules::to_display(ctx.binding("cid")));
+  };
+  return r;
+}
+
+}  // namespace
+
+TEST(IndexedDifferential, RetractedJoinPartnerNeverResurfaces) {
+  // Regression pin for watermark handling when, after a retract, every
+  // pattern of a rule matches only pre-watermark facts: the next process
+  // call must fire nothing, and a later assert must fire exactly once —
+  // no firing dropped (a memoized token outliving its retracted support)
+  // and none duplicated (stale watermarks re-enumerating old tuples).
+  const std::vector<Op> ops = {
+      op_assert(Fact("Parent").set("id", 1.0)),              // log 0
+      op_assert(Fact("Child").set("parent", 1.0).set("id", 10.0)),  // log 1
+      op_process(),  // fires (parent, child10)
+      op_retract(1),
+      op_process(),  // all patterns pre-watermark: must fire nothing
+      op_assert(Fact("Child").set("parent", 1.0).set("id", 11.0)),  // log 2
+      op_process(),  // exactly one firing: (parent, child11)
+  };
+  const RunResult oracle =
+      run_ops(MatchStrategy::kNaive, {parent_child_rule()}, ops);
+  ASSERT_EQ(oracle.firings_per_stage,
+            (std::vector<std::size_t>{1, 0, 1}));
+  EXPECT_EQ(oracle.output, (std::vector<std::string>{"1->10", "1->11"}));
+  expect_identical_ops({parent_child_rule()}, ops, "retract partner");
+}
+
+TEST(IndexedDifferential, ModifyRejoinsUnderFreshId) {
+  // modify = retract + re-assert under a fresh id: the join must fire
+  // again for the new id (it is a different tuple) and the stale tuple
+  // must not fire after its support died.
+  const std::vector<Op> ops = {
+      op_assert(Fact("Parent").set("id", 1.0)),                     // log 0
+      op_assert(Fact("Child").set("parent", 2.0).set("id", 10.0)),  // log 1
+      op_process(),  // no match: parent 2 does not exist
+      op_modify(1, Fact("Child").set("parent", 1.0).set("id", 10.0)),  // log 2
+      op_process(),  // fires on the re-pointed child
+      op_modify(2, Fact("Child").set("parent", 3.0).set("id", 10.0)),  // log 3
+      op_process(),  // re-pointed away again: nothing
+  };
+  const RunResult oracle =
+      run_ops(MatchStrategy::kNaive, {parent_child_rule()}, ops);
+  ASSERT_EQ(oracle.firings_per_stage,
+            (std::vector<std::size_t>{0, 1, 0}));
+  expect_identical_ops({parent_child_rule()}, ops, "modify rejoin");
+}
+
+TEST(IndexedDifferential, RuleAddedAfterFactsSeesOldFacts) {
+  // A rule registered after facts were asserted (and processed) must
+  // still match them: the beta network backfills its alpha memories from
+  // facts below the type watermark.
+  for (const auto strategy : {MatchStrategy::kNaive, MatchStrategy::kIndexed,
+                              MatchStrategy::kBeta}) {
+    RuleHarness h;
+    h.set_match_strategy(strategy);
+    h.add_rule(parent_child_rule());
+    h.assert_fact(Fact("Parent").set("id", 1.0));
+    h.assert_fact(Fact("Child").set("parent", 1.0).set("id", 10.0));
+    EXPECT_EQ(h.process_rules(), 1u);
+    Rule late = parent_child_rule();
+    late.name = "late";
+    h.add_rule(std::move(late));
+    EXPECT_EQ(h.process_rules(), 1u) << "late rule must see old facts";
+    EXPECT_EQ(h.output(),
+              (std::vector<std::string>{"1->10", "1->10"}));
+  }
+}
+
+TEST(IndexedDifferential, TripleJoinWithChurn) {
+  // Three-pattern rule: an equality chain (hash-joinable) plus an
+  // inequality join (forces the non-probe token-extension path), run
+  // through interleaved assert/retract/modify cycles.
+  Rule r;
+  r.name = "triple";
+  Pattern a;
+  a.fact_type = "G";
+  a.bindings.push_back(FieldBinding{"g", "grp"});
+  a.bindings.push_back(FieldBinding{"lo", "floor"});
+  Pattern b;
+  b.fact_type = "E";
+  b.constraints.push_back(Constraint{"grp", CmpOp::kEq, Operand::var("g")});
+  b.bindings.push_back(FieldBinding{"ev", "name"});
+  Pattern c;
+  c.fact_type = "S";
+  c.constraints.push_back(Constraint{"event", CmpOp::kEq, Operand::var("ev")});
+  c.constraints.push_back(Constraint{"sev", CmpOp::kGt, Operand::var("lo")});
+  r.patterns.push_back(std::move(a));
+  r.patterns.push_back(std::move(b));
+  r.patterns.push_back(std::move(c));
+  r.action = [](RuleContext& ctx) {
+    std::string line = "triple";
+    for (const auto id : ctx.matched_facts()) {
+      line += " #" + std::to_string(id);
+    }
+    ctx.print(line);
+  };
+
+  std::vector<Op> ops;
+  ops.push_back(op_assert(Fact("G").set("grp", 1.0).set("floor", 0.5)));  // 0
+  ops.push_back(op_assert(Fact("E").set("grp", 1.0).set("name", "L1")));  // 1
+  ops.push_back(op_assert(Fact("S").set("event", "L1").set("sev", 0.9)));  // 2
+  ops.push_back(op_process());  // one triple
+  ops.push_back(op_assert(Fact("S").set("event", "L1").set("sev", 0.2)));  // 3
+  ops.push_back(op_process());  // below floor: nothing
+  ops.push_back(op_retract(1));  // kill the middle of the memoized chain
+  ops.push_back(op_process());   // nothing may fire or crash
+  ops.push_back(op_assert(Fact("E").set("grp", 1.0).set("name", "L1")));  // 4
+  ops.push_back(op_process());  // rebuilt chain: one new triple
+  ops.push_back(op_modify(0, Fact("G").set("grp", 1.0).set("floor", 0.0)));
+  ops.push_back(op_process());  // fresh G id: both S facts now qualify
+  const RunResult oracle = run_ops(MatchStrategy::kNaive, {r}, ops);
+  ASSERT_EQ(oracle.firings_per_stage,
+            (std::vector<std::size_t>{1, 0, 0, 1, 2}));
+  expect_identical_ops({r}, ops, "triple churn");
+}
+
+TEST(IndexedDifferential, RetractHeavyRandomizedDifferential) {
+  // Randomized soups with interleaved retract/modify/process cycles: the
+  // harshest exercise of watermark bookkeeping and token invalidation.
+  std::size_t total = 0;
+  for (std::uint32_t seed = 500; seed < 540; ++seed) {
+    std::mt19937 rng(seed);
+    const auto rules = random_rules(rng, 2 + rng() % 6);
+    std::vector<Op> ops;
+    std::vector<std::size_t> live;  // indexes into the op id log
+    std::size_t logged = 0;
+    const std::size_t cycles = 3 + rng() % 3;
+    for (std::size_t cyc = 0; cyc < cycles; ++cyc) {
+      for (const auto& f : random_soup(rng, 4 + rng() % 8)) {
+        ops.push_back(op_assert(f));
+        live.push_back(logged++);
+      }
+      // Retract or modify a few random still-live facts.
+      const std::size_t churn = rng() % 4;
+      for (std::size_t i = 0; i < churn && !live.empty(); ++i) {
+        const std::size_t pick = rng() % live.size();
+        const std::size_t target = live[pick];
+        live.erase(live.begin() + pick);
+        if (rng() % 2 == 0) {
+          ops.push_back(op_retract(target));
+        } else {
+          auto replacement = random_soup(rng, 1);
+          ops.push_back(op_modify(target, replacement[0]));
+          live.push_back(logged++);
+        }
+      }
+      ops.push_back(op_process());
+    }
+    total += expect_identical_ops(rules, ops,
+                                  "churn seed " + std::to_string(seed));
+  }
+  EXPECT_GT(total, 100u) << "churn soups barely fired — weak test";
 }
