@@ -5,6 +5,13 @@ Compares a fresh google-benchmark JSON report against the committed
 baseline (bench/baseline/<bench_name>.json) and fails if any
 benchmark regressed by more than the threshold (default 25%).
 
+The baseline-vs-current comparison in CI has moved to the rule-driven
+`pkx diff` gate (bench2pkb + rules/regression.rules), which applies the
+same geomean normalization but diagnoses through the rules engine and
+emits proof-tree explanations. This script remains for the absolute
+--require-speedup pins within a single report, which need no baseline
+at all: pass --current with --require-speedup and omit --baseline.
+
 CI runners and the machine that produced the baseline differ in raw
 speed, so absolute times are not comparable. Instead each benchmark is
 normalized by the geometric mean of all benchmarks *in the same
@@ -163,8 +170,9 @@ def self_test(baseline, threshold):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--baseline", required=True, nargs="+",
-                    help="committed baseline JSON report(s)")
+    ap.add_argument("--baseline", nargs="+",
+                    help="committed baseline JSON report(s); optional "
+                    "when only --require-speedup pins are checked")
     ap.add_argument("--current", nargs="+",
                     help="fresh benchmark JSON report(s); several runs "
                     "are merged by elementwise min "
@@ -185,10 +193,16 @@ def main():
         print(f"error in --require-speedup: {e}", file=sys.stderr)
         return 2
 
-    try:
-        baseline = load_benchmarks(args.baseline)
-    except (OSError, ValueError, KeyError) as e:
-        print(f"error reading baseline: {e}", file=sys.stderr)
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = load_benchmarks(args.baseline)
+        except (OSError, ValueError, KeyError) as e:
+            print(f"error reading baseline: {e}", file=sys.stderr)
+            return 2
+    elif args.self_test or not speedups:
+        print("error: --baseline is required unless only "
+              "--require-speedup pins are checked", file=sys.stderr)
         return 2
 
     if args.self_test:
@@ -204,8 +218,11 @@ def main():
         print(f"error reading current report: {e}", file=sys.stderr)
         return 2
 
-    print(f"bench gate: geomean-normalized, threshold={args.threshold:.0%}")
-    failures = compare(baseline, current, args.threshold)
+    failures = []
+    if baseline is not None:
+        print(f"bench gate: geomean-normalized, "
+              f"threshold={args.threshold:.0%}")
+        failures += compare(baseline, current, args.threshold)
     if speedups:
         print("bench gate: absolute speedup requirements")
         failures += check_speedups(current, speedups)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Plants a synthetic slowdown into a google-benchmark JSON report.
+
+Reads a report, multiplies one benchmark's real_time and cpu_time by
+--factor (default 2.0), and writes the result. The CI perf gate runs
+`pkx diff` over the original and the planted report before the real
+comparison; if the gate does not diagnose the planted regression (exit
+3), the gate itself is broken and the job fails. This replaces the
+in-process --self-test of check_bench.py's old comparison path with an
+end-to-end test of the actual bench2pkb -> diff -> regression.rules
+pipeline.
+
+By default the victim is the first non-aggregate benchmark; pass
+--benchmark to pick a specific one. Stdlib only (no pip installs on
+the runner). Exit codes: 0 ok, 2 usage/input error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("input", help="google-benchmark JSON report to read")
+    ap.add_argument("output", help="where to write the planted report")
+    ap.add_argument("--benchmark",
+                    help="benchmark name to slow down (default: first "
+                    "non-aggregate entry)")
+    ap.add_argument("--factor", type=float, default=2.0,
+                    help="slowdown multiplier (default 2.0)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.input) as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error reading {args.input}: {e}", file=sys.stderr)
+        return 2
+
+    rows = [b for b in report.get("benchmarks", [])
+            if b.get("run_type") != "aggregate"]
+    if not rows:
+        print(f"{args.input}: no benchmark entries", file=sys.stderr)
+        return 2
+    victim = args.benchmark or rows[0]["name"]
+    planted = 0
+    for b in rows:
+        if b["name"] != victim:
+            continue
+        for field in ("real_time", "cpu_time"):
+            if field in b:
+                b[field] = float(b[field]) * args.factor
+        planted += 1
+    if planted == 0:
+        print(f"{args.input}: benchmark {victim!r} not found",
+              file=sys.stderr)
+        return 2
+
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=1)
+        f.write("\n")
+    print(f"planted {args.factor:g}x slowdown into {victim} "
+          f"({planted} row(s)) -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

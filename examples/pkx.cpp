@@ -1,288 +1,17 @@
 // pkx — a command-line PerfExplorer: browse a PerfDMF repository, run
-// PerfScript analyses against it, and import/export profiles.
+// PerfScript analyses against it, import/export profiles, and diff
+// versioned trials with rules/regression.rules.
 //
-//   pkx demo <repo-dir>                         create a demo repository
-//   pkx <repo-dir> list                         list app/experiment/trials
-//   pkx <repo-dir> show <app> <exp> <trial>     top events and metadata
-//   pkx <repo-dir> run <script.ps>              run an analysis script
-//   pkx <repo-dir> export-csv <app> <exp> <trial> <metric>
-//   pkx <repo-dir> import-tau <tau-dir> <app> <exp>
-#include <cstdio>
-#include <fstream>
-#include <memory>
-#include <sstream>
+// All the logic lives in tools::pkx_main (src/tools/pkx_cli.cpp) so the
+// test suite can drive every subcommand against in-memory streams; this
+// is just the process entry point.
+#include <iostream>
 #include <string>
 #include <vector>
 
-#include "analysis/facts.hpp"
-#include "analysis/operations.hpp"
-#include "analysis/report.hpp"
-#include "rules/rulebases.hpp"
-#include "apps/genidlest/genidlest.hpp"
-#include "apps/msap/msap.hpp"
-#include "common/error.hpp"
-#include "common/table.hpp"
-#include "io/format.hpp"
-#include "machine/machine.hpp"
-#include "perfdmf/repository.hpp"
-#include "perfdmf/snapshot.hpp"
-#include "provenance/explanation.hpp"
-#include "script/bindings.hpp"
-
-namespace pk = perfknow;
-using pk::machine::Machine;
-using pk::machine::MachineConfig;
-
-namespace {
-
-int usage() {
-  std::fprintf(
-      stderr,
-      "usage:\n"
-      "  pkx demo <repo-dir>\n"
-      "  pkx <repo-dir> list\n"
-      "  pkx <repo-dir> show <app> <exp> <trial>\n"
-      "  pkx <repo-dir> run <script.ps>\n"
-      "  pkx <repo-dir> export-csv <app> <exp> <trial> <metric>\n"
-      "  pkx <repo-dir> import-tau <tau-dir> <app> <exp>\n"
-      "  pkx <repo-dir> export-json <app> <exp> <trial> <file>\n"
-      "  pkx <repo-dir> import <file-or-dir> <app> <exp>\n"
-      "  pkx <repo-dir> report <app> <exp> <trial>\n"
-      "  pkx <repo-dir> explain <app> <exp> <trial> [--json <file>]"
-      " [--dot <file>]\n"
-      "  pkx explain --from <explanations.json>\n"
-      "\n"
-      "import auto-detects the profile format (pkprof, pkb, json, csv,\n"
-      "tau); import-csv and import-tau remain as aliases.\n"
-      "explain runs the OpenUH rulebase with full provenance capture and\n"
-      "prints a proof tree per diagnosis; --from re-renders a previously\n"
-      "exported --json file without touching a repository.\n");
-  return 2;
-}
-
-int cmd_demo(const std::string& dir) {
-  pk::perfdmf::Repository repo;
-  // MSAP under both schedules.
-  for (const bool dynamic : {false, true}) {
-    Machine m(MachineConfig::altix300());
-    pk::apps::msap::MsapConfig cfg;
-    cfg.threads = 16;
-    cfg.schedule = dynamic ? pk::runtime::Schedule::dynamic(1)
-                           : pk::runtime::Schedule::static_even();
-    auto r = pk::apps::msap::run_msap(m, cfg);
-    repo.put("MSAP", "schedules",
-             std::make_shared<pk::profile::Trial>(std::move(r.trial)));
-  }
-  // GenIDLEST unoptimized/optimized at 16 threads.
-  for (const bool optimized : {false, true}) {
-    Machine m(MachineConfig::altix3600());
-    auto cfg = pk::apps::genidlest::GenConfig::rib90();
-    cfg.model = pk::apps::genidlest::Model::kOpenMP;
-    cfg.optimized = optimized;
-    auto r = pk::apps::genidlest::run_genidlest(m, cfg);
-    repo.put("Fluid Dynamic", "rib 90",
-             std::make_shared<pk::profile::Trial>(std::move(r.trial)));
-  }
-  // An unoptimized scaling study for examples/scripts/scalability.ps.
-  for (const unsigned procs : {1u, 2u, 4u, 8u, 16u}) {
-    Machine m(MachineConfig::altix3600());
-    auto cfg = pk::apps::genidlest::GenConfig::rib90();
-    cfg.model = pk::apps::genidlest::Model::kOpenMP;
-    cfg.optimized = false;
-    cfg.nprocs = procs;
-    auto r = pk::apps::genidlest::run_genidlest(m, cfg);
-    repo.put("Fluid Dynamic", "rib 90 scaling",
-             std::make_shared<pk::profile::Trial>(std::move(r.trial)));
-  }
-  repo.save(dir);
-  std::printf("wrote demo repository (%zu trials) to %s\n",
-              repo.trial_count(), dir.c_str());
-  return 0;
-}
-
-int cmd_list(const pk::perfdmf::Repository& repo) {
-  for (const auto& app : repo.applications()) {
-    std::printf("%s\n", app.c_str());
-    for (const auto& exp : repo.experiments(app)) {
-      std::printf("  %s\n", exp.c_str());
-      for (const auto& trial : repo.trials(app, exp)) {
-        const auto t = repo.get(app, exp, trial);
-        std::printf("    %-28s %zu threads, %zu events, %zu metrics\n",
-                    trial.c_str(), t->thread_count(), t->event_count(),
-                    t->metric_count());
-      }
-    }
-  }
-  return 0;
-}
-
-int cmd_show(const pk::perfdmf::Repository& repo, const std::string& app,
-             const std::string& exp, const std::string& trial_name) {
-  const auto trial = repo.get(app, exp, trial_name);
-  std::printf("trial %s (%zu threads)\n", trial->name().c_str(),
-              trial->thread_count());
-  for (const auto& [k, v] : trial->all_metadata()) {
-    std::printf("  %s = %s\n", k.c_str(), v.c_str());
-  }
-  const std::string metric =
-      trial->find_metric("TIME") ? "TIME" : trial->metric(0).name;
-  pk::TextTable table({"event", "mean " + metric, "cv", "% of runtime"});
-  for (const auto& s : pk::analysis::top_events(*trial, metric, 12)) {
-    table.begin_row()
-        .add(s.name)
-        .add(s.mean, 1)
-        .add(s.cv, 3)
-        .add(pk::analysis::runtime_fraction(*trial, s.event, metric) *
-                 100.0,
-             1);
-  }
-  std::printf("\n%s", table.str().c_str());
-  return 0;
-}
-
-int cmd_explain(const pk::perfdmf::Repository& repo,
-                const std::vector<std::string>& args) {
-  const auto trial = repo.get(args[2], args[3], args[4]);
-  std::string json_file;
-  std::string dot_file;
-  if ((args.size() - 5) % 2 != 0) return usage();
-  for (std::size_t i = 5; i + 1 < args.size(); i += 2) {
-    if (args[i] == "--json") json_file = args[i + 1];
-    else if (args[i] == "--dot") dot_file = args[i + 1];
-    else return usage();
-  }
-
-  pk::rules::RuleHarness harness;
-  harness.set_provenance(pk::provenance::ProvenanceMode::kFull);
-  pk::rules::builtin::use(harness, pk::rules::builtin::openuh_rules());
-  pk::analysis::assert_load_balance_facts(harness, *trial);
-  if (trial->find_metric("BACK_END_BUBBLE_ALL")) {
-    pk::analysis::assert_stall_facts(harness, *trial);
-  }
-  if (trial->find_metric("L3_MISSES")) {
-    pk::analysis::assert_memory_locality_facts(harness, *trial);
-  }
-  harness.process_rules();
-
-  std::vector<pk::provenance::Explanation> explanations;
-  for (const auto& d : harness.diagnoses()) {
-    if (d.provenance) explanations.push_back(*d.provenance);
-  }
-  if (explanations.empty()) {
-    std::printf("no diagnoses for %s/%s/%s\n", args[2].c_str(),
-                args[3].c_str(), args[4].c_str());
-    return 0;
-  }
-  for (const auto& e : explanations) {
-    std::fputs(pk::provenance::to_text(e).c_str(), stdout);
-    std::fputs("\n", stdout);
-  }
-  if (!json_file.empty()) {
-    std::ofstream os(json_file);
-    os << pk::provenance::to_json(explanations);
-    std::printf("wrote %s\n", json_file.c_str());
-  }
-  if (!dot_file.empty()) {
-    std::ofstream os(dot_file);
-    os << pk::provenance::to_dot(explanations);
-    std::printf("wrote %s\n", dot_file.c_str());
-  }
-  return 0;
-}
-
-int cmd_explain_from(const std::string& file) {
-  std::ifstream is(file);
-  if (!is) {
-    throw pk::IoError("cannot open explanation file: " + file);
-  }
-  std::ostringstream ss;
-  ss << is.rdbuf();
-  const auto explanations = pk::provenance::explanations_from_json(ss.str());
-  for (const auto& e : explanations) {
-    std::fputs(pk::provenance::to_text(e).c_str(), stdout);
-    std::fputs("\n", stdout);
-  }
-  std::printf("%zu explanations\n", explanations.size());
-  return 0;
-}
-
-}  // namespace
+#include "tools/pkx_cli.hpp"
 
 int main(int argc, char** argv) {
   const std::vector<std::string> args(argv + 1, argv + argc);
-  try {
-    if (args.size() == 2 && args[0] == "demo") {
-      return cmd_demo(args[1]);
-    }
-    if (args.size() == 3 && args[0] == "explain" && args[1] == "--from") {
-      return cmd_explain_from(args[2]);
-    }
-    if (args.size() < 2) return usage();
-    auto repo = pk::perfdmf::Repository::load(args[0]);
-    const std::string& cmd = args[1];
-
-    if (cmd == "list") return cmd_list(repo);
-    if (cmd == "show" && args.size() == 5) {
-      return cmd_show(repo, args[2], args[3], args[4]);
-    }
-    if (cmd == "run" && args.size() == 3) {
-      pk::script::AnalysisSession session(pk::script::SessionOptions{&repo});
-      session.interpreter().set_echo(true);
-      session.run_file(args[2]);
-      std::printf("\n%zu diagnoses\n",
-                  session.harness().diagnoses().size());
-      for (const auto& d : session.harness().diagnoses()) {
-        std::printf("  [%s] %s -> %s\n", d.problem.c_str(),
-                    d.event.c_str(), d.recommendation.c_str());
-      }
-      return 0;
-    }
-    if (cmd == "report" && args.size() == 5) {
-      const auto trial = repo.get(args[2], args[3], args[4]);
-      pk::rules::RuleHarness harness;
-      pk::rules::builtin::use(harness,
-                              pk::rules::builtin::openuh_rules());
-      pk::analysis::assert_load_balance_facts(harness, *trial);
-      if (trial->find_metric("BACK_END_BUBBLE_ALL")) {
-        pk::analysis::assert_stall_facts(harness, *trial);
-      }
-      if (trial->find_metric("L3_MISSES")) {
-        pk::analysis::assert_memory_locality_facts(harness, *trial);
-      }
-      harness.process_rules();
-      std::fputs(
-          pk::analysis::render_report(*trial, &harness).c_str(), stdout);
-      return 0;
-    }
-    if (cmd == "explain" && args.size() >= 5) {
-      return cmd_explain(repo, args);
-    }
-    if (cmd == "export-csv" && args.size() == 6) {
-      const auto trial = repo.get(args[2], args[3], args[4]);
-      std::fputs(pk::perfdmf::to_csv(*trial, args[5]).c_str(), stdout);
-      return 0;
-    }
-    if (cmd == "export-json" && args.size() == 6) {
-      pk::io::save_trial(*repo.get(args[2], args[3], args[4]), args[5],
-                         "json");
-      std::printf("wrote %s\n", args[5].c_str());
-      return 0;
-    }
-    // "import" sniffs the format; the old import-csv/import-tau spellings
-    // go through the same auto-detecting front door.
-    if ((cmd == "import" || cmd == "import-csv" || cmd == "import-tau") &&
-        args.size() == 5) {
-      auto trial = std::make_shared<pk::profile::Trial>(
-          pk::io::open_trial(args[2]));
-      repo.put(args[3], args[4], trial);
-      repo.save(args[0]);
-      std::printf("imported %s as %s/%s/%s\n", args[2].c_str(),
-                  args[3].c_str(), args[4].c_str(), trial->name().c_str());
-      return 0;
-    }
-    return usage();
-  } catch (const pk::Error& e) {
-    std::fprintf(stderr, "pkx: %s\n", e.what());
-    return 1;
-  }
+  return perfknow::tools::pkx_main(args, std::cout, std::cerr);
 }

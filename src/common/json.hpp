@@ -1,0 +1,43 @@
+// A minimal JSON value model and recursive-descent parser shared by the
+// text ingest paths (explanation JSON re-import, Google-Benchmark trial
+// conversion). Hoisted from provenance/explanation.cpp so every JSON
+// front end fails the same way: malformed input raises ParseError with a
+// line/column/excerpt diagnostic, never a crash (the `explain` fuzz
+// front end exercises this parser through explanations_from_json).
+//
+// This is deliberately not a general JSON library: numbers are doubles,
+// object member order is preserved (no map), duplicate keys are kept and
+// find() returns the first. That is exactly what the tolerant-subset
+// readers need and nothing more.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace perfknow::json {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<Value> items;
+  std::vector<std::pair<std::string, Value>> members;
+
+  /// First member with the given key, or nullptr. Object kind only.
+  [[nodiscard]] const Value* find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parses a complete JSON document (trailing characters are an error).
+/// Nesting is capped at 96 levels; malformed input throws ParseError
+/// carrying the 1-based line/column and a source excerpt.
+[[nodiscard]] Value parse(const std::string& src);
+
+}  // namespace perfknow::json

@@ -1,0 +1,45 @@
+// Google-Benchmark JSON ingest: benchmark runs as versioned trials.
+//
+// The CI perf gate dogfoods the repository's own history layer: each
+// `--benchmark_format=json` document (bench/baseline/*.json, or a fresh
+// CI run) converts into a profile::Trial whose events are the benchmark
+// names under a synthetic "main" root, with metrics
+//
+//   TIME      real_time per iteration, microseconds
+//   CPU_TIME  cpu_time per iteration, microseconds
+//
+// so the differential fact deriver (analysis/diff.hpp) and
+// rules/regression.rules apply to benchmark suites exactly as to
+// parallel profiles. Repetition rows ("run_type": "iteration" rows
+// sharing a name, within or across files) min-merge — the minimum is
+// the low-noise statistic for benchmark timing; aggregate rows
+// (mean/median/stddev) are skipped. The benchmark context block lands
+// in trial metadata under "bench.*" keys.
+//
+// Registered with io::formats() as the read-only "benchjson" format
+// (content sniff only: a JSON object with "context" but no "threads",
+// so the trial-schema JSON format keeps its claim).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "profile/profile.hpp"
+
+namespace perfknow::io {
+
+/// Parses one Google-Benchmark JSON document. Throws ParseError on
+/// malformed JSON or a document without a "benchmarks" array.
+[[nodiscard]] profile::Trial trial_from_benchmark_json(
+    const std::string& text, const std::string& name);
+
+/// Reads and min-merges one or more Google-Benchmark JSON files (the
+/// repetition-merge entry `pkx bench2pkb` uses). Throws
+/// InvalidArgumentError when `files` is empty, IoError when a file
+/// cannot be read.
+[[nodiscard]] profile::Trial trial_from_benchmark_files(
+    const std::vector<std::filesystem::path>& files,
+    const std::string& name);
+
+}  // namespace perfknow::io

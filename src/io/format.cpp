@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "io/bench_json.hpp"
 #include "perfdmf/csv_format.hpp"
 #include "perfdmf/json_format.hpp"
 #include "perfdmf/pkb_format.hpp"
@@ -106,6 +107,23 @@ profile::Trial pkprof_read(const std::filesystem::path& path) {
 void pkprof_write(const profile::TrialView& trial,
                   const std::filesystem::path& path) {
   write_file(trial, path, /*binary=*/false, perfdmf::write_snapshot);
+}
+
+// Google-Benchmark JSON: an object whose early keys include "context"
+// and never "threads" (the trial-schema JSON always has "threads" as
+// its second key, well inside the sniff window).
+bool benchjson_can_read(std::string_view head,
+                        const std::filesystem::path&) {
+  for (const char c : head) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) continue;
+    if (c != '{') return false;
+    break;
+  }
+  return head.find("\"context\"") != std::string_view::npos &&
+         head.find("\"threads\"") == std::string_view::npos;
+}
+profile::Trial benchjson_read(const std::filesystem::path& path) {
+  return trial_from_benchmark_files({path}, path.stem().string());
 }
 
 bool json_can_read(std::string_view head, const std::filesystem::path&) {
@@ -238,6 +256,10 @@ const std::vector<Format>& formats() {
   static const std::vector<Format> kFormats = {
       {"pkb", {".pkb"}, pkb_can_read, pkb_read, pkb_write},
       {"pkprof", {".pkprof"}, pkprof_can_read, pkprof_read, pkprof_write},
+      // benchjson must sniff before the lenient trial-JSON match; it
+      // claims no extension so .json files without the context marker
+      // still fall through to the trial reader.
+      {"benchjson", {}, benchjson_can_read, benchjson_read, nullptr},
       {"json", {".json"}, json_can_read, json_read, json_write},
       {"tau", {".tau"}, tau_can_read, tau_read, nullptr},
       {"csv", {".csv"}, csv_can_read, csv_read, csv_write},

@@ -150,6 +150,91 @@ void Repository::put(const std::string& application,
   insert_entry(application, experiment, name, std::move(entry));
 }
 
+void Repository::put_version(const std::string& application,
+                             const std::string& experiment, TrialPtr trial,
+                             const std::string& predecessor) {
+  if (!trial) {
+    throw InvalidArgumentError("Repository::put_version: null trial");
+  }
+  auto& chain = lineage_[application][experiment];
+  std::string pred = predecessor;
+  if (pred.empty() && !chain.empty()) pred = chain.back().version;
+  if (pred == trial->name()) {
+    throw InvalidArgumentError("Repository::put_version: trial '" +
+                               trial->name() +
+                               "' cannot be its own predecessor");
+  }
+  trial->set_metadata("version.predecessor", pred);
+  const std::string name = trial->name();
+  put(application, experiment, std::move(trial));
+  // Re-putting an existing version moves it to the head of the chain.
+  for (auto it = chain.begin(); it != chain.end(); ++it) {
+    if (it->version == name) {
+      chain.erase(it);
+      break;
+    }
+  }
+  chain.push_back(VersionLink{name, pred});
+}
+
+std::vector<std::string> Repository::history(
+    const std::string& application, const std::string& experiment) const {
+  // trials() validates the coordinates (throws NotFoundError).
+  std::vector<std::string> all = trials(application, experiment);
+  const auto a = lineage_.find(application);
+  if (a == lineage_.end()) return all;
+  const auto e = a->second.find(experiment);
+  if (e == a->second.end()) return all;
+  std::vector<std::string> out;
+  out.reserve(all.size());
+  for (const auto& link : e->second) out.push_back(link.version);
+  // Unlinked trials (pre-lineage ingests) follow the chain in name order.
+  for (const auto& name : all) {
+    bool linked = false;
+    for (const auto& link : e->second) {
+      if (link.version == name) {
+        linked = true;
+        break;
+      }
+    }
+    if (!linked) out.push_back(name);
+  }
+  return out;
+}
+
+std::string Repository::predecessor_of(const std::string& application,
+                                       const std::string& experiment,
+                                       const std::string& version) const {
+  // Validates the coordinates (throws on an unknown version).
+  (void)find_entry(application, experiment, version);
+  const auto a = lineage_.find(application);
+  if (a == lineage_.end()) return "";
+  const auto e = a->second.find(experiment);
+  if (e == a->second.end()) return "";
+  for (const auto& link : e->second) {
+    if (link.version == version) return link.predecessor;
+  }
+  return "";
+}
+
+std::vector<std::string> Repository::prune_history(
+    const std::string& application, const std::string& experiment,
+    std::size_t keep) {
+  const auto a = lineage_.find(application);
+  if (a == lineage_.end()) return {};
+  const auto e = a->second.find(experiment);
+  if (e == a->second.end()) return {};
+  auto& chain = e->second;
+  std::vector<std::string> removed;
+  while (chain.size() > keep) {
+    const std::string victim = chain.front().version;
+    removed.push_back(victim);
+    // erase() splices the chain: the survivor becomes the new root.
+    erase(application, experiment, victim);
+  }
+  return removed;
+}
+
 void Repository::insert_entry(const std::string& application,
                               const std::string& experiment,
                               const std::string& trial, EntryPtr entry) {
@@ -379,6 +464,23 @@ bool Repository::erase(const std::string& application,
     cache_->resident -= t->second->charge;
   }
   e->second.erase(t);
+  // Splice the trial out of any lineage chain: its successor inherits
+  // its predecessor, so history() never names a trial that is gone.
+  if (const auto la = lineage_.find(application); la != lineage_.end()) {
+    if (const auto le = la->second.find(experiment);
+        le != la->second.end()) {
+      auto& chain = le->second;
+      for (auto it = chain.begin(); it != chain.end(); ++it) {
+        if (it->version != trial) continue;
+        const std::string pred = it->predecessor;
+        chain.erase(it);
+        for (auto& link : chain) {
+          if (link.predecessor == trial) link.predecessor = pred;
+        }
+        break;
+      }
+    }
+  }
   return true;
 }
 
@@ -484,6 +586,38 @@ void Repository::save(const std::filesystem::path& dir) const {
   }
   if (!index) {
     throw IoError("index write failed: " + (dir / "index.tsv").string());
+  }
+  // Lineage rides alongside the index: app, experiment, version,
+  // predecessor (possibly empty), tab-separated, chain order preserved.
+  const std::filesystem::path lineage_file = dir / "lineage.tsv";
+  bool any_links = false;
+  for (const auto& [app, exps] : lineage_) {
+    for (const auto& [exp, chain] : exps) {
+      (void)exp;
+      if (!chain.empty()) any_links = true;
+    }
+  }
+  if (!any_links) {
+    // Saving a lineage-free repository over an old directory must not
+    // leave a stale chain behind.
+    std::error_code ec;
+    std::filesystem::remove(lineage_file, ec);
+    return;
+  }
+  std::ofstream lineage(lineage_file);
+  if (!lineage) {
+    throw IoError("cannot write lineage: " + lineage_file.string());
+  }
+  for (const auto& [app, exps] : lineage_) {
+    for (const auto& [exp, chain] : exps) {
+      for (const auto& link : chain) {
+        lineage << app << '\t' << exp << '\t' << link.version << '\t'
+                << link.predecessor << '\n';
+      }
+    }
+  }
+  if (!lineage) {
+    throw IoError("lineage write failed: " + lineage_file.string());
   }
 }
 
@@ -595,6 +729,27 @@ Repository Repository::open_index(const std::filesystem::path& dir,
       entry->file = row.file;
       entry->pkb = row.pkb;
       repo.insert_entry(row.app, row.exp, row.name, std::move(entry));
+    }
+  }
+
+  // Lineage is optional (repositories written before it existed have no
+  // lineage.tsv) and is read for both eager and attached repositories —
+  // it never touches the snapshots, so attach() stays lazy. Links naming
+  // trials absent from the index are dropped silently: the chain is
+  // advisory metadata, not a second source of truth.
+  std::ifstream lineage(dir / "lineage.tsv");
+  if (lineage) {
+    lineno = 0;
+    while (std::getline(lineage, line)) {
+      ++lineno;
+      if (strings::trim(line).empty()) continue;
+      const auto fields = strings::split(line, '\t');
+      if (fields.size() != 4) {
+        throw ParseError("repository lineage: expected 4 fields", lineno);
+      }
+      if (!repo.contains(fields[0], fields[1], fields[2])) continue;
+      repo.lineage_[fields[0]][fields[1]].push_back(
+          VersionLink{fields[2], fields[3]});
     }
   }
   return repo;

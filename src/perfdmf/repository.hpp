@@ -70,6 +70,40 @@ class Repository {
   void put(const std::string& application, const std::string& experiment,
            TrialPtr trial);
 
+  /// put() plus a lineage link: the trial becomes the newest version of
+  /// the (application, experiment) history chain. Its predecessor is the
+  /// previous chain head, or `predecessor` when given explicitly (pass
+  /// "" with an empty chain to start a new root). The link is stamped
+  /// into the trial's metadata as "version.predecessor" so it survives
+  /// inside the PKB snapshot too, and lineage is persisted by save() in
+  /// lineage.tsv next to index.tsv.
+  void put_version(const std::string& application,
+                   const std::string& experiment, TrialPtr trial,
+                   const std::string& predecessor = "");
+
+  /// Version names in lineage order, oldest first. Experiments with no
+  /// recorded lineage fall back to name order (= trials()), so history()
+  /// stays usable on repositories written before lineage existed; any
+  /// unlinked trials are appended after the chain in name order.
+  [[nodiscard]] std::vector<std::string> history(
+      const std::string& application, const std::string& experiment) const;
+
+  /// Predecessor of `version` in the lineage chain; "" for a chain root
+  /// or a version with no recorded link. Throws NotFoundError when the
+  /// experiment itself is unknown.
+  [[nodiscard]] std::string predecessor_of(const std::string& application,
+                                           const std::string& experiment,
+                                           const std::string& version) const;
+
+  /// Drops all but the newest `keep` versions of the lineage chain,
+  /// erasing their trials from the store. The surviving oldest version
+  /// becomes the new chain root. Returns the removed names, oldest
+  /// first. Does not delete backing snapshot files (save() to a fresh
+  /// directory, or let the caller clean orphans).
+  std::vector<std::string> prune_history(const std::string& application,
+                                         const std::string& experiment,
+                                         std::size_t keep);
+
   /// Fetches a trial; throws NotFoundError naming the missing level.
   /// In an attached repository this demand-loads (and caches) the
   /// snapshot; ParseError diagnostics name the snapshot file.
@@ -171,6 +205,15 @@ class Repository {
   std::map<std::string,
            std::map<std::string, std::map<std::string, EntryPtr>>>
       store_;
+  /// One versioned trial in an experiment's history chain.
+  struct VersionLink {
+    std::string version;
+    std::string predecessor;  ///< empty for a chain root
+  };
+  // application -> experiment -> ordered links, oldest first. Purely
+  // additive metadata over store_: versions always name real trials.
+  std::map<std::string, std::map<std::string, std::vector<VersionLink>>>
+      lineage_;
   // Mutex-holding cache bookkeeping lives behind a pointer so the
   // Repository itself stays movable (load()/attach() return by value).
   std::unique_ptr<Cache> cache_;

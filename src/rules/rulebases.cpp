@@ -391,6 +391,118 @@ then
 end
 )RULES";
 
+constexpr std::string_view kRegression = R"RULES(
+// Performance-history regression diagnosis over the differential facts
+// asserted by analysis::assert_diff_facts / assert_scaling_shift_facts
+// (analysis/diff.hpp). Not part of openuh_rules(): these consume
+// MetricDeltaFact / EventPresenceFact / DiffSummaryFact /
+// ScalingShiftFact, not single-trial profile facts. The problem codes
+// MetricRegression, MissingEvent and ScalingRegression fail a perf gate
+// (analysis::regression_problem — the `pkx diff` exit-3 contract).
+rule "Metric Regression"
+salience 10
+when
+  n : NoiseBandFact( b : band )
+  d : MetricDeltaFact( direction == "regressed", m : metric, e : eventName,
+                       r : normalizedRatio, w : ratio,
+                       normalizedRatio > 1 + b,
+                       bv : baseValue, cv : currentValue,
+                       bt : baseTrial, ct : currentTrial,
+                       f : runtimeFraction )
+then
+  print("Regression: " + e + " {" + m + "} " + r + "x normalized (" +
+        w + "x raw) between " + bt + " and " + ct)
+  diagnose(problem = "MetricRegression", event = e, metric = m,
+           severity = f,
+           message = m + " regressed " + r + "x (normalized; raw " + w +
+                     "x) between " + bt + " and " + ct + " in " + e,
+           recommendation = "Bisect the change between " + bt + " and " +
+                            ct + ": " + e + " went from " + bv + " to " +
+                            cv)
+end
+
+rule "Metric Improvement"
+when
+  n : NoiseBandFact( b : band )
+  d : MetricDeltaFact( direction == "improved", m : metric, e : eventName,
+                       r : normalizedRatio,
+                       bt : baseTrial, ct : currentTrial,
+                       f : runtimeFraction )
+then
+  print("Improvement: " + e + " {" + m + "} " + r +
+        "x normalized between " + bt + " and " + ct)
+  diagnose(problem = "MetricImprovement", event = e, metric = m,
+           severity = f,
+           message = m + " improved to " + r +
+                     "x (normalized) between " + bt + " and " + ct +
+                     " in " + e,
+           recommendation = "Pin the gain: record " + ct +
+                           " as the new baseline for " + e)
+end
+
+rule "Benchmark Disappeared"
+salience 5
+when
+  p : EventPresenceFact( presence == "removed", e : eventName,
+                         bt : baseTrial, ct : currentTrial,
+                         f : runtimeFraction )
+then
+  print("Missing event: " + e + " present in " + bt +
+        " but absent from " + ct)
+  diagnose(problem = "MissingEvent", event = e, severity = 1,
+           message = e + " was " + f + " of " + bt +
+                     " runtime but is absent from " + ct,
+           recommendation = "Restore the benchmark or retire it from the baseline deliberately")
+end
+
+rule "New Event Appeared"
+when
+  p : EventPresenceFact( presence == "added", e : eventName,
+                         bt : baseTrial, ct : currentTrial,
+                         f : runtimeFraction )
+then
+  print("New event: " + e + " appears in " + ct +
+        " with no counterpart in " + bt)
+  diagnose(problem = "NewEvent", event = e, severity = f,
+           message = e + " is new in " + ct + " (" + f +
+                     " of its runtime); no baseline to compare",
+           recommendation = "Record " + ct +
+                           " as the first baseline for " + e)
+end
+
+rule "Within Noise Band"
+when
+  s : DiffSummaryFact( regressedCells == 0, missingEvents == 0,
+                       comparedCells > 0, c : comparedCells,
+                       bt : baseTrial, ct : currentTrial )
+  n : NoiseBandFact( b : band )
+then
+  print("No regression: all " + c + " compared cells within the " + b +
+        " noise band between " + bt + " and " + ct)
+  diagnose(problem = "WithinNoiseBand", event = bt + " .. " + ct,
+           severity = 0,
+           message = "all " + c + " compared cells are within the " + b +
+                     " noise band",
+           recommendation = "No action needed")
+end
+
+rule "Scaling Regression"
+salience 8
+when
+  f : ScalingShiftFact( efficiencyShift < -0.1, runtimeFraction > 0.05,
+                        e : eventName, s : efficiencyShift,
+                        be : baseEfficiency, ce : currentEfficiency )
+then
+  print("Scaling regression: " + e + " efficiency " + be + " -> " + ce)
+  diagnose(problem = "ScalingRegression", event = e,
+           severity = f.runtimeFraction,
+           message = e + " scaling efficiency fell from " + be + " to " +
+                     ce + " (" + s + ")",
+           recommendation = "Profile " + e +
+                           " at the largest thread count: new serialization or communication is limiting it")
+end
+)RULES";
+
 }  // namespace
 
 std::string_view stalls_per_cycle() { return kStallsPerCycle; }
@@ -403,6 +515,7 @@ std::string_view communication() { return kCommunication; }
 std::string_view instrumentation() { return kInstrumentation; }
 std::string_view openmp() { return kOpenmp; }
 std::string_view self_diagnosis() { return kSelfDiagnosis; }
+std::string_view regression() { return kRegression; }
 
 std::string openuh_rules() {
   std::string all;
@@ -435,6 +548,7 @@ std::string origin_for(std::string_view src) {
       {kInstrumentation, "builtin:instrumentation"},
       {kOpenmp, "builtin:openmp"},
       {kSelfDiagnosis, "builtin:self_diagnosis"},
+      {kRegression, "builtin:regression"},
   };
   for (const auto& [text, label] : kKnown) {
     if (src == text) return label;

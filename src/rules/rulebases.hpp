@@ -58,6 +58,14 @@ namespace perfknow::rules::builtin {
 /// Deliberately NOT part of openuh_rules().
 [[nodiscard]] std::string_view self_diagnosis();
 
+/// Performance-history regression diagnosis over the differential facts
+/// of analysis/diff.hpp (MetricDeltaFact, EventPresenceFact,
+/// DiffSummaryFact, ScalingShiftFact): regressions and improvements vs
+/// the noise band, disappeared/new events, within-noise verdicts,
+/// scaling-efficiency regressions. Drives the `pkx diff` CI perf gate.
+/// Like self_diagnosis(), NOT part of openuh_rules().
+[[nodiscard]] std::string_view regression();
+
 /// The union of all of the above — the "OpenUHRules" file of Fig. 1.
 [[nodiscard]] std::string openuh_rules();
 

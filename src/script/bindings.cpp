@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "analysis/clustering.hpp"
+#include "analysis/diff.hpp"
 #include "analysis/facts.hpp"
 #include "analysis/operations.hpp"
 #include "analysis/pca.hpp"
@@ -108,6 +109,7 @@ std::string resolve_rules(const std::string& name,
   if (name == "instrumentation") return std::string(rb::instrumentation());
   if (name == "openmp") return std::string(rb::openmp());
   if (name == "self_diagnosis") return std::string(rb::self_diagnosis());
+  if (name == "regression") return std::string(rb::regression());
   const auto slurp = [](std::ifstream& is) {
     std::ostringstream ss;
     ss << is.rdbuf();
@@ -560,6 +562,54 @@ void AnalysisSession::register_api() {
                     "'" + mode + "'");
               }
               return Value();
+            })},
+           // Session.diff(app, exp, base, current[, band]) asserts the
+           // differential facts between two versions into the session
+           // harness (pair with useGlobalRules("regression") +
+           // processRules) and returns the comparison summary.
+           {"diff",
+            make_host_fn([harness, repo](Interpreter&,
+                                         const std::vector<Value>& a) {
+              const std::string& app = arg_string(a, 0, "diff");
+              const std::string& exp = arg_string(a, 1, "diff");
+              const auto base = repo->get(app, exp,
+                                          arg_string(a, 2, "diff"));
+              const auto current = repo->get(app, exp,
+                                             arg_string(a, 3, "diff"));
+              analysis::DiffOptions options;
+              if (a.size() > 4) options.noise_band = a[4].as_number();
+              const auto s = analysis::assert_diff_facts(
+                  *harness, *base, *current, options);
+              return make_dict(
+                  {{"comparedCells", Value(s.compared_cells)},
+                   {"regressedCells", Value(s.regressed_cells)},
+                   {"improvedCells", Value(s.improved_cells)},
+                   {"skippedCells", Value(s.skipped_cells)},
+                   {"missingEvents", Value(s.missing_events)},
+                   {"addedEvents", Value(s.added_events)},
+                   {"facts", Value(s.facts)}});
+            })}}));
+
+  // ---- History (trial lineage) ----------------------------------------------
+  interp_.set_global(
+      "History",
+      make_dict(
+          {{"versions",
+            make_host_fn([repo](Interpreter&, const std::vector<Value>& a) {
+              std::vector<Value> out;
+              for (const auto& v :
+                   repo->history(arg_string(a, 0, "versions"),
+                                 arg_string(a, 1, "versions"))) {
+                out.emplace_back(v);
+              }
+              return make_list(std::move(out));
+            })},
+           {"predecessor",
+            make_host_fn([repo](Interpreter&, const std::vector<Value>& a) {
+              return Value(repo->predecessor_of(
+                  arg_string(a, 0, "predecessor"),
+                  arg_string(a, 1, "predecessor"),
+                  arg_string(a, 2, "predecessor")));
             })}}));
 
   // ---- analysis helpers -----------------------------------------------------

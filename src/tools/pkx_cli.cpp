@@ -1,0 +1,550 @@
+#include "tools/pkx_cli.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/diff.hpp"
+#include "analysis/facts.hpp"
+#include "analysis/operations.hpp"
+#include "analysis/report.hpp"
+#include "apps/genidlest/genidlest.hpp"
+#include "apps/msap/msap.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "io/bench_json.hpp"
+#include "io/format.hpp"
+#include "machine/machine.hpp"
+#include "perfdmf/repository.hpp"
+#include "perfdmf/snapshot.hpp"
+#include "provenance/explanation.hpp"
+#include "rules/rulebases.hpp"
+#include "script/bindings.hpp"
+
+namespace perfknow::tools {
+
+namespace pk = perfknow;
+using pk::machine::Machine;
+using pk::machine::MachineConfig;
+
+namespace {
+
+struct CommandUsage {
+  const char* name;
+  const char* usage;
+};
+
+constexpr CommandUsage kCommands[] = {
+    {"demo", "pkx demo <repo-dir>"},
+    {"list", "pkx <repo-dir> list"},
+    {"show", "pkx <repo-dir> show <app> <exp> <trial>"},
+    {"run", "pkx <repo-dir> run <script.ps>"},
+    {"report", "pkx <repo-dir> report <app> <exp> <trial>"},
+    {"explain",
+     "pkx <repo-dir> explain <app> <exp> <trial> [--json <file>]"
+     " [--dot <file>]\n"
+     "  pkx explain --from <explanations.json>"},
+    {"export-csv", "pkx <repo-dir> export-csv <app> <exp> <trial> <metric>"},
+    {"export-json", "pkx <repo-dir> export-json <app> <exp> <trial> <file>"},
+    {"import", "pkx <repo-dir> import <file-or-dir> <app> <exp>"},
+    {"diff",
+     "pkx <repo-dir> diff <app> <exp> <base> <current> [--json <file>]"
+     " [--metric <name>] [--band <fraction>]"},
+    {"history", "pkx <repo-dir> history <app> <exp>"},
+    {"bench2pkb",
+     "pkx <repo-dir> bench2pkb <app> <exp> <version> <bench.json>..."
+     " [--predecessor <version>]"},
+    {"prune", "pkx <repo-dir> prune <app> <exp> --keep <n>"},
+};
+
+/// Full usage (unknown/missing subcommand) -> exit 2.
+int usage(std::ostream& err) {
+  err << "usage:\n";
+  for (const auto& c : kCommands) err << "  " << c.usage << "\n";
+  err << "\n"
+         "import auto-detects the profile format (pkprof, pkb, json,\n"
+         "benchjson, csv, tau); import-csv and import-tau remain as\n"
+         "aliases. explain runs the OpenUH rulebase with full provenance\n"
+         "capture and prints a proof tree per diagnosis; --from\n"
+         "re-renders a previously exported --json file. diff compares\n"
+         "two versions with rules/regression.rules (exit 3 when a\n"
+         "regression is diagnosed); bench2pkb ingests Google-Benchmark\n"
+         "JSON as the next version of an experiment's history.\n";
+  return 2;
+}
+
+/// Usage for one failing subcommand -> exit 2.
+int usage_for(const std::string& cmd, std::ostream& err) {
+  for (const auto& c : kCommands) {
+    if (cmd == c.name) {
+      err << "usage:\n  " << c.usage << "\n";
+      return 2;
+    }
+  }
+  return usage(err);
+}
+
+int cmd_demo(const std::string& dir, std::ostream& out) {
+  pk::perfdmf::Repository repo;
+  // MSAP under both schedules.
+  for (const bool dynamic : {false, true}) {
+    Machine m(MachineConfig::altix300());
+    pk::apps::msap::MsapConfig cfg;
+    cfg.threads = 16;
+    cfg.schedule = dynamic ? pk::runtime::Schedule::dynamic(1)
+                           : pk::runtime::Schedule::static_even();
+    auto r = pk::apps::msap::run_msap(m, cfg);
+    repo.put("MSAP", "schedules",
+             std::make_shared<pk::profile::Trial>(std::move(r.trial)));
+  }
+  // GenIDLEST unoptimized/optimized at 16 threads.
+  for (const bool optimized : {false, true}) {
+    Machine m(MachineConfig::altix3600());
+    auto cfg = pk::apps::genidlest::GenConfig::rib90();
+    cfg.model = pk::apps::genidlest::Model::kOpenMP;
+    cfg.optimized = optimized;
+    auto r = pk::apps::genidlest::run_genidlest(m, cfg);
+    repo.put("Fluid Dynamic", "rib 90",
+             std::make_shared<pk::profile::Trial>(std::move(r.trial)));
+  }
+  // An unoptimized scaling study for examples/scripts/scalability.ps.
+  for (const unsigned procs : {1u, 2u, 4u, 8u, 16u}) {
+    Machine m(MachineConfig::altix3600());
+    auto cfg = pk::apps::genidlest::GenConfig::rib90();
+    cfg.model = pk::apps::genidlest::Model::kOpenMP;
+    cfg.optimized = false;
+    cfg.nprocs = procs;
+    auto r = pk::apps::genidlest::run_genidlest(m, cfg);
+    repo.put("Fluid Dynamic", "rib 90 scaling",
+             std::make_shared<pk::profile::Trial>(std::move(r.trial)));
+  }
+  repo.save(dir);
+  out << "wrote demo repository (" << repo.trial_count() << " trials) to "
+      << dir << "\n";
+  return 0;
+}
+
+int cmd_list(const pk::perfdmf::Repository& repo, std::ostream& out) {
+  for (const auto& app : repo.applications()) {
+    out << app << "\n";
+    for (const auto& exp : repo.experiments(app)) {
+      out << "  " << exp << "\n";
+      for (const auto& trial : repo.trials(app, exp)) {
+        const auto t = repo.get(app, exp, trial);
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "    %-28s %zu threads, %zu events, %zu metrics\n",
+                      trial.c_str(), t->thread_count(), t->event_count(),
+                      t->metric_count());
+        out << buf;
+      }
+    }
+  }
+  return 0;
+}
+
+int cmd_show(const pk::perfdmf::Repository& repo, const std::string& app,
+             const std::string& exp, const std::string& trial_name,
+             std::ostream& out) {
+  const auto trial = repo.get(app, exp, trial_name);
+  out << "trial " << trial->name() << " (" << trial->thread_count()
+      << " threads)\n";
+  for (const auto& [k, v] : trial->all_metadata()) {
+    out << "  " << k << " = " << v << "\n";
+  }
+  const std::string metric =
+      trial->find_metric("TIME") ? "TIME" : trial->metric(0).name;
+  pk::TextTable table({"event", "mean " + metric, "cv", "% of runtime"});
+  for (const auto& s : pk::analysis::top_events(*trial, metric, 12)) {
+    table.begin_row()
+        .add(s.name)
+        .add(s.mean, 1)
+        .add(s.cv, 3)
+        .add(pk::analysis::runtime_fraction(*trial, s.event, metric) *
+                 100.0,
+             1);
+  }
+  out << "\n" << table.str();
+  return 0;
+}
+
+int cmd_explain(const pk::perfdmf::Repository& repo,
+                const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  std::string json_file;
+  std::string dot_file;
+  if ((args.size() - 5) % 2 != 0) return usage_for("explain", err);
+  for (std::size_t i = 5; i + 1 < args.size(); i += 2) {
+    if (args[i] == "--json") json_file = args[i + 1];
+    else if (args[i] == "--dot") dot_file = args[i + 1];
+    else return usage_for("explain", err);
+  }
+  const auto trial = repo.get(args[2], args[3], args[4]);
+
+  pk::rules::RuleHarness harness;
+  harness.set_provenance(pk::provenance::ProvenanceMode::kFull);
+  pk::rules::builtin::use(harness, pk::rules::builtin::openuh_rules());
+  pk::analysis::assert_load_balance_facts(harness, *trial);
+  if (trial->find_metric("BACK_END_BUBBLE_ALL")) {
+    pk::analysis::assert_stall_facts(harness, *trial);
+  }
+  if (trial->find_metric("L3_MISSES")) {
+    pk::analysis::assert_memory_locality_facts(harness, *trial);
+  }
+  harness.process_rules();
+
+  std::vector<pk::provenance::Explanation> explanations;
+  for (const auto& d : harness.diagnoses()) {
+    if (d.provenance) explanations.push_back(*d.provenance);
+  }
+  if (explanations.empty()) {
+    out << "no diagnoses for " << args[2] << "/" << args[3] << "/"
+        << args[4] << "\n";
+    return 0;
+  }
+  for (const auto& e : explanations) {
+    out << pk::provenance::to_text(e) << "\n";
+  }
+  if (!json_file.empty()) {
+    std::ofstream os(json_file);
+    os << pk::provenance::to_json(explanations);
+    out << "wrote " << json_file << "\n";
+  }
+  if (!dot_file.empty()) {
+    std::ofstream os(dot_file);
+    os << pk::provenance::to_dot(explanations);
+    out << "wrote " << dot_file << "\n";
+  }
+  return 0;
+}
+
+int cmd_explain_from(const std::string& file, std::ostream& out) {
+  std::ifstream is(file);
+  if (!is) {
+    throw pk::IoError("cannot open explanation file: " + file);
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  const auto explanations =
+      pk::provenance::explanations_from_json(ss.str());
+  for (const auto& e : explanations) {
+    out << pk::provenance::to_text(e) << "\n";
+  }
+  out << explanations.size() << " explanations\n";
+  return 0;
+}
+
+// ---- trial history -----------------------------------------------------
+
+/// Total runtime of a trial for the history/diff summaries: the main
+/// event's mean inclusive TIME (first metric when there is no TIME).
+double total_time(const profile::TrialView& trial, std::string* metric) {
+  const std::string m =
+      trial.find_metric("TIME") ? "TIME" : trial.metric(0).name;
+  if (metric != nullptr) *metric = m;
+  return trial.mean_inclusive(trial.main_event(), trial.metric_id(m));
+}
+
+int cmd_history(const pk::perfdmf::Repository& repo, const std::string& app,
+                const std::string& exp, std::ostream& out) {
+  const auto versions = repo.history(app, exp);
+  pk::TextTable table(
+      {"version", "predecessor", "events", "total", "vs prev"});
+  for (const auto& version : versions) {
+    const auto trial = repo.get(app, exp, version);
+    std::string metric;
+    const double total = total_time(*trial, &metric);
+    const std::string pred = repo.predecessor_of(app, exp, version);
+    std::string vs = "-";
+    if (!pred.empty() && repo.contains(app, exp, pred)) {
+      const double prev = total_time(*repo.get(app, exp, pred), nullptr);
+      if (prev > 0.0) {
+        vs = pk::strings::format_double(total / prev, 4) + "x";
+      }
+    }
+    table.begin_row()
+        .add(version)
+        .add(pred.empty() ? "-" : pred)
+        .add(static_cast<long long>(trial->event_count()))
+        .add(total, 1)
+        .add(vs);
+  }
+  out << app << "/" << exp << ": " << versions.size() << " versions\n"
+      << table.str();
+  return 0;
+}
+
+int cmd_diff(const pk::perfdmf::Repository& repo,
+             const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  // pkx <repo> diff <app> <exp> <base> <current> [flags]
+  std::string json_file;
+  pk::analysis::DiffOptions options;
+  if ((args.size() - 6) % 2 != 0) return usage_for("diff", err);
+  for (std::size_t i = 6; i + 1 < args.size(); i += 2) {
+    if (args[i] == "--json") {
+      json_file = args[i + 1];
+    } else if (args[i] == "--metric") {
+      options.metrics.push_back(args[i + 1]);
+    } else if (args[i] == "--band") {
+      try {
+        options.noise_band = pk::strings::parse_double(args[i + 1]);
+      } catch (const pk::ParseError&) {
+        return usage_for("diff", err);
+      }
+    } else {
+      return usage_for("diff", err);
+    }
+  }
+  const auto base = repo.get(args[2], args[3], args[4]);
+  const auto current = repo.get(args[2], args[3], args[5]);
+
+  pk::rules::RuleHarness harness;
+  harness.set_provenance(pk::provenance::ProvenanceMode::kFull);
+  pk::rules::builtin::use(harness, pk::rules::builtin::regression());
+  const auto summary =
+      pk::analysis::assert_diff_facts(harness, *base, *current, options);
+  harness.process_rules();
+
+  out << "diff " << args[2] << "/" << args[3] << ": " << args[4] << " -> "
+      << args[5] << " (" << summary.compared_cells << " cells, "
+      << summary.regressed_cells << " regressed, "
+      << summary.improved_cells << " improved, " << summary.skipped_cells
+      << " skipped";
+  if (summary.missing_events > 0) {
+    out << ", " << summary.missing_events << " missing";
+  }
+  if (summary.added_events > 0) {
+    out << ", " << summary.added_events << " added";
+  }
+  out << ")\n\n";
+
+  bool regression = false;
+  std::vector<pk::provenance::Explanation> explanations;
+  for (const auto& d : harness.diagnoses()) {
+    if (pk::analysis::regression_problem(d.problem)) regression = true;
+    out << d.to_string() << "\n";
+    if (d.provenance) explanations.push_back(*d.provenance);
+  }
+  for (const auto& e : explanations) {
+    out << "\n" << pk::provenance::to_text(e);
+  }
+  if (!json_file.empty()) {
+    std::ofstream os(json_file);
+    if (!os) {
+      throw pk::IoError("cannot open for writing: " + json_file);
+    }
+    os << pk::provenance::to_json(explanations);
+    out << "\nwrote " << json_file << "\n";
+  }
+  return regression ? 3 : 0;
+}
+
+int cmd_bench2pkb(const std::string& repo_dir,
+                  const std::vector<std::string>& args, std::ostream& out,
+                  std::ostream& err) {
+  // pkx <repo> bench2pkb <app> <exp> <version> <bench.json>...
+  //     [--predecessor <version>]
+  std::string predecessor;
+  std::vector<std::filesystem::path> files;
+  for (std::size_t i = 5; i < args.size(); ++i) {
+    if (args[i] == "--predecessor") {
+      if (i + 1 >= args.size()) return usage_for("bench2pkb", err);
+      predecessor = args[++i];
+    } else {
+      files.emplace_back(args[i]);
+    }
+  }
+  if (files.empty()) return usage_for("bench2pkb", err);
+
+  // Open-or-create: a missing repository directory starts a new history.
+  pk::perfdmf::Repository repo;
+  if (std::filesystem::exists(std::filesystem::path(repo_dir) /
+                              "index.tsv")) {
+    repo = pk::perfdmf::Repository::load(repo_dir);
+  }
+  auto trial = std::make_shared<pk::profile::Trial>(
+      pk::io::trial_from_benchmark_files(files, args[4]));
+  const std::size_t events = trial->event_count();
+  repo.put_version(args[2], args[3], std::move(trial), predecessor);
+  repo.save(repo_dir);
+  out << "ingested " << files.size() << " file(s) as " << args[2] << "/"
+      << args[3] << "/" << args[4] << " (" << events - 1
+      << " benchmarks), predecessor '"
+      << repo.predecessor_of(args[2], args[3], args[4]) << "'\n";
+  return 0;
+}
+
+int cmd_prune(const std::string& repo_dir,
+              const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  // pkx <repo> prune <app> <exp> --keep <n>
+  if (args.size() != 6 || args[4] != "--keep") {
+    return usage_for("prune", err);
+  }
+  long long keep = 0;
+  try {
+    keep = pk::strings::parse_int(args[5]);
+  } catch (const pk::ParseError&) {
+    return usage_for("prune", err);
+  }
+  auto repo = pk::perfdmf::Repository::load(repo_dir);
+  const auto removed = repo.prune_history(
+      args[2], args[3], static_cast<std::size_t>(keep));
+  repo.save(repo_dir);
+  // The pruned trials' snapshot files are now orphaned; drop any .pkb
+  // under the repository that the fresh index no longer references.
+  std::size_t orphans = 0;
+  std::ifstream index(std::filesystem::path(repo_dir) / "index.tsv");
+  std::vector<std::string> referenced;
+  std::string line;
+  while (std::getline(index, line)) {
+    const auto fields = pk::strings::split(line, '\t');
+    if (fields.size() == 4) referenced.push_back(fields[3]);
+  }
+  std::error_code ec;
+  for (std::filesystem::recursive_directory_iterator
+           it(repo_dir, ec),
+       end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->path().extension() != ".pkb") continue;
+    const std::string rel =
+        std::filesystem::relative(it->path(), repo_dir, ec)
+            .generic_string();
+    bool keep_file = false;
+    for (const auto& r : referenced) {
+      if (r == rel) {
+        keep_file = true;
+        break;
+      }
+    }
+    if (!keep_file) {
+      std::error_code rm;
+      if (std::filesystem::remove(it->path(), rm)) ++orphans;
+    }
+  }
+  out << "pruned " << removed.size() << " version(s)";
+  if (!removed.empty()) {
+    out << " (" << pk::strings::join(removed, ", ") << ")";
+  }
+  out << ", removed " << orphans << " orphaned snapshot(s)\n";
+  return 0;
+}
+
+}  // namespace
+
+int pkx_main(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  try {
+    if (!args.empty() && args[0] == "demo") {
+      if (args.size() != 2) return usage_for("demo", err);
+      return cmd_demo(args[1], out);
+    }
+    if (!args.empty() && args[0] == "explain") {
+      if (args.size() == 3 && args[1] == "--from") {
+        return cmd_explain_from(args[2], out);
+      }
+      return usage_for("explain", err);
+    }
+    if (args.size() < 2) return usage(err);
+    const std::string& cmd = args[1];
+
+    // bench2pkb creates the repository on first ingest, so it opens (or
+    // not) for itself before the common load below.
+    if (cmd == "bench2pkb") {
+      if (args.size() < 6) return usage_for("bench2pkb", err);
+      return cmd_bench2pkb(args[0], args, out, err);
+    }
+
+    auto repo = pk::perfdmf::Repository::load(args[0]);
+
+    if (cmd == "list") {
+      if (args.size() != 2) return usage_for("list", err);
+      return cmd_list(repo, out);
+    }
+    if (cmd == "show") {
+      if (args.size() != 5) return usage_for("show", err);
+      return cmd_show(repo, args[2], args[3], args[4], out);
+    }
+    if (cmd == "run") {
+      if (args.size() != 3) return usage_for("run", err);
+      pk::script::AnalysisSession session(
+          pk::script::SessionOptions{&repo});
+      session.interpreter().set_echo(true);
+      session.run_file(args[2]);
+      out << "\n" << session.harness().diagnoses().size()
+          << " diagnoses\n";
+      for (const auto& d : session.harness().diagnoses()) {
+        out << "  [" << d.problem << "] " << d.event << " -> "
+            << d.recommendation << "\n";
+      }
+      return 0;
+    }
+    if (cmd == "report") {
+      if (args.size() != 5) return usage_for("report", err);
+      const auto trial = repo.get(args[2], args[3], args[4]);
+      pk::rules::RuleHarness harness;
+      pk::rules::builtin::use(harness,
+                              pk::rules::builtin::openuh_rules());
+      pk::analysis::assert_load_balance_facts(harness, *trial);
+      if (trial->find_metric("BACK_END_BUBBLE_ALL")) {
+        pk::analysis::assert_stall_facts(harness, *trial);
+      }
+      if (trial->find_metric("L3_MISSES")) {
+        pk::analysis::assert_memory_locality_facts(harness, *trial);
+      }
+      harness.process_rules();
+      out << pk::analysis::render_report(*trial, &harness);
+      return 0;
+    }
+    if (cmd == "explain") {
+      if (args.size() < 5) return usage_for("explain", err);
+      return cmd_explain(repo, args, out, err);
+    }
+    if (cmd == "diff") {
+      if (args.size() < 6) return usage_for("diff", err);
+      return cmd_diff(repo, args, out, err);
+    }
+    if (cmd == "history") {
+      if (args.size() != 4) return usage_for("history", err);
+      return cmd_history(repo, args[2], args[3], out);
+    }
+    if (cmd == "prune") {
+      return cmd_prune(args[0], args, out, err);
+    }
+    if (cmd == "export-csv") {
+      if (args.size() != 6) return usage_for("export-csv", err);
+      const auto trial = repo.get(args[2], args[3], args[4]);
+      out << pk::perfdmf::to_csv(*trial, args[5]);
+      return 0;
+    }
+    if (cmd == "export-json") {
+      if (args.size() != 6) return usage_for("export-json", err);
+      pk::io::save_trial(*repo.get(args[2], args[3], args[4]), args[5],
+                         "json");
+      out << "wrote " << args[5] << "\n";
+      return 0;
+    }
+    // "import" sniffs the format; the old import-csv/import-tau
+    // spellings go through the same auto-detecting front door.
+    if (cmd == "import" || cmd == "import-csv" || cmd == "import-tau") {
+      if (args.size() != 5) return usage_for("import", err);
+      auto trial = std::make_shared<pk::profile::Trial>(
+          pk::io::open_trial(args[2]));
+      repo.put(args[3], args[4], trial);
+      repo.save(args[0]);
+      out << "imported " << args[2] << " as " << args[3] << "/" << args[4]
+          << "/" << trial->name() << "\n";
+      return 0;
+    }
+    return usage(err);
+  } catch (const pk::Error& e) {
+    err << "pkx: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace perfknow::tools

@@ -1,0 +1,24 @@
+// The pkx command-line PerfExplorer, as a library entry point.
+//
+// examples/pkx.cpp is a thin main() over pkx_main() so tests can drive
+// every subcommand (including argument-validation paths and exit codes)
+// against in-memory streams. Exit codes:
+//
+//   0  success
+//   1  a perfknow error (unknown trial, parse failure, I/O, ...)
+//   2  usage error — the failing subcommand's usage is printed to `err`
+//   3  `pkx diff` diagnosed a regression (analysis::regression_problem)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace perfknow::tools {
+
+/// Runs one pkx invocation. `args` excludes argv[0]; output goes to
+/// `out`, diagnostics and usage to `err`. Never throws.
+int pkx_main(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err);
+
+}  // namespace perfknow::tools

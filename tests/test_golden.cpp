@@ -4,18 +4,26 @@
 // an intentional format change and review the diff like code.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <regex>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "perfdmf/repository.hpp"
+#include "profile/profile.hpp"
 #include "provenance/explanation.hpp"
 #include "rules/engine.hpp"
 #include "rules/parser.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
+#include "tools/pkx_cli.hpp"
 
 namespace pk = perfknow;
 namespace tel = pk::telemetry;
@@ -162,4 +170,71 @@ TEST(Golden, ExplanationJsonAndDot) {
   const auto parsed = prov::explanations_from_json(prov::to_json(e));
   ASSERT_EQ(parsed.size(), 1u);
   compare_golden("explanation_chain.txt", prov::to_text(parsed[0]));
+}
+
+namespace {
+
+/// A deterministic two-version repository for the pkx diff goldens: one
+/// hot event regresses 2.6x, everything else is flat.
+void write_diff_repo(const std::filesystem::path& dir) {
+  pk::perfdmf::Repository repo;
+  for (const bool current : {false, true}) {
+    auto t = std::make_shared<pk::profile::Trial>(current ? "v2" : "v1");
+    t->set_thread_count(1);
+    const auto time = t->add_metric("TIME", "usec");
+    const auto root = t->add_event("main");
+    const std::vector<std::pair<std::string, double>> events = {
+        {"parse", current ? 1300.0 : 500.0},
+        {"match", 250.0},
+        {"emit", 40.0},
+    };
+    double total = 0.0;
+    for (const auto& [name, usec] : events) {
+      const auto e = t->add_event(name, root);
+      t->set_inclusive(0, e, time, usec);
+      t->set_exclusive(0, e, time, usec);
+      t->set_calls(0, e, 1, 0);
+      total += usec;
+    }
+    t->set_inclusive(0, root, time, total);
+    t->set_calls(0, root, 1, 3);
+    repo.put_version("app", "exp", std::move(t));
+  }
+  repo.save(dir);
+}
+
+}  // namespace
+
+TEST(Golden, PkxDiffTextAndExplanationJson) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("perfknow_golden_diff_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  write_diff_repo(dir);
+
+  const auto json_file = dir / "explanations.json";
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = pk::tools::pkx_main(
+      {dir.string(), "diff", "app", "exp", "v1", "v2", "--json",
+       json_file.string()},
+      out, err);
+  EXPECT_EQ(code, 3) << err.str();
+
+  // The "wrote <file>" trailer carries the temp path; pin what precedes.
+  std::string text = out.str();
+  const auto wrote = text.rfind("\nwrote ");
+  ASSERT_NE(wrote, std::string::npos);
+  text.resize(wrote + 1);
+  compare_golden("pkx_diff_regression.txt", text);
+
+  std::ifstream is(json_file);
+  ASSERT_TRUE(is.is_open());
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  compare_golden("pkx_diff_explanations.json", ss.str());
+  // And the exported file is a valid explanation document.
+  EXPECT_FALSE(prov::explanations_from_json(ss.str()).empty());
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
 }

@@ -56,11 +56,38 @@ class TempDir {
 }  // namespace
 
 TEST(IoRegistry, AllSixFormatsRegistered) {
-  for (const char* name : {"pkb", "pkprof", "json", "csv", "tau"}) {
+  for (const char* name :
+       {"pkb", "pkprof", "benchjson", "json", "csv", "tau"}) {
     EXPECT_NE(pk::io::find_format(name), nullptr) << name;
   }
-  EXPECT_EQ(pk::io::formats().size(), 5u);  // tau covers files + dirs
+  EXPECT_EQ(pk::io::formats().size(), 6u);  // tau covers files + dirs
   EXPECT_EQ(pk::io::find_format("bogus"), nullptr);
+}
+
+TEST(IoOpen, BenchmarkJsonDetectedBeforeTrialJson) {
+  TempDir dir;
+  // A Google-Benchmark document: object with "context", no "threads".
+  const fs::path bench = dir.path() / "run.json";
+  std::ofstream(bench) << R"({
+    "context": {"host_name": "ci"},
+    "benchmarks": [
+      {"name": "BM_A", "run_type": "iteration", "iterations": 3,
+       "real_time": 2.0, "cpu_time": 1.0, "time_unit": "us"}
+    ]
+  })";
+  const Trial from_bench = pk::io::open_trial(bench);
+  EXPECT_TRUE(from_bench.find_event("BM_A").has_value());
+  EXPECT_TRUE(from_bench.find_metric("CPU_TIME").has_value());
+
+  // The trial-schema JSON (has "threads") must keep its claim even when
+  // a metadata value happens to contain the word "context".
+  Trial t = make_trial("json keeps claim");
+  t.set_metadata("note", "\"context\" appears here");
+  const fs::path file = dir.path() / "trial.json";
+  pk::io::save_trial(t, file, "json");
+  const Trial back = pk::io::open_trial(file);
+  EXPECT_EQ(back.thread_count(), 2u);
+  EXPECT_TRUE(back.find_event("main => loop").has_value());
 }
 
 TEST(IoOpen, AutoDetectsEveryWritableFormatByContent) {

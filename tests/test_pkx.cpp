@@ -1,0 +1,273 @@
+// Drives the pkx CLI (tools::pkx_main) end to end against in-memory
+// streams: the exit-code contract (0 ok / 1 error / 2 usage / 3
+// regression), per-subcommand usage on bad arguments, and the
+// bench2pkb -> diff -> history dogfood loop the CI perf gate runs.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "perfdmf/repository.hpp"
+#include "profile/profile.hpp"
+#include "provenance/explanation.hpp"
+#include "tools/pkx_cli.hpp"
+
+namespace pk = perfknow;
+namespace fs = std::filesystem;
+
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = fs::temp_directory_path() /
+           ("perfknow_pkx_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    fs::create_directories(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] const fs::path& path() const { return dir_; }
+
+ private:
+  fs::path dir_;
+  static inline int counter_ = 0;
+};
+
+struct PkxResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+PkxResult pkx(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = pk::tools::pkx_main(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+/// Writes a Google-Benchmark JSON document with the given per-benchmark
+/// times (microseconds) and returns its path.
+fs::path write_bench_json(
+    const fs::path& file,
+    const std::vector<std::pair<std::string, double>>& benchmarks) {
+  std::ofstream os(file);
+  os << "{\n  \"context\": {\"host_name\": \"ci\"},\n"
+     << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+    os << "    {\"name\": \"" << benchmarks[i].first
+       << "\", \"run_type\": \"iteration\", \"iterations\": 100,"
+       << " \"real_time\": " << benchmarks[i].second
+       << ", \"cpu_time\": " << benchmarks[i].second
+       << ", \"time_unit\": \"us\"}";
+    os << (i + 1 < benchmarks.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+  return file;
+}
+
+/// Seeds a repository directory with versions v1 (baseline) and v2
+/// (identical or with one benchmark slowed by `slowdown`).
+void seed_history(const fs::path& repo, const fs::path& scratch,
+                  double slowdown) {
+  const auto base = write_bench_json(
+      scratch / "base.json",
+      {{"BM_Parse", 120.0}, {"BM_Match", 45.0}, {"BM_Assert", 8.0}});
+  const auto cur = write_bench_json(
+      scratch / "cur.json", {{"BM_Parse", 120.0 * slowdown},
+                             {"BM_Match", 45.0},
+                             {"BM_Assert", 8.0}});
+  ASSERT_EQ(pkx({repo.string(), "bench2pkb", "perfknow", "bench", "v1",
+                 base.string()})
+                .code,
+            0);
+  ASSERT_EQ(pkx({repo.string(), "bench2pkb", "perfknow", "bench", "v2",
+                 cur.string()})
+                .code,
+            0);
+}
+
+}  // namespace
+
+TEST(PkxUsage, UnknownAndMissingArgsExitTwoWithSubcommandUsage) {
+  const auto none = pkx({});
+  EXPECT_EQ(none.code, 2);
+  EXPECT_NE(none.err.find("usage:"), std::string::npos);
+
+  TempDir dir;
+  // Unknown subcommand on a real repository: full usage.
+  pk::perfdmf::Repository().save(dir.path());
+  const auto unknown = pkx({dir.path().string(), "frobnicate"});
+  EXPECT_EQ(unknown.code, 2);
+  EXPECT_NE(unknown.err.find("pkx <repo-dir> list"), std::string::npos);
+
+  // Wrong arity: the failing subcommand's usage only.
+  const auto diff = pkx({dir.path().string(), "diff", "app"});
+  EXPECT_EQ(diff.code, 2);
+  EXPECT_NE(diff.err.find("diff <app> <exp> <base> <current>"),
+            std::string::npos);
+  EXPECT_EQ(diff.err.find("export-csv"), std::string::npos);
+
+  const auto hist = pkx({dir.path().string(), "history", "app"});
+  EXPECT_EQ(hist.code, 2);
+  EXPECT_NE(hist.err.find("history <app> <exp>"), std::string::npos);
+
+  const auto prune = pkx({dir.path().string(), "prune", "a", "b"});
+  EXPECT_EQ(prune.code, 2);
+  EXPECT_NE(prune.err.find("--keep <n>"), std::string::npos);
+
+  // Bad flag values are usage errors, not uncaught parse exceptions.
+  const auto band = pkx({dir.path().string(), "diff", "a", "b", "v1",
+                         "v2", "--band", "wide"});
+  EXPECT_EQ(band.code, 2);
+  const auto keep = pkx(
+      {dir.path().string(), "prune", "a", "b", "--keep", "lots"});
+  EXPECT_EQ(keep.code, 2);
+}
+
+TEST(PkxErrors, PerfknowErrorsExitOneWithMessage) {
+  TempDir dir;
+  pk::perfdmf::Repository().save(dir.path());
+  const auto missing =
+      pkx({dir.path().string(), "show", "nope", "nope", "nope"});
+  EXPECT_EQ(missing.code, 1);
+  EXPECT_NE(missing.err.find("pkx: "), std::string::npos);
+  EXPECT_NE(missing.err.find("nope"), std::string::npos);
+
+  const auto no_repo = pkx(
+      {(dir.path() / "absent").string(), "list"});
+  EXPECT_EQ(no_repo.code, 1);
+}
+
+TEST(PkxDiff, IdenticalVersionsPassAndPlantedRegressionFails) {
+  TempDir repo;
+  TempDir scratch;
+  seed_history(repo.path(), scratch.path(), 1.0);
+
+  const auto same = pkx({repo.path().string(), "diff", "perfknow",
+                         "bench", "v1", "v2"});
+  EXPECT_EQ(same.code, 0) << same.err;
+  EXPECT_NE(same.out.find("WithinNoiseBand"), std::string::npos);
+  EXPECT_NE(same.out.find("0 regressed"), std::string::npos);
+
+  TempDir repo2;
+  TempDir scratch2;
+  seed_history(repo2.path(), scratch2.path(), 2.0);
+  const auto json = repo2.path() / "explanations.json";
+  const auto bad =
+      pkx({repo2.path().string(), "diff", "perfknow", "bench", "v1", "v2",
+           "--json", json.string()});
+  EXPECT_EQ(bad.code, 3) << bad.out;
+  EXPECT_NE(bad.out.find("MetricRegression"), std::string::npos);
+  EXPECT_NE(bad.out.find("BM_Parse"), std::string::npos);
+  // The proof tree bottoms out in both versions' raw columns.
+  EXPECT_NE(bad.out.find("raw column of trial 'v1'"), std::string::npos);
+  EXPECT_NE(bad.out.find("raw column of trial 'v2'"), std::string::npos);
+
+  // The exported artifact re-parses into the same number of
+  // explanations (the CI gate uploads this file).
+  std::ifstream is(json);
+  ASSERT_TRUE(is.is_open());
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  const auto explanations =
+      pk::provenance::explanations_from_json(ss.str());
+  EXPECT_FALSE(explanations.empty());
+
+  // And explain --from renders it, exit 0.
+  const auto from = pkx({"explain", "--from", json.string()});
+  EXPECT_EQ(from.code, 0);
+  EXPECT_NE(from.out.find("explanations"), std::string::npos);
+}
+
+TEST(PkxDiff, MetricAndBandFlagsNarrowTheComparison) {
+  TempDir repo;
+  TempDir scratch;
+  seed_history(repo.path(), scratch.path(), 2.0);
+
+  // A band wide enough to swallow a 2x swing: gate passes.
+  const auto wide = pkx({repo.path().string(), "diff", "perfknow",
+                         "bench", "v1", "v2", "--band", "9.0"});
+  EXPECT_EQ(wide.code, 0) << wide.out;
+
+  const auto narrow =
+      pkx({repo.path().string(), "diff", "perfknow", "bench", "v1", "v2",
+           "--metric", "CPU_TIME"});
+  EXPECT_EQ(narrow.code, 3);
+  EXPECT_NE(narrow.out.find("CPU_TIME"), std::string::npos);
+}
+
+TEST(PkxHistory, ListsLineageWithPredecessorsAndRatios) {
+  TempDir repo;
+  TempDir scratch;
+  seed_history(repo.path(), scratch.path(), 1.5);
+
+  const auto hist =
+      pkx({repo.path().string(), "history", "perfknow", "bench"});
+  EXPECT_EQ(hist.code, 0) << hist.err;
+  EXPECT_NE(hist.out.find("2 versions"), std::string::npos);
+  EXPECT_NE(hist.out.find("v1"), std::string::npos);
+  EXPECT_NE(hist.out.find("v2"), std::string::npos);
+  // v2's row shows its predecessor and the vs-prev runtime ratio.
+  EXPECT_NE(hist.out.find("x"), std::string::npos);
+
+  // bench2pkb with an explicit --predecessor branches the chain.
+  const auto branch = write_bench_json(scratch.path() / "b.json",
+                                       {{"BM_Parse", 100.0}});
+  ASSERT_EQ(pkx({repo.path().string(), "bench2pkb", "perfknow", "bench",
+                 "v2b", branch.string(), "--predecessor", "v1"})
+                .code,
+            0);
+  const auto again =
+      pkx({repo.path().string(), "history", "perfknow", "bench"});
+  EXPECT_NE(again.out.find("v2b"), std::string::npos);
+  EXPECT_NE(again.out.find("3 versions"), std::string::npos);
+}
+
+TEST(PkxPrune, DropsOldVersionsAndOrphanedSnapshots) {
+  TempDir repo;
+  TempDir scratch;
+  seed_history(repo.path(), scratch.path(), 1.0);
+
+  const auto pruned = pkx(
+      {repo.path().string(), "prune", "perfknow", "bench", "--keep", "1"});
+  EXPECT_EQ(pruned.code, 0) << pruned.err;
+  EXPECT_NE(pruned.out.find("pruned 1 version(s) (v1)"),
+            std::string::npos);
+
+  const auto hist =
+      pkx({repo.path().string(), "history", "perfknow", "bench"});
+  EXPECT_NE(hist.out.find("1 versions"), std::string::npos);
+  EXPECT_EQ(hist.out.find("v1"), std::string::npos);
+
+  // Every surviving .pkb is referenced by the fresh index.
+  std::size_t pkbs = 0;
+  for (const auto& entry :
+       fs::recursive_directory_iterator(repo.path())) {
+    if (entry.path().extension() == ".pkb") ++pkbs;
+  }
+  EXPECT_EQ(pkbs, 1u);
+}
+
+TEST(PkxImport, AutoDetectsBenchmarkJson) {
+  TempDir repo;
+  TempDir scratch;
+  pk::perfdmf::Repository().save(repo.path());
+  const auto file = write_bench_json(scratch.path() / "suite.json",
+                                     {{"BM_A", 10.0}, {"BM_B", 20.0}});
+  const auto imported = pkx({repo.path().string(), "import",
+                             file.string(), "app", "exp"});
+  EXPECT_EQ(imported.code, 0) << imported.err;
+
+  const auto shown =
+      pkx({repo.path().string(), "show", "app", "exp", "suite"});
+  EXPECT_EQ(shown.code, 0) << shown.err;
+  EXPECT_NE(shown.out.find("BM_A"), std::string::npos);
+  EXPECT_NE(shown.out.find("bench.host_name"), std::string::npos);
+}

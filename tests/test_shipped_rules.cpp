@@ -40,6 +40,7 @@ TEST(ShippedRules, FilesExistParseAndMatchBuiltins) {
       {"instrumentation.rules", std::string(rb::instrumentation())},
       {"openmp.rules", std::string(rb::openmp())},
       {"self_diagnosis.rules", std::string(rb::self_diagnosis())},
+      {"regression.rules", std::string(rb::regression())},
       {"OpenUHRules.rules", rb::openuh_rules()},
   };
   for (const auto& [name, builtin] : files) {
