@@ -9,10 +9,10 @@
 #include <string>
 #include <vector>
 
-#include "analysis/operations.hpp"
 #include "apps/genidlest/genidlest.hpp"
 #include "common/table.hpp"
 #include "machine/machine.hpp"
+#include "perfknow.hpp"
 
 namespace gen = perfknow::apps::genidlest;
 using perfknow::machine::Machine;

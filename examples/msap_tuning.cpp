@@ -9,10 +9,9 @@
 #include <cstdio>
 #include <string>
 
-#include "analysis/facts.hpp"
 #include "apps/msap/msap.hpp"
 #include "machine/machine.hpp"
-#include "rules/rulebases.hpp"
+#include "perfknow.hpp"
 
 namespace msap = perfknow::apps::msap;
 using perfknow::machine::Machine;

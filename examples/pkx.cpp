@@ -9,7 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "tools/pkx_cli.hpp"
+#include "perfknow.hpp"
 
 int main(int argc, char** argv) {
   const std::vector<std::string> args(argv + 1, argv + argc);

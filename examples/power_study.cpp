@@ -9,8 +9,8 @@
 #include "apps/genidlest/genidlest.hpp"
 #include "common/table.hpp"
 #include "machine/machine.hpp"
+#include "perfknow.hpp"
 #include "power/power_model.hpp"
-#include "rules/rulebases.hpp"
 
 namespace gen = perfknow::apps::genidlest;
 namespace pw = perfknow::power;

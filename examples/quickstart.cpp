@@ -11,8 +11,7 @@
 
 #include "apps/msap/msap.hpp"
 #include "machine/machine.hpp"
-#include "perfdmf/repository.hpp"
-#include "script/bindings.hpp"
+#include "perfknow.hpp"
 
 int main() {
   using namespace perfknow;

@@ -12,8 +12,7 @@
 
 #include "apps/genidlest/genidlest.hpp"
 #include "machine/machine.hpp"
-#include "perfdmf/repository.hpp"
-#include "script/bindings.hpp"
+#include "perfknow.hpp"
 
 namespace gen = perfknow::apps::genidlest;
 using perfknow::machine::Machine;

@@ -20,15 +20,7 @@
 #include <memory>
 #include <string>
 
-#include "io/format.hpp"
-#include "perfdmf/repository.hpp"
-#include "profile/profile.hpp"
-#include "rules/parser.hpp"
-#include "rules/rulebases.hpp"
-#include "script/bindings.hpp"
-#include "telemetry/export.hpp"
-#include "telemetry/self_analysis.hpp"
-#include "telemetry/telemetry.hpp"
+#include "perfknow.hpp"
 
 int main() {
   using namespace perfknow;

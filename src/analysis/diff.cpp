@@ -73,12 +73,27 @@ std::vector<std::string> shared_metrics(const profile::TrialView& base,
 
 }  // namespace
 
+void DiffOptions::validate() const {
+  if (!std::isfinite(noise_band) || noise_band <= 0.0) {
+    throw InvalidArgumentError(
+        "DiffOptions.noise_band: must be a positive finite fraction "
+        "(a band <= 0 would classify every cell as both regressed and "
+        "improved)");
+  }
+  if (!std::isfinite(min_fraction) || min_fraction < 0.0 ||
+      min_fraction > 1.0) {
+    throw InvalidArgumentError(
+        "DiffOptions.min_fraction: must be a finite fraction in [0, 1]");
+  }
+}
+
 DiffSummary assert_diff_facts(rules::RuleHarness& harness,
                               const profile::TrialView& base,
                               const profile::TrialView& current,
                               const DiffOptions& options) {
   static const telemetry::SpanSite site("analysis.diff");
   telemetry::ScopedSpan span(site);
+  options.validate();
 
   const std::vector<std::string> metrics =
       shared_metrics(base, current, options);

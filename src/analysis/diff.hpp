@@ -61,6 +61,14 @@ struct DiffOptions {
   double min_fraction = 0.0;
   /// When false, normalizedRatio is the raw ratio (no geomean division).
   bool normalize = true;
+
+  /// Checks the numeric fields and throws InvalidArgumentError naming
+  /// the offending one: noise_band must be finite and > 0 (a zero or
+  /// negative band would classify every cell as regressed AND
+  /// improved), min_fraction finite and in [0, 1]. Called by
+  /// assert_diff_facts; `pkx diff --band` surfaces the same check as a
+  /// usage diagnostic.
+  void validate() const;
 };
 
 /// Counts of what a diff asserted (the return value of

@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
+#include <cstdio>
 #include <string_view>
 
 #include "common/error.hpp"
@@ -198,5 +200,38 @@ class Parser {
 }  // namespace
 
 Value parse(const std::string& src) { return Parser(src).parse(); }
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string quote(const std::string& s) { return "\"" + escape(s) + "\""; }
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, p);
+}
 
 }  // namespace perfknow::json

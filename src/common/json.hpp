@@ -40,4 +40,19 @@ struct Value {
 /// carrying the 1-based line/column and a source excerpt.
 [[nodiscard]] Value parse(const std::string& src);
 
+// ---- writer primitives -------------------------------------------------
+// The inverse half, shared by every JSON producer (provenance
+// explanations, the perfknow.api/1 wire envelope) so strings escape and
+// numbers round-trip identically everywhere.
+
+/// Escapes for a double-quoted JSON string (quotes not included).
+[[nodiscard]] std::string escape(const std::string& s);
+
+/// `"escaped"` — escape() with the surrounding quotes.
+[[nodiscard]] std::string quote(const std::string& s);
+
+/// Shortest round-trip rendering of a double. JSON has no Inf/NaN, so
+/// non-finite values render as null (read back as 0).
+[[nodiscard]] std::string number(double v);
+
 }  // namespace perfknow::json

@@ -21,38 +21,11 @@ telemetry::Counter& rendered_counter() {
   return c;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-// Shortest round-trip rendering; JSON has no Inf/NaN, so those become
-// null (read back as 0).
-std::string json_number(double v) {
-  if (!std::isfinite(v)) return "null";
-  char buf[64];
-  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
-  if (ec != std::errc{}) return "0";
-  return std::string(buf, p);
-}
+// The escaping and shortest-round-trip number policies live in
+// common/json so the wire envelope and the explanation renderer cannot
+// drift apart.
+std::string json_escape(const std::string& s) { return json::escape(s); }
+std::string json_number(double v) { return json::number(v); }
 
 std::string json_value(const rules::FactValue& v) {
   if (const auto* d = std::get_if<double>(&v)) return json_number(*d);

@@ -389,6 +389,31 @@ then
            message = "dropped " + n + " spans to ring wraparound",
            recommendation = "Snapshot more often, or disable per-statement spans for long scripts")
 end
+
+rule "Server Queue Saturated"
+when
+  o : TelemetryMetricFact( name == "server.rejected.overload", value > 0,
+                           n : value )
+  q : TelemetryMetricFact( name == "server.requests", r : value )
+then
+  print("Server admission control rejected " + n + " of " + r + " requests")
+  diagnose(problem = "ServerQueueSaturated", event = "server.request",
+           metric = "server.rejected.overload", severity = n / r,
+           message = "rejected " + n + " of " + r + " requests with 'overloaded': the worker queue is saturated",
+           recommendation = "Raise pkx serve --workers or --queue, or slow the clients' pipelining")
+end
+
+rule "Server Client Over Budget"
+when
+  b : TelemetryMetricFact( name == "server.rejected.budget", value > 0,
+                           n : value )
+then
+  print("Server rejected " + n + " uploads over the per-client byte budget")
+  diagnose(problem = "ServerClientOverBudget", event = "server.request",
+           metric = "server.rejected.budget", severity = 1,
+           message = "rejected " + n + " uploads that exceeded a connection's byte budget",
+           recommendation = "Raise pkx serve --budget, or split uploads across connections")
+end
 )RULES";
 
 constexpr std::string_view kRegression = R"RULES(

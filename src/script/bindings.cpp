@@ -12,6 +12,7 @@
 #include "common/error.hpp"
 #include "hwcounters/counters.hpp"
 #include "io/format.hpp"
+#include "perfdmf/limits.hpp"
 #include "power/power_model.hpp"
 #include "provenance/explanation.hpp"
 #include "rules/parser.hpp"
@@ -89,10 +90,10 @@ const std::string& arg_string(const std::vector<Value>& args,
   return args[i].as_string();
 }
 
-/// Resolves a rulebase name: built-in names first, then the session's
-/// rules_path directory (when configured), then the filesystem as-is.
-std::string resolve_rules(const std::string& name,
-                          const std::filesystem::path& rules_path) {
+}  // namespace
+
+std::string resolve_rulebase(const std::string& name,
+                             const std::filesystem::path& rules_path) {
   namespace rb = rules::builtin;
   // The Fig. 1 name and friendly aliases map to the embedded rulebases.
   if (name == "openuh/OpenUHRules.drl" || name == "OpenUHRules.drl" ||
@@ -126,6 +127,8 @@ std::string resolve_rules(const std::string& name,
   }
   return slurp(is);
 }
+
+namespace {
 
 /// saveTrial historically always wrote a PKPROF snapshot, whatever the
 /// file was called. Route through the io registry when the extension
@@ -166,14 +169,38 @@ hwcounters::CounterVector mean_counters(const profile::TrialView& t) {
 
 }  // namespace
 
+void SessionOptions::validate() const {
+  if (repository == nullptr) {
+    throw InvalidArgumentError(
+        "SessionOptions.repository: must not be null");
+  }
+  if (threads > perfdmf::kMaxThreads) {
+    throw InvalidArgumentError(
+        "SessionOptions.threads: " + std::to_string(threads) +
+        " exceeds the sanity cap of " +
+        std::to_string(perfdmf::kMaxThreads) +
+        " (was a negative count converted to std::size_t?)");
+  }
+  if (!rules_path.empty() && !std::filesystem::is_directory(rules_path)) {
+    throw InvalidArgumentError("SessionOptions.rules_path: '" +
+                               rules_path.string() +
+                               "' is not a directory");
+  }
+  if (!telemetry_trace.empty()) {
+    const std::filesystem::path parent = telemetry_trace.parent_path();
+    if (!parent.empty() && !std::filesystem::is_directory(parent)) {
+      throw InvalidArgumentError(
+          "SessionOptions.telemetry_trace: parent directory '" +
+          parent.string() + "' does not exist");
+    }
+  }
+}
+
 AnalysisSession::AnalysisSession(SessionOptions options)
     : options_(std::move(options)),
       repository_(options_.repository),
       harness_(std::make_shared<rules::RuleHarness>()) {
-  if (repository_ == nullptr) {
-    throw InvalidArgumentError(
-        "AnalysisSession: SessionOptions.repository is null");
-  }
+  options_.validate();
   if (options_.threads != 0) {
     pool_ = std::make_unique<ThreadPool>(options_.threads);
   }
@@ -427,7 +454,7 @@ void AnalysisSession::register_api() {
                              Interpreter&, const std::vector<Value>& a) {
               rules::add_rules(
                   *harness,
-                  resolve_rules(arg_string(a, 0, "useGlobalRules"),
+                  resolve_rulebase(arg_string(a, 0, "useGlobalRules"),
                                 rules_path));
               return harness_obj;
             })},

@@ -44,6 +44,17 @@
 
 namespace perfknow::script {
 
+/// Resolves a rulebase name to DSL source text the way
+/// RuleHarness.useGlobalRules does: built-in names and aliases first
+/// ("openuh", "self_diagnosis", "regression", the Fig. 1
+/// "openuh/OpenUHRules.drl" spelling, ...), then a file under
+/// `rules_path` (when given), then the filesystem as-is. Throws
+/// NotFoundError naming the rulebase when nothing matches. This is the
+/// one name-resolution policy shared by scripts, `pkx`, and the
+/// analysis server.
+[[nodiscard]] std::string resolve_rulebase(
+    const std::string& name, const std::filesystem::path& rules_path = {});
+
 /// Everything an AnalysisSession can be configured with, in one place.
 /// Only `repository` is required; the defaults reproduce the historical
 /// one-argument constructor's behaviour exactly.
@@ -84,6 +95,17 @@ struct SessionOptions {
   /// lineage. Scripts read the result via Diagnosis.explain() /
   /// Session.explainAll().
   provenance::ProvenanceMode provenance = provenance::ProvenanceMode::kOff;
+
+  /// Checks every field up front and throws InvalidArgumentError naming
+  /// the offending field ("SessionOptions.repository: ...") instead of
+  /// letting a bad value fail deep inside the interpreter. Called by the
+  /// AnalysisSession constructor; callers building options by hand can
+  /// call it earlier for a cheaper failure point. Checks: repository is
+  /// non-null, threads <= perfdmf::kMaxThreads (a "negative" count
+  /// wrapped through std::size_t lands here), rules_path (when set)
+  /// names an existing directory, telemetry_trace's parent directory
+  /// (when set) exists.
+  void validate() const;
 };
 
 class AnalysisSession {

@@ -1,0 +1,653 @@
+#include "server/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+
+#include "analysis/facts.hpp"
+#include "common/error.hpp"
+#include "io/format.hpp"
+#include "rules/rulebases.hpp"
+#include "script/bindings.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/self_analysis.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace perfknow::server {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Required string member of a params object; throws the field-naming
+/// error the wire maps to invalid_argument.
+std::string required_string(const json::Value& params,
+                            const std::string& key,
+                            const std::string& method) {
+  const json::Value* v = params.find(key);
+  if (v == nullptr || v->kind != json::Value::Kind::kString ||
+      v->text.empty()) {
+    throw InvalidArgumentError(method + ": params." + key +
+                               " must be a non-empty string");
+  }
+  return v->text;
+}
+
+std::string optional_string(const json::Value& params,
+                            const std::string& key) {
+  const json::Value* v = params.find(key);
+  if (v == nullptr || v->kind != json::Value::Kind::kString) return "";
+  return v->text;
+}
+
+provenance::ProvenanceMode provenance_mode(const json::Value& params,
+                                           const std::string& method) {
+  const std::string mode = optional_string(params, "provenance");
+  if (mode.empty() || mode == "full") {
+    return provenance::ProvenanceMode::kFull;
+  }
+  if (mode == "rules") return provenance::ProvenanceMode::kRules;
+  if (mode == "off") return provenance::ProvenanceMode::kOff;
+  throw InvalidArgumentError(method +
+                             ": params.provenance must be 'off', 'rules', "
+                             "or 'full', got '" +
+                             mode + "'");
+}
+
+}  // namespace
+
+// ---- shared analysis entry points --------------------------------------
+
+std::vector<rules::Diagnosis> run_analysis(
+    const perfdmf::Repository& repo, const AnalyzeParams& params,
+    const std::filesystem::path& rules_path, rules::RuleHarness& harness) {
+  const auto trial =
+      repo.get(params.application, params.experiment, params.trial);
+  harness.set_provenance(params.provenance);
+  rules::builtin::use(
+      harness, script::resolve_rulebase(params.rulebase, rules_path));
+  analysis::assert_load_balance_facts(harness, *trial);
+  if (trial->find_metric("BACK_END_BUBBLE_ALL")) {
+    analysis::assert_stall_facts(harness, *trial);
+  }
+  if (trial->find_metric("L3_MISSES")) {
+    analysis::assert_memory_locality_facts(harness, *trial);
+  }
+  harness.process_rules();
+  return harness.diagnoses();
+}
+
+DiffOutcome run_diff(const perfdmf::Repository& repo,
+                     const DiffParams& params,
+                     rules::RuleHarness& harness) {
+  params.options.validate();
+  const auto base =
+      repo.get(params.application, params.experiment, params.base);
+  const auto current =
+      repo.get(params.application, params.experiment, params.current);
+
+  harness.set_provenance(provenance::ProvenanceMode::kFull);
+  rules::builtin::use(harness, rules::builtin::regression());
+  DiffOutcome outcome;
+  outcome.summary = analysis::assert_diff_facts(harness, *base, *current,
+                                                params.options);
+  harness.process_rules();
+  outcome.diagnoses = harness.diagnoses();
+  for (const auto& d : outcome.diagnoses) {
+    if (analysis::regression_problem(d.problem)) outcome.regression = true;
+  }
+  return outcome;
+}
+
+std::vector<rules::Diagnosis> run_self_diagnosis(
+    rules::RuleHarness& harness) {
+  const auto trial = telemetry::to_trial(telemetry::snapshot());
+  harness.set_provenance(provenance::ProvenanceMode::kFull);
+  rules::builtin::use(harness, rules::builtin::self_diagnosis());
+  telemetry::assert_self_facts(harness, trial);
+  harness.process_rules();
+  return harness.diagnoses();
+}
+
+// ---- options -----------------------------------------------------------
+
+void ServerOptions::validate() const {
+  if (socket_path.empty()) {
+    throw InvalidArgumentError(
+        "ServerOptions.socket_path: must not be empty");
+  }
+  // sun_path is a fixed 108-byte array including the terminator.
+  if (socket_path.string().size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw InvalidArgumentError(
+        "ServerOptions.socket_path: '" + socket_path.string() +
+        "' exceeds the AF_UNIX path limit of " +
+        std::to_string(sizeof(sockaddr_un{}.sun_path) - 1) + " bytes");
+  }
+  if (workers == 0) {
+    throw InvalidArgumentError("ServerOptions.workers: must be > 0");
+  }
+  if (queue_limit == 0) {
+    throw InvalidArgumentError("ServerOptions.queue_limit: must be > 0");
+  }
+  if (client_queue_limit == 0) {
+    throw InvalidArgumentError(
+        "ServerOptions.client_queue_limit: must be > 0");
+  }
+  if (!repository_dir.empty() &&
+      !std::filesystem::is_directory(repository_dir)) {
+    throw InvalidArgumentError("ServerOptions.repository_dir: '" +
+                               repository_dir.string() +
+                               "' is not a directory");
+  }
+}
+
+// ---- lifecycle ---------------------------------------------------------
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  options_.validate();
+  if (options_.enable_telemetry) telemetry::set_enabled(true);
+  if (!options_.repository_dir.empty()) {
+    repo_ = perfdmf::Repository::attach(options_.repository_dir,
+                                        options_.cache_budget);
+  }
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw IoError("pkx serve: socket(): " +
+                  std::string(std::strerror(errno)));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(options_.socket_path.c_str());  // replace a stale socket
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("pkx serve: cannot bind '" +
+                  options_.socket_path.string() + "': " + why);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("pkx serve: listen(): " + why);
+  }
+
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  if (stopping_.exchange(true)) {
+    // Another thread is (or was) stopping; just wait for it.
+    wait();
+    return;
+  }
+  // Unblock the accept loop.
+  if (const int fd = listen_fd_.exchange(-1); fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Fail queued-but-unstarted work, then wake and join the workers.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (Job& job : queue_) {
+      send_error(*job.conn, job.request.id, wire::ErrorCode::kShuttingDown,
+                 "server is shutting down");
+      job.conn->in_flight.fetch_sub(1, std::memory_order_relaxed);
+    }
+    queue_.clear();
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+
+  // Unblock every reader and join them.
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const auto& conn : conns_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  for (auto& r : readers_) {
+    if (r.joinable()) r.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const auto& conn : conns_) {
+      if (conn->fd >= 0) {
+        ::close(conn->fd);
+        conn->fd = -1;
+      }
+    }
+    conns_.clear();
+  }
+  ::unlink(options_.socket_path.c_str());
+
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stopped_.store(true);
+  }
+  stop_cv_.notify_all();
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  stop_cv_.wait(lock, [this] { return stopped_.load(); });
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.executed = executed_.load(std::memory_order_relaxed);
+  s.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
+  s.rejected_budget = rejected_budget_.load(std::memory_order_relaxed);
+  s.uploads = uploads_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    s.queue_depth = queue_.size();
+  }
+  return s;
+}
+
+// ---- socket plumbing ---------------------------------------------------
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_.load(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen fd closed by stop()
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->id = connections_.fetch_add(1, std::memory_order_relaxed) + 1;
+    static telemetry::Counter& accepted =
+        telemetry::counter("server.connections");
+    accepted.add();
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    conns_.push_back(conn);
+    readers_.emplace_back([this, conn] { reader_loop(conn); });
+  }
+}
+
+void Server::reader_loop(ConnectionPtr conn) {
+  std::string buffer;
+  char chunk[4096];
+  while (!stopping_.load()) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // peer closed or connection shut down
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos; nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      static telemetry::Counter& requests =
+          telemetry::counter("server.requests");
+      requests.add();
+      try {
+        dispatch(conn, wire::parse_request(line));
+      } catch (const wire::WireError& e) {
+        send_error(*conn, "", e.code(), e.what());
+      }
+    }
+    buffer.erase(0, start);
+  }
+}
+
+void Server::send_line(Connection& conn, const std::string& line) {
+  std::lock_guard<std::mutex> lock(conn.write_mutex);
+  if (conn.fd < 0) return;
+  std::string framed = line;
+  framed += '\n';
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(conn.fd, framed.data() + sent,
+                             framed.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // peer gone; the reader loop will notice
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Server::send_error(Connection& conn, const std::string& id,
+                        wire::ErrorCode code, const std::string& message) {
+  send_line(conn, wire::error_line(id, code, message));
+}
+
+// ---- admission ---------------------------------------------------------
+
+void Server::dispatch(const ConnectionPtr& conn, wire::Request req) {
+  if (req.method == "ping") {
+    send_line(*conn, wire::result_line(req.id, "{\"pong\":true}"));
+    return;
+  }
+  if (req.method == "stats") {
+    const ServerStats s = stats();
+    std::string data =
+        "{\"connections\":" + std::to_string(s.connections) +
+        ",\"requests\":" + std::to_string(s.requests) +
+        ",\"executed\":" + std::to_string(s.executed) +
+        ",\"rejected_overload\":" + std::to_string(s.rejected_overload) +
+        ",\"rejected_budget\":" + std::to_string(s.rejected_budget) +
+        ",\"uploads\":" + std::to_string(s.uploads) +
+        ",\"queue_depth\":" + std::to_string(s.queue_depth) + "}";
+    send_line(*conn, wire::result_line(req.id, data));
+    return;
+  }
+  if (req.method != "upload" && req.method != "analyze" &&
+      req.method != "explain" && req.method != "diff" &&
+      req.method != "selfdiagnose") {
+    send_error(*conn, req.id, wire::ErrorCode::kUnknownMethod,
+               "unknown method '" + req.method + "'");
+    return;
+  }
+  if (stopping_.load()) {
+    send_error(*conn, req.id, wire::ErrorCode::kShuttingDown,
+               "server is shutting down");
+    return;
+  }
+  if (req.method == "upload") {
+    // Charge the (estimated) decoded size at admission so a client
+    // cannot queue itself past its budget; the worker never uncharges.
+    const std::string body = optional_string(req.params, "body");
+    const std::uint64_t decoded = body.size() / 4 * 3;
+    const std::uint64_t already =
+        conn->uploaded_bytes.fetch_add(decoded, std::memory_order_relaxed);
+    if (already + decoded > options_.client_byte_budget) {
+      conn->uploaded_bytes.fetch_sub(decoded, std::memory_order_relaxed);
+      rejected_budget_.fetch_add(1, std::memory_order_relaxed);
+      static telemetry::Counter& rejected =
+          telemetry::counter("server.rejected.budget");
+      rejected.add();
+      send_error(*conn, req.id, wire::ErrorCode::kBudgetExceeded,
+                 "upload budget of " +
+                     std::to_string(options_.client_byte_budget) +
+                     " bytes exhausted for this connection");
+      return;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    const std::size_t mine =
+        conn->in_flight.load(std::memory_order_relaxed);
+    if (queue_.size() >= options_.queue_limit ||
+        mine >= options_.client_queue_limit) {
+      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      static telemetry::Counter& rejected =
+          telemetry::counter("server.rejected.overload");
+      rejected.add();
+      send_error(*conn, req.id, wire::ErrorCode::kOverloaded,
+                 queue_.size() >= options_.queue_limit
+                     ? "server queue is full (" +
+                           std::to_string(options_.queue_limit) +
+                           " pending); retry later"
+                     : "connection has too many requests in flight (" +
+                           std::to_string(options_.client_queue_limit) +
+                           "); wait for results");
+      return;
+    }
+    conn->in_flight.fetch_add(1, std::memory_order_relaxed);
+    queue_.push_back(Job{conn, std::move(req), now_ns()});
+  }
+  queue_cv_.notify_one();
+}
+
+// ---- execution ---------------------------------------------------------
+
+void Server::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return stopping_.load() || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, nothing left
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    static telemetry::Histogram& wait_ns =
+        telemetry::histogram("server.queue_wait_ns");
+    wait_ns.record(now_ns() - job.enqueued_ns);
+    execute(job);
+    job.conn->in_flight.fetch_sub(1, std::memory_order_relaxed);
+    executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::execute(Job& job) {
+  static const telemetry::SpanSite site("server.request");
+  telemetry::ScopedSpan span(site);
+  const wire::Request& req = job.request;
+  try {
+    if (req.method == "upload") {
+      do_upload(job.conn, req);
+    } else if (req.method == "analyze") {
+      do_analyze(job.conn, req, /*explanations_only=*/false);
+    } else if (req.method == "explain") {
+      do_analyze(job.conn, req, /*explanations_only=*/true);
+    } else if (req.method == "diff") {
+      do_diff(job.conn, req);
+    } else {
+      do_self_diagnosis(job.conn, req);
+    }
+  } catch (const wire::WireError& e) {
+    send_error(*job.conn, req.id, e.code(), e.what());
+  } catch (const std::exception& e) {
+    send_error(*job.conn, req.id, wire::error_code(e), e.what());
+  }
+}
+
+void Server::do_upload(const ConnectionPtr& conn,
+                       const wire::Request& req) {
+  const std::string application =
+      required_string(req.params, "application", "upload");
+  const std::string experiment =
+      required_string(req.params, "experiment", "upload");
+  const std::string body = required_string(req.params, "body", "upload");
+  const std::string bytes = wire::base64_decode(body);
+
+  // io::open_trial is the file-level front door (it owns format
+  // sniffing and file-naming diagnostics), so the decoded body makes a
+  // brief stop on disk.
+  static std::atomic<std::uint64_t> upload_seq{0};
+  const std::filesystem::path tmp =
+      std::filesystem::temp_directory_path() /
+      ("pkx-serve-upload-" + std::to_string(::getpid()) + "-" +
+       std::to_string(upload_seq.fetch_add(1)) + ".bin");
+  {
+    std::ofstream os(tmp, std::ios::binary);
+    if (!os) {
+      throw IoError("upload: cannot stage body to " + tmp.string());
+    }
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  profile::Trial trial;
+  try {
+    const std::string format = optional_string(req.params, "format");
+    trial = format.empty() ? io::open_trial(tmp)
+                           : io::open_trial(tmp, format);
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw;
+  }
+  std::error_code ec;
+  std::filesystem::remove(tmp, ec);
+
+  const std::string version = optional_string(req.params, "version");
+  const std::string name = optional_string(req.params, "trial");
+  if (!version.empty()) {
+    trial.set_name(version);
+  } else if (!name.empty()) {
+    trial.set_name(name);
+  }
+  auto ptr = std::make_shared<profile::Trial>(std::move(trial));
+  const std::string stored = ptr->name();
+  {
+    std::unique_lock<std::shared_mutex> lock(repo_mutex_);
+    if (!version.empty()) {
+      repo_.put_version(application, experiment, std::move(ptr),
+                        optional_string(req.params, "predecessor"));
+    } else {
+      repo_.put(application, experiment, std::move(ptr));
+    }
+  }
+  uploads_.fetch_add(1, std::memory_order_relaxed);
+  static telemetry::Counter& uploaded =
+      telemetry::counter("server.uploads");
+  uploaded.add();
+  send_line(*conn,
+            wire::result_line(
+                req.id, "{\"trial\":" + json::quote(stored) +
+                            ",\"bytes\":" + std::to_string(bytes.size()) +
+                            "}"));
+}
+
+void Server::do_analyze(const ConnectionPtr& conn, const wire::Request& req,
+                        bool explanations_only) {
+  AnalyzeParams params;
+  params.application = required_string(req.params, "application", req.method);
+  params.experiment = required_string(req.params, "experiment", req.method);
+  params.trial = required_string(req.params, "trial", req.method);
+  if (const std::string rb = optional_string(req.params, "rulebase");
+      !rb.empty()) {
+    params.rulebase = rb;
+  }
+  params.provenance = explanations_only
+                          ? provenance::ProvenanceMode::kFull
+                          : provenance_mode(req.params, req.method);
+
+  rules::RuleHarness harness;
+  std::vector<rules::Diagnosis> diagnoses;
+  {
+    std::shared_lock<std::shared_mutex> lock(repo_mutex_);
+    diagnoses = run_analysis(repo_, params, options_.rules_path, harness);
+  }
+  std::size_t explanations = 0;
+  for (const auto& d : diagnoses) {
+    if (!explanations_only) {
+      send_line(*conn, wire::diagnosis_line(req.id, d));
+    }
+    if (d.provenance) {
+      ++explanations;
+      send_line(*conn, wire::explanation_line(req.id, *d.provenance));
+    }
+  }
+  send_line(*conn,
+            wire::result_line(
+                req.id,
+                "{\"diagnoses\":" + std::to_string(diagnoses.size()) +
+                    ",\"explanations\":" + std::to_string(explanations) +
+                    "}"));
+}
+
+void Server::do_diff(const ConnectionPtr& conn, const wire::Request& req) {
+  DiffParams params;
+  params.application = required_string(req.params, "application", "diff");
+  params.experiment = required_string(req.params, "experiment", "diff");
+  params.base = required_string(req.params, "base", "diff");
+  params.current = required_string(req.params, "current", "diff");
+  if (const json::Value* band = req.params.find("band"); band != nullptr) {
+    if (band->kind != json::Value::Kind::kNumber) {
+      throw InvalidArgumentError("diff: params.band must be a number");
+    }
+    params.options.noise_band = band->number;
+  }
+  if (const json::Value* metrics = req.params.find("metrics");
+      metrics != nullptr) {
+    if (metrics->kind != json::Value::Kind::kArray) {
+      throw InvalidArgumentError(
+          "diff: params.metrics must be an array of strings");
+    }
+    for (const auto& m : metrics->items) {
+      if (m.kind != json::Value::Kind::kString) {
+        throw InvalidArgumentError(
+            "diff: params.metrics must be an array of strings");
+      }
+      params.options.metrics.push_back(m.text);
+    }
+  }
+
+  rules::RuleHarness harness;
+  DiffOutcome outcome;
+  {
+    std::shared_lock<std::shared_mutex> lock(repo_mutex_);
+    outcome = run_diff(repo_, params, harness);
+  }
+  for (const auto& d : outcome.diagnoses) {
+    send_line(*conn, wire::diagnosis_line(req.id, d));
+    if (d.provenance) {
+      send_line(*conn, wire::explanation_line(req.id, *d.provenance));
+    }
+  }
+  const auto& s = outcome.summary;
+  send_line(
+      *conn,
+      wire::result_line(
+          req.id,
+          std::string("{\"regression\":") +
+              (outcome.regression ? "true" : "false") +
+              ",\"compared\":" + std::to_string(s.compared_cells) +
+              ",\"regressed\":" + std::to_string(s.regressed_cells) +
+              ",\"improved\":" + std::to_string(s.improved_cells) +
+              ",\"skipped\":" + std::to_string(s.skipped_cells) +
+              ",\"missing\":" + std::to_string(s.missing_events) +
+              ",\"added\":" + std::to_string(s.added_events) + "}"));
+}
+
+void Server::do_self_diagnosis(const ConnectionPtr& conn,
+                               const wire::Request& req) {
+  rules::RuleHarness harness;
+  const auto diagnoses = run_self_diagnosis(harness);
+  std::size_t explanations = 0;
+  for (const auto& d : diagnoses) {
+    send_line(*conn, wire::diagnosis_line(req.id, d));
+    if (d.provenance) {
+      ++explanations;
+      send_line(*conn, wire::explanation_line(req.id, *d.provenance));
+    }
+  }
+  send_line(*conn,
+            wire::result_line(
+                req.id,
+                "{\"diagnoses\":" + std::to_string(diagnoses.size()) +
+                    ",\"explanations\":" + std::to_string(explanations) +
+                    "}"));
+}
+
+}  // namespace perfknow::server

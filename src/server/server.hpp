@@ -1,0 +1,261 @@
+// Analysis-as-a-service: the `pkx serve` daemon.
+//
+// A Server binds a local AF_UNIX socket and speaks the perfknow.api/1
+// line protocol (wire.hpp): multiple clients connect concurrently,
+// upload trials (any io::open_trial format, base64-encoded in the
+// envelope) into one shared repository, and drive analyze / diff /
+// explain / selfdiagnose requests whose diagnoses and
+// perfknow.explanation/1 proof trees stream back incrementally.
+//
+// Concurrency model:
+//   * one accept thread, one reader thread per connection, a fixed pool
+//     of worker threads draining a bounded job queue;
+//   * "ping" and "stats" are answered inline by the reader thread so
+//     health checks keep working while the queue is saturated;
+//   * the shared repository is guarded by a readers/writer lock —
+//     uploads take it exclusively, analyses share it — because
+//     Repository::put mutates the store map without an internal lock;
+//   * admission control: a request beyond the queue limit (global or
+//     per-client) is rejected immediately with "overloaded", and a
+//     client that uploads past its byte budget gets "budget_exceeded".
+//     Rejections are telemetry counters, so the server diagnoses its
+//     own saturation through rules/self_diagnosis.rules
+//     (ServerQueueSaturated / ServerClientOverBudget) via the
+//     "selfdiagnose" method — the paper's self-observation loop closed
+//     over the serving layer itself.
+//
+// The analysis entry points (run_analysis / run_diff /
+// run_self_diagnosis) are plain free functions over a Repository and a
+// RuleHarness, used identically by the daemon workers and by in-process
+// callers — which is what makes server-streamed diagnoses byte-identical
+// to local ones (tests/test_server.cpp pins this).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/diff.hpp"
+#include "perfdmf/repository.hpp"
+#include "rules/engine.hpp"
+#include "server/wire.hpp"
+
+namespace perfknow::server {
+
+// ---- shared analysis entry points --------------------------------------
+
+/// What an "analyze"/"explain" request runs: which trial, which
+/// rulebase, how much provenance.
+struct AnalyzeParams {
+  std::string application;
+  std::string experiment;
+  std::string trial;
+  /// Rulebase name resolved by script::resolve_rulebase (built-ins and
+  /// aliases first, then rules_path, then the filesystem).
+  std::string rulebase = "openuh";
+  provenance::ProvenanceMode provenance = provenance::ProvenanceMode::kFull;
+};
+
+/// What a "diff" request runs.
+struct DiffParams {
+  std::string application;
+  std::string experiment;
+  std::string base;
+  std::string current;
+  analysis::DiffOptions options;
+};
+
+/// Runs the pkx-explain pipeline into `harness`: resolve the rulebase,
+/// assert load-balance facts (plus stall / memory-locality facts when
+/// the trial carries the counters), process rules. Returns the fired
+/// diagnoses. The same function backs the daemon's "analyze"/"explain"
+/// methods and in-process callers, so both produce identical output.
+[[nodiscard]] std::vector<rules::Diagnosis> run_analysis(
+    const perfdmf::Repository& repo, const AnalyzeParams& params,
+    const std::filesystem::path& rules_path, rules::RuleHarness& harness);
+
+/// One diff outcome: the asserted summary, the fired diagnoses, and the
+/// `pkx diff` gate verdict (any regression_problem diagnosis).
+struct DiffOutcome {
+  analysis::DiffSummary summary;
+  std::vector<rules::Diagnosis> diagnoses;
+  bool regression = false;
+};
+
+/// Runs the pkx-diff pipeline (rules/regression.rules over
+/// assert_diff_facts) into `harness`. DiffOptions are validated first.
+[[nodiscard]] DiffOutcome run_diff(const perfdmf::Repository& repo,
+                                   const DiffParams& params,
+                                   rules::RuleHarness& harness);
+
+/// Runs rules/self_diagnosis.rules over a telemetry trial built from
+/// the current process-wide snapshot. Returns the fired diagnoses.
+[[nodiscard]] std::vector<rules::Diagnosis> run_self_diagnosis(
+    rules::RuleHarness& harness);
+
+// ---- the daemon --------------------------------------------------------
+
+struct ServerOptions {
+  /// AF_UNIX socket path the daemon binds (required; a stale socket
+  /// file from a previous run is replaced).
+  std::filesystem::path socket_path;
+
+  /// Repository to serve. Empty = start with a fresh in-memory store
+  /// (uploads only). A directory with an index.tsv is attach()ed
+  /// lazily under `cache_budget`.
+  std::filesystem::path repository_dir;
+
+  /// Extra rulebase search directory (script::resolve_rulebase).
+  std::filesystem::path rules_path;
+
+  /// Worker threads draining the job queue.
+  std::size_t workers = 2;
+
+  /// Server-wide bound on queued (not yet executing) jobs; requests
+  /// beyond it are rejected with "overloaded".
+  std::size_t queue_limit = 64;
+
+  /// Per-connection bound on in-flight (queued or executing) jobs.
+  std::size_t client_queue_limit = 16;
+
+  /// Per-connection upload budget in decoded bytes; uploads beyond it
+  /// are rejected with "budget_exceeded".
+  std::size_t client_byte_budget = std::size_t{64} * 1024 * 1024;
+
+  /// Demand-load cache budget for an attached repository_dir.
+  std::size_t cache_budget = perfdmf::Repository::kDefaultCacheBudget;
+
+  /// Turns process-wide telemetry on at construction, so the serving
+  /// counters (below) actually record and "selfdiagnose" sees them.
+  bool enable_telemetry = true;
+
+  /// Checks every field up front; throws InvalidArgumentError naming
+  /// the offending field ("ServerOptions.socket_path: ..."). Checks:
+  /// socket_path non-empty and short enough for sun_path, workers > 0,
+  /// queue_limit > 0, client_queue_limit > 0, repository_dir (when set)
+  /// is an existing directory.
+  void validate() const;
+};
+
+/// Counters the "stats" method reports (all since construction).
+struct ServerStats {
+  std::uint64_t connections = 0;  ///< accepted connections
+  std::uint64_t requests = 0;     ///< request lines parsed
+  std::uint64_t executed = 0;     ///< jobs completed by workers
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_budget = 0;
+  std::uint64_t uploads = 0;   ///< trials stored
+  std::size_t queue_depth = 0; ///< jobs queued right now
+};
+
+class Server {
+ public:
+  /// Validates options, opens the repository, binds + listens, and
+  /// starts the accept/worker threads. Throws InvalidArgumentError /
+  /// IoError on bad options or socket failure.
+  explicit Server(ServerOptions options);
+
+  /// stop() + join.
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Begins shutdown: stops accepting, fails queued-but-unstarted work
+  /// with "shutting_down", lets executing jobs finish, closes every
+  /// connection, joins all threads, removes the socket file.
+  /// Idempotent; safe from any thread (not from a signal handler).
+  void stop();
+
+  /// Blocks until stop() has been called (by anyone) and the daemon is
+  /// fully drained.
+  void wait();
+
+  [[nodiscard]] const ServerOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] ServerStats stats() const;
+
+  /// The shared store. Callers outside the daemon threads must follow
+  /// the same locking discipline: mutation under repository_mutex()
+  /// exclusive, reads under shared.
+  [[nodiscard]] perfdmf::Repository& repository() noexcept { return repo_; }
+  [[nodiscard]] std::shared_mutex& repository_mutex() noexcept {
+    return repo_mutex_;
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::mutex write_mutex;            ///< serializes whole lines
+    std::atomic<std::size_t> in_flight{0};
+    std::atomic<std::uint64_t> uploaded_bytes{0};
+  };
+  using ConnectionPtr = std::shared_ptr<Connection>;
+
+  struct Job {
+    ConnectionPtr conn;
+    wire::Request request;
+    std::uint64_t enqueued_ns = 0;
+  };
+
+  void accept_loop();
+  void reader_loop(ConnectionPtr conn);
+  void worker_loop();
+
+  /// Handles one parsed request on the reader thread: answers ping /
+  /// stats inline, otherwise admits into the queue or rejects.
+  void dispatch(const ConnectionPtr& conn, wire::Request req);
+  void execute(Job& job);
+  void do_upload(const ConnectionPtr& conn, const wire::Request& req);
+  void do_analyze(const ConnectionPtr& conn, const wire::Request& req,
+                  bool explanations_only);
+  void do_diff(const ConnectionPtr& conn, const wire::Request& req);
+  void do_self_diagnosis(const ConnectionPtr& conn,
+                         const wire::Request& req);
+
+  void send_line(Connection& conn, const std::string& line);
+  void send_error(Connection& conn, const std::string& id,
+                  wire::ErrorCode code, const std::string& message);
+
+  ServerOptions options_;
+  perfdmf::Repository repo_;
+  mutable std::shared_mutex repo_mutex_;
+
+  // Atomic: stop() closes and clears the fd while accept_loop() reads it.
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+
+  std::mutex conns_mutex_;
+  std::vector<ConnectionPtr> conns_;
+  std::vector<std::thread> readers_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> rejected_overload_{0};
+  std::atomic<std::uint64_t> rejected_budget_{0};
+  std::atomic<std::uint64_t> uploads_{0};
+};
+
+}  // namespace perfknow::server

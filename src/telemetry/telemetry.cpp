@@ -74,8 +74,13 @@ struct Registry {
 // Leaked on purpose: thread-local destructors of worker threads may run
 // after static destruction would have torn the registry down.
 Registry& registry() {
-  static Registry* r = new Registry;  // NOLINT(cppcoreguidelines-owning-memory)
-  if (r->names.empty()) r->names.emplace_back();  // NameId 0 == ""
+  // The NameId-0 sentinel is seeded inside the thread-safe static
+  // initializer; touching r->names out here would race with intern().
+  static Registry* r = [] {  // NOLINT(cppcoreguidelines-owning-memory)
+    auto* reg = new Registry;
+    reg->names.emplace_back();  // NameId 0 == ""
+    return reg;
+  }();
   return *r;
 }
 

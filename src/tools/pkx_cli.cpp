@@ -1,28 +1,18 @@
-#include "tools/pkx_cli.hpp"
-
+#include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
-#include "analysis/diff.hpp"
-#include "analysis/facts.hpp"
-#include "analysis/operations.hpp"
-#include "analysis/report.hpp"
 #include "apps/genidlest/genidlest.hpp"
 #include "apps/msap/msap.hpp"
-#include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
-#include "io/bench_json.hpp"
-#include "io/format.hpp"
 #include "machine/machine.hpp"
-#include "perfdmf/repository.hpp"
-#include "perfdmf/snapshot.hpp"
-#include "provenance/explanation.hpp"
-#include "rules/rulebases.hpp"
-#include "script/bindings.hpp"
+#include "perfknow.hpp"
 
 namespace perfknow::tools {
 
@@ -58,6 +48,18 @@ constexpr CommandUsage kCommands[] = {
      "pkx <repo-dir> bench2pkb <app> <exp> <version> <bench.json>..."
      " [--predecessor <version>]"},
     {"prune", "pkx <repo-dir> prune <app> <exp> --keep <n>"},
+    {"serve",
+     "pkx serve <socket> [--repo <dir>] [--rules <dir>] [--workers <n>]\n"
+     "    [--queue <n>] [--client-queue <n>] [--budget <bytes>]"
+     " [--trace <file>]"},
+    {"client",
+     "pkx client <socket> ping | stats | selfdiagnose\n"
+     "  pkx client <socket> upload <app> <exp> <file> [--version <v>]"
+     " [--predecessor <p>]\n"
+     "  pkx client <socket> analyze|explain <app> <exp> <trial>"
+     " [--rulebase <name>]\n"
+     "  pkx client <socket> diff <app> <exp> <base> <current>"
+     " [--band <fraction>]"},
 };
 
 /// Full usage (unknown/missing subcommand) -> exit 2.
@@ -290,9 +292,19 @@ int cmd_diff(const pk::perfdmf::Repository& repo,
     } else if (args[i] == "--metric") {
       options.metrics.push_back(args[i + 1]);
     } else if (args[i] == "--band") {
+      // Reject non-numeric, zero, and negative bands with a diagnostic
+      // (DiffOptions::validate applies the same rule to API callers).
       try {
         options.noise_band = pk::strings::parse_double(args[i + 1]);
       } catch (const pk::ParseError&) {
+        err << "pkx diff: --band must be a positive number, got '"
+            << args[i + 1] << "'\n";
+        return usage_for("diff", err);
+      }
+      if (!std::isfinite(options.noise_band) ||
+          options.noise_band <= 0.0) {
+        err << "pkx diff: --band must be a positive number, got '"
+            << args[i + 1] << "'\n";
         return usage_for("diff", err);
       }
     } else {
@@ -434,10 +446,176 @@ int cmd_prune(const std::string& repo_dir,
   return 0;
 }
 
+// ---- analysis as a service ---------------------------------------------
+
+/// Set by SIGTERM/SIGINT; polled by cmd_serve's run loop (signal
+/// handlers must not touch the Server directly).
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void serve_signal(int) { g_serve_stop = 1; }
+
+int cmd_serve(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  // pkx serve <socket> [flags]
+  pk::server::ServerOptions options;
+  options.socket_path = args[1];
+  std::string trace_path;
+  if ((args.size() - 2) % 2 != 0) return usage_for("serve", err);
+  for (std::size_t i = 2; i + 1 < args.size(); i += 2) {
+    const std::string& flag = args[i];
+    const std::string& value = args[i + 1];
+    try {
+      if (flag == "--repo") {
+        options.repository_dir = value;
+      } else if (flag == "--rules") {
+        options.rules_path = value;
+      } else if (flag == "--workers") {
+        options.workers =
+            static_cast<std::size_t>(pk::strings::parse_int(value));
+      } else if (flag == "--queue") {
+        options.queue_limit =
+            static_cast<std::size_t>(pk::strings::parse_int(value));
+      } else if (flag == "--client-queue") {
+        options.client_queue_limit =
+            static_cast<std::size_t>(pk::strings::parse_int(value));
+      } else if (flag == "--budget") {
+        options.client_byte_budget =
+            static_cast<std::size_t>(pk::strings::parse_int(value));
+      } else if (flag == "--trace") {
+        trace_path = value;
+      } else {
+        return usage_for("serve", err);
+      }
+    } catch (const pk::ParseError&) {
+      err << "pkx serve: " << flag << " must be a number, got '" << value
+          << "'\n";
+      return usage_for("serve", err);
+    }
+  }
+
+  pk::server::Server server(std::move(options));
+  g_serve_stop = 0;
+  std::signal(SIGINT, serve_signal);
+  std::signal(SIGTERM, serve_signal);
+  // The "listening" line is the readiness handshake scripts wait for.
+  out << "pkx serve: listening on " << server.options().socket_path.string()
+      << " (" << server.options().workers << " workers, queue "
+      << server.options().queue_limit << ")\n";
+  out.flush();
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+  // The serving counters are ordinary telemetry, so the daemon's whole
+  // run exports as a Chrome trace like any analysis would.
+  if (!trace_path.empty()) {
+    std::ofstream trace(trace_path);
+    if (!trace) {
+      err << "pkx serve: cannot write trace to " << trace_path << "\n";
+      return 1;
+    }
+    pk::telemetry::write_chrome_trace(pk::telemetry::snapshot(), trace);
+    out << "pkx serve: telemetry trace written to " << trace_path << "\n";
+  }
+  const auto s = server.stats();
+  out << "pkx serve: drained (" << s.requests << " requests, "
+      << s.executed << " executed, " << s.rejected_overload
+      << " rejected overloaded, " << s.rejected_budget
+      << " rejected over budget, " << s.uploads << " uploads)\n";
+  return 0;
+}
+
+int cmd_client(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  // pkx client <socket> <verb> ...
+  if (args.size() < 3) return usage_for("client", err);
+  const std::string& verb = args[2];
+  pk::server::Client client(args[1]);
+  pk::server::Client::Response r;
+
+  if (verb == "ping" || verb == "stats" || verb == "selfdiagnose") {
+    if (args.size() != 3) return usage_for("client", err);
+    r = client.call(verb);
+  } else if (verb == "upload") {
+    if (args.size() < 6 || (args.size() - 6) % 2 != 0) {
+      return usage_for("client", err);
+    }
+    std::string version;
+    std::string predecessor;
+    for (std::size_t i = 6; i + 1 < args.size(); i += 2) {
+      if (args[i] == "--version") version = args[i + 1];
+      else if (args[i] == "--predecessor") predecessor = args[i + 1];
+      else return usage_for("client", err);
+    }
+    r = client.upload_file(args[3], args[4], args[5], version,
+                           predecessor);
+  } else if (verb == "analyze" || verb == "explain") {
+    if (args.size() < 6 || (args.size() - 6) % 2 != 0) {
+      return usage_for("client", err);
+    }
+    std::string params =
+        "{\"application\":" + pk::json::quote(args[3]) +
+        ",\"experiment\":" + pk::json::quote(args[4]) +
+        ",\"trial\":" + pk::json::quote(args[5]);
+    for (std::size_t i = 6; i + 1 < args.size(); i += 2) {
+      if (args[i] == "--rulebase") {
+        params += ",\"rulebase\":" + pk::json::quote(args[i + 1]);
+      } else {
+        return usage_for("client", err);
+      }
+    }
+    r = client.call(verb, params + "}");
+  } else if (verb == "diff") {
+    if (args.size() < 7 || (args.size() - 7) % 2 != 0) {
+      return usage_for("client", err);
+    }
+    std::string params =
+        "{\"application\":" + pk::json::quote(args[3]) +
+        ",\"experiment\":" + pk::json::quote(args[4]) +
+        ",\"base\":" + pk::json::quote(args[5]) +
+        ",\"current\":" + pk::json::quote(args[6]);
+    for (std::size_t i = 7; i + 1 < args.size(); i += 2) {
+      if (args[i] == "--band") {
+        try {
+          params += ",\"band\":" + pk::json::number(
+                                       pk::strings::parse_double(args[i + 1]));
+        } catch (const pk::ParseError&) {
+          err << "pkx client: --band must be a positive number, got '"
+              << args[i + 1] << "'\n";
+          return usage_for("client", err);
+        }
+      } else {
+        return usage_for("client", err);
+      }
+    }
+    r = client.call("diff", params + "}");
+  } else {
+    return usage_for("client", err);
+  }
+
+  // Streamed lines verbatim (JSON lines a pipeline can consume), then
+  // the terminal result; errors map onto the pkx exit-code contract.
+  for (const auto& ev : r.events) out << ev.line << "\n";
+  if (!r.ok()) {
+    err << "pkx client: " << pk::server::wire::to_string(r.error) << ": "
+        << r.error_message << "\n";
+    return pk::server::wire::exit_code(r.error);
+  }
+  out << r.result << "\n";
+  if (verb == "diff" &&
+      r.result.find("\"regression\":true") != std::string::npos) {
+    return 3;  // same gate verdict as in-process `pkx diff`
+  }
+  return 0;
+}
+
 }  // namespace
 
 int pkx_main(const std::vector<std::string>& args, std::ostream& out,
              std::ostream& err) {
+  // Remembered across the try so InvalidArgumentError can print the
+  // failing subcommand's usage.
+  std::string cmd;
   try {
     if (!args.empty() && args[0] == "demo") {
       if (args.size() != 2) return usage_for("demo", err);
@@ -449,8 +627,17 @@ int pkx_main(const std::vector<std::string>& args, std::ostream& out,
       }
       return usage_for("explain", err);
     }
+    if (!args.empty() && args[0] == "serve") {
+      cmd = "serve";
+      if (args.size() < 2) return usage_for("serve", err);
+      return cmd_serve(args, out, err);
+    }
+    if (!args.empty() && args[0] == "client") {
+      cmd = "client";
+      return cmd_client(args, out, err);
+    }
     if (args.size() < 2) return usage(err);
-    const std::string& cmd = args[1];
+    cmd = args[1];
 
     // bench2pkb creates the repository on first ingest, so it opens (or
     // not) for itself before the common load below.
@@ -541,6 +728,13 @@ int pkx_main(const std::vector<std::string>& args, std::ostream& out,
       return 0;
     }
     return usage(err);
+  } catch (const pk::InvalidArgumentError& e) {
+    // Field-naming validation errors (SessionOptions/DiffOptions/
+    // ServerOptions::validate and friends) are usage errors: exit 2
+    // with the failing subcommand's usage, like any other bad flag.
+    err << "pkx: " << e.what() << "\n";
+    usage_for(cmd, err);
+    return 2;
   } catch (const pk::Error& e) {
     err << "pkx: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,245 @@
+// Concurrency stress: many AnalysisSessions against ONE shared attached
+// repository, mixing scripted analysis, direct rule evaluation
+// (server::run_analysis) and differential analysis (server::run_diff).
+// Run under TSan by the CI tsan job. The oracle is determinism: every
+// worker's rendered output — diagnosis lines AND proof trees — must be
+// byte-identical to the same work item run serially.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/msap/msap.hpp"
+#include "io/bench_json.hpp"
+#include "machine/machine.hpp"
+#include "perfknow.hpp"
+
+namespace pk = perfknow;
+namespace fs = std::filesystem;
+
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = fs::temp_directory_path() /
+           ("perfknow_concurrent_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    fs::create_directories(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] const fs::path& path() const { return dir_; }
+
+ private:
+  fs::path dir_;
+  static inline int counter_ = 0;
+};
+
+fs::path write_bench_json(const fs::path& file, double parse_us) {
+  std::ofstream os(file);
+  os << "{\n  \"context\": {\"host_name\": \"ci\"},\n"
+     << "  \"benchmarks\": [\n"
+     << "    {\"name\": \"BM_Parse\", \"run_type\": \"iteration\","
+     << " \"iterations\": 100, \"real_time\": " << parse_us
+     << ", \"cpu_time\": " << parse_us << ", \"time_unit\": \"us\"},\n"
+     << "    {\"name\": \"BM_Match\", \"run_type\": \"iteration\","
+     << " \"iterations\": 100, \"real_time\": 45.0, \"cpu_time\": 45.0,"
+     << " \"time_unit\": \"us\"}\n"
+     << "  ]\n}\n";
+  return file;
+}
+
+/// Builds the on-disk repository every worker shares: the MSAP schedule
+/// study (imbalanced static run fires the load-balance rules) plus a
+/// two-version benchmark history with a planted 2x regression.
+void build_repository(const fs::path& repo_dir, const fs::path& scratch) {
+  pk::perfdmf::Repository repo;
+  for (const bool dynamic : {false, true}) {
+    pk::machine::Machine m(pk::machine::MachineConfig::altix300());
+    pk::apps::msap::MsapConfig cfg;
+    cfg.threads = 16;
+    cfg.schedule = dynamic ? pk::runtime::Schedule::dynamic(1)
+                           : pk::runtime::Schedule::static_even();
+    auto r = pk::apps::msap::run_msap(m, cfg);
+    repo.put("MSAP", "schedules",
+             std::make_shared<pk::profile::Trial>(std::move(r.trial)));
+  }
+  repo.put_version("perfknow", "bench",
+                   std::make_shared<pk::profile::Trial>(
+                       pk::io::trial_from_benchmark_files(
+                           {write_bench_json(scratch / "v1.json", 120.0)},
+                           "v1")));
+  repo.put_version("perfknow", "bench",
+                   std::make_shared<pk::profile::Trial>(
+                       pk::io::trial_from_benchmark_files(
+                           {write_bench_json(scratch / "v2.json", 240.0)},
+                           "v2")));
+  repo.save(repo_dir);
+}
+
+constexpr const char* kScript = R"(
+ruleHarness = RuleHarness.useGlobalRules("openuh/OpenUHRules.drl")
+trial = TrialMeanResult(Utilities.getTrial("MSAP", "schedules",
+                                           "msap_static_16t"))
+n = assertLoadBalanceFacts(trial)
+print("facts: " + str(n))
+print("fired: " + str(ruleHarness.processRules()))
+)";
+
+/// One worker's unit of work against the shared repository; returns the
+/// full rendered output (script echo, diagnoses, proof trees) as one
+/// string for byte comparison.
+std::string run_item(pk::perfdmf::Repository& repo, int kind) {
+  std::string out;
+  switch (kind % 3) {
+    case 0: {  // scripted analysis (the paper's Fig. 1 loop)
+      pk::script::AnalysisSession session(pk::script::SessionOptions{&repo});
+      session.run(kScript);
+      for (const auto& line : session.output()) out += line + "\n";
+      for (const auto& d : session.harness().diagnoses()) {
+        out += d.to_string() + "\n";
+      }
+      break;
+    }
+    case 1: {  // direct analysis with full provenance
+      pk::server::AnalyzeParams params;
+      params.application = "MSAP";
+      params.experiment = "schedules";
+      params.trial = "msap_static_16t";
+      pk::rules::RuleHarness harness;
+      for (const auto& d :
+           pk::server::run_analysis(repo, params, {}, harness)) {
+        out += d.to_string() + "\n";
+        if (d.provenance) out += pk::provenance::to_text(*d.provenance);
+      }
+      break;
+    }
+    default: {  // differential analysis across the version history
+      pk::server::DiffParams params;
+      params.application = "perfknow";
+      params.experiment = "bench";
+      params.base = "v1";
+      params.current = "v2";
+      pk::rules::RuleHarness harness;
+      const auto outcome = pk::server::run_diff(repo, params, harness);
+      out += outcome.regression ? "regression\n" : "clean\n";
+      for (const auto& d : outcome.diagnoses) {
+        out += d.to_string() + "\n";
+        if (d.provenance) out += pk::provenance::to_text(*d.provenance);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(ConcurrentSessions, MixedWorkloadMatchesSerialByteForByte) {
+  TempDir scratch;
+  const fs::path repo_dir = scratch.path() / "repo";
+  build_repository(repo_dir, scratch.path());
+
+  constexpr int kWorkers = 8;
+  constexpr int kRoundsPerWorker = 3;
+
+  // Serial baseline: every (worker, round) item against its own
+  // freshly attached repository, one at a time.
+  std::vector<std::string> expected(kWorkers * kRoundsPerWorker);
+  {
+    auto repo = pk::perfdmf::Repository::attach(repo_dir);
+    for (int w = 0; w < kWorkers; ++w) {
+      for (int r = 0; r < kRoundsPerWorker; ++r) {
+        expected[static_cast<std::size_t>(w * kRoundsPerWorker + r)] =
+            run_item(repo, w + r);
+      }
+    }
+  }
+  ASSERT_FALSE(expected[0].empty());
+  ASSERT_NE(expected[0].find("fired:"), std::string::npos);
+
+  // Concurrent: ONE attached repository shared by all workers. A small
+  // cache budget keeps the demand-load cache churning (load + evict
+  // races are the interesting part under TSan).
+  auto shared = pk::perfdmf::Repository::attach(repo_dir,
+                                                /*cache_budget=*/1 << 16);
+  std::vector<std::string> actual(kWorkers * kRoundsPerWorker);
+  std::vector<std::string> errors(kWorkers);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      try {
+        for (int r = 0; r < kRoundsPerWorker; ++r) {
+          actual[static_cast<std::size_t>(w * kRoundsPerWorker + r)] =
+              run_item(shared, w + r);
+        }
+      } catch (const std::exception& e) {
+        errors[static_cast<std::size_t>(w)] = e.what();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int w = 0; w < kWorkers; ++w) {
+    EXPECT_TRUE(errors[static_cast<std::size_t>(w)].empty())
+        << "worker " << w << ": " << errors[static_cast<std::size_t>(w)];
+  }
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "item " << i;
+  }
+}
+
+TEST(ConcurrentSessions, ServerSharesOneRepositoryAcrossUploadsAndReads) {
+  // The daemon-side variant of the same property: concurrent uploads
+  // (exclusive lock) interleaved with analyses (shared lock) on one
+  // Server must neither race nor cross results between clients. Kept
+  // here so the tsan job covers the server's locking too.
+  TempDir scratch;
+  pk::server::ServerOptions opt;
+  opt.socket_path = fs::temp_directory_path() /
+                    ("pkx_tsan_" + std::to_string(::getpid()) + ".sock");
+  opt.workers = 4;
+  pk::server::Server server(opt);
+
+  const auto v1 = write_bench_json(scratch.path() / "v1.json", 120.0);
+  const auto v2 = write_bench_json(scratch.path() / "v2.json", 240.0);
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::string> errors(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        const std::string app = "app" + std::to_string(c);
+        pk::server::Client client(opt.socket_path);
+        for (const char* round : {"v1", "v2"}) {
+          const auto& file = round[1] == '1' ? v1 : v2;
+          auto up = client.upload_file(app, "bench", file, round);
+          if (!up.ok()) throw pk::Error("upload: " + up.error_message);
+        }
+        auto diff = client.call(
+            "diff", "{\"application\":\"" + app +
+                        "\",\"experiment\":\"bench\",\"base\":\"v1\","
+                        "\"current\":\"v2\"}");
+        if (!diff.ok()) throw pk::Error("diff: " + diff.error_message);
+        if (diff.result.find("\"regression\":true") == std::string::npos) {
+          throw pk::Error("missing regression: " + diff.result);
+        }
+      } catch (const std::exception& e) {
+        errors[static_cast<std::size_t>(c)] = e.what();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(errors[static_cast<std::size_t>(c)].empty())
+        << "client " << c << ": " << errors[static_cast<std::size_t>(c)];
+  }
+  server.stop();
+}

@@ -126,6 +126,18 @@ TEST(PkxUsage, UnknownAndMissingArgsExitTwoWithSubcommandUsage) {
   const auto band = pkx({dir.path().string(), "diff", "a", "b", "v1",
                          "v2", "--band", "wide"});
   EXPECT_EQ(band.code, 2);
+  EXPECT_NE(band.err.find("--band must be a positive number"),
+            std::string::npos);
+  // A band of zero would classify every cell as both regressed and
+  // improved; zero and negative get the same diagnostic as non-numeric.
+  for (const char* bad : {"0", "-0.25"}) {
+    const auto r = pkx({dir.path().string(), "diff", "a", "b", "v1", "v2",
+                        "--band", bad});
+    EXPECT_EQ(r.code, 2) << bad;
+    EXPECT_NE(r.err.find("--band must be a positive number"),
+              std::string::npos)
+        << r.err;
+  }
   const auto keep = pkx(
       {dir.path().string(), "prune", "a", "b", "--keep", "lots"});
   EXPECT_EQ(keep.code, 2);
