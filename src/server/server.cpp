@@ -4,10 +4,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <thread>
 
 #include "analysis/facts.hpp"
 #include "common/error.hpp"
@@ -186,6 +189,31 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
     throw IoError("pkx serve: listen(): " + why);
   }
 
+  // Upload bodies are staged under a private 0700 directory (mkdtemp),
+  // not at predictable names in the shared temp dir: staged trial data
+  // stays unreadable to other local users, and nobody can pre-plant a
+  // symlink where the daemon is about to write.
+  {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "pkx-serve-XXXXXX")
+            .string();
+    if (::mkdtemp(tmpl.data()) == nullptr) {
+      const std::string why = std::strerror(errno);
+      ::close(listen_fd_.exchange(-1));
+      ::unlink(options_.socket_path.c_str());
+      throw IoError("pkx serve: cannot create staging directory under " +
+                    std::filesystem::temp_directory_path().string() + ": " +
+                    why);
+    }
+    staging_dir_ = tmpl;
+  }
+
+  // The longest legitimate line is an upload envelope: base64 expands
+  // the byte budget 4/3, plus slack for the JSON framing. Anything
+  // longer is a flood that admission control would never accept.
+  max_line_bytes_ =
+      options_.client_byte_budget / 3 * 4 + (std::size_t{64} << 10);
+
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -223,19 +251,30 @@ void Server::stop() {
     if (w.joinable()) w.join();
   }
 
-  // Unblock every reader and join them.
+  // Unblock every reader, take ownership of the live threads plus any
+  // already-parked zombies, and join them all.
+  std::vector<std::thread> readers;
   {
     std::lock_guard<std::mutex> lock(conns_mutex_);
     for (const auto& conn : conns_) {
+      std::lock_guard<std::mutex> wlock(conn->write_mutex);
       if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+      if (conn->reader.joinable()) {
+        readers.push_back(std::move(conn->reader));
+      }
     }
+    for (auto& z : zombie_readers_) readers.push_back(std::move(z));
+    zombie_readers_.clear();
   }
-  for (auto& r : readers_) {
+  for (auto& r : readers) {
     if (r.joinable()) r.join();
   }
   {
     std::lock_guard<std::mutex> lock(conns_mutex_);
+    // Readers close their own fd on the way out; anything still open
+    // here lost that race and is closed now.
     for (const auto& conn : conns_) {
+      std::lock_guard<std::mutex> wlock(conn->write_mutex);
       if (conn->fd >= 0) {
         ::close(conn->fd);
         conn->fd = -1;
@@ -244,6 +283,10 @@ void Server::stop() {
     conns_.clear();
   }
   ::unlink(options_.socket_path.c_str());
+  if (!staging_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(staging_dir_, ec);
+  }
 
   {
     std::lock_guard<std::mutex> lock(stop_mutex_);
@@ -276,10 +319,24 @@ ServerStats Server::stats() const {
 
 void Server::accept_loop() {
   while (!stopping_.load()) {
+    reap_readers();
     const int fd = ::accept(listen_fd_.load(), nullptr, nullptr);
     if (fd < 0) {
+      if (stopping_.load()) break;  // listen fd closed by stop()
       if (errno == EINTR) continue;
-      break;  // listen fd closed by stop()
+      // Transient resource pressure (fd exhaustion, aborted handshake,
+      // momentary memory shortage) must not kill the accept loop — the
+      // daemon would sit alive but permanently deaf. Back off briefly
+      // and keep accepting.
+      if (errno == EMFILE || errno == ENFILE || errno == ECONNABORTED ||
+          errno == ENOMEM || errno == ENOBUFS || errno == EAGAIN) {
+        static telemetry::Counter& deferred =
+            telemetry::counter("server.accept_deferred");
+        deferred.add();
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      break;  // unrecoverable (EBADF, EINVAL, ...)
     }
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
@@ -293,14 +350,28 @@ void Server::accept_loop() {
       return;
     }
     conns_.push_back(conn);
-    readers_.emplace_back([this, conn] { reader_loop(conn); });
+    // Assigned under conns_mutex_, which the reader must take before it
+    // can touch conn->reader on exit, so the handle is always in place.
+    conn->reader = std::thread([this, conn] { reader_loop(conn); });
+  }
+}
+
+void Server::reap_readers() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    done.swap(zombie_readers_);
+  }
+  for (auto& t : done) {
+    if (t.joinable()) t.join();
   }
 }
 
 void Server::reader_loop(ConnectionPtr conn) {
   std::string buffer;
   char chunk[4096];
-  while (!stopping_.load()) {
+  bool overflow = false;
+  while (!stopping_.load() && !overflow) {
     const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
@@ -309,10 +380,15 @@ void Server::reader_loop(ConnectionPtr conn) {
     buffer.append(chunk, static_cast<std::size_t>(n));
     std::size_t start = 0;
     for (std::size_t nl = buffer.find('\n', start);
-         nl != std::string::npos; nl = buffer.find('\n', start)) {
+         nl != std::string::npos && !overflow;
+         nl = buffer.find('\n', start)) {
       std::string line = buffer.substr(start, nl - start);
       start = nl + 1;
       if (line.empty()) continue;
+      if (line.size() > max_line_bytes_) {
+        overflow = true;
+        break;
+      }
       requests_.fetch_add(1, std::memory_order_relaxed);
       static telemetry::Counter& requests =
           telemetry::counter("server.requests");
@@ -324,6 +400,41 @@ void Server::reader_loop(ConnectionPtr conn) {
       }
     }
     buffer.erase(0, start);
+    // All admission limits act on parsed lines; without this cap a
+    // client could stream unbounded bytes with no newline and run the
+    // server out of memory before any limit applies.
+    if (buffer.size() > max_line_bytes_) overflow = true;
+    if (overflow) {
+      static telemetry::Counter& oversized =
+          telemetry::counter("server.rejected.oversized_line");
+      oversized.add();
+      send_error(*conn, "", wire::ErrorCode::kBadRequest,
+                 "request line exceeds " + std::to_string(max_line_bytes_) +
+                     " bytes; closing connection");
+    }
+  }
+
+  // Reader-owned teardown: close the fd and drop the Connection from
+  // the live set so neither accumulates across peer disconnects, then
+  // park this thread's handle for reaping (a thread cannot join
+  // itself). Queued jobs keep the Connection alive via shared_ptr;
+  // their sends see fd < 0 and become no-ops.
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  if (const auto it = std::find(conns_.begin(), conns_.end(), conn);
+      it != conns_.end()) {
+    conns_.erase(it);
+  }
+  // During stop() the handle may already have been claimed for joining;
+  // only park it if it is still ours.
+  if (conn->reader.joinable()) {
+    zombie_readers_.push_back(std::move(conn->reader));
   }
 }
 
@@ -381,9 +492,12 @@ void Server::dispatch(const ConnectionPtr& conn, wire::Request req) {
                "server is shutting down");
     return;
   }
+  std::uint64_t upload_charge = 0;
   if (req.method == "upload") {
     // Charge the (estimated) decoded size at admission so a client
     // cannot queue itself past its budget; the worker never uncharges.
+    // Only admission itself may refund: an upload turned away at the
+    // queue (below) stored nothing, so it must not consume budget.
     const std::string body = optional_string(req.params, "body");
     const std::uint64_t decoded = body.size() / 4 * 3;
     const std::uint64_t already =
@@ -400,6 +514,7 @@ void Server::dispatch(const ConnectionPtr& conn, wire::Request req) {
                      " bytes exhausted for this connection");
       return;
     }
+    upload_charge = decoded;
   }
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -407,6 +522,10 @@ void Server::dispatch(const ConnectionPtr& conn, wire::Request req) {
         conn->in_flight.load(std::memory_order_relaxed);
     if (queue_.size() >= options_.queue_limit ||
         mine >= options_.client_queue_limit) {
+      if (upload_charge > 0) {
+        conn->uploaded_bytes.fetch_sub(upload_charge,
+                                       std::memory_order_relaxed);
+      }
       rejected_overload_.fetch_add(1, std::memory_order_relaxed);
       static telemetry::Counter& rejected =
           telemetry::counter("server.rejected.overload");
@@ -483,12 +602,13 @@ void Server::do_upload(const ConnectionPtr& conn,
 
   // io::open_trial is the file-level front door (it owns format
   // sniffing and file-naming diagnostics), so the decoded body makes a
-  // brief stop on disk.
+  // brief stop on disk — inside the server-private 0700 staging
+  // directory, where other local users can neither read it nor
+  // pre-plant a symlink at the target name.
   static std::atomic<std::uint64_t> upload_seq{0};
   const std::filesystem::path tmp =
-      std::filesystem::temp_directory_path() /
-      ("pkx-serve-upload-" + std::to_string(::getpid()) + "-" +
-       std::to_string(upload_seq.fetch_add(1)) + ".bin");
+      staging_dir_ / ("upload-" + std::to_string(upload_seq.fetch_add(1)) +
+                      ".bin");
   {
     std::ofstream os(tmp, std::ios::binary);
     if (!os) {

@@ -9,7 +9,10 @@
 //
 // Concurrency model:
 //   * one accept thread, one reader thread per connection, a fixed pool
-//     of worker threads draining a bounded job queue;
+//     of worker threads draining a bounded job queue; a reader whose
+//     peer disconnects closes the fd, drops the Connection, and parks
+//     its thread for reaping, so a long-running daemon does not leak
+//     fds or threads across connections;
 //   * "ping" and "stats" are answered inline by the reader thread so
 //     health checks keep working while the queue is saturated;
 //   * the shared repository is guarded by a readers/writer lock —
@@ -196,9 +199,13 @@ class Server {
   struct Connection {
     int fd = -1;
     std::uint64_t id = 0;
-    std::mutex write_mutex;            ///< serializes whole lines
+    std::mutex write_mutex;            ///< serializes whole lines, guards fd
     std::atomic<std::size_t> in_flight{0};
     std::atomic<std::uint64_t> uploaded_bytes{0};
+    /// This connection's reader thread. On exit the reader moves the
+    /// handle into zombie_readers_ (it cannot join itself); stop() and
+    /// accept_loop() join zombies from there.
+    std::thread reader;
   };
   using ConnectionPtr = std::shared_ptr<Connection>;
 
@@ -211,6 +218,10 @@ class Server {
   void accept_loop();
   void reader_loop(ConnectionPtr conn);
   void worker_loop();
+
+  /// Joins reader threads parked in zombie_readers_ (called by the
+  /// accept loop between accepts, and by stop()).
+  void reap_readers();
 
   /// Handles one parsed request on the reader thread: answers ping /
   /// stats inline, otherwise admits into the queue or rejects.
@@ -242,7 +253,22 @@ class Server {
 
   std::mutex conns_mutex_;
   std::vector<ConnectionPtr> conns_;
-  std::vector<std::thread> readers_;
+  /// Reader threads whose connection has closed, waiting to be joined
+  /// (by accept_loop on the next accept, or by stop()). Guarded by
+  /// conns_mutex_.
+  std::vector<std::thread> zombie_readers_;
+
+  /// Server-private 0700 directory (mkdtemp) where upload bodies are
+  /// staged before io::open_trial; removed on stop(). Keeps staged
+  /// trial data unreadable to other users and defeats symlink planting
+  /// at predictable temp paths.
+  std::filesystem::path staging_dir_;
+
+  /// Hard cap on one request line, derived from client_byte_budget
+  /// (base64 expansion plus envelope slack). A connection that streams
+  /// past it without a newline gets bad_request and is closed, so an
+  /// unframed flood cannot bypass admission control.
+  std::size_t max_line_bytes_ = 0;
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;

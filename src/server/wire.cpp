@@ -238,7 +238,11 @@ std::string base64_decode(std::string_view text) {
       out += static_cast<char>((acc >> bits) & 0xFF);
     }
   }
-  if (pad > 2 || (bits != 0 && (acc & ((1u << bits) - 1)) != 0)) {
+  // A dangling 6-bit group (non-padding length of 1 mod 4, bits == 6)
+  // can never encode a whole byte and is truncated input even when the
+  // leftover bits happen to be zero.
+  if (pad > 2 || bits == 6 ||
+      (bits != 0 && (acc & ((1u << bits) - 1)) != 0)) {
     throw WireError(ErrorCode::kBadRequest,
                     "base64 body: truncated or over-padded input");
   }

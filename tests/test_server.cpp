@@ -8,6 +8,7 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -147,7 +148,7 @@ TEST(Wire, ErrorTaxonomyRoundTripsAndMapsExceptions) {
 }
 
 TEST(Wire, Base64RoundTripsAndRejectsGarbage) {
-  for (const std::string s :
+  for (const std::string& s :
        {std::string(), std::string("a"), std::string("ab"),
         std::string("abc"), std::string("hello world"),
         std::string("\x00\xff\x7f\x01", 4)}) {
@@ -157,6 +158,10 @@ TEST(Wire, Base64RoundTripsAndRejectsGarbage) {
   EXPECT_THROW((void)wire::base64_decode("QQ=="
                                          "QQ=="),
                wire::WireError);
+  // A dangling 6-bit group (non-padding length of 1 mod 4) is truncated
+  // input even when its leftover bits happen to be zero ('A' == 0).
+  EXPECT_THROW((void)wire::base64_decode("A"), wire::WireError);
+  EXPECT_THROW((void)wire::base64_decode("QQQQA"), wire::WireError);
 }
 
 TEST(Wire, ResponseLinesCarryEnvelopeAndEscapeStrings) {
@@ -412,6 +417,164 @@ TEST(ServerDaemon, UploadBudgetIsEnforcedPerConnection) {
   Client again(opt.socket_path);
   EXPECT_EQ(again.call("ping").ok(), true);
   EXPECT_FALSE(again.upload_file("perfknow", "bench", cur, "v2").ok());
+  server.stop();
+}
+
+namespace {
+/// Open descriptors of this process (Linux procfs).
+std::size_t open_fd_count() {
+  std::size_t n = 0;
+  for ([[maybe_unused]] const auto& e :
+       fs::directory_iterator("/proc/self/fd")) {
+    ++n;
+  }
+  return n;
+}
+}  // namespace
+
+TEST(ServerDaemon, DisconnectedClientsDoNotLeakFdsOrStallAccept) {
+  if (!fs::exists("/proc/self/fd")) GTEST_SKIP() << "no procfs";
+  ServerOptions opt;
+  opt.socket_path = socket_path();
+  Server server(opt);
+
+  {
+    Client warm(opt.socket_path);
+    ASSERT_TRUE(warm.call("ping").ok());
+  }
+  const std::size_t baseline = open_fd_count();
+
+  // Churn connections: each reader must close its fd and drop its
+  // Connection when the peer disconnects, or a long-running daemon
+  // leaks one fd + one thread per client until accept() hits EMFILE.
+  constexpr int kChurn = 32;
+  for (int i = 0; i < kChurn; ++i) {
+    Client c(opt.socket_path);
+    ASSERT_TRUE(c.call("ping").ok());
+  }
+  // Reader teardown is asynchronous; poll until the fd count returns
+  // to (at most) the baseline, with slack for one mid-teardown reader.
+  std::size_t fds = open_fd_count();
+  for (int i = 0; i < 500 && fds > baseline + 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    fds = open_fd_count();
+  }
+  EXPECT_LE(fds, baseline + 1)
+      << "reader teardown leaked fds across " << kChurn << " disconnects";
+
+  // And the daemon still accepts (this also reaps parked reader threads).
+  Client again(opt.socket_path);
+  EXPECT_TRUE(again.call("ping").ok());
+  EXPECT_GE(server.stats().connections, static_cast<std::uint64_t>(kChurn));
+  server.stop();
+}
+
+TEST(ServerDaemon, UnframedFloodGetsBadRequestAndTheConnectionClosed) {
+  ServerOptions opt;
+  opt.socket_path = socket_path();
+  opt.client_byte_budget = 1024;  // line cap ~= 64 KiB slack + 4/3 * this
+  Server server(opt);
+
+  Client flood(opt.socket_path);
+  // Far past the per-line cap: the server must cut the connection off
+  // instead of buffering an unframed stream without bound.
+  const std::string big(200 * 1024, 'x');
+  try {
+    flood.send_line(big);
+  } catch (const pk::IoError&) {
+    // The server may close mid-send; the flood still has to be refused.
+  }
+  bool bad_request = false;
+  bool closed = false;
+  try {
+    for (;;) {
+      if (flood.read_line().find("\"code\":\"bad_request\"") !=
+          std::string::npos) {
+        bad_request = true;
+      }
+    }
+  } catch (const pk::IoError&) {
+    closed = true;  // EOF: the server hung up on the flooding client
+  }
+  EXPECT_TRUE(bad_request) << "no bad_request line before the close";
+  EXPECT_TRUE(closed);
+
+  // The daemon itself is unharmed.
+  Client again(opt.socket_path);
+  EXPECT_TRUE(again.call("ping").ok());
+  server.stop();
+}
+
+TEST(ServerDaemon, OverloadRejectedUploadsDoNotConsumeBudget) {
+  TempDir scratch;
+  ServerOptions opt;
+  opt.socket_path = socket_path();
+  opt.workers = 1;
+  opt.queue_limit = 1;
+  opt.client_queue_limit = 16;
+
+  const auto file = write_bench_json(scratch.path() / "t.json",
+                                     {{"BM_Parse", 120.0}});
+  std::string bytes;
+  {
+    std::ifstream is(file, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is), {});
+  }
+  const std::string body = wire::base64_encode(bytes);
+  // The admission charge per upload, as the server estimates it.
+  const std::size_t charge = body.size() / 4 * 3;
+  opt.client_byte_budget = charge * 10;  // room for exactly 10 stored
+  Server server(opt);
+
+  Client client(opt.socket_path);
+  int seq = 0;
+  const auto upload_params = [&] {
+    return "{\"application\":\"perfknow\",\"experiment\":\"bench\","
+           "\"trial\":\"t" +
+           std::to_string(seq++) + "\",\"body\":" + pk::json::quote(body) +
+           "}";
+  };
+
+  // Stuff the single worker and depth-1 queue with selfdiagnose jobs,
+  // then fire uploads at the full queue: the "overloaded" rejections
+  // must refund the admission charge, or retrying clients burn their
+  // budget without storing anything.
+  int stored = 0;
+  int overloaded = 0;
+  int spurious_budget = 0;
+  for (int round = 0; round < 60 && overloaded == 0 && stored <= 6;
+       ++round) {
+    std::vector<std::string> stuffers;
+    std::vector<std::string> uploads;
+    for (int i = 0; i < 4; ++i) stuffers.push_back(client.send("selfdiagnose"));
+    for (int i = 0; i < 4; ++i) {
+      uploads.push_back(client.send("upload", upload_params()));
+    }
+    for (const auto& id : stuffers) (void)client.collect(id);
+    for (const auto& id : uploads) {
+      const auto r = client.collect(id);
+      if (r.ok()) {
+        ++stored;
+      } else if (r.error == wire::ErrorCode::kOverloaded) {
+        ++overloaded;
+      } else if (r.error == wire::ErrorCode::kBudgetExceeded) {
+        ++spurious_budget;
+      }
+    }
+  }
+  EXPECT_GT(overloaded, 0) << "queue never saturated; nothing exercised";
+  EXPECT_EQ(spurious_budget, 0)
+      << "overload-rejected uploads consumed the byte budget";
+
+  // The refunded budget is genuinely available: fill all 10 slots...
+  for (; stored < 10; ++stored) {
+    const auto r = client.call("upload", upload_params());
+    ASSERT_TRUE(r.ok()) << r.error_message;
+  }
+  // ...and only the 11th hits the (still enforced) budget.
+  const auto over = client.call("upload", upload_params());
+  EXPECT_FALSE(over.ok());
+  EXPECT_EQ(over.error, wire::ErrorCode::kBudgetExceeded);
   server.stop();
 }
 
