@@ -20,9 +20,12 @@
 // artifact; naive variants are only registered at small sizes because
 // their joins are quadratic. CI gates (ci/check_bench.py):
 //
-//   BM_RulesIndexed/100000  >= 10x  BM_RulesBeta/100000
+//   BM_RulesIndexed/100000  >= 6x   BM_RulesBeta/100000
 //   BM_RulesIndexed/10000   within 2% of BM_RulesProvenanceOff/10000
 //   BM_RulesBeta/10000      within 2% of BM_RulesBetaProvenanceOff/10000
+//   BM_FactChurn/100000     >= 2x faster than the pinned pre-columnar
+//                           report (bench_fact_churn_pre.json),
+//                           geomean-normalized across the suite
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
@@ -114,6 +117,62 @@ void run_churn(benchmark::State& state, rl::MatchStrategy strategy) {
   state.counters["facts"] = static_cast<double>(n);
 }
 
+/// Storage-only churn: no rules, no matching — a bare WorkingMemory
+/// absorbing assert/retract/modify soup with the lazy alpha index kept
+/// warm by probes between waves, so what's timed is exactly the cost of
+/// fact storage and index maintenance. Seed facts get ids 1..n; the
+/// modify wave is retract + fresh assert, which is what
+/// RuleHarness::modify decomposes into.
+void run_fact_churn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto facts = perfknow::benchres::make_facts(n);
+  const std::size_t k = n / 100;
+  const rl::FactValue time_metric(std::string("TIME"));
+  std::size_t live = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto wm = std::make_unique<rl::WorkingMemory>();
+    for (const auto& f : facts) wm->assert_fact(f);
+    // Warm the lazy per-type and per-(field,value) indexes so every
+    // timed retract pays full index maintenance.
+    benchmark::DoNotOptimize(
+        wm->ids_with_field_value("MeanEventFact", "metric", time_metric)
+            .size());
+    benchmark::DoNotOptimize(wm->ids_of_type("MeanEventFact").size());
+    std::size_t churn_cycle = 0;
+    state.ResumeTiming();
+    for (std::size_t cycle = 0; cycle < 3; ++cycle) {
+      // Same deterministic id scheme as run_churn: each cycle consumes
+      // two fresh disjoint id ranges, so every target is still live.
+      const rl::FactId base = static_cast<rl::FactId>(2 * k * cycle);
+      for (std::size_t i = 0; i < k; ++i) {
+        wm->retract(base + static_cast<rl::FactId>(i) + 1);
+      }
+      for (std::size_t i = 0; i < k; ++i) {
+        wm->retract(base + static_cast<rl::FactId>(k + i) + 1);
+        wm->assert_fact(perfknow::benchres::make_churn_fact(churn_cycle, i));
+      }
+      ++churn_cycle;
+      for (std::size_t i = 0; i < k; ++i) {
+        wm->assert_fact(perfknow::benchres::make_churn_fact(churn_cycle, i));
+      }
+      ++churn_cycle;
+      // Re-probe so index catch-up / compaction lands in the timed
+      // region every cycle, like a matcher pass would force.
+      benchmark::DoNotOptimize(
+          wm->ids_with_field_value("MeanEventFact", "metric", time_metric)
+              .size());
+      benchmark::DoNotOptimize(wm->ids_of_type("MeanEventFact").size());
+    }
+    live = wm->size();
+    state.PauseTiming();
+    wm.reset();
+    state.ResumeTiming();
+  }
+  state.counters["facts"] = static_cast<double>(n);
+  state.counters["live"] = static_cast<double>(live);
+}
+
 void BM_RulesNaive(benchmark::State& state) {
   run_engine(state, rl::MatchStrategy::kNaive);
 }
@@ -149,6 +208,8 @@ void BM_RulesBetaProvenanceFull(benchmark::State& state) {
   run_engine(state, rl::MatchStrategy::kBeta,
              perfknow::provenance::ProvenanceMode::kFull);
 }
+
+void BM_FactChurn(benchmark::State& state) { run_fact_churn(state); }
 
 void BM_RulesChurnNaive(benchmark::State& state) {
   run_churn(state, rl::MatchStrategy::kNaive);
@@ -187,6 +248,11 @@ BENCHMARK(BM_RulesBetaProvenanceOff)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RulesBetaProvenanceFull)
     ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FactChurn)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RulesChurnNaive)->Arg(1000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RulesChurnIndexed)

@@ -32,6 +32,19 @@ the same machine, so no normalization is needed; this pins down claims
 like "PKB cold load is >= 5x faster than the text parse" instead of
 merely keeping the ratio from drifting. Repeatable.
 
+--require-speedup-vs-baseline NAME RATIO asserts a speedup *across*
+reports: benchmark NAME in the current report must be at least RATIO
+times faster than in the baseline, after the same per-report geomean
+normalization as the regression gate (so a faster CI machine cannot
+fake the speedup, and the shared unaffected benchmarks anchor the
+scale). This is how a PR pins "the columnar store makes fact churn
+>= 2x faster than the pre-overhaul code": the pre-overhaul report is
+committed once (bench/baseline/bench_fact_churn_pre.json) and never
+regenerated. Combine with --skip-compare — a pinned *intentionally
+slower* baseline is not a regression baseline, and the normalized
+compare would misread the gated benchmark's speedup as everything
+else slowing down relatively. Repeatable.
+
 Exit codes: 0 pass, 1 regression detected, 2 usage/input error.
 
 --self-test proves the gate can fire: it re-reads the baseline as the
@@ -130,6 +143,43 @@ def check_speedups(current, requirements):
     return failures
 
 
+def check_speedups_vs_baseline(baseline, current, requirements):
+    """Failure strings for unmet --require-speedup-vs-baseline pins.
+
+    speedup(NAME) = (baseline[NAME] / baseline_geomean)
+                  / (current[NAME] / current_geomean)
+
+    computed over the benchmarks shared by both reports, exactly like
+    compare(): machine speed cancels, so only a genuine improvement on
+    NAME's code path (relative to its unaffected siblings) counts.
+    """
+    failures = []
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        return ["--require-speedup-vs-baseline: no shared benchmarks "
+                "between baseline and current"]
+    if any(baseline[n] <= 0 or current[n] <= 0 for n in shared):
+        return ["--require-speedup-vs-baseline: non-positive benchmark "
+                "time in report"]
+    base_geo = geomean([baseline[n] for n in shared])
+    cur_geo = geomean([current[n] for n in shared])
+    for name, ratio in requirements:
+        if name not in baseline or name not in current:
+            where = "baseline" if name not in baseline else "current"
+            failures.append(f"--require-speedup-vs-baseline: {name} "
+                            f"missing from {where} report")
+            continue
+        actual = (baseline[name] / base_geo) / (current[name] / cur_geo)
+        status = "ok" if actual >= ratio else "FAIL"
+        print(f"  {status:4s} {name}: {actual:.1f}x faster than baseline, "
+              f"normalized (required >= {ratio:g}x)")
+        if actual < ratio:
+            failures.append(f"{name}: only {actual:.1f}x faster than "
+                            f"baseline, normalized "
+                            f"(required >= {ratio:g}x)")
+    return failures
+
+
 def parse_speedup_args(raw):
     """[[slow, fast, '5'], ...] -> [(slow, fast, 5.0), ...]."""
     out = []
@@ -164,6 +214,26 @@ def self_test(baseline, threshold):
         if not check_speedups(baseline, [(slow, fast, actual * 2)]):
             print("self-test FAILED: unmet speedup requirement passed")
             return False
+    print("self-test: identical reports give a 1.0x normalized speedup")
+    if check_speedups_vs_baseline(baseline, dict(baseline),
+                                  [(victim, 0.9)]):
+        print("self-test FAILED: 0.9x vs-baseline pin failed on "
+              "identical reports")
+        return False
+    print("self-test: unmet --require-speedup-vs-baseline must fail")
+    if not check_speedups_vs_baseline(baseline, dict(baseline),
+                                      [(victim, 2.0)]):
+        print("self-test FAILED: 2x vs-baseline pin passed on "
+              "identical reports")
+        return False
+    sped = copy.deepcopy(baseline)
+    sped[victim] /= 4.0
+    print(f"self-test: 4x speedup injected into {victim} must satisfy "
+          "a 2x vs-baseline pin")
+    if check_speedups_vs_baseline(baseline, sped, [(victim, 2.0)]):
+        print("self-test FAILED: injected 4x speedup did not satisfy "
+              "the 2x vs-baseline pin")
+        return False
     print("self-test passed: gate fires on injected slowdown")
     return True
 
@@ -185,10 +255,22 @@ def main():
                     metavar=("SLOW", "FAST", "RATIO"),
                     help="require real_time(SLOW) >= RATIO * "
                     "real_time(FAST) in the current report; repeatable")
+    ap.add_argument("--require-speedup-vs-baseline", nargs=2,
+                    action="append", metavar=("NAME", "RATIO"),
+                    help="require NAME to be >= RATIO x faster in the "
+                    "current report than in the baseline, geomean-"
+                    "normalized per report; repeatable")
+    ap.add_argument("--skip-compare", action="store_true",
+                    help="skip the regression compare and check only "
+                    "speedup pins (use with a pinned pre-optimization "
+                    "baseline that is intentionally slower)")
     args = ap.parse_args()
 
     try:
         speedups = parse_speedup_args(args.require_speedup)
+        vs_baseline = [(name, float(ratio))
+                       for name, ratio in
+                       args.require_speedup_vs_baseline or []]
     except ValueError as e:
         print(f"error in --require-speedup: {e}", file=sys.stderr)
         return 2
@@ -200,7 +282,7 @@ def main():
         except (OSError, ValueError, KeyError) as e:
             print(f"error reading baseline: {e}", file=sys.stderr)
             return 2
-    elif args.self_test or not speedups:
+    elif args.self_test or not speedups or vs_baseline:
         print("error: --baseline is required unless only "
               "--require-speedup pins are checked", file=sys.stderr)
         return 2
@@ -219,13 +301,17 @@ def main():
         return 2
 
     failures = []
-    if baseline is not None:
+    if baseline is not None and not args.skip_compare:
         print(f"bench gate: geomean-normalized, "
               f"threshold={args.threshold:.0%}")
         failures += compare(baseline, current, args.threshold)
     if speedups:
         print("bench gate: absolute speedup requirements")
         failures += check_speedups(current, speedups)
+    if vs_baseline:
+        print("bench gate: normalized speedup-vs-baseline requirements")
+        failures += check_speedups_vs_baseline(baseline, current,
+                                               vs_baseline)
     if failures:
         print("\nbenchmark regressions detected:")
         for f in failures:

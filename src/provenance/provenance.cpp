@@ -57,10 +57,13 @@ void Recorder::begin_firing(
     BoundFact bf;
     bf.id = m.id;
     bf.pattern_loc = m.pattern_loc;
-    if (m.fact != nullptr) {
-      bf.type = m.fact->type();
+    if (m.fact) {
+      bf.type = m.fact.type();
       if (mode_ == ProvenanceMode::kFull) {
-        bf.fields.insert(m.fact->fields().begin(), m.fact->fields().end());
+        m.fact.for_each_field(
+            [&](const std::string& k, const rules::FactValue& v) {
+              bf.fields.emplace(k, v);
+            });
       }
     }
     if (const auto it = origins_.find(m.id); it != origins_.end()) {

@@ -89,11 +89,12 @@ struct FiringInfo {
   std::size_t generation = 0;
 };
 
-/// A matched fact handed to begin_firing: the id, the live fact, and the
-/// source location of the pattern that bound it.
+/// A matched fact handed to begin_firing: the id, a handle to the live
+/// fact in the columnar store (null when it was already retracted), and
+/// the source location of the pattern that bound it.
 struct MatchedFact {
   rules::FactId id = 0;
-  const rules::Fact* fact = nullptr;
+  rules::FactRef fact;
   SourceLoc pattern_loc;
 };
 

@@ -8,28 +8,6 @@
 namespace perfknow::rules::beta {
 
 // ---------------------------------------------------------------------------
-// Arena
-
-void* Arena::allocate(std::size_t bytes, std::size_t align) {
-  if (!chunks_.empty()) {
-    Chunk& c = chunks_.back();
-    const std::size_t aligned = (c.used + align - 1) & ~(align - 1);
-    if (aligned + bytes <= c.cap) {
-      c.used = aligned + bytes;
-      return c.data.get() + aligned;
-    }
-  }
-  const std::size_t cap = std::max(bytes, kChunkBytes);
-  Chunk c;
-  c.data = std::make_unique<std::byte[]>(cap);
-  c.cap = cap;
-  c.used = bytes;
-  reserved_ += cap;
-  chunks_.push_back(std::move(c));
-  return chunks_.back().data.get();
-}
-
-// ---------------------------------------------------------------------------
 // Compiled representation
 
 /// One fallback step of a variable reference. The naive matcher's
@@ -208,9 +186,9 @@ FactValue resolve_ref(const BetaNetwork::VarRef& ref,
       case Kind::kFactId:
         return FactValue(static_cast<double>(fid));
       case Kind::kField:
-        return *memory.find(fid)->find_field(s.field);
+        return *memory.find(fid).find_field(s.field);
       case Kind::kWildcard:
-        if (const FactValue* v = memory.find(fid)->find_field(s.field)) {
+        if (const FactValue* v = memory.find(fid).find_field(s.field)) {
           return *v;
         }
         break;  // expansion never wrote the name: older write decides
@@ -228,7 +206,7 @@ void replay_env(Bindings& env, const std::vector<Pattern>& patterns,
                 const FactId* facts) {
   std::string key;
   for (std::size_t lv = 0; lv < upto; ++lv) {
-    const Fact& f = *memory.find(facts[lv]);
+    const FactRef f = memory.find(facts[lv]);
     const Pattern& p = patterns[lv];
     for (const auto& b : p.bindings) {
       env.insert_or_assign(b.variable, *f.find_field(b.field));
@@ -236,12 +214,12 @@ void replay_env(Bindings& env, const std::vector<Pattern>& patterns,
     if (!p.fact_variable.empty()) {
       env.insert_or_assign(p.fact_variable,
                            FactValue(static_cast<double>(facts[lv])));
-      for (const auto& [k, v] : f.fields()) {
+      f.for_each_field([&](const std::string& k, const FactValue& v) {
         key.assign(p.fact_variable);
         key += '.';
         key += k;
         env.insert_or_assign(key, v);
-      }
+      });
     }
   }
 }
@@ -254,32 +232,27 @@ void replay_env(Bindings& env, const std::vector<Pattern>& patterns,
 BetaNetwork::BetaNetwork() = default;
 BetaNetwork::~BetaNetwork() = default;
 
-void BetaNetwork::extract_slots(const TypeGroup& group, const Fact& fact,
+void BetaNetwork::extract_slots(const TypeGroup& group, const FactRef& fact,
                                 std::vector<const FactValue*>& slots) const {
-  // Both the fact's fields and the slot table are name-sorted: a linear
-  // merge extracts every field any subscriber needs in one pass.
+  // Both the fact's row (builder order) and the slot table are
+  // name-sorted: a linear merge extracts every field any subscriber
+  // needs in one pass. Slot pointers alias the store's value pool,
+  // which is address-stable for the life of the fact.
   slots.assign(group.slot_names.size(), nullptr);
-  auto fit = fact.fields().begin();
-  const auto fend = fact.fields().end();
   auto sit = group.sorted_slots.begin();
   const auto send = group.sorted_slots.end();
-  while (fit != fend && sit != send) {
-    const std::string& sname = group.slot_names[*sit];
-    if (fit->first < sname) {
-      ++fit;
-    } else if (sname < fit->first) {
-      ++sit;
-    } else {
-      slots[*sit] = &fit->second;
-      ++fit;
+  fact.for_each_field([&](const std::string& fname, const FactValue& v) {
+    while (sit != send && group.slot_names[*sit] < fname) ++sit;
+    if (sit != send && group.slot_names[*sit] == fname) {
+      slots[*sit] = &v;
       ++sit;
     }
-  }
+  });
 }
 
 void BetaNetwork::admit_one(const std::vector<Rule>& rules,
                             const WorkingMemory& memory, SubscriberPlan& sub,
-                            FactId id, const Fact& fact,
+                            FactId id, const FactRef& fact,
                             const std::vector<const FactValue*>& slots,
                             std::vector<Activation>& out) {
   for (const std::uint32_t s : sub.required_slots) {
@@ -484,7 +457,7 @@ void BetaNetwork::ensure_rules(const std::vector<Rule>& rules,
       const auto end = std::upper_bound(ids.begin(), ids.end(),
                                         group.watermark);
       for (auto it = ids.begin(); it != end; ++it) {
-        const Fact& fact = *memory.find(*it);
+        const FactRef fact = memory.find(*it);
         extract_slots(group, fact, slots);
         admit_one(rules, memory, group.subs[si], *it, fact, slots, out);
       }
@@ -503,7 +476,7 @@ void BetaNetwork::sweep(const WorkingMemory& memory) {
     for (std::size_t l = 1; l < net->nlevels; ++l) {
       AlphaMemory& am = net->alphas[l];
       for (std::size_t row = 0; row < am.ids.size(); ++row) {
-        if (am.dead[row] == 0 && memory.find(am.ids[row]) == nullptr) {
+        if (am.dead[row] == 0 && !memory.find(am.ids[row])) {
           am.dead[row] = 1;
         }
       }
@@ -512,7 +485,7 @@ void BetaNetwork::sweep(const WorkingMemory& memory) {
       for (std::size_t row = 0; row < tm.size(); ++row) {
         if (tm.dead[row] != 0) continue;
         for (const auto& col : tm.ids) {
-          if (memory.find(col[row]) == nullptr) {
+          if (!memory.find(col[row])) {
             tm.dead[row] = 1;
             ++newly_dead;
             break;
@@ -534,7 +507,7 @@ void BetaNetwork::admit_deltas(const std::vector<Rule>& rules,
     auto it = std::upper_bound(ids.begin(), ids.end(), group.watermark);
     const auto end = std::upper_bound(it, ids.end(), round_max);
     for (; it != end; ++it) {
-      const Fact& fact = *memory.find(*it);
+      const FactRef fact = memory.find(*it);
       extract_slots(group, fact, slots);
       for (SubscriberPlan& sub : group.subs) {
         admit_one(rules, memory, sub, *it, fact, slots, out);
@@ -577,7 +550,7 @@ void BetaNetwork::extend_rule(const std::vector<Rule>& rules, RuleNet& net,
       for (std::size_t k = 0; k < l; ++k) {
         if (prev.ids[k][trow] == cand_id) return;
       }
-      const Fact& cand = *memory.find(cand_id);
+      const FactRef cand = memory.find(cand_id);
       if (cl.needs_env) {
         env.clear();
         prefix.clear();

@@ -51,67 +51,16 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "rules/engine.hpp"
 #include "rules/fact.hpp"
 
 namespace perfknow::rules::beta {
 
-/// Bump allocator backing the token and alpha columns. Chunks are never
-/// freed individually (the network's stores are append-only); bytes are
-/// reported to telemetry so self-diagnosis can watch join-state growth.
-class Arena {
- public:
-  static constexpr std::size_t kChunkBytes = 64 * 1024;
-
-  void* allocate(std::size_t bytes, std::size_t align);
-  [[nodiscard]] std::size_t bytes_reserved() const noexcept {
-    return reserved_;
-  }
-
- private:
-  struct Chunk {
-    std::unique_ptr<std::byte[]> data;
-    std::size_t used = 0;
-    std::size_t cap = 0;
-  };
-  std::vector<Chunk> chunks_;
-  std::size_t reserved_ = 0;
-};
-
-/// Append-only chunked column over an Arena: stable addresses (growth
-/// never moves existing elements), O(1) append and index. The SoA
-/// building block for token and alpha stores.
-template <typename T>
-class Column {
-  static_assert(std::is_trivially_destructible_v<T>,
-                "arena columns never run destructors");
-
- public:
-  explicit Column(Arena& arena) : arena_(&arena) {}
-
-  [[nodiscard]] std::size_t size() const noexcept { return size_; }
-  [[nodiscard]] T& operator[](std::size_t i) noexcept {
-    return chunks_[i >> kShift][i & kMask];
-  }
-  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
-    return chunks_[i >> kShift][i & kMask];
-  }
-  void push_back(T v) {
-    if ((size_ & kMask) == 0 && (size_ >> kShift) == chunks_.size()) {
-      chunks_.push_back(static_cast<T*>(
-          arena_->allocate(sizeof(T) << kShift, alignof(T))));
-    }
-    chunks_[size_ >> kShift][size_ & kMask] = v;
-    ++size_;
-  }
-
- private:
-  static constexpr std::size_t kShift = 12;  // 4096 elements per chunk
-  static constexpr std::size_t kMask = (std::size_t{1} << kShift) - 1;
-  Arena* arena_;
-  std::vector<T*> chunks_;
-  std::size_t size_ = 0;
-};
+// The bump Arena and chunked Column that used to live here are now the
+// shared perfknow::Arena / perfknow::Column in common/arena.hpp — the
+// columnar WorkingMemory is built on the same primitives. Unqualified
+// Arena/Column below resolve to them via the enclosing namespace.
 
 /// The network. One instance lives inside a RuleHarness; match() is
 /// called once per firing round with the round's fact-id ceiling and
@@ -153,10 +102,10 @@ class BetaNetwork {
                     const WorkingMemory& memory,
                     std::vector<Activation>& out);
   void sweep(const WorkingMemory& memory);
-  void extract_slots(const TypeGroup& group, const Fact& fact,
+  void extract_slots(const TypeGroup& group, const FactRef& fact,
                      std::vector<const FactValue*>& slots) const;
   void admit_one(const std::vector<Rule>& rules, const WorkingMemory& memory,
-                 SubscriberPlan& sub, FactId id, const Fact& fact,
+                 SubscriberPlan& sub, FactId id, const FactRef& fact,
                  const std::vector<const FactValue*>& slots,
                  std::vector<Activation>& out);
   void admit_deltas(const std::vector<Rule>& rules,

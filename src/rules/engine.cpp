@@ -97,7 +97,7 @@ FactId RuleHarness::assert_fact(Fact fact) {
 bool RuleHarness::retract(FactId id) { return memory_.retract(id); }
 
 FactId RuleHarness::modify(FactId id, Fact replacement) {
-  if (memory_.find(id) == nullptr) {
+  if (!memory_.find(id)) {
     throw NotFoundError("modify: no live fact with id " +
                         std::to_string(id));
   }
@@ -160,10 +160,17 @@ void RuleHarness::add_rule(Rule rule) {
   }
   CompiledRule compiled;
   compiled.patterns.reserve(rule.patterns.size());
+  SymbolTable& symbols = memory_.symbols();
   for (const auto& pat : rule.patterns) {
     CompiledPattern cp;
+    // Intern every rule-referenced name up front: matching then runs on
+    // integer compares, and const probes (including the beta network's)
+    // are guaranteed to find these spellings in the table.
+    cp.type_sym = symbols.intern(pat.fact_type);
+    cp.constraint_fields.reserve(pat.constraints.size());
     for (std::size_t c = 0; c < pat.constraints.size(); ++c) {
       const auto& con = pat.constraints[c];
+      cp.constraint_fields.push_back(symbols.intern(con.field));
       if (con.op != CmpOp::kEq) continue;
       if (con.rhs.kind == Operand::Kind::kLiteral) {
         cp.probes.push_back(c);
@@ -171,6 +178,10 @@ void RuleHarness::add_rule(Rule rule) {
                  !pattern_binds(pat, con.rhs.variable)) {
         cp.probes.push_back(c);
       }
+    }
+    cp.binding_fields.reserve(pat.bindings.size());
+    for (const auto& b : pat.bindings) {
+      cp.binding_fields.push_back(symbols.intern(b.field));
     }
     compiled.patterns.push_back(std::move(cp));
   }
@@ -223,6 +234,7 @@ void RuleHarness::match_step(std::size_t rule_index,
     return;
   }
   const Pattern& pat = rule.patterns[pattern_index];
+  const CompiledPattern& cp = compiled_[rule_index].patterns[pattern_index];
 
   // Delta windows: positions before new_pos take old facts only, the
   // new_pos position only facts asserted since the watermark, later
@@ -237,13 +249,11 @@ void RuleHarness::match_step(std::size_t rule_index,
     }
   }
 
-  const std::vector<FactId>* cands = &memory_.ids_of_type(pat.fact_type);
+  const std::vector<FactId>* cands = &memory_.ids_of_type(cp.type_sym);
   if (use_index) {
     // Alpha-index probe: among the precompiled equality constraints whose
     // right-hand side is known here, take the smallest candidate bucket.
-    for (const std::size_t ci : compiled_[rule_index]
-                                    .patterns[pattern_index]
-                                    .probes) {
+    for (const std::size_t ci : cp.probes) {
       const Constraint& con = pat.constraints[ci];
       const FactValue* val = nullptr;
       if (con.rhs.kind == Operand::Kind::kLiteral) {
@@ -253,8 +263,8 @@ void RuleHarness::match_step(std::size_t rule_index,
         if (it != bindings.end()) val = &it->second;
       }
       if (!val) continue;
-      const auto& bucket =
-          memory_.ids_with_field_value(pat.fact_type, con.field, *val);
+      const auto& bucket = memory_.ids_with_field_value(
+          cp.type_sym, cp.constraint_fields[ci], *val);
       if (bucket.size() < cands->size()) cands = &bucket;
       if (cands->empty()) break;
     }
@@ -269,23 +279,24 @@ void RuleHarness::match_step(std::size_t rule_index,
     if (std::find(matched.begin(), matched.end(), id) != matched.end()) {
       continue;
     }
-    const Fact& fact = *memory_.find(id);
+    const FactRef fact = memory_.find(id);
     const std::size_t undo_mark = undo.size();
     // Bindings are extracted before constraints are evaluated so a
     // constraint may reference a binding declared anywhere in the same
     // pattern ("j : forkJoinCycles, dispatchCycles > j * 2").
     bool ok = true;
-    for (const auto& b : pat.bindings) {
-      const FactValue* field = fact.find_field(b.field);
+    for (std::size_t bi = 0; bi < pat.bindings.size(); ++bi) {
+      const FactValue* field = fact.find_field(cp.binding_fields[bi]);
       if (!field) {
         ok = false;
         break;
       }
-      record_and_set(bindings, undo, b.variable, *field);
+      record_and_set(bindings, undo, pat.bindings[bi].variable, *field);
     }
     if (ok) {
-      for (const auto& c : pat.constraints) {
-        const FactValue* field = fact.find_field(c.field);
+      for (std::size_t ci = 0; ci < pat.constraints.size(); ++ci) {
+        const Constraint& c = pat.constraints[ci];
+        const FactValue* field = fact.find_field(cp.constraint_fields[ci]);
         if (!field || !compare(c.op, *field, c.rhs.resolve(bindings))) {
           ok = false;
           break;
@@ -299,12 +310,12 @@ void RuleHarness::match_step(std::size_t rule_index,
       record_and_set(bindings, undo, pat.fact_variable,
                      FactValue(static_cast<double>(id)));
       std::string key;
-      for (const auto& [k, v] : fact.fields()) {
+      fact.for_each_field([&](const std::string& k, const FactValue& v) {
         key.assign(pat.fact_variable);
         key += '.';
         key += k;
         record_and_set(bindings, undo, key, v);
-      }
+      });
     }
     if (ok) {
       matched.push_back(id);

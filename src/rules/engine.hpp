@@ -115,8 +115,9 @@ struct Pattern {
   std::string fact_variable;
   std::vector<Constraint> constraints;
   std::vector<FieldBinding> bindings;
-  /// Optional extra predicate for rules built from C++.
-  std::function<bool(const Fact&, const Bindings&)> guard;
+  /// Optional extra predicate for rules built from C++. Receives the
+  /// candidate as a columnar-store handle, not a Fact pointer.
+  std::function<bool(const FactRef&, const Bindings&)> guard;
   /// Where this pattern starts in its .rules source (unset for rules
   /// built from C++ without one).
   SourceLoc loc;
@@ -248,11 +249,16 @@ class RuleHarness {
  private:
   friend class RuleContext;
 
-  /// Per-pattern matching plan computed once in add_rule: which equality
-  /// constraints can be answered by the alpha index (literal right-hand
-  /// side, or a variable that is necessarily bound by an earlier pattern
-  /// — never by the candidate pattern itself).
+  /// Per-pattern matching plan computed once in add_rule: the pattern's
+  /// type and field names interned to Symbols (so the hot loop never
+  /// hashes a string), plus which equality constraints can be answered
+  /// by the alpha index (literal right-hand side, or a variable that is
+  /// necessarily bound by an earlier pattern — never by the candidate
+  /// pattern itself).
   struct CompiledPattern {
+    Symbol type_sym = kNoSymbol;
+    std::vector<Symbol> constraint_fields;  ///< parallel to constraints
+    std::vector<Symbol> binding_fields;     ///< parallel to bindings
     std::vector<std::size_t> probes;  ///< indexes into Pattern::constraints
   };
   struct CompiledRule {

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstring>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -85,6 +84,9 @@ std::uint64_t value_hash(const FactValue& v) {
   return std::get<bool>(v) ? hash_text("true", 4) : hash_text("false", 5);
 }
 
+// ---------------------------------------------------------------------------
+// Fact (write-side builder)
+
 Fact& Fact::set(const std::string& field, FactValue v) {
   const auto it = std::lower_bound(
       fields_.begin(), fields_.end(), field,
@@ -112,11 +114,6 @@ const FactValue* Fact::find_field(const std::string& field) const {
 const FactValue& Fact::get(const std::string& field) const {
   if (const FactValue* v = find_field(field)) return *v;
   throw NotFoundError("fact " + type_ + " has no field '" + field + "'");
-}
-
-std::optional<FactValue> Fact::try_get(const std::string& field) const {
-  if (const FactValue* v = find_field(field)) return *v;
-  return std::nullopt;
 }
 
 double Fact::number(const std::string& field) const {
@@ -151,6 +148,57 @@ std::string Fact::str() const {
   return out + "}";
 }
 
+// ---------------------------------------------------------------------------
+// FactRef (read-side handle)
+
+const FactValue& FactRef::get(const std::string& field) const {
+  if (const FactValue* v = find_field(field)) return *v;
+  throw NotFoundError("fact " + type() + " has no field '" + field + "'");
+}
+
+double FactRef::number(const std::string& field) const {
+  const auto& v = get(field);
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  throw EvalError("fact " + type() + " field '" + field +
+                  "' is not a number");
+}
+
+const std::string& FactRef::text(const std::string& field) const {
+  const auto& v = get(field);
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  throw EvalError("fact " + type() + " field '" + field +
+                  "' is not a string");
+}
+
+bool FactRef::boolean(const std::string& field) const {
+  const auto& v = get(field);
+  if (const auto* b = std::get_if<bool>(&v)) return *b;
+  throw EvalError("fact " + type() + " field '" + field +
+                  "' is not a boolean");
+}
+
+std::string FactRef::str() const {
+  std::string out = type() + "{";
+  bool first = true;
+  for_each_field([&](const std::string& k, const FactValue& v) {
+    if (!first) out += ", ";
+    first = false;
+    out += k + "=" + to_display(v);
+  });
+  return out + "}";
+}
+
+Fact FactRef::to_fact() const {
+  Fact f(type());
+  for_each_field([&](const std::string& k, const FactValue& v) {
+    f.set(k, v);
+  });
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// WorkingMemory (columnar store)
+
 namespace {
 
 const std::vector<FactId>& empty_ids() {
@@ -158,121 +206,152 @@ const std::vector<FactId>& empty_ids() {
   return kEmpty;
 }
 
-// Canonical bucket key whose equality classes are exactly those of
-// values_equal: numbers key on their (sign-normalized) bit pattern,
-// strings on their text, and booleans on "true"/"false" text so the
-// DSL's bool <-> string equivalence probes the same bucket.
-std::string value_key(const FactValue& v) {
-  if (const auto* d = std::get_if<double>(&v)) {
-    double x = (*d == 0.0) ? 0.0 : *d;  // collapse -0.0 into +0.0
-    std::string key(1 + sizeof(double), '\0');
-    key[0] = 'n';
-    std::memcpy(key.data() + 1, &x, sizeof(double));
-    return key;
-  }
-  if (const auto* s = std::get_if<std::string>(&v)) return "s" + *s;
-  return std::get<bool>(v) ? "strue" : "sfalse";
-}
-
-void erase_sorted(std::vector<FactId>& ids, FactId id) {
-  const auto it = std::lower_bound(ids.begin(), ids.end(), id);
-  if (it != ids.end() && *it == id) ids.erase(it);
-}
-
 }  // namespace
 
 FactId WorkingMemory::assert_fact(Fact fact) {
+  const Symbol type = symbols_.intern(fact.type());
+  if (type >= store_of_sym_.size()) store_of_sym_.resize(type + 1, 0);
+  std::uint32_t sidx = store_of_sym_[type];
+  if (sidx == 0) {
+    stores_.emplace_back(arena_, type);
+    sidx = static_cast<std::uint32_t>(stores_.size());
+    store_of_sym_[type] = sidx;
+  }
+  TypeStore& store = stores_[sidx - 1];
+
   const FactId id = next_++;
-  auto& idx = types_[fact.type()];
-  idx.ids.push_back(id);  // ids are ascending, so append keeps order
-  slots_.push_back(std::move(fact));
+  Slot slot;
+  slot.store = sidx - 1;
+  slot.nfields = static_cast<std::uint32_t>(fact.fields_.size());
+  slot.begin = store.field_syms.size();
+  slot.live = true;
+  // Decompose the builder into columns: the row keeps the builder's
+  // name-ascending field order, so FactRef iteration and the value at
+  // row offset j line up with Fact::fields() exactly.
+  for (auto& [name, value] : fact.fields_) {
+    store.field_syms.push_back(symbols_.intern(name));
+    store.values.push_back(std::move(value));
+  }
+  store.ids.push_back(id);  // ids are ascending, so append keeps order
+  slots_.push_back(slot);
   ++live_;
   return id;
 }
 
 bool WorkingMemory::retract(FactId id) {
   if (id < base_ || id >= next_) return false;
-  auto& slot = slots_[id - base_];
-  if (!slot) return false;
-  const auto tit = types_.find(slot->type());
-  if (tit != types_.end()) {
-    auto& idx = tit->second;
-    erase_sorted(idx.ids, id);
-    // Only facts the lazy index has already seen have bucket entries.
-    if (id <= idx.indexed_upto) {
-      for (const auto& [field, value] : slot->fields()) {
-        const auto fit = idx.by_field.find(field);
-        if (fit == idx.by_field.end()) continue;
-        const auto vit = fit->second.find(value_key(value));
-        if (vit == fit->second.end()) continue;
-        erase_sorted(vit->second, id);
-        if (vit->second.empty()) fit->second.erase(vit);
-      }
-    }
-  }
-  slot.reset();
+  Slot& slot = slots_[id - base_];
+  if (!slot.live) return false;
+  // O(1) tombstone: the per-type id list and any index buckets holding
+  // this id compact themselves on their next probe (compact_ids /
+  // bucket clean_epoch), amortizing a retract wave into one sweep.
+  slot.live = false;
   --live_;
   ++epoch_;
+  stores_[slot.store].retract_epoch = epoch_;
   return true;
 }
 
-const Fact* WorkingMemory::find(FactId id) const {
-  if (id < base_ || id >= next_) return nullptr;
-  const auto& slot = slots_[id - base_];
-  return slot ? &*slot : nullptr;
+const WorkingMemory::TypeStore* WorkingMemory::store_of(
+    Symbol type) const noexcept {
+  if (type == kNoSymbol || type >= store_of_sym_.size()) return nullptr;
+  const std::uint32_t sidx = store_of_sym_[type];
+  return sidx == 0 ? nullptr : &stores_[sidx - 1];
 }
 
-std::vector<FactId> WorkingMemory::ids() const {
-  std::vector<FactId> out;
-  out.reserve(live_);
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i]) out.push_back(base_ + i);
-  }
-  return out;
+void WorkingMemory::compact_ids(const TypeStore& store) const {
+  if (store.ids_clean_epoch >= store.retract_epoch) return;
+  auto& ids = store.ids;
+  ids.erase(std::remove_if(ids.begin(), ids.end(),
+                           [this](FactId id) { return !is_live(id); }),
+            ids.end());
+  store.ids_clean_epoch = store.retract_epoch;
+}
+
+const std::vector<FactId>& WorkingMemory::ids_of_type(Symbol type) const {
+  const TypeStore* store = store_of(type);
+  if (store == nullptr) return empty_ids();
+  compact_ids(*store);
+  return store->ids;
 }
 
 const std::vector<FactId>& WorkingMemory::ids_of_type(
     const std::string& type) const {
-  const auto it = types_.find(type);
-  return it == types_.end() ? empty_ids() : it->second.ids;
+  return ids_of_type(symbols_.lookup(type));
 }
 
-void WorkingMemory::catch_up(const TypeIndex& idx) const {
+void WorkingMemory::catch_up(const TypeStore& store) const {
   const FactId upto = last_id();
-  if (idx.indexed_upto >= upto) return;
-  // idx.ids holds only live facts, so retracted-before-first-probe facts
-  // are skipped for free here (and retract skips un-indexed ids above).
-  const auto first = std::upper_bound(idx.ids.begin(), idx.ids.end(),
-                                      idx.indexed_upto);
-  for (auto it = first; it != idx.ids.end(); ++it) {
-    const Fact& fact = *slots_[*it - base_];
-    for (const auto& [field, value] : fact.fields()) {
-      idx.by_field[field][value_key(value)].push_back(*it);
+  if (store.indexed_upto >= upto) return;
+  // store.ids may still carry tombstones (compaction is probe-driven),
+  // so dead rows are skipped here; dead ids already in buckets are
+  // dropped by the bucket's own clean_epoch compaction.
+  const auto first = std::upper_bound(store.ids.begin(), store.ids.end(),
+                                      store.indexed_upto);
+  for (auto it = first; it != store.ids.end(); ++it) {
+    const FactId id = *it;
+    const Slot& slot = slots_[id - base_];
+    if (!slot.live) continue;
+    for (std::uint32_t j = 0; j < slot.nfields; ++j) {
+      const Symbol field = store.field_syms[slot.begin + j];
+      const FactValue& v = store.values[slot.begin + j];
+      auto& chain = store.by_field[field][value_hash(v)];
+      ValueBucket* bucket = nullptr;
+      for (ValueBucket& b : chain) {
+        if (values_equal(b.exemplar, v)) {
+          bucket = &b;
+          break;
+        }
+      }
+      if (bucket == nullptr) {
+        chain.push_back(ValueBucket{v, {}, store.retract_epoch});
+        bucket = &chain.back();
+      }
+      bucket->ids.push_back(id);
     }
   }
-  idx.indexed_upto = upto;
+  store.indexed_upto = upto;
 }
 
 const std::vector<FactId>& WorkingMemory::ids_with_field_value(
-    const std::string& type, const std::string& field,
-    const FactValue& value) const {
+    Symbol type, Symbol field, const FactValue& value) const {
   // NaN never compares equal to anything (not even itself), so an
   // equality probe with NaN can have no matches.
   if (const auto* d = std::get_if<double>(&value)) {
     if (std::isnan(*d)) return empty_ids();
   }
-  const auto tit = types_.find(type);
-  if (tit == types_.end()) return empty_ids();
-  catch_up(tit->second);
-  const auto fit = tit->second.by_field.find(field);
-  if (fit == tit->second.by_field.end()) return empty_ids();
-  const auto vit = fit->second.find(value_key(value));
-  return vit == fit->second.end() ? empty_ids() : vit->second;
+  const TypeStore* store = store_of(type);
+  if (store == nullptr || field == kNoSymbol) return empty_ids();
+  catch_up(*store);
+  const auto fit = store->by_field.find(field);
+  if (fit == store->by_field.end()) return empty_ids();
+  const auto hit = fit->second.find(value_hash(value));
+  if (hit == fit->second.end()) return empty_ids();
+  for (ValueBucket& b : hit->second) {
+    if (!values_equal(b.exemplar, value)) continue;
+    if (b.clean_epoch < store->retract_epoch) {
+      b.ids.erase(std::remove_if(b.ids.begin(), b.ids.end(),
+                                 [this](FactId id) { return !is_live(id); }),
+                  b.ids.end());
+      b.clean_epoch = store->retract_epoch;
+    }
+    return b.ids;
+  }
+  return empty_ids();
+}
+
+const std::vector<FactId>& WorkingMemory::ids_with_field_value(
+    const std::string& type, const std::string& field,
+    const FactValue& value) const {
+  return ids_with_field_value(symbols_.lookup(type), symbols_.lookup(field),
+                              value);
 }
 
 void WorkingMemory::clear() {
   slots_.clear();
-  types_.clear();
+  stores_.clear();
+  store_of_sym_.clear();
+  arena_.reset();  // recycles chunks; bumps the arena generation
   live_ = 0;
   base_ = next_;  // ids stay monotonic across clear()
   ++epoch_;

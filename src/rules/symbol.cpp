@@ -1,0 +1,144 @@
+#include "rules/symbol.hpp"
+
+namespace perfknow::rules {
+
+SymbolTable::SymbolTable() {
+  for (const std::string_view n : builtin_names()) intern(n);
+}
+
+Symbol SymbolTable::intern(std::string_view name) {
+  const auto it = map_.find(name);
+  if (it != map_.end()) return it->second;
+  storage_.emplace_back(name);
+  const auto id = static_cast<Symbol>(storage_.size() - 1);
+  map_.emplace(std::string_view(storage_.back()), id);
+  return id;
+}
+
+const std::vector<std::string_view>& SymbolTable::builtin_names() {
+  // Fact types first, then field names, both in the order the shipped
+  // fact builders / rulebases introduce them. Appending here is cheap;
+  // reordering changes pre-interned ids (harmless — nothing persists
+  // symbols — but pointless diff noise).
+  static const std::vector<std::string_view> kNames = {
+      // ---- fact types (analysis/, telemetry/, apps/ scenarios) ------
+      "MeanEventFact",
+      "LoadBalanceFact",
+      "CorrelationFact",
+      "ScalingFact",
+      "OverheadFact",
+      "OverheadSummaryFact",
+      "NestingFact",
+      "EventPresenceFact",
+      "NoiseBandFact",
+      "MemoryLocalityFact",
+      "StallBreakdownFact",
+      "PowerStudyFact",
+      "DvsFact",
+      "OmpRegionFact",
+      "CommunicationFact",
+      "LateSenderFact",
+      "ScalingShiftFact",
+      "MetricDeltaFact",
+      "DiffSummaryFact",
+      "TrialDeltaFact",
+      "TelemetryMetricFact",
+      "TelemetrySpanFact",
+      // ---- field names ---------------------------------------------
+      "addedEvents",
+      "appLocalToRemote",
+      "appOverheadFraction",
+      "band",
+      "barrierShare",
+      "baseEfficiency",
+      "baseSpeedup",
+      "baseTotal",
+      "baseTrial",
+      "baseValue",
+      "belowAppAverage",
+      "bytesReceived",
+      "bytesSent",
+      "calls",
+      "childEvent",
+      "collectiveFraction",
+      "commFraction",
+      "comparedCells",
+      "copyFraction",
+      "correlatedEnergyInstructions",
+      "correlation",
+      "currentEfficiency",
+      "currentSpeedup",
+      "currentTotal",
+      "currentTrial",
+      "currentValue",
+      "cv",
+      "delta",
+      "dilation",
+      "direction",
+      "dispatchCycles",
+      "efficiency",
+      "efficiencyShift",
+      "eventA",
+      "eventB",
+      "eventName",
+      "eventValue",
+      "exclusiveUsec",
+      "factType",
+      "forkJoinCycles",
+      "forkJoinShare",
+      "frequencyGhz",
+      "geomeanRatio",
+      "higherLower",
+      "idealSpeedup",
+      "imbalanceCv",
+      "improvedCells",
+      "invocations",
+      "isBalanced",
+      "isLowestEnergy",
+      "isLowestPower",
+      "isMinEdp",
+      "isMinEnergy",
+      "l3Misses",
+      "level",
+      "localToRemote",
+      "mainValue",
+      "maxNormalizedRatio",
+      "meanBarrierWait",
+      "memoryFpFraction",
+      "messagesSent",
+      "metric",
+      "minNormalizedRatio",
+      "missingEvents",
+      "name",
+      "normalizedRatio",
+      "parentEvent",
+      "presence",
+      "rank",
+      "ratio",
+      "receiver",
+      "region",
+      "regressedCells",
+      "relativeFlopPerJoule",
+      "relativeInstructions",
+      "relativeJoules",
+      "relativeTime",
+      "relativeWatts",
+      "remoteRatio",
+      "runtimeFraction",
+      "sender",
+      "severity",
+      "share",
+      "sharedEvents",
+      "skippedCells",
+      "speedup",
+      "stallsPerCycle",
+      "totalProbeCycles",
+      "totalRatio",
+      "totalUsec",
+      "value",
+      "waitFraction",
+  };
+  return kNames;
+}
+
+}  // namespace perfknow::rules

@@ -1,0 +1,76 @@
+// Symbol interner for the rule engine's columnar working memory.
+//
+// Fact types and field names repeat endlessly — every MeanEventFact
+// carries the same four field names — so the working memory interns
+// them once into dense uint32 Symbols. Type dispatch becomes an integer
+// compare and field lookup a small-int scan over a contiguous symbol
+// column instead of a string hash per probe.
+//
+// One table lives inside each WorkingMemory (sessions never share
+// mutable state; see the concurrent-sessions test). The constructor
+// pre-interns the shipped vocabulary — every fact type and field name
+// the built-in rulebases and fact builders emit — so their ids are
+// identical across sessions and assert-time interning of library facts
+// is a pure lookup. User-defined names interleave after the builtins
+// with no collision: intern() is idempotent per spelling.
+//
+// Interned spellings are stored in a deque so the string_view keys of
+// the lookup map stay valid as the table grows (vector growth would
+// move small-string buffers).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace perfknow::rules {
+
+/// Dense id for an interned fact-type or field-name spelling. Ids are
+/// assigned in intern order starting at 0; builtins come first.
+using Symbol = std::uint32_t;
+
+/// Sentinel returned by SymbolTable::lookup for unknown spellings.
+inline constexpr Symbol kNoSymbol = 0xffffffffu;
+
+class SymbolTable {
+ public:
+  /// Pre-interns builtin_names() so shipped vocabulary gets stable ids.
+  SymbolTable();
+
+  /// Returns the existing id for `name`, interning it first if needed.
+  Symbol intern(std::string_view name);
+
+  /// Returns the id for `name`, or kNoSymbol when never interned.
+  [[nodiscard]] Symbol lookup(std::string_view name) const noexcept {
+    const auto it = map_.find(name);
+    return it == map_.end() ? kNoSymbol : it->second;
+  }
+
+  /// The interned spelling; `s` must come from this table.
+  [[nodiscard]] const std::string& name(Symbol s) const noexcept {
+    return storage_[s];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return storage_.size(); }
+
+  /// The shipped vocabulary: every fact type and field name emitted by
+  /// the analysis layer, telemetry self-facts, and the built-in
+  /// rulebases. Order is the pre-interned id order.
+  static const std::vector<std::string_view>& builtin_names();
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::deque<std::string> storage_;  // dense id -> spelling, stable refs
+  std::unordered_map<std::string_view, Symbol, Hash, std::equal_to<>> map_;
+};
+
+}  // namespace perfknow::rules

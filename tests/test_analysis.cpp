@@ -265,9 +265,9 @@ TEST(Facts, LoadBalanceFactsIncludeNestingAndCorrelation) {
   // outer->inner correlation is -1.
   bool found = false;
   for (const auto id : corr) {
-    const auto* f = h.memory().find(id);
-    if (f->text("eventA") == "outer" && f->text("eventB") == "inner") {
-      EXPECT_NEAR(f->number("correlation"), -1.0, 1e-9);
+    const auto f = h.memory().find(id);
+    if (f.text("eventA") == "outer" && f.text("eventB") == "inner") {
+      EXPECT_NEAR(f.number("correlation"), -1.0, 1e-9);
       found = true;
     }
   }
@@ -291,11 +291,11 @@ TEST(Facts, ScalingFactsFromAnalysis) {
   EXPECT_EQ(n, 3u);
   bool serial_seen = false;
   for (const auto id : h.memory().ids_of_type("ScalingFact")) {
-    const auto* f = h.memory().find(id);
-    if (f->text("eventName") == "serial_part") {
+    const auto f = h.memory().find(id);
+    if (f.text("eventName") == "serial_part") {
       serial_seen = true;
-      EXPECT_NEAR(f->number("speedup"), 1.0, 1e-9);
-      EXPECT_NEAR(f->number("efficiency"), 0.25, 1e-9);
+      EXPECT_NEAR(f.number("speedup"), 1.0, 1e-9);
+      EXPECT_NEAR(f.number("efficiency"), 0.25, 1e-9);
     }
   }
   EXPECT_TRUE(serial_seen);

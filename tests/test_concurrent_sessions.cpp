@@ -196,6 +196,27 @@ TEST(ConcurrentSessions, MixedWorkloadMatchesSerialByteForByte) {
   }
 }
 
+TEST(ConcurrentSessions, SessionsShareRepositoryButNeverWorkingMemory) {
+  // The isolation contract the columnar store leans on: WorkingMemory is
+  // per-session state (non-copyable, interior pointers, no locks), so
+  // two sessions may share one Repository but must never share one
+  // WorkingMemory — the TSan job holds the rest of the proof.
+  TempDir scratch;
+  const fs::path repo_dir = scratch.path() / "repo";
+  build_repository(repo_dir, scratch.path());
+  auto repo = pk::perfdmf::Repository::attach(repo_dir);
+
+  pk::script::AnalysisSession a(pk::script::SessionOptions{&repo});
+  pk::script::AnalysisSession b(pk::script::SessionOptions{&repo});
+  EXPECT_EQ(&a.repository(), &b.repository());
+  EXPECT_NE(&a.harness().memory(), &b.harness().memory());
+  // Asserting into one session must be invisible to the other.
+  const auto id = a.harness().memory().assert_fact(
+      pk::rules::Fact("MeanEventFact").set("metric", "TIME"));
+  EXPECT_TRUE(a.harness().memory().find(id));
+  EXPECT_FALSE(b.harness().memory().find(id));
+}
+
 TEST(ConcurrentSessions, ServerSharesOneRepositoryAcrossUploadsAndReads) {
   // The daemon-side variant of the same property: concurrent uploads
   // (exclusive lock) interleaved with analyses (shared lock) on one

@@ -81,9 +81,9 @@ std::string bench_baseline_json(const std::string& name) {
 }
 
 /// Live facts of one type, in assertion order.
-std::vector<const pk::rules::Fact*> facts_of(const RuleHarness& harness,
-                                             const std::string& type) {
-  std::vector<const pk::rules::Fact*> out;
+std::vector<pk::rules::FactRef> facts_of(const RuleHarness& harness,
+                                         const std::string& type) {
+  std::vector<pk::rules::FactRef> out;
   for (const auto id : harness.memory().ids_of_type(type)) {
     out.push_back(harness.memory().find(id));
   }
@@ -224,15 +224,15 @@ TEST(Diff, GeomeanNormalizationMatchesHandComputation) {
   const double geomean =
       std::exp((std::log(2.0) + std::log(1.0) + std::log(1.0)) / 3.0);
   bool saw_a = false;
-  for (const auto* f : facts_of(harness, "MetricDeltaFact")) {
-    if (std::get<std::string>(f->get("eventName")) != "a") continue;
+  for (const auto& f : facts_of(harness, "MetricDeltaFact")) {
+    if (std::get<std::string>(f.get("eventName")) != "a") continue;
     saw_a = true;
-    EXPECT_DOUBLE_EQ(std::get<double>(f->get("ratio")), 2.0);
-    EXPECT_NEAR(std::get<double>(f->get("normalizedRatio")),
+    EXPECT_DOUBLE_EQ(std::get<double>(f.get("ratio")), 2.0);
+    EXPECT_NEAR(std::get<double>(f.get("normalizedRatio")),
                 2.0 / geomean, 1e-4);
-    EXPECT_EQ(std::get<std::string>(f->get("direction")), "regressed");
-    EXPECT_EQ(std::get<std::string>(f->get("baseTrial")), "base");
-    EXPECT_EQ(std::get<std::string>(f->get("currentTrial")), "cur");
+    EXPECT_EQ(std::get<std::string>(f.get("direction")), "regressed");
+    EXPECT_EQ(std::get<std::string>(f.get("baseTrial")), "base");
+    EXPECT_EQ(std::get<std::string>(f.get("currentTrial")), "cur");
   }
   EXPECT_TRUE(saw_a);
 }
@@ -244,9 +244,9 @@ TEST(Diff, RawRatiosWithoutNormalization) {
   DiffOptions options;
   options.normalize = false;
   pk::analysis::assert_diff_facts(harness, *base, *current, options);
-  for (const auto* f : facts_of(harness, "MetricDeltaFact")) {
-    EXPECT_DOUBLE_EQ(std::get<double>(f->get("ratio")),
-                     std::get<double>(f->get("normalizedRatio")));
+  for (const auto& f : facts_of(harness, "MetricDeltaFact")) {
+    EXPECT_DOUBLE_EQ(std::get<double>(f.get("ratio")),
+                     std::get<double>(f.get("normalizedRatio")));
   }
 }
 
@@ -260,12 +260,12 @@ TEST(Diff, PresenceFactsAndSummary) {
   EXPECT_EQ(summary.added_events, 1u);
 
   std::size_t presence = 0;
-  for (const auto* f : facts_of(harness, "EventPresenceFact")) {
+  for (const auto& f : facts_of(harness, "EventPresenceFact")) {
     ++presence;
-    const auto name = std::get<std::string>(f->get("eventName"));
-    const auto state = std::get<std::string>(f->get("presence"));
+    const auto name = std::get<std::string>(f.get("eventName"));
+    const auto state = std::get<std::string>(f.get("presence"));
     EXPECT_EQ(state, name == "gone" ? "removed" : "added");
-    EXPECT_GT(std::get<double>(f->get("runtimeFraction")), 0.0);
+    EXPECT_GT(std::get<double>(f.get("runtimeFraction")), 0.0);
   }
   EXPECT_EQ(presence, 2u);
 }
@@ -494,13 +494,13 @@ TEST(Diff, ScalingShiftFactsAndRegressionRule) {
   EXPECT_TRUE(scaling_regression);
 
   bool saw_shift = false;
-  for (const auto* f : facts_of(harness, "ScalingShiftFact")) {
-    if (std::get<std::string>(f->get("eventName")) != "slow") continue;
+  for (const auto& f : facts_of(harness, "ScalingShiftFact")) {
+    if (std::get<std::string>(f.get("eventName")) != "slow") continue;
     saw_shift = true;
-    EXPECT_NEAR(std::get<double>(f->get("baseEfficiency")), 0.9, 1e-4);
-    EXPECT_NEAR(std::get<double>(f->get("currentEfficiency")), 0.45,
+    EXPECT_NEAR(std::get<double>(f.get("baseEfficiency")), 0.9, 1e-4);
+    EXPECT_NEAR(std::get<double>(f.get("currentEfficiency")), 0.45,
                 1e-4);
-    EXPECT_NEAR(std::get<double>(f->get("efficiencyShift")), -0.45, 1e-4);
+    EXPECT_NEAR(std::get<double>(f.get("efficiencyShift")), -0.45, 1e-4);
   }
   EXPECT_TRUE(saw_shift);
 }

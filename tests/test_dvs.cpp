@@ -82,13 +82,13 @@ TEST(Dvs, FactsRelativeToNominal) {
   EXPECT_EQ(pk::power::assert_dvs_facts(h, sweep, 1.5), 4u);
   bool found_nominal = false;
   for (const auto id : h.memory().ids_of_type("DvsFact")) {
-    const auto* f = h.memory().find(id);
-    if (f->number("frequencyGhz") == 1.5) {
-      EXPECT_DOUBLE_EQ(f->number("relativeTime"), 1.0);
-      EXPECT_DOUBLE_EQ(f->number("relativeJoules"), 1.0);
+    const auto f = h.memory().find(id);
+    if (f.number("frequencyGhz") == 1.5) {
+      EXPECT_DOUBLE_EQ(f.number("relativeTime"), 1.0);
+      EXPECT_DOUBLE_EQ(f.number("relativeJoules"), 1.0);
       found_nominal = true;
     } else {
-      EXPECT_LT(f->number("relativeWatts"), 1.0);
+      EXPECT_LT(f.number("relativeWatts"), 1.0);
     }
   }
   EXPECT_TRUE(found_nominal);

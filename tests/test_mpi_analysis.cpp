@@ -88,9 +88,9 @@ TEST(CommFacts, AssertedWithFractions) {
   double frac0 = 0.0;
   double frac1 = 0.0;
   for (const auto id : ids) {
-    const auto* f = h.memory().find(id);
-    if (f->number("rank") == 0.0) frac0 = f->number("collectiveFraction");
-    if (f->number("rank") == 1.0) frac1 = f->number("collectiveFraction");
+    const auto f = h.memory().find(id);
+    if (f.number("rank") == 0.0) frac0 = f.number("collectiveFraction");
+    if (f.number("rank") == 1.0) frac1 = f.number("collectiveFraction");
   }
   EXPECT_GT(frac0, 0.9);
   EXPECT_LT(frac1, 0.1);

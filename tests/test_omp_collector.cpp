@@ -91,16 +91,16 @@ TEST(OmpCollectorStats, FactsExposeOverheadShares) {
   EXPECT_EQ(collector.assert_facts(h), 1u);
   const auto ids = h.memory().ids_of_type("OmpRegionFact");
   ASSERT_EQ(ids.size(), 1u);
-  const auto* f = h.memory().find(ids[0]);
-  EXPECT_EQ(f->text("region"), "tri");
-  EXPECT_DOUBLE_EQ(f->number("invocations"), 1.0);
-  EXPECT_GT(f->number("barrierShare"), 0.5);
-  EXPECT_GT(f->number("imbalanceCv"), 0.1);
-  EXPECT_NEAR(f->number("barrierShare") + f->number("forkJoinShare") +
-                  f->number("dispatchCycles") /
-                      (f->number("dispatchCycles") +
-                       f->number("forkJoinCycles") +
-                       f->number("meanBarrierWait") * 8),
+  const auto f = h.memory().find(ids[0]);
+  EXPECT_EQ(f.text("region"), "tri");
+  EXPECT_DOUBLE_EQ(f.number("invocations"), 1.0);
+  EXPECT_GT(f.number("barrierShare"), 0.5);
+  EXPECT_GT(f.number("imbalanceCv"), 0.1);
+  EXPECT_NEAR(f.number("barrierShare") + f.number("forkJoinShare") +
+                  f.number("dispatchCycles") /
+                      (f.number("dispatchCycles") +
+                       f.number("forkJoinCycles") +
+                       f.number("meanBarrierWait") * 8),
               1.0, 0.2);
 }
 

@@ -62,8 +62,8 @@ TEST(WorkingMemoryTest, AssertRetractQuery) {
   EXPECT_EQ(wm.ids_of_type("A"), (std::vector<pk::rules::FactId>{a, a2}));
   EXPECT_TRUE(wm.retract(b));
   EXPECT_FALSE(wm.retract(b));
-  EXPECT_EQ(wm.find(b), nullptr);
-  EXPECT_NE(wm.find(a), nullptr);
+  EXPECT_FALSE(wm.find(b));
+  EXPECT_TRUE(wm.find(a));
 }
 
 namespace {
