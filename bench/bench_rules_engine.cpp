@@ -23,6 +23,7 @@
 //   BM_RulesIndexed/100000  >= 6x   BM_RulesBeta/100000
 //   BM_RulesIndexed/10000   within 2% of BM_RulesProvenanceOff/10000
 //   BM_RulesBeta/10000      within 2% of BM_RulesBetaProvenanceOff/10000
+//   BM_RulesBeta/10000      within 2% of BM_RulesProfilerOff/10000
 //   BM_FactChurn/100000     >= 2x faster than the pinned pre-columnar
 //                           report (bench_fact_churn_pre.json),
 //                           geomean-normalized across the suite
@@ -209,6 +210,22 @@ void BM_RulesBetaProvenanceFull(benchmark::State& state) {
              perfknow::provenance::ProvenanceMode::kFull);
 }
 
+// CI gate: with the rule profiler off (the default), the beta matcher
+// must stay within 2% of BM_RulesBeta — the disabled-mode cost is one
+// relaxed load per process_rules round plus a null pointer test per
+// rule. BM_RulesProfilerOn measures the enabled cost for the record
+// (not gated; attribution is opt-in diagnostics, not a hot path).
+void BM_RulesProfilerOff(benchmark::State& state) {
+  rl::set_profiling_enabled(false);
+  run_engine(state, rl::MatchStrategy::kBeta);
+}
+
+void BM_RulesProfilerOn(benchmark::State& state) {
+  rl::set_profiling_enabled(true);
+  run_engine(state, rl::MatchStrategy::kBeta);
+  rl::set_profiling_enabled(false);
+}
+
 void BM_FactChurn(benchmark::State& state) { run_fact_churn(state); }
 
 void BM_RulesChurnNaive(benchmark::State& state) {
@@ -247,6 +264,12 @@ BENCHMARK(BM_RulesBetaProvenanceOff)
     ->Arg(10000)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RulesBetaProvenanceFull)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RulesProfilerOff)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RulesProfilerOn)
     ->Arg(10000)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FactChurn)

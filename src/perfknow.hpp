@@ -44,6 +44,7 @@
 #include "rules/diagnosis.hpp"
 #include "rules/engine.hpp"
 #include "rules/parser.hpp"
+#include "rules/profiler.hpp"
 #include "rules/rulebases.hpp"
 
 // ---- provenance / explanation layer ------------------------------------

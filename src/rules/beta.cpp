@@ -1,6 +1,7 @@
 #include "rules/beta.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.hpp"
 #include "telemetry/telemetry.hpp"
@@ -287,6 +288,7 @@ void BetaNetwork::admit_one(const std::vector<Rule>& rules,
       }
       if (pat.guard && !pat.guard(fact, env)) return;
     }
+    if (prof_) ++prof_->level(net.rule_index, 0).admissions;
     if (net.nlevels == 1) {
       out.push_back(make_activation(rules, net.rule_index, {id}, memory));
       return;
@@ -304,6 +306,7 @@ void BetaNetwork::admit_one(const std::vector<Rule>& rules,
     ++tokens_;
     return;
   }
+  if (prof_) ++prof_->level(net.rule_index, sub.level).admissions;
   AlphaMemory& am = net.alphas[sub.level];
   am.ids.push_back(id);
   am.dead.push_back(0);
@@ -542,9 +545,11 @@ void BetaNetwork::extend_rule(const std::vector<Rule>& rules, RuleNet& net,
     TokenMemory& prev = net.mems[l - 1];
     AlphaMemory& am = net.alphas[l];
     const bool last = (l + 1 == net.nlevels);
+    std::uint64_t lvl_probes = 0;
+    std::uint64_t lvl_hits = 0;
 
     const auto try_extend = [&](std::size_t trow, std::size_t arow) {
-      ++probes_round_;
+      ++lvl_probes;
       const FactId cand_id = am.ids[arow];
       // A fact may satisfy at most one pattern of an activation.
       for (std::size_t k = 0; k < l; ++k) {
@@ -572,7 +577,7 @@ void BetaNetwork::extend_rule(const std::vector<Rule>& rules, RuleNet& net,
         if (!compare(con.op, *lhs, rhs)) return;
       }
       if (cl.has_guard && !pat.guard(cand, env)) return;
-      ++hits_round_;
+      ++lvl_hits;
       if (last) {
         std::vector<FactId> tuple;
         tuple.reserve(l + 1);
@@ -637,12 +642,20 @@ void BetaNetwork::extend_rule(const std::vector<Rule>& rules, RuleNet& net,
         }
       }
     }
+    probes_round_ += lvl_probes;
+    hits_round_ += lvl_hits;
+    if (prof_) {
+      auto& lc = prof_->level(net.rule_index, l);
+      lc.probes += lvl_probes;
+      lc.hits += lvl_hits;
+    }
   }
 }
 
 void BetaNetwork::match(const std::vector<Rule>& rules,
                         const WorkingMemory& memory, FactId round_max,
-                        std::vector<Activation>& out) {
+                        std::vector<Activation>& out, RuleProfiler* prof) {
+  prof_ = prof;
   static telemetry::Counter& c_tokens =
       telemetry::counter("rules.beta.tokens");
   static telemetry::Counter& c_bytes =
@@ -667,7 +680,19 @@ void BetaNetwork::match(const std::vector<Rule>& rules,
   sweep(memory);
   admit_deltas(rules, memory, round_max, out);
   for (auto& net : nets_) {
-    if (net->nlevels > 1) extend_rule(rules, *net, memory, out);
+    if (net->nlevels <= 1) continue;
+    if (prof_) {
+      // Join-extension wall time is the beta network's per-rule match
+      // cost; alpha admission is shared fan-out and stays unattributed.
+      const auto t0 = std::chrono::steady_clock::now();
+      extend_rule(rules, *net, memory, out);
+      prof_->rule(net->rule_index).match_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    } else {
+      extend_rule(rules, *net, memory, out);
+    }
   }
 
   c_tokens.add(tokens_ - tokens_before);
@@ -676,6 +701,27 @@ void BetaNetwork::match(const std::vector<Rule>& rules,
   if (arena_.bytes_reserved() > reported_bytes_) {
     c_bytes.add(arena_.bytes_reserved() - reported_bytes_);
     reported_bytes_ = arena_.bytes_reserved();
+  }
+  prof_ = nullptr;
+}
+
+void BetaNetwork::collect_token_state(RuleProfile& profile) const {
+  for (const auto& net : nets_) {
+    if (net->rule_index >= profile.rules.size()) continue;
+    auto& levels = profile.rules[net->rule_index].levels;
+    for (std::size_t l = 0; l < net->mems.size() && l < levels.size(); ++l) {
+      const TokenMemory& tm = net->mems[l];
+      std::uint64_t dead = 0;
+      for (std::size_t row = 0; row < tm.size(); ++row) {
+        if (tm.dead[row] != 0) ++dead;
+      }
+      levels[l].dead_tokens = dead;
+      levels[l].live_tokens = tm.size() - dead;
+      // One FactId column per prefix level plus the dead-flag byte; key
+      // columns are excluded (they only exist for hash-join levels).
+      levels[l].token_bytes =
+          tm.size() * ((l + 1) * sizeof(FactId) + 1);
+    }
   }
 }
 

@@ -85,8 +85,17 @@ class BetaNetwork {
   /// Admits the alpha delta for every rule, extends token memories, and
   /// appends every activation whose tuple contains at least one fact in
   /// (watermark, round_max]. `rules` must only ever grow between calls.
+  /// `prof`, when non-null, receives per-(rule, level) admission and
+  /// probe/hit counts plus per-rule extension timing for this round.
   void match(const std::vector<Rule>& rules, const WorkingMemory& memory,
-             FactId round_max, std::vector<Activation>& out);
+             FactId round_max, std::vector<Activation>& out,
+             RuleProfiler* prof = nullptr);
+
+  /// Fills the live/dead token counts and byte estimates of `profile`'s
+  /// per-rule levels from the current beta memories (level l's memory
+  /// holds the tokens matching patterns [0..l]). Snapshot-time state,
+  /// not a counter; used by RuleHarness::rule_profile().
+  void collect_token_state(RuleProfile& profile) const;
 
   /// Introspection for tests and telemetry.
   [[nodiscard]] std::size_t token_count() const noexcept { return tokens_; }
@@ -129,6 +138,8 @@ class BetaNetwork {
   std::size_t reported_bytes_ = 0;
   std::size_t probes_round_ = 0;
   std::size_t hits_round_ = 0;
+  /// Valid only within match(); null when profiling is disabled.
+  RuleProfiler* prof_ = nullptr;
 };
 
 }  // namespace perfknow::rules::beta

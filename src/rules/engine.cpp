@@ -1,6 +1,7 @@
 #include "rules/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.hpp"
 #include "rules/beta.hpp"
@@ -227,7 +228,8 @@ void RuleHarness::match_step(std::size_t rule_index,
                              FactId old_max, FactId round_max,
                              bool use_index, Bindings& bindings,
                              std::vector<FactId>& matched, UndoLog& undo,
-                             std::vector<Activation>& out) const {
+                             std::vector<Activation>& out,
+                             RuleProfiler* prof) const {
   const Rule& rule = rules_[rule_index];
   if (pattern_index == rule.patterns.size()) {
     out.push_back(Activation{rule_index, matched, bindings});
@@ -272,6 +274,13 @@ void RuleHarness::match_step(std::size_t rule_index,
 
   const auto first = std::upper_bound(cands->begin(), cands->end(), lo);
   const auto last = std::upper_bound(first, cands->end(), hi);
+  if (prof) {
+    // Every candidate enumerated at this position is a probe; the ones
+    // that survive below are hits and admissions (for the enumerating
+    // strategies the two coincide — see the file comment in engine.hpp).
+    prof->level(rule_index, pattern_index).probes +=
+        static_cast<std::uint64_t>(std::distance(first, last));
+  }
   for (auto it = first; it != last; ++it) {
     const FactId id = *it;
     // A fact may satisfy at most one pattern of an activation: joins over
@@ -318,9 +327,14 @@ void RuleHarness::match_step(std::size_t rule_index,
       });
     }
     if (ok) {
+      if (prof) {
+        auto& lvl = prof->level(rule_index, pattern_index);
+        ++lvl.hits;
+        ++lvl.admissions;
+      }
       matched.push_back(id);
       match_step(rule_index, pattern_index + 1, new_pos, old_max, round_max,
-                 use_index, bindings, matched, undo, out);
+                 use_index, bindings, matched, undo, out, prof);
       matched.pop_back();
     }
     unwind(bindings, undo, undo_mark);
@@ -356,31 +370,56 @@ std::size_t RuleHarness::process_rules(std::size_t max_firings) {
     progressed = false;
     agenda.clear();
     ++round;
+    // Re-read the gate each cycle: one relaxed load per round is the
+    // whole disabled-mode cost here (plus a null test per rule below).
+    RuleProfiler* const prof = profiling_enabled() ? &profiler_ : nullptr;
+    if (prof) prof->begin_cycle();
     const FactId round_max = memory_.last_id();
     {
       telemetry::ScopedSpan match_span(match_site);
       if (strategy_ == MatchStrategy::kBeta) {
         if (!beta_) beta_ = std::make_unique<beta::BetaNetwork>();
-        beta_->match(rules_, memory_, round_max, agenda);
+        beta_->match(rules_, memory_, round_max, agenda, prof);
       } else {
-        for (std::size_t r = 0; r < rules_.size(); ++r) {
+        const auto match_rule = [&](std::size_t r) {
           if (strategy_ == MatchStrategy::kIndexed) {
             FactId& watermark = rule_watermark_[r];
-            if (watermark >= round_max) continue;  // no facts newer than seen
+            if (watermark >= round_max) return;  // no facts newer than seen
             if (!delta_touches(rules_[r], watermark, round_max)) {
               watermark = round_max;
-              continue;
+              return;
             }
             const std::size_t npat = rules_[r].patterns.size();
             for (std::size_t new_pos = 0; new_pos < npat; ++new_pos) {
               match_step(r, 0, new_pos, watermark, round_max,
-                         /*use_index=*/true, bindings, matched, undo, agenda);
+                         /*use_index=*/true, bindings, matched, undo, agenda,
+                         prof);
             }
             watermark = round_max;
           } else {
             match_step(r, 0, kAllPositions, 0, round_max,
-                       /*use_index=*/false, bindings, matched, undo, agenda);
+                       /*use_index=*/false, bindings, matched, undo, agenda,
+                       prof);
           }
+        };
+        for (std::size_t r = 0; r < rules_.size(); ++r) {
+          if (prof) {
+            const auto t0 = std::chrono::steady_clock::now();
+            match_rule(r);
+            prof->rule(r).match_ns += static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+          } else {
+            match_rule(r);
+          }
+        }
+      }
+      if (prof) {
+        for (const auto& act : agenda) {
+          auto& rc = prof->rule(act.rule_index);
+          ++rc.activations;
+          rc.bindings += act.bindings.size();
         }
       }
       // Salience (desc), then rule order, then fact ids — a total order,
@@ -423,6 +462,7 @@ std::size_t RuleHarness::process_rules(std::size_t max_firings) {
       }
       rules_[act.rule_index].action(ctx);
       if (recorder_) recorder_->end_firing();
+      if (prof) ++prof->rule(act.rule_index).firings;
       ++fired_count;
       fired_counter.add();
       progressed = true;
@@ -450,6 +490,43 @@ std::vector<Diagnosis> RuleHarness::diagnoses_for(
 void RuleHarness::clear_results() {
   output_.clear();
   diagnoses_.clear();
+}
+
+RuleProfile RuleHarness::rule_profile() const {
+  RuleProfile p;
+  switch (strategy_) {
+    case MatchStrategy::kNaive: p.strategy = "naive"; break;
+    case MatchStrategy::kIndexed: p.strategy = "indexed"; break;
+    case MatchStrategy::kBeta: p.strategy = "beta"; break;
+  }
+  p.cycles = profiler_.cycles();
+  p.wm_size = memory_.size();
+  p.rules.resize(rules_.size());
+  const auto& counters = profiler_.rules();
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    auto& out = p.rules[r];
+    out.name = rules_[r].name;
+    out.index = r;
+    out.levels.resize(rules_[r].patterns.size());
+    if (r >= counters.size()) continue;
+    const auto& rc = counters[r];
+    out.match_ns = rc.match_ns;
+    out.firings = rc.firings;
+    out.activations = rc.activations;
+    out.bindings = rc.bindings;
+    for (std::size_t l = 0; l < rc.levels.size() && l < out.levels.size();
+         ++l) {
+      out.levels[l].admissions = rc.levels[l].admissions;
+      out.levels[l].probes = rc.levels[l].probes;
+      out.levels[l].hits = rc.levels[l].hits;
+    }
+  }
+  // Live/dead token state is read directly from the beta memories: it is
+  // snapshot-time occupancy, not a cumulative counter.
+  if (strategy_ == MatchStrategy::kBeta && beta_) {
+    beta_->collect_token_state(p);
+  }
+  return p;
 }
 
 }  // namespace perfknow::rules

@@ -35,7 +35,14 @@
 // equality index already excluded — and the beta matcher additionally
 // front-loads literal/same-fact tests before variable and computed
 // ones — so either may reject a candidate before reaching the throwing
-// constraint and therefore not raise the error.
+// constraint and therefore not raise the error. Profiler attribution
+// (rules/profiler.hpp) extends the doctrine the same way: firings are
+// byte-identical across strategies, but probe/admission counts — and
+// activation/binding counts, which tally agenda entries as enqueued,
+// before fire-time dedup suppresses a re-enumerating strategy's
+// duplicates — describe the enumeration work the *active* strategy
+// performed. They are strategy-local evidence, never part of the
+// byte-identical contract.
 #pragma once
 
 #include <functional>
@@ -50,6 +57,7 @@
 #include "provenance/provenance.hpp"
 #include "rules/diagnosis.hpp"
 #include "rules/fact.hpp"
+#include "rules/profiler.hpp"
 
 namespace perfknow::rules {
 
@@ -246,6 +254,18 @@ class RuleHarness {
   /// Clears output/diagnoses (not rules or memory).
   void clear_results();
 
+  /// Cost-attribution snapshot accumulated while profiling_enabled()
+  /// was on during process_rules: per-rule match ns / firings /
+  /// activations / bindings, per pattern level admissions / probes /
+  /// hits, and (kBeta only) live/dead token counts and bytes read from
+  /// the beta memories at snapshot time. Counters are cumulative across
+  /// process_rules calls; probe/admission semantics are per-strategy
+  /// (see the file comment). Cheap enough to call between cycles.
+  [[nodiscard]] RuleProfile rule_profile() const;
+
+  /// Clears the profiler's accumulated counters (not rules or memory).
+  void clear_profile() { profiler_.reset(); }
+
  private:
   friend class RuleContext;
 
@@ -278,11 +298,15 @@ class RuleHarness {
   /// ("old"), the position `new_pos` to (old_max, round_max] ("new"),
   /// later positions to ids <= round_max — the standard delta-join
   /// scheme that yields each tuple containing >= 1 new fact exactly once.
+  /// `prof` is non-null only while profiling is enabled: each candidate
+  /// examined at a pattern position counts as a probe, each candidate
+  /// that survives bindings+constraints+guard as a hit and admission
+  /// (for the enumerating strategies, admissions == hits by doctrine).
   void match_step(std::size_t rule_index, std::size_t pattern_index,
                   std::size_t new_pos, FactId old_max, FactId round_max,
                   bool use_index, Bindings& bindings,
                   std::vector<FactId>& matched, UndoLog& undo,
-                  std::vector<Activation>& out) const;
+                  std::vector<Activation>& out, RuleProfiler* prof) const;
 
   /// True when some pattern of `rule` has facts in (old_max, round_max].
   [[nodiscard]] bool delta_touches(const Rule& rule, FactId old_max,
@@ -306,6 +330,8 @@ class RuleHarness {
   std::set<std::pair<std::size_t, std::vector<FactId>>> fired_;
   /// Null when provenance is off — the hot-path guard is this one check.
   std::unique_ptr<provenance::Recorder> recorder_;
+  /// Cost-attribution counters; written only when profiling_enabled().
+  RuleProfiler profiler_;
 };
 
 /// RAII origin label for baseline facts asserted from the analysis

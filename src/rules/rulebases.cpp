@@ -528,6 +528,81 @@ then
 end
 )RULES";
 
+constexpr std::string_view kRuleTuning = R"RULES(
+// Rule-engine cost attribution: diagnoses the *rulebase itself* from the
+// RuleProfileFact / JoinLevelFact facts asserted by
+// rules::assert_profile_facts over a rules-profile trial
+// (rules::profile_to_trial, `pkx rules-profile`). Not part of
+// openuh_rules(): these rules consume engine profiler counters, not
+// application profile facts. Probe/admission counts are per matching
+// strategy (the profile trial records which), so thresholds describe
+// the work the active matcher actually performed.
+rule "Combinatorial Join Explosion"
+salience 10
+when
+  j : JoinLevelFact( probes >= 500, h : hits, probes > h * 20,
+                     r : ruleName, l : level, p : probes )
+then
+  print("Join explosion: rule '" + r + "' level " + l + " probed " + p +
+        " combinations for " + h + " matches")
+  diagnose(problem = "CombinatorialJoinExplosion", event = r,
+           metric = "rules.probes", severity = 1,
+           message = "pattern " + l + " of '" + r + "' probed " + p +
+                     " token x fact combinations but matched only " + h +
+                     ": the join has no selective equality key",
+           recommendation = "Give pattern " + l + " of '" + r +
+                           "' an equality constraint on a variable bound by an earlier pattern so the join can be hashed instead of cross-multiplied")
+end
+
+rule "Dead Rule"
+when
+  x : RuleProfileFact( cycles >= 2, admissions >= 1, firings == 0,
+                       r : ruleName, a : admissions, u : matchUsec )
+then
+  print("Dead rule: '" + r + "' admitted " + a + " facts but never fired")
+  diagnose(problem = "DeadRule", event = r,
+           metric = "rules.firings", severity = 0.5,
+           message = "'" + r + "' admitted " + a +
+                     " facts past its pattern tests and spent " + u +
+                     " usec matching, but produced no firing",
+           recommendation = "Tighten or retire '" + r +
+                           "': its alpha tests pass but the join never completes, so it only costs match time")
+end
+
+rule "Low Selectivity Anchor"
+when
+  j : JoinLevelFact( level == 0, w : wmSize, a : admissions,
+                     admissions >= 8, admissions > w * 0.5,
+                     r : ruleName )
+then
+  print("Low-selectivity anchor: rule '" + r + "' admits " + a + " of " +
+        w + " facts at its first pattern")
+  diagnose(problem = "LowSelectivityAnchor", event = r,
+           metric = "rules.admissions", severity = a / w,
+           message = "the first pattern of '" + r + "' admits " + a +
+                     " of " + w +
+                     " working-memory facts, so every later join starts from a near-full scan",
+           recommendation = "Reorder the patterns of '" + r +
+                           "' so the most selective one anchors the join")
+end
+
+rule "Dead Token Bloat"
+when
+  j : JoinLevelFact( deadTokens >= 64, t : liveTokens, d : deadTokens,
+                     deadTokens > t, r : ruleName, l : level,
+                     b : tokenBytes )
+then
+  print("Dead token bloat: rule '" + r + "' level " + l + " holds " + d +
+        " dead vs " + t + " live tokens")
+  diagnose(problem = "DeadTokenBloat", event = r,
+           metric = "rules.dead_tokens", severity = 0.5,
+           message = "level " + l + " of '" + r + "' holds " + d +
+                     " retract-invalidated tokens against " + t +
+                     " live ones (" + b + " bytes retained)",
+           recommendation = "Batch retracts and let a process_rules cycle sweep between them, or assert the churning facts after the stable ones so fewer partial joins are built over them")
+end
+)RULES";
+
 }  // namespace
 
 std::string_view stalls_per_cycle() { return kStallsPerCycle; }
@@ -541,6 +616,7 @@ std::string_view instrumentation() { return kInstrumentation; }
 std::string_view openmp() { return kOpenmp; }
 std::string_view self_diagnosis() { return kSelfDiagnosis; }
 std::string_view regression() { return kRegression; }
+std::string_view rule_tuning() { return kRuleTuning; }
 
 std::string openuh_rules() {
   std::string all;
@@ -574,6 +650,7 @@ std::string origin_for(std::string_view src) {
       {kOpenmp, "builtin:openmp"},
       {kSelfDiagnosis, "builtin:self_diagnosis"},
       {kRegression, "builtin:regression"},
+      {kRuleTuning, "builtin:rule_tuning"},
   };
   for (const auto& [text, label] : kKnown) {
     if (src == text) return label;

@@ -66,6 +66,14 @@ namespace perfknow::rules::builtin {
 /// Like self_diagnosis(), NOT part of openuh_rules().
 [[nodiscard]] std::string_view regression();
 
+/// Rule-engine cost attribution over the profiler facts of
+/// rules/profiler.hpp (RuleProfileFact, JoinLevelFact from
+/// assert_profile_facts): combinatorial join explosions, dead rules,
+/// low-selectivity anchor patterns, dead-token bloat. Drives
+/// `pkx rules-profile`. Like self_diagnosis(), NOT part of
+/// openuh_rules() — it diagnoses the engine, not the application.
+[[nodiscard]] std::string_view rule_tuning();
+
 /// The union of all of the above — the "OpenUHRules" file of Fig. 1.
 [[nodiscard]] std::string openuh_rules();
 

@@ -111,6 +111,7 @@ std::string resolve_rulebase(const std::string& name,
   if (name == "openmp") return std::string(rb::openmp());
   if (name == "self_diagnosis") return std::string(rb::self_diagnosis());
   if (name == "regression") return std::string(rb::regression());
+  if (name == "rule_tuning") return std::string(rb::rule_tuning());
   const auto slurp = [](std::ifstream& is) {
     std::ostringstream ss;
     ss << is.rdbuf();
@@ -615,6 +616,53 @@ void AnalysisSession::register_api() {
                    {"missingEvents", Value(s.missing_events)},
                    {"addedEvents", Value(s.added_events)},
                    {"facts", Value(s.facts)}});
+            })},
+           // Session.setProfiling(true|false) flips the process-wide
+           // rule-engine cost-attribution gate (rules/profiler.hpp).
+           {"setProfiling",
+            make_host_fn([](Interpreter&, const std::vector<Value>& a) {
+              if (a.empty()) {
+                throw EvalError("setProfiling: missing argument 1");
+              }
+              rules::set_profiling_enabled(a[0].is_bool()
+                                               ? a[0].as_bool()
+                                               : a[0].as_number() != 0.0);
+              return Value(rules::profiling_enabled());
+            })},
+           // Session.ruleProfile() snapshots the harness's per-rule /
+           // per-level cost attribution as nested dicts.
+           {"ruleProfile",
+            make_host_fn([harness](Interpreter&,
+                                   const std::vector<Value>&) {
+              const auto profile = harness->rule_profile();
+              std::vector<Value> rules_out;
+              for (const auto& r : profile.rules) {
+                std::vector<Value> levels;
+                for (std::size_t l = 0; l < r.levels.size(); ++l) {
+                  const auto& lv = r.levels[l];
+                  levels.push_back(make_dict(
+                      {{"level", Value(l)},
+                       {"admissions", Value(lv.admissions)},
+                       {"probes", Value(lv.probes)},
+                       {"hits", Value(lv.hits)},
+                       {"liveTokens", Value(lv.live_tokens)},
+                       {"deadTokens", Value(lv.dead_tokens)},
+                       {"tokenBytes", Value(lv.token_bytes)}}));
+                }
+                rules_out.push_back(make_dict(
+                    {{"rule", Value(r.name)},
+                     {"matchUsec",
+                      Value(static_cast<double>(r.match_ns) / 1000.0)},
+                     {"firings", Value(r.firings)},
+                     {"activations", Value(r.activations)},
+                     {"bindings", Value(r.bindings)},
+                     {"levels", make_list(std::move(levels))}}));
+              }
+              return make_dict(
+                  {{"strategy", Value(profile.strategy)},
+                   {"cycles", Value(profile.cycles)},
+                   {"wmSize", Value(profile.wm_size)},
+                   {"rules", make_list(std::move(rules_out))}});
             })}}));
 
   // ---- History (trial lineage) ----------------------------------------------

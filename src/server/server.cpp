@@ -53,6 +53,29 @@ std::string optional_string(const json::Value& params,
   return v->text;
 }
 
+/// Optional numeric member of a params object; `fallback` when absent.
+/// Returns nullopt when present but not a number (caller rejects).
+std::optional<double> optional_number(const json::Value& params,
+                                      const std::string& key,
+                                      double fallback) {
+  const json::Value* v = params.find(key);
+  if (v == nullptr) return fallback;
+  if (v->kind != json::Value::Kind::kNumber) return std::nullopt;
+  return v->number;
+}
+
+/// The stats object body shared by the `stats` result and each `watch`
+/// event (same keys, so clients render both with one code path).
+std::string stats_json(const ServerStats& s) {
+  return "{\"connections\":" + std::to_string(s.connections) +
+         ",\"requests\":" + std::to_string(s.requests) +
+         ",\"executed\":" + std::to_string(s.executed) +
+         ",\"rejected_overload\":" + std::to_string(s.rejected_overload) +
+         ",\"rejected_budget\":" + std::to_string(s.rejected_budget) +
+         ",\"uploads\":" + std::to_string(s.uploads) +
+         ",\"queue_depth\":" + std::to_string(s.queue_depth) + "}";
+}
+
 provenance::ProvenanceMode provenance_mode(const json::Value& params,
                                            const std::string& method) {
   const std::string mode = optional_string(params, "provenance");
@@ -248,6 +271,18 @@ void Server::stop() {
   }
   queue_cv_.notify_all();
   for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+
+  // Watch streams poll stopping_ between events; join them before the
+  // readers so no watcher writes into a connection being torn down.
+  std::vector<std::thread> watchers;
+  {
+    std::lock_guard<std::mutex> lock(watchers_mutex_);
+    watchers = std::move(watchers_);
+    watchers_.clear();
+  }
+  for (auto& w : watchers) {
     if (w.joinable()) w.join();
   }
 
@@ -468,16 +503,13 @@ void Server::dispatch(const ConnectionPtr& conn, wire::Request req) {
     return;
   }
   if (req.method == "stats") {
-    const ServerStats s = stats();
-    std::string data =
-        "{\"connections\":" + std::to_string(s.connections) +
-        ",\"requests\":" + std::to_string(s.requests) +
-        ",\"executed\":" + std::to_string(s.executed) +
-        ",\"rejected_overload\":" + std::to_string(s.rejected_overload) +
-        ",\"rejected_budget\":" + std::to_string(s.rejected_budget) +
-        ",\"uploads\":" + std::to_string(s.uploads) +
-        ",\"queue_depth\":" + std::to_string(s.queue_depth) + "}";
-    send_line(*conn, wire::result_line(req.id, data));
+    send_line(*conn, wire::result_line(req.id, stats_json(stats())));
+    return;
+  }
+  if (req.method == "watch") {
+    // Like ping/stats, answered off the worker queue: a saturated or
+    // deadlocked worker pool must still be observable.
+    start_watch(conn, req);
     return;
   }
   if (req.method != "upload" && req.method != "analyze" &&
@@ -544,6 +576,103 @@ void Server::dispatch(const ConnectionPtr& conn, wire::Request req) {
     queue_.push_back(Job{conn, std::move(req), now_ns()});
   }
   queue_cv_.notify_one();
+}
+
+void Server::start_watch(const ConnectionPtr& conn,
+                         const wire::Request& req) {
+  const auto interval = optional_number(req.params, "interval", 1.0);
+  const auto count = optional_number(req.params, "count", 0.0);
+  if (!interval || *interval < 0.05 || *interval > 3600.0) {
+    send_error(*conn, req.id, wire::ErrorCode::kBadRequest,
+               "watch: params.interval must be a number of seconds in "
+               "[0.05, 3600]");
+    return;
+  }
+  if (!count || *count < 0.0 || *count > 1e9) {
+    send_error(*conn, req.id, wire::ErrorCode::kBadRequest,
+               "watch: params.count must be a non-negative number of "
+               "events (0 streams until disconnect)");
+    return;
+  }
+  // Checked under watchers_mutex_ so a watch can never slip in after
+  // stop() has drained the vector (it would be an unjoined thread).
+  std::lock_guard<std::mutex> lock(watchers_mutex_);
+  if (stopping_.load()) {
+    send_error(*conn, req.id, wire::ErrorCode::kShuttingDown,
+               "server is shutting down");
+    return;
+  }
+  watchers_.emplace_back(
+      [this, conn, id = req.id, interval_s = *interval,
+       n = static_cast<std::uint64_t>(*count)] {
+        watch_loop(conn, id, interval_s, n);
+      });
+}
+
+void Server::watch_loop(ConnectionPtr conn, std::string id,
+                        double interval_s, std::uint64_t count) {
+  static telemetry::Counter& events_counter =
+      telemetry::counter("server.watch_events");
+  ServerStats prev = stats();
+  std::uint64_t seq = 0;
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(interval_s));
+  while (!stopping_.load()) {
+    // Sleep in short slices so shutdown and client disconnect are
+    // noticed promptly even at long intervals.
+    const auto deadline = std::chrono::steady_clock::now() + interval;
+    while (!stopping_.load() &&
+           std::chrono::steady_clock::now() < deadline) {
+      {
+        std::lock_guard<std::mutex> lock(conn->write_mutex);
+        if (conn->fd < 0) return;  // peer gone; nothing to stream to
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (stopping_.load()) break;
+    const ServerStats s = stats();
+    ++seq;
+    const std::string data =
+        "{\"seq\":" + std::to_string(seq) +
+        ",\"interval\":" + json::number(interval_s) +
+        ",\"stats\":" + stats_json(s) +
+        ",\"delta\":{\"requests\":" +
+        std::to_string(s.requests - prev.requests) +
+        ",\"executed\":" + std::to_string(s.executed - prev.executed) +
+        ",\"rejected_overload\":" +
+        std::to_string(s.rejected_overload - prev.rejected_overload) +
+        ",\"rejected_budget\":" +
+        std::to_string(s.rejected_budget - prev.rejected_budget) +
+        ",\"uploads\":" + std::to_string(s.uploads - prev.uploads) + "}}";
+    const std::string line = wire::event_line(id, "stats", data);
+    // Every event line is charged against the same per-connection byte
+    // budget as uploads: an unbounded watch at a short interval is a
+    // slow upload in reverse, and must exhaust admission the same way.
+    const std::uint64_t charge = line.size() + 1;
+    const std::uint64_t already =
+        conn->uploaded_bytes.fetch_add(charge, std::memory_order_relaxed);
+    if (already + charge > options_.client_byte_budget) {
+      conn->uploaded_bytes.fetch_sub(charge, std::memory_order_relaxed);
+      rejected_budget_.fetch_add(1, std::memory_order_relaxed);
+      send_error(*conn, id, wire::ErrorCode::kBudgetExceeded,
+                 "watch stream exhausted the connection byte budget of " +
+                     std::to_string(options_.client_byte_budget) +
+                     " bytes after " + std::to_string(seq - 1) + " events");
+      return;
+    }
+    send_line(*conn, line);
+    events_counter.add();
+    prev = s;
+    if (count > 0 && seq >= count) {
+      send_line(*conn, wire::result_line(
+                           id, "{\"events\":" + std::to_string(seq) + "}"));
+      return;
+    }
+  }
+  // Shutdown path: end the stream cleanly (a no-op if the peer is gone).
+  send_line(*conn,
+            wire::result_line(id, "{\"events\":" + std::to_string(seq) + "}"));
 }
 
 // ---- execution ---------------------------------------------------------

@@ -14,7 +14,12 @@
 //     its thread for reaping, so a long-running daemon does not leak
 //     fds or threads across connections;
 //   * "ping" and "stats" are answered inline by the reader thread so
-//     health checks keep working while the queue is saturated;
+//     health checks keep working while the queue is saturated, and
+//     "watch" spawns a dedicated streaming thread off the worker queue
+//     for the same reason: it emits one "stats" event line per interval
+//     (current totals plus per-interval deltas), each charged against
+//     the connection's byte budget, until the requested count, peer
+//     disconnect, budget exhaustion, or shutdown ends the stream;
 //   * the shared repository is guarded by a readers/writer lock —
 //     uploads take it exclusively, analyses share it — because
 //     Repository::put mutates the store map without an internal lock;
@@ -224,8 +229,18 @@ class Server {
   void reap_readers();
 
   /// Handles one parsed request on the reader thread: answers ping /
-  /// stats inline, otherwise admits into the queue or rejects.
+  /// stats inline, starts a watch stream, otherwise admits into the
+  /// queue or rejects.
   void dispatch(const ConnectionPtr& conn, wire::Request req);
+  /// Validates watch params and spawns the streaming thread. Like ping,
+  /// runs entirely off the worker queue so a saturated server can still
+  /// be watched.
+  void start_watch(const ConnectionPtr& conn, const wire::Request& req);
+  /// Emits one "stats" event line per interval until the count is
+  /// reached, the connection closes, the byte budget runs out, or the
+  /// server stops. Runs on a dedicated thread tracked in watchers_.
+  void watch_loop(ConnectionPtr conn, std::string id, double interval_s,
+                  std::uint64_t count);
   void execute(Job& job);
   void do_upload(const ConnectionPtr& conn, const wire::Request& req);
   void do_analyze(const ConnectionPtr& conn, const wire::Request& req,
@@ -272,6 +287,11 @@ class Server {
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
+  /// Watch-stream threads (one per active `watch` request). Guarded by
+  /// watchers_mutex_; joined by stop() after the workers (they exit on
+  /// stopping_ within one poll slice).
+  std::mutex watchers_mutex_;
+  std::vector<std::thread> watchers_;
 
   std::mutex stop_mutex_;
   std::condition_variable stop_cv_;

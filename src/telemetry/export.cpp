@@ -120,6 +120,16 @@ profile::Trial to_trial(const Snapshot& snap, const std::string& name) {
         h.count == 0 ? 0.0 : static_cast<double>(h.sum) / c;
     trial.set_inclusive(0, root, mm, mean);
     trial.set_exclusive(0, root, mm, mean);
+    const std::pair<const char*, double> quantiles[] = {
+        {".p50", h.p50},
+        {".p95", h.p95},
+        {".max", static_cast<double>(h.max)},
+    };
+    for (const auto& [suffix, value] : quantiles) {
+      const auto qm = trial.add_metric(h.name + suffix, "count");
+      trial.set_inclusive(0, root, qm, value);
+      trial.set_exclusive(0, root, qm, value);
+    }
   }
 
   const auto dm = trial.add_metric("telemetry.dropped_spans", "count");

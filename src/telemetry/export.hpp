@@ -11,8 +11,9 @@
 //     units usec — the PerfDMF convention);
 //   * counter -> metric (units "count") valued on the root event of
 //     thread 0;
-//   * histogram -> two metrics, "<name>.count" and "<name>.mean",
-//     valued on the root event of thread 0;
+//   * histogram -> metrics "<name>.count", "<name>.mean", "<name>.p50",
+//     "<name>.p95", and "<name>.max" (quantiles estimated from the log2
+//     buckets), valued on the root event of thread 0;
 //   * Snapshot::dropped_spans -> metric "telemetry.dropped_spans" and
 //     metadata of the same name.
 #pragma once

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -182,11 +183,21 @@ void Histogram::record(std::uint64_t v) noexcept {
   sum_.fetch_add(v, std::memory_order_relaxed);
   buckets_[static_cast<std::size_t>(std::bit_width(v))].fetch_add(
       1, std::memory_order_relaxed);
+  std::uint64_t m = min_.load(std::memory_order_relaxed);
+  while (v < m && !min_.compare_exchange_weak(m, v,
+                                              std::memory_order_relaxed)) {
+  }
+  m = max_.load(std::memory_order_relaxed);
+  while (v > m && !max_.compare_exchange_weak(m, v,
+                                              std::memory_order_relaxed)) {
+  }
 }
 
 void Histogram::reset_values() noexcept {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
+  min_.store(kEmptyMin, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
 }
 
@@ -218,10 +229,41 @@ Snapshot snapshot() {
       s.name = name;
       s.count = h->count();
       s.sum = h->sum();
+      s.min = h->min();
+      s.max = h->max();
       s.buckets.resize(Histogram::kBuckets);
       for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
         s.buckets[i] = h->bucket(i);
       }
+      // Fold the 65 bit-width buckets into the fixed 16-bucket sketch:
+      // bucket j (values with bit_width j) lands in sketch[(j-1)/4],
+      // zero values in sketch[0].
+      s.sketch.assign(HistogramSample::kSketchBuckets, 0);
+      for (std::size_t j = 0; j < Histogram::kBuckets; ++j) {
+        const std::size_t i = j == 0 ? 0 : (j - 1) / 4;
+        s.sketch[i] += s.buckets[j];
+      }
+      // Quantiles: the upper bound of the log2 bucket containing the
+      // quantile index, clamped to the observed [min, max] so narrow
+      // distributions don't report a power-of-two ceiling.
+      const auto quantile = [&s](double q) {
+        if (s.count == 0) return 0.0;
+        const auto target = static_cast<std::uint64_t>(
+            q * static_cast<double>(s.count - 1)) + 1;
+        std::uint64_t cum = 0;
+        for (std::size_t j = 0; j < Histogram::kBuckets; ++j) {
+          cum += s.buckets[j];
+          if (cum >= target) {
+            const double hi =
+                j == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(j)) - 1.0;
+            return std::min(std::max(hi, static_cast<double>(s.min)),
+                            static_cast<double>(s.max));
+          }
+        }
+        return static_cast<double>(s.max);
+      };
+      s.p50 = quantile(0.50);
+      s.p95 = quantile(0.95);
       snap.histograms.push_back(std::move(s));
     }
   }

@@ -108,14 +108,29 @@ class Histogram {
   [[nodiscard]] std::uint64_t sum() const noexcept {
     return sum_.load(std::memory_order_relaxed);
   }
+  /// Smallest/largest value recorded since the last reset (relaxed CAS
+  /// races may briefly under-report under concurrency; exact once the
+  /// writers quiesce). 0 when nothing was recorded.
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    const auto v = min_.load(std::memory_order_relaxed);
+    return v == kEmptyMin ? 0 : v;
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
     return buckets_[i].load(std::memory_order_relaxed);
   }
   void reset_values() noexcept;
 
  private:
+  static constexpr std::uint64_t kEmptyMin =
+      ~static_cast<std::uint64_t>(0);
+
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{kEmptyMin};
+  std::atomic<std::uint64_t> max_{0};
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
 };
 
@@ -180,10 +195,23 @@ struct CounterSample {
 };
 
 struct HistogramSample {
+  /// Sketch width: the 65 bit-width buckets folded 4:1 (sketch[i]
+  /// counts values whose bit_width is in [4i+1, 4i+4]; zero values land
+  /// in sketch[0]) — a fixed log2 shape cheap enough to stream.
+  static constexpr std::size_t kSketchBuckets = 16;
+
   std::string name;
   std::uint64_t count = 0;
   std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< smallest recorded value (0 when empty)
+  std::uint64_t max = 0;  ///< largest recorded value (0 when empty)
+  /// Quantile estimates from the log2 buckets: upper bound of the
+  /// bucket holding the quantile, clamped to [min, max]. Exact order of
+  /// magnitude, not exact values.
+  double p50 = 0.0;
+  double p95 = 0.0;
   std::vector<std::uint64_t> buckets;  ///< Histogram::kBuckets entries
+  std::vector<std::uint64_t> sketch;   ///< kSketchBuckets entries
 };
 
 /// Plain-data capture of all telemetry state at one point in time.

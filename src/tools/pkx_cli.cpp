@@ -37,6 +37,9 @@ constexpr CommandUsage kCommands[] = {
      "pkx <repo-dir> explain <app> <exp> <trial> [--json <file>]"
      " [--dot <file>]\n"
      "  pkx explain --from <explanations.json>"},
+    {"rules-profile",
+     "pkx <repo-dir> rules-profile <app> <exp> <trial> [--rules <file>]"
+     " [--json <file>] [--dot <file>]"},
     {"export-csv", "pkx <repo-dir> export-csv <app> <exp> <trial> <metric>"},
     {"export-json", "pkx <repo-dir> export-json <app> <exp> <trial> <file>"},
     {"import", "pkx <repo-dir> import <file-or-dir> <app> <exp>"},
@@ -53,7 +56,10 @@ constexpr CommandUsage kCommands[] = {
      "    [--queue <n>] [--client-queue <n>] [--budget <bytes>]"
      " [--trace <file>]"},
     {"client",
-     "pkx client <socket> ping | stats | selfdiagnose\n"
+     "pkx client <socket> ping | selfdiagnose\n"
+     "  pkx client <socket> stats [--json]\n"
+     "  pkx client <socket> watch [--interval <sec>] [--count <n>]"
+     " [--json]\n"
      "  pkx client <socket> upload <app> <exp> <file> [--version <v>]"
      " [--predecessor <p>]\n"
      "  pkx client <socket> analyze|explain <app> <exp> <trial>"
@@ -74,7 +80,11 @@ int usage(std::ostream& err) {
          "re-renders a previously exported --json file. diff compares\n"
          "two versions with rules/regression.rules (exit 3 when a\n"
          "regression is diagnosed); bench2pkb ingests Google-Benchmark\n"
-         "JSON as the next version of an experiment's history.\n";
+         "JSON as the next version of an experiment's history.\n"
+         "rules-profile re-runs a trial's analysis with the per-rule\n"
+         "cost profiler on, stores the attribution as a trial named\n"
+         "<trial>-rules-profile, and diagnoses it with the shipped\n"
+         "rule_tuning rulebase (proof trees included).\n";
   return 2;
 }
 
@@ -236,6 +246,141 @@ int cmd_explain_from(const std::string& file, std::ostream& out) {
     out << pk::provenance::to_text(e) << "\n";
   }
   out << explanations.size() << " explanations\n";
+  return 0;
+}
+
+// ---- rule-engine cost attribution --------------------------------------
+
+/// Turns the process-wide profiling gate on for one scope and restores
+/// the previous setting even when the analysis throws.
+struct ProfilingScope {
+  bool prev = pk::rules::profiling_enabled();
+  ProfilingScope() { pk::rules::set_profiling_enabled(true); }
+  ~ProfilingScope() { pk::rules::set_profiling_enabled(prev); }
+  ProfilingScope(const ProfilingScope&) = delete;
+  ProfilingScope& operator=(const ProfilingScope&) = delete;
+};
+
+int cmd_rules_profile(pk::perfdmf::Repository& repo,
+                      const std::string& repo_dir,
+                      const std::vector<std::string>& args,
+                      std::ostream& out, std::ostream& err) {
+  // pkx <repo> rules-profile <app> <exp> <trial> [flags]
+  std::string rules_file;
+  std::string json_file;
+  std::string dot_file;
+  if ((args.size() - 5) % 2 != 0) return usage_for("rules-profile", err);
+  for (std::size_t i = 5; i + 1 < args.size(); i += 2) {
+    if (args[i] == "--rules") rules_file = args[i + 1];
+    else if (args[i] == "--json") json_file = args[i + 1];
+    else if (args[i] == "--dot") dot_file = args[i + 1];
+    else return usage_for("rules-profile", err);
+  }
+  const auto trial = repo.get(args[2], args[3], args[4]);
+
+  // Pass 1: the pkx-explain pipeline with the profiler on, so the
+  // attribution describes exactly what `pkx explain` would have run
+  // (plus any --rules extras, which is where planted pathological
+  // rules for CI self-tests come in).
+  pk::rules::RuleProfile profile;
+  {
+    ProfilingScope profiling;
+    pk::rules::RuleHarness harness;
+    pk::rules::builtin::use(harness, pk::rules::builtin::openuh_rules());
+    if (!rules_file.empty()) {
+      std::ifstream is(rules_file);
+      if (!is) throw pk::IoError("cannot open rules file: " + rules_file);
+      std::ostringstream ss;
+      ss << is.rdbuf();
+      pk::rules::add_rules(harness, ss.str(), rules_file);
+    }
+    pk::analysis::assert_load_balance_facts(harness, *trial);
+    if (trial->find_metric("BACK_END_BUBBLE_ALL")) {
+      pk::analysis::assert_stall_facts(harness, *trial);
+    }
+    if (trial->find_metric("L3_MISSES")) {
+      pk::analysis::assert_memory_locality_facts(harness, *trial);
+    }
+    harness.process_rules();
+    profile = harness.rule_profile();
+  }
+
+  out << "rules profile for " << args[2] << "/" << args[3] << "/"
+      << args[4] << " (strategy " << profile.strategy << ", "
+      << profile.cycles << " cycles, " << profile.wm_size
+      << " facts)\n\n";
+  pk::TextTable rules_table(
+      {"rule", "match us", "firings", "activations", "bindings"});
+  for (const auto& r : profile.rules) {
+    rules_table.begin_row()
+        .add(r.name)
+        .add(static_cast<double>(r.match_ns) / 1000.0, 1)
+        .add(static_cast<long long>(r.firings))
+        .add(static_cast<long long>(r.activations))
+        .add(static_cast<long long>(r.bindings));
+  }
+  out << rules_table.str();
+  pk::TextTable levels_table({"rule", "level", "admissions", "probes",
+                              "hits", "live", "dead", "bytes"});
+  for (const auto& r : profile.rules) {
+    for (std::size_t l = 0; l < r.levels.size(); ++l) {
+      const auto& lv = r.levels[l];
+      levels_table.begin_row()
+          .add(r.name)
+          .add(static_cast<long long>(l))
+          .add(static_cast<long long>(lv.admissions))
+          .add(static_cast<long long>(lv.probes))
+          .add(static_cast<long long>(lv.hits))
+          .add(static_cast<long long>(lv.live_tokens))
+          .add(static_cast<long long>(lv.dead_tokens))
+          .add(static_cast<long long>(lv.token_bytes));
+    }
+  }
+  out << "\n" << levels_table.str();
+
+  // The profile is itself a trial: store it next to the analyzed one so
+  // later sessions (or the rule_tuning pass below) can reopen it.
+  const std::string profile_name = args[4] + "-rules-profile";
+  auto profile_trial = std::make_shared<pk::profile::Trial>(
+      pk::rules::profile_to_trial(profile, profile_name));
+  repo.put(args[2], args[3], profile_trial);
+  repo.save(repo_dir);
+  out << "\nstored profile as " << args[2] << "/" << args[3] << "/"
+      << profile_name << "\n\n";
+
+  // Pass 2: diagnose the stored profile with the shipped rule_tuning
+  // rulebase — the engine analyzing its own cost attribution, proof
+  // trees included.
+  pk::rules::RuleHarness tuning;
+  tuning.set_provenance(pk::provenance::ProvenanceMode::kFull);
+  pk::rules::builtin::use(tuning, pk::rules::builtin::rule_tuning());
+  pk::rules::assert_profile_facts(tuning, *repo.get(args[2], args[3],
+                                                    profile_name));
+  tuning.process_rules();
+
+  std::vector<pk::provenance::Explanation> explanations;
+  for (const auto& d : tuning.diagnoses()) {
+    if (d.provenance) explanations.push_back(*d.provenance);
+  }
+  if (explanations.empty()) {
+    out << "no rule-tuning diagnoses\n";
+  } else {
+    for (const auto& e : explanations) {
+      out << pk::provenance::to_text(e) << "\n";
+    }
+  }
+  if (!json_file.empty()) {
+    std::ofstream os(json_file);
+    if (!os) throw pk::IoError("cannot open for writing: " + json_file);
+    os << pk::provenance::to_json(explanations);
+    out << "wrote " << json_file << "\n";
+  }
+  if (!dot_file.empty()) {
+    std::ofstream os(dot_file);
+    if (!os) throw pk::IoError("cannot open for writing: " + dot_file);
+    os << pk::provenance::to_dot(explanations);
+    out << "wrote " << dot_file << "\n";
+  }
   return 0;
 }
 
@@ -525,6 +670,72 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out,
   return 0;
 }
 
+/// Streams `watch` events: sends the request, then prints each "stats"
+/// event as it arrives (raw JSON lines under --json, fixed-width rows
+/// otherwise) until the server's terminal line for the request.
+int client_watch(pk::server::Client& client,
+                 const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  double interval = 1.0;
+  long long count = 0;
+  bool json_lines = false;
+  for (std::size_t i = 3; i < args.size(); ++i) {
+    if (args[i] == "--json") {
+      json_lines = true;
+      continue;
+    }
+    if (i + 1 >= args.size()) return usage_for("client", err);
+    try {
+      if (args[i] == "--interval") {
+        interval = pk::strings::parse_double(args[i + 1]);
+      } else if (args[i] == "--count") {
+        count = pk::strings::parse_int(args[i + 1]);
+      } else {
+        return usage_for("client", err);
+      }
+    } catch (const pk::ParseError&) {
+      err << "pkx client: " << args[i] << " must be a number, got '"
+          << args[i + 1] << "'\n";
+      return usage_for("client", err);
+    }
+    ++i;
+  }
+  const std::string params =
+      "{\"interval\":" + pk::json::number(interval) +
+      ",\"count\":" + pk::json::number(static_cast<double>(count)) + "}";
+  const std::string id = client.send("watch", params);
+  bool header_printed = false;
+  for (;;) {
+    const std::string line = client.read_line();
+    const auto v = pk::json::parse(line);
+    const auto* lid = v.find("id");
+    if (lid == nullptr || lid->text != id) continue;
+    const auto* ev = v.find("event");
+    const std::string kind = ev != nullptr ? ev->text : "";
+    if (kind == "error") {
+      const auto* e = v.find("error");
+      const auto* code = e != nullptr ? e->find("code") : nullptr;
+      const auto* msg = e != nullptr ? e->find("message") : nullptr;
+      const auto ec = pk::server::wire::error_code(
+          code != nullptr ? code->text : "internal");
+      err << "pkx client: " << pk::server::wire::to_string(ec) << ": "
+          << (msg != nullptr ? msg->text : "") << "\n";
+      return pk::server::wire::exit_code(ec);
+    }
+    if (kind == "result") {
+      if (json_lines) out << line << "\n";
+      break;
+    }
+    if (!json_lines && !header_printed) {
+      out << render_watch_header();
+      header_printed = true;
+    }
+    out << (json_lines ? line + "\n" : render_watch_row(line));
+    out.flush();
+  }
+  return 0;
+}
+
 int cmd_client(const std::vector<std::string>& args, std::ostream& out,
                std::ostream& err) {
   // pkx client <socket> <verb> ...
@@ -532,9 +743,19 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out,
   const std::string& verb = args[2];
   pk::server::Client client(args[1]);
   pk::server::Client::Response r;
+  bool stats_table = false;
 
+  if (verb == "watch") {
+    return client_watch(client, args, out, err);
+  }
   if (verb == "ping" || verb == "stats" || verb == "selfdiagnose") {
-    if (args.size() != 3) return usage_for("client", err);
+    if (verb == "stats" && args.size() == 4 && args[3] == "--json") {
+      // raw JSON, as before
+    } else if (args.size() != 3) {
+      return usage_for("client", err);
+    } else {
+      stats_table = verb == "stats";
+    }
     r = client.call(verb);
   } else if (verb == "upload") {
     if (args.size() < 6 || (args.size() - 6) % 2 != 0) {
@@ -601,6 +822,10 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out,
         << r.error_message << "\n";
     return pk::server::wire::exit_code(r.error);
   }
+  if (stats_table) {
+    out << render_stats_table(r.result);
+    return 0;
+  }
   out << r.result << "\n";
   if (verb == "diff" &&
       r.result.find("\"regression\":true") != std::string::npos) {
@@ -610,6 +835,48 @@ int cmd_client(const std::vector<std::string>& args, std::ostream& out,
 }
 
 }  // namespace
+
+std::string render_stats_table(const std::string& stats_json) {
+  const auto v = pk::json::parse(stats_json);
+  pk::TextTable table({"counter", "value"});
+  for (const char* key :
+       {"connections", "requests", "executed", "rejected_overload",
+        "rejected_budget", "uploads", "queue_depth"}) {
+    const auto* m = v.find(key);
+    table.begin_row().add(key).add(
+        static_cast<long long>(m != nullptr ? m->number : 0.0));
+  }
+  return table.str();
+}
+
+std::string render_watch_header() {
+  char buf[120];
+  std::snprintf(buf, sizeof buf, "%5s %10s %7s %10s %7s %9s %7s\n", "seq",
+                "requests", "+req", "executed", "+exec", "rejected",
+                "queue");
+  return buf;
+}
+
+std::string render_watch_row(const std::string& event_line) {
+  const auto v = pk::json::parse(event_line);
+  const auto* data = v.find("data");
+  const auto num = [](const pk::json::Value* obj, const char* key) {
+    const auto* m = obj != nullptr ? obj->find(key) : nullptr;
+    return static_cast<long long>(m != nullptr ? m->number : 0.0);
+  };
+  const auto* stats = data != nullptr ? data->find("stats") : nullptr;
+  const auto* delta = data != nullptr ? data->find("delta") : nullptr;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%5lld %10lld %+7lld %10lld %+7lld %9lld %7lld\n",
+                num(data, "seq"), num(stats, "requests"),
+                num(delta, "requests"), num(stats, "executed"),
+                num(delta, "executed"),
+                num(stats, "rejected_overload") +
+                    num(stats, "rejected_budget"),
+                num(stats, "queue_depth"));
+  return buf;
+}
 
 int pkx_main(const std::vector<std::string>& args, std::ostream& out,
              std::ostream& err) {
@@ -690,6 +957,10 @@ int pkx_main(const std::vector<std::string>& args, std::ostream& out,
     if (cmd == "explain") {
       if (args.size() < 5) return usage_for("explain", err);
       return cmd_explain(repo, args, out, err);
+    }
+    if (cmd == "rules-profile") {
+      if (args.size() < 5) return usage_for("rules-profile", err);
+      return cmd_rules_profile(repo, args[0], args, out, err);
     }
     if (cmd == "diff") {
       if (args.size() < 6) return usage_for("diff", err);

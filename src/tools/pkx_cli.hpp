@@ -21,4 +21,17 @@ namespace perfknow::tools {
 int pkx_main(const std::vector<std::string>& args, std::ostream& out,
              std::ostream& err);
 
+// ---- table renderers (exported so goldens can pin them) ----------------
+
+/// Renders a `stats` result object ({"connections":N,...}) exactly as
+/// `pkx client stats` prints it (counter/value table).
+[[nodiscard]] std::string render_stats_table(const std::string& stats_json);
+
+/// The fixed-width column header `pkx client watch` prints once.
+[[nodiscard]] std::string render_watch_header();
+
+/// One fixed-width watch row from a full "stats" event line: totals
+/// come from data.stats, per-interval increments from data.delta.
+[[nodiscard]] std::string render_watch_row(const std::string& event_line);
+
 }  // namespace perfknow::tools

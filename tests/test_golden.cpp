@@ -238,3 +238,35 @@ TEST(Golden, PkxDiffTextAndExplanationJson) {
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);
 }
+
+TEST(Golden, PkxClientStatsTable) {
+  const std::string stats =
+      "{\"connections\":3,\"requests\":128,\"executed\":120,"
+      "\"rejected_overload\":5,\"rejected_budget\":1,\"uploads\":14,"
+      "\"queue_depth\":2}";
+  compare_golden("pkx_client_stats.txt",
+                 pk::tools::render_stats_table(stats));
+}
+
+TEST(Golden, PkxClientWatchTable) {
+  // Two event lines as the daemon frames them, rendered through the
+  // same path `pkx client watch` uses.
+  const std::string ev1 =
+      "{\"api\":\"perfknow.api/1\",\"id\":\"1\",\"event\":\"stats\","
+      "\"data\":{\"seq\":1,\"interval\":1,\"stats\":{\"connections\":1,"
+      "\"requests\":10,\"executed\":9,\"rejected_overload\":0,"
+      "\"rejected_budget\":0,\"uploads\":2,\"queue_depth\":1},"
+      "\"delta\":{\"requests\":10,\"executed\":9,\"rejected_overload\":0,"
+      "\"rejected_budget\":0,\"uploads\":2}}}";
+  const std::string ev2 =
+      "{\"api\":\"perfknow.api/1\",\"id\":\"1\",\"event\":\"stats\","
+      "\"data\":{\"seq\":2,\"interval\":1,\"stats\":{\"connections\":1,"
+      "\"requests\":14,\"executed\":12,\"rejected_overload\":2,"
+      "\"rejected_budget\":1,\"uploads\":2,\"queue_depth\":0},"
+      "\"delta\":{\"requests\":4,\"executed\":3,\"rejected_overload\":2,"
+      "\"rejected_budget\":1,\"uploads\":0}}}";
+  compare_golden("pkx_client_watch.txt",
+                 pk::tools::render_watch_header() +
+                     pk::tools::render_watch_row(ev1) +
+                     pk::tools::render_watch_row(ev2));
+}

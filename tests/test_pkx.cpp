@@ -283,3 +283,75 @@ TEST(PkxImport, AutoDetectsBenchmarkJson) {
   EXPECT_NE(shown.out.find("BM_A"), std::string::npos);
   EXPECT_NE(shown.out.find("bench.host_name"), std::string::npos);
 }
+
+TEST(PkxRulesProfile, ProfilesStoresAndDiagnosesAPlantedRule) {
+  TempDir repo;
+  TempDir scratch;
+  ASSERT_EQ(pkx({"demo", repo.path().string()}).code, 0);
+
+  // A rule whose residual (cv > x1 + 1e6) never holds: every pair of
+  // LoadBalanceFacts is probed at level 2 and none survive, the
+  // signature rules/rule_tuning.rules diagnoses as a join explosion.
+  const auto planted = scratch.path() / "planted.rules";
+  {
+    std::ofstream os(planted);
+    os << "rule \"Planted Cross Product\"\n"
+          "when\n"
+          "    a : LoadBalanceFact( x1 : cv )\n"
+          "    b : LoadBalanceFact( )\n"
+          "    c : LoadBalanceFact( cv > x1 + 1000000.0 )\n"
+          "then\n"
+          "end\n";
+  }
+  const auto json_file = scratch.path() / "explanations.json";
+
+  const auto run = pkx({repo.path().string(), "rules-profile",
+                        "Fluid Dynamic", "rib 90", "OpenMP_unopt_16p_O2",
+                        "--rules", planted.string(), "--json",
+                        json_file.string()});
+  ASSERT_EQ(run.code, 0) << run.err;
+
+  // The attribution table names the planted rule with its probe counts.
+  EXPECT_NE(run.out.find("rules profile for Fluid Dynamic"),
+            std::string::npos);
+  EXPECT_NE(run.out.find("Planted Cross Product"), std::string::npos);
+  EXPECT_NE(run.out.find("admissions"), std::string::npos);
+
+  // The rule_tuning pass diagnoses it, with a proof tree grounded in
+  // the profile facts, and exports the same diagnosis as JSON.
+  EXPECT_NE(run.out.find("CombinatorialJoinExplosion"), std::string::npos);
+  std::ifstream is(json_file);
+  const std::string exported((std::istreambuf_iterator<char>(is)),
+                             std::istreambuf_iterator<char>());
+  EXPECT_NE(exported.find("CombinatorialJoinExplosion"),
+            std::string::npos);
+
+  // The profile itself is a first-class trial in the repository.
+  const auto listed = pkx({repo.path().string(), "list"});
+  EXPECT_NE(listed.out.find("OpenMP_unopt_16p_O2-rules-profile"),
+            std::string::npos);
+  const auto shown =
+      pkx({repo.path().string(), "show", "Fluid Dynamic", "rib 90",
+           "OpenMP_unopt_16p_O2-rules-profile"});
+  EXPECT_EQ(shown.code, 0) << shown.err;
+  EXPECT_NE(shown.out.find("Planted Cross Product"), std::string::npos);
+}
+
+TEST(PkxRulesProfile, UsageAndErrorExits) {
+  TempDir repo;
+  pk::perfdmf::Repository().save(repo.path());
+
+  // Missing positionals and dangling flags exit 2 with the usage line.
+  const auto missing = pkx({repo.path().string(), "rules-profile", "app"});
+  EXPECT_EQ(missing.code, 2);
+  EXPECT_NE(missing.err.find("rules-profile"), std::string::npos);
+  const auto dangling = pkx({repo.path().string(), "rules-profile", "app",
+                             "exp", "trial", "--rules"});
+  EXPECT_EQ(dangling.code, 2);
+
+  // Unknown trial is an ordinary error: exit 1, message on stderr.
+  const auto gone = pkx(
+      {repo.path().string(), "rules-profile", "app", "exp", "trial"});
+  EXPECT_EQ(gone.code, 1);
+  EXPECT_FALSE(gone.err.empty());
+}

@@ -652,6 +652,100 @@ TEST(ServerDaemon, SaturatedQueueRejectsAndDiagnosesItself) {
   server.stop();
 }
 
+TEST(ServerDaemon, WatchStreamsFramedStatsDeltaEventsThenResult) {
+  ServerOptions opt;
+  opt.socket_path = socket_path();
+  Server server(opt);
+
+  Client client(opt.socket_path);
+  // Pipeline: start the watch, then keep pinging while it streams. The
+  // ping responses interleave with watch events on the same socket, so
+  // this also proves the per-id parking keeps the streams apart.
+  const auto id = client.send("watch", "{\"interval\":0.05,\"count\":3}");
+  ASSERT_TRUE(client.call("ping").ok());
+  ASSERT_TRUE(client.call("ping").ok());
+  const auto r = client.collect(id);
+  ASSERT_TRUE(r.ok()) << r.error_message;
+  ASSERT_EQ(r.events.size(), 3u);
+  EXPECT_EQ(r.result, "{\"events\":3}");
+
+  for (std::size_t i = 0; i < r.events.size(); ++i) {
+    const auto& ev = r.events[i];
+    EXPECT_EQ(ev.event, "stats");
+    EXPECT_NE(ev.line.find("\"api\":\"perfknow.api/1\""),
+              std::string::npos);
+    const auto data = pk::json::parse(ev.data);
+    ASSERT_NE(data.find("seq"), nullptr);
+    EXPECT_EQ(data.find("seq")->number, static_cast<double>(i + 1));
+    ASSERT_NE(data.find("interval"), nullptr);
+    const auto* stats = data.find("stats");
+    ASSERT_NE(stats, nullptr);
+    for (const char* key :
+         {"connections", "requests", "executed", "rejected_overload",
+          "rejected_budget", "uploads", "queue_depth"}) {
+      EXPECT_NE(stats->find(key), nullptr) << "stats missing " << key;
+    }
+    const auto* delta = data.find("delta");
+    ASSERT_NE(delta, nullptr);
+    for (const char* key : {"requests", "executed", "rejected_overload",
+                            "rejected_budget", "uploads"}) {
+      EXPECT_NE(delta->find(key), nullptr) << "delta missing " << key;
+    }
+  }
+  // The cumulative counters never decrease across events, and the two
+  // pings issued mid-stream show up in the totals by the last event.
+  const auto first = pk::json::parse(r.events.front().data);
+  const auto last = pk::json::parse(r.events.back().data);
+  EXPECT_GE(last.find("stats")->find("requests")->number,
+            first.find("stats")->find("requests")->number);
+  EXPECT_GE(last.find("stats")->find("requests")->number, 3.0);
+  server.stop();
+}
+
+TEST(ServerDaemon, WatchValidatesIntervalAndCount) {
+  ServerOptions opt;
+  opt.socket_path = socket_path();
+  Server server(opt);
+  Client client(opt.socket_path);
+
+  auto too_fast = client.call("watch", "{\"interval\":0.01}");
+  EXPECT_FALSE(too_fast.ok());
+  EXPECT_EQ(too_fast.error, wire::ErrorCode::kBadRequest);
+  EXPECT_NE(too_fast.error_message.find("interval"), std::string::npos);
+
+  auto bad_type = client.call("watch", "{\"interval\":\"fast\"}");
+  EXPECT_FALSE(bad_type.ok());
+  EXPECT_EQ(bad_type.error, wire::ErrorCode::kBadRequest);
+
+  auto bad_count =
+      client.call("watch", "{\"interval\":1,\"count\":-1}");
+  EXPECT_FALSE(bad_count.ok());
+  EXPECT_EQ(bad_count.error, wire::ErrorCode::kBadRequest);
+  EXPECT_NE(bad_count.error_message.find("count"), std::string::npos);
+
+  // The connection survives rejected watches.
+  EXPECT_TRUE(client.call("ping").ok());
+  server.stop();
+}
+
+TEST(ServerDaemon, WatchStreamExhaustsTheConnectionByteBudget) {
+  ServerOptions opt;
+  opt.socket_path = socket_path();
+  // Room for roughly two event lines (~230 bytes each): the stream must
+  // then be cut off by the same admission control uploads face.
+  opt.client_byte_budget = 512;
+  Server server(opt);
+
+  Client client(opt.socket_path);
+  const auto r = client.call("watch", "{\"interval\":0.05,\"count\":0}");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error, wire::ErrorCode::kBudgetExceeded);
+  EXPECT_GE(r.events.size(), 1u);
+  EXPECT_LT(r.events.size(), 4u);
+  EXPECT_EQ(server.stats().rejected_budget, 1u);
+  server.stop();
+}
+
 TEST(ServerDaemon, ServesAnAttachedRepositoryDirectory) {
   TempDir repo_dir;
   TempDir scratch;

@@ -41,6 +41,7 @@ TEST(ShippedRules, FilesExistParseAndMatchBuiltins) {
       {"openmp.rules", std::string(rb::openmp())},
       {"self_diagnosis.rules", std::string(rb::self_diagnosis())},
       {"regression.rules", std::string(rb::regression())},
+      {"rule_tuning.rules", std::string(rb::rule_tuning())},
       {"OpenUHRules.rules", rb::openuh_rules()},
   };
   for (const auto& [name, builtin] : files) {

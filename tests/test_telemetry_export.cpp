@@ -1,0 +1,133 @@
+// Edge cases of the telemetry exporters (telemetry/export.cpp): empty
+// and degenerate snapshots, hostile span names through the Chrome-trace
+// JSON escaper, and the histogram quantile metrics in to_trial.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace tel = perfknow::telemetry;
+
+namespace {
+
+std::string chrome_trace(const tel::Snapshot& snap) {
+  std::ostringstream os;
+  tel::write_chrome_trace(snap, os);
+  return os.str();
+}
+
+}  // namespace
+
+TEST(TelemetryExport, EmptySnapshotProducesValidEmptyDocuments) {
+  tel::Snapshot snap;
+  EXPECT_EQ(chrome_trace(snap),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+
+  const auto trial = tel::to_trial(snap);
+  // The synthetic root plus the dropped-spans accounting still exist.
+  EXPECT_EQ(trial.event_count(), 1u);
+  EXPECT_TRUE(trial.find_metric("TIME"));
+  EXPECT_TRUE(trial.find_metric("telemetry.dropped_spans"));
+  EXPECT_EQ(trial.metadata("perfknow.telemetry"), "1");
+}
+
+TEST(TelemetryExport, ZeroDurationSpansSurviveBothExporters) {
+  tel::Snapshot snap;
+  snap.names = {"instant"};
+  snap.thread_count = 1;
+  snap.spans = {{0, 0, 1000, 0, 0}};
+
+  const auto trace = chrome_trace(snap);
+  EXPECT_NE(trace.find("\"name\":\"instant\""), std::string::npos);
+  EXPECT_NE(trace.find("\"dur\":0.000"), std::string::npos);
+
+  const auto trial = tel::to_trial(snap);
+  const auto e = trial.event_id("instant");
+  const auto m = trial.metric_id("TIME");
+  EXPECT_EQ(trial.inclusive(0, e, m), 0.0);
+  EXPECT_EQ(trial.calls(0, e).calls, 1.0);
+}
+
+TEST(TelemetryExport, CounterOnlySnapshotExports) {
+  tel::Snapshot snap;
+  snap.counters = {{"server.requests", 7}};
+
+  const auto trace = chrome_trace(snap);
+  // No spans: ts falls back to 0 (no min-start underflow) and the
+  // counter still renders as a "C" event.
+  EXPECT_NE(trace.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(trace.find("\"value\":7"), std::string::npos);
+
+  const auto trial = tel::to_trial(snap);
+  const auto m = trial.metric_id("server.requests");
+  EXPECT_EQ(trial.inclusive(0, trial.event_id("perfknow"), m), 7.0);
+}
+
+TEST(TelemetryExport, ChromeTraceEscapesHostileNames) {
+  tel::Snapshot snap;
+  snap.names = {"evil \"quoted\\name\"\n\ttab", std::string("ctl\x01", 5)};
+  snap.thread_count = 1;
+  snap.spans = {{0, 0, 0, 10, 10}, {1, 0, 5, 5, 5}};
+  snap.counters = {{"count \"er\\", 1}};
+
+  const auto trace = chrome_trace(snap);
+  EXPECT_NE(trace.find("evil \\\"quoted\\\\name\\\"\\n\\ttab"),
+            std::string::npos);
+  EXPECT_NE(trace.find("ctl\\u0001"), std::string::npos);
+  EXPECT_NE(trace.find("count \\\"er\\\\"), std::string::npos);
+  // No raw control bytes or unescaped quotes survive inside names.
+  EXPECT_EQ(trace.find('\x01'), std::string::npos);
+}
+
+TEST(TelemetryExport, HistogramQuantilesAndMaxBecomeMetrics) {
+  tel::Snapshot snap;
+  tel::HistogramSample s;
+  s.name = "lat";
+  s.count = 100;
+  s.sum = 90 * 100 + 10 * 100000;
+  s.min = 100;
+  s.max = 100000;
+  s.p50 = 127.0;     // upper bound of the log2 bucket holding the median
+  s.p95 = 100000.0;  // clamped to the observed max
+  snap.histograms.push_back(s);
+
+  const auto trial = tel::to_trial(snap);
+  const auto root = trial.event_id("perfknow");
+  EXPECT_EQ(trial.inclusive(0, root, trial.metric_id("lat.count")), 100.0);
+  EXPECT_EQ(trial.inclusive(0, root, trial.metric_id("lat.p50")), 127.0);
+  EXPECT_EQ(trial.inclusive(0, root, trial.metric_id("lat.p95")),
+            100000.0);
+  EXPECT_EQ(trial.inclusive(0, root, trial.metric_id("lat.max")),
+            100000.0);
+}
+
+TEST(TelemetryHistogram, SnapshotComputesQuantilesFromLiveRecords) {
+  tel::reset();
+  tel::set_enabled(true);
+  auto& h = tel::histogram("export.test.lat");
+  for (int i = 0; i < 95; ++i) h.record(10);
+  for (int i = 0; i < 5; ++i) h.record(5000);
+  tel::set_enabled(false);
+
+  const auto snap = tel::snapshot();
+  const tel::HistogramSample* s = nullptr;
+  for (const auto& hs : snap.histograms) {
+    if (hs.name == "export.test.lat") s = &hs;
+  }
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 100u);
+  EXPECT_EQ(s->min, 10u);
+  EXPECT_EQ(s->max, 5000u);
+  // 95 of 100 records are 10 (log2 bucket 4, upper bound 15), so both
+  // the p50 and p95 targets land there.
+  EXPECT_EQ(s->p50, 15.0);
+  EXPECT_EQ(s->p95, 15.0);
+  ASSERT_EQ(s->sketch.size(), tel::HistogramSample::kSketchBuckets);
+  std::uint64_t total = 0;
+  for (const auto b : s->sketch) total += b;
+  EXPECT_EQ(total, 100u);
+  tel::reset();
+}
